@@ -1,0 +1,42 @@
+//! Latency-estimator and planner benchmarks: the inner loop of every
+//! figure sweep and of RL training.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use murmuration_edgesim::device::{augmented_computing_devices, device_swarm_devices};
+use murmuration_edgesim::{LinkState, NetworkState};
+use murmuration_models::resnet50;
+use murmuration_partition::{adcnn, neurosurgeon, ExecutionPlan, LatencyEstimator};
+use murmuration_supernet::{SearchSpace, SubnetSpec};
+
+fn bench_estimation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("estimator");
+    let space = SearchSpace::default();
+    let cfg = space.max_config();
+
+    g.bench_function("subnet_lowering_max_config", |b| b.iter(|| SubnetSpec::lower(&cfg)));
+
+    let spec = SubnetSpec::lower(&cfg);
+    let devices = device_swarm_devices(5);
+    let net = NetworkState::uniform(4, LinkState::lan());
+    let est = LatencyEstimator::new(&devices, &net);
+    let plan = ExecutionPlan::spread(&spec, 5);
+    g.bench_function("latency_estimate_swarm_plan", |b| b.iter(|| est.estimate(&spec, &plan)));
+
+    let aug = augmented_computing_devices();
+    let net1 = NetworkState::uniform(1, LinkState { bandwidth_mbps: 100.0, delay_ms: 20.0 });
+    let model = resnet50(224);
+    g.bench_function("neurosurgeon_plan_resnet50", |b| {
+        b.iter(|| neurosurgeon::plan(&model, &aug, &net1))
+    });
+    g.bench_function("adcnn_plan_resnet50_5pi", |b| {
+        b.iter(|| adcnn::plan(&model, &devices, &net))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_estimation
+}
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Distributed-executor benchmark: real threaded execution with FDSP
+//! tiling and wire frames, single-worker vs 4-way tiled.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use murmuration_core::executor::{ConvStackCompute, Executor, UnitWire};
+use murmuration_partition::{ExecutionPlan, UnitPlacement};
+use murmuration_tensor::quant::BitWidth;
+use murmuration_tensor::tile::GridSpec;
+use murmuration_tensor::{Shape, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn bench_executor(c: &mut Criterion) {
+    let compute = Arc::new(ConvStackCompute::random(3, 2, 8, 3));
+    let exec = Executor::new(4, compute);
+    let mut rng = StdRng::seed_from_u64(1);
+    let input = Tensor::rand_uniform(Shape::nchw(1, 8, 48, 48), 1.0, &mut rng);
+
+    let mut g = c.benchmark_group("executor");
+    g.sample_size(10);
+    let local = ExecutionPlan { placements: vec![UnitPlacement::Single(0); 3] };
+    let wire32 = vec![UnitWire { grid: GridSpec::new(1, 1), in_quant: BitWidth::B32 }; 3];
+    g.bench_function("single_worker_3units_48px", |b| {
+        b.iter(|| exec.execute(&local, &wire32, input.clone()))
+    });
+
+    let tiled = ExecutionPlan {
+        placements: vec![
+            UnitPlacement::Tiled(vec![0, 1, 2, 3]),
+            UnitPlacement::Tiled(vec![0, 1, 2, 3]),
+            UnitPlacement::Single(0),
+        ],
+    };
+    let mut wire_t = wire32.clone();
+    wire_t[0].grid = GridSpec::new(2, 2);
+    wire_t[1].grid = GridSpec::new(2, 2);
+    wire_t[1].in_quant = BitWidth::B8;
+    g.bench_function("tiled_2x2_wire_b8_48px", |b| {
+        b.iter(|| exec.execute(&tiled, &wire_t, input.clone()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_executor);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Micro-benchmarks of the tensor substrate: GEMM, convolution, FDSP
+//! tiling, and quantization — the kernels every distributed inference
+//! passes through.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use murmuration_tensor::conv::{conv2d, depthwise_conv2d, Conv2dParams};
+use murmuration_tensor::gemm::gemm;
+use murmuration_tensor::quant::{BitWidth, QuantizedTensor};
+use murmuration_tensor::tile::{merge_fdsp, split_fdsp, GridSpec};
+use murmuration_tensor::{Shape, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gemm");
+    let mut rng = StdRng::seed_from_u64(0);
+    for &n in &[64usize, 128, 256] {
+        let a = Tensor::rand_uniform(Shape::d2(n, n), 1.0, &mut rng);
+        let b = Tensor::rand_uniform(Shape::d2(n, n), 1.0, &mut rng);
+        let mut out = vec![0.0f32; n * n];
+        g.throughput(Throughput::Elements((n * n * n) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, &n| {
+            bench.iter(|| gemm(n, n, n, a.data(), b.data(), &mut out));
+        });
+    }
+    g.finish();
+}
+
+fn bench_conv(c: &mut Criterion) {
+    let mut g = c.benchmark_group("conv2d");
+    let mut rng = StdRng::seed_from_u64(1);
+    // A MobileNet-ish block shape: 32ch 28x28, 3x3.
+    let x = Tensor::rand_uniform(Shape::nchw(1, 32, 28, 28), 1.0, &mut rng);
+    let w = Tensor::rand_uniform(Shape::nchw(32, 32, 3, 3), 0.2, &mut rng);
+    let p = Conv2dParams::same(3);
+    g.bench_function("dense_32x28x28_k3", |b| b.iter(|| conv2d(&x, &w, None, p)));
+    let dw = Tensor::rand_uniform(Shape::nchw(32, 1, 5, 5), 0.2, &mut rng);
+    let p5 = Conv2dParams::same(5);
+    g.bench_function("depthwise_32x28x28_k5", |b| b.iter(|| depthwise_conv2d(&x, &dw, None, p5)));
+    g.finish();
+}
+
+fn bench_tiling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fdsp_tiling");
+    let mut rng = StdRng::seed_from_u64(2);
+    let x = Tensor::rand_uniform(Shape::nchw(1, 64, 56, 56), 1.0, &mut rng);
+    let grid = GridSpec::new(2, 2);
+    g.bench_function("split_2x2_64x56x56", |b| b.iter(|| split_fdsp(&x, grid)));
+    let tiles = split_fdsp(&x, grid);
+    g.bench_function("merge_2x2_64x56x56", |b| b.iter(|| merge_fdsp(&tiles, grid)));
+    g.finish();
+}
+
+fn bench_quant(c: &mut Criterion) {
+    let mut g = c.benchmark_group("quantization");
+    let mut rng = StdRng::seed_from_u64(3);
+    let x = Tensor::rand_uniform(Shape::nchw(1, 64, 28, 28), 3.0, &mut rng);
+    g.throughput(Throughput::Bytes(x.byte_size_f32() as u64));
+    g.bench_function("quantize_b8_64x28x28", |b| {
+        b.iter(|| QuantizedTensor::quantize(&x, BitWidth::B8))
+    });
+    let q = QuantizedTensor::quantize(&x, BitWidth::B8);
+    g.bench_function("dequantize_b8_64x28x28", |b| b.iter(|| q.dequantize()));
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_gemm, bench_conv, bench_tiling, bench_quant
+}
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Model-switch benchmark backing Fig. 19: measured in-memory supernet
+//! reconfiguration time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use murmuration_core::reconfig::InMemorySupernet;
+use murmuration_supernet::SearchSpace;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_switch(c: &mut Criterion) {
+    let space = SearchSpace::default();
+    let mut supernet = InMemorySupernet::new(space.clone());
+    let mut rng = StdRng::seed_from_u64(0);
+    let configs: Vec<_> = (0..64).map(|_| space.sample(&mut rng)).collect();
+    let mut i = 0usize;
+    c.bench_function("supernet_submodel_switch", |b| {
+        b.iter(|| {
+            let cfg = configs[i % configs.len()].clone();
+            i += 1;
+            supernet.switch_submodel(cfg)
+        })
+    });
+}
+
+criterion_group!(benches, bench_switch);
+criterion_main!(benches);

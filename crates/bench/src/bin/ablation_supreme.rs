@@ -1,0 +1,41 @@
+//! Ablation of SUPREME's components (the design choices called out in
+//! DESIGN.md): full SUPREME vs no-sharing, no-pruning, no-mutation, and
+//! no-curriculum variants, on the augmented-computing scenario.
+//!
+//! Run: `cargo run -p murmuration-bench --release --bin ablation_supreme`
+
+use murmuration_bench::{seeds_budget, steps_budget, CsvOut};
+use murmuration_rl::metrics::{evaluate_policy, validation_conditions};
+use murmuration_rl::supreme::{train, SupremeConfig};
+use murmuration_rl::{Scenario, SloKind};
+
+fn main() {
+    let steps = steps_budget();
+    let seeds = seeds_budget() as u64;
+    let scenario = Scenario::augmented_computing(SloKind::Latency);
+    let conds = validation_conditions(&scenario, 40);
+    let mut out = CsvOut::new("ablation_supreme");
+    out.row("variant,seed,avg_reward,compliance_pct");
+
+    type Variant = (&'static str, Box<dyn Fn(SupremeConfig) -> SupremeConfig>);
+    let variants: Vec<Variant> = vec![
+        ("full", Box::new(|c| c)),
+        ("no_share", Box::new(|c| SupremeConfig { share: false, ..c })),
+        ("no_prune", Box::new(|c| SupremeConfig { prune_every: 0, ..c })),
+        ("no_mutation", Box::new(|c| SupremeConfig { mutations_per_step: 0, ..c })),
+        ("no_curriculum", Box::new(|c| SupremeConfig { curriculum: false, ..c })),
+        (
+            "no_exploration",
+            Box::new(|c| SupremeConfig { eps_start: 0.0, eps_end: 0.0, ..c }),
+        ),
+    ];
+    for (name, make) in &variants {
+        for seed in 0..seeds {
+            let cfg = make(SupremeConfig { steps, eval_every: steps + 1, seed, ..Default::default() });
+            let (policy, _) = train(&scenario, &cfg);
+            let r = evaluate_policy(&policy, &scenario, &conds);
+            out.row(&format!("{name},{seed},{:.4},{:.2}", r.avg_reward, r.compliance_pct));
+        }
+    }
+    eprintln!("expected: 'full' dominates; no_share hurts most (matches the paper's motivation)");
+}

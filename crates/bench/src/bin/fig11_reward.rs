@@ -1,0 +1,68 @@
+//! Figure 11: average reward vs training steps for SUPREME, GCSL, and PPO
+//! on (a) the Augmented Computing scenario and (b) the Device Swarm
+//! scenario, averaged over seeds.
+//!
+//! Run: `cargo run -p murmuration-bench --release --bin fig11_reward`
+//! Budget: `MURMURATION_STEPS` (default 4000), `MURMURATION_SEEDS` (2).
+
+use murmuration_bench::{seeds_budget, steps_budget, CsvOut};
+use murmuration_rl::{dqn, gcsl, ppo, supreme, Scenario, SloKind};
+
+fn main() {
+    let steps = steps_budget();
+    let seeds = seeds_budget() as u64;
+    let eval_every = (steps / 8).max(1);
+    let mut out = CsvOut::new("fig11_reward");
+    out.row("scenario,algorithm,seed,step,avg_reward,compliance_pct");
+
+    for (label, scenario) in [
+        ("augmented", Scenario::augmented_computing(SloKind::Latency)),
+        ("swarm", Scenario::device_swarm(5, SloKind::Latency)),
+    ] {
+        for seed in 0..seeds {
+            let (_, h) = supreme::train(
+                &scenario,
+                &supreme::SupremeConfig { steps, eval_every, seed, ..Default::default() },
+            );
+            for (step, r) in &h.points {
+                out.row(&format!(
+                    "{label},SUPREME,{seed},{step},{:.4},{:.2}",
+                    r.avg_reward, r.compliance_pct
+                ));
+            }
+            let (_, h) = gcsl::train(
+                &scenario,
+                &gcsl::GcslConfig { steps, eval_every, seed, ..Default::default() },
+            );
+            for (step, r) in &h.points {
+                out.row(&format!(
+                    "{label},GCSL,{seed},{step},{:.4},{:.2}",
+                    r.avg_reward, r.compliance_pct
+                ));
+            }
+            let (_, h) = ppo::train(
+                &scenario,
+                &ppo::PpoConfig { steps, eval_every, seed, ..Default::default() },
+            );
+            for (step, r) in &h.points {
+                out.row(&format!(
+                    "{label},PPO,{seed},{step},{:.4},{:.2}",
+                    r.avg_reward, r.compliance_pct
+                ));
+            }
+            // Extra series beyond the paper's figure: the DQN baseline
+            // §4.3 mentions alongside PPO.
+            let (_, h) = dqn::train(
+                &scenario,
+                &dqn::DqnConfig { steps, eval_every, seed, ..Default::default() },
+            );
+            for (step, r) in &h.points {
+                out.row(&format!(
+                    "{label},DQN,{seed},{step},{:.4},{:.2}",
+                    r.avg_reward, r.compliance_pct
+                ));
+            }
+        }
+    }
+    eprintln!("paper shape: SUPREME's curve dominates GCSL and PPO in both scenarios");
+}

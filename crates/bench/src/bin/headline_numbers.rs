@@ -1,0 +1,129 @@
+//! The paper's headline claims (§1/§6): up to **+5 %** accuracy, up to
+//! **6.7×** latency reduction, and up to **+52 percentage points** SLO
+//! compliance versus the baselines. This binary derives the same three
+//! aggregates from the Fig. 13 / 15 / 16 sweeps.
+//!
+//! Run: `cargo run -p murmuration-bench --release --bin headline_numbers`
+
+use murmuration_bench::{
+    fig13_baselines, murmuration_outcome, steps_budget, train_policy, uniform_net, BaselineMethod,
+    CsvOut,
+};
+use murmuration_edgesim::device::augmented_computing_devices;
+use murmuration_models::zoo::BaselineModel;
+use murmuration_partition::compliance::JointSlo;
+use murmuration_rl::{Condition, Scenario, SloKind};
+
+fn main() {
+    let devices = augmented_computing_devices();
+    let mut out = CsvOut::new("headline_numbers");
+    out.row("metric,value,where");
+
+    // --- Accuracy gain @ latency SLO (Fig. 13 aggregation) ------------
+    let scenario = Scenario::augmented_computing(SloKind::Latency);
+    eprintln!("training latency-SLO policy ({} episodes)…", steps_budget());
+    let policy_lat = train_policy(&scenario, steps_budget(), 0);
+    let slo = 140.0;
+    let mut best_gain = f32::MIN;
+    let mut gain_where = String::new();
+    for &delay in &[100.0, 75.0, 50.0, 25.0, 5.0] {
+        for &bw in &[50.0, 100.0, 150.0, 200.0, 250.0, 300.0, 350.0, 400.0] {
+            let net = uniform_net(1, bw, delay);
+            let best_base: Option<f32> = fig13_baselines()
+                .iter()
+                .filter_map(|m| {
+                    let o = m.outcome(&devices, &net);
+                    (o.latency_ms <= slo).then_some(o.accuracy_pct)
+                })
+                .fold(None, |acc, v| Some(acc.map_or(v, |a: f32| a.max(v))));
+            let cond = Condition { slo, bw_mbps: vec![bw], delay_ms: vec![delay] };
+            let ours = murmuration_outcome(&policy_lat, &scenario, &cond);
+            if ours.latency_ms <= slo {
+                if let Some(base) = best_base {
+                    let gain = ours.accuracy_pct - base;
+                    if gain > best_gain {
+                        best_gain = gain;
+                        gain_where = format!("bw={bw} delay={delay}");
+                    }
+                }
+            }
+        }
+    }
+    out.row(&format!("max_accuracy_gain_pct,{best_gain:.2},{gain_where}"));
+
+    // --- Latency reduction @ accuracy SLO (Fig. 15 aggregation) -------
+    let scenario_acc = Scenario::augmented_computing(SloKind::Accuracy);
+    eprintln!("training accuracy-SLO policy ({} episodes)…", steps_budget());
+    let policy_acc = train_policy(&scenario_acc, steps_budget(), 0);
+    let mut best_ratio = 0.0f64;
+    let mut ratio_where = String::new();
+    for &bw in &[50.0, 100.0, 200.0, 300.0, 400.0] {
+        let net = uniform_net(1, bw, 25.0);
+        for &floor in &[75.5f64, 76.5, 77.5] {
+            // Best feasible baseline latency.
+            let base: Option<f64> = BaselineModel::all()
+                .into_iter()
+                .map(BaselineMethod::Neurosurgeon)
+                .filter_map(|m| {
+                    let o = m.outcome(&devices, &net);
+                    (f64::from(o.accuracy_pct) >= floor).then_some(o.latency_ms)
+                })
+                .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.min(v))));
+            let cond = Condition { slo: floor, bw_mbps: vec![bw], delay_ms: vec![25.0] };
+            let ours = murmuration_outcome(&policy_acc, &scenario_acc, &cond);
+            if f64::from(ours.accuracy_pct) >= floor {
+                if let Some(base) = base {
+                    let ratio = base / ours.latency_ms;
+                    if ratio > best_ratio {
+                        best_ratio = ratio;
+                        ratio_where = format!("bw={bw} floor={floor}");
+                    }
+                }
+            }
+        }
+    }
+    out.row(&format!("max_latency_reduction_x,{best_ratio:.2},{ratio_where}"));
+
+    // --- Compliance improvement (Fig. 16(a) aggregation) --------------
+    let mut best_delta = f64::MIN;
+    let mut delta_where = String::new();
+    for &lat_slo in &[100.0, 120.0, 140.0] {
+        let joint = JointSlo { latency_ms: lat_slo, accuracy_pct: 75.0 };
+        let settings: Vec<(f64, f64)> = [5.0, 25.0, 50.0, 75.0, 100.0]
+            .iter()
+            .flat_map(|&d| {
+                [50.0, 100.0, 150.0, 200.0, 250.0, 300.0, 350.0, 400.0]
+                    .iter()
+                    .map(move |&b| (d, b))
+            })
+            .collect();
+        let ours = 100.0
+            * settings
+                .iter()
+                .filter(|&&(d, b)| {
+                    let cond = Condition { slo: lat_slo, bw_mbps: vec![b], delay_ms: vec![d] };
+                    joint.met(&murmuration_outcome(&policy_lat, &scenario, &cond))
+                })
+                .count() as f64
+            / settings.len() as f64;
+        for m in [
+            BaselineMethod::Neurosurgeon(BaselineModel::ResNet50),
+            BaselineMethod::Neurosurgeon(BaselineModel::InceptionV3),
+        ] {
+            let base = 100.0
+                * settings
+                    .iter()
+                    .filter(|&&(d, b)| joint.met(&m.outcome(&devices, &uniform_net(1, b, d))))
+                    .count() as f64
+                / settings.len() as f64;
+            let delta = ours - base;
+            if delta > best_delta {
+                best_delta = delta;
+                delta_where = format!("slo={lat_slo} vs {}", m.label());
+            }
+        }
+    }
+    out.row(&format!("max_compliance_improvement_pp,{best_delta:.1},{delta_where}"));
+
+    eprintln!("paper claims: +5 % accuracy, 6.7x latency, +52 pp compliance");
+}

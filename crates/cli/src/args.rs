@@ -1,0 +1,128 @@
+//! Tiny dependency-free argument parser: `--key value` flags after a
+//! subcommand, with typed accessors and helpful errors.
+
+use std::collections::HashMap;
+
+/// Parsed command line: a subcommand plus `--key value` flags.
+#[derive(Debug, Clone)]
+pub struct Args {
+    pub command: String,
+    flags: HashMap<String, String>,
+}
+
+/// Parse error with a user-facing message.
+#[derive(Debug, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parses `argv[1..]`: first token is the subcommand, the rest are
+    /// `--key value` pairs.
+    pub fn parse(argv: &[String]) -> Result<Args, ArgError> {
+        let mut it = argv.iter();
+        let command = it
+            .next()
+            .cloned()
+            .ok_or_else(|| ArgError("missing subcommand (try `murmuration help`)".into()))?;
+        let mut flags = HashMap::new();
+        while let Some(k) = it.next() {
+            let key = k
+                .strip_prefix("--")
+                .ok_or_else(|| ArgError(format!("expected --flag, got `{k}`")))?;
+            let v = it
+                .next()
+                .ok_or_else(|| ArgError(format!("flag --{key} needs a value")))?;
+            if flags.insert(key.to_string(), v.clone()).is_some() {
+                return Err(ArgError(format!("duplicate flag --{key}")));
+            }
+        }
+        Ok(Args { command, flags })
+    }
+
+    /// String flag with a default.
+    pub fn get_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.flags.get(key).map(String::as_str).unwrap_or(default)
+    }
+
+    /// Required string flag.
+    pub fn require(&self, key: &str) -> Result<&str, ArgError> {
+        self.flags
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| ArgError(format!("missing required flag --{key}")))
+    }
+
+    /// Typed flag with a default.
+    pub fn get_parsed_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
+        match self.flags.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError(format!("--{key}: cannot parse `{v}`"))),
+        }
+    }
+
+    /// Comma-separated f64 list flag.
+    pub fn get_f64_list(&self, key: &str) -> Result<Option<Vec<f64>>, ArgError> {
+        match self.flags.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .split(',')
+                .map(|s| {
+                    s.trim()
+                        .parse::<f64>()
+                        .map_err(|_| ArgError(format!("--{key}: bad number `{s}`")))
+                })
+                .collect::<Result<Vec<_>, _>>()
+                .map(Some),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_subcommand_and_flags() {
+        let a = Args::parse(&argv("train --steps 500 --scenario swarm")).unwrap();
+        assert_eq!(a.command, "train");
+        assert_eq!(a.get_or("scenario", "augmented"), "swarm");
+        assert_eq!(a.get_parsed_or("steps", 0usize).unwrap(), 500);
+        assert_eq!(a.get_parsed_or("seed", 7u64).unwrap(), 7);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(Args::parse(&argv("")).is_err());
+        assert!(Args::parse(&argv("x notaflag")).is_err());
+        assert!(Args::parse(&argv("x --k")).is_err());
+        assert!(Args::parse(&argv("x --k 1 --k 2")).is_err());
+    }
+
+    #[test]
+    fn parses_lists() {
+        let a = Args::parse(&argv("decide --bw 100,50.5,7")).unwrap();
+        assert_eq!(a.get_f64_list("bw").unwrap().unwrap(), vec![100.0, 50.5, 7.0]);
+        assert_eq!(a.get_f64_list("delay").unwrap(), None);
+        assert!(Args::parse(&argv("decide --bw 1,x")).unwrap().get_f64_list("bw").is_err());
+    }
+
+    #[test]
+    fn require_reports_missing() {
+        let a = Args::parse(&argv("decide --bw 1")).unwrap();
+        assert!(a.require("policy").is_err());
+        assert_eq!(a.require("bw").unwrap(), "1");
+    }
+}

@@ -1,0 +1,331 @@
+//! `murmuration` — the command-line interface.
+//!
+//! ```text
+//! murmuration train    --scenario augmented --slo-kind latency --steps 4000 --out policy.bin
+//! murmuration decide   --policy policy.bin --scenario augmented --slo 140 --bw 200 --delay 20
+//! murmuration estimate --scenario swarm --config max --bw 1000 --delay 2
+//! murmuration models
+//! murmuration simulate --policy policy.bin --scenario augmented --slo 140 --requests 10
+//! murmuration help
+//! ```
+
+mod args;
+
+use args::{ArgError, Args};
+use murmuration_core::{Runtime, RuntimeConfig};
+use murmuration_edgesim::trace::NetworkTrace;
+use murmuration_edgesim::{LinkState, NetworkState};
+use murmuration_partition::compliance::Slo;
+use murmuration_partition::{ExecutionPlan, LatencyEstimator};
+use murmuration_rl::supreme::{self, SupremeConfig};
+use murmuration_rl::{serialize, Condition, Scenario, SloKind};
+use murmuration_supernet::{AccuracyModel, SearchSpace, SubnetSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(e) = run(&argv) {
+        eprintln!("error: {e}");
+        eprintln!("run `murmuration help` for usage");
+        std::process::exit(1);
+    }
+}
+
+fn run(argv: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let args = match Args::parse(argv) {
+        Ok(a) => a,
+        Err(_) => {
+            print_help();
+            return Ok(());
+        }
+    };
+    match args.command.as_str() {
+        "train" => cmd_train(&args),
+        "decide" => cmd_decide(&args),
+        "estimate" => cmd_estimate(&args),
+        "plan" => cmd_plan(&args),
+        "models" => cmd_models(),
+        "simulate" => cmd_simulate(&args),
+        "help" | "--help" | "-h" => {
+            print_help();
+            Ok(())
+        }
+        other => Err(Box::new(ArgError(format!("unknown subcommand `{other}`")))),
+    }
+}
+
+fn print_help() {
+    println!(
+        "murmuration — SLO-aware distributed DNN inference (ICPP '24 reproduction)\n\
+         \n\
+         USAGE: murmuration <command> [--flag value]...\n\
+         \n\
+         COMMANDS\n\
+           train     Train a SUPREME policy.\n\
+                     --scenario augmented|swarm|hetero  --slo-kind latency|accuracy\n\
+                     --steps N (4000)  --seed S (0)  --out FILE (policy.bin)\n\
+           decide    Make one deployment decision with a trained policy.\n\
+                     --policy FILE  --scenario ...  --slo V  --bw A[,B..]  --delay A[,B..]\n\
+                     --trace true   (print the per-unit timeline)\n\
+           estimate  Latency breakdown of canonical strategies for a config.\n\
+                     --scenario ...  --config min|mid|max  --bw ...  --delay ...\n\
+           plan      Beam-search the best placement for a config (no policy needed).\n\
+                     --scenario ...  --config min|mid|max  --bw ...  --delay ...  --beam N (8)\n\
+           models    Print the baseline model zoo.\n\
+           simulate  Serve requests through the full runtime over a dynamic trace.\n\
+                     --policy FILE  --scenario ...  --slo V  --requests N (10)\n\
+           help      This message."
+    );
+}
+
+fn scenario_from(args: &Args) -> Result<Scenario, ArgError> {
+    let kind = match args.get_or("slo-kind", "latency") {
+        "latency" => SloKind::Latency,
+        "accuracy" => SloKind::Accuracy,
+        other => return Err(ArgError(format!("--slo-kind: unknown `{other}`"))),
+    };
+    match args.get_or("scenario", "augmented") {
+        "augmented" => Ok(Scenario::augmented_computing(kind)),
+        "swarm" => Ok(Scenario::device_swarm(5, kind)),
+        "hetero" => Ok(Scenario::heterogeneous_edge(kind)),
+        other => Err(ArgError(format!("--scenario: unknown `{other}`"))),
+    }
+}
+
+fn condition_from(args: &Args, sc: &Scenario) -> Result<Condition, ArgError> {
+    let slo: f64 = args.get_parsed_or("slo", sc.slo_range.1)?;
+    let one = |v: Option<Vec<f64>>, default: f64| -> Vec<f64> {
+        match v {
+            Some(mut xs) => {
+                // A single value broadcasts to every remote link.
+                if xs.len() == 1 {
+                    xs = vec![xs[0]; sc.n_remote()];
+                }
+                xs
+            }
+            None => vec![default; sc.n_remote()],
+        }
+    };
+    let bw = one(args.get_f64_list("bw")?, 100.0);
+    let delay = one(args.get_f64_list("delay")?, 20.0);
+    if bw.len() != sc.n_remote() || delay.len() != sc.n_remote() {
+        return Err(ArgError(format!(
+            "scenario has {} remote links; pass 1 or {} comma-separated values",
+            sc.n_remote(),
+            sc.n_remote()
+        )));
+    }
+    Ok(Condition { slo, bw_mbps: bw, delay_ms: delay })
+}
+
+fn cmd_train(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let sc = scenario_from(args)?;
+    let steps: usize = args.get_parsed_or("steps", 4000)?;
+    let seed: u64 = args.get_parsed_or("seed", 0)?;
+    let out = args.get_or("out", "policy.bin").to_string();
+    eprintln!("training SUPREME for {steps} episodes on {} devices…", sc.devices.len());
+    let eval_every = (steps / 4).max(1);
+    let (mut policy, history) =
+        supreme::train(&sc, &SupremeConfig { steps, eval_every, seed, ..Default::default() });
+    for (step, r) in &history.points {
+        eprintln!(
+            "  step {step:>6}: avg reward {:.3}, compliance {:.1} %",
+            r.avg_reward, r.compliance_pct
+        );
+    }
+    serialize::save_policy(&mut policy, &out)?;
+    println!("saved policy to {out}");
+    Ok(())
+}
+
+fn cmd_decide(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let sc = scenario_from(args)?;
+    let policy = serialize::load_policy(args.require("policy")?)?;
+    if policy.input_dim != sc.input_dim() {
+        return Err(Box::new(ArgError(
+            "policy was trained for a different scenario shape".into(),
+        )));
+    }
+    let cond = condition_from(args, &sc)?;
+    let result = murmuration_rl::env::decide_guarded(&policy, &sc, &cond);
+    let genome = sc.decode(&result.actions);
+    println!("condition: slo={} bw={:?} delay={:?}", cond.slo, cond.bw_mbps, cond.delay_ms);
+    println!(
+        "decision : resolution {} | stages {:?}",
+        genome.config.resolution,
+        genome
+            .config
+            .stages
+            .iter()
+            .map(|s| format!(
+                "k{} d{} e{} {}x{} {}b",
+                s.kernel,
+                s.depth,
+                s.expand,
+                s.partition.rows,
+                s.partition.cols,
+                s.quant.bits()
+            ))
+            .collect::<Vec<_>>()
+    );
+    println!(
+        "outcome  : latency {:.1} ms | accuracy {:.2} % | SLO met: {}",
+        result.latency_ms, result.accuracy_pct, result.met
+    );
+    if args.get_or("trace", "false") == "true" {
+        let spec = SubnetSpec::lower(&genome.config);
+        let plan = genome.plan(&spec, sc.devices.len());
+        let net = sc.network(&cond);
+        let est = LatencyEstimator::new(&sc.devices, &net);
+        let (_, trace) = est.estimate_with_trace(&spec, &plan);
+        println!("{:<10} {:>12} {:>10} | devices", "unit", "input@ms", "done@ms");
+        for t in trace {
+            println!("{:<10} {:>12.1} {:>10.1} | {:?}", t.unit, t.input_ready_ms, t.done_ms, t.devices);
+        }
+    }
+    Ok(())
+}
+
+fn cmd_estimate(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let sc = scenario_from(args)?;
+    let cond = condition_from(args, &sc)?;
+    let cfg = parse_config(args)?;
+    let spec = SubnetSpec::lower(&cfg);
+    let net = sc.network(&cond);
+    let est = LatencyEstimator::new(&sc.devices, &net);
+    let acc = AccuracyModel::new().predict(&cfg);
+    println!(
+        "config: {} MMACs, {:.1} MB params, predicted top-1 {acc:.2} %",
+        spec.total_macs() / 1_000_000,
+        spec.total_params() as f64 * 4.0 / 1e6
+    );
+    println!("{:<24} {:>10} {:>10} {:>10}", "strategy", "total ms", "compute", "comm");
+    let show = |name: &str, plan: &ExecutionPlan| {
+        let b = est.estimate(&spec, plan);
+        println!("{name:<24} {:>10.1} {:>10.1} {:>10.1}", b.total_ms, b.compute_ms, b.comm_ms);
+    };
+    show("all-local", &ExecutionPlan::all_on(&spec, 0));
+    for d in 1..sc.devices.len() {
+        show(&format!("all-on-device-{d}"), &ExecutionPlan::all_on(&spec, d));
+    }
+    show("spread", &ExecutionPlan::spread(&spec, sc.devices.len()));
+    Ok(())
+}
+
+fn parse_config(args: &Args) -> Result<murmuration_supernet::SubnetConfig, Box<dyn std::error::Error>> {
+    let space = SearchSpace::default();
+    Ok(match args.get_or("config", "max") {
+        "min" => space.min_config(),
+        "max" => space.max_config(),
+        "mid" => {
+            let mut c = space.min_config();
+            c.resolution = space.resolutions[space.resolutions.len() / 2];
+            for s in &mut c.stages {
+                s.depth = space.depths[space.depths.len() / 2];
+                s.expand = space.expands[space.expands.len() / 2];
+            }
+            c
+        }
+        other => return Err(Box::new(ArgError(format!("--config: unknown `{other}`")))),
+    })
+}
+
+fn cmd_plan(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let sc = scenario_from(args)?;
+    let cond = condition_from(args, &sc)?;
+    let beam: usize = args.get_parsed_or("beam", 8)?;
+    let mut cfg = parse_config(args)?;
+    // Give the planner the full grid option on every stage; it may still
+    // choose Single placements.
+    for s in &mut cfg.stages {
+        s.partition = murmuration_tensor::tile::GridSpec::new(2, 2);
+        s.quant = murmuration_tensor::quant::BitWidth::B8;
+    }
+    let spec = SubnetSpec::lower(&cfg);
+    let net = sc.network(&cond);
+    let (plan, latency) = murmuration_partition::beam::plan_beam(&spec, &sc.devices, &net, beam);
+    println!(
+        "config: {} MMACs | beam width {beam} | latency {latency:.1} ms",
+        spec.total_macs() / 1_000_000
+    );
+    for (u, p) in spec.units.iter().zip(&plan.placements) {
+        println!("  {:<8} -> {:?}", u.name, p);
+    }
+    Ok(())
+}
+
+fn cmd_models() -> Result<(), Box<dyn std::error::Error>> {
+    println!(
+        "{:<24} {:>10} {:>10} {:>8} {:>8}",
+        "model", "GMACs", "params M", "top-1 %", "layers"
+    );
+    for m in murmuration_models::zoo::all_models() {
+        println!(
+            "{:<24} {:>10.2} {:>10.1} {:>8.1} {:>8}",
+            m.name,
+            m.total_macs() as f64 / 1e9,
+            m.total_params() as f64 / 1e6,
+            m.top1,
+            m.layers.len()
+        );
+    }
+    let eff = murmuration_models::efficientnet_b0(224);
+    println!(
+        "{:<24} {:>10.2} {:>10.1} {:>8.1} {:>8}   (extension)",
+        eff.name,
+        eff.total_macs() as f64 / 1e9,
+        eff.total_params() as f64 / 1e6,
+        eff.top1,
+        eff.layers.len()
+    );
+    let vit = murmuration_models::vit_b16(224);
+    println!(
+        "{:<24} {:>10.2} {:>10.1} {:>8.1} {:>8}   (extension)",
+        vit.name,
+        vit.total_macs() as f64 / 1e9,
+        vit.total_params() as f64 / 1e6,
+        vit.top1,
+        vit.layers.len()
+    );
+    Ok(())
+}
+
+fn cmd_simulate(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let sc = scenario_from(args)?;
+    let policy = serialize::load_policy(args.require("policy")?)?;
+    let requests: usize = args.get_parsed_or("requests", 10)?;
+    let slo: f64 = args.get_parsed_or("slo", sc.slo_range.1)?;
+    let initial = match sc.slo_kind {
+        SloKind::Latency => Slo::LatencyMs(slo),
+        SloKind::Accuracy => Slo::AccuracyPct(slo as f32),
+    };
+    let n_remote = sc.n_remote();
+    let mut rt = Runtime::new(sc, policy, RuntimeConfig::default(), initial);
+    let mut rng = StdRng::seed_from_u64(args.get_parsed_or("seed", 0u64)?);
+    let base = LinkState { bandwidth_mbps: 150.0, delay_ms: 20.0 };
+    let trace = NetworkTrace::random_walk(base, 400.0, requests * 2 + 4, 4.0, 11);
+    println!(
+        "{:>4} {:>9} {:>9} {:>10} {:>10} {:>7} {:>6}",
+        "req", "bw Mbps", "delay ms", "lat ms", "acc %", "cached", "met"
+    );
+    let mut met = 0usize;
+    for i in 0..requests {
+        let t = i as f64 * 400.0;
+        let link = trace.sample(t);
+        let net = NetworkState::uniform(n_remote, link);
+        rt.tick(&net, t, &mut rng);
+        let r = rt.infer(&net, t + 50.0, &mut rng);
+        met += usize::from(r.slo_met);
+        println!(
+            "{i:>4} {:>9.0} {:>9.0} {:>10.1} {:>10.2} {:>7} {:>6}",
+            link.bandwidth_mbps, link.delay_ms, r.latency_ms, r.accuracy_pct, r.cached, r.slo_met
+        );
+    }
+    let stats = rt.cache_stats();
+    println!(
+        "met {met}/{requests}; cache hit ratio {:.0} %",
+        stats.hit_ratio() * 100.0
+    );
+    Ok(())
+}

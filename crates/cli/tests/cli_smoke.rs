@@ -1,0 +1,99 @@
+//! End-to-end tests of the `murmuration` binary: train → decide →
+//! estimate → simulate, through real process invocations.
+
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_murmuration"))
+}
+
+#[test]
+fn help_lists_all_subcommands() {
+    let out = bin().arg("help").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    for cmd in ["train", "decide", "estimate", "models", "simulate"] {
+        assert!(text.contains(cmd), "help must mention `{cmd}`");
+    }
+}
+
+#[test]
+fn models_prints_the_zoo() {
+    let out = bin().arg("models").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    for name in ["MobileNetV3", "ResNet50", "Inception", "DenseNet161", "ResNeXt101", "EfficientNet", "ViT"] {
+        assert!(text.contains(name), "zoo must list {name}");
+    }
+}
+
+#[test]
+fn estimate_runs_without_a_policy() {
+    let out = bin()
+        .args(["estimate", "--scenario", "swarm", "--config", "min", "--bw", "1000", "--delay", "2"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("all-local"));
+    assert!(text.contains("spread"));
+}
+
+#[test]
+fn train_decide_simulate_round_trip() {
+    let dir = std::env::temp_dir().join("murmuration_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let policy = dir.join("p.bin");
+    let policy_s = policy.to_str().unwrap();
+
+    let out = bin()
+        .args(["train", "--scenario", "augmented", "--steps", "60", "--out", policy_s])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "train: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(policy.exists());
+
+    let out = bin()
+        .args(["decide", "--policy", policy_s, "--slo", "140", "--bw", "200", "--delay", "20", "--trace", "true"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "decide: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("latency"), "{text}");
+    assert!(text.contains("stem"), "trace must show the unit timeline: {text}");
+
+    let out = bin()
+        .args(["simulate", "--policy", policy_s, "--slo", "140", "--requests", "3"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "simulate: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("cache hit ratio"), "{text}");
+    std::fs::remove_file(&policy).ok();
+}
+
+#[test]
+fn bad_inputs_fail_cleanly() {
+    // Unknown subcommand exits nonzero with a message.
+    let out = bin().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown subcommand"));
+    // decide without a policy flag.
+    let out = bin().args(["decide", "--slo", "140"]).output().unwrap();
+    assert!(!out.status.success());
+    // Wrong link count for the scenario.
+    let dir = std::env::temp_dir().join("murmuration_cli_test2");
+    std::fs::create_dir_all(&dir).unwrap();
+    let policy = dir.join("p.bin");
+    let ok = bin()
+        .args(["train", "--scenario", "augmented", "--steps", "30", "--out", policy.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(ok.status.success());
+    let out = bin()
+        .args(["decide", "--policy", policy.to_str().unwrap(), "--bw", "1,2,3"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "3 links for a 1-remote scenario must fail");
+    std::fs::remove_file(&policy).ok();
+}

@@ -1,0 +1,189 @@
+//! The Strategy Cache: memoizes (SLO, network-condition bucket) →
+//! (subnet config + placement) so the RL policy runs only on cache misses.
+
+use murmuration_rl::{Condition, Scenario};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// A cached strategy: the decision sequence the policy produced.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CachedStrategy {
+    pub actions: Vec<usize>,
+}
+
+/// Cache statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Hit ratio in `[0, 1]`; 0 when empty.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// The strategy cache, keyed by the scenario's condition grid bucket.
+pub struct StrategyCache {
+    inner: Mutex<Inner>,
+    grid_points: usize,
+    capacity: usize,
+}
+
+struct Inner {
+    map: HashMap<Vec<u16>, CachedStrategy>,
+    order: Vec<Vec<u16>>, // FIFO eviction order
+    stats: CacheStats,
+}
+
+impl StrategyCache {
+    /// Cache with bounded capacity (FIFO eviction).
+    pub fn new(grid_points: usize, capacity: usize) -> Self {
+        assert!(capacity >= 1);
+        StrategyCache {
+            inner: Mutex::new(Inner { map: HashMap::new(), order: Vec::new(), stats: CacheStats::default() }),
+            grid_points,
+            capacity,
+        }
+    }
+
+    /// Discretizes a condition to its cache key.
+    pub fn key(&self, sc: &Scenario, cond: &Condition) -> Vec<u16> {
+        let g = (self.grid_points - 1) as f64;
+        let idx = |lo: f64, hi: f64, v: f64| -> u16 {
+            (((v - lo) / (hi - lo) * g).round().clamp(0.0, g)) as u16
+        };
+        let log_idx = |lo: f64, hi: f64, v: f64| -> u16 {
+            ((((v / lo).ln() / (hi / lo).ln()) * g).round().clamp(0.0, g)) as u16
+        };
+        let mut k = vec![idx(sc.slo_range.0, sc.slo_range.1, cond.slo)];
+        for &b in &cond.bw_mbps {
+            k.push(log_idx(sc.bw_range.0, sc.bw_range.1, b));
+        }
+        for &d in &cond.delay_ms {
+            k.push(idx(sc.delay_range.0, sc.delay_range.1, d));
+        }
+        k
+    }
+
+    /// Looks up a strategy, recording hit/miss.
+    pub fn get(&self, sc: &Scenario, cond: &Condition) -> Option<CachedStrategy> {
+        let key = self.key(sc, cond);
+        let mut inner = self.inner.lock();
+        match inner.map.get(&key).cloned() {
+            Some(s) => {
+                inner.stats.hits += 1;
+                Some(s)
+            }
+            None => {
+                inner.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a strategy for a condition bucket.
+    pub fn put(&self, sc: &Scenario, cond: &Condition, strategy: CachedStrategy) {
+        let key = self.key(sc, cond);
+        let mut inner = self.inner.lock();
+        if inner.map.insert(key.clone(), strategy).is_none() {
+            inner.order.push(key);
+            if inner.order.len() > self.capacity {
+                let evict = inner.order.remove(0);
+                inner.map.remove(&evict);
+            }
+        }
+    }
+
+    /// Snapshot of hit/miss statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.inner.lock().stats
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// True when the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every entry (e.g. after a policy update).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.map.clear();
+        inner.order.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use murmuration_rl::SloKind;
+
+    fn sc() -> Scenario {
+        Scenario::augmented_computing(SloKind::Latency)
+    }
+
+    fn cond(slo: f64, bw: f64, delay: f64) -> Condition {
+        Condition { slo, bw_mbps: vec![bw], delay_ms: vec![delay] }
+    }
+
+    #[test]
+    fn hit_after_put() {
+        let sc = sc();
+        let cache = StrategyCache::new(10, 16);
+        let c = cond(140.0, 100.0, 20.0);
+        assert!(cache.get(&sc, &c).is_none());
+        cache.put(&sc, &c, CachedStrategy { actions: vec![1, 2, 3] });
+        assert_eq!(cache.get(&sc, &c).unwrap().actions, vec![1, 2, 3]);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert!((stats.hit_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nearby_conditions_share_a_bucket() {
+        let sc = sc();
+        let cache = StrategyCache::new(10, 16);
+        cache.put(&sc, &cond(140.0, 100.0, 20.0), CachedStrategy { actions: vec![7] });
+        // Slightly different values in the same grid cell still hit.
+        assert!(cache.get(&sc, &cond(142.0, 103.0, 20.5)).is_some());
+        // A far-away condition misses.
+        assert!(cache.get(&sc, &cond(380.0, 55.0, 95.0)).is_none());
+    }
+
+    #[test]
+    fn fifo_eviction_respects_capacity() {
+        let sc = sc();
+        let cache = StrategyCache::new(10, 2);
+        let c1 = cond(80.0, 50.0, 5.0);
+        let c2 = cond(400.0, 400.0, 100.0);
+        let c3 = cond(220.0, 150.0, 50.0);
+        cache.put(&sc, &c1, CachedStrategy { actions: vec![1] });
+        cache.put(&sc, &c2, CachedStrategy { actions: vec![2] });
+        cache.put(&sc, &c3, CachedStrategy { actions: vec![3] });
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&sc, &c1).is_none(), "oldest entry evicted");
+        assert!(cache.get(&sc, &c2).is_some());
+        assert!(cache.get(&sc, &c3).is_some());
+    }
+
+    #[test]
+    fn clear_empties_cache() {
+        let sc = sc();
+        let cache = StrategyCache::new(10, 4);
+        cache.put(&sc, &cond(140.0, 100.0, 20.0), CachedStrategy { actions: vec![1] });
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+}

@@ -1,0 +1,118 @@
+//! The Model Selection and Partition Decision module: greedy RL policy
+//! inference behind the strategy cache.
+
+use crate::cache::{CachedStrategy, StrategyCache};
+use crate::monitor::LinkEstimate;
+use murmuration_partition::evolutionary::Genome;
+use murmuration_rl::{Condition, LstmPolicy, Scenario};
+
+/// A concrete deployment decision.
+#[derive(Clone, Debug)]
+pub struct Decision {
+    pub actions: Vec<usize>,
+    pub genome: Genome,
+    /// Whether it came from the cache.
+    pub cached: bool,
+}
+
+/// Decision module bound to a trained policy.
+pub struct DecisionModule {
+    scenario: Scenario,
+    policy: LstmPolicy,
+    cache: StrategyCache,
+}
+
+impl DecisionModule {
+    /// Wraps a trained policy with a strategy cache.
+    pub fn new(scenario: Scenario, policy: LstmPolicy, cache_capacity: usize) -> Self {
+        let grid = scenario.grid_points;
+        DecisionModule { scenario, policy, cache: StrategyCache::new(grid, cache_capacity) }
+    }
+
+    /// The scenario this module decides for.
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// Builds a condition from the SLO scalar and link estimates.
+    pub fn condition(&self, slo: f64, links: &[LinkEstimate]) -> Condition {
+        assert_eq!(links.len(), self.scenario.n_remote(), "one estimate per remote link");
+        Condition {
+            slo,
+            bw_mbps: links.iter().map(|l| l.bandwidth_mbps).collect(),
+            delay_ms: links.iter().map(|l| l.delay_ms).collect(),
+        }
+    }
+
+    /// Decides a strategy for a condition, consulting the cache first.
+    /// On a miss, the greedy policy decision is validated against the
+    /// latency model and canonical fallbacks (the estimator guard) before
+    /// being cached and deployed.
+    pub fn decide(&self, cond: &Condition) -> Decision {
+        if let Some(hit) = self.cache.get(&self.scenario, cond) {
+            let genome = self.scenario.decode(&hit.actions);
+            return Decision { actions: hit.actions, genome, cached: true };
+        }
+        let result = murmuration_rl::env::decide_guarded(&self.policy, &self.scenario, cond);
+        self.cache
+            .put(&self.scenario, cond, CachedStrategy { actions: result.actions.clone() });
+        let genome = self.scenario.decode(&result.actions);
+        Decision { actions: result.actions, genome, cached: false }
+    }
+
+    /// Precomputes (and caches) a strategy for a *predicted* condition so
+    /// the next request under those conditions is a cache hit.
+    pub fn precompute(&self, cond: &Condition) {
+        if self.cache.get(&self.scenario, cond).is_none() {
+            let result = murmuration_rl::env::decide_guarded(&self.policy, &self.scenario, cond);
+            self.cache.put(&self.scenario, cond, CachedStrategy { actions: result.actions });
+        }
+    }
+
+    /// Cache statistics (for the runtime-efficiency experiments).
+    pub fn cache_stats(&self) -> crate::cache::CacheStats {
+        self.cache.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use murmuration_rl::SloKind;
+
+    fn module() -> DecisionModule {
+        let sc = Scenario::augmented_computing(SloKind::Latency);
+        let policy = LstmPolicy::new(sc.input_dim(), 16, sc.arities(), 0);
+        DecisionModule::new(sc, policy, 64)
+    }
+
+    #[test]
+    fn decide_is_deterministic_and_cached() {
+        let m = module();
+        let cond = Condition { slo: 140.0, bw_mbps: vec![100.0], delay_ms: vec![20.0] };
+        let d1 = m.decide(&cond);
+        assert!(!d1.cached);
+        let d2 = m.decide(&cond);
+        assert!(d2.cached);
+        assert_eq!(d1.actions, d2.actions);
+    }
+
+    #[test]
+    fn precompute_warms_cache() {
+        let m = module();
+        let cond = Condition { slo: 200.0, bw_mbps: vec![300.0], delay_ms: vec![10.0] };
+        m.precompute(&cond);
+        let d = m.decide(&cond);
+        assert!(d.cached, "decision after precompute must be a hit");
+    }
+
+    #[test]
+    fn decisions_yield_valid_plans() {
+        let m = module();
+        let cond = Condition { slo: 100.0, bw_mbps: vec![60.0], delay_ms: vec![80.0] };
+        let d = m.decide(&cond);
+        let spec = murmuration_supernet::SubnetSpec::lower(&d.genome.config);
+        let plan = d.genome.plan(&spec, m.scenario().devices.len());
+        plan.validate(&spec, m.scenario().devices.len()).unwrap();
+    }
+}

@@ -1,0 +1,42 @@
+//! # murmuration-core
+//!
+//! Stage 3 of Murmuration: the online runtime (paper §5, Fig. 10).
+//!
+//! * [`slo`] — the SLO API: applications set a latency or accuracy target
+//!   as a scalar, thread-safe.
+//! * [`monitor`] — the Network Monitoring module: samples per-link
+//!   bandwidth/delay with observation noise and EWMA smoothing, keeping a
+//!   sliding history window.
+//! * [`predictor`] — the Monitoring-data Predictor: per-link linear
+//!   regression over the history window, forecasting short-term network
+//!   conditions so strategies can be precomputed.
+//! * [`cache`] — the Strategy Cache: memoizes (SLO, network-condition
+//!   bucket) → (model selection + partition strategy), with hit statistics.
+//! * [`decision`] — the Model Selection and Partition Decision module:
+//!   runs the trained RL policy greedily (through the cache) on real or
+//!   predicted conditions.
+//! * [`reconfig`] — Model Reconfig: the in-memory supernet whose submodel
+//!   switch is a pointer-level reconfiguration (no weight copies), versus
+//!   the weight-reload path other systems pay (Fig. 19).
+//! * [`executor`] — the distributed Executor/Scheduler: one worker thread
+//!   per device connected by crossbeam channels (the gRPC substitute),
+//!   executing real tensor computation with FDSP tile scatter/gather and
+//!   byte-level wire frames.
+//! * [`wire`] — the framing protocol those channels carry: packed 8/16-bit
+//!   quantized payloads whose sizes match the latency model's accounting.
+//! * [`scheduler`] — translates a decided (spec, plan) into the executor's
+//!   per-unit dispatch table (grids + wire precisions).
+//! * [`runtime`] — the per-request adaptation loop tying it all together.
+
+pub mod cache;
+pub mod decision;
+pub mod executor;
+pub mod monitor;
+pub mod predictor;
+pub mod reconfig;
+pub mod runtime;
+pub mod scheduler;
+pub mod slo;
+pub mod wire;
+
+pub use runtime::{Runtime, RuntimeConfig};

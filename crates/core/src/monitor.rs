@@ -1,0 +1,150 @@
+//! Network monitoring: noisy link observation with EWMA smoothing and a
+//! sliding history window per link.
+
+use murmuration_edgesim::monitor::observe_all;
+use murmuration_edgesim::NetworkState;
+use rand::Rng;
+use std::collections::VecDeque;
+
+/// One smoothed link estimate.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkEstimate {
+    pub bandwidth_mbps: f64,
+    pub delay_ms: f64,
+}
+
+/// Per-link monitoring state.
+#[derive(Clone, Debug)]
+struct LinkMonitor {
+    ewma_bw: f64,
+    ewma_delay: f64,
+    /// (t_ms, bw, delay) raw samples, oldest first.
+    history: VecDeque<(f64, f64, f64)>,
+}
+
+/// The Network Monitoring module.
+pub struct NetworkMonitor {
+    links: Vec<LinkMonitor>,
+    alpha: f64,
+    window: usize,
+    rel_noise: f64,
+    initialized: bool,
+}
+
+impl NetworkMonitor {
+    /// `alpha` — EWMA smoothing factor (0..1]; `window` — history samples
+    /// kept per link; `rel_noise` — observation noise magnitude.
+    pub fn new(n_remote: usize, alpha: f64, window: usize, rel_noise: f64) -> Self {
+        assert!((0.0..=1.0).contains(&alpha) && alpha > 0.0);
+        assert!(window >= 2);
+        NetworkMonitor {
+            links: vec![
+                LinkMonitor {
+                    ewma_bw: 0.0,
+                    ewma_delay: 0.0,
+                    history: VecDeque::with_capacity(window),
+                };
+                n_remote
+            ],
+            alpha,
+            window,
+            rel_noise,
+            initialized: false,
+        }
+    }
+
+    /// Takes one round of measurements of every link at virtual time
+    /// `t_ms` from the (ground-truth) network state.
+    pub fn sample<R: Rng>(&mut self, net: &NetworkState, t_ms: f64, rng: &mut R) {
+        let obs = observe_all(net, t_ms, self.rel_noise, rng);
+        for (o, l) in obs.iter().zip(self.links.iter_mut()) {
+            if self.initialized {
+                l.ewma_bw = self.alpha * o.bandwidth_mbps + (1.0 - self.alpha) * l.ewma_bw;
+                l.ewma_delay = self.alpha * o.delay_ms + (1.0 - self.alpha) * l.ewma_delay;
+            } else {
+                l.ewma_bw = o.bandwidth_mbps;
+                l.ewma_delay = o.delay_ms;
+            }
+            l.history.push_back((t_ms, o.bandwidth_mbps, o.delay_ms));
+            if l.history.len() > self.window {
+                l.history.pop_front();
+            }
+        }
+        self.initialized = true;
+    }
+
+    /// Current smoothed estimates (panics before the first sample).
+    pub fn estimates(&self) -> Vec<LinkEstimate> {
+        assert!(self.initialized, "no samples yet");
+        self.links
+            .iter()
+            .map(|l| LinkEstimate { bandwidth_mbps: l.ewma_bw, delay_ms: l.ewma_delay })
+            .collect()
+    }
+
+    /// Raw history of link `i`: `(t_ms, bw, delay)` oldest-first.
+    pub fn history(&self, link: usize) -> Vec<(f64, f64, f64)> {
+        self.links[link].history.iter().copied().collect()
+    }
+
+    /// Whether at least one sample round was taken.
+    pub fn is_ready(&self) -> bool {
+        self.initialized
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use murmuration_edgesim::LinkState;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn noiseless_samples_track_ground_truth() {
+        let net = NetworkState::uniform(2, LinkState { bandwidth_mbps: 123.0, delay_ms: 7.0 });
+        let mut mon = NetworkMonitor::new(2, 0.5, 8, 0.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        for t in 0..5 {
+            mon.sample(&net, t as f64 * 100.0, &mut rng);
+        }
+        for e in mon.estimates() {
+            assert!((e.bandwidth_mbps - 123.0).abs() < 1e-9);
+            assert!((e.delay_ms - 7.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn ewma_smooths_noise() {
+        let net = NetworkState::uniform(1, LinkState { bandwidth_mbps: 100.0, delay_ms: 20.0 });
+        let mut mon = NetworkMonitor::new(1, 0.2, 32, 0.10);
+        let mut rng = StdRng::seed_from_u64(1);
+        for t in 0..60 {
+            mon.sample(&net, t as f64 * 50.0, &mut rng);
+        }
+        let e = mon.estimates()[0];
+        // EWMA of ±10% noise should sit well within ±5% of truth.
+        assert!((e.bandwidth_mbps - 100.0).abs() < 5.0, "{}", e.bandwidth_mbps);
+        assert!((e.delay_ms - 20.0).abs() < 1.0, "{}", e.delay_ms);
+    }
+
+    #[test]
+    fn history_window_is_bounded() {
+        let net = NetworkState::uniform(1, LinkState::lan());
+        let mut mon = NetworkMonitor::new(1, 0.5, 4, 0.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        for t in 0..10 {
+            mon.sample(&net, t as f64, &mut rng);
+        }
+        let h = mon.history(0);
+        assert_eq!(h.len(), 4);
+        assert_eq!(h[0].0, 6.0); // oldest retained sample
+        assert_eq!(h[3].0, 9.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn estimates_require_a_sample() {
+        let mon = NetworkMonitor::new(1, 0.5, 4, 0.0);
+        let _ = mon.estimates();
+    }
+}

@@ -1,0 +1,126 @@
+//! Monitoring-data predictor: lightweight per-link linear regression over
+//! the monitor's history window, exactly as §5 describes. The forecast
+//! lets the runtime precompute and cache strategies before conditions
+//! change.
+
+use crate::monitor::{LinkEstimate, NetworkMonitor};
+
+/// Ordinary least squares fit of `y = a + b t`; returns `(a, b)`.
+/// Degenerate inputs (constant t, short series) fall back to a flat fit.
+pub fn linreg(points: &[(f64, f64)]) -> (f64, f64) {
+    let n = points.len() as f64;
+    if points.len() < 2 {
+        return (points.first().map_or(0.0, |p| p.1), 0.0);
+    }
+    let mean_t = points.iter().map(|p| p.0).sum::<f64>() / n;
+    let mean_y = points.iter().map(|p| p.1).sum::<f64>() / n;
+    let sxx: f64 = points.iter().map(|p| (p.0 - mean_t) * (p.0 - mean_t)).sum();
+    if sxx <= 1e-12 {
+        return (mean_y, 0.0);
+    }
+    let sxy: f64 = points.iter().map(|p| (p.0 - mean_t) * (p.1 - mean_y)).sum();
+    let b = sxy / sxx;
+    (mean_y - b * mean_t, b)
+}
+
+/// The monitoring-data predictor.
+pub struct MonitorPredictor;
+
+impl MonitorPredictor {
+    /// Forecasts every link's conditions at `t_future_ms` from the
+    /// monitor's history. Forecasts are clamped to stay physical.
+    pub fn predict(monitor: &NetworkMonitor, n_remote: usize, t_future_ms: f64) -> Vec<LinkEstimate> {
+        (0..n_remote)
+            .map(|link| {
+                let h = monitor.history(link);
+                let bw_pts: Vec<(f64, f64)> = h.iter().map(|&(t, b, _)| (t, b)).collect();
+                let dl_pts: Vec<(f64, f64)> = h.iter().map(|&(t, _, d)| (t, d)).collect();
+                let (a_b, b_b) = linreg(&bw_pts);
+                let (a_d, b_d) = linreg(&dl_pts);
+                LinkEstimate {
+                    bandwidth_mbps: (a_b + b_b * t_future_ms).max(0.1),
+                    delay_ms: (a_d + b_d * t_future_ms).max(0.0),
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use murmuration_edgesim::trace::NetworkTrace;
+    use murmuration_edgesim::{LinkState, NetworkState};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn linreg_recovers_line() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 3.0 + 2.0 * i as f64)).collect();
+        let (a, b) = linreg(&pts);
+        assert!((a - 3.0).abs() < 1e-9);
+        assert!((b - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linreg_degenerate_inputs() {
+        assert_eq!(linreg(&[]), (0.0, 0.0));
+        assert_eq!(linreg(&[(5.0, 7.0)]), (7.0, 0.0));
+        let (a, b) = linreg(&[(2.0, 4.0), (2.0, 8.0)]);
+        assert_eq!(b, 0.0);
+        assert!((a - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn predictor_extrapolates_a_declining_link() {
+        // Bandwidth decays linearly 200 → 110 Mbps over 10 samples; the
+        // predictor should forecast the continued decline.
+        let mut mon = crate::monitor::NetworkMonitor::new(1, 0.5, 16, 0.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        for i in 0..10 {
+            let bw = 200.0 - 10.0 * i as f64;
+            let net = NetworkState::uniform(1, LinkState { bandwidth_mbps: bw, delay_ms: 10.0 });
+            mon.sample(&net, i as f64 * 100.0, &mut rng);
+        }
+        let pred = MonitorPredictor::predict(&mon, 1, 1100.0);
+        assert!(
+            (pred[0].bandwidth_mbps - 90.0).abs() < 1.0,
+            "forecast {}",
+            pred[0].bandwidth_mbps
+        );
+        assert!((pred[0].delay_ms - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn predictor_tracks_step_trace_after_transition() {
+        let a = LinkState { bandwidth_mbps: 300.0, delay_ms: 5.0 };
+        let b = LinkState { bandwidth_mbps: 30.0, delay_ms: 50.0 };
+        let trace = NetworkTrace::steps(vec![(0.0, a), (500.0, b)]);
+        let mut mon = crate::monitor::NetworkMonitor::new(1, 0.5, 6, 0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        for i in 0..12 {
+            let t = i as f64 * 100.0;
+            let net = NetworkState::uniform(1, trace.sample(t));
+            mon.sample(&net, t, &mut rng);
+        }
+        // By t=1100 the window only holds post-step samples.
+        let pred = MonitorPredictor::predict(&mon, 1, 1200.0);
+        assert!((pred[0].bandwidth_mbps - 30.0).abs() < 2.0, "{}", pred[0].bandwidth_mbps);
+        assert!((pred[0].delay_ms - 50.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn forecast_is_clamped_physical() {
+        // A steep decline must not forecast negative bandwidth.
+        let mut mon = crate::monitor::NetworkMonitor::new(1, 0.5, 8, 0.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        for i in 0..5 {
+            let bw = 50.0 - 12.0 * i as f64;
+            let net =
+                NetworkState::uniform(1, LinkState { bandwidth_mbps: bw.max(1.0), delay_ms: 5.0 });
+            mon.sample(&net, i as f64 * 100.0, &mut rng);
+        }
+        let pred = MonitorPredictor::predict(&mon, 1, 5000.0);
+        assert!(pred[0].bandwidth_mbps >= 0.1);
+        assert!(pred[0].delay_ms >= 0.0);
+    }
+}

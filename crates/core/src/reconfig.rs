@@ -1,0 +1,137 @@
+//! Model Reconfig: the in-memory supernet and submodel switching.
+//!
+//! Murmuration keeps the *full supernet weights* resident in memory, so
+//! switching submodels is a configuration update — no weight copies, no
+//! disk access (paper §5.1, evaluated in Fig. 19). Competing systems that
+//! switch between distinct model types must reload weights from storage;
+//! that path is modelled from the device profile.
+
+use murmuration_edgesim::ComputeProfile;
+use murmuration_supernet::{SearchSpace, SubnetConfig, SubnetSpec};
+use murmuration_tensor::{Shape, Tensor};
+use std::time::{Duration, Instant};
+
+/// The supernet held fully in memory.
+pub struct InMemorySupernet {
+    /// The resident maximal weight block (one contiguous allocation, as a
+    /// real deployment would mmap).
+    weights: Tensor,
+    space: SearchSpace,
+    active: SubnetConfig,
+    switches: u64,
+}
+
+/// Outcome of a submodel switch.
+#[derive(Clone, Copy, Debug)]
+pub struct SwitchReport {
+    /// Measured wall time of the in-memory reconfiguration.
+    pub elapsed: Duration,
+    /// Number of switches performed so far.
+    pub total_switches: u64,
+}
+
+impl InMemorySupernet {
+    /// Allocates the resident supernet (max-config parameter count).
+    pub fn new(space: SearchSpace) -> Self {
+        let max_spec = SubnetSpec::lower(&space.max_config());
+        let n_params = max_spec.total_params() as usize;
+        let active = space.max_config();
+        InMemorySupernet {
+            weights: Tensor::zeros(Shape::d1(n_params)),
+            space,
+            active,
+            switches: 0,
+        }
+    }
+
+    /// Resident weight bytes (what stays in memory).
+    pub fn resident_bytes(&self) -> usize {
+        self.weights.numel() * 4
+    }
+
+    /// The currently active submodel.
+    pub fn active(&self) -> &SubnetConfig {
+        &self.active
+    }
+
+    /// Switches the active submodel. This is the Murmuration fast path:
+    /// validate + lower the config, update the active selection — no
+    /// weight movement. Returns the measured wall time.
+    pub fn switch_submodel(&mut self, config: SubnetConfig) -> SwitchReport {
+        let start = Instant::now();
+        assert_eq!(
+            config.stages.len(),
+            self.space.num_stages,
+            "config does not fit this supernet"
+        );
+        // Lowering validates the configuration and produces the execution
+        // metadata the scheduler needs; the weights never move.
+        let _spec = SubnetSpec::lower(&config);
+        self.active = config;
+        self.switches += 1;
+        SwitchReport { elapsed: start.elapsed(), total_switches: self.switches }
+    }
+
+    /// The baseline path: time to switch to a *different model type* by
+    /// reloading `weight_bytes` from storage on a device with `profile`
+    /// (Fig. 19's comparison bars).
+    pub fn simulate_reload_ms(profile: &ComputeProfile, weight_bytes: u64) -> f64 {
+        profile.weight_load_ms(weight_bytes)
+    }
+
+    /// A warm-switch baseline: copying weights between host buffers
+    /// (models already cached in RAM but not laid out for execution).
+    pub fn simulate_memcopy_ms(profile: &ComputeProfile, weight_bytes: u64) -> f64 {
+        profile.weight_copy_ms(weight_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use murmuration_edgesim::DeviceKind;
+    use murmuration_models::resnet50;
+
+    #[test]
+    fn switch_is_submillisecond_scale() {
+        let mut net = InMemorySupernet::new(SearchSpace::default());
+        let target = SearchSpace::default().min_config();
+        // Warm up once (first lowering allocates).
+        net.switch_submodel(target.clone());
+        let report = net.switch_submodel(SearchSpace::default().max_config());
+        // In-memory reconfig must be far below any weight reload; allow a
+        // generous 50 ms bound for debug builds.
+        assert!(
+            report.elapsed < Duration::from_millis(50),
+            "switch took {:?}",
+            report.elapsed
+        );
+        assert_eq!(report.total_switches, 2);
+    }
+
+    #[test]
+    fn reload_baseline_is_orders_slower() {
+        let pi = DeviceKind::RaspberryPi4.profile();
+        let reload = InMemorySupernet::simulate_reload_ms(&pi, resnet50(224).weight_bytes());
+        assert!(reload > 1000.0, "ResNet50 reload on Pi must be seconds: {reload} ms");
+        let memcopy = InMemorySupernet::simulate_memcopy_ms(&pi, resnet50(224).weight_bytes());
+        assert!(memcopy > 10.0 && memcopy < reload, "memcopy {memcopy} ms");
+    }
+
+    #[test]
+    fn resident_size_matches_max_config() {
+        let net = InMemorySupernet::new(SearchSpace::default());
+        let max_params = SubnetSpec::lower(&SearchSpace::default().max_config()).total_params();
+        assert_eq!(net.resident_bytes(), max_params as usize * 4);
+        // A few MB, as expected of a MobileNet-class supernet.
+        assert!(net.resident_bytes() > 4_000_000);
+    }
+
+    #[test]
+    fn active_tracks_switches() {
+        let mut net = InMemorySupernet::new(SearchSpace::default());
+        let min = SearchSpace::default().min_config();
+        net.switch_submodel(min.clone());
+        assert_eq!(net.active(), &min);
+    }
+}

@@ -1,0 +1,263 @@
+//! The Murmuration runtime: the per-request adaptation loop of Fig. 10.
+//!
+//! Each inference request: sample monitoring data → (optionally) forecast
+//! near-future conditions and precompute strategies → decide model
+//! selection + partitioning (cache-first) → reconfigure the in-memory
+//! supernet → report the deployment's latency/accuracy under the *ground
+//! truth* network (what a real request would experience).
+
+use crate::decision::DecisionModule;
+use crate::monitor::NetworkMonitor;
+use crate::predictor::MonitorPredictor;
+use crate::reconfig::InMemorySupernet;
+use crate::slo::SloApi;
+use murmuration_edgesim::NetworkState;
+use murmuration_partition::compliance::Slo;
+use murmuration_partition::LatencyEstimator;
+use murmuration_rl::{Condition, LstmPolicy, Scenario, SloKind};
+use murmuration_supernet::SubnetSpec;
+use rand::Rng;
+use std::time::{Duration, Instant};
+
+/// Runtime tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct RuntimeConfig {
+    /// EWMA smoothing factor for monitoring.
+    pub monitor_alpha: f64,
+    /// Monitoring history window (samples).
+    pub monitor_window: usize,
+    /// Relative observation noise.
+    pub monitor_noise: f64,
+    /// Strategy-cache capacity.
+    pub cache_capacity: usize,
+    /// Forecast horizon for strategy precomputation (ms); 0 disables.
+    pub precompute_horizon_ms: f64,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            monitor_alpha: 0.4,
+            monitor_window: 8,
+            monitor_noise: 0.05,
+            cache_capacity: 512,
+            precompute_horizon_ms: 500.0,
+        }
+    }
+}
+
+/// Per-request report.
+#[derive(Clone, Debug)]
+pub struct RequestReport {
+    /// Was the strategy a cache hit?
+    pub cached: bool,
+    /// Measured wall time of the decision (policy or cache).
+    pub decision_time: Duration,
+    /// Measured wall time of the submodel switch.
+    pub switch_time: Duration,
+    /// Deployment latency under the ground-truth network (ms).
+    pub latency_ms: f64,
+    /// Predicted accuracy of the selected submodel (%).
+    pub accuracy_pct: f32,
+    /// Whether the current SLO was met.
+    pub slo_met: bool,
+}
+
+/// The assembled runtime.
+pub struct Runtime {
+    pub slo: SloApi,
+    monitor: NetworkMonitor,
+    decision: DecisionModule,
+    supernet: InMemorySupernet,
+    cfg: RuntimeConfig,
+    last_t_ms: f64,
+}
+
+impl Runtime {
+    /// Assembles a runtime from a scenario and a trained policy.
+    pub fn new(scenario: Scenario, policy: LstmPolicy, cfg: RuntimeConfig, initial_slo: Slo) -> Self {
+        let n_remote = scenario.n_remote();
+        let space = scenario.space.clone();
+        check_slo_kind(&scenario, &initial_slo);
+        Runtime {
+            slo: SloApi::new(initial_slo),
+            monitor: NetworkMonitor::new(
+                n_remote,
+                cfg.monitor_alpha,
+                cfg.monitor_window,
+                cfg.monitor_noise,
+            ),
+            decision: DecisionModule::new(scenario, policy, cfg.cache_capacity),
+            supernet: InMemorySupernet::new(space),
+            cfg,
+            last_t_ms: 0.0,
+        }
+    }
+
+    /// The scenario the runtime serves.
+    pub fn scenario(&self) -> &Scenario {
+        self.decision.scenario()
+    }
+
+    /// Current SLO as the scenario's scalar goal.
+    fn slo_scalar(&self) -> f64 {
+        match self.slo.get() {
+            Slo::LatencyMs(v) => v,
+            Slo::AccuracyPct(v) => f64::from(v),
+        }
+    }
+
+    /// Background tick: sample monitoring and precompute a strategy for
+    /// the forecast condition.
+    pub fn tick<R: Rng>(&mut self, net_truth: &NetworkState, t_ms: f64, rng: &mut R) {
+        self.monitor.sample(net_truth, t_ms, rng);
+        self.last_t_ms = t_ms;
+        if self.cfg.precompute_horizon_ms > 0.0 {
+            let forecast = MonitorPredictor::predict(
+                &self.monitor,
+                self.scenario().n_remote(),
+                t_ms + self.cfg.precompute_horizon_ms,
+            );
+            let cond = self.decision.condition(self.slo_scalar(), &forecast);
+            self.decision.precompute(&cond);
+        }
+    }
+
+    /// Serves one inference request at virtual time `t_ms`.
+    pub fn infer<R: Rng>(&mut self, net_truth: &NetworkState, t_ms: f64, rng: &mut R) -> RequestReport {
+        // Fresh monitoring sample for this request.
+        self.monitor.sample(net_truth, t_ms, rng);
+        self.last_t_ms = t_ms;
+        let estimates = self.monitor.estimates();
+        let cond = self.decision.condition(self.slo_scalar(), &estimates);
+
+        // Decide (cache-first) and reconfigure the in-memory supernet.
+        let t0 = Instant::now();
+        let decision = self.decision.decide(&cond);
+        let decision_time = t0.elapsed();
+        let switch = self.supernet.switch_submodel(decision.genome.config.clone());
+
+        // Ground-truth deployment outcome.
+        let spec = SubnetSpec::lower(&decision.genome.config);
+        let plan = decision.genome.plan(&spec, self.scenario().devices.len());
+        let est = LatencyEstimator::new(&self.scenario().devices, net_truth);
+        let latency_ms = est.estimate(&spec, &plan).total_ms;
+        let accuracy_pct = self.scenario().accuracy_model.predict(&decision.genome.config);
+        let slo_met = match self.slo.get() {
+            Slo::LatencyMs(v) => latency_ms <= v,
+            Slo::AccuracyPct(v) => accuracy_pct >= v,
+        };
+        RequestReport {
+            cached: decision.cached,
+            decision_time,
+            switch_time: switch.elapsed,
+            latency_ms,
+            accuracy_pct,
+            slo_met,
+        }
+    }
+
+    /// Builds the condition the runtime would decide on right now
+    /// (exposed for inspection and tests).
+    pub fn current_condition(&self) -> Option<Condition> {
+        if !self.monitor.is_ready() {
+            return None;
+        }
+        Some(self.decision.condition(self.slo_scalar(), &self.monitor.estimates()))
+    }
+
+    /// Strategy-cache statistics.
+    pub fn cache_stats(&self) -> crate::cache::CacheStats {
+        self.decision.cache_stats()
+    }
+}
+
+fn check_slo_kind(scenario: &Scenario, slo: &Slo) {
+    let ok = matches!(
+        (scenario.slo_kind, slo),
+        (SloKind::Latency, Slo::LatencyMs(_)) | (SloKind::Accuracy, Slo::AccuracyPct(_))
+    );
+    assert!(ok, "SLO type must match the scenario's trained goal kind");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use murmuration_edgesim::LinkState;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn runtime() -> Runtime {
+        let sc = Scenario::augmented_computing(SloKind::Latency);
+        let policy = LstmPolicy::new(sc.input_dim(), 16, sc.arities(), 0);
+        Runtime::new(sc, policy, RuntimeConfig::default(), Slo::LatencyMs(140.0))
+    }
+
+    fn lan() -> NetworkState {
+        NetworkState::uniform(1, LinkState { bandwidth_mbps: 200.0, delay_ms: 10.0 })
+    }
+
+    #[test]
+    fn requests_produce_reports() {
+        let mut rt = runtime();
+        let mut rng = StdRng::seed_from_u64(0);
+        let net = lan();
+        let r = rt.infer(&net, 0.0, &mut rng);
+        assert!(r.latency_ms > 0.0 && r.latency_ms.is_finite());
+        assert!((70.0..81.0).contains(&r.accuracy_pct));
+        assert!(!r.cached, "first request must miss the cache");
+    }
+
+    #[test]
+    fn repeat_requests_hit_cache_and_are_faster_to_decide() {
+        let mut rt = runtime();
+        let mut rng = StdRng::seed_from_u64(1);
+        let net = lan();
+        let _ = rt.infer(&net, 0.0, &mut rng);
+        let r2 = rt.infer(&net, 100.0, &mut rng);
+        assert!(r2.cached, "stable conditions must hit the strategy cache");
+        assert!(rt.cache_stats().hits >= 1);
+    }
+
+    #[test]
+    fn tick_precomputes_for_stable_network() {
+        let mut rt = runtime();
+        let mut rng = StdRng::seed_from_u64(2);
+        let net = lan();
+        for t in 0..4 {
+            rt.tick(&net, t as f64 * 100.0, &mut rng);
+        }
+        // The forecast equals the stable present → the first real request
+        // is already cached.
+        let r = rt.infer(&net, 500.0, &mut rng);
+        assert!(r.cached, "precompute must warm the cache under stable conditions");
+    }
+
+    #[test]
+    fn slo_change_takes_effect() {
+        let mut rt = runtime();
+        let mut rng = StdRng::seed_from_u64(3);
+        let net = lan();
+        let _ = rt.infer(&net, 0.0, &mut rng);
+        rt.slo.set_latency_ms(81.0);
+        let r = rt.infer(&net, 100.0, &mut rng);
+        // Report must be judged against the *new* SLO.
+        assert_eq!(r.slo_met, r.latency_ms <= 81.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_slo_kind_is_rejected() {
+        let sc = Scenario::augmented_computing(SloKind::Latency);
+        let policy = LstmPolicy::new(sc.input_dim(), 16, sc.arities(), 0);
+        let _ = Runtime::new(sc, policy, RuntimeConfig::default(), Slo::AccuracyPct(75.0));
+    }
+
+    #[test]
+    fn switch_time_is_fast() {
+        let mut rt = runtime();
+        let mut rng = StdRng::seed_from_u64(4);
+        let net = lan();
+        let r = rt.infer(&net, 0.0, &mut rng);
+        assert!(r.switch_time < Duration::from_millis(50), "{:?}", r.switch_time);
+    }
+}

@@ -1,0 +1,102 @@
+//! The Scheduler (paper Fig. 10): translates a decided (spec, plan) pair
+//! into the executor's dispatch description — per-unit FDSP grids and wire
+//! precisions — after validating the plan against the fleet.
+
+use crate::executor::UnitWire;
+use murmuration_partition::ExecutionPlan;
+use murmuration_supernet::SubnetSpec;
+use murmuration_tensor::quant::BitWidth;
+use murmuration_tensor::tile::GridSpec;
+
+/// Scheduling errors.
+#[derive(Debug, PartialEq, Eq)]
+pub struct ScheduleError(pub String);
+
+impl std::fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "schedule error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// Builds the executor dispatch table for a validated plan.
+///
+/// Unit `u`'s *input* precision is the previous unit's output quantization
+/// (the wire it arrives on); the first unit receives the raw f32 input.
+/// Tiled units carry their grid; single units a 1×1 grid.
+pub fn dispatch_table(
+    spec: &SubnetSpec,
+    plan: &ExecutionPlan,
+    n_devices: usize,
+) -> Result<Vec<UnitWire>, ScheduleError> {
+    plan.validate(spec, n_devices).map_err(ScheduleError)?;
+    let mut table = Vec::with_capacity(spec.units.len());
+    let mut in_quant = BitWidth::B32; // the camera input is raw
+    for (unit, placement) in spec.units.iter().zip(&plan.placements) {
+        let grid = match placement {
+            murmuration_partition::UnitPlacement::Single(_) => GridSpec::new(1, 1),
+            murmuration_partition::UnitPlacement::Tiled(_) => unit.partition,
+        };
+        table.push(UnitWire { grid, in_quant });
+        in_quant = unit.quant;
+    }
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use murmuration_partition::UnitPlacement;
+    use murmuration_supernet::SearchSpace;
+
+    fn partitioned_spec() -> SubnetSpec {
+        let s = SearchSpace::default();
+        let mut cfg = s.min_config();
+        cfg.stages[1].partition = GridSpec::new(2, 2);
+        cfg.stages[0].quant = BitWidth::B8;
+        SubnetSpec::lower(&cfg)
+    }
+
+    #[test]
+    fn wire_precisions_follow_the_chain() {
+        let spec = partitioned_spec();
+        let mut plan = ExecutionPlan::all_on(&spec, 0);
+        plan.placements[2] = UnitPlacement::Tiled(vec![0, 1, 0, 1]);
+        let table = dispatch_table(&spec, &plan, 2).unwrap();
+        assert_eq!(table.len(), spec.units.len());
+        // The first unit receives raw input.
+        assert_eq!(table[0].in_quant, BitWidth::B32);
+        // Stage1 (unit 2) receives stage0's output at stage0's quant (B8).
+        assert_eq!(table[2].in_quant, BitWidth::B8);
+        assert_eq!(table[2].grid, GridSpec::new(2, 2));
+        // Single placements always dispatch 1x1.
+        assert_eq!(table[1].grid, GridSpec::new(1, 1));
+    }
+
+    #[test]
+    fn invalid_plans_are_rejected() {
+        let spec = partitioned_spec();
+        let mut plan = ExecutionPlan::all_on(&spec, 0);
+        plan.placements[0] = UnitPlacement::Single(9);
+        assert!(dispatch_table(&spec, &plan, 2).is_err());
+        let short = ExecutionPlan { placements: vec![UnitPlacement::Single(0)] };
+        assert!(dispatch_table(&spec, &short, 2).is_err());
+    }
+
+    #[test]
+    fn dispatch_matches_executor_contract() {
+        // The table slots one-to-one with executor units and carries grids
+        // matching the plan's tile counts.
+        let spec = partitioned_spec();
+        let mut plan = ExecutionPlan::all_on(&spec, 1);
+        plan.placements[2] = UnitPlacement::Tiled(vec![0, 1, 1, 0]);
+        let table = dispatch_table(&spec, &plan, 2).unwrap();
+        for (w, p) in table.iter().zip(&plan.placements) {
+            match p {
+                UnitPlacement::Single(_) => assert_eq!(w.grid.tiles(), 1),
+                UnitPlacement::Tiled(devs) => assert_eq!(w.grid.tiles(), devs.len()),
+            }
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! The SLO API: applications specify their objective as a scalar.
+
+use murmuration_partition::compliance::Slo;
+use parking_lot::RwLock;
+
+/// Thread-safe SLO handle shared between the application and the runtime.
+pub struct SloApi {
+    current: RwLock<Slo>,
+}
+
+impl SloApi {
+    /// Starts with the given objective.
+    pub fn new(initial: Slo) -> Self {
+        SloApi { current: RwLock::new(initial) }
+    }
+
+    /// Sets a latency ceiling (ms).
+    pub fn set_latency_ms(&self, ms: f64) {
+        assert!(ms > 0.0, "latency SLO must be positive");
+        *self.current.write() = Slo::LatencyMs(ms);
+    }
+
+    /// Sets an accuracy floor (%).
+    pub fn set_accuracy_pct(&self, pct: f32) {
+        assert!((0.0..=100.0).contains(&pct), "accuracy SLO must be a percentage");
+        *self.current.write() = Slo::AccuracyPct(pct);
+    }
+
+    /// Current objective.
+    pub fn get(&self) -> Slo {
+        *self.current.read()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn set_and_get() {
+        let api = SloApi::new(Slo::LatencyMs(140.0));
+        assert_eq!(api.get(), Slo::LatencyMs(140.0));
+        api.set_accuracy_pct(75.0);
+        assert_eq!(api.get(), Slo::AccuracyPct(75.0));
+        api.set_latency_ms(200.0);
+        assert_eq!(api.get(), Slo::LatencyMs(200.0));
+    }
+
+    #[test]
+    fn concurrent_updates_do_not_tear() {
+        let api = Arc::new(SloApi::new(Slo::LatencyMs(100.0)));
+        let writers: Vec<_> = (0..4)
+            .map(|i| {
+                let api = api.clone();
+                std::thread::spawn(move || {
+                    for k in 0..200 {
+                        api.set_latency_ms((100 + i * 10 + k % 7) as f64);
+                    }
+                })
+            })
+            .collect();
+        for _ in 0..200 {
+            match api.get() {
+                Slo::LatencyMs(v) => assert!(v >= 100.0),
+                Slo::AccuracyPct(_) => panic!("never set"),
+            }
+        }
+        for w in writers {
+            w.join().unwrap();
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_nonpositive_latency() {
+        SloApi::new(Slo::LatencyMs(1.0)).set_latency_ms(0.0);
+    }
+}

@@ -1,0 +1,228 @@
+//! Device compute profiles.
+//!
+//! A profile maps an operator class and MAC count to execution time. The
+//! effective rates are calibrated (DESIGN.md §6) so baseline models land in
+//! the paper's observed latency ranges: MobileNetV3-Large ≈ 360 ms on a
+//! Raspberry Pi 4 (PyTorch CPU) and ResNet-50 ≈ 6–8 ms on the GTX 1080.
+
+use murmuration_models::OpKind;
+
+/// Stable device identifier within one deployment (0 = local device).
+pub type DeviceId = usize;
+
+/// Device classes used in the paper's two scenarios.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DeviceKind {
+    /// Raspberry Pi 4 (quad A72, PyTorch CPU-class efficiency).
+    RaspberryPi4,
+    /// Ryzen 5500 + GTX 1080 desktop.
+    DesktopGpu,
+    /// A mid-tier edge accelerator (used in extension experiments).
+    JetsonClass,
+}
+
+/// Effective execution-rate model for one device.
+#[derive(Clone, Copy, Debug)]
+pub struct ComputeProfile {
+    /// Dense-conv throughput in MACs per millisecond.
+    pub conv_macs_per_ms: f64,
+    /// Depthwise convs run at this fraction of the dense rate (low
+    /// arithmetic intensity).
+    pub dw_efficiency: f64,
+    /// FC/elementwise layers are memory-bound: effective MACs per ms.
+    pub membound_macs_per_ms: f64,
+    /// Fixed per-layer dispatch overhead (kernel launch / op scheduling).
+    pub layer_overhead_ms: f64,
+    /// Sustained memory bandwidth (bytes/ms) — in-memory weight copies.
+    pub mem_bw_bytes_per_ms: f64,
+    /// Storage bandwidth (bytes/ms) — weight reload from disk/SD.
+    pub disk_bw_bytes_per_ms: f64,
+}
+
+impl ComputeProfile {
+    /// Time to execute `macs` MACs of operator class `op`, including the
+    /// dispatch overhead.
+    pub fn layer_time_ms(&self, op: OpKind, macs: u64) -> f64 {
+        let rate = match op {
+            OpKind::Conv => self.conv_macs_per_ms,
+            OpKind::DwConv => self.conv_macs_per_ms * self.dw_efficiency,
+            OpKind::Pool | OpKind::Elementwise | OpKind::Fc => self.membound_macs_per_ms,
+        };
+        macs as f64 / rate + self.layer_overhead_ms
+    }
+
+    /// Time to load `bytes` of weights from storage (cold model switch).
+    pub fn weight_load_ms(&self, bytes: u64) -> f64 {
+        bytes as f64 / self.disk_bw_bytes_per_ms
+    }
+
+    /// Time to copy `bytes` of weights in memory (warm model switch).
+    pub fn weight_copy_ms(&self, bytes: u64) -> f64 {
+        bytes as f64 / self.mem_bw_bytes_per_ms
+    }
+}
+
+impl DeviceKind {
+    /// Calibrated profile (see DESIGN.md §6).
+    pub fn profile(self) -> ComputeProfile {
+        match self {
+            // ~0.6 GMAC/s dense conv → MobileNetV3-L ≈ 365 ms; SD-card
+            // class storage ≈ 40 MB/s.
+            DeviceKind::RaspberryPi4 => ComputeProfile {
+                conv_macs_per_ms: 0.6e6,
+                dw_efficiency: 0.35,
+                membound_macs_per_ms: 0.2e6,
+                layer_overhead_ms: 0.15,
+                mem_bw_bytes_per_ms: 3.0e6,
+                disk_bw_bytes_per_ms: 40.0e3,
+            },
+            // ~1 TMAC/s effective arithmetic, but eager-framework per-op
+            // dispatch (~0.8 ms/layer) dominates layer-heavy nets — this is
+            // why DenseNet161/ResNeXt101 never meet the paper's 140 ms SLO
+            // even on a fast link. NVMe ≈ 1.5 GB/s.
+            DeviceKind::DesktopGpu => ComputeProfile {
+                conv_macs_per_ms: 1.0e9,
+                dw_efficiency: 0.25,
+                membound_macs_per_ms: 50.0e6,
+                layer_overhead_ms: 0.8,
+                mem_bw_bytes_per_ms: 200.0e6,
+                disk_bw_bytes_per_ms: 1.5e6 * 1.0e3,
+            },
+            // ~20 GMAC/s effective edge accelerator.
+            DeviceKind::JetsonClass => ComputeProfile {
+                conv_macs_per_ms: 20.0e6,
+                dw_efficiency: 0.30,
+                membound_macs_per_ms: 2.0e6,
+                layer_overhead_ms: 0.10,
+                mem_bw_bytes_per_ms: 20.0e6,
+                disk_bw_bytes_per_ms: 200.0e3,
+            },
+        }
+    }
+
+    /// Normalized device-type feature for the RL state (0..1 scale by
+    /// log-throughput).
+    pub fn type_feature(self) -> f32 {
+        match self {
+            DeviceKind::RaspberryPi4 => 0.2,
+            DeviceKind::JetsonClass => 0.55,
+            DeviceKind::DesktopGpu => 1.0,
+        }
+    }
+}
+
+/// One device in a deployment.
+#[derive(Clone, Copy, Debug)]
+pub struct Device {
+    pub id: DeviceId,
+    pub kind: DeviceKind,
+}
+
+impl Device {
+    /// Convenience constructor.
+    pub fn new(id: DeviceId, kind: DeviceKind) -> Self {
+        Device { id, kind }
+    }
+
+    /// This device's compute profile.
+    pub fn profile(&self) -> ComputeProfile {
+        self.kind.profile()
+    }
+}
+
+/// The paper's Augmented Computing scenario: one Pi 4 (local) + desktop GPU.
+pub fn augmented_computing_devices() -> Vec<Device> {
+    vec![
+        Device::new(0, DeviceKind::RaspberryPi4),
+        Device::new(1, DeviceKind::DesktopGpu),
+    ]
+}
+
+/// The paper's Device Swarm scenario: `n` Raspberry Pi 4s (device 0 local).
+pub fn device_swarm_devices(n: usize) -> Vec<Device> {
+    (0..n).map(|i| Device::new(i, DeviceKind::RaspberryPi4)).collect()
+}
+
+/// An extension scenario: a heterogeneous edge fleet — a Pi 4 local device,
+/// two Jetson-class accelerators, and one desktop GPU (§3's "diverse
+/// devices with varying computational power").
+pub fn heterogeneous_edge_devices() -> Vec<Device> {
+    vec![
+        Device::new(0, DeviceKind::RaspberryPi4),
+        Device::new(1, DeviceKind::JetsonClass),
+        Device::new(2, DeviceKind::JetsonClass),
+        Device::new(3, DeviceKind::DesktopGpu),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use murmuration_models::{mobilenet_v3_large, resnet50};
+
+    fn model_time_ms(profile: &ComputeProfile, model: &murmuration_models::ModelSpec) -> f64 {
+        model.layers.iter().map(|l| profile.layer_time_ms(l.op, l.macs)).sum()
+    }
+
+    #[test]
+    fn pi_runs_mobilenet_in_paper_range() {
+        let p = DeviceKind::RaspberryPi4.profile();
+        let t = model_time_ms(&p, &mobilenet_v3_large(224));
+        // The paper's single-Pi latencies (Fig 17) sit in the 300–700 ms
+        // band for ~75%-accuracy models.
+        assert!((250.0..700.0).contains(&t), "Pi MobileNetV3 time {t} ms");
+    }
+
+    #[test]
+    fn gpu_runs_resnet50_in_framework_range() {
+        let p = DeviceKind::DesktopGpu.profile();
+        let t = model_time_ms(&p, &resnet50(224));
+        // Eager-framework batch-1 GPU inference: tens of ms, dominated by
+        // per-op dispatch rather than arithmetic.
+        assert!((30.0..120.0).contains(&t), "GPU ResNet50 time {t} ms");
+    }
+
+    #[test]
+    fn gpu_densenet_misses_tight_slo_even_before_network() {
+        // The calibration point behind Fig. 13: DenseNet161's op count
+        // makes its GPU time alone exceed the 140 ms SLO budget minus the
+        // best-case transfer (~22 ms).
+        let p = DeviceKind::DesktopGpu.profile();
+        let t = model_time_ms(&p, &murmuration_models::densenet161(224));
+        assert!(t > 118.0, "DenseNet161 GPU time {t} ms");
+    }
+
+    #[test]
+    fn gpu_dominates_pi_on_every_op() {
+        let pi = DeviceKind::RaspberryPi4.profile();
+        let gpu = DeviceKind::DesktopGpu.profile();
+        for op in [OpKind::Conv, OpKind::DwConv, OpKind::Fc, OpKind::Pool] {
+            assert!(gpu.layer_time_ms(op, 10_000_000) < pi.layer_time_ms(op, 10_000_000));
+        }
+    }
+
+    #[test]
+    fn depthwise_slower_per_mac_than_dense() {
+        let p = DeviceKind::RaspberryPi4.profile();
+        assert!(p.layer_time_ms(OpKind::DwConv, 1_000_000) > p.layer_time_ms(OpKind::Conv, 1_000_000));
+    }
+
+    #[test]
+    fn weight_reload_on_pi_is_seconds_scale() {
+        let p = DeviceKind::RaspberryPi4.profile();
+        let resnet_bytes = resnet50(224).weight_bytes();
+        let t = p.weight_load_ms(resnet_bytes);
+        assert!((1_000.0..5_000.0).contains(&t), "reload {t} ms");
+    }
+
+    #[test]
+    fn scenario_constructors() {
+        let aug = augmented_computing_devices();
+        assert_eq!(aug.len(), 2);
+        assert_eq!(aug[0].kind, DeviceKind::RaspberryPi4);
+        let swarm = device_swarm_devices(5);
+        assert_eq!(swarm.len(), 5);
+        assert!(swarm.iter().all(|d| d.kind == DeviceKind::RaspberryPi4));
+        assert_eq!(swarm[4].id, 4);
+    }
+}

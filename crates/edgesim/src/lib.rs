@@ -1,0 +1,32 @@
+//! # murmuration-edgesim
+//!
+//! The testbed substitute. The paper evaluates on physical Raspberry Pi 4s
+//! and a Ryzen 5500 + GTX 1080 desktop behind a `tc`-shaped 1 Gbps switch;
+//! this crate models exactly the quantities that setup exposes to the rest
+//! of the system:
+//!
+//! * [`device`] — per-device compute profiles (effective MAC throughput per
+//!   operator class, per-layer dispatch overhead, memory/disk bandwidth for
+//!   model loading), calibrated in `DESIGN.md §6` so the baseline models
+//!   land in the paper's latency ranges.
+//! * [`net`] — star-topology link state (bandwidth, propagation delay) and
+//!   transfer-time math.
+//! * [`tc`] — the traffic-control handle used by experiments to sweep
+//!   network conditions, mirroring the paper's use of `tc`.
+//! * [`trace`] — dynamic network traces (step changes, bounded random
+//!   walks) for the "dynamic edge environment" experiments.
+//! * [`monitor`] — noisy bandwidth/delay observation, the input to
+//!   Murmuration's network-monitoring module.
+//! * [`des`] — a small deterministic discrete-event engine used by the
+//!   partition crate to simulate distributed plan execution.
+
+pub mod des;
+pub mod device;
+pub mod monitor;
+pub mod net;
+pub mod tc;
+pub mod trace;
+
+pub use device::{ComputeProfile, Device, DeviceId, DeviceKind};
+pub use net::{LinkState, NetworkState};
+pub use tc::TrafficControl;

@@ -1,0 +1,92 @@
+//! Noisy network observation — what Murmuration's monitoring module sees.
+//!
+//! Real monitoring (active probes + passive measurement) never reports the
+//! shaped ground truth exactly; observations carry multiplicative noise.
+
+use crate::net::{LinkState, NetworkState};
+use crate::DeviceId;
+use rand::Rng;
+
+/// One monitoring sample of a link.
+#[derive(Clone, Copy, Debug)]
+pub struct Observation {
+    pub device: DeviceId,
+    pub bandwidth_mbps: f64,
+    pub delay_ms: f64,
+    /// Virtual timestamp of the sample (ms).
+    pub t_ms: f64,
+}
+
+/// Samples every remote link with relative noise `rel_noise` (e.g. 0.05 for
+/// ±5%).
+pub fn observe_all<R: Rng>(
+    net: &NetworkState,
+    t_ms: f64,
+    rel_noise: f64,
+    rng: &mut R,
+) -> Vec<Observation> {
+    (1..=net.n_remote())
+        .map(|dev| observe_link(net.link_for(dev), dev, t_ms, rel_noise, rng))
+        .collect()
+}
+
+/// Samples one link with multiplicative noise.
+pub fn observe_link<R: Rng>(
+    link: LinkState,
+    device: DeviceId,
+    t_ms: f64,
+    rel_noise: f64,
+    rng: &mut R,
+) -> Observation {
+    assert!((0.0..1.0).contains(&rel_noise), "rel_noise in [0,1)");
+    let jitter = |v: f64, rng: &mut R| {
+        if rel_noise == 0.0 {
+            v
+        } else {
+            v * (1.0 + rng.gen_range(-rel_noise..rel_noise))
+        }
+    };
+    Observation {
+        device,
+        bandwidth_mbps: jitter(link.bandwidth_mbps, rng).max(0.1),
+        delay_ms: jitter(link.delay_ms, rng).max(0.0),
+        t_ms,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn zero_noise_reports_ground_truth() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let link = LinkState { bandwidth_mbps: 123.0, delay_ms: 4.5 };
+        let o = observe_link(link, 1, 10.0, 0.0, &mut rng);
+        assert_eq!(o.bandwidth_mbps, 123.0);
+        assert_eq!(o.delay_ms, 4.5);
+        assert_eq!(o.t_ms, 10.0);
+    }
+
+    #[test]
+    fn noise_stays_within_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let link = LinkState { bandwidth_mbps: 100.0, delay_ms: 20.0 };
+        for _ in 0..200 {
+            let o = observe_link(link, 2, 0.0, 0.1, &mut rng);
+            assert!((90.0..110.0).contains(&o.bandwidth_mbps), "{}", o.bandwidth_mbps);
+            assert!((18.0..22.0).contains(&o.delay_ms), "{}", o.delay_ms);
+        }
+    }
+
+    #[test]
+    fn observe_all_covers_every_remote() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let net = NetworkState::uniform(4, LinkState::lan());
+        let obs = observe_all(&net, 5.0, 0.05, &mut rng);
+        assert_eq!(obs.len(), 4);
+        let devices: Vec<_> = obs.iter().map(|o| o.device).collect();
+        assert_eq!(devices, vec![1, 2, 3, 4]);
+    }
+}

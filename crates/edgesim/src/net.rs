@@ -1,0 +1,158 @@
+//! Star-topology network state and transfer-time math.
+//!
+//! The paper's testbed is a switched LAN where `tc` shapes the link of each
+//! remote device; the local device (id 0) reaches remote `i` over link
+//! `i-1`. Remote↔remote transfers traverse two links (via the switch).
+
+use crate::device::DeviceId;
+
+/// State of one shaped link.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkState {
+    /// Bandwidth in megabits per second.
+    pub bandwidth_mbps: f64,
+    /// One-way propagation delay in milliseconds.
+    pub delay_ms: f64,
+}
+
+impl LinkState {
+    /// Unshaped 1 Gbps / 2 ms LAN default (the paper's Fig 17 setting).
+    pub fn lan() -> Self {
+        LinkState { bandwidth_mbps: 1000.0, delay_ms: 2.0 }
+    }
+
+    /// Time to push `bytes` through this link, one way.
+    pub fn transfer_ms(&self, bytes: u64) -> f64 {
+        assert!(self.bandwidth_mbps > 0.0, "zero-bandwidth link");
+        self.delay_ms + (bytes as f64 * 8.0) / (self.bandwidth_mbps * 1e6) * 1e3
+    }
+}
+
+/// Link state for every remote device (star around the local device).
+#[derive(Clone, Debug)]
+pub struct NetworkState {
+    links: Vec<LinkState>,
+}
+
+impl NetworkState {
+    /// `n_remote` identical links.
+    pub fn uniform(n_remote: usize, link: LinkState) -> Self {
+        NetworkState { links: vec![link; n_remote] }
+    }
+
+    /// Per-remote link states (index 0 = device 1's link).
+    pub fn from_links(links: Vec<LinkState>) -> Self {
+        NetworkState { links }
+    }
+
+    /// Number of remote devices.
+    pub fn n_remote(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Link serving remote device `dev` (panics for the local device).
+    pub fn link_for(&self, dev: DeviceId) -> LinkState {
+        assert!(dev >= 1, "device 0 is local; it has no link");
+        self.links[dev - 1]
+    }
+
+    /// Mutable link access for traffic control.
+    pub(crate) fn link_for_mut(&mut self, dev: DeviceId) -> &mut LinkState {
+        assert!(dev >= 1, "device 0 is local; it has no link");
+        &mut self.links[dev - 1]
+    }
+
+    /// Transfer time for `bytes` from device `src` to device `dst`.
+    ///
+    /// Local↔remote uses that remote's link; remote↔remote hops through the
+    /// switch and pays both links' delay plus the slower link's
+    /// serialization.
+    pub fn transfer_ms(&self, src: DeviceId, dst: DeviceId, bytes: u64) -> f64 {
+        if src == dst {
+            return 0.0;
+        }
+        match (src, dst) {
+            (0, d) | (d, 0) => self.link_for(d).transfer_ms(bytes),
+            (a, b) => {
+                let la = self.link_for(a);
+                let lb = self.link_for(b);
+                let bw = la.bandwidth_mbps.min(lb.bandwidth_mbps);
+                la.delay_ms + lb.delay_ms + (bytes as f64 * 8.0) / (bw * 1e6) * 1e3
+            }
+        }
+    }
+
+    /// Bandwidths of all links, local-first ordering (for RL state).
+    pub fn bandwidths(&self) -> Vec<f64> {
+        self.links.iter().map(|l| l.bandwidth_mbps).collect()
+    }
+
+    /// Delays of all links.
+    pub fn delays(&self) -> Vec<f64> {
+        self.links.iter().map(|l| l.delay_ms).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn transfer_math_known_values() {
+        let l = LinkState { bandwidth_mbps: 100.0, delay_ms: 10.0 };
+        // 1 MB at 100 Mbps = 80 ms serialization + 10 ms delay.
+        let t = l.transfer_ms(1_000_000);
+        assert!((t - 90.0).abs() < 1e-6, "{t}");
+    }
+
+    #[test]
+    fn local_transfer_is_free() {
+        let n = NetworkState::uniform(2, LinkState::lan());
+        assert_eq!(n.transfer_ms(0, 0, 1_000_000), 0.0);
+        assert_eq!(n.transfer_ms(1, 1, 1_000_000), 0.0);
+    }
+
+    #[test]
+    fn remote_to_remote_pays_both_delays() {
+        let n = NetworkState::from_links(vec![
+            LinkState { bandwidth_mbps: 100.0, delay_ms: 5.0 },
+            LinkState { bandwidth_mbps: 50.0, delay_ms: 7.0 },
+        ]);
+        let t = n.transfer_ms(1, 2, 0);
+        assert!((t - 12.0).abs() < 1e-9);
+        // Serialization uses the slower (50 Mbps) link.
+        let t2 = n.transfer_ms(1, 2, 1_000_000);
+        assert!((t2 - (12.0 + 160.0)).abs() < 1e-6, "{t2}");
+    }
+
+    #[test]
+    fn symmetric_transfers() {
+        let n = NetworkState::uniform(3, LinkState { bandwidth_mbps: 200.0, delay_ms: 3.0 });
+        assert_eq!(n.transfer_ms(0, 2, 12345), n.transfer_ms(2, 0, 12345));
+        assert_eq!(n.transfer_ms(1, 3, 999), n.transfer_ms(3, 1, 999));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn prop_transfer_monotone_in_bytes(
+            bw in 1.0f64..1000.0, delay in 0.0f64..100.0,
+            b1 in 0u64..10_000_000, b2 in 0u64..10_000_000,
+        ) {
+            let l = LinkState { bandwidth_mbps: bw, delay_ms: delay };
+            let (lo, hi) = if b1 <= b2 { (b1, b2) } else { (b2, b1) };
+            prop_assert!(l.transfer_ms(lo) <= l.transfer_ms(hi));
+        }
+
+        #[test]
+        fn prop_more_bandwidth_never_slower(
+            bw1 in 1.0f64..500.0, extra in 0.0f64..500.0,
+            delay in 0.0f64..50.0, bytes in 0u64..5_000_000,
+        ) {
+            let a = LinkState { bandwidth_mbps: bw1, delay_ms: delay };
+            let b = LinkState { bandwidth_mbps: bw1 + extra, delay_ms: delay };
+            prop_assert!(b.transfer_ms(bytes) <= a.transfer_ms(bytes) + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Traffic control — the simulator's `tc` equivalent.
+//!
+//! Experiments sweep bandwidth and delay by shaping each remote device's
+//! link, exactly as the paper drives `tc` on its switch.
+
+use crate::net::{LinkState, NetworkState};
+use crate::trace::NetworkTrace;
+use crate::DeviceId;
+
+/// Mutable handle over a [`NetworkState`] that applies shaping commands.
+pub struct TrafficControl {
+    state: NetworkState,
+}
+
+impl TrafficControl {
+    /// Wraps an initial network state.
+    pub fn new(state: NetworkState) -> Self {
+        TrafficControl { state }
+    }
+
+    /// Current (shaped) network state.
+    pub fn state(&self) -> &NetworkState {
+        &self.state
+    }
+
+    /// Sets the bandwidth of device `dev`'s link (Mbps).
+    pub fn set_bandwidth(&mut self, dev: DeviceId, mbps: f64) {
+        assert!(mbps > 0.0, "bandwidth must be positive");
+        self.state.link_for_mut(dev).bandwidth_mbps = mbps;
+    }
+
+    /// Sets the one-way delay of device `dev`'s link (ms).
+    pub fn set_delay(&mut self, dev: DeviceId, ms: f64) {
+        assert!(ms >= 0.0, "delay must be non-negative");
+        self.state.link_for_mut(dev).delay_ms = ms;
+    }
+
+    /// Shapes every link identically.
+    pub fn set_all(&mut self, link: LinkState) {
+        for dev in 1..=self.state.n_remote() {
+            *self.state.link_for_mut(dev) = link;
+        }
+    }
+
+    /// Applies a dynamic trace at virtual time `t_ms` to device `dev`'s
+    /// link.
+    pub fn apply_trace(&mut self, dev: DeviceId, trace: &NetworkTrace, t_ms: f64) {
+        *self.state.link_for_mut(dev) = trace.sample(t_ms);
+    }
+
+    /// Injects background traffic on device `dev`'s link: `load` ∈ [0, 1)
+    /// of the bandwidth is consumed by a competing flow and queueing adds
+    /// `extra_delay_ms`. Models a bursty co-tenant — the failure mode the
+    /// monitoring/prediction loop must survive.
+    pub fn inject_background(&mut self, dev: DeviceId, load: f64, extra_delay_ms: f64) {
+        assert!((0.0..1.0).contains(&load), "load in [0,1)");
+        assert!(extra_delay_ms >= 0.0);
+        let link = self.state.link_for_mut(dev);
+        link.bandwidth_mbps *= 1.0 - load;
+        link.delay_ms += extra_delay_ms;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shaping_updates_state() {
+        let mut tc = TrafficControl::new(NetworkState::uniform(2, LinkState::lan()));
+        tc.set_bandwidth(1, 50.0);
+        tc.set_delay(2, 25.0);
+        assert_eq!(tc.state().link_for(1).bandwidth_mbps, 50.0);
+        assert_eq!(tc.state().link_for(1).delay_ms, 2.0);
+        assert_eq!(tc.state().link_for(2).delay_ms, 25.0);
+        assert_eq!(tc.state().link_for(2).bandwidth_mbps, 1000.0);
+    }
+
+    #[test]
+    fn set_all_applies_uniformly() {
+        let mut tc = TrafficControl::new(NetworkState::uniform(3, LinkState::lan()));
+        tc.set_all(LinkState { bandwidth_mbps: 5.0, delay_ms: 20.0 });
+        for d in 1..=3 {
+            assert_eq!(tc.state().link_for(d).bandwidth_mbps, 5.0);
+            assert_eq!(tc.state().link_for(d).delay_ms, 20.0);
+        }
+    }
+
+    #[test]
+    fn background_traffic_degrades_the_link() {
+        let mut tc = TrafficControl::new(NetworkState::uniform(2, LinkState::lan()));
+        tc.inject_background(1, 0.75, 30.0);
+        let l = tc.state().link_for(1);
+        assert!((l.bandwidth_mbps - 250.0).abs() < 1e-9);
+        assert!((l.delay_ms - 32.0).abs() < 1e-9);
+        // Other links untouched.
+        assert_eq!(tc.state().link_for(2), LinkState::lan());
+        // Injection composes.
+        tc.inject_background(1, 0.5, 0.0);
+        assert!((tc.state().link_for(1).bandwidth_mbps - 125.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_full_background_load() {
+        let mut tc = TrafficControl::new(NetworkState::uniform(1, LinkState::lan()));
+        tc.inject_background(1, 1.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_zero_bandwidth() {
+        let mut tc = TrafficControl::new(NetworkState::uniform(1, LinkState::lan()));
+        tc.set_bandwidth(1, 0.0);
+    }
+}

@@ -1,0 +1,118 @@
+//! Dynamic network traces for the "dynamic edge environment" experiments.
+//!
+//! A trace is a deterministic function of virtual time so experiments are
+//! reproducible; randomness is frozen at construction.
+
+use crate::net::LinkState;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic bandwidth/delay trajectory.
+#[derive(Clone, Debug)]
+pub enum NetworkTrace {
+    /// Constant conditions.
+    Constant(LinkState),
+    /// Piecewise-constant steps: `(start_ms, state)` sorted by time.
+    Steps(Vec<(f64, LinkState)>),
+    /// Precomputed bounded random walk sampled on a fixed grid.
+    Walk {
+        period_ms: f64,
+        states: Vec<LinkState>,
+    },
+}
+
+impl NetworkTrace {
+    /// A step trace; panics unless steps are time-sorted starting at 0.
+    pub fn steps(steps: Vec<(f64, LinkState)>) -> Self {
+        assert!(!steps.is_empty(), "need at least one step");
+        assert_eq!(steps[0].0, 0.0, "first step must start at t=0");
+        assert!(
+            steps.windows(2).all(|w| w[0].0 < w[1].0),
+            "steps must be strictly time-ordered"
+        );
+        NetworkTrace::Steps(steps)
+    }
+
+    /// Bounded multiplicative random walk around `base`, re-sampled every
+    /// `period_ms`, clamped to `[1/span, span] × base`.
+    pub fn random_walk(base: LinkState, period_ms: f64, steps: usize, span: f64, seed: u64) -> Self {
+        assert!(period_ms > 0.0 && steps > 0 && span > 1.0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut bw = base.bandwidth_mbps;
+        let mut dl = base.delay_ms;
+        let mut states = Vec::with_capacity(steps);
+        for _ in 0..steps {
+            bw = (bw * rng.gen_range(0.8..1.25))
+                .clamp(base.bandwidth_mbps / span, base.bandwidth_mbps * span);
+            dl = (dl * rng.gen_range(0.8..1.25)).clamp(base.delay_ms / span, base.delay_ms * span);
+            states.push(LinkState { bandwidth_mbps: bw, delay_ms: dl });
+        }
+        NetworkTrace::Walk { period_ms, states }
+    }
+
+    /// Link state at virtual time `t_ms`. Walk traces clamp to their last
+    /// sample; step traces hold each value until the next step.
+    pub fn sample(&self, t_ms: f64) -> LinkState {
+        match self {
+            NetworkTrace::Constant(s) => *s,
+            NetworkTrace::Steps(steps) => {
+                let mut cur = steps[0].1;
+                for &(t0, s) in steps {
+                    if t_ms >= t0 {
+                        cur = s;
+                    } else {
+                        break;
+                    }
+                }
+                cur
+            }
+            NetworkTrace::Walk { period_ms, states } => {
+                let idx = ((t_ms / period_ms) as usize).min(states.len() - 1);
+                states[idx]
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_trace_is_constant() {
+        let t = NetworkTrace::Constant(LinkState::lan());
+        assert_eq!(t.sample(0.0), LinkState::lan());
+        assert_eq!(t.sample(1e9), LinkState::lan());
+    }
+
+    #[test]
+    fn step_trace_switches_at_boundaries() {
+        let a = LinkState { bandwidth_mbps: 100.0, delay_ms: 5.0 };
+        let b = LinkState { bandwidth_mbps: 10.0, delay_ms: 50.0 };
+        let t = NetworkTrace::steps(vec![(0.0, a), (1000.0, b)]);
+        assert_eq!(t.sample(999.9), a);
+        assert_eq!(t.sample(1000.0), b);
+        assert_eq!(t.sample(5000.0), b);
+    }
+
+    #[test]
+    fn walk_is_deterministic_and_bounded() {
+        let base = LinkState { bandwidth_mbps: 100.0, delay_ms: 10.0 };
+        let t1 = NetworkTrace::random_walk(base, 100.0, 50, 4.0, 7);
+        let t2 = NetworkTrace::random_walk(base, 100.0, 50, 4.0, 7);
+        for i in 0..50 {
+            let s1 = t1.sample(i as f64 * 100.0);
+            let s2 = t2.sample(i as f64 * 100.0);
+            assert_eq!(s1, s2);
+            assert!(s1.bandwidth_mbps >= 25.0 - 1e-9 && s1.bandwidth_mbps <= 400.0 + 1e-9);
+            assert!(s1.delay_ms >= 2.5 - 1e-9 && s1.delay_ms <= 40.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_unsorted_steps() {
+        let a = LinkState::lan();
+        NetworkTrace::steps(vec![(0.0, a), (5.0, a), (3.0, a)]);
+    }
+}

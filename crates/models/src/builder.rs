@@ -1,0 +1,289 @@
+//! Incremental builder that tracks the running activation shape and emits
+//! [`LayerSpec`]s with correct MAC/param/size math.
+
+use crate::{LayerSpec, ModelSpec, OpKind};
+
+/// Builds a [`ModelSpec`] layer by layer, carrying the activation shape.
+pub struct SpecBuilder {
+    name: String,
+    input: (usize, usize, usize),
+    cur: (usize, usize, usize),
+    layers: Vec<LayerSpec>,
+}
+
+fn out_size(size: usize, k: usize, pad: usize, stride: usize) -> usize {
+    assert!(size + 2 * pad >= k, "kernel {k} exceeds padded input {size}+2*{pad}");
+    (size + 2 * pad - k) / stride + 1
+}
+
+impl SpecBuilder {
+    /// Starts a model with the given input (channels, height, width).
+    pub fn new(name: impl Into<String>, input: (usize, usize, usize)) -> Self {
+        SpecBuilder { name: name.into(), input, cur: input, layers: Vec::new() }
+    }
+
+    /// Current activation shape.
+    pub fn shape(&self) -> (usize, usize, usize) {
+        self.cur
+    }
+
+    /// Overrides the running shape (used when assembling parallel branches
+    /// externally).
+    pub fn set_shape(&mut self, shape: (usize, usize, usize)) {
+        self.cur = shape;
+    }
+
+    /// Marks the previous layer as a legal layer-wise cut point.
+    pub fn cut(&mut self) -> &mut Self {
+        if let Some(l) = self.layers.last_mut() {
+            l.cut_ok = true;
+        }
+        self
+    }
+
+    /// Dense convolution (`groups=1` unless set), with BN+activation cost
+    /// folded in (they are negligible next to the conv itself).
+    pub fn conv(
+        &mut self,
+        name: &str,
+        c_out: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+    ) -> &mut Self {
+        self.grouped_conv(name, c_out, k, stride, pad, 1)
+    }
+
+    /// Grouped convolution; `groups` must divide both channel counts.
+    pub fn grouped_conv(
+        &mut self,
+        name: &str,
+        c_out: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+        groups: usize,
+    ) -> &mut Self {
+        let (c_in, h, w) = self.cur;
+        assert!(c_in % groups == 0 && c_out.is_multiple_of(groups), "{name}: bad groups");
+        let oh = out_size(h, k, pad, stride);
+        let ow = out_size(w, k, pad, stride);
+        let macs = (oh * ow * k * k * (c_in / groups) * c_out) as u64;
+        // weights + BN affine (γ, β per channel).
+        let params = (k * k * (c_in / groups) * c_out + 2 * c_out) as u64;
+        self.layers.push(LayerSpec {
+            name: name.to_string(),
+            op: OpKind::Conv,
+            macs,
+            params,
+            out_shape: (c_out, oh, ow),
+            cut_ok: false,
+            spatial_ok: true,
+        });
+        self.cur = (c_out, oh, ow);
+        self
+    }
+
+    /// Rectangular dense convolution (for Inception's 1×7 / 7×1 factorized
+    /// kernels).
+    #[allow(clippy::too_many_arguments)]
+    pub fn conv_rect(
+        &mut self,
+        name: &str,
+        c_out: usize,
+        kh: usize,
+        kw: usize,
+        stride: usize,
+        ph: usize,
+        pw: usize,
+    ) -> &mut Self {
+        let (c_in, h, w) = self.cur;
+        let oh = out_size(h, kh, ph, stride);
+        let ow = out_size(w, kw, pw, stride);
+        let macs = (oh * ow * kh * kw * c_in * c_out) as u64;
+        let params = (kh * kw * c_in * c_out + 2 * c_out) as u64;
+        self.layers.push(LayerSpec {
+            name: name.to_string(),
+            op: OpKind::Conv,
+            macs,
+            params,
+            out_shape: (c_out, oh, ow),
+            cut_ok: false,
+            spatial_ok: true,
+        });
+        self.cur = (c_out, oh, ow);
+        self
+    }
+
+    /// Depthwise convolution (one filter per channel).
+    pub fn dwconv(&mut self, name: &str, k: usize, stride: usize, pad: usize) -> &mut Self {
+        let (c, h, w) = self.cur;
+        let oh = out_size(h, k, pad, stride);
+        let ow = out_size(w, k, pad, stride);
+        let macs = (oh * ow * k * k * c) as u64;
+        let params = (k * k * c + 2 * c) as u64;
+        self.layers.push(LayerSpec {
+            name: name.to_string(),
+            op: OpKind::DwConv,
+            macs,
+            params,
+            out_shape: (c, oh, ow),
+            cut_ok: false,
+            spatial_ok: true,
+        });
+        self.cur = (c, oh, ow);
+        self
+    }
+
+    /// Max or average pooling; MACs counted as one op per input element of
+    /// each window (cheap but not free).
+    pub fn pool(&mut self, name: &str, k: usize, stride: usize, pad: usize) -> &mut Self {
+        let (c, h, w) = self.cur;
+        let oh = out_size(h, k, pad, stride);
+        let ow = out_size(w, k, pad, stride);
+        let macs = (oh * ow * k * k * c) as u64 / 2;
+        self.layers.push(LayerSpec {
+            name: name.to_string(),
+            op: OpKind::Pool,
+            macs,
+            params: 0,
+            out_shape: (c, oh, ow),
+            cut_ok: false,
+            spatial_ok: true,
+        });
+        self.cur = (c, oh, ow);
+        self
+    }
+
+    /// Global average pooling to 1×1.
+    pub fn gap(&mut self, name: &str) -> &mut Self {
+        let (c, h, w) = self.cur;
+        self.layers.push(LayerSpec {
+            name: name.to_string(),
+            op: OpKind::Pool,
+            macs: (c * h * w) as u64 / 2,
+            params: 0,
+            out_shape: (c, 1, 1),
+            cut_ok: false,
+            spatial_ok: false,
+        });
+        self.cur = (c, 1, 1);
+        self
+    }
+
+    /// Fully-connected layer from the flattened current activation.
+    pub fn fc(&mut self, name: &str, out: usize) -> &mut Self {
+        let (c, h, w) = self.cur;
+        let inp = c * h * w;
+        self.layers.push(LayerSpec {
+            name: name.to_string(),
+            op: OpKind::Fc,
+            macs: (inp * out) as u64,
+            params: (inp * out + out) as u64,
+            out_shape: (out, 1, 1),
+            cut_ok: false,
+            spatial_ok: false,
+        });
+        self.cur = (out, 1, 1);
+        self
+    }
+
+    /// Squeeze-and-excite module: GAP → FC(c/r) → FC(c) → scale. Adds MACs
+    /// and params without changing the running shape.
+    pub fn se(&mut self, name: &str, reduction: usize) -> &mut Self {
+        let (c, h, w) = self.cur;
+        let mid = (c / reduction).max(1);
+        let macs = (c * mid * 2 + c * h * w) as u64;
+        let params = (c * mid + mid + mid * c + c) as u64;
+        self.layers.push(LayerSpec {
+            name: name.to_string(),
+            op: OpKind::Elementwise,
+            macs,
+            params,
+            out_shape: (c, h, w),
+            cut_ok: false,
+            spatial_ok: false,
+        });
+        self
+    }
+
+    /// Element-wise layer (residual add, activation counted separately).
+    pub fn elementwise(&mut self, name: &str) -> &mut Self {
+        let (c, h, w) = self.cur;
+        self.layers.push(LayerSpec {
+            name: name.to_string(),
+            op: OpKind::Elementwise,
+            macs: (c * h * w) as u64 / 2,
+            params: 0,
+            out_shape: (c, h, w),
+            cut_ok: false,
+            spatial_ok: true,
+        });
+        self
+    }
+
+    /// Appends an externally-built layer (for concat-style branch merges).
+    pub fn push_raw(&mut self, layer: LayerSpec) -> &mut Self {
+        self.cur = layer.out_shape;
+        self.layers.push(layer);
+        self
+    }
+
+    /// Finalizes into a [`ModelSpec`]. The layer after the last one is
+    /// always a legal cut (the classifier boundary).
+    pub fn build(mut self, top1: f32) -> ModelSpec {
+        if let Some(l) = self.layers.last_mut() {
+            l.cut_ok = true;
+        }
+        ModelSpec { name: self.name, input: self.input, layers: self.layers, top1 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_macs_known_value() {
+        // 3→16, k3 s2 p1 on 224: 112*112*9*3*16 MACs.
+        let mut b = SpecBuilder::new("t", (3, 224, 224));
+        b.conv("stem", 16, 3, 2, 1);
+        let l = &b.layers[0];
+        assert_eq!(l.macs, 112 * 112 * 9 * 3 * 16);
+        assert_eq!(l.out_shape, (16, 112, 112));
+        assert_eq!(l.params, (9 * 3 * 16 + 32) as u64);
+    }
+
+    #[test]
+    fn dwconv_macs_scale_with_channels_not_square() {
+        let mut b = SpecBuilder::new("t", (32, 56, 56));
+        b.dwconv("dw", 3, 1, 1);
+        assert_eq!(b.layers[0].macs, 56 * 56 * 9 * 32);
+    }
+
+    #[test]
+    fn fc_counts_in_times_out() {
+        let mut b = SpecBuilder::new("t", (512, 1, 1));
+        b.fc("head", 1000);
+        assert_eq!(b.layers[0].macs, 512_000);
+        assert_eq!(b.layers[0].params, 513_000);
+    }
+
+    #[test]
+    fn grouped_conv_divides_macs() {
+        let mut b1 = SpecBuilder::new("a", (64, 14, 14));
+        b1.conv("c", 64, 3, 1, 1);
+        let dense = b1.layers[0].macs;
+        let mut b2 = SpecBuilder::new("b", (64, 14, 14));
+        b2.grouped_conv("c", 64, 3, 1, 1, 32);
+        assert_eq!(b2.layers[0].macs, dense / 32);
+    }
+
+    #[test]
+    fn build_marks_last_layer_cut() {
+        let mut b = SpecBuilder::new("t", (3, 32, 32));
+        b.conv("c", 8, 3, 1, 1);
+        let m = b.build(70.0);
+        assert!(m.layers.last().unwrap().cut_ok);
+    }
+}

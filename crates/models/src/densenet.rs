@@ -1,0 +1,92 @@
+//! DenseNet-161 (Huang et al., CVPR '17) per-layer spec.
+//!
+//! Growth rate 48, block config (6, 12, 36, 24), 96 initial features.
+//! Inside a dense block every layer consumes the concatenation of all
+//! previous outputs, so the only legal layer-wise cuts are at transition
+//! layers and block boundaries.
+
+use crate::builder::SpecBuilder;
+use crate::ModelSpec;
+
+/// Published ImageNet top-1 for DenseNet-161 (%), as quoted in the paper.
+pub const DENSENET161_TOP1: f32 = 77.1;
+
+const GROWTH: usize = 48;
+const BLOCKS: [usize; 4] = [6, 12, 36, 24];
+const INIT_FEATURES: usize = 96;
+/// Bottleneck width multiplier (conv1x1 outputs `BN_SIZE * GROWTH`).
+const BN_SIZE: usize = 4;
+
+/// Builds the DenseNet-161 spec at the given square input resolution.
+pub fn densenet161(resolution: usize) -> ModelSpec {
+    let mut b = SpecBuilder::new(format!("DenseNet161@{resolution}"), (3, resolution, resolution));
+    b.conv("stem.conv", INIT_FEATURES, 7, 2, 3).cut();
+    b.pool("stem.maxpool", 3, 2, 1).cut();
+    let mut features = INIT_FEATURES;
+    for (bi, &nlayers) in BLOCKS.iter().enumerate() {
+        let (_, h, w) = b.shape();
+        for li in 0..nlayers {
+            let p = format!("denseblock{}.layer{}", bi + 1, li);
+            // Each dense layer reads `features + li*GROWTH` channels.
+            b.set_shape((features + li * GROWTH, h, w));
+            b.conv(&format!("{p}.conv1"), BN_SIZE * GROWTH, 1, 1, 0);
+            b.conv(&format!("{p}.conv2"), GROWTH, 3, 1, 1);
+        }
+        features += nlayers * GROWTH;
+        b.set_shape((features, h, w));
+        if bi + 1 < BLOCKS.len() {
+            // Transition: 1x1 conv halving channels, then 2x2 avg pool.
+            let t = format!("transition{}", bi + 1);
+            b.conv(&format!("{t}.conv"), features / 2, 1, 1, 0);
+            b.pool(&format!("{t}.pool"), 2, 2, 0);
+            b.cut();
+            features /= 2;
+        } else {
+            // Final block boundary is also a legal cut.
+            b.elementwise(&format!("denseblock{}.norm", bi + 1));
+            b.cut();
+        }
+    }
+    b.gap("head.gap");
+    b.fc("classifier", 1000);
+    b.build(DENSENET161_TOP1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feature_progression() {
+        // 96 → +6*48=384 → /2=192 → +12*48=768 → /2=384 → +36*48=2112 →
+        // /2=1056 → +24*48=2208.
+        let m = densenet161(224);
+        let t1 = m.layers.iter().find(|l| l.name == "transition1.conv").unwrap();
+        assert_eq!(t1.out_shape.0, 192);
+        let t3 = m.layers.iter().find(|l| l.name == "transition3.conv").unwrap();
+        assert_eq!(t3.out_shape.0, 1056);
+        let gap = m.layers.iter().find(|l| l.name == "head.gap").unwrap();
+        assert_eq!(gap.out_shape, (2208, 1, 1));
+    }
+
+    #[test]
+    fn cuts_exclude_dense_block_interiors() {
+        let m = densenet161(224);
+        for i in m.cut_points() {
+            let n = &m.layers[i].name;
+            assert!(
+                !n.contains(".layer") || n.ends_with(".norm"),
+                "illegal cut inside dense block: {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn spatial_sizes_halve_at_transitions() {
+        let m = densenet161(224);
+        let t1 = m.layers.iter().find(|l| l.name == "transition1.pool").unwrap();
+        assert_eq!((t1.out_shape.1, t1.out_shape.2), (28, 28));
+        let t3 = m.layers.iter().find(|l| l.name == "transition3.pool").unwrap();
+        assert_eq!((t3.out_shape.1, t3.out_shape.2), (7, 7));
+    }
+}

@@ -1,0 +1,85 @@
+//! EfficientNet-B0 (Tan & Le, ICML '19) per-layer spec — an extra zoo
+//! entry beyond the paper's baseline set, useful as a modern
+//! mobile-efficiency reference point for the planners.
+
+use crate::builder::SpecBuilder;
+use crate::ModelSpec;
+
+/// Published ImageNet top-1 for EfficientNet-B0 (%).
+pub const EFFICIENTNET_B0_TOP1: f32 = 77.1;
+
+/// One MBConv stage: (expansion, kernel, output channels, repeats, stride).
+const STAGES: &[(usize, usize, usize, usize, usize)] = &[
+    (1, 3, 16, 1, 1),
+    (6, 3, 24, 2, 2),
+    (6, 5, 40, 2, 2),
+    (6, 3, 80, 3, 2),
+    (6, 5, 112, 3, 1),
+    (6, 5, 192, 4, 2),
+    (6, 3, 320, 1, 1),
+];
+
+/// Builds the EfficientNet-B0 spec at the given square input resolution
+/// (canonically 224).
+pub fn efficientnet_b0(resolution: usize) -> ModelSpec {
+    let mut b = SpecBuilder::new(format!("EfficientNetB0@{resolution}"), (3, resolution, resolution));
+    b.conv("stem", 32, 3, 2, 1).cut();
+    let mut c_in = 32usize;
+    for (si, &(expand, k, out, repeats, stride)) in STAGES.iter().enumerate() {
+        for rep in 0..repeats {
+            let p = format!("stage{si}.block{rep}");
+            let s = if rep == 0 { stride } else { 1 };
+            let mid = c_in * expand;
+            if expand != 1 {
+                b.conv(&format!("{p}.expand"), mid, 1, 1, 0);
+            }
+            b.dwconv(&format!("{p}.dw"), k, s, k / 2);
+            // SE with reduction 4 relative to the *input* channels
+            // (EfficientNet squeezes to c_in/4).
+            b.se(&format!("{p}.se"), 4 * expand.max(1));
+            b.conv(&format!("{p}.project"), out, 1, 1, 0);
+            if s == 1 && c_in == out {
+                b.elementwise(&format!("{p}.add"));
+            }
+            b.cut();
+            c_in = out;
+        }
+    }
+    b.conv("head.conv", 1280, 1, 1, 0).cut();
+    b.gap("head.gap");
+    b.fc("classifier", 1000);
+    b.build(EFFICIENTNET_B0_TOP1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn within(actual: u64, expected: u64, tol: f64) -> bool {
+        (actual as f64 - expected as f64).abs() / expected as f64 <= tol
+    }
+
+    #[test]
+    fn totals_match_published() {
+        // Published: ~0.39 GMACs, ~5.3 M params.
+        let m = efficientnet_b0(224);
+        assert!(within(m.total_macs(), 390_000_000, 0.15), "MACs {}", m.total_macs());
+        assert!(within(m.total_params(), 5_300_000, 0.15), "params {}", m.total_params());
+    }
+
+    #[test]
+    fn stage_shapes() {
+        let m = efficientnet_b0(224);
+        let find = |n: &str| m.layers.iter().find(|l| l.name == n).unwrap().out_shape;
+        assert_eq!(find("stage1.block0.project").0, 24);
+        assert_eq!(find("stage6.block0.project"), (320, 7, 7));
+        assert_eq!(find("head.conv"), (1280, 7, 7));
+    }
+
+    #[test]
+    fn cut_points_exist_at_block_boundaries() {
+        // The layer-wise planners need legal cuts; one per MBConv block.
+        let m = efficientnet_b0(224);
+        assert!(m.cut_points().len() >= 16, "{}", m.cut_points().len());
+    }
+}

@@ -1,0 +1,215 @@
+//! Inception-V3 (Szegedy et al., CVPR '16) per-layer spec, following the
+//! torchvision block layout.
+//!
+//! Parallel branches are flattened into consecutive layers: every branch is
+//! costed from the block's input shape, and the block ends with a zero-cost
+//! concat marker carrying the concatenated output shape. Cut points sit
+//! only at block boundaries (cutting inside a concat would require shipping
+//! multiple partial tensors).
+
+use crate::builder::SpecBuilder;
+use crate::{LayerSpec, ModelSpec, OpKind};
+
+/// Published ImageNet top-1 for Inception-V3 (%).
+pub const INCEPTION_V3_TOP1: f32 = 77.3;
+
+/// Runs `f` as a branch starting from `input_shape`, appending its layers to
+/// the main builder, and returns the branch's output channel count.
+fn branch(
+    b: &mut SpecBuilder,
+    input_shape: (usize, usize, usize),
+    f: impl FnOnce(&mut SpecBuilder),
+) -> (usize, usize, usize) {
+    b.set_shape(input_shape);
+    f(b);
+    b.shape()
+}
+
+/// Appends the concat marker and sets the running shape.
+fn concat(b: &mut SpecBuilder, name: &str, shapes: &[(usize, usize, usize)]) {
+    let (_, h, w) = shapes[0];
+    for s in shapes {
+        assert_eq!((s.1, s.2), (h, w), "{name}: concat spatial mismatch {shapes:?}");
+    }
+    let c: usize = shapes.iter().map(|s| s.0).sum();
+    b.push_raw(LayerSpec {
+        name: name.to_string(),
+        op: OpKind::Elementwise,
+        macs: (c * h * w) as u64 / 2,
+        params: 0,
+        out_shape: (c, h, w),
+        cut_ok: false,
+        spatial_ok: true,
+    });
+    b.cut();
+}
+
+fn inception_a(b: &mut SpecBuilder, p: &str, pool_feat: usize) {
+    let inp = b.shape();
+    let s1 = branch(b, inp, |b| {
+        b.conv(&format!("{p}.b1x1"), 64, 1, 1, 0);
+    });
+    let s2 = branch(b, inp, |b| {
+        b.conv(&format!("{p}.b5x5_1"), 48, 1, 1, 0);
+        b.conv(&format!("{p}.b5x5_2"), 64, 5, 1, 2);
+    });
+    let s3 = branch(b, inp, |b| {
+        b.conv(&format!("{p}.b3x3dbl_1"), 64, 1, 1, 0);
+        b.conv(&format!("{p}.b3x3dbl_2"), 96, 3, 1, 1);
+        b.conv(&format!("{p}.b3x3dbl_3"), 96, 3, 1, 1);
+    });
+    let s4 = branch(b, inp, |b| {
+        b.pool(&format!("{p}.pool"), 3, 1, 1);
+        b.conv(&format!("{p}.bpool"), pool_feat, 1, 1, 0);
+    });
+    concat(b, &format!("{p}.concat"), &[s1, s2, s3, s4]);
+}
+
+fn inception_b(b: &mut SpecBuilder, p: &str) {
+    let inp = b.shape();
+    let s1 = branch(b, inp, |b| {
+        b.conv(&format!("{p}.b3x3"), 384, 3, 2, 0);
+    });
+    let s2 = branch(b, inp, |b| {
+        b.conv(&format!("{p}.b3x3dbl_1"), 64, 1, 1, 0);
+        b.conv(&format!("{p}.b3x3dbl_2"), 96, 3, 1, 1);
+        b.conv(&format!("{p}.b3x3dbl_3"), 96, 3, 2, 0);
+    });
+    let s3 = branch(b, inp, |b| {
+        b.pool(&format!("{p}.pool"), 3, 2, 0);
+    });
+    concat(b, &format!("{p}.concat"), &[s1, s2, s3]);
+}
+
+fn inception_c(b: &mut SpecBuilder, p: &str, c7: usize) {
+    let inp = b.shape();
+    let s1 = branch(b, inp, |b| {
+        b.conv(&format!("{p}.b1x1"), 192, 1, 1, 0);
+    });
+    let s2 = branch(b, inp, |b| {
+        b.conv(&format!("{p}.b7x7_1"), c7, 1, 1, 0);
+        b.conv_rect(&format!("{p}.b7x7_2"), c7, 1, 7, 1, 0, 3);
+        b.conv_rect(&format!("{p}.b7x7_3"), 192, 7, 1, 1, 3, 0);
+    });
+    let s3 = branch(b, inp, |b| {
+        b.conv(&format!("{p}.b7x7dbl_1"), c7, 1, 1, 0);
+        b.conv_rect(&format!("{p}.b7x7dbl_2"), c7, 7, 1, 1, 3, 0);
+        b.conv_rect(&format!("{p}.b7x7dbl_3"), c7, 1, 7, 1, 0, 3);
+        b.conv_rect(&format!("{p}.b7x7dbl_4"), c7, 7, 1, 1, 3, 0);
+        b.conv_rect(&format!("{p}.b7x7dbl_5"), 192, 1, 7, 1, 0, 3);
+    });
+    let s4 = branch(b, inp, |b| {
+        b.pool(&format!("{p}.pool"), 3, 1, 1);
+        b.conv(&format!("{p}.bpool"), 192, 1, 1, 0);
+    });
+    concat(b, &format!("{p}.concat"), &[s1, s2, s3, s4]);
+}
+
+fn inception_d(b: &mut SpecBuilder, p: &str) {
+    let inp = b.shape();
+    let s1 = branch(b, inp, |b| {
+        b.conv(&format!("{p}.b3x3_1"), 192, 1, 1, 0);
+        b.conv(&format!("{p}.b3x3_2"), 320, 3, 2, 0);
+    });
+    let s2 = branch(b, inp, |b| {
+        b.conv(&format!("{p}.b7x7x3_1"), 192, 1, 1, 0);
+        b.conv_rect(&format!("{p}.b7x7x3_2"), 192, 1, 7, 1, 0, 3);
+        b.conv_rect(&format!("{p}.b7x7x3_3"), 192, 7, 1, 1, 3, 0);
+        b.conv(&format!("{p}.b7x7x3_4"), 192, 3, 2, 0);
+    });
+    let s3 = branch(b, inp, |b| {
+        b.pool(&format!("{p}.pool"), 3, 2, 0);
+    });
+    concat(b, &format!("{p}.concat"), &[s1, s2, s3]);
+}
+
+fn inception_e(b: &mut SpecBuilder, p: &str) {
+    let inp = b.shape();
+    let s1 = branch(b, inp, |b| {
+        b.conv(&format!("{p}.b1x1"), 320, 1, 1, 0);
+    });
+    // 3x3 branch splits into 1x3 + 3x1 after a shared 1x1.
+    let s2a = branch(b, inp, |b| {
+        b.conv(&format!("{p}.b3x3_1"), 384, 1, 1, 0);
+        b.conv_rect(&format!("{p}.b3x3_2a"), 384, 1, 3, 1, 0, 1);
+    });
+    let mid = (384, s2a.1, s2a.2);
+    let s2b = branch(b, mid, |b| {
+        b.conv_rect(&format!("{p}.b3x3_2b"), 384, 3, 1, 1, 1, 0);
+    });
+    let s3a = branch(b, inp, |b| {
+        b.conv(&format!("{p}.b3x3dbl_1"), 448, 1, 1, 0);
+        b.conv(&format!("{p}.b3x3dbl_2"), 384, 3, 1, 1);
+        b.conv_rect(&format!("{p}.b3x3dbl_3a"), 384, 1, 3, 1, 0, 1);
+    });
+    let s3b = branch(b, (384, s3a.1, s3a.2), |b| {
+        b.conv_rect(&format!("{p}.b3x3dbl_3b"), 384, 3, 1, 1, 1, 0);
+    });
+    let s4 = branch(b, inp, |b| {
+        b.pool(&format!("{p}.pool"), 3, 1, 1);
+        b.conv(&format!("{p}.bpool"), 192, 1, 1, 0);
+    });
+    concat(b, &format!("{p}.concat"), &[s1, s2a, s2b, s3a, s3b, s4]);
+}
+
+/// Builds the Inception-V3 spec at the given square input resolution
+/// (canonically 299).
+pub fn inception_v3(resolution: usize) -> ModelSpec {
+    let mut b = SpecBuilder::new(format!("InceptionV3@{resolution}"), (3, resolution, resolution));
+    b.conv("stem.conv1a", 32, 3, 2, 0).cut();
+    b.conv("stem.conv2a", 32, 3, 1, 0);
+    b.conv("stem.conv2b", 64, 3, 1, 1).cut();
+    b.pool("stem.maxpool1", 3, 2, 0).cut();
+    b.conv("stem.conv3b", 80, 1, 1, 0);
+    b.conv("stem.conv4a", 192, 3, 1, 0).cut();
+    b.pool("stem.maxpool2", 3, 2, 0).cut();
+    inception_a(&mut b, "mixed5b", 32);
+    inception_a(&mut b, "mixed5c", 64);
+    inception_a(&mut b, "mixed5d", 64);
+    inception_b(&mut b, "mixed6a");
+    inception_c(&mut b, "mixed6b", 128);
+    inception_c(&mut b, "mixed6c", 160);
+    inception_c(&mut b, "mixed6d", 160);
+    inception_c(&mut b, "mixed6e", 192);
+    inception_d(&mut b, "mixed7a");
+    inception_e(&mut b, "mixed7b");
+    inception_e(&mut b, "mixed7c");
+    b.gap("head.gap");
+    b.fc("classifier", 1000);
+    b.build(INCEPTION_V3_TOP1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_output_channels() {
+        let m = inception_v3(299);
+        let find = |n: &str| m.layers.iter().find(|l| l.name == n).unwrap().out_shape;
+        assert_eq!(find("mixed5b.concat"), (256, 35, 35));
+        assert_eq!(find("mixed5d.concat"), (288, 35, 35));
+        assert_eq!(find("mixed6a.concat"), (768, 17, 17));
+        assert_eq!(find("mixed7a.concat"), (1280, 8, 8));
+        assert_eq!(find("mixed7c.concat"), (2048, 8, 8));
+    }
+
+    #[test]
+    fn cuts_at_concats_only_in_body() {
+        let m = inception_v3(299);
+        for i in m.cut_points() {
+            let n = &m.layers[i].name;
+            assert!(
+                n.ends_with(".concat") || n.starts_with("stem") || n == "classifier",
+                "unexpected cut at {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn fc_dominates_params_tail() {
+        let m = inception_v3(299);
+        let fc = m.layers.last().unwrap();
+        assert_eq!(fc.params, 2048 * 1000 + 1000);
+    }
+}

@@ -1,0 +1,205 @@
+//! # murmuration-models
+//!
+//! A model zoo of *per-layer compute and size descriptions* for the CNNs the
+//! Murmuration paper uses as baselines: MobileNetV3-Large, ResNet-50,
+//! Inception-V3, DenseNet-161 and ResNeXt-101-32x8d.
+//!
+//! Partitioning decisions (Neurosurgeon's layer split, ADCNN's spatial
+//! tiling) depend only on each layer's arithmetic cost and the size of the
+//! tensor crossing each candidate cut — not on the weights — so the zoo
+//! records exactly that: MACs, parameter count, output shape, and whether
+//! the point after the layer is a legal cut (residual/dense connectivity
+//! forbids cutting inside a block).
+//!
+//! The FLOPs math is validated in tests against the published totals for
+//! every architecture (e.g. ResNet-50 ≈ 4.1 GMACs / 25.6 M params).
+
+mod builder;
+mod densenet;
+mod efficientnet;
+mod inception;
+mod mobilenet_v3;
+mod resnet;
+mod vit;
+pub mod zoo;
+
+pub use builder::SpecBuilder;
+pub use densenet::densenet161;
+pub use efficientnet::efficientnet_b0;
+pub use inception::inception_v3;
+pub use mobilenet_v3::mobilenet_v3_large;
+pub use resnet::{resnet50, resnext101_32x8d};
+pub use vit::vit_b16;
+
+/// Coarse operator class; drives the device-efficiency factor in the
+/// latency model (depthwise convs achieve far lower arithmetic intensity
+/// than dense convs, FC layers are memory-bound, …).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Dense (possibly grouped) convolution.
+    Conv,
+    /// Depthwise convolution.
+    DwConv,
+    /// Pooling (max/avg/global).
+    Pool,
+    /// Fully-connected layer.
+    Fc,
+    /// Element-wise op (activation, residual add, normalization folded in).
+    Elementwise,
+}
+
+/// One layer (or fused block element) of a concrete model.
+#[derive(Clone, Debug)]
+pub struct LayerSpec {
+    /// Human-readable name, e.g. `"layer3.block2.conv2"`.
+    pub name: String,
+    pub op: OpKind,
+    /// Multiply-accumulate operations for one inference (batch 1).
+    pub macs: u64,
+    /// Trainable parameter count.
+    pub params: u64,
+    /// Output tensor shape as (channels, height, width).
+    pub out_shape: (usize, usize, usize),
+    /// Whether the network may be cut *after* this layer for layer-wise
+    /// partitioning (false inside residual/dense blocks).
+    pub cut_ok: bool,
+    /// Whether the layer's spatial computation can be FDSP-tiled (convs and
+    /// pools yes; FC/global layers no).
+    pub spatial_ok: bool,
+}
+
+impl LayerSpec {
+    /// Output element count (batch 1).
+    pub fn out_elems(&self) -> u64 {
+        let (c, h, w) = self.out_shape;
+        (c * h * w) as u64
+    }
+
+    /// Output tensor size in bytes at 32-bit precision.
+    pub fn out_bytes_f32(&self) -> u64 {
+        self.out_elems() * 4
+    }
+}
+
+/// A complete per-layer description of one model.
+#[derive(Clone, Debug)]
+pub struct ModelSpec {
+    pub name: String,
+    /// Input shape (channels, height, width).
+    pub input: (usize, usize, usize),
+    pub layers: Vec<LayerSpec>,
+    /// Published ImageNet top-1 accuracy (%), used as the fixed accuracy of
+    /// this baseline model.
+    pub top1: f32,
+}
+
+impl ModelSpec {
+    /// Total MACs for one inference.
+    pub fn total_macs(&self) -> u64 {
+        self.layers.iter().map(|l| l.macs).sum()
+    }
+
+    /// Total parameter count.
+    pub fn total_params(&self) -> u64 {
+        self.layers.iter().map(|l| l.params).sum()
+    }
+
+    /// Total weight bytes at f32 (what a model reload must move).
+    pub fn weight_bytes(&self) -> u64 {
+        self.total_params() * 4
+    }
+
+    /// Input tensor bytes at f32.
+    pub fn input_bytes(&self) -> u64 {
+        let (c, h, w) = self.input;
+        (c * h * w * 4) as u64
+    }
+
+    /// Indices after which a layer-wise cut is legal (always includes the
+    /// virtual cut "before layer 0" as `None` handled by planners).
+    pub fn cut_points(&self) -> Vec<usize> {
+        self.layers
+            .iter()
+            .enumerate()
+            .filter_map(|(i, l)| l.cut_ok.then_some(i))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn within(actual: u64, expected: u64, tol: f64) -> bool {
+        let a = actual as f64;
+        let e = expected as f64;
+        (a - e).abs() / e <= tol
+    }
+
+    #[test]
+    fn mobilenet_v3_large_totals_match_published() {
+        let m = mobilenet_v3_large(224);
+        // Published: ~219 M MACs, ~5.4 M params.
+        assert!(
+            within(m.total_macs(), 219_000_000, 0.15),
+            "MACs {}",
+            m.total_macs()
+        );
+        assert!(
+            within(m.total_params(), 5_400_000, 0.15),
+            "params {}",
+            m.total_params()
+        );
+    }
+
+    #[test]
+    fn resnet50_totals_match_published() {
+        let m = resnet50(224);
+        // Published: ~4.09 GMACs, ~25.6 M params.
+        assert!(within(m.total_macs(), 4_100_000_000, 0.10), "MACs {}", m.total_macs());
+        assert!(within(m.total_params(), 25_600_000, 0.10), "params {}", m.total_params());
+    }
+
+    #[test]
+    fn inception_v3_totals_match_published() {
+        let m = inception_v3(299);
+        // Published: ~5.7 GMACs, ~27.2 M params.
+        assert!(within(m.total_macs(), 5_700_000_000, 0.15), "MACs {}", m.total_macs());
+        assert!(within(m.total_params(), 27_200_000, 0.15), "params {}", m.total_params());
+    }
+
+    #[test]
+    fn densenet161_totals_match_published() {
+        let m = densenet161(224);
+        // Published: ~7.8 GMACs, ~28.7 M params.
+        assert!(within(m.total_macs(), 7_800_000_000, 0.15), "MACs {}", m.total_macs());
+        assert!(within(m.total_params(), 28_700_000, 0.15), "params {}", m.total_params());
+    }
+
+    #[test]
+    fn resnext101_totals_match_published() {
+        let m = resnext101_32x8d(224);
+        // Published: ~16.5 GMACs, ~88.8 M params.
+        assert!(within(m.total_macs(), 16_500_000_000, 0.12), "MACs {}", m.total_macs());
+        assert!(within(m.total_params(), 88_800_000, 0.12), "params {}", m.total_params());
+    }
+
+    #[test]
+    fn every_model_has_cut_points_and_final_fc() {
+        for m in zoo::all_models() {
+            assert!(m.cut_points().len() >= 4, "{} needs cut points", m.name);
+            let last = m.layers.last().unwrap();
+            assert_eq!(last.op, OpKind::Fc, "{} must end in FC", m.name);
+            assert_eq!(last.out_shape, (1000, 1, 1), "{} must emit 1000 classes", m.name);
+        }
+    }
+
+    #[test]
+    fn resolution_scaling_reduces_macs() {
+        let big = mobilenet_v3_large(224);
+        let small = mobilenet_v3_large(160);
+        assert!(small.total_macs() < big.total_macs());
+        // Params don't change with resolution.
+        assert_eq!(small.total_params(), big.total_params());
+    }
+}

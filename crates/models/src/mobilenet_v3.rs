@@ -1,0 +1,88 @@
+//! MobileNetV3-Large (Howard et al., ICCV '19) per-layer spec.
+
+use crate::builder::SpecBuilder;
+use crate::ModelSpec;
+
+/// Published ImageNet top-1 for MobileNetV3-Large-1.0 (%).
+pub const MOBILENET_V3_LARGE_TOP1: f32 = 75.2;
+
+/// One inverted-residual (bneck) row of the MobileNetV3-Large table:
+/// (kernel, expansion channels, output channels, SE?, stride).
+const BNECK: &[(usize, usize, usize, bool, usize)] = &[
+    (3, 16, 16, false, 1),
+    (3, 64, 24, false, 2),
+    (3, 72, 24, false, 1),
+    (5, 72, 40, true, 2),
+    (5, 120, 40, true, 1),
+    (5, 120, 40, true, 1),
+    (3, 240, 80, false, 2),
+    (3, 200, 80, false, 1),
+    (3, 184, 80, false, 1),
+    (3, 184, 80, false, 1),
+    (3, 480, 112, true, 1),
+    (3, 672, 112, true, 1),
+    (5, 672, 160, true, 2),
+    (5, 960, 160, true, 1),
+    (5, 960, 160, true, 1),
+];
+
+/// Builds the MobileNetV3-Large spec at the given square input resolution.
+pub fn mobilenet_v3_large(resolution: usize) -> ModelSpec {
+    let mut b = SpecBuilder::new(format!("MobileNetV3-Large@{resolution}"), (3, resolution, resolution));
+    b.conv("stem", 16, 3, 2, 1).cut();
+    let mut c_in = 16;
+    for (i, &(k, exp, out, se, stride)) in BNECK.iter().enumerate() {
+        let p = format!("bneck{i}");
+        // Expand (1x1), depthwise (kxk), optional SE, project (1x1).
+        if exp != c_in {
+            b.conv(&format!("{p}.expand"), exp, 1, 1, 0);
+        }
+        b.dwconv(&format!("{p}.dw"), k, stride, k / 2);
+        if se {
+            b.se(&format!("{p}.se"), 4);
+        }
+        b.conv(&format!("{p}.project"), out, 1, 1, 0);
+        if stride == 1 && c_in == out {
+            b.elementwise(&format!("{p}.add"));
+        }
+        // The block boundary is a legal layer-wise cut.
+        b.cut();
+        c_in = out;
+    }
+    b.conv("head.conv", 960, 1, 1, 0).cut();
+    b.gap("head.gap");
+    b.fc("head.fc1", 1280);
+    b.fc("classifier", 1000);
+    b.build(MOBILENET_V3_LARGE_TOP1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_count_and_structure() {
+        let m = mobilenet_v3_large(224);
+        // 15 bneck blocks, stem, head conv, gap, 2 fc + per-block layers.
+        assert!(m.layers.len() > 40);
+        assert_eq!(m.input, (3, 224, 224));
+        // Final spatial size before GAP is 7x7 at 224 input.
+        let head = m.layers.iter().find(|l| l.name == "head.conv").unwrap();
+        assert_eq!(head.out_shape, (960, 7, 7));
+    }
+
+    #[test]
+    fn cut_points_at_block_boundaries() {
+        let m = mobilenet_v3_large(224);
+        let cuts = m.cut_points();
+        // stem + 15 blocks + head conv + classifier ≥ 18 cut points.
+        assert!(cuts.len() >= 17, "got {}", cuts.len());
+    }
+
+    #[test]
+    fn lower_resolution_shrinks_feature_maps() {
+        let m = mobilenet_v3_large(160);
+        let head = m.layers.iter().find(|l| l.name == "head.conv").unwrap();
+        assert_eq!(head.out_shape, (960, 5, 5));
+    }
+}

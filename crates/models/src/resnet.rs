@@ -1,0 +1,149 @@
+//! ResNet-50 and ResNeXt-101-32x8d (He et al., CVPR '16; Xie et al.,
+//! CVPR '17) per-layer specs.
+
+use crate::builder::SpecBuilder;
+use crate::ModelSpec;
+
+/// Published ImageNet top-1 for ResNet-50 (%).
+pub const RESNET50_TOP1: f32 = 76.1;
+/// Published ImageNet top-1 for ResNeXt-101-32x8d (%), as quoted in the
+/// Murmuration paper.
+pub const RESNEXT101_TOP1: f32 = 79.3;
+
+/// Bottleneck stage plan shared by the ResNet family: blocks per stage.
+const RESNET50_BLOCKS: [usize; 4] = [3, 4, 6, 3];
+const RESNEXT101_BLOCKS: [usize; 4] = [3, 4, 23, 3];
+
+/// Emits one bottleneck block: 1x1 reduce → 3x3 (possibly grouped) →
+/// 1x1 expand, with a projection shortcut on the first block of a stage.
+#[allow(clippy::too_many_arguments)]
+fn bottleneck(
+    b: &mut SpecBuilder,
+    prefix: &str,
+    mid: usize,
+    out: usize,
+    stride: usize,
+    groups: usize,
+    first_in_stage: bool,
+    c_in: usize,
+) {
+    b.conv(&format!("{prefix}.conv1"), mid, 1, 1, 0);
+    b.grouped_conv(&format!("{prefix}.conv2"), mid, 3, stride, 1, groups);
+    b.conv(&format!("{prefix}.conv3"), out, 1, 1, 0);
+    if first_in_stage {
+        // Projection shortcut: 1x1 stride-s conv from the stage input. Its
+        // cost is computed from the *input* shape, so temporarily rewind
+        // the running shape; MACs = oh*ow*c_in*out.
+        let (c_now, oh, ow) = b.shape();
+        assert_eq!(c_now, out);
+        b.set_shape((c_in, oh * stride, ow * stride));
+        // Recompute through a stride-s 1x1 conv to land on the same shape.
+        b.conv(&format!("{prefix}.downsample"), out, 1, stride, 0);
+    }
+    b.elementwise(&format!("{prefix}.add"));
+    b.cut();
+}
+
+fn build_resnet(
+    name: String,
+    resolution: usize,
+    blocks: [usize; 4],
+    base_mid: usize,
+    groups: usize,
+    top1: f32,
+) -> ModelSpec {
+    let mut b = SpecBuilder::new(name, (3, resolution, resolution));
+    b.conv("stem.conv", 64, 7, 2, 3).cut();
+    b.pool("stem.maxpool", 3, 2, 1).cut();
+    let mut c_in = 64usize;
+    for (stage, &nblocks) in blocks.iter().enumerate() {
+        let mid = base_mid << stage;
+        let out = 256usize << stage;
+        for blk in 0..nblocks {
+            let stride = if stage > 0 && blk == 0 { 2 } else { 1 };
+            bottleneck(
+                &mut b,
+                &format!("layer{}.{}", stage + 1, blk),
+                mid,
+                out,
+                stride,
+                groups,
+                blk == 0,
+                c_in,
+            );
+            c_in = out;
+        }
+    }
+    b.gap("head.gap");
+    b.fc("classifier", 1000);
+    b.build(top1)
+}
+
+/// ResNet-50 at the given square input resolution.
+pub fn resnet50(resolution: usize) -> ModelSpec {
+    build_resnet(
+        format!("ResNet50@{resolution}"),
+        resolution,
+        RESNET50_BLOCKS,
+        64,
+        1,
+        RESNET50_TOP1,
+    )
+}
+
+/// ResNeXt-101-32x8d: 32 groups, width-per-group 8 → stage-1 mid width 256.
+pub fn resnext101_32x8d(resolution: usize) -> ModelSpec {
+    build_resnet(
+        format!("ResNeXt101-32x8d@{resolution}"),
+        resolution,
+        RESNEXT101_BLOCKS,
+        256,
+        32,
+        RESNEXT101_TOP1,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resnet50_stage_shapes() {
+        let m = resnet50(224);
+        let l1 = m.layers.iter().find(|l| l.name == "layer1.0.add").unwrap();
+        assert_eq!(l1.out_shape, (256, 56, 56));
+        let l4 = m.layers.iter().find(|l| l.name == "layer4.2.add").unwrap();
+        assert_eq!(l4.out_shape, (2048, 7, 7));
+    }
+
+    #[test]
+    fn resnet50_block_count() {
+        let m = resnet50(224);
+        let adds = m.layers.iter().filter(|l| l.name.ends_with(".add")).count();
+        assert_eq!(adds, 16);
+    }
+
+    #[test]
+    fn resnext_groups_shrink_3x3_cost() {
+        let r50 = resnet50(224);
+        let rx = resnext101_32x8d(224);
+        let r50_c2 = r50.layers.iter().find(|l| l.name == "layer1.0.conv2").unwrap();
+        let rx_c2 = rx.layers.iter().find(|l| l.name == "layer1.0.conv2").unwrap();
+        // ResNeXt's conv2 is 256ch/32g vs ResNet's 64ch dense; grouped cost
+        // = oh*ow*9*(256/32)*256, dense = oh*ow*9*64*64.
+        assert_eq!(rx_c2.macs, 56 * 56 * 9 * 8 * 256);
+        assert_eq!(r50_c2.macs, 56 * 56 * 9 * 64 * 64);
+    }
+
+    #[test]
+    fn cuts_only_at_block_ends() {
+        let m = resnet50(224);
+        for i in m.cut_points() {
+            let n = &m.layers[i].name;
+            assert!(
+                n.ends_with(".add") || n.contains("stem") || n == "classifier",
+                "unexpected cut at {n}"
+            );
+        }
+    }
+}

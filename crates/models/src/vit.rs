@@ -1,0 +1,156 @@
+//! ViT-B/16 (Dosovitskiy et al., ICLR '21) per-layer spec — the extension
+//! target §4.1 of the paper sketches: "this spatial partitioning strategy
+//! can also be applied to other DNN models such as Vision Transformers,
+//! where different image patches are sent to different devices for
+//! parallel attention computation".
+//!
+//! Patch-token computation (QKV/projection/MLP, applied per token) is
+//! spatially partitionable; the attention score/mix matmuls need the full
+//! token set, so they mark the synchronization points. Cuts are legal at
+//! block boundaries.
+
+use crate::{LayerSpec, ModelSpec, OpKind};
+
+/// Published ImageNet top-1 for ViT-B/16 (%, ImageNet-21k pretrain).
+pub const VIT_B16_TOP1: f32 = 81.1;
+
+const DIM: usize = 768;
+const BLOCKS: usize = 12;
+const MLP_RATIO: usize = 4;
+const PATCH: usize = 16;
+
+/// Builds the ViT-B/16 spec for a square input resolution divisible by 16.
+pub fn vit_b16(resolution: usize) -> ModelSpec {
+    assert_eq!(resolution % PATCH, 0, "resolution must be divisible by {PATCH}");
+    let grid = resolution / PATCH;
+    let tokens = grid * grid + 1; // + class token
+    let mut layers = Vec::new();
+
+    // Patch embedding: a 16×16 stride-16 conv, 3 → DIM.
+    layers.push(LayerSpec {
+        name: "patch_embed".into(),
+        op: OpKind::Conv,
+        macs: (grid * grid * PATCH * PATCH * 3 * DIM) as u64,
+        params: (PATCH * PATCH * 3 * DIM + DIM) as u64,
+        out_shape: (DIM, grid, grid),
+        cut_ok: true,
+        spatial_ok: true,
+    });
+
+    for b in 0..BLOCKS {
+        let p = format!("block{b}");
+        // QKV projection: per token, DIM → 3·DIM. Token-parallel.
+        layers.push(LayerSpec {
+            name: format!("{p}.qkv"),
+            op: OpKind::Fc,
+            macs: (tokens * DIM * 3 * DIM) as u64,
+            params: (DIM * 3 * DIM + 3 * DIM) as u64,
+            out_shape: (3 * DIM, grid, grid),
+            cut_ok: false,
+            spatial_ok: true,
+        });
+        // Attention scores + value mix: needs every token (sync point).
+        layers.push(LayerSpec {
+            name: format!("{p}.attn"),
+            op: OpKind::Fc,
+            macs: (2 * tokens * tokens * DIM) as u64,
+            params: 0,
+            out_shape: (DIM, grid, grid),
+            cut_ok: false,
+            spatial_ok: false,
+        });
+        // Output projection: token-parallel.
+        layers.push(LayerSpec {
+            name: format!("{p}.proj"),
+            op: OpKind::Fc,
+            macs: (tokens * DIM * DIM) as u64,
+            params: (DIM * DIM + DIM) as u64,
+            out_shape: (DIM, grid, grid),
+            cut_ok: false,
+            spatial_ok: true,
+        });
+        // MLP: token-parallel, DIM → 4·DIM → DIM (+ the two LayerNorms'
+        // affine parameters folded in).
+        layers.push(LayerSpec {
+            name: format!("{p}.mlp"),
+            op: OpKind::Fc,
+            macs: (2 * tokens * DIM * MLP_RATIO * DIM) as u64,
+            params: (2 * DIM * MLP_RATIO * DIM + MLP_RATIO * DIM + DIM + 4 * DIM) as u64,
+            out_shape: (DIM, grid, grid),
+            cut_ok: true, // block boundary
+            spatial_ok: true,
+        });
+    }
+
+    // Classifier over the class token.
+    let mut head = LayerSpec {
+        name: "classifier".into(),
+        op: OpKind::Fc,
+        macs: (DIM * 1000) as u64,
+        params: (DIM * 1000 + 1000) as u64,
+        out_shape: (1000, 1, 1),
+        cut_ok: true,
+        spatial_ok: false,
+    };
+    head.cut_ok = true;
+    layers.push(head);
+
+    ModelSpec {
+        name: format!("ViT-B16@{resolution}"),
+        input: (3, resolution, resolution),
+        layers,
+        top1: VIT_B16_TOP1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_match_published() {
+        // Published: ~17.6 GMACs, ~86 M params at 224².
+        let m = vit_b16(224);
+        let macs = m.total_macs() as f64;
+        let params = m.total_params() as f64;
+        assert!((macs - 17.6e9).abs() / 17.6e9 < 0.05, "MACs {macs}");
+        assert!((params - 86.0e6).abs() / 86.0e6 < 0.05, "params {params}");
+    }
+
+    #[test]
+    fn attention_is_the_only_non_parallel_body_op() {
+        let m = vit_b16(224);
+        for l in &m.layers {
+            if l.name.ends_with(".attn") || l.name == "classifier" {
+                assert!(!l.spatial_ok, "{} must synchronize", l.name);
+            } else {
+                assert!(l.spatial_ok, "{} is token-parallel", l.name);
+            }
+        }
+    }
+
+    #[test]
+    fn cuts_at_block_boundaries() {
+        let m = vit_b16(224);
+        // patch embed + 12 blocks + classifier.
+        assert_eq!(m.cut_points().len(), 14);
+    }
+
+    #[test]
+    fn token_parallel_fraction_dominates() {
+        // The paper's ViT extension is only useful if most compute is
+        // token-parallel; attention sync is ~5 % of MACs at 224².
+        let m = vit_b16(224);
+        let total = m.total_macs() as f64;
+        let sync: u64 = m.layers.iter().filter(|l| !l.spatial_ok).map(|l| l.macs).sum();
+        assert!((sync as f64) < total * 0.10, "sync fraction {}", sync as f64 / total);
+    }
+
+    #[test]
+    fn resolution_scales_token_count_quadratically() {
+        let m224 = vit_b16(224);
+        let m160 = vit_b16(160);
+        assert!(m160.total_macs() < m224.total_macs() / 2 + m224.total_macs() / 4);
+        assert_eq!(m160.total_params(), m224.total_params());
+    }
+}

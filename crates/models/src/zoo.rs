@@ -1,0 +1,90 @@
+//! Convenience access to every baseline model at its canonical resolution.
+
+use crate::{densenet161, inception_v3, mobilenet_v3_large, resnet50, resnext101_32x8d, ModelSpec};
+
+/// Identifier for a baseline model in the zoo.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BaselineModel {
+    MobileNetV3Large,
+    ResNet50,
+    InceptionV3,
+    DenseNet161,
+    ResNeXt101,
+}
+
+impl BaselineModel {
+    /// Every baseline, ordered by compute cost.
+    pub fn all() -> [BaselineModel; 5] {
+        [
+            BaselineModel::MobileNetV3Large,
+            BaselineModel::ResNet50,
+            BaselineModel::InceptionV3,
+            BaselineModel::DenseNet161,
+            BaselineModel::ResNeXt101,
+        ]
+    }
+
+    /// Canonical input resolution.
+    pub fn resolution(self) -> usize {
+        match self {
+            BaselineModel::InceptionV3 => 299,
+            _ => 224,
+        }
+    }
+
+    /// Builds the per-layer spec at the canonical resolution.
+    pub fn spec(self) -> ModelSpec {
+        match self {
+            BaselineModel::MobileNetV3Large => mobilenet_v3_large(224),
+            BaselineModel::ResNet50 => resnet50(224),
+            BaselineModel::InceptionV3 => inception_v3(299),
+            BaselineModel::DenseNet161 => densenet161(224),
+            BaselineModel::ResNeXt101 => resnext101_32x8d(224),
+        }
+    }
+
+    /// Short display name matching the paper's legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            BaselineModel::MobileNetV3Large => "MobileNetV3",
+            BaselineModel::ResNet50 => "Resnet50",
+            BaselineModel::InceptionV3 => "Inception",
+            BaselineModel::DenseNet161 => "DenseNet161",
+            BaselineModel::ResNeXt101 => "Resnext101",
+        }
+    }
+}
+
+/// All baseline specs at canonical resolutions.
+pub fn all_models() -> Vec<ModelSpec> {
+    BaselineModel::all().iter().map(|m| m.spec()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_ordering_matches_paper() {
+        // The paper's legend ordering: MobileNetV3 (75.2) < ResNet50 (76.1)
+        // < DenseNet161 (77.1) < Inception (77.3) < ResNeXt101 (79.3).
+        let accs: Vec<f32> = vec![
+            BaselineModel::MobileNetV3Large.spec().top1,
+            BaselineModel::ResNet50.spec().top1,
+            BaselineModel::DenseNet161.spec().top1,
+            BaselineModel::InceptionV3.spec().top1,
+            BaselineModel::ResNeXt101.spec().top1,
+        ];
+        for w in accs.windows(2) {
+            assert!(w[0] < w[1], "{accs:?} must be increasing");
+        }
+    }
+
+    #[test]
+    fn compute_ordering_is_monotone() {
+        let macs: Vec<u64> = all_models().iter().map(|m| m.total_macs()).collect();
+        for w in macs.windows(2) {
+            assert!(w[0] < w[1], "{macs:?} must be increasing");
+        }
+    }
+}

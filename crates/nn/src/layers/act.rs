@@ -1,0 +1,120 @@
+//! Activation layers.
+
+use crate::module::Module;
+use crate::param::Param;
+use murmuration_tensor::activation::{hswish_backward, hswish_inplace, relu_backward, relu_inplace};
+use murmuration_tensor::Tensor;
+
+/// Rectified linear unit.
+pub struct ReLU {
+    cached_in: Option<Tensor>,
+}
+
+impl ReLU {
+    /// Stateless constructor.
+    pub fn new() -> Self {
+        ReLU { cached_in: None }
+    }
+}
+
+impl Default for ReLU {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Module for ReLU {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        if train {
+            self.cached_in = Some(x.clone());
+        }
+        let mut y = x.clone();
+        relu_inplace(&mut y);
+        y
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let x = self.cached_in.as_ref().expect("backward before forward(train)");
+        relu_backward(x, dy)
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    fn name(&self) -> &'static str {
+        "ReLU"
+    }
+}
+
+/// Hard-swish (MobileNetV3).
+pub struct HSwish {
+    cached_in: Option<Tensor>,
+}
+
+impl HSwish {
+    /// Stateless constructor.
+    pub fn new() -> Self {
+        HSwish { cached_in: None }
+    }
+}
+
+impl Default for HSwish {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Module for HSwish {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        if train {
+            self.cached_in = Some(x.clone());
+        }
+        let mut y = x.clone();
+        hswish_inplace(&mut y);
+        y
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let x = self.cached_in.as_ref().expect("backward before forward(train)");
+        hswish_backward(x, dy)
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    fn name(&self) -> &'static str {
+        "HSwish"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use murmuration_tensor::Shape;
+
+    #[test]
+    fn relu_forward_backward() {
+        let mut l = ReLU::new();
+        let x = Tensor::from_vec(Shape::d1(3), vec![-2.0, 0.0, 3.0]);
+        let y = l.forward(&x, true);
+        assert_eq!(y.data(), &[0.0, 0.0, 3.0]);
+        let dx = l.backward(&Tensor::full(Shape::d1(3), 1.0));
+        assert_eq!(dx.data(), &[0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn hswish_linear_region_passthrough() {
+        let mut l = HSwish::new();
+        let x = Tensor::from_vec(Shape::d1(2), vec![5.0, 10.0]);
+        let y = l.forward(&x, true);
+        assert_eq!(y.data(), &[5.0, 10.0]);
+        let dx = l.backward(&Tensor::full(Shape::d1(2), 2.0));
+        assert_eq!(dx.data(), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn activations_have_no_params() {
+        let mut r = ReLU::new();
+        assert_eq!(r.param_count(), 0);
+        let mut h = HSwish::new();
+        assert_eq!(h.param_count(), 0);
+    }
+}

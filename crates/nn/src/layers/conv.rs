@@ -1,0 +1,238 @@
+//! Trainable standard and depthwise 2-D convolutions.
+
+use crate::module::Module;
+use crate::param::Param;
+use murmuration_tensor::conv::{col2im, conv2d, depthwise_conv2d, im2col, Conv2dParams};
+use murmuration_tensor::gemm::{gemm_at, gemm_bt};
+use murmuration_tensor::{Shape, Tensor};
+use rand::Rng;
+
+/// Standard convolution layer (`weight: [c_out, c_in, k, k]`).
+pub struct Conv2d {
+    pub weight: Param,
+    pub bias: Option<Param>,
+    pub params: Conv2dParams,
+    c_in: usize,
+    c_out: usize,
+    cached_in: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Kaiming-initialized convolution.
+    pub fn new<R: Rng>(
+        c_in: usize,
+        c_out: usize,
+        p: Conv2dParams,
+        bias: bool,
+        rng: &mut R,
+    ) -> Self {
+        let fan_in = c_in * p.kernel * p.kernel;
+        let weight = Param::new(Tensor::kaiming(
+            Shape::nchw(c_out, c_in, p.kernel, p.kernel),
+            fan_in,
+            rng,
+        ));
+        let bias = bias.then(|| Param::new(Tensor::zeros(Shape::d1(c_out))));
+        Conv2d { weight, bias, params: p, c_in, c_out, cached_in: None }
+    }
+}
+
+impl Module for Conv2d {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        assert_eq!(x.shape().c(), self.c_in, "Conv2d input channels");
+        if train {
+            self.cached_in = Some(x.clone());
+        }
+        conv2d(x, &self.weight.value, self.bias.as_ref().map(|b| &b.value), self.params)
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let x = self.cached_in.as_ref().expect("backward before forward(train)");
+        let (n, c_in, h, w) = (x.shape().n(), x.shape().c(), x.shape().h(), x.shape().w());
+        let (oh, ow) = self.params.out_hw(h, w);
+        let spatial = oh * ow;
+        let rows = c_in * self.params.kernel * self.params.kernel;
+        let c_out = self.c_out;
+        assert_eq!(dy.shape(), &Shape::nchw(n, c_out, oh, ow), "Conv2d dy shape");
+
+        let mut dx = Tensor::zeros(x.shape().clone());
+        let mut cols = Vec::new();
+        let mut dw_tmp = vec![0.0f32; c_out * rows];
+        let mut dcols = vec![0.0f32; rows * spatial];
+        let img_in = c_in * h * w;
+        let img_out = c_out * spatial;
+        for b in 0..n {
+            let x_img = &x.data()[b * img_in..(b + 1) * img_in];
+            let dy_img = &dy.data()[b * img_out..(b + 1) * img_out];
+            im2col(x_img, c_in, h, w, self.params, &mut cols);
+            // dW += dY · colsᵀ
+            gemm_bt(c_out, spatial, rows, dy_img, &cols, &mut dw_tmp);
+            for (g, t) in self.weight.grad.data_mut().iter_mut().zip(dw_tmp.iter()) {
+                *g += t;
+            }
+            // dcols = Wᵀ · dY  (W stored c_out×rows = k×m for gemm_at)
+            gemm_at(rows, c_out, spatial, self.weight.value.data(), dy_img, &mut dcols);
+            col2im(&dcols, c_in, h, w, self.params, &mut dx.data_mut()[b * img_in..(b + 1) * img_in]);
+            // dB += per-channel sums
+            if let Some(bias) = &mut self.bias {
+                for co in 0..c_out {
+                    let s: f32 = dy_img[co * spatial..(co + 1) * spatial].iter().sum();
+                    bias.grad.data_mut()[co] += s;
+                }
+            }
+        }
+        dx
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        if let Some(b) = &mut self.bias {
+            f(b);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "Conv2d"
+    }
+}
+
+/// Depthwise convolution layer (`weight: [c, 1, k, k]`).
+pub struct DepthwiseConv2d {
+    pub weight: Param,
+    pub bias: Option<Param>,
+    pub params: Conv2dParams,
+    channels: usize,
+    cached_in: Option<Tensor>,
+}
+
+impl DepthwiseConv2d {
+    /// Kaiming-initialized depthwise convolution.
+    pub fn new<R: Rng>(channels: usize, p: Conv2dParams, bias: bool, rng: &mut R) -> Self {
+        let fan_in = p.kernel * p.kernel;
+        let weight = Param::new(Tensor::kaiming(
+            Shape::nchw(channels, 1, p.kernel, p.kernel),
+            fan_in,
+            rng,
+        ));
+        let bias = bias.then(|| Param::new(Tensor::zeros(Shape::d1(channels))));
+        DepthwiseConv2d { weight, bias, params: p, channels, cached_in: None }
+    }
+}
+
+impl Module for DepthwiseConv2d {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        assert_eq!(x.shape().c(), self.channels, "DepthwiseConv2d channels");
+        if train {
+            self.cached_in = Some(x.clone());
+        }
+        depthwise_conv2d(x, &self.weight.value, self.bias.as_ref().map(|b| &b.value), self.params)
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let x = self.cached_in.as_ref().expect("backward before forward(train)");
+        let (n, c, h, w) = (x.shape().n(), x.shape().c(), x.shape().h(), x.shape().w());
+        let (oh, ow) = self.params.out_hw(h, w);
+        let k = self.params.kernel;
+        let (stride, pad) = (self.params.stride, self.params.pad);
+        let mut dx = Tensor::zeros(x.shape().clone());
+        for b in 0..n {
+            for ch in 0..c {
+                let in_base = (b * c + ch) * h * w;
+                let out_base = (b * c + ch) * oh * ow;
+                let w_base = ch * k * k;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let g = dy.data()[out_base + oy * ow + ox];
+                        if g == 0.0 {
+                            continue;
+                        }
+                        for ky in 0..k {
+                            let iy = (oy * stride + ky) as isize - pad as isize;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            for kx in 0..k {
+                                let ix = (ox * stride + kx) as isize - pad as isize;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                let xi = in_base + iy as usize * w + ix as usize;
+                                self.weight.grad.data_mut()[w_base + ky * k + kx] +=
+                                    x.data()[xi] * g;
+                                dx.data_mut()[xi] +=
+                                    self.weight.value.data()[w_base + ky * k + kx] * g;
+                            }
+                        }
+                        if let Some(bias) = &mut self.bias {
+                            bias.grad.data_mut()[ch] += g;
+                        }
+                    }
+                }
+            }
+        }
+        dx
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        if let Some(b) = &mut self.bias {
+            f(b);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "DepthwiseConv2d"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::gradcheck::check_param_grads;
+    use crate::module::Sequential;
+    use crate::layers::{Flatten, GlobalAvgPool};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn conv_forward_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut l = Conv2d::new(3, 8, Conv2dParams { kernel: 3, stride: 2, pad: 1 }, true, &mut rng);
+        let x = Tensor::rand_uniform(Shape::nchw(2, 3, 8, 8), 1.0, &mut rng);
+        let y = l.forward(&x, false);
+        assert_eq!(y.shape(), &Shape::nchw(2, 8, 4, 4));
+        assert_eq!(l.param_count(), 8 * 3 * 9 + 8);
+    }
+
+    #[test]
+    fn conv_gradcheck() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut net = Sequential::new()
+            .push(Conv2d::new(2, 3, Conv2dParams::same(3), true, &mut rng))
+            .push(GlobalAvgPool::new())
+            .push(Flatten::new());
+        let x = Tensor::rand_uniform(Shape::nchw(2, 2, 5, 5), 1.0, &mut rng);
+        check_param_grads(&mut net, &x, &[0, 2], 0.05);
+    }
+
+    #[test]
+    fn depthwise_gradcheck() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut net = Sequential::new()
+            .push(DepthwiseConv2d::new(3, Conv2dParams::same(3), true, &mut rng))
+            .push(GlobalAvgPool::new())
+            .push(Flatten::new());
+        let x = Tensor::rand_uniform(Shape::nchw(2, 3, 5, 5), 1.0, &mut rng);
+        check_param_grads(&mut net, &x, &[1, 0], 0.05);
+    }
+
+    #[test]
+    fn conv_input_gradient_flows() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut l = Conv2d::new(2, 2, Conv2dParams::same(3), false, &mut rng);
+        let x = Tensor::rand_uniform(Shape::nchw(1, 2, 4, 4), 1.0, &mut rng);
+        let y = l.forward(&x, true);
+        let dx = l.backward(&Tensor::full(y.shape().clone(), 1.0));
+        assert_eq!(dx.shape(), x.shape());
+        assert!(dx.norm() > 0.0, "input gradient must be nonzero");
+    }
+}

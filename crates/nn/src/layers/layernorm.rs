@@ -1,0 +1,156 @@
+//! Layer normalization over the last dimension — the normalization
+//! transformer blocks use (the §4.1 ViT extension's trainable side).
+
+use crate::module::Module;
+use crate::param::Param;
+use murmuration_tensor::{Shape, Tensor};
+
+const EPS: f32 = 1e-5;
+
+/// LayerNorm over the trailing `features` dimension of a 2-D `[rows,
+/// features]` tensor, with learnable affine (γ, β).
+pub struct LayerNorm {
+    pub gamma: Param,
+    pub beta: Param,
+    features: usize,
+    // Backward cache.
+    cached_xhat: Option<Tensor>,
+    cached_invstd: Vec<f32>,
+}
+
+impl LayerNorm {
+    /// γ=1, β=0.
+    pub fn new(features: usize) -> Self {
+        LayerNorm {
+            gamma: Param::new(Tensor::full(Shape::d1(features), 1.0)),
+            beta: Param::new(Tensor::zeros(Shape::d1(features))),
+            features,
+            cached_xhat: None,
+            cached_invstd: Vec::new(),
+        }
+    }
+}
+
+#[allow(clippy::needless_range_loop)] // parallel per-row buffers are indexed together
+impl Module for LayerNorm {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        assert_eq!(x.shape().rank(), 2, "LayerNorm expects [rows, features]");
+        let rows = x.shape().dim(0);
+        let f = x.shape().dim(1);
+        assert_eq!(f, self.features, "LayerNorm features");
+        let mut y = Tensor::zeros(x.shape().clone());
+        let mut xhat = Tensor::zeros(x.shape().clone());
+        let mut invstds = vec![0.0f32; rows];
+        for r in 0..rows {
+            let row = &x.data()[r * f..(r + 1) * f];
+            let mean = row.iter().sum::<f32>() / f as f32;
+            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / f as f32;
+            let invstd = 1.0 / (var + EPS).sqrt();
+            invstds[r] = invstd;
+            for i in 0..f {
+                let xh = (row[i] - mean) * invstd;
+                xhat.data_mut()[r * f + i] = xh;
+                y.data_mut()[r * f + i] =
+                    self.gamma.value.data()[i] * xh + self.beta.value.data()[i];
+            }
+        }
+        if train {
+            self.cached_xhat = Some(xhat);
+            self.cached_invstd = invstds;
+        }
+        y
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let xhat = self.cached_xhat.as_ref().expect("backward before forward(train)");
+        let rows = dy.shape().dim(0);
+        let f = self.features;
+        let m = f as f32;
+        let mut dx = Tensor::zeros(dy.shape().clone());
+        for r in 0..rows {
+            let dyr = &dy.data()[r * f..(r + 1) * f];
+            let xhr = &xhat.data()[r * f..(r + 1) * f];
+            let invstd = self.cached_invstd[r];
+            let mut sum_dyg = 0.0f32;
+            let mut sum_dyg_xhat = 0.0f32;
+            for i in 0..f {
+                let d = dyr[i] * self.gamma.value.data()[i];
+                sum_dyg += d;
+                sum_dyg_xhat += d * xhr[i];
+                self.gamma.grad.data_mut()[i] += dyr[i] * xhr[i];
+                self.beta.grad.data_mut()[i] += dyr[i];
+            }
+            for i in 0..f {
+                let d = dyr[i] * self.gamma.value.data()[i];
+                dx.data_mut()[r * f + i] =
+                    invstd / m * (m * d - sum_dyg - xhr[i] * sum_dyg_xhat);
+            }
+        }
+        dx
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.gamma);
+        f(&mut self.beta);
+    }
+
+    fn name(&self) -> &'static str {
+        "LayerNorm"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::gradcheck::check_param_grads;
+    use crate::module::Sequential;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn rows_are_normalized() {
+        let mut ln = LayerNorm::new(4);
+        let x = Tensor::from_vec(Shape::d2(2, 4), vec![1.0, 2.0, 3.0, 4.0, -5.0, 0.0, 5.0, 10.0]);
+        let y = ln.forward(&x, false);
+        for r in 0..2 {
+            let row = &y.data()[r * 4..(r + 1) * 4];
+            let mean: f32 = row.iter().sum::<f32>() / 4.0;
+            let var: f32 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+            assert!(mean.abs() < 1e-5, "row {r} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-3, "row {r} var {var}");
+        }
+    }
+
+    #[test]
+    fn affine_shifts_and_scales() {
+        let mut ln = LayerNorm::new(2);
+        ln.gamma.value = Tensor::from_vec(Shape::d1(2), vec![2.0, 2.0]);
+        ln.beta.value = Tensor::from_vec(Shape::d1(2), vec![1.0, -1.0]);
+        let x = Tensor::from_vec(Shape::d2(1, 2), vec![0.0, 2.0]);
+        let y = ln.forward(&x, false);
+        // Normalized row is (−1, 1) → affine gives (−1, 1).
+        assert!((y.data()[0] - (-1.0)).abs() < 1e-2, "{}", y.data()[0]);
+        assert!((y.data()[1] - 1.0).abs() < 1e-2, "{}", y.data()[1]);
+    }
+
+    #[test]
+    fn layernorm_gradcheck() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut net = Sequential::new().push(LayerNorm::new(5));
+        let x = Tensor::rand_uniform(Shape::d2(3, 5), 2.0, &mut rng);
+        check_param_grads(&mut net, &x, &[0, 2, 4], 0.05);
+    }
+
+    #[test]
+    fn input_gradient_flows() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut ln = LayerNorm::new(6);
+        let x = Tensor::rand_uniform(Shape::d2(2, 6), 1.0, &mut rng);
+        let y = ln.forward(&x, true);
+        let mut dy = Tensor::zeros(y.shape().clone());
+        dy.data_mut()[3] = 1.0;
+        let dx = ln.backward(&dy);
+        assert!(dx.norm() > 0.0);
+        // Gradient stays within the same row (rows are independent).
+        assert!(dx.data()[6..].iter().all(|&v| v == 0.0));
+    }
+}

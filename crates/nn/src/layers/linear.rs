@@ -1,0 +1,179 @@
+//! Fully-connected layer and the flatten adaptor.
+
+use crate::module::Module;
+use crate::param::Param;
+use murmuration_tensor::gemm::{gemm, gemm_at, gemm_bt};
+use murmuration_tensor::{Shape, Tensor};
+use rand::Rng;
+
+/// Fully-connected layer: `y = x Wᵀ + b`, `W: [out, in]`, `x: [batch, in]`.
+pub struct Linear {
+    pub weight: Param,
+    pub bias: Param,
+    in_features: usize,
+    out_features: usize,
+    cached_in: Option<Tensor>,
+}
+
+impl Linear {
+    /// Kaiming-initialized linear layer.
+    pub fn new<R: Rng>(in_features: usize, out_features: usize, rng: &mut R) -> Self {
+        Linear {
+            weight: Param::new(Tensor::kaiming(Shape::d2(out_features, in_features), in_features, rng)),
+            bias: Param::new(Tensor::zeros(Shape::d1(out_features))),
+            in_features,
+            out_features,
+            cached_in: None,
+        }
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+}
+
+impl Module for Linear {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        assert_eq!(x.shape().rank(), 2, "Linear expects [batch, in]");
+        let batch = x.shape().dim(0);
+        assert_eq!(x.shape().dim(1), self.in_features, "Linear in_features");
+        if train {
+            self.cached_in = Some(x.clone());
+        }
+        let mut y = Tensor::zeros(Shape::d2(batch, self.out_features));
+        gemm_bt(
+            batch,
+            self.in_features,
+            self.out_features,
+            x.data(),
+            self.weight.value.data(),
+            y.data_mut(),
+        );
+        for b in 0..batch {
+            let row = &mut y.data_mut()[b * self.out_features..(b + 1) * self.out_features];
+            for (v, &bb) in row.iter_mut().zip(self.bias.value.data()) {
+                *v += bb;
+            }
+        }
+        y
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let x = self.cached_in.as_ref().expect("backward before forward(train)");
+        let batch = x.shape().dim(0);
+        assert_eq!(dy.shape(), &Shape::d2(batch, self.out_features), "Linear dy shape");
+        // dW += dyᵀ · x
+        let mut dw = vec![0.0f32; self.out_features * self.in_features];
+        gemm_at(self.out_features, batch, self.in_features, dy.data(), x.data(), &mut dw);
+        for (g, t) in self.weight.grad.data_mut().iter_mut().zip(dw.iter()) {
+            *g += t;
+        }
+        // db += column sums of dy
+        for b in 0..batch {
+            for o in 0..self.out_features {
+                self.bias.grad.data_mut()[o] += dy.data()[b * self.out_features + o];
+            }
+        }
+        // dx = dy · W
+        let mut dx = Tensor::zeros(Shape::d2(batch, self.in_features));
+        gemm(
+            batch,
+            self.out_features,
+            self.in_features,
+            dy.data(),
+            self.weight.value.data(),
+            dx.data_mut(),
+        );
+        dx
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
+    }
+
+    fn name(&self) -> &'static str {
+        "Linear"
+    }
+}
+
+/// Reshapes `[n, c, h, w]` to `[n, c*h*w]` (and reverses in backward).
+pub struct Flatten {
+    cached_shape: Option<Shape>,
+}
+
+impl Flatten {
+    /// Stateless constructor.
+    pub fn new() -> Self {
+        Flatten { cached_shape: None }
+    }
+}
+
+impl Default for Flatten {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Module for Flatten {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        assert_eq!(x.shape().rank(), 4, "Flatten expects NCHW");
+        if train {
+            self.cached_shape = Some(x.shape().clone());
+        }
+        let n = x.shape().n();
+        let rest = x.numel() / n;
+        x.clone().reshape(Shape::d2(n, rest))
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let s = self.cached_shape.as_ref().expect("backward before forward(train)");
+        dy.clone().reshape(s.clone())
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    fn name(&self) -> &'static str {
+        "Flatten"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::gradcheck::check_param_grads;
+    use crate::module::Sequential;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn linear_known_values() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut l = Linear::new(2, 2, &mut rng);
+        l.weight.value = Tensor::from_vec(Shape::d2(2, 2), vec![1.0, 2.0, 3.0, 4.0]);
+        l.bias.value = Tensor::from_vec(Shape::d1(2), vec![0.5, -0.5]);
+        let x = Tensor::from_vec(Shape::d2(1, 2), vec![1.0, 1.0]);
+        let y = l.forward(&x, false);
+        // y0 = 1+2+0.5 = 3.5 ; y1 = 3+4-0.5 = 6.5
+        assert_eq!(y.data(), &[3.5, 6.5]);
+    }
+
+    #[test]
+    fn linear_gradcheck() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut net = Sequential::new().push(Linear::new(4, 3, &mut rng));
+        let x = Tensor::rand_uniform(Shape::d2(3, 4), 1.0, &mut rng);
+        check_param_grads(&mut net, &x, &[0, 1, 2], 0.05);
+    }
+
+    #[test]
+    fn flatten_round_trip() {
+        let mut f = Flatten::new();
+        let x = Tensor::from_vec(Shape::nchw(2, 1, 2, 2), (0..8).map(|i| i as f32).collect());
+        let y = f.forward(&x, true);
+        assert_eq!(y.shape(), &Shape::d2(2, 4));
+        let back = f.backward(&y);
+        assert_eq!(back.shape(), x.shape());
+        assert_eq!(back.data(), x.data());
+    }
+}

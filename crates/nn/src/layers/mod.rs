@@ -1,0 +1,78 @@
+//! Trainable layers. Each caches the activations its backward pass needs.
+
+mod act;
+mod conv;
+mod layernorm;
+mod linear;
+mod norm;
+mod pool;
+
+pub use act::{HSwish, ReLU};
+pub use conv::{Conv2d, DepthwiseConv2d};
+pub use layernorm::LayerNorm;
+pub use linear::{Flatten, Linear};
+pub use norm::BatchNorm2d;
+pub use pool::{GlobalAvgPool, MaxPool2d};
+
+#[cfg(test)]
+pub(crate) mod gradcheck {
+    //! Finite-difference gradient checking shared by layer tests.
+
+    use crate::loss::softmax_cross_entropy;
+    use crate::module::Module;
+    use murmuration_tensor::Tensor;
+
+    /// Checks every parameter gradient of `m` against central finite
+    /// differences through a softmax-CE loss on `x` with `targets`.
+    pub fn check_param_grads(m: &mut dyn Module, x: &Tensor, targets: &[usize], tol: f32) {
+        // Analytic gradients.
+        m.zero_grad();
+        let logits = m.forward(x, true);
+        let (_, dlogits) = softmax_cross_entropy(&logits, targets);
+        m.backward(&dlogits);
+
+        let mut analytic: Vec<f32> = Vec::new();
+        m.visit_params(&mut |p| analytic.extend_from_slice(p.grad.data()));
+
+        // Numeric gradients, parameter by parameter.
+        let eps = 1e-2f32;
+        let mut flat_idx = 0usize;
+        let mut param_sizes = Vec::new();
+        m.visit_params(&mut |p| param_sizes.push(p.numel()));
+        for (pi, &sz) in param_sizes.iter().enumerate() {
+            // Probe a handful of coordinates per parameter to keep runtime low.
+            let probes: Vec<usize> = (0..sz).step_by((sz / 4).max(1)).take(4).collect();
+            for &ci in &probes {
+                let loss_at = |m: &mut dyn Module, delta: f32| -> f32 {
+                    let mut k = 0usize;
+                    m.visit_params(&mut |p| {
+                        if k == pi {
+                            p.value.data_mut()[ci] += delta;
+                        }
+                        k += 1;
+                    });
+                    let logits = m.forward(x, true);
+                    let (l, _) = softmax_cross_entropy(&logits, targets);
+                    let mut k2 = 0usize;
+                    m.visit_params(&mut |p| {
+                        if k2 == pi {
+                            p.value.data_mut()[ci] -= delta;
+                        }
+                        k2 += 1;
+                    });
+                    l
+                };
+                let lp = loss_at(m, eps);
+                let lm = loss_at(m, -eps);
+                let numeric = (lp - lm) / (2.0 * eps);
+                let a = analytic[flat_idx + ci];
+                let denom = numeric.abs().max(a.abs()).max(1e-2);
+                assert!(
+                    (numeric - a).abs() / denom < tol,
+                    "param {pi} coord {ci}: numeric {numeric} vs analytic {a}"
+                );
+            }
+            flat_idx += sz;
+        }
+    }
+}

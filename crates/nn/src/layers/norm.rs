@@ -1,0 +1,220 @@
+//! Batch normalization over NCHW (per-channel statistics).
+
+use crate::module::Module;
+use crate::param::Param;
+use murmuration_tensor::{Shape, Tensor};
+
+const EPS: f32 = 1e-5;
+const MOMENTUM: f32 = 0.1;
+
+/// 2-D batch norm: per-channel mean/variance over (N, H, W) in training,
+/// running statistics at inference.
+pub struct BatchNorm2d {
+    pub gamma: Param,
+    pub beta: Param,
+    running_mean: Vec<f32>,
+    running_var: Vec<f32>,
+    channels: usize,
+    // Backward cache.
+    cached_xhat: Option<Tensor>,
+    cached_invstd: Vec<f32>,
+}
+
+impl BatchNorm2d {
+    /// γ=1, β=0, running stats at (0, 1).
+    pub fn new(channels: usize) -> Self {
+        BatchNorm2d {
+            gamma: Param::new(Tensor::full(Shape::d1(channels), 1.0)),
+            beta: Param::new(Tensor::zeros(Shape::d1(channels))),
+            running_mean: vec![0.0; channels],
+            running_var: vec![1.0; channels],
+            channels,
+            cached_xhat: None,
+            cached_invstd: Vec::new(),
+        }
+    }
+
+    /// Read-only running mean (for tests / serialization).
+    pub fn running_mean(&self) -> &[f32] {
+        &self.running_mean
+    }
+
+    /// Read-only running variance.
+    pub fn running_var(&self) -> &[f32] {
+        &self.running_var
+    }
+}
+
+impl Module for BatchNorm2d {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let (n, c, h, w) = (x.shape().n(), x.shape().c(), x.shape().h(), x.shape().w());
+        assert_eq!(c, self.channels, "BatchNorm2d channels");
+        let plane = h * w;
+        let m = (n * plane) as f32;
+        let mut y = Tensor::zeros(x.shape().clone());
+        if train {
+            let mut xhat = Tensor::zeros(x.shape().clone());
+            self.cached_invstd = vec![0.0; c];
+            for ch in 0..c {
+                let mut mean = 0.0;
+                for b in 0..n {
+                    let base = (b * c + ch) * plane;
+                    mean += x.data()[base..base + plane].iter().sum::<f32>();
+                }
+                mean /= m;
+                let mut var = 0.0;
+                for b in 0..n {
+                    let base = (b * c + ch) * plane;
+                    var += x.data()[base..base + plane]
+                        .iter()
+                        .map(|&v| (v - mean) * (v - mean))
+                        .sum::<f32>();
+                }
+                var /= m;
+                let invstd = 1.0 / (var + EPS).sqrt();
+                self.cached_invstd[ch] = invstd;
+                self.running_mean[ch] = (1.0 - MOMENTUM) * self.running_mean[ch] + MOMENTUM * mean;
+                self.running_var[ch] = (1.0 - MOMENTUM) * self.running_var[ch] + MOMENTUM * var;
+                let g = self.gamma.value.data()[ch];
+                let bta = self.beta.value.data()[ch];
+                for b in 0..n {
+                    let base = (b * c + ch) * plane;
+                    for i in 0..plane {
+                        let xh = (x.data()[base + i] - mean) * invstd;
+                        xhat.data_mut()[base + i] = xh;
+                        y.data_mut()[base + i] = g * xh + bta;
+                    }
+                }
+            }
+            self.cached_xhat = Some(xhat);
+        } else {
+            for ch in 0..c {
+                let invstd = 1.0 / (self.running_var[ch] + EPS).sqrt();
+                let mean = self.running_mean[ch];
+                let g = self.gamma.value.data()[ch];
+                let bta = self.beta.value.data()[ch];
+                for b in 0..n {
+                    let base = (b * c + ch) * plane;
+                    for i in 0..plane {
+                        y.data_mut()[base + i] = g * (x.data()[base + i] - mean) * invstd + bta;
+                    }
+                }
+            }
+        }
+        y
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let xhat = self.cached_xhat.as_ref().expect("backward before forward(train)");
+        let (n, c, h, w) = (dy.shape().n(), dy.shape().c(), dy.shape().h(), dy.shape().w());
+        let plane = h * w;
+        let m = (n * plane) as f32;
+        let mut dx = Tensor::zeros(dy.shape().clone());
+        for ch in 0..c {
+            let g = self.gamma.value.data()[ch];
+            let invstd = self.cached_invstd[ch];
+            // Channel-wise reductions.
+            let mut sum_dy = 0.0;
+            let mut sum_dy_xhat = 0.0;
+            for b in 0..n {
+                let base = (b * c + ch) * plane;
+                for i in 0..plane {
+                    let d = dy.data()[base + i];
+                    sum_dy += d;
+                    sum_dy_xhat += d * xhat.data()[base + i];
+                }
+            }
+            self.beta.grad.data_mut()[ch] += sum_dy;
+            self.gamma.grad.data_mut()[ch] += sum_dy_xhat;
+            // dx = γ·invstd/M · (M·dy − Σdy − x̂·Σ(dy·x̂))
+            let k = g * invstd / m;
+            for b in 0..n {
+                let base = (b * c + ch) * plane;
+                for i in 0..plane {
+                    let d = dy.data()[base + i];
+                    let xh = xhat.data()[base + i];
+                    dx.data_mut()[base + i] = k * (m * d - sum_dy - xh * sum_dy_xhat);
+                }
+            }
+        }
+        dx
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.gamma);
+        f(&mut self.beta);
+    }
+
+    fn name(&self) -> &'static str {
+        "BatchNorm2d"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::gradcheck::check_param_grads;
+    use crate::layers::{Flatten, GlobalAvgPool};
+    use crate::module::Sequential;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn training_output_is_normalized() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut bn = BatchNorm2d::new(2);
+        let x = Tensor::rand_uniform(Shape::nchw(4, 2, 6, 6), 3.0, &mut rng);
+        let y = bn.forward(&x, true);
+        // Per-channel mean ~0, var ~1.
+        let plane = 36;
+        for ch in 0..2 {
+            let mut vals = Vec::new();
+            for b in 0..4 {
+                let base = (b * 2 + ch) * plane;
+                vals.extend_from_slice(&y.data()[base..base + plane]);
+            }
+            let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            let var: f32 = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
+            assert!(mean.abs() < 1e-4, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "var {var}");
+        }
+    }
+
+    #[test]
+    fn inference_uses_running_stats() {
+        let mut bn = BatchNorm2d::new(1);
+        // Never trained: running stats are (0, 1), so inference is identity
+        // modulo eps.
+        let x = Tensor::from_vec(Shape::nchw(1, 1, 1, 2), vec![1.0, -1.0]);
+        let y = bn.forward(&x, false);
+        assert!((y.data()[0] - 1.0).abs() < 1e-3);
+        assert!((y.data()[1] + 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn running_stats_move_toward_batch_stats() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut bn = BatchNorm2d::new(1);
+        let x = {
+            let mut t = Tensor::rand_uniform(Shape::nchw(8, 1, 4, 4), 1.0, &mut rng);
+            for v in t.data_mut() {
+                *v += 5.0; // batch mean ≈ 5
+            }
+            t
+        };
+        for _ in 0..50 {
+            bn.forward(&x, true);
+        }
+        assert!((bn.running_mean()[0] - 5.0).abs() < 0.1, "{}", bn.running_mean()[0]);
+    }
+
+    #[test]
+    fn batchnorm_gradcheck() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut net = Sequential::new()
+            .push(BatchNorm2d::new(2))
+            .push(GlobalAvgPool::new())
+            .push(Flatten::new());
+        let x = Tensor::rand_uniform(Shape::nchw(3, 2, 3, 3), 1.0, &mut rng);
+        check_param_grads(&mut net, &x, &[0, 1, 0], 0.05);
+    }
+}

@@ -1,0 +1,113 @@
+//! Pooling layers.
+
+use crate::module::Module;
+use crate::param::Param;
+use murmuration_tensor::pool::{global_avgpool, global_avgpool_backward, maxpool2d};
+use murmuration_tensor::Tensor;
+
+/// Max pooling over square windows.
+pub struct MaxPool2d {
+    k: usize,
+    stride: usize,
+    pad: usize,
+    cached_arg: Option<(Vec<usize>, murmuration_tensor::Shape)>,
+}
+
+impl MaxPool2d {
+    /// Window `k`, step `stride`, symmetric `pad`.
+    pub fn new(k: usize, stride: usize, pad: usize) -> Self {
+        MaxPool2d { k, stride, pad, cached_arg: None }
+    }
+}
+
+impl Module for MaxPool2d {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let (y, arg) = maxpool2d(x, self.k, self.stride, self.pad);
+        if train {
+            self.cached_arg = Some((arg, x.shape().clone()));
+        }
+        y
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let (arg, in_shape) = self.cached_arg.as_ref().expect("backward before forward(train)");
+        let mut dx = Tensor::zeros(in_shape.clone());
+        for (i, &src) in arg.iter().enumerate() {
+            dx.data_mut()[src] += dy.data()[i];
+        }
+        dx
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    fn name(&self) -> &'static str {
+        "MaxPool2d"
+    }
+}
+
+/// Global average pooling: NCHW → `[n, c, 1, 1]`.
+pub struct GlobalAvgPool {
+    cached_hw: Option<(usize, usize)>,
+}
+
+impl GlobalAvgPool {
+    /// Stateless constructor.
+    pub fn new() -> Self {
+        GlobalAvgPool { cached_hw: None }
+    }
+}
+
+impl Default for GlobalAvgPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Module for GlobalAvgPool {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        if train {
+            self.cached_hw = Some((x.shape().h(), x.shape().w()));
+        }
+        global_avgpool(x)
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let (h, w) = self.cached_hw.expect("backward before forward(train)");
+        global_avgpool_backward(dy, h, w)
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    fn name(&self) -> &'static str {
+        "GlobalAvgPool"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use murmuration_tensor::Shape;
+
+    #[test]
+    fn maxpool_backward_routes_to_argmax() {
+        let mut l = MaxPool2d::new(2, 2, 0);
+        let x = Tensor::from_vec(
+            Shape::nchw(1, 1, 2, 2),
+            vec![1.0, 5.0, 2.0, 3.0],
+        );
+        let y = l.forward(&x, true);
+        assert_eq!(y.data(), &[5.0]);
+        let dx = l.backward(&Tensor::from_vec(Shape::nchw(1, 1, 1, 1), vec![7.0]));
+        assert_eq!(dx.data(), &[0.0, 7.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn gap_forward_backward() {
+        let mut l = GlobalAvgPool::new();
+        let x = Tensor::from_vec(Shape::nchw(1, 1, 2, 2), vec![1.0, 2.0, 3.0, 4.0]);
+        let y = l.forward(&x, true);
+        assert_eq!(y.data(), &[2.5]);
+        let dx = l.backward(&Tensor::from_vec(Shape::nchw(1, 1, 1, 1), vec![4.0]));
+        assert_eq!(dx.data(), &[1.0, 1.0, 1.0, 1.0]);
+    }
+}

@@ -1,0 +1,26 @@
+//! # murmuration-nn
+//!
+//! A small but *real* neural-network layer library: every layer implements
+//! both `forward` and `backward`, so the Murmuration supernet can actually
+//! be trained (on the synthetic dataset in [`data`]) rather than stubbed.
+//!
+//! The API follows a caching-module design: a [`Module`] owns its
+//! parameters and remembers whatever activations its backward pass needs.
+//! Gradients accumulate into [`Param::grad`] and are consumed by the
+//! optimizers in [`optim`].
+//!
+//! Layers provided: [`layers::Conv2d`], [`layers::DepthwiseConv2d`],
+//! [`layers::Linear`], [`layers::BatchNorm2d`], ReLU / h-swish activations,
+//! max/global-average pooling, plus [`module::Sequential`] and
+//! [`module::Residual`] combinators — everything a MobileNetV3-style
+//! supernet needs.
+
+pub mod data;
+pub mod layers;
+pub mod loss;
+pub mod module;
+pub mod optim;
+pub mod param;
+
+pub use module::{Module, Residual, Sequential};
+pub use param::Param;

@@ -1,0 +1,97 @@
+//! Losses. Softmax cross-entropy is the only loss the system needs.
+
+use murmuration_tensor::activation::softmax_into;
+use murmuration_tensor::{Shape, Tensor};
+
+/// Softmax cross-entropy over a `[batch, classes]` logits tensor.
+///
+/// Returns `(mean_loss, dlogits)` where `dlogits` is already averaged over
+/// the batch, so callers feed it straight into `Module::backward`.
+#[allow(clippy::needless_range_loop)] // indexing two parallel arrays
+pub fn softmax_cross_entropy(logits: &Tensor, targets: &[usize]) -> (f32, Tensor) {
+    assert_eq!(logits.shape().rank(), 2, "logits must be [batch, classes]");
+    let batch = logits.shape().dim(0);
+    let classes = logits.shape().dim(1);
+    assert_eq!(targets.len(), batch, "one target per row");
+    let mut dlogits = Tensor::zeros(Shape::d2(batch, classes));
+    let mut loss = 0.0;
+    let mut probs = vec![0.0f32; classes];
+    let inv_batch = 1.0 / batch as f32;
+    for b in 0..batch {
+        let row = &logits.data()[b * classes..(b + 1) * classes];
+        softmax_into(row, &mut probs);
+        let t = targets[b];
+        assert!(t < classes, "target {t} out of range for {classes} classes");
+        loss -= probs[t].max(1e-12).ln();
+        let drow = &mut dlogits.data_mut()[b * classes..(b + 1) * classes];
+        for (i, d) in drow.iter_mut().enumerate() {
+            *d = (probs[i] - f32::from(i == t)) * inv_batch;
+        }
+    }
+    (loss * inv_batch, dlogits)
+}
+
+/// Top-1 accuracy of `[batch, classes]` logits against targets, in `[0, 1]`.
+#[allow(clippy::needless_range_loop)] // indexing two parallel arrays
+pub fn accuracy(logits: &Tensor, targets: &[usize]) -> f32 {
+    let batch = logits.shape().dim(0);
+    let classes = logits.shape().dim(1);
+    let mut correct = 0usize;
+    for b in 0..batch {
+        let row = &logits.data()[b * classes..(b + 1) * classes];
+        let pred = row
+            .iter()
+            .enumerate()
+            .fold((0usize, f32::NEG_INFINITY), |acc, (i, &v)| if v > acc.1 { (i, v) } else { acc })
+            .0;
+        correct += usize::from(pred == targets[b]);
+    }
+    correct as f32 / batch as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_loss_is_log_classes() {
+        let logits = Tensor::zeros(Shape::d2(2, 4));
+        let (loss, _) = softmax_cross_entropy(&logits, &[0, 3]);
+        assert!((loss - (4.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_sums_to_zero_per_row() {
+        let logits = Tensor::from_vec(Shape::d2(1, 3), vec![2.0, -1.0, 0.5]);
+        let (_, d) = softmax_cross_entropy(&logits, &[1]);
+        let s: f32 = d.data().iter().sum();
+        assert!(s.abs() < 1e-6);
+        // Target coordinate gradient is negative.
+        assert!(d.data()[1] < 0.0);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let logits = Tensor::from_vec(Shape::d2(1, 3), vec![0.3, -0.7, 1.1]);
+        let (_, d) = softmax_cross_entropy(&logits, &[2]);
+        let eps = 1e-3;
+        for i in 0..3 {
+            let mut lp = logits.clone();
+            lp.data_mut()[i] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[i] -= eps;
+            let (fp, _) = softmax_cross_entropy(&lp, &[2]);
+            let (fm, _) = softmax_cross_entropy(&lm, &[2]);
+            let fd = (fp - fm) / (2.0 * eps);
+            assert!((fd - d.data()[i]).abs() < 1e-3, "coord {i}");
+        }
+    }
+
+    #[test]
+    fn accuracy_counts_correct_rows() {
+        let logits = Tensor::from_vec(Shape::d2(2, 2), vec![1.0, 0.0, 0.0, 1.0]);
+        assert_eq!(accuracy(&logits, &[0, 1]), 1.0);
+        assert_eq!(accuracy(&logits, &[1, 0]), 0.0);
+        assert_eq!(accuracy(&logits, &[0, 0]), 0.5);
+    }
+}

@@ -1,0 +1,178 @@
+//! The module trait and the sequential / residual combinators.
+
+use crate::param::Param;
+use murmuration_tensor::Tensor;
+
+/// A trainable network component.
+///
+/// `forward` caches whatever the matching `backward` call needs; callers must
+/// pair them one-to-one (backward consumes the most recent forward's cache).
+/// `backward` receives the loss gradient w.r.t. the module output, adds each
+/// parameter's contribution into [`Param::grad`], and returns the gradient
+/// w.r.t. the module input.
+pub trait Module {
+    /// Runs the layer on `x`, caching activations for backward when
+    /// `train` is true.
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor;
+
+    /// Backpropagates `dy` (gradient w.r.t. this module's output), returning
+    /// the gradient w.r.t. its input.
+    fn backward(&mut self, dy: &Tensor) -> Tensor;
+
+    /// Visits all trainable parameters.
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param));
+
+    /// Human-readable layer name for debugging / summaries.
+    fn name(&self) -> &'static str;
+
+    /// Total scalar parameter count.
+    fn param_count(&mut self) -> usize {
+        let mut n = 0;
+        self.visit_params(&mut |p| n += p.numel());
+        n
+    }
+
+    /// Zeroes every parameter gradient.
+    fn zero_grad(&mut self) {
+        self.visit_params(&mut |p| p.zero_grad());
+    }
+}
+
+/// Runs children in order.
+pub struct Sequential {
+    children: Vec<Box<dyn Module>>,
+}
+
+impl Sequential {
+    /// Empty container.
+    pub fn new() -> Self {
+        Sequential { children: Vec::new() }
+    }
+
+    /// Builder-style push.
+    pub fn push(mut self, m: impl Module + 'static) -> Self {
+        self.children.push(Box::new(m));
+        self
+    }
+
+    /// Push a boxed module (for dynamically assembled nets).
+    pub fn push_boxed(&mut self, m: Box<dyn Module>) {
+        self.children.push(m);
+    }
+
+    /// Number of direct children.
+    pub fn len(&self) -> usize {
+        self.children.len()
+    }
+
+    /// True when the container has no children.
+    pub fn is_empty(&self) -> bool {
+        self.children.is_empty()
+    }
+}
+
+impl Default for Sequential {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Module for Sequential {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let mut cur = x.clone();
+        for c in &mut self.children {
+            cur = c.forward(&cur, train);
+        }
+        cur
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let mut cur = dy.clone();
+        for c in self.children.iter_mut().rev() {
+            cur = c.backward(&cur);
+        }
+        cur
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for c in &mut self.children {
+            c.visit_params(f);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "Sequential"
+    }
+}
+
+/// Residual wrapper: `y = x + body(x)`. The body must preserve shape.
+pub struct Residual {
+    body: Box<dyn Module>,
+}
+
+impl Residual {
+    /// Wraps `body` in a skip connection.
+    pub fn new(body: impl Module + 'static) -> Self {
+        Residual { body: Box::new(body) }
+    }
+}
+
+impl Module for Residual {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let mut y = self.body.forward(x, train);
+        assert_eq!(
+            y.shape(),
+            x.shape(),
+            "Residual body must preserve shape ({} vs {})",
+            y.shape(),
+            x.shape()
+        );
+        y.add_assign(x);
+        y
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        // d/dx [x + f(x)] = dy + f'(x) dy
+        let mut dx = self.body.backward(dy);
+        dx.add_assign(dy);
+        dx
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.body.visit_params(f);
+    }
+
+    fn name(&self) -> &'static str {
+        "Residual"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{HSwish, ReLU};
+    use murmuration_tensor::Shape;
+
+    #[test]
+    fn sequential_composes_forward() {
+        let mut s = Sequential::new().push(ReLU::new()).push(HSwish::new());
+        let x = Tensor::from_vec(Shape::d1(3), vec![-1.0, 0.0, 4.0]);
+        let y = s.forward(&x, false);
+        // relu(-1)=0 -> hswish(0)=0 ; hswish(4)=4
+        assert_eq!(y.data(), &[0.0, 0.0, 4.0]);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn residual_identity_body_doubles_gradient() {
+        // body = ReLU on positive input acts as identity, so y = 2x and
+        // dy/dx = 2.
+        let mut r = Residual::new(ReLU::new());
+        let x = Tensor::from_vec(Shape::d1(2), vec![1.0, 2.0]);
+        let y = r.forward(&x, true);
+        assert_eq!(y.data(), &[2.0, 4.0]);
+        let dy = Tensor::from_vec(Shape::d1(2), vec![1.0, 1.0]);
+        let dx = r.backward(&dy);
+        assert_eq!(dx.data(), &[2.0, 2.0]);
+    }
+}

@@ -1,0 +1,171 @@
+//! Optimizers: SGD with momentum and Adam.
+//!
+//! Optimizers keep per-parameter state keyed by visit order, so the module
+//! tree must be stable between steps (true for every network in this
+//! workspace).
+
+use crate::module::Module;
+use murmuration_tensor::Tensor;
+
+/// Stochastic gradient descent with classical momentum.
+pub struct Sgd {
+    pub lr: f32,
+    pub momentum: f32,
+    pub weight_decay: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Plain SGD when `momentum == 0`.
+    pub fn new(lr: f32, momentum: f32, weight_decay: f32) -> Self {
+        Sgd { lr, momentum, weight_decay, velocity: Vec::new() }
+    }
+
+    /// Applies one update step using gradients accumulated in the module.
+    pub fn step(&mut self, m: &mut dyn Module) {
+        let mut idx = 0usize;
+        let need_init = self.velocity.is_empty();
+        let lr = self.lr;
+        let mom = self.momentum;
+        let wd = self.weight_decay;
+        let velocity = &mut self.velocity;
+        m.visit_params(&mut |p| {
+            if need_init {
+                velocity.push(Tensor::zeros(p.value.shape().clone()));
+            }
+            let v = &mut velocity[idx];
+            for ((vv, &g), w) in v
+                .data_mut()
+                .iter_mut()
+                .zip(p.grad.data())
+                .zip(p.value.data_mut().iter_mut())
+            {
+                let g = g + wd * *w;
+                *vv = mom * *vv + g;
+                *w -= lr * *vv;
+            }
+            idx += 1;
+        });
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction.
+pub struct Adam {
+    pub lr: f32,
+    pub beta1: f32,
+    pub beta2: f32,
+    pub eps: f32,
+    t: u64,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Adam with the standard β₁=0.9, β₂=0.999.
+    pub fn new(lr: f32) -> Self {
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+
+    /// Applies one update step using gradients accumulated in the module.
+    pub fn step(&mut self, module: &mut dyn Module) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        let mut idx = 0usize;
+        let need_init = self.m.is_empty();
+        let (lr, b1, b2, eps) = (self.lr, self.beta1, self.beta2, self.eps);
+        let (ms, vs) = (&mut self.m, &mut self.v);
+        module.visit_params(&mut |p| {
+            if need_init {
+                ms.push(Tensor::zeros(p.value.shape().clone()));
+                vs.push(Tensor::zeros(p.value.shape().clone()));
+            }
+            let m = &mut ms[idx];
+            let v = &mut vs[idx];
+            for (((mv, vv), &g), w) in m
+                .data_mut()
+                .iter_mut()
+                .zip(v.data_mut().iter_mut())
+                .zip(p.grad.data())
+                .zip(p.value.data_mut().iter_mut())
+            {
+                *mv = b1 * *mv + (1.0 - b1) * g;
+                *vv = b2 * *vv + (1.0 - b2) * g * g;
+                let mhat = *mv / bc1;
+                let vhat = *vv / bc2;
+                *w -= lr * mhat / (vhat.sqrt() + eps);
+            }
+            idx += 1;
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::Linear;
+    use crate::loss::softmax_cross_entropy;
+    use crate::module::Sequential;
+    use murmuration_tensor::{Shape, Tensor};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn train_toy(optim_is_adam: bool) -> f32 {
+        // Learn a separable 2-class problem on 2-D points.
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut net = Sequential::new().push(Linear::new(2, 2, &mut rng));
+        let xs = Tensor::from_vec(
+            Shape::d2(4, 2),
+            vec![1.0, 0.0, 0.9, 0.1, 0.0, 1.0, 0.1, 0.9],
+        );
+        let ts = [0usize, 0, 1, 1];
+        let mut sgd = Sgd::new(0.5, 0.9, 0.0);
+        let mut adam = Adam::new(0.05);
+        let mut final_loss = f32::MAX;
+        for _ in 0..200 {
+            net.zero_grad();
+            let logits = net.forward(&xs, true);
+            let (loss, d) = softmax_cross_entropy(&logits, &ts);
+            net.backward(&d);
+            if optim_is_adam {
+                adam.step(&mut net);
+            } else {
+                sgd.step(&mut net);
+            }
+            final_loss = loss;
+        }
+        final_loss
+    }
+
+    #[test]
+    fn sgd_converges_on_toy_problem() {
+        assert!(train_toy(false) < 0.05, "loss {}", train_toy(false));
+    }
+
+    #[test]
+    fn adam_converges_on_toy_problem() {
+        assert!(train_toy(true) < 0.05, "loss {}", train_toy(true));
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut net = Sequential::new().push(Linear::new(3, 3, &mut rng));
+        let before: f32 = {
+            let mut norm = 0.0;
+            net.visit_params(&mut |p| norm += p.value.norm());
+            norm
+        };
+        // Zero gradient steps with decay should shrink weights.
+        let mut sgd = Sgd::new(0.1, 0.0, 0.5);
+        net.zero_grad();
+        for _ in 0..10 {
+            sgd.step(&mut net);
+        }
+        let after: f32 = {
+            let mut norm = 0.0;
+            net.visit_params(&mut |p| norm += p.value.norm());
+            norm
+        };
+        assert!(after < before * 0.9, "{after} !< {before}");
+    }
+}

@@ -1,0 +1,50 @@
+//! Trainable parameter: value + accumulated gradient.
+
+use murmuration_tensor::Tensor;
+
+/// A trainable tensor and its gradient accumulator.
+#[derive(Clone, Debug)]
+pub struct Param {
+    pub value: Tensor,
+    pub grad: Tensor,
+}
+
+impl Param {
+    /// Wraps a value tensor with a zeroed gradient of the same shape.
+    pub fn new(value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.shape().clone());
+        Param { value, grad }
+    }
+
+    /// Clears the accumulated gradient.
+    pub fn zero_grad(&mut self) {
+        self.grad.data_mut().fill(0.0);
+    }
+
+    /// Number of scalar parameters.
+    pub fn numel(&self) -> usize {
+        self.value.numel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use murmuration_tensor::Shape;
+
+    #[test]
+    fn grad_matches_value_shape() {
+        let p = Param::new(Tensor::full(Shape::d2(2, 3), 1.0));
+        assert_eq!(p.grad.shape(), p.value.shape());
+        assert_eq!(p.numel(), 6);
+        assert!(p.grad.data().iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut p = Param::new(Tensor::zeros(Shape::d1(4)));
+        p.grad.data_mut().fill(3.0);
+        p.zero_grad();
+        assert!(p.grad.data().iter().all(|&g| g == 0.0));
+    }
+}

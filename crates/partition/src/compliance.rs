@@ -1,0 +1,90 @@
+//! SLO definitions and compliance-rate computation.
+
+/// A service-level objective: a latency ceiling or an accuracy floor.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Slo {
+    /// End-to-end inference latency must not exceed this (ms).
+    LatencyMs(f64),
+    /// Top-1 accuracy must be at least this (%).
+    AccuracyPct(f32),
+}
+
+/// What a method delivered under one condition.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Outcome {
+    pub latency_ms: f64,
+    pub accuracy_pct: f32,
+}
+
+impl Slo {
+    /// Whether an outcome satisfies this SLO.
+    pub fn met(&self, o: &Outcome) -> bool {
+        match *self {
+            Slo::LatencyMs(limit) => o.latency_ms <= limit,
+            Slo::AccuracyPct(floor) => o.accuracy_pct >= floor,
+        }
+    }
+}
+
+/// A joint SLO as used in Fig. 16: latency ceiling *and* accuracy floor.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct JointSlo {
+    pub latency_ms: f64,
+    pub accuracy_pct: f32,
+}
+
+impl JointSlo {
+    /// Whether an outcome satisfies both constraints.
+    pub fn met(&self, o: &Outcome) -> bool {
+        o.latency_ms <= self.latency_ms && o.accuracy_pct >= self.accuracy_pct
+    }
+}
+
+/// Fraction of conditions under which the SLO was met, in percent.
+pub fn compliance_rate_pct(met: impl IntoIterator<Item = bool>) -> f64 {
+    let mut total = 0usize;
+    let mut ok = 0usize;
+    for m in met {
+        total += 1;
+        ok += usize::from(m);
+    }
+    if total == 0 {
+        0.0
+    } else {
+        100.0 * ok as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_slo_boundary_inclusive() {
+        let slo = Slo::LatencyMs(140.0);
+        assert!(slo.met(&Outcome { latency_ms: 140.0, accuracy_pct: 50.0 }));
+        assert!(!slo.met(&Outcome { latency_ms: 140.01, accuracy_pct: 99.0 }));
+    }
+
+    #[test]
+    fn accuracy_slo_boundary_inclusive() {
+        let slo = Slo::AccuracyPct(75.0);
+        assert!(slo.met(&Outcome { latency_ms: 1e9, accuracy_pct: 75.0 }));
+        assert!(!slo.met(&Outcome { latency_ms: 0.0, accuracy_pct: 74.99 }));
+    }
+
+    #[test]
+    fn joint_slo_requires_both() {
+        let slo = JointSlo { latency_ms: 100.0, accuracy_pct: 75.0 };
+        assert!(slo.met(&Outcome { latency_ms: 99.0, accuracy_pct: 76.0 }));
+        assert!(!slo.met(&Outcome { latency_ms: 99.0, accuracy_pct: 74.0 }));
+        assert!(!slo.met(&Outcome { latency_ms: 101.0, accuracy_pct: 76.0 }));
+    }
+
+    #[test]
+    fn compliance_rate_math() {
+        assert_eq!(compliance_rate_pct([true, true, false, false]), 50.0);
+        assert_eq!(compliance_rate_pct(std::iter::empty()), 0.0);
+        assert_eq!(compliance_rate_pct([true; 8]), 100.0);
+    }
+}

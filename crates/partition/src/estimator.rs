@@ -1,0 +1,419 @@
+//! The latency model shared by every method.
+//!
+//! Execution of one inference is a sequential chain of units; a unit may
+//! fan out over FDSP tiles on several devices. The model charges:
+//!
+//! * **compute** — per layer, `profile.layer_time_ms(op, macs)`, with tiled
+//!   units dividing each layer's MACs across tiles plus an FDSP seam
+//!   overhead (zero-padding recomputes tile borders);
+//! * **communication** — a redistribution step between consecutive units:
+//!   each destination device needs its input fraction, drawn
+//!   proportionally from every source device's output fraction, and
+//!   concurrent incoming transfers serialize on the destination's link.
+//!
+//! The same [`redistribute`] primitive is used by Murmuration's planner and
+//! by the Neurosurgeon/ADCNN baselines so the comparison is fair.
+
+use crate::plan::ExecutionPlan;
+use murmuration_edgesim::{Device, DeviceId, NetworkState};
+use murmuration_models::LayerSpec;
+use murmuration_supernet::SubnetSpec;
+use murmuration_tensor::quant::BitWidth;
+
+/// Latency estimate split into its components.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LatencyBreakdown {
+    /// End-to-end latency (ms).
+    pub total_ms: f64,
+    /// Critical-path compute portion (ms).
+    pub compute_ms: f64,
+    /// Critical-path communication portion (ms).
+    pub comm_ms: f64,
+}
+
+/// A data holder: device, fraction of the tensor it holds, and when that
+/// fraction is ready.
+#[derive(Clone, Copy, Debug)]
+pub struct Holder {
+    pub dev: DeviceId,
+    pub frac: f64,
+    pub ready_ms: f64,
+}
+
+/// Redistributes `bytes` from `srcs` to destination devices with fractions
+/// `dsts`; returns per-destination ready times.
+///
+/// Destination `d` first consumes whatever fraction is already co-located
+/// on it (free — this is what makes consecutive same-grid FDSP stages
+/// communication-free, as in ADCNN); the remaining need is pulled from the
+/// foreign sources proportionally to their shares. Incoming transfers
+/// serialize on `d`'s link and cannot start before every source is ready.
+pub fn redistribute(
+    net: &NetworkState,
+    srcs: &[Holder],
+    dsts: &[(DeviceId, f64)],
+    bytes: u64,
+) -> Vec<(DeviceId, f64)> {
+    let src_ready = srcs.iter().fold(0.0f64, |m, h| m.max(h.ready_ms));
+    dsts.iter()
+        .map(|&(d, fd)| {
+            let own: f64 = srcs.iter().filter(|s| s.dev == d).map(|s| s.frac).sum();
+            let foreign: f64 = srcs.iter().filter(|s| s.dev != d).map(|s| s.frac).sum();
+            let need = (fd - own).max(0.0);
+            let mut t = 0.0;
+            if need > 0.0 && foreign > 0.0 {
+                for s in srcs {
+                    if s.dev == d {
+                        continue;
+                    }
+                    let b = (bytes as f64 * need * s.frac / foreign).ceil() as u64;
+                    if b > 0 {
+                        t += net.transfer_ms(s.dev, d, b);
+                    }
+                }
+            }
+            (d, src_ready + t)
+        })
+        .collect()
+}
+
+/// FDSP seam-overhead factor for a `tiles`-way split.
+pub fn seam_overhead(tiles: usize) -> f64 {
+    1.0 + 0.04 * (tiles as f64 - 1.0)
+}
+
+/// Compute time of a layer sequence on one device, with MACs scaled by
+/// `1/tiles × seam_overhead` when tiled.
+pub fn layers_time_ms(profile: &murmuration_edgesim::ComputeProfile, layers: &[LayerSpec], tiles: usize) -> f64 {
+    let scale = if tiles <= 1 { 1.0 } else { seam_overhead(tiles) / tiles as f64 };
+    layers
+        .iter()
+        .map(|l| profile.layer_time_ms(l.op, (l.macs as f64 * scale).ceil() as u64))
+        .sum()
+}
+
+/// Latency estimator bound to a device fleet and current network state.
+///
+/// ```
+/// use murmuration_edgesim::device::device_swarm_devices;
+/// use murmuration_edgesim::{LinkState, NetworkState};
+/// use murmuration_partition::{ExecutionPlan, LatencyEstimator};
+/// use murmuration_supernet::{SearchSpace, SubnetSpec};
+///
+/// let devices = device_swarm_devices(3);
+/// let net = NetworkState::uniform(2, LinkState::lan());
+/// let spec = SubnetSpec::lower(&SearchSpace::default().min_config());
+/// let est = LatencyEstimator::new(&devices, &net);
+/// let local = est.estimate(&spec, &ExecutionPlan::all_on(&spec, 0));
+/// assert!(local.total_ms > 0.0 && local.comm_ms == 0.0);
+/// ```
+pub struct LatencyEstimator<'a> {
+    pub devices: &'a [Device],
+    pub net: &'a NetworkState,
+}
+
+impl<'a> LatencyEstimator<'a> {
+    /// Binds the estimator.
+    pub fn new(devices: &'a [Device], net: &'a NetworkState) -> Self {
+        assert_eq!(
+            net.n_remote() + 1,
+            devices.len(),
+            "network must cover every non-local device"
+        );
+        LatencyEstimator { devices, net }
+    }
+
+    /// Estimates one inference of `spec` under `plan`. The input image
+    /// starts on device 0 and the classification result must return there.
+    pub fn estimate(&self, spec: &SubnetSpec, plan: &ExecutionPlan) -> LatencyBreakdown {
+        debug_assert!(plan.validate(spec, self.devices.len()).is_ok());
+        let mut holders = vec![Holder { dev: 0, frac: 1.0, ready_ms: 0.0 }];
+        let mut bytes = spec.input_bytes();
+        let mut compute_ms = 0.0;
+        let mut comm_ms = 0.0;
+        for (unit, placement) in spec.units.iter().zip(&plan.placements) {
+            let participants = placement.merged_shares();
+            let dsts: Vec<(DeviceId, f64)> = participants.iter().map(|&(d, f, _)| (d, f)).collect();
+            // Communication: redistribute the unit input.
+            let arrivals = redistribute(self.net, &holders, &dsts, bytes);
+            let before = holders.iter().fold(0.0f64, |m, h| m.max(h.ready_ms));
+            let after_comm = arrivals.iter().fold(0.0f64, |m, &(_, t)| m.max(t));
+            comm_ms += after_comm - before;
+            // Compute: devices run in parallel, but tiles co-located on one
+            // device execute serially there.
+            let tiles = placement.width();
+            holders = arrivals
+                .iter()
+                .zip(participants.iter())
+                .map(|(&(d, ready), &(_, frac, count))| {
+                    let t = layers_time_ms(&self.devices[d].profile(), &unit.layers, tiles);
+                    Holder { dev: d, frac, ready_ms: ready + t * count as f64 }
+                })
+                .collect();
+            let after_compute = holders.iter().fold(0.0f64, |m, h| m.max(h.ready_ms));
+            compute_ms += after_compute - after_comm;
+            bytes = unit.out_wire_bytes();
+        }
+        // Return the logits to device 0.
+        let final_arrival = redistribute(self.net, &holders, &[(0, 1.0)], bytes);
+        let done = final_arrival[0].1;
+        let before = holders.iter().fold(0.0f64, |m, h| m.max(h.ready_ms));
+        comm_ms += done - before;
+        LatencyBreakdown { total_ms: done, compute_ms, comm_ms }
+    }
+}
+
+/// Time to run a plain layer sequence entirely on one device (no comms).
+pub fn sequential_time_ms(dev: &Device, layers: &[LayerSpec]) -> f64 {
+    layers_time_ms(&dev.profile(), layers, 1)
+}
+
+/// Per-unit timing of one estimated inference.
+#[derive(Clone, Debug)]
+pub struct UnitTrace {
+    pub unit: String,
+    /// When the unit's slowest input arrived (ms).
+    pub input_ready_ms: f64,
+    /// When the unit's slowest participant finished (ms).
+    pub done_ms: f64,
+    /// Devices participating.
+    pub devices: Vec<DeviceId>,
+}
+
+impl<'a> LatencyEstimator<'a> {
+    /// Like [`estimate`](Self::estimate) but also returns the per-unit
+    /// timeline (for debugging and the CLI's `estimate --trace`).
+    pub fn estimate_with_trace(
+        &self,
+        spec: &SubnetSpec,
+        plan: &ExecutionPlan,
+    ) -> (LatencyBreakdown, Vec<UnitTrace>) {
+        let breakdown = self.estimate(spec, plan);
+        // Re-walk the chain, recording per-unit milestones (same math as
+        // estimate(); duplicated walk keeps the hot path allocation-free).
+        let mut holders = vec![Holder { dev: 0, frac: 1.0, ready_ms: 0.0 }];
+        let mut bytes = spec.input_bytes();
+        let mut trace = Vec::with_capacity(spec.units.len());
+        for (unit, placement) in spec.units.iter().zip(&plan.placements) {
+            let participants = placement.merged_shares();
+            let dsts: Vec<(DeviceId, f64)> = participants.iter().map(|&(d, f, _)| (d, f)).collect();
+            let arrivals = redistribute(self.net, &holders, &dsts, bytes);
+            let ready = arrivals.iter().fold(0.0f64, |m, &(_, t)| m.max(t));
+            let tiles = placement.width();
+            holders = arrivals
+                .iter()
+                .zip(participants.iter())
+                .map(|(&(d, r), &(_, frac, count))| {
+                    let t = layers_time_ms(&self.devices[d].profile(), &unit.layers, tiles);
+                    Holder { dev: d, frac, ready_ms: r + t * count as f64 }
+                })
+                .collect();
+            let done = holders.iter().fold(0.0f64, |m, h| m.max(h.ready_ms));
+            trace.push(UnitTrace {
+                unit: unit.name.clone(),
+                input_ready_ms: ready,
+                done_ms: done,
+                devices: participants.iter().map(|&(d, _, _)| d).collect(),
+            });
+            bytes = unit.out_wire_bytes();
+        }
+        (breakdown, trace)
+    }
+}
+
+/// Steady-state per-inference time of *pipelined* execution over a
+/// homogeneous fleet: consecutive elastic stages are assigned to disjoint
+/// device groups (each group `tiles`-way FDSP-parallel), so back-to-back
+/// requests overlap and throughput is bounded by the slowest pipeline
+/// element. Models the paper's Fig. 17 measurement protocol (the average
+/// of 20 consecutive inferences).
+///
+/// Returns the bottleneck time in ms: the max of (a) any group's share of
+/// the tiled stage work, (b) the unpartitionable stem+head on the local
+/// device, plus a per-boundary handoff `handoff_ms`.
+pub fn pipelined_time_ms(
+    dev: &Device,
+    spec: &SubnetSpec,
+    n_devices: usize,
+    tiles: usize,
+    handoff_ms: f64,
+) -> f64 {
+    assert!(tiles >= 1 && n_devices >= 1);
+    let profile = dev.profile();
+    let n_stages = spec.units.len().saturating_sub(2).max(1);
+    // No more pipeline groups than stages; each group needs `tiles` devices.
+    let groups = (n_devices / tiles).clamp(1, n_stages) as f64;
+    let stage_total: f64 = spec.units[1..spec.units.len() - 1]
+        .iter()
+        .map(|u| layers_time_ms(&profile, &u.layers, tiles))
+        .sum();
+    let ends: f64 = layers_time_ms(&profile, &spec.units[0].layers, 1)
+        + layers_time_ms(&profile, &spec.units[spec.units.len() - 1].layers, 1);
+    (stage_total / groups).max(ends) + handoff_ms
+}
+
+/// Wire bytes of a tensor of `elems` f32 elements at precision `q`.
+pub fn wire_bytes(elems: u64, q: BitWidth) -> u64 {
+    q.wire_bytes(elems as usize) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use murmuration_edgesim::device::{augmented_computing_devices, device_swarm_devices};
+    use murmuration_edgesim::LinkState;
+    use crate::plan::UnitPlacement;
+    use murmuration_supernet::space::SearchSpace;
+    use murmuration_tensor::tile::GridSpec;
+
+    fn lan(n_remote: usize) -> NetworkState {
+        NetworkState::uniform(n_remote, LinkState::lan())
+    }
+
+    #[test]
+    fn redistribute_identity_is_free() {
+        let net = lan(2);
+        let srcs = [Holder { dev: 1, frac: 1.0, ready_ms: 5.0 }];
+        let out = redistribute(&net, &srcs, &[(1, 1.0)], 1_000_000);
+        assert_eq!(out, vec![(1, 5.0)]);
+    }
+
+    #[test]
+    fn redistribute_single_to_single_matches_link() {
+        let net = NetworkState::uniform(1, LinkState { bandwidth_mbps: 100.0, delay_ms: 10.0 });
+        let srcs = [Holder { dev: 0, frac: 1.0, ready_ms: 2.0 }];
+        let out = redistribute(&net, &srcs, &[(1, 1.0)], 1_000_000);
+        // 2.0 + 10 + 80 = 92.
+        assert!((out[0].1 - 92.0).abs() < 1e-6, "{}", out[0].1);
+    }
+
+    #[test]
+    fn scatter_splits_bytes() {
+        let net = NetworkState::uniform(2, LinkState { bandwidth_mbps: 100.0, delay_ms: 0.0 });
+        let srcs = [Holder { dev: 0, frac: 1.0, ready_ms: 0.0 }];
+        let out = redistribute(&net, &srcs, &[(1, 0.5), (2, 0.5)], 1_000_000);
+        // Each gets 500 KB over its own link: 40 ms, in parallel.
+        for &(_, t) in &out {
+            assert!((t - 40.0).abs() < 1e-3, "{t}");
+        }
+    }
+
+    #[test]
+    fn gather_serializes_on_destination() {
+        let net = NetworkState::uniform(2, LinkState { bandwidth_mbps: 100.0, delay_ms: 0.0 });
+        let srcs = [
+            Holder { dev: 1, frac: 0.5, ready_ms: 0.0 },
+            Holder { dev: 2, frac: 0.5, ready_ms: 0.0 },
+        ];
+        let out = redistribute(&net, &srcs, &[(0, 1.0)], 1_000_000);
+        // Two 500 KB incoming transfers serialize: 80 ms.
+        assert!((out[0].1 - 80.0).abs() < 1e-3, "{}", out[0].1);
+    }
+
+    #[test]
+    fn local_plan_has_no_comm() {
+        let devices = device_swarm_devices(5);
+        let net = lan(4);
+        let est = LatencyEstimator::new(&devices, &net);
+        let spec = SubnetSpec::lower(&SearchSpace::default().min_config());
+        let plan = ExecutionPlan::all_on(&spec, 0);
+        let b = est.estimate(&spec, &plan);
+        assert_eq!(b.comm_ms, 0.0);
+        assert!(b.total_ms > 50.0, "min subnet on a Pi should take a while: {}", b.total_ms);
+        assert!((b.total_ms - b.compute_ms).abs() < 1e-9);
+    }
+
+    #[test]
+    fn offload_to_gpu_wins_at_high_bandwidth_loses_at_low() {
+        let devices = augmented_computing_devices();
+        let spec = SubnetSpec::lower(&SearchSpace::default().max_config());
+        let local = ExecutionPlan::all_on(&spec, 0);
+        let remote = ExecutionPlan::all_on(&spec, 1);
+
+        let fast = NetworkState::uniform(1, LinkState { bandwidth_mbps: 400.0, delay_ms: 5.0 });
+        let est = LatencyEstimator::new(&devices, &fast);
+        let l_local = est.estimate(&spec, &local).total_ms;
+        let l_remote = est.estimate(&spec, &remote).total_ms;
+        assert!(l_remote < l_local, "GPU offload must win at 400 Mbps: {l_remote} vs {l_local}");
+
+        let slow = NetworkState::uniform(1, LinkState { bandwidth_mbps: 1.0, delay_ms: 400.0 });
+        let est = LatencyEstimator::new(&devices, &slow);
+        let l_remote_slow = est.estimate(&spec, &remote).total_ms;
+        assert!(
+            l_remote_slow > l_local,
+            "offload must lose on a 1 Mbps / 400 ms link: {l_remote_slow} vs {l_local}"
+        );
+    }
+
+    #[test]
+    fn tiling_across_swarm_cuts_latency_on_fast_lan() {
+        let devices = device_swarm_devices(5);
+        let net = lan(4);
+        let est = LatencyEstimator::new(&devices, &net);
+        let mut cfg = SearchSpace::default().max_config();
+        for st in &mut cfg.stages {
+            st.partition = GridSpec::new(2, 2);
+        }
+        let spec = SubnetSpec::lower(&cfg);
+        let solo = est.estimate(&spec, &ExecutionPlan::all_on(&spec, 0)).total_ms;
+        let spread = est.estimate(&spec, &ExecutionPlan::spread(&spec, 5)).total_ms;
+        assert!(
+            spread < solo * 0.7,
+            "4-way tiling on 1 Gbps LAN must speed up: {spread} vs {solo}"
+        );
+    }
+
+    #[test]
+    fn quantization_reduces_comm() {
+        let devices = augmented_computing_devices();
+        // Zero-delay link so the comparison isolates serialized payload.
+        let net = NetworkState::uniform(1, LinkState { bandwidth_mbps: 20.0, delay_ms: 0.0 });
+        let est = LatencyEstimator::new(&devices, &net);
+        let space = SearchSpace::default();
+        let mut cfg = space.min_config();
+        let spec32 = SubnetSpec::lower(&cfg);
+        // Split after stage2: stem..stage2 local, rest on GPU.
+        let mut placements = vec![UnitPlacement::Single(0); spec32.units.len()];
+        for p in placements.iter_mut().skip(4) {
+            *p = UnitPlacement::Single(1);
+        }
+        let plan = ExecutionPlan { placements };
+        let full = est.estimate(&spec32, &plan);
+        for st in &mut cfg.stages {
+            st.quant = BitWidth::B8;
+        }
+        let spec8 = SubnetSpec::lower(&cfg);
+        let quant = est.estimate(&spec8, &plan);
+        assert!(
+            quant.comm_ms < full.comm_ms * 0.5,
+            "8-bit transfer must cut comm: {} vs {}",
+            quant.comm_ms,
+            full.comm_ms
+        );
+    }
+
+    #[test]
+    fn pipelined_time_scales_then_saturates() {
+        let devices = device_swarm_devices(2);
+        let spec = SubnetSpec::lower(&SearchSpace::default().max_config());
+        let t1 = pipelined_time_ms(&devices[0], &spec, 4, 4, 5.0);
+        let t2 = pipelined_time_ms(&devices[0], &spec, 8, 4, 5.0);
+        let t5 = pipelined_time_ms(&devices[0], &spec, 20, 4, 5.0);
+        let t6 = pipelined_time_ms(&devices[0], &spec, 24, 4, 5.0);
+        assert!(t2 < t1, "2 groups beat 1: {t2} vs {t1}");
+        assert!(t5 <= t2);
+        // Group count saturates at the stage count (5).
+        assert_eq!(t5, t6, "groups cap at the number of stages");
+    }
+
+    #[test]
+    fn pipelined_never_beats_the_ends_floor() {
+        let devices = device_swarm_devices(2);
+        let spec = SubnetSpec::lower(&SearchSpace::default().min_config());
+        let p = devices[0].profile();
+        let ends = layers_time_ms(&p, &spec.units[0].layers, 1)
+            + layers_time_ms(&p, &spec.units[6].layers, 1);
+        let t = pipelined_time_ms(&devices[0], &spec, 1000, 4, 0.0);
+        assert!(t >= ends, "{t} vs floor {ends}");
+    }
+}

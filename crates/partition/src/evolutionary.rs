@@ -1,0 +1,189 @@
+//! Evolutionary joint search over subnet configuration and placement —
+//! the standard way to specialize a one-shot supernet (Once-for-All) and
+//! the paper's Fig. 18 decision-time baseline.
+
+use crate::plan::{ExecutionPlan, UnitPlacement};
+use murmuration_edgesim::DeviceId;
+use murmuration_supernet::{SearchSpace, SubnetConfig, SubnetSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Maximum tiles a unit can have (2×2 grid).
+const MAX_TILES: usize = 4;
+/// Units in a lowered spec (stem + 5 stages + head).
+const UNITS: usize = 7;
+
+/// One genome: architecture choice + device preferences per unit/tile.
+#[derive(Clone, Debug)]
+pub struct Genome {
+    pub config: SubnetConfig,
+    /// `prefs[unit][tile]` — device for that tile (tile 0 doubles as the
+    /// single-placement device).
+    pub prefs: Vec<[DeviceId; MAX_TILES]>,
+}
+
+impl Genome {
+    /// Random genome.
+    pub fn random(space: &SearchSpace, n_devices: usize, rng: &mut StdRng) -> Self {
+        Genome {
+            config: space.sample(rng),
+            prefs: (0..UNITS)
+                .map(|_| std::array::from_fn(|_| rng.gen_range(0..n_devices)))
+                .collect(),
+        }
+    }
+
+    /// Derives a valid [`ExecutionPlan`] for the genome's lowered spec.
+    pub fn plan(&self, spec: &SubnetSpec, n_devices: usize) -> ExecutionPlan {
+        let placements = spec
+            .units
+            .iter()
+            .zip(&self.prefs)
+            .map(|(u, pref)| {
+                let tiles = u.partition.tiles();
+                if tiles == 1 || !u.spatially_partitionable() {
+                    UnitPlacement::Single(pref[0].min(n_devices - 1))
+                } else {
+                    UnitPlacement::Tiled(
+                        pref[..tiles].iter().map(|&d| d.min(n_devices - 1)).collect(),
+                    )
+                }
+            })
+            .collect();
+        ExecutionPlan { placements }
+    }
+
+    /// Mutates one architecture decision or one placement slot.
+    pub fn mutate(&mut self, space: &SearchSpace, n_devices: usize, rng: &mut StdRng) {
+        if rng.gen_bool(0.5) {
+            space.mutate(&mut self.config, rng);
+        } else {
+            let u = rng.gen_range(0..UNITS);
+            let t = rng.gen_range(0..MAX_TILES);
+            self.prefs[u][t] = rng.gen_range(0..n_devices);
+        }
+    }
+
+    /// Uniform crossover (per-stage and per-unit).
+    pub fn crossover(&self, other: &Genome, rng: &mut StdRng) -> Genome {
+        let mut child = self.clone();
+        if rng.gen_bool(0.5) {
+            child.config.resolution = other.config.resolution;
+        }
+        for (i, s) in child.config.stages.iter_mut().enumerate() {
+            if rng.gen_bool(0.5) {
+                *s = other.config.stages[i];
+            }
+        }
+        for (i, p) in child.prefs.iter_mut().enumerate() {
+            if rng.gen_bool(0.5) {
+                *p = other.prefs[i];
+            }
+        }
+        child
+    }
+}
+
+/// Search report.
+#[derive(Clone, Debug)]
+pub struct SearchResult {
+    pub best: Genome,
+    pub best_score: f64,
+    /// Objective evaluations performed (the decision-time cost driver).
+    pub evaluations: usize,
+}
+
+/// Runs the GA. `objective` scores a (config, plan) pair — higher is
+/// better; the RL environments' reward function is used directly.
+pub fn search<F>(
+    space: &SearchSpace,
+    n_devices: usize,
+    population: usize,
+    generations: usize,
+    seed: u64,
+    mut objective: F,
+) -> SearchResult
+where
+    F: FnMut(&SubnetConfig, &ExecutionPlan) -> f64,
+{
+    assert!(population >= 4, "population too small");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut evals = 0usize;
+    let mut score_of = |g: &Genome, evals: &mut usize| {
+        let spec = SubnetSpec::lower(&g.config);
+        let plan = g.plan(&spec, n_devices);
+        *evals += 1;
+        objective(&g.config, &plan)
+    };
+    let mut pop: Vec<(Genome, f64)> = (0..population)
+        .map(|_| {
+            let g = Genome::random(space, n_devices, &mut rng);
+            let s = score_of(&g, &mut evals);
+            (g, s)
+        })
+        .collect();
+    for _ in 0..generations {
+        pop.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        let elite = population / 4;
+        let mut next: Vec<(Genome, f64)> = pop[..elite].to_vec();
+        while next.len() < population {
+            // Tournament pick two parents from the top half.
+            let a = &pop[rng.gen_range(0..population / 2)].0;
+            let b = &pop[rng.gen_range(0..population / 2)].0;
+            let mut child = a.crossover(b, &mut rng);
+            child.mutate(space, n_devices, &mut rng);
+            let s = score_of(&child, &mut evals);
+            next.push((child, s));
+        }
+        pop = next;
+    }
+    pop.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    let (best, best_score) = pop.swap_remove(0);
+    SearchResult { best, best_score, evaluations: evals }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use murmuration_supernet::AccuracyModel;
+
+    #[test]
+    fn genome_plans_are_valid() {
+        let space = SearchSpace::default();
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..30 {
+            let g = Genome::random(&space, 5, &mut rng);
+            let spec = SubnetSpec::lower(&g.config);
+            let plan = g.plan(&spec, 5);
+            plan.validate(&spec, 5).unwrap();
+        }
+    }
+
+    #[test]
+    fn search_improves_over_random() {
+        // Objective: pure accuracy — the GA must find near-max configs.
+        let space = SearchSpace::default();
+        let acc = AccuracyModel::new();
+        let result = search(&space, 2, 16, 12, 1, |cfg, _| acc.predict(cfg) as f64);
+        let max_acc = acc.predict(&space.max_config()) as f64;
+        assert!(
+            result.best_score > max_acc - 1.0,
+            "GA best {} vs max {max_acc}",
+            result.best_score
+        );
+        assert_eq!(result.evaluations, 16 + 12 * 12); // pop + gens*(pop-elite)
+    }
+
+    #[test]
+    fn crossover_mixes_parents() {
+        let space = SearchSpace::default();
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = Genome::random(&space, 3, &mut rng);
+        let b = Genome::random(&space, 3, &mut rng);
+        let c = a.crossover(&b, &mut rng);
+        // Every stage of the child comes from one of the parents.
+        for (i, s) in c.config.stages.iter().enumerate() {
+            assert!(*s == a.config.stages[i] || *s == b.config.stages[i]);
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Neurosurgeon (Kang et al., ASPLOS '17): optimal layer-wise split of a
+//! fixed DNN between the local device and one remote device.
+//!
+//! For the two-device case the optimal cut is found exactly by evaluating
+//! every legal cut point (including "run everything locally" and "ship the
+//! input, run everything remotely"), which is what the original system's
+//! per-layer regression + exhaustive evaluation amounts to.
+
+use crate::estimator::{sequential_time_ms, wire_bytes};
+use murmuration_edgesim::{Device, NetworkState};
+use murmuration_models::ModelSpec;
+use murmuration_tensor::quant::BitWidth;
+
+/// A Neurosurgeon decision: cut after layer `cut` (None = everything
+/// remote), remainder on `remote_device`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NeurosurgeonPlan {
+    /// Index of the last local layer; `None` ships the raw input.
+    pub cut: Option<usize>,
+    /// Remote device id (ignored when `all_local`).
+    pub remote_device: usize,
+    /// True when the whole model runs locally.
+    pub all_local: bool,
+    /// Predicted end-to-end latency (ms).
+    pub latency_ms: f64,
+}
+
+/// Latency of a specific cut.
+pub fn cut_latency_ms(
+    model: &ModelSpec,
+    cut: Option<usize>,
+    all_local: bool,
+    local: &Device,
+    remote: &Device,
+    net: &NetworkState,
+) -> f64 {
+    if all_local {
+        return sequential_time_ms(local, &model.layers);
+    }
+    let (local_time, transfer_bytes, remote_from) = match cut {
+        None => (0.0, model.input_bytes(), 0usize),
+        Some(c) => (
+            sequential_time_ms(local, &model.layers[..=c]),
+            wire_bytes(model.layers[c].out_elems(), BitWidth::B32),
+            c + 1,
+        ),
+    };
+    let remote_time = sequential_time_ms(remote, &model.layers[remote_from..]);
+    let up = net.transfer_ms(0, remote.id, transfer_bytes);
+    let down = net.transfer_ms(remote.id, 0, 1000 * 4);
+    local_time + up + remote_time + down
+}
+
+/// Finds the optimal split of `model` between `local` (device 0) and the
+/// best remote device, under the current network state.
+pub fn plan(model: &ModelSpec, devices: &[Device], net: &NetworkState) -> NeurosurgeonPlan {
+    assert!(devices.len() >= 2, "Neurosurgeon needs a remote device");
+    let local = &devices[0];
+    let mut best = NeurosurgeonPlan {
+        cut: None,
+        remote_device: devices[1].id,
+        all_local: true,
+        latency_ms: sequential_time_ms(local, &model.layers),
+    };
+    for remote in &devices[1..] {
+        // Everything remote.
+        let l = cut_latency_ms(model, None, false, local, remote, net);
+        if l < best.latency_ms {
+            best = NeurosurgeonPlan {
+                cut: None,
+                remote_device: remote.id,
+                all_local: false,
+                latency_ms: l,
+            };
+        }
+        // Every legal interior cut.
+        for c in model.cut_points() {
+            if c + 1 >= model.layers.len() {
+                continue; // cutting after the last layer is "all local"
+            }
+            let l = cut_latency_ms(model, Some(c), false, local, remote, net);
+            if l < best.latency_ms {
+                best = NeurosurgeonPlan {
+                    cut: Some(c),
+                    remote_device: remote.id,
+                    all_local: false,
+                    latency_ms: l,
+                };
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use murmuration_edgesim::device::augmented_computing_devices;
+    use murmuration_edgesim::LinkState;
+    use murmuration_models::{mobilenet_v3_large, resnet50};
+    use proptest::prelude::*;
+
+    fn net(bw: f64, delay: f64) -> NetworkState {
+        NetworkState::uniform(1, LinkState { bandwidth_mbps: bw, delay_ms: delay })
+    }
+
+    #[test]
+    fn fast_network_offloads_everything() {
+        let devices = augmented_computing_devices();
+        let p = plan(&resnet50(224), &devices, &net(1000.0, 1.0));
+        assert!(!p.all_local);
+        assert_eq!(p.cut, None, "raw input upload is optimal on a 1 Gbps LAN");
+    }
+
+    #[test]
+    fn dead_network_stays_local() {
+        let devices = augmented_computing_devices();
+        let p = plan(&mobilenet_v3_large(224), &devices, &net(0.1, 1000.0));
+        assert!(p.all_local, "0.1 Mbps / 1 s link must keep everything local");
+    }
+
+    #[test]
+    fn moderate_network_may_split_interior() {
+        // Sweep bandwidths; the chosen latency must always equal the
+        // brute-force minimum over all cuts.
+        let devices = augmented_computing_devices();
+        let model = resnet50(224);
+        for bw in [1.0, 5.0, 20.0, 100.0, 400.0] {
+            let n = net(bw, 20.0);
+            let p = plan(&model, &devices, &n);
+            // Brute force.
+            let mut best = sequential_time_ms(&devices[0], &model.layers);
+            let mut options = vec![cut_latency_ms(&model, None, false, &devices[0], &devices[1], &n)];
+            for c in model.cut_points() {
+                if c + 1 < model.layers.len() {
+                    options.push(cut_latency_ms(&model, Some(c), false, &devices[0], &devices[1], &n));
+                }
+            }
+            for o in options {
+                best = best.min(o);
+            }
+            assert!((p.latency_ms - best).abs() < 1e-9, "bw {bw}: {} vs {best}", p.latency_ms);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn prop_plan_never_worse_than_endpoints(bw in 0.5f64..1000.0, delay in 0.0f64..200.0) {
+            let devices = augmented_computing_devices();
+            let model = mobilenet_v3_large(224);
+            let n = net(bw, delay);
+            let p = plan(&model, &devices, &n);
+            let all_local = sequential_time_ms(&devices[0], &model.layers);
+            let all_remote = cut_latency_ms(&model, None, false, &devices[0], &devices[1], &n);
+            prop_assert!(p.latency_ms <= all_local + 1e-9);
+            prop_assert!(p.latency_ms <= all_remote + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Plan sensitivity analysis: the network-condition thresholds at which a
+//! cached strategy stops satisfying its SLO.
+//!
+//! The strategy cache memoizes (conditions → plan); knowing each plan's
+//! *revalidation thresholds* — the minimum per-link bandwidth and maximum
+//! per-link delay under which it still meets the latency SLO — turns cache
+//! invalidation from guesswork into a comparison. (Used for analysis and
+//! by tests; the runtime's grid-bucketed cache gets the same effect from
+//! its bucketing.)
+
+use crate::estimator::LatencyEstimator;
+use crate::plan::ExecutionPlan;
+use murmuration_edgesim::{Device, LinkState, NetworkState};
+use murmuration_supernet::SubnetSpec;
+
+/// Per-link safe-operating thresholds for one plan under a latency SLO.
+#[derive(Clone, Debug)]
+pub struct PlanThresholds {
+    /// Minimum bandwidth (Mbps) per remote link at which the SLO still
+    /// holds with every other link pinned at its reference value;
+    /// `None` when even unbounded bandwidth cannot satisfy the SLO.
+    pub min_bw_mbps: Vec<Option<f64>>,
+    /// Maximum tolerable delay (ms) per remote link, same convention.
+    pub max_delay_ms: Vec<Option<f64>>,
+}
+
+fn latency_under(
+    devices: &[Device],
+    links: &[LinkState],
+    spec: &SubnetSpec,
+    plan: &ExecutionPlan,
+) -> f64 {
+    let net = NetworkState::from_links(links.to_vec());
+    LatencyEstimator::new(devices, &net).estimate(spec, plan).total_ms
+}
+
+/// Computes the revalidation thresholds for `plan` around the reference
+/// network `reference`, against `slo_ms`.
+pub fn plan_thresholds(
+    devices: &[Device],
+    reference: &NetworkState,
+    spec: &SubnetSpec,
+    plan: &ExecutionPlan,
+    slo_ms: f64,
+) -> PlanThresholds {
+    let base: Vec<LinkState> = (1..devices.len())
+        .map(|d| reference.link_for(d))
+        .collect();
+    let n = base.len();
+    let mut min_bw = Vec::with_capacity(n);
+    let mut max_delay = Vec::with_capacity(n);
+    for i in 0..n {
+        // Bandwidth: latency is monotone non-increasing in bw, so binary
+        // search the smallest satisfying bandwidth in [0.01, 10_000].
+        let ok_at = |bw: f64| {
+            let mut links = base.clone();
+            links[i].bandwidth_mbps = bw;
+            latency_under(devices, &links, spec, plan) <= slo_ms
+        };
+        min_bw.push(if !ok_at(10_000.0) {
+            None
+        } else if ok_at(0.01) {
+            Some(0.01)
+        } else {
+            let (mut lo, mut hi) = (0.01f64, 10_000.0f64);
+            for _ in 0..60 {
+                let mid = (lo * hi).sqrt(); // geometric: bandwidths are log-scaled
+                if ok_at(mid) {
+                    hi = mid;
+                } else {
+                    lo = mid;
+                }
+            }
+            Some(hi)
+        });
+        // Delay: latency is monotone non-decreasing in delay.
+        let ok_delay = |dl: f64| {
+            let mut links = base.clone();
+            links[i].delay_ms = dl;
+            latency_under(devices, &links, spec, plan) <= slo_ms
+        };
+        max_delay.push(if !ok_delay(0.0) {
+            None
+        } else if ok_delay(10_000.0) {
+            Some(10_000.0)
+        } else {
+            let (mut lo, mut hi) = (0.0f64, 10_000.0f64);
+            for _ in 0..60 {
+                let mid = 0.5 * (lo + hi);
+                if ok_delay(mid) {
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+            }
+            Some(lo)
+        });
+    }
+    PlanThresholds { min_bw_mbps: min_bw, max_delay_ms: max_delay }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use murmuration_edgesim::device::augmented_computing_devices;
+    use murmuration_supernet::SearchSpace;
+
+    fn setup() -> (Vec<Device>, NetworkState, SubnetSpec) {
+        let devices = augmented_computing_devices();
+        let net = NetworkState::uniform(1, LinkState { bandwidth_mbps: 200.0, delay_ms: 10.0 });
+        let spec = SubnetSpec::lower(&SearchSpace::default().min_config());
+        (devices, net, spec)
+    }
+
+    #[test]
+    fn thresholds_bracket_the_reference_point() {
+        let (devices, net, spec) = setup();
+        // Offloaded plan: stem local, rest on the GPU.
+        let mut plan = ExecutionPlan::all_on(&spec, 1);
+        plan.placements[0] = crate::plan::UnitPlacement::Single(0);
+        let slo = 120.0;
+        // Sanity: the plan meets the SLO at the reference point.
+        let l = LatencyEstimator::new(&devices, &net).estimate(&spec, &plan).total_ms;
+        assert!(l <= slo, "reference latency {l}");
+        let th = plan_thresholds(&devices, &net, &spec, &plan, slo);
+        let min_bw = th.min_bw_mbps[0].expect("bw threshold exists");
+        let max_dl = th.max_delay_ms[0].expect("delay threshold exists");
+        assert!(min_bw < 200.0, "reference bw is safe: {min_bw}");
+        assert!(max_dl > 10.0, "reference delay is safe: {max_dl}");
+        // The thresholds are tight: crossing them flips feasibility.
+        let mut tight = vec![net.link_for(1)];
+        tight[0].bandwidth_mbps = min_bw * 0.8;
+        assert!(latency_under(&devices, &tight, &spec, &plan) > slo);
+        let mut tight = vec![net.link_for(1)];
+        tight[0].delay_ms = max_dl * 1.2 + 1.0;
+        assert!(latency_under(&devices, &tight, &spec, &plan) > slo);
+    }
+
+    #[test]
+    fn local_plan_is_insensitive_to_the_network() {
+        let (devices, net, spec) = setup();
+        let plan = ExecutionPlan::all_on(&spec, 0);
+        let base = LatencyEstimator::new(&devices, &net).estimate(&spec, &plan).total_ms;
+        let th = plan_thresholds(&devices, &net, &spec, &plan, base + 1.0);
+        // A local plan works at any bandwidth/delay.
+        assert_eq!(th.min_bw_mbps[0], Some(0.01));
+        assert_eq!(th.max_delay_ms[0], Some(10_000.0));
+    }
+
+    #[test]
+    fn impossible_slo_reports_none() {
+        let (devices, net, spec) = setup();
+        let plan = ExecutionPlan::all_on(&spec, 1);
+        // 1 ms is unachievable for any network.
+        let th = plan_thresholds(&devices, &net, &spec, &plan, 1.0);
+        assert_eq!(th.min_bw_mbps[0], None);
+        assert_eq!(th.max_delay_ms[0], None);
+    }
+}

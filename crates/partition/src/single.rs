@@ -1,0 +1,39 @@
+//! Single-device baselines for the zoo models.
+
+use crate::estimator::sequential_time_ms;
+use murmuration_edgesim::{Device, NetworkState};
+use murmuration_models::ModelSpec;
+
+/// Latency of running a zoo model entirely on `dev`, including shipping
+/// the input there and the logits back when `dev` is remote.
+pub fn single_device_latency_ms(model: &ModelSpec, dev: &Device, net: &NetworkState) -> f64 {
+    let compute = sequential_time_ms(dev, &model.layers);
+    if dev.id == 0 {
+        compute
+    } else {
+        let up = net.transfer_ms(0, dev.id, model.input_bytes());
+        let down = net.transfer_ms(dev.id, 0, 1000 * 4);
+        up + compute + down
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use murmuration_edgesim::device::augmented_computing_devices;
+    use murmuration_edgesim::LinkState;
+    use murmuration_models::resnet50;
+
+    #[test]
+    fn remote_includes_transfers() {
+        let devices = augmented_computing_devices();
+        let net = NetworkState::uniform(1, LinkState { bandwidth_mbps: 100.0, delay_ms: 10.0 });
+        let m = resnet50(224);
+        let local = single_device_latency_ms(&m, &devices[0], &net);
+        let remote = single_device_latency_ms(&m, &devices[1], &net);
+        // Input 224*224*3*4 ≈ 602 KB → ~48 ms + 10 delay up, ~10 down; GPU
+        // compute ≈ 7 ms → remote ≈ 80 ms, local (Pi) ≈ 7 s.
+        assert!(remote < 150.0, "remote {remote}");
+        assert!(local > 3_000.0, "local {local}");
+    }
+}

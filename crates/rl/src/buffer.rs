@@ -1,0 +1,377 @@
+//! SUPREME's reward-filtered bucketed replay buffer (paper Figs. 7–9).
+//!
+//! The constraint space (SLO × per-link bandwidth × per-link delay) is
+//! discretized into buckets. Every bucket keeps only its top-n-reward
+//! trajectories. Bucket coordinates are *oriented by relaxedness*: a larger
+//! coordinate always means a weaker constraint (higher latency budget,
+//! more bandwidth, less delay). Under that orientation the paper's central
+//! observation becomes a dominance relation:
+//!
+//! > a strategy discovered under constraints `b'` remains feasible under
+//! > any `b ≥ b'` (component-wise).
+//!
+//! which drives both **data sharing** (an empty bucket borrows from its
+//! nearest dominated bucket) and **pruning** (an entry whose reward is
+//! below the best reward of a dominated bucket can never be the best
+//! answer and is dropped).
+
+use crate::env::{Condition, Scenario, SloKind};
+use rand::Rng;
+use std::collections::HashMap;
+
+/// One stored trajectory.
+#[derive(Clone, Debug)]
+pub struct Entry {
+    /// The (relabeled) condition this trajectory satisfies.
+    pub cond: Condition,
+    pub actions: Vec<usize>,
+    pub reward: f32,
+    pub latency_ms: f64,
+    pub accuracy_pct: f32,
+}
+
+/// The bucketed replay buffer.
+pub struct BucketedBuffer {
+    grid_points: usize,
+    per_bucket: usize,
+    buckets: HashMap<Vec<u8>, Vec<Entry>>,
+}
+
+impl BucketedBuffer {
+    /// `per_bucket` = n of the top-n reward filter.
+    pub fn new(grid_points: usize, per_bucket: usize) -> Self {
+        assert!(grid_points >= 2 && per_bucket >= 1);
+        BucketedBuffer { grid_points, per_bucket, buckets: HashMap::new() }
+    }
+
+    /// Total stored entries.
+    pub fn len(&self) -> usize {
+        self.buckets.values().map(|v| v.len()).sum()
+    }
+
+    /// True when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.buckets.is_empty()
+    }
+
+    /// Number of non-empty buckets.
+    pub fn n_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    fn nearest_index(&self, lo: f64, hi: f64, v: f64) -> usize {
+        let g = self.grid_points as f64 - 1.0;
+        (((v - lo) / (hi - lo) * g).round().clamp(0.0, g)) as usize
+    }
+
+    fn nearest_log_index(&self, lo: f64, hi: f64, v: f64) -> usize {
+        let g = self.grid_points as f64 - 1.0;
+        ((((v / lo).ln() / (hi / lo).ln()) * g).round().clamp(0.0, g)) as usize
+    }
+
+    /// SLO coordinate chosen so the bucket's SLO is *feasible* for the
+    /// entry: latency rounds up to the next grid ceiling, accuracy rounds
+    /// down to the next grid floor.
+    fn slo_index_feasible(&self, sc: &Scenario, slo: f64) -> usize {
+        let (lo, hi) = sc.slo_range;
+        let g = self.grid_points as f64 - 1.0;
+        let frac = ((slo - lo) / (hi - lo) * g).clamp(0.0, g);
+        match sc.slo_kind {
+            SloKind::Latency => frac.ceil() as usize,
+            SloKind::Accuracy => frac.floor() as usize,
+        }
+    }
+
+    /// Bucket key of a condition, oriented so larger = more relaxed.
+    pub fn key_for(&self, sc: &Scenario, cond: &Condition) -> Vec<u8> {
+        let g = self.grid_points - 1;
+        let mut key = Vec::with_capacity(1 + 2 * cond.bw_mbps.len());
+        let slo_i = self.nearest_index(sc.slo_range.0, sc.slo_range.1, cond.slo);
+        key.push(match sc.slo_kind {
+            SloKind::Latency => slo_i as u8,          // higher budget = relaxed
+            SloKind::Accuracy => (g - slo_i) as u8,   // lower floor = relaxed
+        });
+        for &b in &cond.bw_mbps {
+            key.push(self.nearest_log_index(sc.bw_range.0, sc.bw_range.1, b) as u8);
+        }
+        for &d in &cond.delay_ms {
+            let di = self.nearest_index(sc.delay_range.0, sc.delay_range.1, d);
+            key.push((g - di) as u8); // lower delay = relaxed
+        }
+        key
+    }
+
+    /// Key used at *insert* time: like [`key_for`] but with feasible SLO
+    /// rounding for the relabeled goal.
+    fn insert_key(&self, sc: &Scenario, cond: &Condition) -> Vec<u8> {
+        let mut key = self.key_for(sc, cond);
+        let g = self.grid_points - 1;
+        let slo_i = self.slo_index_feasible(sc, cond.slo);
+        key[0] = match sc.slo_kind {
+            SloKind::Latency => slo_i as u8,
+            SloKind::Accuracy => (g - slo_i) as u8,
+        };
+        key
+    }
+
+    /// Inserts an entry, keeping only the bucket's top-n rewards.
+    /// Returns true when the entry was retained.
+    pub fn insert(&mut self, sc: &Scenario, entry: Entry) -> bool {
+        let key = self.insert_key(sc, &entry.cond);
+        let bucket = self.buckets.entry(key).or_default();
+        // De-duplicate identical strategies.
+        if bucket.iter().any(|e| e.actions == entry.actions) {
+            return false;
+        }
+        bucket.push(entry);
+        bucket.sort_by(|a, b| b.reward.partial_cmp(&a.reward).unwrap_or(std::cmp::Ordering::Equal));
+        if bucket.len() > self.per_bucket {
+            bucket.truncate(self.per_bucket);
+            // Report whether the new entry survived: it did iff it is
+            // still present (cheap check by reward bound).
+        }
+        true
+    }
+
+    /// Samples a trajectory usable for the given condition via the
+    /// paper's cross-task data sharing: any entry from a *dominated*
+    /// (tighter) bucket is feasible here, and — because its strategy is a
+    /// lower bound — the best-reward dominated entry is the best known
+    /// answer for this goal. Sampling takes that best entry most of the
+    /// time and a random feasible entry otherwise (diversity).
+    pub fn sample<R: Rng>(&self, sc: &Scenario, cond: &Condition, rng: &mut R) -> Option<Entry> {
+        let key = self.key_for(sc, cond);
+        let mut feasible: Vec<&Entry> = Vec::new();
+        for (k, v) in &self.buckets {
+            if k.len() == key.len() && k.iter().zip(key.iter()).all(|(a, b)| a <= b) {
+                feasible.extend(v.iter());
+            }
+        }
+        if feasible.is_empty() {
+            return None;
+        }
+        if rng.gen_bool(0.7) {
+            feasible
+                .iter()
+                .max_by(|a, b| {
+                    a.reward
+                        .partial_cmp(&b.reward)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        // Deterministic tie-break: lower latency wins.
+                        .then(b.latency_ms.partial_cmp(&a.latency_ms).unwrap_or(std::cmp::Ordering::Equal))
+                })
+                .map(|e| (*e).clone())
+        } else {
+            Some(feasible[rng.gen_range(0..feasible.len())].clone())
+        }
+    }
+
+    /// Like [`sample`](Self::sample) but **without** cross-bucket sharing:
+    /// only the condition's own bucket is consulted (the no-share ablation
+    /// of SUPREME).
+    pub fn sample_exact<R: Rng>(&self, sc: &Scenario, cond: &Condition, rng: &mut R) -> Option<Entry> {
+        let key = self.key_for(sc, cond);
+        let bucket = self.buckets.get(&key)?;
+        if bucket.is_empty() {
+            return None;
+        }
+        let idx = if rng.gen_bool(0.7) { 0 } else { rng.gen_range(0..bucket.len()) };
+        Some(bucket[idx].clone())
+    }
+
+    /// A uniformly random stored entry (mutation source).
+    pub fn random_entry<R: Rng>(&self, rng: &mut R) -> Option<Entry> {
+        let total = self.len();
+        if total == 0 {
+            return None;
+        }
+        let mut i = rng.gen_range(0..total);
+        for v in self.buckets.values() {
+            if i < v.len() {
+                return Some(v[i].clone());
+            }
+            i -= v.len();
+        }
+        None
+    }
+
+    /// Lower-bound pruning: drops every entry whose reward is strictly
+    /// below the best reward of some *other* bucket it dominates it (the
+    /// shared strategy would always be preferred). Returns entries removed.
+    pub fn prune(&mut self) -> usize {
+        let keys: Vec<Vec<u8>> = self.buckets.keys().cloned().collect();
+        let best_of: HashMap<Vec<u8>, f32> = keys
+            .iter()
+            .map(|k| {
+                let b = self.buckets[k].iter().map(|e| e.reward).fold(f32::MIN, f32::max);
+                (k.clone(), b)
+            })
+            .collect();
+        let mut removed = 0;
+        for k in &keys {
+            // Best lower bound from strictly dominated buckets.
+            let mut lb = f32::MIN;
+            for (k2, &b2) in &best_of {
+                if k2 != k && k2.iter().zip(k.iter()).all(|(a, b)| a <= b) {
+                    lb = lb.max(b2);
+                }
+            }
+            if lb == f32::MIN {
+                continue;
+            }
+            let bucket = self.buckets.get_mut(k).unwrap();
+            let before = bucket.len();
+            bucket.retain(|e| e.reward >= lb);
+            removed += before - bucket.len();
+            if bucket.is_empty() {
+                self.buckets.remove(k);
+            }
+        }
+        removed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn scenario() -> Scenario {
+        Scenario::augmented_computing(SloKind::Latency)
+    }
+
+    fn entry(sc: &Scenario, slo: f64, bw: f64, delay: f64, reward: f32, tag: usize) -> Entry {
+        Entry {
+            cond: Condition { slo, bw_mbps: vec![bw], delay_ms: vec![delay] },
+            actions: vec![tag; sc.schedule().len()],
+            reward,
+            latency_ms: slo,
+            accuracy_pct: 75.0,
+        }
+    }
+
+    #[test]
+    fn key_orientation_larger_is_relaxed() {
+        let sc = scenario();
+        let buf = BucketedBuffer::new(10, 4);
+        let tight = buf.key_for(
+            &sc,
+            &Condition { slo: 80.0, bw_mbps: vec![50.0], delay_ms: vec![100.0] },
+        );
+        let relaxed = buf.key_for(
+            &sc,
+            &Condition { slo: 400.0, bw_mbps: vec![400.0], delay_ms: vec![5.0] },
+        );
+        assert!(tight.iter().zip(relaxed.iter()).all(|(a, b)| a <= b));
+        assert_eq!(tight, vec![0, 0, 0]);
+        assert_eq!(relaxed, vec![9, 9, 9]);
+    }
+
+    #[test]
+    fn top_n_reward_filter() {
+        let sc = scenario();
+        let mut buf = BucketedBuffer::new(10, 2);
+        // 400 ms sits exactly on the SLO grid, so insert (ceil) and query
+        // (round) agree on the bucket.
+        for (i, r) in [0.5f32, 0.9, 0.1, 0.7].into_iter().enumerate() {
+            buf.insert(&sc, entry(&sc, 400.0, 100.0, 50.0, r, i));
+        }
+        assert_eq!(buf.len(), 2);
+        let mut rng = StdRng::seed_from_u64(0);
+        let cond = Condition { slo: 400.0, bw_mbps: vec![100.0], delay_ms: vec![50.0] };
+        // Only the two best rewards survive.
+        for _ in 0..20 {
+            let e = buf.sample(&sc, &cond, &mut rng).unwrap();
+            assert!(e.reward >= 0.7);
+        }
+    }
+
+    #[test]
+    fn sharing_borrows_from_tighter_bucket() {
+        let sc = scenario();
+        let mut buf = BucketedBuffer::new(10, 4);
+        // Insert only under the tightest conditions.
+        buf.insert(&sc, entry(&sc, 80.0, 50.0, 100.0, 0.8, 1));
+        let mut rng = StdRng::seed_from_u64(1);
+        // Query a fully relaxed condition: shared data must appear.
+        let relaxed = Condition { slo: 400.0, bw_mbps: vec![400.0], delay_ms: vec![5.0] };
+        let e = buf.sample(&sc, &relaxed, &mut rng).expect("sharing must find data");
+        assert_eq!(e.reward, 0.8);
+    }
+
+    #[test]
+    fn sharing_never_borrows_from_more_relaxed_bucket() {
+        let sc = scenario();
+        let mut buf = BucketedBuffer::new(10, 4);
+        // Data only under fully relaxed conditions.
+        buf.insert(&sc, entry(&sc, 400.0, 400.0, 5.0, 0.8, 1));
+        let mut rng = StdRng::seed_from_u64(2);
+        let tight = Condition { slo: 80.0, bw_mbps: vec![50.0], delay_ms: vec![100.0] };
+        assert!(
+            buf.sample(&sc, &tight, &mut rng).is_none(),
+            "a strategy found under easy conditions is not valid under hard ones"
+        );
+    }
+
+    #[test]
+    fn insert_rounds_latency_slo_up() {
+        let sc = scenario();
+        let mut buf = BucketedBuffer::new(10, 4);
+        // Achieved latency 81 ms: must land in the first bucket whose SLO
+        // ceiling covers it (not round down to the 80 ms bucket).
+        buf.insert(&sc, entry(&sc, 81.0, 50.0, 100.0, 0.5, 1));
+        let mut rng = StdRng::seed_from_u64(3);
+        let at_80 = Condition { slo: 80.0, bw_mbps: vec![50.0], delay_ms: vec![100.0] };
+        assert!(buf.sample(&sc, &at_80, &mut rng).is_none(), "81 ms does not satisfy 80 ms");
+        // ~115.5 ms is the next grid point; that bucket must see it.
+        let next = Condition { slo: 116.0, bw_mbps: vec![50.0], delay_ms: vec![100.0] };
+        assert!(buf.sample(&sc, &next, &mut rng).is_some());
+    }
+
+    #[test]
+    fn pruning_removes_dominated_low_reward() {
+        let sc = scenario();
+        let mut buf = BucketedBuffer::new(10, 4);
+        // Tight bucket has a great strategy…
+        buf.insert(&sc, entry(&sc, 80.0, 50.0, 100.0, 0.9, 1));
+        // …relaxed bucket has a worse one → prunable.
+        buf.insert(&sc, entry(&sc, 400.0, 400.0, 5.0, 0.3, 2));
+        // …and a better one → kept.
+        buf.insert(&sc, entry(&sc, 400.0, 400.0, 5.0, 0.95, 3));
+        let removed = buf.prune();
+        assert_eq!(removed, 1);
+        assert_eq!(buf.len(), 2);
+    }
+
+    #[test]
+    fn pruning_never_removes_bucket_best_without_dominator() {
+        let sc = scenario();
+        let mut buf = BucketedBuffer::new(10, 4);
+        buf.insert(&sc, entry(&sc, 200.0, 100.0, 50.0, 0.1, 1));
+        assert_eq!(buf.prune(), 0);
+        assert_eq!(buf.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_strategies_rejected() {
+        let sc = scenario();
+        let mut buf = BucketedBuffer::new(10, 4);
+        assert!(buf.insert(&sc, entry(&sc, 200.0, 100.0, 50.0, 0.5, 1)));
+        assert!(!buf.insert(&sc, entry(&sc, 200.0, 100.0, 50.0, 0.6, 1)));
+        assert_eq!(buf.len(), 1);
+    }
+
+    #[test]
+    fn random_entry_covers_all_buckets() {
+        let sc = scenario();
+        let mut buf = BucketedBuffer::new(10, 4);
+        buf.insert(&sc, entry(&sc, 80.0, 50.0, 100.0, 0.5, 1));
+        buf.insert(&sc, entry(&sc, 400.0, 400.0, 5.0, 0.6, 2));
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            seen.insert(buf.random_entry(&mut rng).unwrap().actions[0]);
+        }
+        assert_eq!(seen.len(), 2);
+    }
+}

@@ -1,0 +1,187 @@
+//! Deep Q-Network baseline — the other "traditional RL algorithm" §4.3
+//! names next to PPO.
+//!
+//! The policy network doubles as the Q-network: each head's logits are
+//! read as Q-values. Episodes pay a single terminal reward, so targets are
+//! `max_a' Q_target(s_{t+1}, a')` for interior steps and the episode
+//! reward at the final step. A frozen target network refreshes
+//! periodically, exploration is ε-greedy, and whole episodes are replayed
+//! (the network is recurrent). As in the paper, DQN struggles with the
+//! sparse goal-conditioned reward — the comparison point SUPREME is
+//! designed to beat.
+
+use crate::env::{Condition, RolloutMode, Scenario};
+use crate::metrics::{evaluate_policy, validation_conditions, TrainHistory};
+use crate::policy::LstmPolicy;
+use murmuration_nn::module::Module;
+use murmuration_nn::optim::Adam;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// DQN hyper-parameters.
+#[derive(Clone, Debug)]
+pub struct DqnConfig {
+    /// Episodes to collect.
+    pub steps: usize,
+    /// Episodes replayed per update.
+    pub batch: usize,
+    pub lr: f32,
+    /// ε-greedy schedule (linear decay).
+    pub eps_start: f32,
+    pub eps_end: f32,
+    /// Replay capacity (episodes, FIFO).
+    pub capacity: usize,
+    /// Target-network refresh cadence (collection steps).
+    pub target_every: usize,
+    pub eval_every: usize,
+    pub eval_conditions: usize,
+    pub hidden: usize,
+    pub seed: u64,
+}
+
+impl Default for DqnConfig {
+    fn default() -> Self {
+        DqnConfig {
+            steps: 2000,
+            batch: 4,
+            lr: 1e-3,
+            eps_start: 0.8,
+            eps_end: 0.05,
+            capacity: 2048,
+            target_every: 100,
+            eval_every: 250,
+            eval_conditions: 40,
+            hidden: 64,
+            seed: 0,
+        }
+    }
+}
+
+struct Episode {
+    cond: Condition,
+    actions: Vec<usize>,
+    reward: f32,
+}
+
+/// Trains a Q-policy with DQN; returns it plus the training curve.
+pub fn train(sc: &Scenario, cfg: &DqnConfig) -> (LstmPolicy, TrainHistory) {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut q = LstmPolicy::new(sc.input_dim(), cfg.hidden, sc.arities(), cfg.seed);
+    let mut q_target = q.clone();
+    let mut opt = Adam::new(cfg.lr);
+    let mut replay: Vec<Episode> = Vec::new();
+    let val = validation_conditions(sc, cfg.eval_conditions);
+    let mut history = TrainHistory::default();
+
+    for step in 0..cfg.steps {
+        let progress = step as f32 / cfg.steps.max(1) as f32;
+        let epsilon = cfg.eps_start + (cfg.eps_end - cfg.eps_start) * progress;
+        // Collect one ε-greedy episode (greedy w.r.t. Q).
+        let cond = sc.sample_condition(&mut rng);
+        let (actions, _, _) =
+            crate::env::rollout(&q, sc, &cond, RolloutMode::Sample { epsilon }, &mut rng);
+        let res = sc.evaluate(&cond, &actions);
+        replay.push(Episode { cond, actions, reward: res.reward });
+        if replay.len() > cfg.capacity {
+            let overflow = replay.len() - cfg.capacity;
+            replay.drain(..overflow);
+        }
+        // Q-learning update over a batch of episodes.
+        q.zero_grad();
+        let scale = 1.0 / cfg.batch.min(replay.len()).max(1) as f32;
+        for _ in 0..cfg.batch.min(replay.len()) {
+            let ep = &replay[rng.gen_range(0..replay.len())];
+            let steps = crate::env::regenerate_inputs(sc, &ep.cond, &ep.actions);
+            let fw = q.forward_seq(&steps);
+            let fw_target = q_target.forward_seq(&steps);
+            let t_count = fw.len();
+            let mut dlogits = Vec::with_capacity(t_count);
+            for t in 0..t_count {
+                let q_sa = fw.logits(t)[ep.actions[t]];
+                let y = if t + 1 < t_count {
+                    // Bootstrapped target from the frozen network.
+                    fw_target.logits(t + 1).iter().cloned().fold(f32::MIN, f32::max)
+                } else {
+                    ep.reward
+                };
+                let mut d = vec![0.0f32; fw.logits(t).len()];
+                d[ep.actions[t]] = scale * 2.0 * (q_sa - y);
+                dlogits.push(d);
+            }
+            let dvalues = vec![0.0; t_count];
+            q.backward_seq(&fw, &dlogits, &dvalues);
+        }
+        opt.step(&mut q);
+        if (step + 1) % cfg.target_every == 0 {
+            q_target = q.clone();
+        }
+        if (step + 1) % cfg.eval_every == 0 || step + 1 == cfg.steps {
+            history.points.push((step + 1, evaluate_policy(&q, sc, &val)));
+        }
+    }
+    (q, history)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::SloKind;
+
+    #[test]
+    fn short_run_trains_without_nans() {
+        let sc = Scenario::augmented_computing(SloKind::Latency);
+        let cfg = DqnConfig {
+            steps: 40,
+            eval_every: 20,
+            eval_conditions: 6,
+            hidden: 16,
+            target_every: 10,
+            ..Default::default()
+        };
+        let (mut q, history) = train(&sc, &cfg);
+        assert_eq!(history.points.len(), 2);
+        assert!(history.final_reward().is_finite());
+        let mut finite = true;
+        q.visit_params(&mut |p| {
+            finite &= p.value.data().iter().all(|v| v.is_finite());
+        });
+        assert!(finite, "DQN produced non-finite parameters");
+    }
+
+    #[test]
+    fn q_values_move_toward_terminal_reward() {
+        // With a single replayed episode, the final step's Q(a_T) must
+        // converge to the episode reward.
+        let sc = Scenario::augmented_computing(SloKind::Latency);
+        let cond = sc.condition_from_indices(9, &[9], &[0]); // loose
+        let actions = crate::env::bootstrap_actions(&sc)[1].clone();
+        let res = sc.evaluate(&cond, &actions);
+        let mut q = LstmPolicy::new(sc.input_dim(), 16, sc.arities(), 0);
+        let mut opt = Adam::new(5e-3);
+        let steps = crate::env::regenerate_inputs(&sc, &cond, &actions);
+        for _ in 0..200 {
+            q.zero_grad();
+            let fw = q.forward_seq(&steps);
+            let t_last = fw.len() - 1;
+            let q_sa = fw.logits(t_last)[actions[t_last]];
+            let mut dlogits = Vec::with_capacity(fw.len());
+            for t in 0..fw.len() {
+                let mut d = vec![0.0f32; fw.logits(t).len()];
+                if t == t_last {
+                    d[actions[t]] = 2.0 * (q_sa - res.reward);
+                }
+                dlogits.push(d);
+            }
+            let dvalues = vec![0.0; fw.len()];
+            q.backward_seq(&fw, &dlogits, &dvalues);
+            opt.step(&mut q);
+        }
+        let fw = q.forward_seq(&steps);
+        let q_final = fw.logits(fw.len() - 1)[actions[fw.len() - 1]];
+        assert!(
+            (q_final - res.reward).abs() < 0.05,
+            "Q {q_final} vs reward {}",
+            res.reward
+        );
+    }
+}

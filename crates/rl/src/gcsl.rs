@@ -1,0 +1,181 @@
+//! Goal-Conditioned Supervised Learning (Ghosh et al., 2019) — the paper's
+//! stronger baseline and the policy-update rule SUPREME reuses.
+//!
+//! GCSL collects trajectories, relabels each with the goal it actually
+//! achieved (hindsight), and trains the policy by supervised imitation of
+//! its own relabeled behaviour. Exploration is plain softmax sampling —
+//! the weakness SUPREME's buffer machinery addresses.
+
+use crate::env::{rollout, Condition, RolloutMode, Scenario};
+use crate::metrics::{evaluate_policy, validation_conditions, TrainHistory};
+use crate::policy::LstmPolicy;
+use murmuration_nn::module::Module;
+use murmuration_nn::optim::Adam;
+use murmuration_tensor::activation::softmax;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// GCSL hyper-parameters.
+#[derive(Clone, Debug)]
+pub struct GcslConfig {
+    /// Episodes to collect (the x-axis of Fig. 11).
+    pub steps: usize,
+    /// Trajectories per supervised update.
+    pub batch: usize,
+    pub lr: f32,
+    /// Softmax-sampling temperature is fixed; this is ε-uniform mixing.
+    pub epsilon: f32,
+    /// Replay capacity (FIFO).
+    pub capacity: usize,
+    /// Evaluate every this many episodes.
+    pub eval_every: usize,
+    /// Validation conditions per evaluation.
+    pub eval_conditions: usize,
+    pub hidden: usize,
+    pub seed: u64,
+}
+
+impl Default for GcslConfig {
+    fn default() -> Self {
+        GcslConfig {
+            steps: 2000,
+            batch: 8,
+            lr: 1e-3,
+            epsilon: 0.05,
+            capacity: 4096,
+            eval_every: 250,
+            eval_conditions: 40,
+            hidden: 64,
+            seed: 0,
+        }
+    }
+}
+
+/// One supervised (imitation) update on a batch of (goal, actions) pairs.
+/// Returns the mean cross-entropy loss.
+pub fn supervised_update(
+    policy: &mut LstmPolicy,
+    opt: &mut Adam,
+    sc: &Scenario,
+    batch: &[(Condition, Vec<usize>)],
+) -> f32 {
+    let weighted: Vec<(Condition, Vec<usize>, f32)> =
+        batch.iter().map(|(c, a)| (c.clone(), a.clone(), 1.0)).collect();
+    supervised_update_weighted(policy, opt, sc, &weighted)
+}
+
+/// Weighted imitation update: each trajectory's cross-entropy is scaled by
+/// its weight (SUPREME weights by stored reward so the policy's capacity
+/// concentrates on high-value strategies). Returns the mean unweighted CE.
+pub fn supervised_update_weighted(
+    policy: &mut LstmPolicy,
+    opt: &mut Adam,
+    sc: &Scenario,
+    batch: &[(Condition, Vec<usize>, f32)],
+) -> f32 {
+    if batch.is_empty() {
+        return 0.0;
+    }
+    policy.zero_grad();
+    let mut loss = 0.0f32;
+    let mut count = 0usize;
+    let weight_sum: f32 = batch.iter().map(|(_, _, w)| w).sum::<f32>().max(1e-6);
+    for (cond, actions, w) in batch {
+        let steps = crate::env::regenerate_inputs(sc, cond, actions);
+        let fw = policy.forward_seq(&steps);
+        let scale = w / weight_sum;
+        let dlogits: Vec<Vec<f32>> = (0..fw.len())
+            .map(|t| {
+                let logits = fw.logits(t);
+                let probs = softmax(logits);
+                loss -= probs[actions[t]].max(1e-12).ln();
+                count += 1;
+                let mut d: Vec<f32> = probs.iter().map(|&p| p * scale).collect();
+                d[actions[t]] -= scale;
+                d
+            })
+            .collect();
+        let dvalues = vec![0.0; fw.len()];
+        policy.backward_seq(&fw, &dlogits, &dvalues);
+    }
+    opt.step(policy);
+    loss / count as f32
+}
+
+/// Trains a policy with GCSL; returns it plus the training curve.
+pub fn train(sc: &Scenario, cfg: &GcslConfig) -> (LstmPolicy, TrainHistory) {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut policy = LstmPolicy::new(sc.input_dim(), cfg.hidden, sc.arities(), cfg.seed);
+    let mut opt = Adam::new(cfg.lr);
+    let mut replay: Vec<(Condition, Vec<usize>)> = Vec::new();
+    let val = validation_conditions(sc, cfg.eval_conditions);
+    let mut history = TrainHistory::default();
+
+    // Bootstrap (paper §6.1.1): max- and min-size submodels.
+    for actions in crate::env::bootstrap_actions(sc) {
+        let cond = sc.sample_condition(&mut rng);
+        let res = sc.evaluate(&cond, &actions);
+        let relabeled = sc.relabel(&cond, &res);
+        replay.push((relabeled, actions));
+    }
+
+    for step in 0..cfg.steps {
+        let cond = sc.sample_condition(&mut rng);
+        let (actions, _, _) =
+            rollout(&policy, sc, &cond, RolloutMode::Sample { epsilon: cfg.epsilon }, &mut rng);
+        let res = sc.evaluate(&cond, &actions);
+        let relabeled = sc.relabel(&cond, &res);
+        replay.push((relabeled, actions));
+        if replay.len() > cfg.capacity {
+            let overflow = replay.len() - cfg.capacity;
+            replay.drain(..overflow);
+        }
+        // Supervised update on a random batch.
+        let batch: Vec<(Condition, Vec<usize>)> = (0..cfg.batch.min(replay.len()))
+            .map(|_| replay[rng.gen_range(0..replay.len())].clone())
+            .collect();
+        supervised_update(&mut policy, &mut opt, sc, &batch);
+        if (step + 1) % cfg.eval_every == 0 || step + 1 == cfg.steps {
+            history.points.push((step + 1, evaluate_policy(&policy, sc, &val)));
+        }
+    }
+    (policy, history)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::SloKind;
+
+    #[test]
+    fn supervised_update_reduces_loss() {
+        let sc = Scenario::augmented_computing(SloKind::Latency);
+        let mut policy = LstmPolicy::new(sc.input_dim(), 16, sc.arities(), 0);
+        let mut opt = Adam::new(5e-3);
+        let mut rng = StdRng::seed_from_u64(0);
+        let cond = sc.sample_condition(&mut rng);
+        let actions = crate::env::bootstrap_actions(&sc)[0].clone();
+        let batch = vec![(cond, actions)];
+        let first = supervised_update(&mut policy, &mut opt, &sc, &batch);
+        let mut last = first;
+        for _ in 0..30 {
+            last = supervised_update(&mut policy, &mut opt, &sc, &batch);
+        }
+        assert!(last < first * 0.5, "loss {first} -> {last}");
+    }
+
+    #[test]
+    fn short_training_run_produces_history() {
+        let sc = Scenario::augmented_computing(SloKind::Latency);
+        let cfg = GcslConfig {
+            steps: 30,
+            eval_every: 15,
+            eval_conditions: 6,
+            hidden: 16,
+            ..Default::default()
+        };
+        let (_, history) = train(&sc, &cfg);
+        assert_eq!(history.points.len(), 2);
+        assert!(history.final_reward().is_finite());
+    }
+}

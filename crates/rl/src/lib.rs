@@ -1,0 +1,42 @@
+//! # murmuration-rl
+//!
+//! Stage 2 of Murmuration: goal-conditioned multi-task RL that jointly
+//! selects a subnet configuration *and* a partitioning/placement strategy
+//! to meet a user SLO under given network conditions.
+//!
+//! * [`policy`] — the paper's policy network (Fig. 5): a single-layer LSTM
+//!   backbone with one fully-connected head per action type, implemented
+//!   from scratch with full backpropagation-through-time.
+//! * [`mod@env`] — the sequential decision environment: one episode walks the
+//!   decision schedule (resolution, then per-stage kernel/depth/expand/
+//!   quant/partition + per-tile device selection, then head placement),
+//!   evaluates the resulting (config, plan) with the latency estimator and
+//!   accuracy model, and pays the goal-conditioned reward of Eq. (2)/(3).
+//! * [`buffer`] — SUPREME's reward-filtered *bucketed replay buffer* with
+//!   tree-structured data sharing across constraint buckets, lower-bound
+//!   pruning, and trajectory mutation (Figs. 7–9).
+//! * [`gcsl`] — Goal-Conditioned Supervised Learning (Ghosh et al.), the
+//!   paper's stronger baseline and the update rule SUPREME builds on.
+//! * [`ppo`] — Proximal Policy Optimization baseline.
+//! * [`dqn`] — Deep Q-Network baseline (the other traditional-RL
+//!   comparison §4.3 names).
+//! * [`supreme`] — the SUPREME algorithm: GCSL updates over the bucketed
+//!   buffer, ε-greedy + mutation exploration, cross-task sharing, pruning,
+//!   and curriculum over constraint dimensions.
+//! * [`metrics`] — validation-grid evaluation: average reward,
+//!   (normalized) SLO compliance rate (Figs. 11–12), and Pareto-frontier
+//!   extraction.
+//! * [`serialize`] — save/load trained policies (Stage 2 → Stage 3).
+
+pub mod buffer;
+pub mod dqn;
+pub mod env;
+pub mod gcsl;
+pub mod metrics;
+pub mod policy;
+pub mod ppo;
+pub mod serialize;
+pub mod supreme;
+
+pub use env::{Condition, EpisodeResult, Scenario, SloKind};
+pub use policy::{ActionHead, LstmPolicy};

@@ -1,0 +1,538 @@
+//! The LSTM policy network (paper Fig. 5), from scratch with BPTT.
+//!
+//! A single LSTM layer propagates context across the sequential decisions;
+//! each action *type* (resolution, kernel, depth, expand, quant, partition,
+//! device) has its own fully-connected output head. A scalar value head
+//! supports the PPO baseline.
+
+use murmuration_nn::module::Module;
+use murmuration_nn::param::Param;
+use murmuration_tensor::activation::{log_softmax_at, sigmoid, softmax};
+use murmuration_tensor::{Shape, Tensor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Action-type heads, in decision-schedule order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ActionHead {
+    Resolution = 0,
+    Kernel = 1,
+    Depth = 2,
+    Expand = 3,
+    Quant = 4,
+    Partition = 5,
+    Device = 6,
+}
+
+/// Number of distinct heads.
+pub const NUM_HEADS: usize = 7;
+
+/// The policy network.
+#[derive(Clone)]
+pub struct LstmPolicy {
+    pub input_dim: usize,
+    pub hidden: usize,
+    /// Input-to-gates weights `[4H, I]` (gate order: i, f, g, o).
+    wx: Param,
+    /// Hidden-to-gates weights `[4H, H]`.
+    wh: Param,
+    /// Gate biases `[4H]`.
+    b: Param,
+    /// Per-head output weights `[arity, H]` and biases `[arity]`.
+    heads: Vec<(Param, Param)>,
+    /// Value head `[1, H]` + bias.
+    value: (Param, Param),
+    arities: Vec<usize>,
+}
+
+/// Recurrent state carried across decisions.
+#[derive(Clone, Debug)]
+pub struct PolicyState {
+    pub h: Vec<f32>,
+    pub c: Vec<f32>,
+}
+
+/// Everything one step's backward pass needs.
+#[derive(Clone)]
+struct StepCache {
+    x: Vec<f32>,
+    h_prev: Vec<f32>,
+    c_prev: Vec<f32>,
+    i: Vec<f32>,
+    f: Vec<f32>,
+    g: Vec<f32>,
+    o: Vec<f32>,
+    c: Vec<f32>,
+    h: Vec<f32>,
+    head: usize,
+    logits: Vec<f32>,
+    value: f32,
+}
+
+/// A recorded forward pass over a whole decision sequence.
+pub struct SeqForward {
+    steps: Vec<StepCache>,
+}
+
+impl SeqForward {
+    /// Logits of step `t`.
+    pub fn logits(&self, t: usize) -> &[f32] {
+        &self.steps[t].logits
+    }
+
+    /// Value estimate of step `t`.
+    pub fn value(&self, t: usize) -> f32 {
+        self.steps[t].value
+    }
+
+    /// Sequence length.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True when the pass recorded no steps.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+}
+
+impl LstmPolicy {
+    /// Fresh policy. `arities[head]` is the option count of each head
+    /// (indexed by [`ActionHead`] discriminants).
+    pub fn new(input_dim: usize, hidden: usize, arities: Vec<usize>, seed: u64) -> Self {
+        assert_eq!(arities.len(), NUM_HEADS, "one arity per head");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let wx = Param::new(Tensor::kaiming(Shape::d2(4 * hidden, input_dim), input_dim, &mut rng));
+        let wh = Param::new(Tensor::kaiming(Shape::d2(4 * hidden, hidden), hidden, &mut rng));
+        // Forget-gate bias starts at 1 (standard LSTM practice).
+        let mut bt = Tensor::zeros(Shape::d1(4 * hidden));
+        for j in hidden..2 * hidden {
+            bt.data_mut()[j] = 1.0;
+        }
+        let b = Param::new(bt);
+        let heads = arities
+            .iter()
+            .map(|&a| {
+                (
+                    Param::new(Tensor::kaiming(Shape::d2(a, hidden), hidden, &mut rng)),
+                    Param::new(Tensor::zeros(Shape::d1(a))),
+                )
+            })
+            .collect();
+        let value = (
+            Param::new(Tensor::kaiming(Shape::d2(1, hidden), hidden, &mut rng)),
+            Param::new(Tensor::zeros(Shape::d1(1))),
+        );
+        LstmPolicy { input_dim, hidden, wx, wh, b, heads, value, arities: arities.clone() }
+    }
+
+    /// Option count of a head.
+    pub fn arity(&self, head: ActionHead) -> usize {
+        self.arities[head as usize]
+    }
+
+    /// Option count by raw head index (serialization helper).
+    pub fn arity_by_index(&self, head: usize) -> usize {
+        self.arities[head]
+    }
+
+    /// Zeroed recurrent state.
+    pub fn initial_state(&self) -> PolicyState {
+        PolicyState { h: vec![0.0; self.hidden], c: vec![0.0; self.hidden] }
+    }
+
+    /// One LSTM cell step. Returns the full cache (also used for
+    /// inference, where the cache is simply dropped).
+    fn cell(&self, x: &[f32], st: &PolicyState, head: usize) -> StepCache {
+        assert_eq!(x.len(), self.input_dim, "input dim");
+        let hd = self.hidden;
+        let mut pre = vec![0.0f32; 4 * hd];
+        let wx = self.wx.value.data();
+        let wh = self.wh.value.data();
+        let bb = self.b.value.data();
+        for j in 0..4 * hd {
+            let mut acc = bb[j];
+            let wxr = &wx[j * self.input_dim..(j + 1) * self.input_dim];
+            for (wv, xv) in wxr.iter().zip(x.iter()) {
+                acc += wv * xv;
+            }
+            let whr = &wh[j * hd..(j + 1) * hd];
+            for (wv, hv) in whr.iter().zip(st.h.iter()) {
+                acc += wv * hv;
+            }
+            pre[j] = acc;
+        }
+        let mut i = vec![0.0; hd];
+        let mut f = vec![0.0; hd];
+        let mut g = vec![0.0; hd];
+        let mut o = vec![0.0; hd];
+        let mut c = vec![0.0; hd];
+        let mut h = vec![0.0; hd];
+        for j in 0..hd {
+            i[j] = sigmoid(pre[j]);
+            f[j] = sigmoid(pre[hd + j]);
+            g[j] = pre[2 * hd + j].tanh();
+            o[j] = sigmoid(pre[3 * hd + j]);
+            c[j] = f[j] * st.c[j] + i[j] * g[j];
+            h[j] = o[j] * c[j].tanh();
+        }
+        // Head logits.
+        let (hw, hb) = &self.heads[head];
+        let arity = self.arities[head];
+        let mut logits = vec![0.0f32; arity];
+        for (a, l) in logits.iter_mut().enumerate() {
+            let row = &hw.value.data()[a * hd..(a + 1) * hd];
+            *l = hb.value.data()[a] + row.iter().zip(h.iter()).map(|(w, v)| w * v).sum::<f32>();
+        }
+        // Value.
+        let vrow = self.value.0.value.data();
+        let value =
+            self.value.1.value.data()[0] + vrow.iter().zip(h.iter()).map(|(w, v)| w * v).sum::<f32>();
+        StepCache {
+            x: x.to_vec(),
+            h_prev: st.h.clone(),
+            c_prev: st.c.clone(),
+            i,
+            f,
+            g,
+            o,
+            c,
+            h,
+            head,
+            logits,
+            value,
+        }
+    }
+
+    /// Inference step: advances the state, returns logits (and value).
+    pub fn step(&self, x: &[f32], st: &mut PolicyState, head: ActionHead) -> (Vec<f32>, f32) {
+        let cache = self.cell(x, st, head as usize);
+        st.h = cache.h;
+        st.c = cache.c;
+        (cache.logits, cache.value)
+    }
+
+    /// Full-sequence forward pass with caching for BPTT.
+    pub fn forward_seq(&self, steps: &[(Vec<f32>, ActionHead)]) -> SeqForward {
+        let mut st = self.initial_state();
+        let mut out = Vec::with_capacity(steps.len());
+        for (x, head) in steps {
+            let cache = self.cell(x, &st, *head as usize);
+            st.h = cache.h.clone();
+            st.c = cache.c.clone();
+            out.push(cache);
+        }
+        SeqForward { steps: out }
+    }
+
+    /// BPTT. `dlogits[t]` is the gradient w.r.t. step `t`'s logits (may be
+    /// all-zero); `dvalues[t]` the gradient w.r.t. the value output.
+    /// Gradients accumulate into the parameters.
+    pub fn backward_seq(&mut self, fw: &SeqForward, dlogits: &[Vec<f32>], dvalues: &[f32]) {
+        assert_eq!(fw.steps.len(), dlogits.len());
+        assert_eq!(fw.steps.len(), dvalues.len());
+        let hd = self.hidden;
+        let mut dh_next = vec![0.0f32; hd];
+        let mut dc_next = vec![0.0f32; hd];
+        for t in (0..fw.steps.len()).rev() {
+            let s = &fw.steps[t];
+            // dh from the head, the value head, and the next step.
+            let mut dh = dh_next.clone();
+            {
+                let (hw, hb) = &mut self.heads[s.head];
+                let dl = &dlogits[t];
+                assert_eq!(dl.len(), s.logits.len(), "step {t} logits grad");
+                for (a, &d) in dl.iter().enumerate() {
+                    if d == 0.0 {
+                        continue;
+                    }
+                    hb.grad.data_mut()[a] += d;
+                    let wrow = &hw.value.data()[a * hd..(a + 1) * hd].to_vec();
+                    let grow = &mut hw.grad.data_mut()[a * hd..(a + 1) * hd];
+                    for j in 0..hd {
+                        grow[j] += d * s.h[j];
+                        dh[j] += d * wrow[j];
+                    }
+                }
+            }
+            let dv = dvalues[t];
+            if dv != 0.0 {
+                self.value.1.grad.data_mut()[0] += dv;
+                let vrow = self.value.0.value.data().to_vec();
+                let grow = self.value.0.grad.data_mut();
+                for j in 0..hd {
+                    grow[j] += dv * s.h[j];
+                    dh[j] += dv * vrow[j];
+                }
+            }
+            // Through the cell.
+            let mut dpre = vec![0.0f32; 4 * hd];
+            let mut dc_prev = vec![0.0f32; hd];
+            for j in 0..hd {
+                let tanh_c = s.c[j].tanh();
+                let do_ = dh[j] * tanh_c;
+                let dc = dh[j] * s.o[j] * (1.0 - tanh_c * tanh_c) + dc_next[j];
+                let di = dc * s.g[j];
+                let df = dc * s.c_prev[j];
+                let dg = dc * s.i[j];
+                dpre[j] = di * s.i[j] * (1.0 - s.i[j]);
+                dpre[hd + j] = df * s.f[j] * (1.0 - s.f[j]);
+                dpre[2 * hd + j] = dg * (1.0 - s.g[j] * s.g[j]);
+                dpre[3 * hd + j] = do_ * s.o[j] * (1.0 - s.o[j]);
+                dc_prev[j] = dc * s.f[j];
+            }
+            // Parameter grads and upstream dh_prev.
+            let mut dh_prev = vec![0.0f32; hd];
+            {
+                let wxg = self.wx.grad.data_mut();
+                for (j, &dp) in dpre.iter().enumerate() {
+                    if dp == 0.0 {
+                        continue;
+                    }
+                    let row = &mut wxg[j * self.input_dim..(j + 1) * self.input_dim];
+                    for (rv, xv) in row.iter_mut().zip(s.x.iter()) {
+                        *rv += dp * xv;
+                    }
+                }
+            }
+            {
+                let wh_vals = self.wh.value.data().to_vec();
+                let whg = self.wh.grad.data_mut();
+                for (j, &dp) in dpre.iter().enumerate() {
+                    if dp == 0.0 {
+                        continue;
+                    }
+                    let row = &mut whg[j * hd..(j + 1) * hd];
+                    let vrow = &wh_vals[j * hd..(j + 1) * hd];
+                    for k in 0..hd {
+                        row[k] += dp * s.h_prev[k];
+                        dh_prev[k] += dp * vrow[k];
+                    }
+                }
+            }
+            {
+                let bg = self.b.grad.data_mut();
+                for (j, &dp) in dpre.iter().enumerate() {
+                    bg[j] += dp;
+                }
+            }
+            dh_next = dh_prev;
+            dc_next = dc_prev;
+        }
+    }
+
+    /// Samples an action from logits; `epsilon` forces uniform exploration.
+    pub fn sample_action<R: Rng>(
+        logits: &[f32],
+        valid: usize,
+        epsilon: f32,
+        rng: &mut R,
+    ) -> usize {
+        assert!(valid >= 1 && valid <= logits.len());
+        if epsilon > 0.0 && rng.gen::<f32>() < epsilon {
+            return rng.gen_range(0..valid);
+        }
+        let probs = softmax(&logits[..valid]);
+        let mut u: f32 = rng.gen();
+        for (a, &p) in probs.iter().enumerate() {
+            u -= p;
+            if u <= 0.0 {
+                return a;
+            }
+        }
+        valid - 1
+    }
+
+    /// Greedy action from logits (masked to the first `valid` options).
+    pub fn greedy_action(logits: &[f32], valid: usize) -> usize {
+        logits[..valid]
+            .iter()
+            .enumerate()
+            .fold((0usize, f32::NEG_INFINITY), |acc, (i, &v)| if v > acc.1 { (i, v) } else { acc })
+            .0
+    }
+
+    /// Log-probability of `action` under `logits` masked to `valid`.
+    pub fn logp(logits: &[f32], valid: usize, action: usize) -> f32 {
+        log_softmax_at(&logits[..valid], action)
+    }
+}
+
+impl Module for LstmPolicy {
+    fn forward(&mut self, _x: &Tensor, _train: bool) -> Tensor {
+        unreachable!("LstmPolicy uses forward_seq / step, not the Module forward")
+    }
+
+    fn backward(&mut self, _dy: &Tensor) -> Tensor {
+        unreachable!("LstmPolicy uses backward_seq, not the Module backward")
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.wx);
+        f(&mut self.wh);
+        f(&mut self.b);
+        for (w, b) in &mut self.heads {
+            f(w);
+            f(b);
+        }
+        f(&mut self.value.0);
+        f(&mut self.value.1);
+    }
+
+    fn name(&self) -> &'static str {
+        "LstmPolicy"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use murmuration_nn::optim::Adam;
+
+    fn tiny_policy(seed: u64) -> LstmPolicy {
+        LstmPolicy::new(4, 8, vec![3, 3, 3, 3, 3, 4, 5], seed)
+    }
+
+    #[test]
+    fn step_and_seq_agree() {
+        let p = tiny_policy(0);
+        let xs: Vec<(Vec<f32>, ActionHead)> = (0..5)
+            .map(|t| (vec![t as f32 * 0.1, 0.5, -0.2, 1.0], ActionHead::Kernel))
+            .collect();
+        let fw = p.forward_seq(&xs);
+        let mut st = p.initial_state();
+        for (t, (x, head)) in xs.iter().enumerate() {
+            let (logits, value) = p.step(x, &mut st, *head);
+            assert_eq!(logits, fw.logits(t));
+            assert!((value - fw.value(t)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn bptt_matches_finite_difference() {
+        // Loss = -log p(a_t) summed over a 3-step sequence; check dWx, dWh
+        // against central differences at probed coordinates.
+        let mut p = tiny_policy(1);
+        let steps: Vec<(Vec<f32>, ActionHead)> = vec![
+            (vec![0.2, -0.1, 0.4, 0.0], ActionHead::Resolution),
+            (vec![-0.3, 0.2, 0.1, 0.5], ActionHead::Partition),
+            (vec![0.0, 0.7, -0.2, 0.3], ActionHead::Device),
+        ];
+        let actions = [1usize, 2, 3];
+        let loss_fn = |p: &LstmPolicy| -> f32 {
+            let fw = p.forward_seq(&steps);
+            (0..3).map(|t| -LstmPolicy::logp(fw.logits(t), fw.logits(t).len(), actions[t])).sum()
+        };
+        // Analytic.
+        p.zero_grad();
+        let fw = p.forward_seq(&steps);
+        let dlogits: Vec<Vec<f32>> = (0..3)
+            .map(|t| {
+                let probs = softmax(fw.logits(t));
+                let mut d = probs;
+                d[actions[t]] -= 1.0;
+                d
+            })
+            .collect();
+        let dvalues = vec![0.0; 3];
+        p.backward_seq(&fw, &dlogits, &dvalues);
+
+        let eps = 1e-2f32;
+        // Probe a few coordinates of wx and wh.
+        for probe in [(0usize, 0usize), (3, 2), (17, 1)] {
+            let idx = probe.0 * p.input_dim + probe.1;
+            let analytic = p.wx.grad.data()[idx];
+            p.wx.value.data_mut()[idx] += eps;
+            let lp = loss_fn(&p);
+            p.wx.value.data_mut()[idx] -= 2.0 * eps;
+            let lm = loss_fn(&p);
+            p.wx.value.data_mut()[idx] += eps;
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (fd - analytic).abs() < 0.02 * fd.abs().max(analytic.abs()).max(0.05),
+                "wx[{idx}]: fd {fd} vs analytic {analytic}"
+            );
+        }
+        for probe in [(2usize, 3usize), (20, 5)] {
+            let idx = probe.0 * p.hidden + probe.1;
+            let analytic = p.wh.grad.data()[idx];
+            p.wh.value.data_mut()[idx] += eps;
+            let lp = loss_fn(&p);
+            p.wh.value.data_mut()[idx] -= 2.0 * eps;
+            let lm = loss_fn(&p);
+            p.wh.value.data_mut()[idx] += eps;
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (fd - analytic).abs() < 0.02 * fd.abs().max(analytic.abs()).max(0.05),
+                "wh[{idx}]: fd {fd} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn supervised_training_imitates_target_sequence() {
+        // Teach the policy to always produce a fixed action sequence.
+        let mut p = tiny_policy(2);
+        let steps: Vec<(Vec<f32>, ActionHead)> = vec![
+            (vec![1.0, 0.0, 0.0, 0.0], ActionHead::Kernel),
+            (vec![0.0, 1.0, 0.0, 0.0], ActionHead::Quant),
+            (vec![0.0, 0.0, 1.0, 0.0], ActionHead::Device),
+        ];
+        let targets = [2usize, 0, 4];
+        let mut opt = Adam::new(0.01);
+        for _ in 0..300 {
+            p.zero_grad();
+            let fw = p.forward_seq(&steps);
+            let dlogits: Vec<Vec<f32>> = (0..3)
+                .map(|t| {
+                    let mut d = softmax(fw.logits(t));
+                    d[targets[t]] -= 1.0;
+                    d
+                })
+                .collect();
+            let dvalues = vec![0.0; 3];
+            p.backward_seq(&fw, &dlogits, &dvalues);
+            opt.step(&mut p);
+        }
+        let fw = p.forward_seq(&steps);
+        for (t, &target) in targets.iter().enumerate() {
+            assert_eq!(
+                LstmPolicy::greedy_action(fw.logits(t), fw.logits(t).len()),
+                target,
+                "step {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn epsilon_one_is_uniform() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let logits = [100.0f32, 0.0, 0.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..3000 {
+            counts[LstmPolicy::sample_action(&logits, 3, 1.0, &mut rng)] += 1;
+        }
+        for c in counts {
+            assert!((700..1300).contains(&c), "{counts:?} not uniform");
+        }
+    }
+
+    #[test]
+    fn greedy_respects_valid_mask() {
+        let logits = [0.0f32, 1.0, 50.0, 100.0];
+        assert_eq!(LstmPolicy::greedy_action(&logits, 2), 1);
+        assert_eq!(LstmPolicy::greedy_action(&logits, 4), 3);
+    }
+
+    #[test]
+    fn value_head_gradients_flow() {
+        let mut p = tiny_policy(4);
+        let steps = vec![(vec![0.5, 0.5, 0.5, 0.5], ActionHead::Resolution)];
+        p.zero_grad();
+        let fw = p.forward_seq(&steps);
+        let dlogits = vec![vec![0.0; p.arity(ActionHead::Resolution)]];
+        p.backward_seq(&fw, &dlogits, &[1.0]);
+        assert!(p.value.0.grad.norm() > 0.0);
+        assert!(p.wx.grad.norm() > 0.0, "value grad must reach the LSTM");
+    }
+}

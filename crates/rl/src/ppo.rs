@@ -1,0 +1,183 @@
+//! Proximal Policy Optimization (Schulman et al., 2017) baseline.
+//!
+//! Episodes pay a single terminal reward, so the return of every step is
+//! that reward and advantages are `R − V_t` against the value head.
+//! The clipped surrogate, entropy bonus, and value loss are implemented
+//! directly as logits/value gradients for the policy's BPTT.
+
+use crate::env::{rollout, RolloutMode, Scenario};
+use crate::metrics::{evaluate_policy, validation_conditions, TrainHistory};
+use crate::policy::{ActionHead, LstmPolicy};
+use murmuration_nn::module::Module;
+use murmuration_nn::optim::Adam;
+use murmuration_tensor::activation::softmax;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// PPO hyper-parameters.
+#[derive(Clone, Debug)]
+pub struct PpoConfig {
+    /// Total episodes to collect.
+    pub steps: usize,
+    /// Episodes per policy update.
+    pub rollouts_per_update: usize,
+    /// Optimization epochs per update.
+    pub epochs: usize,
+    pub clip: f32,
+    pub lr: f32,
+    pub vf_coef: f32,
+    pub ent_coef: f32,
+    pub eval_every: usize,
+    pub eval_conditions: usize,
+    pub hidden: usize,
+    pub seed: u64,
+}
+
+impl Default for PpoConfig {
+    fn default() -> Self {
+        PpoConfig {
+            steps: 2000,
+            rollouts_per_update: 8,
+            epochs: 3,
+            clip: 0.2,
+            lr: 1e-3,
+            vf_coef: 0.5,
+            ent_coef: 0.01,
+            eval_every: 250,
+            eval_conditions: 40,
+            hidden: 64,
+            seed: 0,
+        }
+    }
+}
+
+struct CollectedEpisode {
+    steps: Vec<(Vec<f32>, ActionHead)>,
+    actions: Vec<usize>,
+    old_logps: Vec<f32>,
+    ret: f32,
+}
+
+/// Trains a policy with PPO; returns it plus the training curve.
+pub fn train(sc: &Scenario, cfg: &PpoConfig) -> (LstmPolicy, TrainHistory) {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut policy = LstmPolicy::new(sc.input_dim(), cfg.hidden, sc.arities(), cfg.seed);
+    let mut opt = Adam::new(cfg.lr);
+    let val = validation_conditions(sc, cfg.eval_conditions);
+    let mut history = TrainHistory::default();
+    let mut collected = 0usize;
+    let mut next_eval = cfg.eval_every;
+
+    while collected < cfg.steps {
+        // Collect a batch of episodes.
+        let mut batch = Vec::with_capacity(cfg.rollouts_per_update);
+        for _ in 0..cfg.rollouts_per_update {
+            let cond = sc.sample_condition(&mut rng);
+            let (actions, steps, old_logps) =
+                rollout(&policy, sc, &cond, RolloutMode::Sample { epsilon: 0.0 }, &mut rng);
+            let res = sc.evaluate(&cond, &actions);
+            batch.push(CollectedEpisode { steps, actions, old_logps, ret: res.reward });
+            collected += 1;
+        }
+        // Optimize.
+        for _ in 0..cfg.epochs {
+            policy.zero_grad();
+            let scale = 1.0 / batch.len() as f32;
+            for ep in &batch {
+                let fw = policy.forward_seq(&ep.steps);
+                let t_count = fw.len();
+                let mut dlogits = Vec::with_capacity(t_count);
+                let mut dvalues = Vec::with_capacity(t_count);
+                for t in 0..t_count {
+                    let logits = fw.logits(t);
+                    let probs = softmax(logits);
+                    let a = ep.actions[t];
+                    let adv = ep.ret - fw.value(t);
+                    let logp_new = probs[a].max(1e-12).ln();
+                    let ratio = (logp_new - ep.old_logps[t]).exp();
+                    // Clipped-surrogate gradient coefficient.
+                    let unclipped_active = if adv >= 0.0 {
+                        ratio <= 1.0 + cfg.clip
+                    } else {
+                        ratio >= 1.0 - cfg.clip
+                    };
+                    let coef = if unclipped_active { ratio * adv } else { 0.0 };
+                    // Entropy of the step distribution.
+                    let ent: f32 = -probs.iter().map(|&p| if p > 0.0 { p * p.ln() } else { 0.0 }).sum::<f32>();
+                    let mut d = vec![0.0f32; probs.len()];
+                    for (j, &p) in probs.iter().enumerate() {
+                        // −coef · d logp/d l_j  +  ent_coef · d(−H)/d l_j
+                        let dlogp = f32::from(j == a) - p;
+                        let dneg_h = p * (p.max(1e-12).ln() + ent);
+                        d[j] = scale * (-coef * dlogp + cfg.ent_coef * dneg_h);
+                    }
+                    dlogits.push(d);
+                    // Value loss: vf_coef (V − R)².
+                    dvalues.push(scale * cfg.vf_coef * 2.0 * (fw.value(t) - ep.ret));
+                }
+                policy.backward_seq(&fw, &dlogits, &dvalues);
+            }
+            opt.step(&mut policy);
+        }
+        if collected >= next_eval || collected >= cfg.steps {
+            history.points.push((collected, evaluate_policy(&policy, sc, &val)));
+            next_eval += cfg.eval_every;
+        }
+    }
+    (policy, history)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::SloKind;
+
+    #[test]
+    fn short_run_trains_without_nans() {
+        let sc = Scenario::augmented_computing(SloKind::Latency);
+        let cfg = PpoConfig {
+            steps: 32,
+            rollouts_per_update: 4,
+            epochs: 2,
+            eval_every: 16,
+            eval_conditions: 6,
+            hidden: 16,
+            ..Default::default()
+        };
+        let (policy, history) = train(&sc, &cfg);
+        assert!(!history.points.is_empty());
+        assert!(history.final_reward().is_finite());
+        // Policy parameters stay finite.
+        let mut p = policy;
+        let mut finite = true;
+        p.visit_params(&mut |param| {
+            finite &= param.value.data().iter().all(|v| v.is_finite());
+        });
+        assert!(finite, "PPO produced non-finite parameters");
+    }
+
+    #[test]
+    fn value_head_learns_the_return_scale() {
+        // With a constant reward the value head should converge toward it.
+        let sc = Scenario::augmented_computing(SloKind::Latency);
+        let cfg = PpoConfig {
+            steps: 120,
+            rollouts_per_update: 6,
+            epochs: 3,
+            eval_every: 1000,
+            eval_conditions: 4,
+            hidden: 16,
+            lr: 3e-3,
+            ..Default::default()
+        };
+        let (policy, _) = train(&sc, &cfg);
+        // Probe the value on a few conditions: must be inside the reward
+        // range [0, 1.5] once trained (untrained heads wander arbitrarily).
+        let mut rng = StdRng::seed_from_u64(9);
+        let cond = sc.sample_condition(&mut rng);
+        let (_, steps, _) = rollout(&policy, &sc, &cond, RolloutMode::Greedy, &mut rng);
+        let fw = policy.forward_seq(&steps);
+        let v = fw.value(fw.len() - 1);
+        assert!((-0.5..2.0).contains(&v), "value {v} out of plausible range");
+    }
+}

@@ -1,0 +1,203 @@
+//! Policy serialization: a small, dependency-free binary format so trained
+//! policies can be saved once and reused across figure harnesses, examples,
+//! and deployments (Stage 2 output → Stage 3 input).
+//!
+//! Format (little-endian):
+//! `MURM` magic · u32 version · u32 input_dim · u32 hidden ·
+//! u32 head-count · per-head u32 arity · then every parameter tensor in
+//! `visit_params` order as u64 length + f32 data.
+
+use crate::policy::LstmPolicy;
+use murmuration_nn::module::Module;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"MURM";
+const VERSION: u32 = 1;
+
+/// Serialization errors.
+#[derive(Debug)]
+pub enum PolicyIoError {
+    Io(io::Error),
+    /// Magic/version mismatch or structural disagreement with the target
+    /// policy architecture.
+    Format(String),
+}
+
+impl From<io::Error> for PolicyIoError {
+    fn from(e: io::Error) -> Self {
+        PolicyIoError::Io(e)
+    }
+}
+
+impl std::fmt::Display for PolicyIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PolicyIoError::Io(e) => write!(f, "io error: {e}"),
+            PolicyIoError::Format(s) => write!(f, "format error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for PolicyIoError {}
+
+fn write_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn write_u64(w: &mut impl Write, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+/// Saves a policy to `path`.
+pub fn save_policy(policy: &mut LstmPolicy, path: impl AsRef<Path>) -> Result<(), PolicyIoError> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(MAGIC)?;
+    write_u32(&mut w, VERSION)?;
+    write_u32(&mut w, policy.input_dim as u32)?;
+    write_u32(&mut w, policy.hidden as u32)?;
+    let arities: Vec<usize> =
+        (0..crate::policy::NUM_HEADS).map(|h| policy.arity_by_index(h)).collect();
+    write_u32(&mut w, arities.len() as u32)?;
+    for a in &arities {
+        write_u32(&mut w, *a as u32)?;
+    }
+    let mut err: Option<io::Error> = None;
+    policy.visit_params(&mut |p| {
+        if err.is_some() {
+            return;
+        }
+        let res = (|| -> io::Result<()> {
+            write_u64(&mut w, p.value.numel() as u64)?;
+            for v in p.value.data() {
+                w.write_all(&v.to_le_bytes())?;
+            }
+            Ok(())
+        })();
+        if let Err(e) = res {
+            err = Some(e);
+        }
+    });
+    if let Some(e) = err {
+        return Err(e.into());
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Loads a policy from `path`. The stored architecture defines the policy.
+pub fn load_policy(path: impl AsRef<Path>) -> Result<LstmPolicy, PolicyIoError> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(PolicyIoError::Format("bad magic".into()));
+    }
+    let version = read_u32(&mut r)?;
+    if version != VERSION {
+        return Err(PolicyIoError::Format(format!("unsupported version {version}")));
+    }
+    let input_dim = read_u32(&mut r)? as usize;
+    let hidden = read_u32(&mut r)? as usize;
+    let n_heads = read_u32(&mut r)? as usize;
+    if n_heads != crate::policy::NUM_HEADS {
+        return Err(PolicyIoError::Format(format!("expected {} heads, file has {n_heads}", crate::policy::NUM_HEADS)));
+    }
+    let mut arities = Vec::with_capacity(n_heads);
+    for _ in 0..n_heads {
+        arities.push(read_u32(&mut r)? as usize);
+    }
+    let mut policy = LstmPolicy::new(input_dim, hidden, arities, 0);
+    let mut err: Option<PolicyIoError> = None;
+    policy.visit_params(&mut |p| {
+        if err.is_some() {
+            return;
+        }
+        let res = (|| -> Result<(), PolicyIoError> {
+            let n = read_u64(&mut r)? as usize;
+            if n != p.value.numel() {
+                return Err(PolicyIoError::Format(format!(
+                    "parameter length mismatch: file {n}, policy {}",
+                    p.value.numel()
+                )));
+            }
+            for v in p.value.data_mut() {
+                let mut b = [0u8; 4];
+                r.read_exact(&mut b)?;
+                *v = f32::from_le_bytes(b);
+            }
+            Ok(())
+        })();
+        if let Err(e) = res {
+            err = Some(e);
+        }
+    });
+    if let Some(e) = err {
+        return Err(e);
+    }
+    Ok(policy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::{rollout, RolloutMode, Scenario, SloKind};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn round_trip_preserves_behaviour() {
+        let sc = Scenario::augmented_computing(SloKind::Latency);
+        let mut policy = LstmPolicy::new(sc.input_dim(), 24, sc.arities(), 42);
+        let dir = std::env::temp_dir().join("murmuration_policy_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("p1.bin");
+        save_policy(&mut policy, &path).unwrap();
+        let loaded = load_policy(&path).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let cond = sc.sample_condition(&mut rng);
+        let (a1, _, l1) = rollout(&policy, &sc, &cond, RolloutMode::Greedy, &mut rng);
+        let (a2, _, l2) = rollout(&loaded, &sc, &cond, RolloutMode::Greedy, &mut rng);
+        assert_eq!(a1, a2, "loaded policy must act identically");
+        for (x, y) in l1.iter().zip(l2.iter()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_corrupt_files() {
+        let dir = std::env::temp_dir().join("murmuration_policy_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.bin");
+        std::fs::write(&path, b"not a policy at all").unwrap();
+        assert!(load_policy(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_truncated_files() {
+        let sc = Scenario::augmented_computing(SloKind::Latency);
+        let mut policy = LstmPolicy::new(sc.input_dim(), 8, sc.arities(), 1);
+        let dir = std::env::temp_dir().join("murmuration_policy_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trunc.bin");
+        save_policy(&mut policy, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(load_policy(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,177 @@
+//! Calibrated analytic accuracy model.
+//!
+//! The paper drives RL policy training from an accuracy *predictor*, not
+//! live ImageNet evaluation; this model plays that role. It is calibrated
+//! (DESIGN.md §6) to the OFA/MobileNetV3 operating range: the smallest
+//! subnet ≈ 71.5 % top-1, the largest ≈ 79.5 %, with FDSP-partitioning and
+//! quantization penalties matching the qualitative claims in §4.1 of the
+//! paper (small accuracy cost, more latency/accuracy flexibility).
+
+use crate::space::SubnetConfig;
+use murmuration_tensor::quant::BitWidth;
+
+/// Analytic subnet-accuracy model (ImageNet-scale top-1, %).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AccuracyModel;
+
+/// Accuracy of the smallest full-precision, unpartitioned subnet.
+const BASE_TOP1: f32 = 71.5;
+/// Accuracy span from the smallest to the largest subnet.
+const RANGE_TOP1: f32 = 7.6;
+/// MACs of the default space's min/max configs (asserted in tests — the
+/// normalization anchors of the compute→accuracy curve).
+const MIN_MACS: f32 = 63.0e6;
+const MAX_MACS: f32 = 564.0e6;
+
+impl AccuracyModel {
+    /// Shared instance.
+    pub fn new() -> Self {
+        AccuracyModel
+    }
+
+    /// Predicted top-1 accuracy (%) of a subnet configuration.
+    ///
+    /// Accuracy follows the compute budget (log-MACs, the empirical
+    /// OFA-family scaling: equal accuracy per multiplicative compute
+    /// step), with a small receptive-field bonus for larger depthwise
+    /// kernels, minus the FDSP-partitioning and quantization penalties.
+    /// This pins the accuracy↔latency frontier to the paper's operating
+    /// points: ~75 % costs ~165 MMACs (≈ 300 ms on a Pi 4), ~79 % needs a
+    /// near-maximal subnet.
+    pub fn predict(&self, cfg: &SubnetConfig) -> f32 {
+        let macs = crate::spec::SubnetSpec::lower(cfg).total_macs() as f32;
+        let t = ((macs / MIN_MACS).ln() / (MAX_MACS / MIN_MACS).ln()).clamp(0.0, 1.0);
+        let mut acc = BASE_TOP1 + RANGE_TOP1 * t;
+        for s in &cfg.stages {
+            acc += kernel_bonus(s.kernel);
+            acc -= partition_penalty(s.partition.tiles()) + quant_penalty(s.quant);
+        }
+        // Deterministic sub-0.1% interaction jitter so distinct configs
+        // rarely tie exactly (keeps search landscapes non-degenerate).
+        acc + config_jitter(cfg)
+    }
+
+    /// Accuracy of the maximal subnet (useful as a normalization anchor).
+    pub fn max_accuracy(&self, space: &crate::space::SearchSpace) -> f32 {
+        self.predict(&space.max_config())
+    }
+}
+
+/// Receptive-field bonus of larger depthwise kernels (beyond their MACs).
+fn kernel_bonus(k: usize) -> f32 {
+    match k {
+        0..=3 => 0.0,
+        4..=5 => 0.04,
+        _ => 0.08,
+    }
+}
+
+/// FDSP zero-padding seam penalty per stage.
+fn partition_penalty(tiles: usize) -> f32 {
+    match tiles {
+        0 | 1 => 0.0,
+        2 => 0.08,
+        _ => 0.20,
+    }
+}
+
+/// Feature-map quantization penalty per stage boundary.
+fn quant_penalty(q: BitWidth) -> f32 {
+    match q {
+        BitWidth::B32 => 0.0,
+        BitWidth::B16 => 0.01,
+        BitWidth::B8 => 0.08,
+    }
+}
+
+/// Deterministic per-config jitter in (−0.05, 0.05).
+fn config_jitter(cfg: &SubnetConfig) -> f32 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    let mut mix = |v: u64| {
+        h ^= v;
+        h = h.wrapping_mul(0x100000001b3);
+    };
+    mix(cfg.resolution as u64);
+    for s in &cfg.stages {
+        mix(s.kernel as u64);
+        mix(s.depth as u64);
+        mix(s.expand as u64);
+        mix((s.partition.rows * 16 + s.partition.cols) as u64);
+        mix(s.quant.bits() as u64);
+    }
+    ((h % 1000) as f32 / 1000.0 - 0.5) * 0.1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::SearchSpace;
+    use murmuration_tensor::tile::GridSpec;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn range_matches_calibration() {
+        let m = AccuracyModel::new();
+        let s = SearchSpace::default();
+        let max = m.predict(&s.max_config());
+        let min = m.predict(&s.min_config());
+        assert!((79.0..80.0).contains(&max), "max {max}");
+        assert!((71.0..72.0).contains(&min), "min {min}");
+    }
+
+    #[test]
+    fn partitioning_costs_accuracy() {
+        let m = AccuracyModel::new();
+        let s = SearchSpace::default();
+        let base = s.max_config();
+        let mut part = base.clone();
+        for st in &mut part.stages {
+            st.partition = GridSpec::new(2, 2);
+        }
+        let drop = m.predict(&base) - m.predict(&part);
+        // 5 stages × 0.20 ± jitter.
+        assert!((0.8..1.2).contains(&drop), "drop {drop}");
+    }
+
+    #[test]
+    fn quantization_costs_less_than_partitioning() {
+        let m = AccuracyModel::new();
+        let s = SearchSpace::default();
+        let base = s.max_config();
+        let mut q8 = base.clone();
+        for st in &mut q8.stages {
+            st.quant = murmuration_tensor::quant::BitWidth::B8;
+        }
+        let drop = m.predict(&base) - m.predict(&q8);
+        assert!((0.3..0.6).contains(&drop), "drop {drop}");
+    }
+
+    #[test]
+    fn monotone_in_each_architecture_dimension() {
+        let m = AccuracyModel::new();
+        let s = SearchSpace::default();
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..30 {
+            let cfg = s.sample(&mut rng);
+            // Growing any single architecture dimension never hurts by more
+            // than the jitter band.
+            let base = m.predict(&cfg);
+            let mut bigger = cfg.clone();
+            bigger.resolution = 224;
+            for st in &mut bigger.stages {
+                st.kernel = 7;
+                st.depth = 4;
+                st.expand = 6;
+            }
+            assert!(m.predict(&bigger) >= base - 0.1, "bigger must not be worse");
+        }
+    }
+
+    #[test]
+    fn jitter_is_deterministic() {
+        let m = AccuracyModel::new();
+        let s = SearchSpace::default();
+        let cfg = s.max_config();
+        assert_eq!(m.predict(&cfg), m.predict(&cfg));
+    }
+}

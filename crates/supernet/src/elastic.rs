@@ -1,0 +1,232 @@
+//! OFA-style elastic weight stores.
+//!
+//! A store holds the *maximal* weight tensor; subnets use a slice of it —
+//! the first `k` output/input channels and a centred `k×k` crop of the
+//! kernel (exactly the Once-for-All sharing scheme). Gradients computed on
+//! a slice are scattered back into the store, so all subnets train the same
+//! shared weights.
+
+use murmuration_tensor::{Shape, Tensor};
+use rand::Rng;
+
+/// Elastic convolution weight store `[c_out_max, c_in_max, k_max, k_max]`.
+#[derive(Clone, Debug)]
+pub struct ElasticConv {
+    pub weight: Tensor,
+    pub grad: Tensor,
+    pub bias: Tensor,
+    pub bias_grad: Tensor,
+    c_out_max: usize,
+    c_in_max: usize,
+    k_max: usize,
+}
+
+impl ElasticConv {
+    /// Kaiming-initialized store.
+    pub fn new<R: Rng>(c_out_max: usize, c_in_max: usize, k_max: usize, rng: &mut R) -> Self {
+        assert!(k_max % 2 == 1, "elastic kernels must be odd");
+        let shape = Shape::nchw(c_out_max, c_in_max, k_max, k_max);
+        let weight = Tensor::kaiming(shape.clone(), c_in_max * k_max * k_max, rng);
+        ElasticConv {
+            grad: Tensor::zeros(shape),
+            weight,
+            bias: Tensor::zeros(Shape::d1(c_out_max)),
+            bias_grad: Tensor::zeros(Shape::d1(c_out_max)),
+            c_out_max,
+            c_in_max,
+            k_max,
+        }
+    }
+
+    /// Maximal dimensions `(c_out, c_in, k)`.
+    pub fn max_dims(&self) -> (usize, usize, usize) {
+        (self.c_out_max, self.c_in_max, self.k_max)
+    }
+
+    fn check(&self, c_out: usize, c_in: usize, k: usize) {
+        assert!(c_out <= self.c_out_max && c_out > 0, "c_out {c_out}");
+        assert!(c_in <= self.c_in_max && c_in > 0, "c_in {c_in}");
+        assert!(k <= self.k_max && k % 2 == 1, "kernel {k}");
+    }
+
+    /// Extracts the `[c_out, c_in, k, k]` slice (first channels, centred
+    /// kernel crop) plus the bias slice.
+    pub fn extract(&self, c_out: usize, c_in: usize, k: usize) -> (Tensor, Tensor) {
+        self.check(c_out, c_in, k);
+        let off = (self.k_max - k) / 2;
+        let mut w = Tensor::zeros(Shape::nchw(c_out, c_in, k, k));
+        for co in 0..c_out {
+            for ci in 0..c_in {
+                for y in 0..k {
+                    for x in 0..k {
+                        *w.at_mut(co, ci, y, x) = self.weight.at(co, ci, y + off, x + off);
+                    }
+                }
+            }
+        }
+        let b = Tensor::from_vec(Shape::d1(c_out), self.bias.data()[..c_out].to_vec());
+        (w, b)
+    }
+
+    /// Accumulates a slice gradient back into the store (adjoint of
+    /// [`extract`](Self::extract)).
+    pub fn scatter_grad(&mut self, wg: &Tensor, bg: &Tensor, c_out: usize, c_in: usize, k: usize) {
+        self.check(c_out, c_in, k);
+        assert_eq!(wg.shape(), &Shape::nchw(c_out, c_in, k, k), "grad shape");
+        let off = (self.k_max - k) / 2;
+        for co in 0..c_out {
+            for ci in 0..c_in {
+                for y in 0..k {
+                    for x in 0..k {
+                        *self.grad.at_mut(co, ci, y + off, x + off) += wg.at(co, ci, y, x);
+                    }
+                }
+            }
+        }
+        for co in 0..c_out {
+            self.bias_grad.data_mut()[co] += bg.data()[co];
+        }
+    }
+
+    /// Clears accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.grad.data_mut().fill(0.0);
+        self.bias_grad.data_mut().fill(0.0);
+    }
+
+    /// Plain SGD update on the store.
+    pub fn sgd_step(&mut self, lr: f32) {
+        self.weight.axpy(-lr, &self.grad.clone());
+        self.bias.axpy(-lr, &self.bias_grad.clone());
+    }
+}
+
+/// Elastic linear store `[out_max, in_max]` (first-rows/first-cols slicing).
+#[derive(Clone, Debug)]
+pub struct ElasticLinear {
+    pub weight: Tensor,
+    pub grad: Tensor,
+    pub bias: Tensor,
+    pub bias_grad: Tensor,
+    out_max: usize,
+    in_max: usize,
+}
+
+impl ElasticLinear {
+    /// Kaiming-initialized store.
+    pub fn new<R: Rng>(out_max: usize, in_max: usize, rng: &mut R) -> Self {
+        let weight = Tensor::kaiming(Shape::d2(out_max, in_max), in_max, rng);
+        ElasticLinear {
+            grad: Tensor::zeros(Shape::d2(out_max, in_max)),
+            weight,
+            bias: Tensor::zeros(Shape::d1(out_max)),
+            bias_grad: Tensor::zeros(Shape::d1(out_max)),
+            out_max,
+            in_max,
+        }
+    }
+
+    /// Extracts the `[out, in]` top-left slice plus bias.
+    pub fn extract(&self, out: usize, inp: usize) -> (Tensor, Tensor) {
+        assert!(out <= self.out_max && inp <= self.in_max);
+        let mut w = Tensor::zeros(Shape::d2(out, inp));
+        for o in 0..out {
+            let src = o * self.in_max;
+            w.data_mut()[o * inp..(o + 1) * inp]
+                .copy_from_slice(&self.weight.data()[src..src + inp]);
+        }
+        let b = Tensor::from_vec(Shape::d1(out), self.bias.data()[..out].to_vec());
+        (w, b)
+    }
+
+    /// Accumulates a slice gradient back into the store.
+    pub fn scatter_grad(&mut self, wg: &Tensor, bg: &Tensor, out: usize, inp: usize) {
+        assert_eq!(wg.shape(), &Shape::d2(out, inp));
+        for o in 0..out {
+            let dst = o * self.in_max;
+            for i in 0..inp {
+                self.grad.data_mut()[dst + i] += wg.data()[o * inp + i];
+            }
+        }
+        for o in 0..out {
+            self.bias_grad.data_mut()[o] += bg.data()[o];
+        }
+    }
+
+    /// Clears accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.grad.data_mut().fill(0.0);
+        self.bias_grad.data_mut().fill(0.0);
+    }
+
+    /// Plain SGD update on the store.
+    pub fn sgd_step(&mut self, lr: f32) {
+        self.weight.axpy(-lr, &self.grad.clone());
+        self.bias.axpy(-lr, &self.bias_grad.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn extract_center_crops_kernel() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let store = ElasticConv::new(4, 4, 5, &mut rng);
+        let (w3, _) = store.extract(2, 3, 3);
+        assert_eq!(w3.shape(), &Shape::nchw(2, 3, 3, 3));
+        // Center crop: slice (1..4) of the 5x5 kernel.
+        assert_eq!(w3.at(1, 2, 0, 0), store.weight.at(1, 2, 1, 1));
+        assert_eq!(w3.at(0, 0, 2, 2), store.weight.at(0, 0, 3, 3));
+    }
+
+    #[test]
+    fn scatter_is_adjoint_of_extract() {
+        // <extract(W), G> == <W, scatter(G)> for any G.
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut store = ElasticConv::new(3, 3, 5, &mut rng);
+        let g = Tensor::rand_uniform(Shape::nchw(2, 2, 3, 3), 1.0, &mut rng);
+        let bg = Tensor::rand_uniform(Shape::d1(2), 1.0, &mut rng);
+        let (w, _) = store.extract(2, 2, 3);
+        let lhs: f32 = w.data().iter().zip(g.data()).map(|(a, b)| a * b).sum();
+        store.zero_grad();
+        store.scatter_grad(&g, &bg, 2, 2, 3);
+        let rhs: f32 = store.weight.data().iter().zip(store.grad.data()).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-4, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn subnet_slices_share_weights() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut store = ElasticConv::new(4, 4, 5, &mut rng);
+        // Update via the small slice; the big slice must see the change.
+        let g = Tensor::full(Shape::nchw(2, 2, 3, 3), 1.0);
+        let bg = Tensor::zeros(Shape::d1(2));
+        let before = store.weight.at(0, 0, 1, 1);
+        store.scatter_grad(&g, &bg, 2, 2, 3);
+        store.sgd_step(0.5);
+        let (w5, _) = store.extract(4, 4, 5);
+        assert!((w5.at(0, 0, 1, 1) - (before - 0.5)).abs() < 1e-6);
+        // A position outside the small slice is untouched.
+        assert_eq!(w5.at(3, 3, 0, 0), store.weight.at(3, 3, 0, 0));
+    }
+
+    #[test]
+    fn linear_store_round_trip() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut store = ElasticLinear::new(5, 6, &mut rng);
+        let (w, b) = store.extract(3, 4);
+        assert_eq!(w.shape(), &Shape::d2(3, 4));
+        assert_eq!(b.numel(), 3);
+        assert_eq!(w.data()[4 + 2], store.weight.data()[6 + 2]);
+        let g = Tensor::full(Shape::d2(3, 4), 2.0);
+        let bg = Tensor::full(Shape::d1(3), 1.0);
+        store.scatter_grad(&g, &bg, 3, 4);
+        assert_eq!(store.grad.data()[0], 2.0);
+        assert_eq!(store.grad.data()[4], 0.0); // column 4 untouched
+        assert_eq!(store.bias_grad.data()[2], 1.0);
+        assert_eq!(store.bias_grad.data()[3], 0.0);
+    }
+}

@@ -1,0 +1,35 @@
+//! # murmuration-supernet
+//!
+//! Stage 1 of Murmuration: the *partition-ready one-shot NAS supernet*.
+//!
+//! The paper trains a MobileNetV3-based supernet whose per-block search
+//! space covers spatial partitioning (1×1…2×2 FDSP grids), feature-map
+//! quantization (32/16/8-bit), input resolution (224…160), block depth
+//! (4…2) and kernel size (7…3). This crate provides:
+//!
+//! * [`space`] — the search space and [`space::SubnetConfig`] type; ~10⁹
+//!   configurations for the default 5-stage space.
+//! * [`spec`] — lowering a config to execution units with exact per-layer
+//!   MACs/shapes (shared with the baselines' planner machinery).
+//! * [`accuracy`] — the calibrated analytic ImageNet-scale accuracy model
+//!   (the paper also drives RL training from an accuracy predictor rather
+//!   than live evaluation).
+//! * [`predictor`] — a learnable MLP accuracy predictor trained against the
+//!   analytic model, mirroring the paper's predictor component.
+//! * [`elastic`] — OFA-style weight-sharing stores (first-k channel slices,
+//!   center-cropped kernels) with gradient scatter, so weight sharing is
+//!   real, not simulated.
+//! * [`train`] — a demonstration supernet trained end-to-end on the
+//!   synthetic dataset with progressive shrinking, validating the one-shot
+//!   NAS mechanics on hardware we actually have.
+
+pub mod accuracy;
+pub mod elastic;
+pub mod predictor;
+pub mod space;
+pub mod spec;
+pub mod train;
+
+pub use accuracy::AccuracyModel;
+pub use space::{BlockChoice, SearchSpace, SubnetConfig};
+pub use spec::{ExecUnit, SubnetSpec};

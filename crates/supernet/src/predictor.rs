@@ -1,0 +1,145 @@
+//! Learnable MLP accuracy predictor.
+//!
+//! The paper uses "an accuracy predictor … for accuracy prediction during
+//! RL policy training". This module trains a small MLP on (config features
+//! → accuracy) pairs produced by the analytic model, demonstrating that the
+//! config → accuracy mapping is learnable and cheap to evaluate at
+//! decision time.
+
+use crate::accuracy::AccuracyModel;
+use crate::space::{SearchSpace, SubnetConfig};
+use murmuration_nn::layers::{Linear, ReLU};
+use murmuration_nn::module::{Module, Sequential};
+use murmuration_nn::optim::Adam;
+use murmuration_tensor::{Shape, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Feature count: 1 resolution + 5 stages × 5 scalar features.
+pub const FEATURES: usize = 26;
+
+/// Encodes a config as a normalized feature vector.
+pub fn encode(cfg: &SubnetConfig) -> Vec<f32> {
+    let mut f = Vec::with_capacity(FEATURES);
+    f.push(cfg.resolution as f32 / 224.0);
+    for s in &cfg.stages {
+        f.push(s.kernel as f32 / 7.0);
+        f.push(s.depth as f32 / 4.0);
+        f.push(s.expand as f32 / 6.0);
+        f.push(s.partition.tiles() as f32 / 4.0);
+        f.push(s.quant.bits() as f32 / 32.0);
+    }
+    f
+}
+
+/// MLP accuracy predictor (26 → 48 → 24 → 1, predicting `(top1 − 75) %`).
+pub struct AccuracyPredictor {
+    net: Sequential,
+}
+
+impl AccuracyPredictor {
+    /// Untrained predictor.
+    pub fn new(seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = Sequential::new()
+            .push(Linear::new(FEATURES, 48, &mut rng))
+            .push(ReLU::new())
+            .push(Linear::new(48, 24, &mut rng))
+            .push(ReLU::new())
+            .push(Linear::new(24, 1, &mut rng));
+        AccuracyPredictor { net }
+    }
+
+    /// Predicted top-1 accuracy (%).
+    pub fn predict(&mut self, cfg: &SubnetConfig) -> f32 {
+        let x = Tensor::from_vec(Shape::d2(1, FEATURES), encode(cfg));
+        let y = self.net.forward(&x, false);
+        y.data()[0] + 75.0
+    }
+
+    /// Trains on `n_samples` random configs labelled by the analytic model;
+    /// returns the final epoch's mean absolute error (%).
+    #[allow(clippy::needless_range_loop)] // indexing parallel pred/target rows
+    pub fn fit(&mut self, space: &SearchSpace, n_samples: usize, epochs: usize, seed: u64) -> f32 {
+        let model = AccuracyModel::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let samples: Vec<(Vec<f32>, f32)> = (0..n_samples)
+            .map(|_| {
+                let cfg = space.sample(&mut rng);
+                (encode(&cfg), model.predict(&cfg) - 75.0)
+            })
+            .collect();
+        let mut opt = Adam::new(2e-3);
+        let batch = 32.min(n_samples);
+        let mut mae = f32::MAX;
+        for _ in 0..epochs {
+            let mut abs_err = 0.0;
+            let mut count = 0;
+            for chunk in samples.chunks(batch) {
+                let b = chunk.len();
+                let mut x = Tensor::zeros(Shape::d2(b, FEATURES));
+                let mut t = vec![0.0f32; b];
+                for (i, (f, y)) in chunk.iter().enumerate() {
+                    x.data_mut()[i * FEATURES..(i + 1) * FEATURES].copy_from_slice(f);
+                    t[i] = *y;
+                }
+                self.net.zero_grad();
+                let pred = self.net.forward(&x, true);
+                // MSE gradient: 2(p − t)/b.
+                let mut d = Tensor::zeros(Shape::d2(b, 1));
+                for i in 0..b {
+                    let e = pred.data()[i] - t[i];
+                    abs_err += e.abs();
+                    count += 1;
+                    d.data_mut()[i] = 2.0 * e / b as f32;
+                }
+                self.net.backward(&d);
+                opt.step(&mut self.net);
+            }
+            mae = abs_err / count as f32;
+        }
+        mae
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encoding_is_bounded_and_sized() {
+        let space = SearchSpace::default();
+        let f = encode(&space.max_config());
+        assert_eq!(f.len(), FEATURES);
+        assert!(f.iter().all(|v| (0.0..=1.0).contains(v)));
+    }
+
+    #[test]
+    fn predictor_learns_the_accuracy_surface() {
+        let space = SearchSpace::default();
+        let mut p = AccuracyPredictor::new(1);
+        let mae = p.fit(&space, 400, 60, 2);
+        assert!(mae < 0.5, "train MAE {mae} %");
+        // Held-out check.
+        let model = AccuracyModel::new();
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut err = 0.0;
+        let n = 50;
+        for _ in 0..n {
+            let cfg = space.sample(&mut rng);
+            err += (p.predict(&cfg) - model.predict(&cfg)).abs();
+        }
+        let holdout = err / n as f32;
+        assert!(holdout < 1.0, "holdout MAE {holdout} %");
+    }
+
+    #[test]
+    fn predictor_orders_extremes_correctly() {
+        let space = SearchSpace::default();
+        let mut p = AccuracyPredictor::new(3);
+        p.fit(&space, 500, 80, 4);
+        let hi = p.predict(&space.max_config());
+        let lo = p.predict(&space.min_config());
+        assert!(hi > lo + 3.0, "max {hi} vs min {lo}");
+    }
+}

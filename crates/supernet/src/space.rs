@@ -1,0 +1,232 @@
+//! The supernet search space and subnet configurations.
+
+use murmuration_tensor::quant::BitWidth;
+use murmuration_tensor::tile::GridSpec;
+use rand::Rng;
+
+/// Per-stage architectural and partitioning choices.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct BlockChoice {
+    /// Depthwise kernel size: 3, 5, or 7.
+    pub kernel: usize,
+    /// Number of MBConv blocks in the stage: 2–4.
+    pub depth: usize,
+    /// Expansion ratio of the inverted bottleneck: 3, 4, or 6.
+    pub expand: usize,
+    /// FDSP spatial partition grid for this stage.
+    pub partition: GridSpec,
+    /// Wire precision when this stage's output crosses a device boundary.
+    pub quant: BitWidth,
+}
+
+/// A complete subnet selection from the supernet.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct SubnetConfig {
+    /// Input resolution (square).
+    pub resolution: usize,
+    /// One choice per stage.
+    pub stages: Vec<BlockChoice>,
+}
+
+impl SubnetConfig {
+    /// Total number of MBConv blocks.
+    pub fn total_blocks(&self) -> usize {
+        self.stages.iter().map(|s| s.depth).sum()
+    }
+
+    /// Maximum tile parallelism over all stages.
+    pub fn max_tiles(&self) -> usize {
+        self.stages.iter().map(|s| s.partition.tiles()).max().unwrap_or(1)
+    }
+}
+
+/// The search space: the option lists for each decision dimension.
+///
+/// ```
+/// use murmuration_supernet::{SearchSpace, SubnetSpec, AccuracyModel};
+///
+/// let space = SearchSpace::default();
+/// assert!(space.cardinality() > 1_000_000_000_000);
+/// let spec = SubnetSpec::lower(&space.max_config());
+/// let acc = AccuracyModel::new().predict(&space.max_config());
+/// assert!(spec.total_macs() > 500_000_000 && acc > 79.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SearchSpace {
+    pub resolutions: Vec<usize>,
+    pub kernels: Vec<usize>,
+    pub depths: Vec<usize>,
+    pub expands: Vec<usize>,
+    pub partitions: Vec<GridSpec>,
+    pub quants: Vec<BitWidth>,
+    pub num_stages: usize,
+}
+
+impl Default for SearchSpace {
+    fn default() -> Self {
+        SearchSpace {
+            resolutions: vec![160, 176, 192, 208, 224],
+            kernels: vec![3, 5, 7],
+            depths: vec![2, 3, 4],
+            expands: vec![3, 4, 6],
+            partitions: GridSpec::search_space(),
+            quants: BitWidth::search_space(),
+            num_stages: 5,
+        }
+    }
+}
+
+impl SearchSpace {
+    /// Largest subnet: highest resolution, deepest/widest blocks, no
+    /// partitioning, full precision.
+    pub fn max_config(&self) -> SubnetConfig {
+        SubnetConfig {
+            resolution: *self.resolutions.iter().max().unwrap(),
+            stages: vec![
+                BlockChoice {
+                    kernel: *self.kernels.iter().max().unwrap(),
+                    depth: *self.depths.iter().max().unwrap(),
+                    expand: *self.expands.iter().max().unwrap(),
+                    partition: GridSpec::new(1, 1),
+                    quant: BitWidth::B32,
+                };
+                self.num_stages
+            ],
+        }
+    }
+
+    /// Smallest subnet: lowest resolution, shallowest/narrowest blocks.
+    pub fn min_config(&self) -> SubnetConfig {
+        SubnetConfig {
+            resolution: *self.resolutions.iter().min().unwrap(),
+            stages: vec![
+                BlockChoice {
+                    kernel: *self.kernels.iter().min().unwrap(),
+                    depth: *self.depths.iter().min().unwrap(),
+                    expand: *self.expands.iter().min().unwrap(),
+                    partition: GridSpec::new(1, 1),
+                    quant: BitWidth::B32,
+                };
+                self.num_stages
+            ],
+        }
+    }
+
+    /// Uniform random configuration.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> SubnetConfig {
+        let pick = |v: &[usize], rng: &mut R| v[rng.gen_range(0..v.len())];
+        SubnetConfig {
+            resolution: pick(&self.resolutions, rng),
+            stages: (0..self.num_stages)
+                .map(|_| BlockChoice {
+                    kernel: pick(&self.kernels, rng),
+                    depth: pick(&self.depths, rng),
+                    expand: pick(&self.expands, rng),
+                    partition: self.partitions[rng.gen_range(0..self.partitions.len())],
+                    quant: self.quants[rng.gen_range(0..self.quants.len())],
+                })
+                .collect(),
+        }
+    }
+
+    /// Mutates one random decision of `cfg` in place.
+    pub fn mutate<R: Rng>(&self, cfg: &mut SubnetConfig, rng: &mut R) {
+        let stage = rng.gen_range(0..cfg.stages.len());
+        match rng.gen_range(0..6) {
+            0 => cfg.resolution = self.resolutions[rng.gen_range(0..self.resolutions.len())],
+            1 => cfg.stages[stage].kernel = self.kernels[rng.gen_range(0..self.kernels.len())],
+            2 => cfg.stages[stage].depth = self.depths[rng.gen_range(0..self.depths.len())],
+            3 => cfg.stages[stage].expand = self.expands[rng.gen_range(0..self.expands.len())],
+            4 => {
+                cfg.stages[stage].partition =
+                    self.partitions[rng.gen_range(0..self.partitions.len())]
+            }
+            _ => cfg.stages[stage].quant = self.quants[rng.gen_range(0..self.quants.len())],
+        }
+    }
+
+    /// Number of distinct configurations in the space.
+    pub fn cardinality(&self) -> u128 {
+        let per_stage = (self.kernels.len()
+            * self.depths.len()
+            * self.expands.len()
+            * self.partitions.len()
+            * self.quants.len()) as u128;
+        self.resolutions.len() as u128 * per_stage.pow(self.num_stages as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn default_space_is_large() {
+        let s = SearchSpace::default();
+        // 5 * (3*3*3*4*3)^5 = 5 * 324^5 ≈ 1.8e13 — ample room for the
+        // paper's "multitude of configurations".
+        assert!(s.cardinality() > 1_000_000_000_000);
+    }
+
+    #[test]
+    fn max_min_configs_are_extremes() {
+        let s = SearchSpace::default();
+        let max = s.max_config();
+        let min = s.min_config();
+        assert_eq!(max.resolution, 224);
+        assert_eq!(min.resolution, 160);
+        assert_eq!(max.total_blocks(), 20);
+        assert_eq!(min.total_blocks(), 10);
+        assert!(max.stages.iter().all(|b| b.kernel == 7 && b.expand == 6));
+        assert!(min.stages.iter().all(|b| b.kernel == 3 && b.expand == 3));
+    }
+
+    #[test]
+    fn sample_stays_in_space() {
+        let s = SearchSpace::default();
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..100 {
+            let c = s.sample(&mut rng);
+            assert!(s.resolutions.contains(&c.resolution));
+            assert_eq!(c.stages.len(), 5);
+            for b in &c.stages {
+                assert!(s.kernels.contains(&b.kernel));
+                assert!(s.depths.contains(&b.depth));
+                assert!(s.expands.contains(&b.expand));
+                assert!(s.partitions.contains(&b.partition));
+                assert!(s.quants.contains(&b.quant));
+            }
+        }
+    }
+
+    #[test]
+    fn mutation_changes_at_most_one_dimension() {
+        let s = SearchSpace::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let base = s.sample(&mut rng);
+            let mut m = base.clone();
+            s.mutate(&mut m, &mut rng);
+            // Count differing coordinates.
+            let mut diffs = usize::from(base.resolution != m.resolution);
+            for (a, b) in base.stages.iter().zip(m.stages.iter()) {
+                diffs += usize::from(a.kernel != b.kernel)
+                    + usize::from(a.depth != b.depth)
+                    + usize::from(a.expand != b.expand)
+                    + usize::from(a.partition != b.partition)
+                    + usize::from(a.quant != b.quant);
+            }
+            assert!(diffs <= 1, "mutation changed {diffs} coords");
+        }
+    }
+
+    #[test]
+    fn max_tiles_reflects_partitions() {
+        let s = SearchSpace::default();
+        let mut c = s.min_config();
+        assert_eq!(c.max_tiles(), 1);
+        c.stages[2].partition = GridSpec::new(2, 2);
+        assert_eq!(c.max_tiles(), 4);
+    }
+}

@@ -1,0 +1,356 @@
+//! Lowering a [`SubnetConfig`] to execution units with exact per-layer
+//! compute and size math.
+//!
+//! The supernet body is MobileNetV3-like: a fixed stem, five elastic stages
+//! of inverted-bottleneck (MBConv) blocks, and a fixed head. A *unit* is the
+//! granularity at which Murmuration makes partitioning and placement
+//! decisions — one unit per stage, plus stem and head units that always run
+//! unpartitioned.
+
+use crate::space::{BlockChoice, SubnetConfig};
+use murmuration_models::{LayerSpec, SpecBuilder};
+use murmuration_tensor::quant::BitWidth;
+use murmuration_tensor::tile::GridSpec;
+
+/// Output channel width of each elastic stage.
+pub const STAGE_WIDTHS: [usize; 5] = [24, 40, 80, 112, 160];
+/// Stride of the first block in each stage.
+pub const STAGE_STRIDES: [usize; 5] = [2, 2, 2, 1, 2];
+/// Stem output channels.
+pub const STEM_WIDTH: usize = 16;
+/// Head conv channels (as in MobileNetV3-Large).
+pub const HEAD_WIDTH: usize = 960;
+
+/// One placement/partitioning unit of a lowered subnet.
+#[derive(Clone, Debug)]
+pub struct ExecUnit {
+    pub name: String,
+    /// Sequential layers inside the unit.
+    pub layers: Vec<LayerSpec>,
+    /// FDSP grid this unit may be executed under (1×1 for stem/head).
+    pub partition: GridSpec,
+    /// Wire precision for this unit's *output* when it crosses devices.
+    pub quant: BitWidth,
+    /// Output shape (c, h, w).
+    pub out_shape: (usize, usize, usize),
+}
+
+impl ExecUnit {
+    /// Total MACs of the unit (one full, unpartitioned execution).
+    pub fn macs(&self) -> u64 {
+        self.layers.iter().map(|l| l.macs).sum()
+    }
+
+    /// Output element count.
+    pub fn out_elems(&self) -> u64 {
+        let (c, h, w) = self.out_shape;
+        (c * h * w) as u64
+    }
+
+    /// Bytes this unit's output occupies on the wire under its quant
+    /// setting.
+    pub fn out_wire_bytes(&self) -> u64 {
+        self.quant.wire_bytes(self.out_elems() as usize) as u64
+    }
+
+    /// MACs executed by *one tile* when the unit runs under its grid.
+    /// FDSP zero padding adds a small per-tile compute overhead at seams.
+    pub fn macs_per_tile(&self) -> u64 {
+        let t = self.partition.tiles() as u64;
+        if t == 1 {
+            return self.macs();
+        }
+        let overhead = 1.0 + 0.04 * (t as f64 - 1.0);
+        ((self.macs() as f64 / t as f64) * overhead).ceil() as u64
+    }
+
+    /// Wire bytes of one tile's share of the unit *input* (what must be
+    /// scattered to a tile's device), given the unit input element count.
+    pub fn tile_input_bytes(&self, in_elems: u64, in_quant: BitWidth) -> u64 {
+        let t = self.partition.tiles() as u64;
+        in_quant.wire_bytes((in_elems / t) as usize) as u64
+    }
+
+    /// Whether every layer in this unit supports spatial tiling.
+    pub fn spatially_partitionable(&self) -> bool {
+        self.layers.iter().all(|l| l.spatial_ok)
+    }
+}
+
+/// A lowered subnet: ordered execution units.
+#[derive(Clone, Debug)]
+pub struct SubnetSpec {
+    pub config: SubnetConfig,
+    pub units: Vec<ExecUnit>,
+}
+
+impl SubnetSpec {
+    /// Lowers a configuration.
+    ///
+    /// Lowering is called once per RL episode (and per planner candidate),
+    /// so the architecture-dependent parts are memoized per thread: a
+    /// stage's layers depend only on (stage index, resolution, kernel,
+    /// depth, expand), and the stem/head only on the resolution. The
+    /// partition/quant fields are stamped onto the cached units afterward.
+    pub fn lower(config: &SubnetConfig) -> Self {
+        use std::cell::RefCell;
+        use std::collections::HashMap;
+
+        assert_eq!(config.stages.len(), 5, "supernet has 5 elastic stages");
+        let r = config.resolution;
+
+        type StageKey = (usize, usize, usize, usize, usize);
+        thread_local! {
+            static STEM: RefCell<HashMap<usize, ExecUnit>> = RefCell::new(HashMap::new());
+            static STAGE: RefCell<HashMap<StageKey, ExecUnit>> = RefCell::new(HashMap::new());
+            static HEAD: RefCell<HashMap<usize, ExecUnit>> = RefCell::new(HashMap::new());
+        }
+
+        let mut units = Vec::with_capacity(7);
+        let stem = STEM.with(|c| {
+            c.borrow_mut()
+                .entry(r)
+                .or_insert_with(|| {
+                    // Stem: conv s2 + one fixed k3 bneck at stride 1.
+                    let mut b = SpecBuilder::new("stem", (3, r, r));
+                    b.conv("stem.conv", STEM_WIDTH, 3, 2, 1);
+                    b.dwconv("stem.bneck.dw", 3, 1, 1);
+                    b.conv("stem.bneck.pw", STEM_WIDTH, 1, 1, 0);
+                    let stem_shape = b.shape();
+                    ExecUnit {
+                        name: "stem".into(),
+                        layers: b.build(0.0).layers,
+                        partition: GridSpec::new(1, 1),
+                        quant: BitWidth::B32,
+                        out_shape: stem_shape,
+                    }
+                })
+                .clone()
+        });
+        let mut cur = stem.out_shape;
+        units.push(stem);
+
+        // Elastic stages (cached by architecture; partition/quant stamped).
+        for (si, choice) in config.stages.iter().enumerate() {
+            let key: StageKey = (si, r, choice.kernel, choice.depth, choice.expand);
+            let mut unit = STAGE.with(|c| {
+                c.borrow_mut()
+                    .entry(key)
+                    .or_insert_with(|| lower_stage(si, choice, cur).0)
+                    .clone()
+            });
+            unit.partition = choice.partition;
+            unit.quant = choice.quant;
+            cur = unit.out_shape;
+            units.push(unit);
+        }
+
+        let head = HEAD.with(|c| {
+            c.borrow_mut()
+                .entry(r)
+                .or_insert_with(|| {
+                    // Head: 1x1 conv, GAP, two FCs.
+                    let mut b = SpecBuilder::new("head", cur);
+                    b.conv("head.conv", HEAD_WIDTH, 1, 1, 0);
+                    b.gap("head.gap");
+                    b.fc("head.fc1", 1280);
+                    b.fc("classifier", 1000);
+                    ExecUnit {
+                        name: "head".into(),
+                        layers: b.build(0.0).layers,
+                        partition: GridSpec::new(1, 1),
+                        quant: BitWidth::B32,
+                        out_shape: (1000, 1, 1),
+                    }
+                })
+                .clone()
+        });
+        units.push(head);
+
+        SubnetSpec { config: config.clone(), units }
+    }
+
+    /// Total MACs of the whole subnet.
+    pub fn total_macs(&self) -> u64 {
+        self.units.iter().map(|u| u.macs()).sum()
+    }
+
+    /// Total parameters of the whole subnet.
+    pub fn total_params(&self) -> u64 {
+        self.units
+            .iter()
+            .flat_map(|u| u.layers.iter())
+            .map(|l| l.params)
+            .sum()
+    }
+
+    /// Input tensor bytes (f32 NCHW at the config resolution).
+    pub fn input_bytes(&self) -> u64 {
+        (3 * self.config.resolution * self.config.resolution * 4) as u64
+    }
+}
+
+/// Lowers one elastic stage to an [`ExecUnit`].
+fn lower_stage(
+    si: usize,
+    choice: &BlockChoice,
+    in_shape: (usize, usize, usize),
+) -> (ExecUnit, (usize, usize, usize)) {
+    let width = STAGE_WIDTHS[si];
+    let stride = STAGE_STRIDES[si];
+    let mut b = SpecBuilder::new(format!("stage{si}"), in_shape);
+    let mut c_in = in_shape.0;
+    for blk in 0..choice.depth {
+        let p = format!("stage{si}.block{blk}");
+        let mid = c_in * choice.expand;
+        let s = if blk == 0 { stride } else { 1 };
+        b.conv(&format!("{p}.expand"), mid, 1, 1, 0);
+        b.dwconv(&format!("{p}.dw"), choice.kernel, s, choice.kernel / 2);
+        b.conv(&format!("{p}.project"), width, 1, 1, 0);
+        if s == 1 && c_in == width {
+            b.elementwise(&format!("{p}.add"));
+        }
+        c_in = width;
+    }
+    let out_shape = b.shape();
+    let model = b.build(0.0);
+    let unit = ExecUnit {
+        name: format!("stage{si}"),
+        layers: model.layers,
+        partition: choice.partition,
+        quant: choice.quant,
+        out_shape,
+    };
+    (unit, out_shape)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::SearchSpace;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn max_config_macs_in_mobilenet_range() {
+        let s = SearchSpace::default();
+        let spec = SubnetSpec::lower(&s.max_config());
+        let macs = spec.total_macs();
+        // The largest subnet should be a few hundred MMACs (OFA-style nets
+        // top out around 300–600 MMACs).
+        assert!(
+            (150_000_000..900_000_000).contains(&macs),
+            "max subnet {macs} MACs"
+        );
+    }
+
+    #[test]
+    fn min_config_is_much_cheaper() {
+        let s = SearchSpace::default();
+        let max = SubnetSpec::lower(&s.max_config()).total_macs();
+        let min = SubnetSpec::lower(&s.min_config()).total_macs();
+        assert!(min * 3 < max, "min {min} vs max {max}");
+    }
+
+    #[test]
+    fn unit_structure() {
+        let s = SearchSpace::default();
+        let spec = SubnetSpec::lower(&s.max_config());
+        assert_eq!(spec.units.len(), 7); // stem + 5 stages + head
+        assert_eq!(spec.units[0].name, "stem");
+        assert_eq!(spec.units[6].name, "head");
+        assert_eq!(spec.units[6].out_shape, (1000, 1, 1));
+        // Stage output widths match the plan.
+        for (i, w) in STAGE_WIDTHS.iter().enumerate() {
+            assert_eq!(spec.units[i + 1].out_shape.0, *w);
+        }
+    }
+
+    #[test]
+    fn depth_controls_block_count() {
+        let s = SearchSpace::default();
+        let mut cfg = s.min_config();
+        cfg.stages[0].depth = 4;
+        let spec = SubnetSpec::lower(&cfg);
+        let stage0_blocks = spec.units[1]
+            .layers
+            .iter()
+            .filter(|l| l.name.ends_with(".dw"))
+            .count();
+        assert_eq!(stage0_blocks, 4);
+    }
+
+    #[test]
+    fn quant_shrinks_wire_bytes() {
+        let s = SearchSpace::default();
+        let mut cfg = s.min_config();
+        let full = SubnetSpec::lower(&cfg).units[1].out_wire_bytes();
+        cfg.stages[0].quant = BitWidth::B8;
+        let quantized = SubnetSpec::lower(&cfg).units[1].out_wire_bytes();
+        assert!(quantized * 3 < full, "{quantized} vs {full}");
+    }
+
+    #[test]
+    fn partitioning_divides_tile_macs() {
+        let s = SearchSpace::default();
+        let mut cfg = s.min_config();
+        let whole = SubnetSpec::lower(&cfg).units[1].macs_per_tile();
+        cfg.stages[0].partition = GridSpec::new(2, 2);
+        let tiled = SubnetSpec::lower(&cfg).units[1].macs_per_tile();
+        // 4 tiles with 12% seam overhead → ≈ 0.28× of the whole.
+        assert!((tiled as f64) < whole as f64 * 0.35, "{tiled} vs {whole}");
+        assert!((tiled as f64) > whole as f64 * 0.25);
+    }
+
+    #[test]
+    fn random_configs_lower_without_panic() {
+        let s = SearchSpace::default();
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..50 {
+            let cfg = s.sample(&mut rng);
+            let spec = SubnetSpec::lower(&cfg);
+            assert!(spec.total_macs() > 0);
+            assert!(spec.total_params() > 1_000_000); // head FCs alone exceed this
+        }
+    }
+
+    #[test]
+    fn lowering_is_deterministic_and_cache_transparent() {
+        // The memoized path must return identical specs across calls and
+        // must not leak one config's partition/quant into another's.
+        let s = SearchSpace::default();
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..20 {
+            let a = s.sample(&mut rng);
+            let s1 = SubnetSpec::lower(&a);
+            let s2 = SubnetSpec::lower(&a);
+            assert_eq!(s1.total_macs(), s2.total_macs());
+            for (u1, u2) in s1.units.iter().zip(&s2.units) {
+                assert_eq!(u1.partition, u2.partition);
+                assert_eq!(u1.quant, u2.quant);
+                assert_eq!(u1.layers.len(), u2.layers.len());
+            }
+            // A second config sharing the architecture but not the
+            // partition must get its own stamps.
+            let mut b = a.clone();
+            b.stages[0].partition = GridSpec::new(2, 2);
+            b.stages[0].quant = BitWidth::B8;
+            let sb = SubnetSpec::lower(&b);
+            assert_eq!(sb.units[1].partition, GridSpec::new(2, 2));
+            assert_eq!(sb.units[1].quant, BitWidth::B8);
+            // And the original is unaffected by the sibling's stamps.
+            let s3 = SubnetSpec::lower(&a);
+            assert_eq!(s3.units[1].partition, a.stages[0].partition);
+            assert_eq!(s3.units[1].quant, a.stages[0].quant);
+        }
+    }
+
+    #[test]
+    fn resolution_scales_stage_shapes() {
+        let s = SearchSpace::default();
+        let mut cfg = s.max_config();
+        cfg.resolution = 160;
+        let spec = SubnetSpec::lower(&cfg);
+        // 160 / 2^5 (stem + 4 striding stages) = 5.
+        assert_eq!(spec.units[5].out_shape.1, 5);
+    }
+}

@@ -1,0 +1,504 @@
+//! Demonstration supernet trained end-to-end with progressive shrinking.
+//!
+//! ImageNet-scale supernet training is outside this environment's budget;
+//! this module proves the one-shot-NAS *mechanics* on the synthetic
+//! dataset: a weight-shared elastic network (elastic kernel 3/5, elastic
+//! width, elastic depth) trained with progressive shrinking, after which
+//! every subnet slice classifies well above chance — the property the
+//! paper's Stage 1 relies on.
+
+use crate::elastic::{ElasticConv, ElasticLinear};
+use murmuration_nn::data::SyntheticDataset;
+use murmuration_nn::layers::{Conv2d, Flatten, GlobalAvgPool, Linear, ReLU};
+use murmuration_nn::loss::{accuracy, softmax_cross_entropy};
+use murmuration_nn::module::Module;
+use murmuration_tensor::conv::Conv2dParams;
+use murmuration_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Channel width of the demo supernet trunk.
+const TRUNK: usize = 6;
+/// Maximal mid-block width.
+const MID_MAX: usize = 6;
+/// Maximal elastic kernel.
+const K_MAX: usize = 5;
+/// Maximal block count.
+const BLOCKS_MAX: usize = 2;
+
+/// A demo-subnet selection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct DemoChoice {
+    /// Elastic kernel of each block's first conv: 3 or 5.
+    pub kernel: usize,
+    /// Mid width: 3 ..= MID_MAX.
+    pub width: usize,
+    /// Active blocks: 1 ..= BLOCKS_MAX.
+    pub blocks: usize,
+}
+
+impl DemoChoice {
+    /// Largest subnet.
+    pub fn max() -> Self {
+        DemoChoice { kernel: K_MAX, width: MID_MAX, blocks: BLOCKS_MAX }
+    }
+
+    /// Smallest subnet.
+    pub fn min() -> Self {
+        DemoChoice { kernel: 3, width: 3, blocks: 1 }
+    }
+
+    /// All choices, for exhaustive evaluation.
+    pub fn all() -> Vec<DemoChoice> {
+        let mut v = Vec::new();
+        for &kernel in &[3, 5] {
+            for &width in &[3, MID_MAX] {
+                for &blocks in &[1, BLOCKS_MAX] {
+                    v.push(DemoChoice { kernel, width, blocks });
+                }
+            }
+        }
+        v
+    }
+}
+
+/// The weight-shared demonstration supernet.
+pub struct DemoSupernet {
+    stem: ElasticConv,                       // 3 → TRUNK, fixed k3
+    blocks: Vec<(ElasticConv, ElasticConv)>, // (TRUNK→mid k-elastic, mid→TRUNK k3)
+    head: ElasticLinear,                     // TRUNK → classes
+    classes: usize,
+}
+
+impl DemoSupernet {
+    /// Fresh supernet for `classes`-way classification.
+    pub fn new(classes: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        DemoSupernet {
+            stem: ElasticConv::new(TRUNK, 3, 3, &mut rng),
+            blocks: (0..BLOCKS_MAX)
+                .map(|_| {
+                    (
+                        ElasticConv::new(MID_MAX, TRUNK, K_MAX, &mut rng),
+                        ElasticConv::new(TRUNK, MID_MAX, 3, &mut rng),
+                    )
+                })
+                .collect(),
+            head: ElasticLinear::new(classes, TRUNK, &mut rng),
+            classes,
+        }
+    }
+
+    /// Builds the concrete module stack for a choice by slicing the stores.
+    fn materialize(&self, c: DemoChoice, rng: &mut StdRng) -> Vec<Box<dyn Module>> {
+        let mut mods: Vec<Box<dyn Module>> = Vec::new();
+        let push_conv = |mods: &mut Vec<Box<dyn Module>>,
+                         store: &ElasticConv,
+                         c_out: usize,
+                         c_in: usize,
+                         k: usize,
+                         rng: &mut StdRng| {
+            let (w, b) = store.extract(c_out, c_in, k);
+            let mut conv = Conv2d::new(c_in, c_out, Conv2dParams::same(k), true, rng);
+            conv.weight.value = w;
+            conv.bias.as_mut().unwrap().value = b;
+            mods.push(Box::new(conv));
+            mods.push(Box::new(ReLU::new()));
+        };
+        push_conv(&mut mods, &self.stem, TRUNK, 3, 3, rng);
+        for (c1, c2) in self.blocks.iter().take(c.blocks) {
+            push_conv(&mut mods, c1, c.width, TRUNK, c.kernel, rng);
+            push_conv(&mut mods, c2, TRUNK, c.width, 3, rng);
+        }
+        mods.push(Box::new(GlobalAvgPool::new()));
+        mods.push(Box::new(Flatten::new()));
+        let (w, b) = self.head.extract(self.classes, TRUNK);
+        let mut lin = Linear::new(TRUNK, self.classes, rng);
+        lin.weight.value = w;
+        lin.bias.value = b;
+        mods.push(Box::new(lin));
+        mods
+    }
+
+    /// One SGD step on a batch under `choice`; returns (loss, batch acc).
+    pub fn train_step(
+        &mut self,
+        x: &Tensor,
+        targets: &[usize],
+        choice: DemoChoice,
+        lr: f32,
+    ) -> (f32, f32) {
+        let mut rng = StdRng::seed_from_u64(0); // init-only; weights overwritten
+        let mut mods = self.materialize(choice, &mut rng);
+        // Forward.
+        let mut cur = x.clone();
+        for m in &mut mods {
+            cur = m.forward(&cur, true);
+        }
+        let (loss, dlogits) = softmax_cross_entropy(&cur, targets);
+        let acc = accuracy(&cur, targets);
+        // Backward.
+        let mut d = dlogits;
+        for m in mods.iter_mut().rev() {
+            d = m.backward(&d);
+        }
+        // Scatter gradients back and update the shared stores.
+        self.zero_grad();
+        let mut conv_grads: Vec<(Tensor, Tensor)> = Vec::new();
+        let mut lin_grad: Option<(Tensor, Tensor)> = None;
+        for m in &mut mods {
+            match m.name() {
+                "Conv2d" => {
+                    let mut wg = None;
+                    let mut bg = None;
+                    m.visit_params(&mut |p| {
+                        if wg.is_none() {
+                            wg = Some(p.grad.clone());
+                        } else {
+                            bg = Some(p.grad.clone());
+                        }
+                    });
+                    conv_grads.push((wg.unwrap(), bg.unwrap()));
+                }
+                "Linear" => {
+                    let mut wg = None;
+                    let mut bg = None;
+                    m.visit_params(&mut |p| {
+                        if wg.is_none() {
+                            wg = Some(p.grad.clone());
+                        } else {
+                            bg = Some(p.grad.clone());
+                        }
+                    });
+                    lin_grad = Some((wg.unwrap(), bg.unwrap()));
+                }
+                _ => {}
+            }
+        }
+        let mut it = conv_grads.into_iter();
+        let (wg, bg) = it.next().expect("stem grad");
+        self.stem.scatter_grad(&wg, &bg, TRUNK, 3, 3);
+        for (c1, c2) in self.blocks.iter_mut().take(choice.blocks) {
+            let (wg, bg) = it.next().expect("block conv1 grad");
+            c1.scatter_grad(&wg, &bg, choice.width, TRUNK, choice.kernel);
+            let (wg, bg) = it.next().expect("block conv2 grad");
+            c2.scatter_grad(&wg, &bg, TRUNK, choice.width, 3);
+        }
+        let (wg, bg) = lin_grad.expect("head grad");
+        self.head.scatter_grad(&wg, &bg, self.classes, TRUNK);
+        self.sgd_step(lr);
+        (loss, acc)
+    }
+
+    /// One SGD step with the trunk executed under FDSP partitioning —
+    /// ADCNN-style progressive fine-tuning that teaches the shared weights
+    /// to tolerate zero-padded seams. Returns (loss, batch accuracy).
+    pub fn train_step_fdsp(
+        &mut self,
+        x: &Tensor,
+        targets: &[usize],
+        choice: DemoChoice,
+        grid: murmuration_tensor::tile::GridSpec,
+        lr: f32,
+    ) -> (f32, f32) {
+        use murmuration_tensor::tile::{merge_fdsp, split_fdsp};
+        let mut rng = StdRng::seed_from_u64(0);
+        // Independent trunk replicas per tile (they share the same store
+        // weights; gradients are summed back).
+        let tiles = split_fdsp(x, grid);
+        let n_tiles = tiles.len();
+        let mut tile_mods: Vec<Vec<Box<dyn Module>>> = Vec::with_capacity(n_tiles);
+        let mut tile_outs: Vec<Tensor> = Vec::with_capacity(n_tiles);
+        let mut all_mods = self.materialize(choice, &mut rng);
+        let trunk_len = all_mods.len() - 3;
+        let mut head_mods: Vec<Box<dyn Module>> = all_mods.drain(trunk_len..).collect();
+        for tile in tiles {
+            let mut mods = self.materialize(choice, &mut rng);
+            mods.truncate(trunk_len);
+            let mut cur = tile;
+            for m in &mut mods {
+                cur = m.forward(&cur, true);
+            }
+            tile_mods.push(mods);
+            tile_outs.push(cur);
+        }
+        let merged = merge_fdsp(&tile_outs, grid);
+        let mut cur = merged.clone();
+        for m in &mut head_mods {
+            cur = m.forward(&cur, true);
+        }
+        let (loss, dlogits) = softmax_cross_entropy(&cur, targets);
+        let acc = accuracy(&cur, targets);
+        // Backward through the head, then split the gradient to the tiles.
+        let mut d = dlogits;
+        for m in head_mods.iter_mut().rev() {
+            d = m.backward(&d);
+        }
+        let d_tiles = split_fdsp(&d, grid);
+        for (mods, mut dt) in tile_mods.iter_mut().zip(d_tiles) {
+            for m in mods.iter_mut().rev() {
+                dt = m.backward(&dt);
+            }
+        }
+        // Scatter gradients: trunk grads sum over tiles; head grads once.
+        self.zero_grad();
+        let read_grads = |m: &mut Box<dyn Module>| -> (Tensor, Tensor) {
+            let mut wg = None;
+            let mut bg = None;
+            m.visit_params(&mut |p| {
+                if wg.is_none() {
+                    wg = Some(p.grad.clone());
+                } else {
+                    bg = Some(p.grad.clone());
+                }
+            });
+            (wg.unwrap(), bg.unwrap())
+        };
+        for mods in &mut tile_mods {
+            let mut convs = mods.iter_mut().filter(|m| m.name() == "Conv2d");
+            let (wg, bg) = read_grads(convs.next().expect("stem"));
+            self.stem.scatter_grad(&wg, &bg, TRUNK, 3, 3);
+            for (c1, c2) in self.blocks.iter_mut().take(choice.blocks) {
+                let (wg, bg) = read_grads(convs.next().expect("conv1"));
+                c1.scatter_grad(&wg, &bg, choice.width, TRUNK, choice.kernel);
+                let (wg, bg) = read_grads(convs.next().expect("conv2"));
+                c2.scatter_grad(&wg, &bg, TRUNK, choice.width, 3);
+            }
+        }
+        let lin = head_mods.iter_mut().find(|m| m.name() == "Linear").expect("head");
+        let (wg, bg) = read_grads(lin);
+        self.head.scatter_grad(&wg, &bg, self.classes, TRUNK);
+        self.sgd_step(lr);
+        (loss, acc)
+    }
+
+    /// Evaluation accuracy of a subnet choice on a batch.
+    pub fn eval(&self, x: &Tensor, targets: &[usize], choice: DemoChoice) -> f32 {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut mods = self.materialize(choice, &mut rng);
+        let mut cur = x.clone();
+        for m in &mut mods {
+            cur = m.forward(&cur, false);
+        }
+        accuracy(&cur, targets)
+    }
+
+    /// Evaluation accuracy with the convolutional trunk executed under
+    /// FDSP spatial partitioning: the input is split into a tile grid,
+    /// every tile runs the trunk independently (zero-padded seams), and
+    /// tiles merge before the classifier head — exactly how a distributed
+    /// deployment executes a partitioned stage. Demonstrates the
+    /// "partition-ready" property on real trained weights.
+    pub fn eval_fdsp(
+        &self,
+        x: &Tensor,
+        targets: &[usize],
+        choice: DemoChoice,
+        grid: murmuration_tensor::tile::GridSpec,
+    ) -> f32 {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut mods = self.materialize(choice, &mut rng);
+        let trunk_len = mods.len() - 3; // GAP + Flatten + Linear stay whole
+        let tiles = murmuration_tensor::tile::split_fdsp(x, grid);
+        let outs: Vec<Tensor> = tiles
+            .into_iter()
+            .map(|mut t| {
+                for m in mods[..trunk_len].iter_mut() {
+                    t = m.forward(&t, false);
+                }
+                t
+            })
+            .collect();
+        let mut cur = murmuration_tensor::tile::merge_fdsp(&outs, grid);
+        for m in mods[trunk_len..].iter_mut() {
+            cur = m.forward(&cur, false);
+        }
+        accuracy(&cur, targets)
+    }
+
+    fn zero_grad(&mut self) {
+        self.stem.zero_grad();
+        for (a, b) in &mut self.blocks {
+            a.zero_grad();
+            b.zero_grad();
+        }
+        self.head.zero_grad();
+    }
+
+    fn sgd_step(&mut self, lr: f32) {
+        self.stem.sgd_step(lr);
+        for (a, b) in &mut self.blocks {
+            a.sgd_step(lr);
+            b.sgd_step(lr);
+        }
+        self.head.sgd_step(lr);
+    }
+}
+
+/// Progressive-shrinking schedule phases (which dimensions are elastic).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShrinkPhase {
+    /// Train the maximal network only.
+    MaxOnly,
+    /// Sample elastic kernel.
+    Kernel,
+    /// Sample elastic kernel + width.
+    KernelWidth,
+    /// Sample all dimensions.
+    Full,
+}
+
+impl ShrinkPhase {
+    /// Samples a training choice legal for this phase.
+    pub fn sample_choice<R: Rng>(self, rng: &mut R) -> DemoChoice {
+        let max = DemoChoice::max();
+        match self {
+            ShrinkPhase::MaxOnly => max,
+            ShrinkPhase::Kernel => DemoChoice {
+                kernel: if rng.gen_bool(0.5) { 3 } else { 5 },
+                ..max
+            },
+            ShrinkPhase::KernelWidth => DemoChoice {
+                kernel: if rng.gen_bool(0.5) { 3 } else { 5 },
+                width: if rng.gen_bool(0.5) { 3 } else { MID_MAX },
+                ..max
+            },
+            ShrinkPhase::Full => DemoChoice {
+                kernel: if rng.gen_bool(0.5) { 3 } else { 5 },
+                width: if rng.gen_bool(0.5) { 3 } else { MID_MAX },
+                blocks: if rng.gen_bool(0.5) { 1 } else { BLOCKS_MAX },
+            },
+        }
+    }
+}
+
+/// Result of a progressive-shrinking run.
+pub struct TrainReport {
+    /// Eval accuracy of every subnet choice after training.
+    pub per_choice_accuracy: Vec<(DemoChoice, f32)>,
+}
+
+/// Trains a demo supernet with progressive shrinking on a synthetic
+/// dataset; returns final per-subnet accuracies.
+pub fn progressive_shrinking(
+    dataset: &SyntheticDataset,
+    eval: &SyntheticDataset,
+    steps_per_phase: usize,
+    batch: usize,
+    lr: f32,
+    seed: u64,
+) -> (DemoSupernet, TrainReport) {
+    let mut net = DemoSupernet::new(dataset.classes, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+    let phases = [
+        ShrinkPhase::MaxOnly,
+        ShrinkPhase::Kernel,
+        ShrinkPhase::KernelWidth,
+        ShrinkPhase::Full,
+    ];
+    let mut cursor = 0usize;
+    for phase in phases {
+        for _ in 0..steps_per_phase {
+            let (x, t) = dataset.batch(cursor, batch);
+            cursor = (cursor + batch) % dataset.len();
+            let choice = phase.sample_choice(&mut rng);
+            net.train_step(&x, &t, choice, lr);
+        }
+    }
+    let (ex, et) = eval.batch(0, eval.len());
+    let per_choice_accuracy = DemoChoice::all()
+        .into_iter()
+        .map(|c| (c, net.eval(&ex, &et, c)))
+        .collect();
+    (net, TrainReport { per_choice_accuracy })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use murmuration_nn::data::SyntheticSpec;
+
+    fn tiny_dataset() -> (SyntheticDataset, SyntheticDataset) {
+        SyntheticDataset::generate(
+            SyntheticSpec {
+                classes: 2,
+                samples: 64,
+                channels: 3,
+                height: 10,
+                width: 10,
+                noise: 0.15,
+            },
+            11,
+        )
+        .split(5)
+    }
+
+    #[test]
+    fn single_subnet_learns() {
+        let (train, eval) = tiny_dataset();
+        let mut net = DemoSupernet::new(2, 3);
+        let mut cursor = 0;
+        for _ in 0..60 {
+            let (x, t) = train.batch(cursor, 8);
+            cursor += 8;
+            net.train_step(&x, &t, DemoChoice::max(), 0.05);
+        }
+        let (ex, et) = eval.batch(0, eval.len());
+        let acc = net.eval(&ex, &et, DemoChoice::max());
+        assert!(acc > 0.8, "max subnet acc {acc}");
+    }
+
+    #[test]
+    fn progressive_shrinking_makes_all_subnets_work() {
+        let (train, eval) = tiny_dataset();
+        let (_, report) = progressive_shrinking(&train, &eval, 45, 8, 0.05, 5);
+        for (choice, acc) in &report.per_choice_accuracy {
+            assert!(
+                *acc > 0.7,
+                "subnet {choice:?} accuracy {acc} after shrinking (chance = 0.5)"
+            );
+        }
+    }
+
+    #[test]
+    fn choices_enumerate_eight_subnets() {
+        assert_eq!(DemoChoice::all().len(), 8);
+    }
+
+    #[test]
+    fn fdsp_finetuning_recovers_partitioned_accuracy() {
+        // The paper's partition-ready claim on real weights, reproducing
+        // ADCNN's progressive fine-tuning: monolithic training leaves a
+        // seam-induced accuracy gap under 2x2 FDSP; fine-tuning *with*
+        // FDSP recovers it.
+        let (train, eval) = tiny_dataset();
+        let grid = murmuration_tensor::tile::GridSpec::new(2, 2);
+        let mut net = DemoSupernet::new(2, 7);
+        let mut cursor = 0;
+        for _ in 0..70 {
+            let (x, t) = train.batch(cursor, 8);
+            cursor += 8;
+            net.train_step(&x, &t, DemoChoice::max(), 0.05);
+        }
+        let (ex, et) = eval.batch(0, eval.len());
+        let whole = net.eval(&ex, &et, DemoChoice::max());
+        let tiled_before = net.eval_fdsp(&ex, &et, DemoChoice::max(), grid);
+        assert!(whole > 0.8, "monolithic accuracy {whole}");
+        // FDSP fine-tuning phase.
+        for _ in 0..50 {
+            let (x, t) = train.batch(cursor, 8);
+            cursor += 8;
+            net.train_step_fdsp(&x, &t, DemoChoice::max(), grid, 0.05);
+        }
+        let tiled_after = net.eval_fdsp(&ex, &et, DemoChoice::max(), grid);
+        assert!(
+            tiled_after >= tiled_before,
+            "fine-tuning must not hurt: {tiled_before} -> {tiled_after}"
+        );
+        assert!(
+            tiled_after >= whole - 0.1,
+            "fine-tuned FDSP accuracy {tiled_after} must approach monolithic {whole} \
+             (before fine-tuning: {tiled_before})"
+        );
+    }
+}

@@ -1,0 +1,174 @@
+//! Element-wise activations and softmax, with the derivatives the trainer
+//! needs.
+
+use crate::tensor::Tensor;
+
+/// ReLU, in place.
+pub fn relu_inplace(t: &mut Tensor) {
+    for v in t.data_mut() {
+        if *v < 0.0 {
+            *v = 0.0;
+        }
+    }
+}
+
+/// ReLU gradient mask: `dy * (x > 0)`.
+pub fn relu_backward(x: &Tensor, dy: &Tensor) -> Tensor {
+    assert_eq!(x.shape(), dy.shape());
+    let data = x
+        .data()
+        .iter()
+        .zip(dy.data().iter())
+        .map(|(&xv, &g)| if xv > 0.0 { g } else { 0.0 })
+        .collect();
+    Tensor::from_vec(x.shape().clone(), data)
+}
+
+/// Hard-sigmoid: `clamp((x + 3) / 6, 0, 1)` (the MobileNetV3 variant).
+#[inline]
+pub fn hsigmoid(x: f32) -> f32 {
+    ((x + 3.0) / 6.0).clamp(0.0, 1.0)
+}
+
+/// Hard-swish: `x * hsigmoid(x)` — MobileNetV3's cheap swish.
+#[inline]
+pub fn hswish(x: f32) -> f32 {
+    x * hsigmoid(x)
+}
+
+/// Hard-swish, in place.
+pub fn hswish_inplace(t: &mut Tensor) {
+    for v in t.data_mut() {
+        *v = hswish(*v);
+    }
+}
+
+/// Hard-swish derivative at `x`.
+#[inline]
+pub fn hswish_grad(x: f32) -> f32 {
+    if x <= -3.0 {
+        0.0
+    } else if x >= 3.0 {
+        1.0
+    } else {
+        (2.0 * x + 3.0) / 6.0
+    }
+}
+
+/// Hard-swish backward: `dy * hswish'(x)`.
+pub fn hswish_backward(x: &Tensor, dy: &Tensor) -> Tensor {
+    assert_eq!(x.shape(), dy.shape());
+    let data = x
+        .data()
+        .iter()
+        .zip(dy.data().iter())
+        .map(|(&xv, &g)| g * hswish_grad(xv))
+        .collect();
+    Tensor::from_vec(x.shape().clone(), data)
+}
+
+/// Logistic sigmoid.
+#[inline]
+pub fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Tanh (re-exported for the LSTM cell).
+#[inline]
+pub fn tanh(x: f32) -> f32 {
+    x.tanh()
+}
+
+/// Numerically stable softmax over a logits slice, written into `out`.
+pub fn softmax_into(logits: &[f32], out: &mut [f32]) {
+    assert_eq!(logits.len(), out.len());
+    if logits.is_empty() {
+        return;
+    }
+    let max = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0;
+    for (o, &l) in out.iter_mut().zip(logits.iter()) {
+        *o = (l - max).exp();
+        sum += *o;
+    }
+    let inv = 1.0 / sum;
+    for o in out.iter_mut() {
+        *o *= inv;
+    }
+}
+
+/// Softmax returning a fresh vector.
+pub fn softmax(logits: &[f32]) -> Vec<f32> {
+    let mut out = vec![0.0; logits.len()];
+    softmax_into(logits, &mut out);
+    out
+}
+
+/// Log of softmax probability of `target` under `logits` — a numerically
+/// stable `log p(target)`.
+pub fn log_softmax_at(logits: &[f32], target: usize) -> f32 {
+    let max = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let logsum: f32 = logits.iter().map(|&l| (l - max).exp()).sum::<f32>().ln() + max;
+    logits[target] - logsum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shape::Shape;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let mut t = Tensor::from_vec(Shape::d1(4), vec![-1.0, 0.0, 2.0, -0.5]);
+        relu_inplace(&mut t);
+        assert_eq!(t.data(), &[0.0, 0.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn hswish_known_points() {
+        assert_eq!(hswish(-4.0), 0.0);
+        assert_eq!(hswish(4.0), 4.0);
+        assert!((hswish(0.0)).abs() < 1e-7);
+        // hswish(1) = 1 * 4/6
+        assert!((hswish(1.0) - 2.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn hswish_grad_matches_finite_difference() {
+        let eps = 1e-3;
+        for &x in &[-2.5f32, -1.0, 0.0, 0.7, 2.9] {
+            let fd = (hswish(x + eps) - hswish(x - eps)) / (2.0 * eps);
+            assert!(
+                (fd - hswish_grad(x)).abs() < 1e-2,
+                "x={x}: fd {fd} vs analytic {}",
+                hswish_grad(x)
+            );
+        }
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_is_stable() {
+        let p = softmax(&[1000.0, 1000.0, 999.0]);
+        let s: f32 = p.iter().sum();
+        assert!((s - 1.0).abs() < 1e-5);
+        assert!(p[0] > p[2]);
+        assert!((p[0] - p[1]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn log_softmax_consistent_with_softmax() {
+        let logits = [0.3f32, -1.2, 2.0, 0.0];
+        let p = softmax(&logits);
+        for (i, &pi) in p.iter().enumerate() {
+            assert!((log_softmax_at(&logits, i) - pi.ln()).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn relu_backward_masks() {
+        let x = Tensor::from_vec(Shape::d1(3), vec![-1.0, 0.5, 2.0]);
+        let dy = Tensor::from_vec(Shape::d1(3), vec![1.0, 1.0, 1.0]);
+        let dx = relu_backward(&x, &dy);
+        assert_eq!(dx.data(), &[0.0, 1.0, 1.0]);
+    }
+}

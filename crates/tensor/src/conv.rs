@@ -1,0 +1,367 @@
+//! 2-D convolutions: im2col + GEMM standard path and a direct depthwise path.
+
+use crate::gemm::gemm;
+use crate::shape::{conv_out_size, Shape};
+use crate::tensor::Tensor;
+
+/// Convolution geometry: square kernel, symmetric padding, uniform stride.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Conv2dParams {
+    pub kernel: usize,
+    pub stride: usize,
+    pub pad: usize,
+}
+
+impl Conv2dParams {
+    /// Geometry with "same" padding for odd kernels at stride 1.
+    pub fn same(kernel: usize) -> Self {
+        assert!(kernel % 2 == 1, "same-padding requires an odd kernel");
+        Conv2dParams { kernel, stride: 1, pad: kernel / 2 }
+    }
+
+    /// Output (h, w) for an input (h, w).
+    pub fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        (
+            conv_out_size(h, self.kernel, self.pad, self.stride),
+            conv_out_size(w, self.kernel, self.pad, self.stride),
+        )
+    }
+}
+
+/// Unfolds input patches into a `(c_in*k*k) × (out_h*out_w)` column matrix
+/// for one image (CHW slice). Out-of-bounds taps read as zero.
+pub fn im2col(
+    input: &[f32],
+    c_in: usize,
+    h: usize,
+    w: usize,
+    p: Conv2dParams,
+    cols: &mut Vec<f32>,
+) -> (usize, usize) {
+    let (oh, ow) = p.out_hw(h, w);
+    let rows = c_in * p.kernel * p.kernel;
+    cols.clear();
+    cols.resize(rows, 0.0); // ensure non-empty before the resize below
+    cols.clear();
+    cols.resize(rows * oh * ow, 0.0);
+    for c in 0..c_in {
+        for ky in 0..p.kernel {
+            for kx in 0..p.kernel {
+                let row = (c * p.kernel + ky) * p.kernel + kx;
+                let out_base = row * oh * ow;
+                for oy in 0..oh {
+                    let iy = (oy * p.stride + ky) as isize - p.pad as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue; // stays zero
+                    }
+                    let in_row = (c * h + iy as usize) * w;
+                    for ox in 0..ow {
+                        let ix = (ox * p.stride + kx) as isize - p.pad as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        cols[out_base + oy * ow + ox] = input[in_row + ix as usize];
+                    }
+                }
+            }
+        }
+    }
+    (rows, oh * ow)
+}
+
+/// Folds a column matrix back into a CHW image, accumulating overlapping
+/// taps — the adjoint of [`im2col`], used by conv backward.
+pub fn col2im(
+    cols: &[f32],
+    c_in: usize,
+    h: usize,
+    w: usize,
+    p: Conv2dParams,
+    out: &mut [f32],
+) {
+    let (oh, ow) = p.out_hw(h, w);
+    assert_eq!(out.len(), c_in * h * w);
+    out.fill(0.0);
+    for c in 0..c_in {
+        for ky in 0..p.kernel {
+            for kx in 0..p.kernel {
+                let row = (c * p.kernel + ky) * p.kernel + kx;
+                let col_base = row * oh * ow;
+                for oy in 0..oh {
+                    let iy = (oy * p.stride + ky) as isize - p.pad as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    let out_row = (c * h + iy as usize) * w;
+                    for ox in 0..ow {
+                        let ix = (ox * p.stride + kx) as isize - p.pad as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        out[out_row + ix as usize] += cols[col_base + oy * ow + ox];
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Standard convolution. `input` is NCHW, `weight` is `[c_out, c_in, k, k]`,
+/// optional `bias` is `[c_out]`. Returns NCHW output.
+pub fn conv2d(input: &Tensor, weight: &Tensor, bias: Option<&Tensor>, p: Conv2dParams) -> Tensor {
+    let (n, c_in, h, w) = (
+        input.shape().n(),
+        input.shape().c(),
+        input.shape().h(),
+        input.shape().w(),
+    );
+    let ws = weight.shape();
+    assert_eq!(ws.rank(), 4, "weight must be [c_out, c_in, k, k]");
+    let c_out = ws.dim(0);
+    assert_eq!(ws.dim(1), c_in, "weight c_in {} vs input c {}", ws.dim(1), c_in);
+    assert_eq!(ws.dim(2), p.kernel);
+    assert_eq!(ws.dim(3), p.kernel);
+    let (oh, ow) = p.out_hw(h, w);
+    let mut out = Tensor::zeros(Shape::nchw(n, c_out, oh, ow));
+    let mut cols = Vec::new();
+    let img_in = c_in * h * w;
+    let img_out = c_out * oh * ow;
+    for b in 0..n {
+        let (rows, spatial) = im2col(&input.data()[b * img_in..(b + 1) * img_in], c_in, h, w, p, &mut cols);
+        gemm(
+            c_out,
+            rows,
+            spatial,
+            weight.data(),
+            &cols,
+            &mut out.data_mut()[b * img_out..(b + 1) * img_out],
+        );
+    }
+    if let Some(bias) = bias {
+        assert_eq!(bias.numel(), c_out, "bias length");
+        let od = out.data_mut();
+        for b in 0..n {
+            for co in 0..c_out {
+                let base = (b * c_out + co) * oh * ow;
+                let bv = bias.data()[co];
+                for v in &mut od[base..base + oh * ow] {
+                    *v += bv;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Depthwise convolution: `weight` is `[c, 1, k, k]`, each channel convolved
+/// with its own filter. Direct (non-GEMM) implementation.
+pub fn depthwise_conv2d(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    p: Conv2dParams,
+) -> Tensor {
+    let (n, c, h, w) = (
+        input.shape().n(),
+        input.shape().c(),
+        input.shape().h(),
+        input.shape().w(),
+    );
+    let ws = weight.shape();
+    assert_eq!(ws.dim(0), c, "depthwise weight channels");
+    assert_eq!(ws.dim(1), 1, "depthwise weight must be [c,1,k,k]");
+    let (oh, ow) = p.out_hw(h, w);
+    let mut out = Tensor::zeros(Shape::nchw(n, c, oh, ow));
+    let k = p.kernel;
+    for b in 0..n {
+        for ch in 0..c {
+            let in_base = (b * c + ch) * h * w;
+            let w_base = ch * k * k;
+            let out_base = (b * c + ch) * oh * ow;
+            let bv = bias.map_or(0.0, |bt| bt.data()[ch]);
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = bv;
+                    for ky in 0..k {
+                        let iy = (oy * p.stride + ky) as isize - p.pad as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for kx in 0..k {
+                            let ix = (ox * p.stride + kx) as isize - p.pad as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            acc += input.data()[in_base + iy as usize * w + ix as usize]
+                                * weight.data()[w_base + ky * k + kx];
+                        }
+                    }
+                    out.data_mut()[out_base + oy * ow + ox] = acc;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Naive reference convolution used for testing the im2col path.
+pub fn conv2d_ref(input: &Tensor, weight: &Tensor, bias: Option<&Tensor>, p: Conv2dParams) -> Tensor {
+    let (n, c_in, h, w) = (
+        input.shape().n(),
+        input.shape().c(),
+        input.shape().h(),
+        input.shape().w(),
+    );
+    let c_out = weight.shape().dim(0);
+    let k = p.kernel;
+    let (oh, ow) = p.out_hw(h, w);
+    let mut out = Tensor::zeros(Shape::nchw(n, c_out, oh, ow));
+    for b in 0..n {
+        for co in 0..c_out {
+            let bv = bias.map_or(0.0, |bt| bt.data()[co]);
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = bv;
+                    for ci in 0..c_in {
+                        for ky in 0..k {
+                            let iy = (oy * p.stride + ky) as isize - p.pad as isize;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            for kx in 0..k {
+                                let ix = (ox * p.stride + kx) as isize - p.pad as isize;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                acc += input.at(b, ci, iy as usize, ix as usize)
+                                    * weight.data()
+                                        [((co * c_in + ci) * k + ky) * k + kx];
+                            }
+                        }
+                    }
+                    *out.at_mut(b, co, oy, ox) = acc;
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assert_close;
+    use proptest::prelude::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn identity_kernel_passthrough() {
+        // 1x1 conv with weight 1.0 is identity.
+        let mut rng = StdRng::seed_from_u64(0);
+        let x = Tensor::rand_uniform(Shape::nchw(1, 1, 4, 4), 1.0, &mut rng);
+        let w = Tensor::full(Shape::nchw(1, 1, 1, 1), 1.0);
+        let p = Conv2dParams { kernel: 1, stride: 1, pad: 0 };
+        let y = conv2d(&x, &w, None, p);
+        assert_close(y.data(), x.data(), 1e-6);
+    }
+
+    #[test]
+    fn known_3x3_sum_kernel() {
+        // All-ones 3x3 kernel over all-ones 3x3 input with pad 1:
+        // corner = 4, edge = 6, center = 9.
+        let x = Tensor::full(Shape::nchw(1, 1, 3, 3), 1.0);
+        let w = Tensor::full(Shape::nchw(1, 1, 3, 3), 1.0);
+        let y = conv2d(&x, &w, None, Conv2dParams::same(3));
+        let expect = [4.0, 6.0, 4.0, 6.0, 9.0, 6.0, 4.0, 6.0, 4.0];
+        assert_close(y.data(), &expect, 1e-6);
+    }
+
+    #[test]
+    fn im2col_matches_reference_conv() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for &(c_in, c_out, h, w, k, s, pad) in &[
+            (3, 8, 8, 8, 3, 1, 1),
+            (4, 4, 7, 9, 3, 2, 1),
+            (2, 6, 11, 5, 5, 2, 2),
+            (1, 2, 6, 6, 1, 1, 0),
+            (3, 5, 10, 10, 7, 2, 3),
+        ] {
+            let p = Conv2dParams { kernel: k, stride: s, pad };
+            let x = Tensor::rand_uniform(Shape::nchw(2, c_in, h, w), 1.0, &mut rng);
+            let wt = Tensor::rand_uniform(Shape::nchw(c_out, c_in, k, k), 0.5, &mut rng);
+            let b = Tensor::rand_uniform(Shape::d1(c_out), 0.5, &mut rng);
+            let fast = conv2d(&x, &wt, Some(&b), p);
+            let slow = conv2d_ref(&x, &wt, Some(&b), p);
+            assert_eq!(fast.shape(), slow.shape());
+            assert_close(fast.data(), slow.data(), 1e-3);
+        }
+    }
+
+    #[test]
+    fn depthwise_matches_grouped_reference() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let c = 4;
+        let p = Conv2dParams::same(3);
+        let x = Tensor::rand_uniform(Shape::nchw(1, c, 6, 6), 1.0, &mut rng);
+        let wt = Tensor::rand_uniform(Shape::nchw(c, 1, 3, 3), 0.5, &mut rng);
+        let y = depthwise_conv2d(&x, &wt, None, p);
+        // Reference: expand to a block-diagonal standard conv.
+        let mut full = Tensor::zeros(Shape::nchw(c, c, 3, 3));
+        for ch in 0..c {
+            for t in 0..9 {
+                full.data_mut()[((ch * c + ch) * 9) + t] = wt.data()[ch * 9 + t];
+            }
+        }
+        let r = conv2d_ref(&x, &full, None, p);
+        assert_close(y.data(), r.data(), 1e-4);
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for random x, y.
+        let mut rng = StdRng::seed_from_u64(11);
+        let (c, h, w) = (2, 5, 5);
+        let p = Conv2dParams { kernel: 3, stride: 2, pad: 1 };
+        let x = Tensor::rand_uniform(Shape::nchw(1, c, h, w), 1.0, &mut rng);
+        let mut cols = Vec::new();
+        let (rows, spatial) = im2col(x.data(), c, h, w, p, &mut cols);
+        let y: Vec<f32> = (0..rows * spatial)
+            .map(|i| ((i * 2654435761) % 97) as f32 / 97.0 - 0.5)
+            .collect();
+        let lhs: f32 = cols.iter().zip(y.iter()).map(|(a, b)| a * b).sum();
+        let mut back = vec![0.0; c * h * w];
+        col2im(&y, c, h, w, p, &mut back);
+        let rhs: f32 = x.data().iter().zip(back.iter()).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn stride_two_halves_spatial() {
+        let x = Tensor::zeros(Shape::nchw(1, 3, 224, 224));
+        let w = Tensor::zeros(Shape::nchw(16, 3, 3, 3));
+        let y = conv2d(&x, &w, None, Conv2dParams { kernel: 3, stride: 2, pad: 1 });
+        assert_eq!(y.shape(), &Shape::nchw(1, 16, 112, 112));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+        #[test]
+        fn prop_conv_matches_reference(
+            c_in in 1usize..4, c_out in 1usize..4,
+            h in 3usize..9, w in 3usize..9,
+            k in prop::sample::select(vec![1usize, 3]),
+            s in 1usize..3, seed in 0u64..500,
+        ) {
+            let pad = k / 2;
+            let p = Conv2dParams { kernel: k, stride: s, pad };
+            let mut rng = StdRng::seed_from_u64(seed);
+            let x = Tensor::rand_uniform(Shape::nchw(1, c_in, h, w), 1.0, &mut rng);
+            let wt = Tensor::rand_uniform(Shape::nchw(c_out, c_in, k, k), 0.5, &mut rng);
+            let fast = conv2d(&x, &wt, None, p);
+            let slow = conv2d_ref(&x, &wt, None, p);
+            for (a, b) in fast.data().iter().zip(slow.data().iter()) {
+                prop_assert!((a - b).abs() < 1e-3);
+            }
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! Blocked, Rayon-parallel GEMM.
+//!
+//! `C = A · B` with `A: m×k`, `B: k×n`, `C: m×n`, all row-major. The kernel
+//! blocks over `k` to keep the working set in cache and parallelizes over
+//! row blocks of `C` so each Rayon task owns a disjoint `&mut` slice — the
+//! pattern the Rayon guide recommends for data-race-free output writes.
+
+use rayon::prelude::*;
+
+/// Row-block height processed per Rayon task.
+const ROW_BLOCK: usize = 32;
+/// k-dimension blocking factor.
+const K_BLOCK: usize = 256;
+/// Below this many output elements the sequential path is used (parallel
+/// dispatch overhead dominates for tiny problems).
+const PAR_THRESHOLD: usize = 64 * 64;
+
+/// `c = a · b` where `a` is `m×k`, `b` is `k×n`, `c` is `m×n` (row-major).
+///
+/// Panics if the slice lengths do not match the given dimensions.
+pub fn gemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "A must be m*k");
+    assert_eq!(b.len(), k * n, "B must be k*n");
+    assert_eq!(c.len(), m * n, "C must be m*n");
+    c.fill(0.0);
+    gemm_acc(m, k, n, a, b, c);
+}
+
+/// `c += a · b`; same contract as [`gemm`] but accumulates into `c`.
+pub fn gemm_acc(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "A must be m*k");
+    assert_eq!(b.len(), k * n, "B must be k*n");
+    assert_eq!(c.len(), m * n, "C must be m*n");
+    if m * n >= PAR_THRESHOLD && m > 1 {
+        c.par_chunks_mut(ROW_BLOCK * n)
+            .enumerate()
+            .for_each(|(blk, c_blk)| {
+                let i0 = blk * ROW_BLOCK;
+                let rows = c_blk.len() / n;
+                gemm_block(i0, rows, k, n, a, b, c_blk);
+            });
+    } else {
+        gemm_block(0, m, k, n, a, b, c);
+    }
+}
+
+/// Sequential kernel over rows `[i0, i0+rows)` of `A`/`C`, writing into the
+/// `rows×n` slice `c_blk`.
+fn gemm_block(i0: usize, rows: usize, k: usize, n: usize, a: &[f32], b: &[f32], c_blk: &mut [f32]) {
+    for k0 in (0..k).step_by(K_BLOCK) {
+        let k1 = (k0 + K_BLOCK).min(k);
+        for r in 0..rows {
+            let a_row = &a[(i0 + r) * k..(i0 + r) * k + k];
+            let c_row = &mut c_blk[r * n..(r + 1) * n];
+            for kk in k0..k1 {
+                let av = a_row[kk];
+                if av == 0.0 {
+                    continue;
+                }
+                let b_row = &b[kk * n..kk * n + n];
+                // The compiler auto-vectorizes this axpy loop.
+                for (cv, bv) in c_row.iter_mut().zip(b_row.iter()) {
+                    *cv += av * bv;
+                }
+            }
+        }
+    }
+}
+
+/// `c = a · bᵀ` where `a` is `m×k`, `b` is `n×k` (so `bᵀ` is `k×n`).
+///
+/// Used by backward passes where the weight gradient needs a transposed
+/// operand without materializing the transpose.
+pub fn gemm_bt(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "A must be m*k");
+    assert_eq!(b.len(), n * k, "B must be n*k");
+    assert_eq!(c.len(), m * n, "C must be m*n");
+    let body = |i0: usize, c_blk: &mut [f32]| {
+        let rows = c_blk.len() / n;
+        for r in 0..rows {
+            let a_row = &a[(i0 + r) * k..(i0 + r) * k + k];
+            for j in 0..n {
+                let b_row = &b[j * k..j * k + k];
+                let mut acc = 0.0;
+                for kk in 0..k {
+                    acc += a_row[kk] * b_row[kk];
+                }
+                c_blk[r * n + j] = acc;
+            }
+        }
+    };
+    if m * n >= PAR_THRESHOLD && m > 1 {
+        c.par_chunks_mut(ROW_BLOCK * n)
+            .enumerate()
+            .for_each(|(blk, c_blk)| body(blk * ROW_BLOCK, c_blk));
+    } else {
+        body(0, c);
+    }
+}
+
+/// `c = aᵀ · b` where `a` is `k×m`, `b` is `k×n`, `c` is `m×n`.
+pub fn gemm_at(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert_eq!(a.len(), k * m, "A must be k*m");
+    assert_eq!(b.len(), k * n, "B must be k*n");
+    assert_eq!(c.len(), m * n, "C must be m*n");
+    c.fill(0.0);
+    for kk in 0..k {
+        let a_row = &a[kk * m..kk * m + m];
+        let b_row = &b[kk * n..kk * n + n];
+        for i in 0..m {
+            let av = a_row[i];
+            if av == 0.0 {
+                continue;
+            }
+            let c_row = &mut c[i * n..i * n + n];
+            for (cv, bv) in c_row.iter_mut().zip(b_row.iter()) {
+                *cv += av * bv;
+            }
+        }
+    }
+}
+
+/// Naive reference GEMM used by tests and property checks.
+pub fn gemm_ref(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0;
+            for kk in 0..k {
+                acc += a[i * k + kk] * b[kk * n + j];
+            }
+            c[i * n + j] = acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assert_close;
+    use proptest::prelude::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn rand_vec(n: usize, rng: &mut StdRng) -> Vec<f32> {
+        (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect()
+    }
+
+    #[test]
+    fn small_known_product() {
+        // [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50]
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [5.0, 6.0, 7.0, 8.0];
+        let mut c = [0.0; 4];
+        gemm(2, 2, 2, &a, &b, &mut c);
+        assert_eq!(c, [19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matches_reference_on_odd_sizes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for &(m, k, n) in &[(1, 1, 1), (3, 5, 7), (17, 33, 9), (64, 129, 65), (100, 300, 50)] {
+            let a = rand_vec(m * k, &mut rng);
+            let b = rand_vec(k * n, &mut rng);
+            let mut c = vec![0.0; m * n];
+            let mut r = vec![0.0; m * n];
+            gemm(m, k, n, &a, &b, &mut c);
+            gemm_ref(m, k, n, &a, &b, &mut r);
+            assert_close(&c, &r, 1e-3);
+        }
+    }
+
+    #[test]
+    fn parallel_path_matches_reference() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (m, k, n) = (130, 64, 70); // m*n > PAR_THRESHOLD
+        let a = rand_vec(m * k, &mut rng);
+        let b = rand_vec(k * n, &mut rng);
+        let mut c = vec![0.0; m * n];
+        let mut r = vec![0.0; m * n];
+        gemm(m, k, n, &a, &b, &mut c);
+        gemm_ref(m, k, n, &a, &b, &mut r);
+        assert_close(&c, &r, 1e-2);
+    }
+
+    #[test]
+    fn bt_and_at_variants() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (m, k, n) = (6, 10, 4);
+        let a = rand_vec(m * k, &mut rng);
+        let bt = rand_vec(n * k, &mut rng); // b stored as n×k
+        // Materialize b = btᵀ and compare.
+        let mut b = vec![0.0; k * n];
+        for j in 0..n {
+            for kk in 0..k {
+                b[kk * n + j] = bt[j * k + kk];
+            }
+        }
+        let mut c1 = vec![0.0; m * n];
+        let mut c2 = vec![0.0; m * n];
+        gemm_bt(m, k, n, &a, &bt, &mut c1);
+        gemm_ref(m, k, n, &a, &b, &mut c2);
+        assert_close(&c1, &c2, 1e-3);
+
+        // aᵀ · b with a stored k×m.
+        let at = rand_vec(k * m, &mut rng);
+        let mut a_mat = vec![0.0; m * k];
+        for kk in 0..k {
+            for i in 0..m {
+                a_mat[i * k + kk] = at[kk * m + i];
+            }
+        }
+        let mut c3 = vec![0.0; m * n];
+        let mut c4 = vec![0.0; m * n];
+        gemm_at(m, k, n, &at, &b, &mut c3);
+        gemm_ref(m, k, n, &a_mat, &b, &mut c4);
+        assert_close(&c3, &c4, 1e-3);
+    }
+
+    #[test]
+    fn gemm_acc_accumulates() {
+        let a = [1.0, 0.0, 0.0, 1.0];
+        let b = [2.0, 0.0, 0.0, 2.0];
+        let mut c = [1.0, 1.0, 1.0, 1.0];
+        gemm_acc(2, 2, 2, &a, &b, &mut c);
+        assert_eq!(c, [3.0, 1.0, 1.0, 3.0]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn prop_matches_reference(m in 1usize..20, k in 1usize..24, n in 1usize..20, seed in 0u64..1000) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let a = rand_vec(m * k, &mut rng);
+            let b = rand_vec(k * n, &mut rng);
+            let mut c = vec![0.0; m * n];
+            let mut r = vec![0.0; m * n];
+            gemm(m, k, n, &a, &b, &mut c);
+            gemm_ref(m, k, n, &a, &b, &mut r);
+            for (x, y) in c.iter().zip(r.iter()) {
+                prop_assert!((x - y).abs() < 1e-3);
+            }
+        }
+
+        #[test]
+        fn prop_identity_is_noop(n in 1usize..16, seed in 0u64..1000) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let x = rand_vec(n * n, &mut rng);
+            let mut id = vec![0.0; n * n];
+            for i in 0..n { id[i * n + i] = 1.0; }
+            let mut c = vec![0.0; n * n];
+            gemm(n, n, n, &id, &x, &mut c);
+            for (a, b) in c.iter().zip(x.iter()) {
+                prop_assert!((a - b).abs() < 1e-6);
+            }
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! # murmuration-tensor
+//!
+//! Minimal, dependency-light tensor kernels used by the Murmuration
+//! reproduction. Everything is `f32`, NCHW, contiguous row-major.
+//!
+//! The crate provides exactly what the rest of the system needs:
+//!
+//! * [`Tensor`] — an owned, contiguous NCHW tensor with shape algebra.
+//! * [`gemm`] — a blocked, Rayon-parallel matrix multiply; the backbone of
+//!   the im2col convolution path.
+//! * [`conv`] — direct/depthwise/im2col 2-D convolutions used by the
+//!   inference engine and the supernet trainer.
+//! * [`pool`], [`activation`], [`pad`] — the remaining CNN primitives.
+//! * [`tile`] — FDSP-style spatial tiling (split a feature map into a
+//!   `rows × cols` grid with zero-padded halos so tiles can be convolved
+//!   independently on different devices, per ADCNN \[Zhang et al., ICPP '20\]).
+//! * [`quant`] — symmetric feature-map quantization (8/16-bit) with exact
+//!   wire-size accounting, used when intermediate activations cross a
+//!   device boundary.
+//!
+//! Design notes (per the session's HPC guides): hot loops are written over
+//! slices with explicit blocking, GEMM parallelism uses Rayon over output
+//! row blocks, and no per-call heap allocation happens inside the inner
+//! loops beyond the im2col scratch buffer, which callers may reuse.
+
+pub mod activation;
+pub mod conv;
+pub mod gemm;
+pub mod pad;
+pub mod pool;
+pub mod quant;
+pub mod shape;
+pub mod tensor;
+pub mod tile;
+
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+/// Maximum |a - b| tolerated by the numeric test helpers in this workspace.
+pub const TEST_EPS: f32 = 1e-4;
+
+/// Asserts two f32 slices are element-wise close; used across the workspace's
+/// numeric tests.
+pub fn assert_close(a: &[f32], b: &[f32], eps: f32) {
+    assert_eq!(a.len(), b.len(), "length mismatch: {} vs {}", a.len(), b.len());
+    for (i, (&x, &y)) in a.iter().zip(b.iter()).enumerate() {
+        assert!(
+            (x - y).abs() <= eps,
+            "element {i} differs: {x} vs {y} (eps {eps})"
+        );
+    }
+}

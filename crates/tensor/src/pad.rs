@@ -1,0 +1,89 @@
+//! Zero padding and cropping of NCHW feature maps.
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+/// Pads each spatial plane with zeros: `top/bottom/left/right` extra rows
+/// and columns.
+pub fn zero_pad(input: &Tensor, top: usize, bottom: usize, left: usize, right: usize) -> Tensor {
+    let (n, c, h, w) = (
+        input.shape().n(),
+        input.shape().c(),
+        input.shape().h(),
+        input.shape().w(),
+    );
+    let nh = h + top + bottom;
+    let nw = w + left + right;
+    let mut out = Tensor::zeros(Shape::nchw(n, c, nh, nw));
+    for b in 0..n {
+        for ch in 0..c {
+            let src = (b * c + ch) * h * w;
+            let dst = (b * c + ch) * nh * nw;
+            for y in 0..h {
+                let s = src + y * w;
+                let d = dst + (y + top) * nw + left;
+                out.data_mut()[d..d + w].copy_from_slice(&input.data()[s..s + w]);
+            }
+        }
+    }
+    out
+}
+
+/// Crops a spatial window `[y0, y0+ch_h) × [x0, x0+ch_w)` from each plane.
+pub fn crop(input: &Tensor, y0: usize, x0: usize, ch_h: usize, ch_w: usize) -> Tensor {
+    let (n, c, h, w) = (
+        input.shape().n(),
+        input.shape().c(),
+        input.shape().h(),
+        input.shape().w(),
+    );
+    assert!(y0 + ch_h <= h, "crop rows out of range");
+    assert!(x0 + ch_w <= w, "crop cols out of range");
+    let mut out = Tensor::zeros(Shape::nchw(n, c, ch_h, ch_w));
+    for b in 0..n {
+        for chn in 0..c {
+            let src = (b * c + chn) * h * w;
+            let dst = (b * c + chn) * ch_h * ch_w;
+            for y in 0..ch_h {
+                let s = src + (y0 + y) * w + x0;
+                let d = dst + y * ch_w;
+                out.data_mut()[d..d + ch_w].copy_from_slice(&input.data()[s..s + ch_w]);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pad_then_crop_round_trips() {
+        let x = Tensor::from_vec(Shape::nchw(1, 1, 2, 2), vec![1.0, 2.0, 3.0, 4.0]);
+        let p = zero_pad(&x, 1, 2, 3, 0);
+        assert_eq!(p.shape(), &Shape::nchw(1, 1, 5, 5));
+        assert_eq!(p.at(0, 0, 1, 3), 1.0);
+        assert_eq!(p.at(0, 0, 2, 4), 4.0);
+        assert_eq!(p.at(0, 0, 0, 0), 0.0);
+        let back = crop(&p, 1, 3, 2, 2);
+        assert_eq!(back.data(), x.data());
+    }
+
+    #[test]
+    fn crop_center() {
+        let x = Tensor::from_vec(
+            Shape::nchw(1, 1, 3, 3),
+            vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0],
+        );
+        let c = crop(&x, 1, 1, 1, 1);
+        assert_eq!(c.data(), &[4.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn crop_out_of_range_panics() {
+        let x = Tensor::zeros(Shape::nchw(1, 1, 3, 3));
+        crop(&x, 2, 2, 2, 2);
+    }
+}

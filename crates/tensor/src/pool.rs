@@ -1,0 +1,193 @@
+//! Pooling primitives: max, average, and global average pooling.
+
+use crate::shape::{conv_out_size, Shape};
+use crate::tensor::Tensor;
+
+/// Max pooling over square windows. Returns `(output, argmax_indices)` where
+/// indices address the flattened input buffer (used by the backward pass).
+pub fn maxpool2d(input: &Tensor, k: usize, stride: usize, pad: usize) -> (Tensor, Vec<usize>) {
+    let (n, c, h, w) = (
+        input.shape().n(),
+        input.shape().c(),
+        input.shape().h(),
+        input.shape().w(),
+    );
+    let oh = conv_out_size(h, k, pad, stride);
+    let ow = conv_out_size(w, k, pad, stride);
+    let mut out = Tensor::zeros(Shape::nchw(n, c, oh, ow));
+    let mut arg = vec![0usize; n * c * oh * ow];
+    let mut oi = 0;
+    for b in 0..n {
+        for ch in 0..c {
+            let base = (b * c + ch) * h * w;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = base; // fall back to first element
+                    for ky in 0..k {
+                        let iy = (oy * stride + ky) as isize - pad as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for kx in 0..k {
+                            let ix = (ox * stride + kx) as isize - pad as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            let idx = base + iy as usize * w + ix as usize;
+                            let v = input.data()[idx];
+                            if v > best {
+                                best = v;
+                                best_idx = idx;
+                            }
+                        }
+                    }
+                    // A fully-padded window (possible only with pad >= k) is
+                    // treated as zero.
+                    if best == f32::NEG_INFINITY {
+                        best = 0.0;
+                    }
+                    out.data_mut()[oi] = best;
+                    arg[oi] = best_idx;
+                    oi += 1;
+                }
+            }
+        }
+    }
+    (out, arg)
+}
+
+/// Average pooling over square windows; padding contributes zeros and the
+/// divisor is the full window size (PyTorch `count_include_pad=True`).
+pub fn avgpool2d(input: &Tensor, k: usize, stride: usize, pad: usize) -> Tensor {
+    let (n, c, h, w) = (
+        input.shape().n(),
+        input.shape().c(),
+        input.shape().h(),
+        input.shape().w(),
+    );
+    let oh = conv_out_size(h, k, pad, stride);
+    let ow = conv_out_size(w, k, pad, stride);
+    let mut out = Tensor::zeros(Shape::nchw(n, c, oh, ow));
+    let inv = 1.0 / (k * k) as f32;
+    let mut oi = 0;
+    for b in 0..n {
+        for ch in 0..c {
+            let base = (b * c + ch) * h * w;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = 0.0;
+                    for ky in 0..k {
+                        let iy = (oy * stride + ky) as isize - pad as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for kx in 0..k {
+                            let ix = (ox * stride + kx) as isize - pad as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            acc += input.data()[base + iy as usize * w + ix as usize];
+                        }
+                    }
+                    out.data_mut()[oi] = acc * inv;
+                    oi += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Global average pooling: NCHW → `[n, c, 1, 1]`.
+pub fn global_avgpool(input: &Tensor) -> Tensor {
+    let (n, c, h, w) = (
+        input.shape().n(),
+        input.shape().c(),
+        input.shape().h(),
+        input.shape().w(),
+    );
+    let mut out = Tensor::zeros(Shape::nchw(n, c, 1, 1));
+    let inv = 1.0 / (h * w) as f32;
+    for b in 0..n {
+        for ch in 0..c {
+            let base = (b * c + ch) * h * w;
+            let s: f32 = input.data()[base..base + h * w].iter().sum();
+            out.data_mut()[b * c + ch] = s * inv;
+        }
+    }
+    out
+}
+
+/// Backward for [`global_avgpool`]: spreads each channel gradient uniformly.
+pub fn global_avgpool_backward(dy: &Tensor, in_h: usize, in_w: usize) -> Tensor {
+    let (n, c) = (dy.shape().n(), dy.shape().c());
+    let mut dx = Tensor::zeros(Shape::nchw(n, c, in_h, in_w));
+    let inv = 1.0 / (in_h * in_w) as f32;
+    for b in 0..n {
+        for ch in 0..c {
+            let g = dy.data()[b * c + ch] * inv;
+            let base = (b * c + ch) * in_h * in_w;
+            for v in &mut dx.data_mut()[base..base + in_h * in_w] {
+                *v = g;
+            }
+        }
+    }
+    dx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assert_close;
+
+    #[test]
+    fn maxpool_2x2() {
+        let x = Tensor::from_vec(
+            Shape::nchw(1, 1, 4, 4),
+            vec![
+                1.0, 2.0, 5.0, 6.0, //
+                3.0, 4.0, 7.0, 8.0, //
+                9.0, 10.0, 13.0, 14.0, //
+                11.0, 12.0, 15.0, 16.0,
+            ],
+        );
+        let (y, arg) = maxpool2d(&x, 2, 2, 0);
+        assert_eq!(y.data(), &[4.0, 8.0, 12.0, 16.0]);
+        assert_eq!(arg, vec![5, 7, 13, 15]);
+    }
+
+    #[test]
+    fn avgpool_uniform_input() {
+        let x = Tensor::full(Shape::nchw(1, 2, 4, 4), 2.0);
+        let y = avgpool2d(&x, 2, 2, 0);
+        assert_eq!(y.shape(), &Shape::nchw(1, 2, 2, 2));
+        assert!(y.data().iter().all(|&v| (v - 2.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn global_avgpool_means_channels() {
+        let mut x = Tensor::zeros(Shape::nchw(1, 2, 2, 2));
+        x.data_mut()[..4].copy_from_slice(&[1.0, 2.0, 3.0, 4.0]); // ch 0
+        x.data_mut()[4..].copy_from_slice(&[10.0, 10.0, 10.0, 10.0]); // ch 1
+        let y = global_avgpool(&x);
+        assert_close(y.data(), &[2.5, 10.0], 1e-6);
+    }
+
+    #[test]
+    fn global_avgpool_backward_spreads() {
+        let dy = Tensor::from_vec(Shape::nchw(1, 1, 1, 1), vec![8.0]);
+        let dx = global_avgpool_backward(&dy, 2, 2);
+        assert_close(dx.data(), &[2.0, 2.0, 2.0, 2.0], 1e-6);
+    }
+
+    #[test]
+    fn maxpool_with_padding() {
+        let x = Tensor::full(Shape::nchw(1, 1, 2, 2), -1.0);
+        // k=3 pad=1 stride=2 -> single output, max over padded window is -1
+        // (padding positions are skipped, not treated as 0).
+        let (y, _) = maxpool2d(&x, 3, 2, 1);
+        assert_eq!(y.numel(), 1);
+        assert_eq!(y.data()[0], -1.0);
+    }
+}

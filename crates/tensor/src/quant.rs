@@ -1,0 +1,191 @@
+//! Symmetric feature-map quantization with exact wire-size accounting.
+//!
+//! Murmuration's search space includes the bit-width used to transmit
+//! intermediate feature maps between devices (32 → 16 → 8 bits). Quantizing
+//! shrinks transfer volume proportionally at a small accuracy cost. This
+//! module implements the actual quantize/dequantize kernels so the executor
+//! can round-trip real activations, plus the byte accounting used by the
+//! latency estimator.
+
+use crate::tensor::Tensor;
+
+/// Wire bit-width for inter-device feature-map transfer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BitWidth {
+    /// Raw f32 — no quantization.
+    B32,
+    /// Symmetric 16-bit integer quantization.
+    B16,
+    /// Symmetric 8-bit integer quantization.
+    B8,
+}
+
+impl BitWidth {
+    /// Bits per element on the wire.
+    pub fn bits(self) -> usize {
+        match self {
+            BitWidth::B32 => 32,
+            BitWidth::B16 => 16,
+            BitWidth::B8 => 8,
+        }
+    }
+
+    /// Bytes needed to ship `numel` elements (plus the 4-byte scale for
+    /// quantized payloads).
+    pub fn wire_bytes(self, numel: usize) -> usize {
+        let payload = (numel * self.bits()).div_ceil(8);
+        match self {
+            BitWidth::B32 => payload,
+            _ => payload + 4, // scale factor travels with the tensor
+        }
+    }
+
+    /// The paper's quantization search space, widest first.
+    pub fn search_space() -> Vec<BitWidth> {
+        vec![BitWidth::B32, BitWidth::B16, BitWidth::B8]
+    }
+}
+
+/// A quantized feature map as it would travel on the wire.
+#[derive(Clone, Debug)]
+pub struct QuantizedTensor {
+    /// Integer codes, stored widened; the wire format packs them to
+    /// [`BitWidth::bits`] bits.
+    codes: Vec<i32>,
+    scale: f32,
+    bits: BitWidth,
+    shape: crate::shape::Shape,
+}
+
+impl QuantizedTensor {
+    /// Quantizes symmetrically: `code = round(x / scale)` with
+    /// `scale = max|x| / qmax`.
+    pub fn quantize(t: &Tensor, bits: BitWidth) -> Self {
+        assert_ne!(bits, BitWidth::B32, "use the raw path for 32-bit transfer");
+        let qmax = match bits {
+            BitWidth::B8 => 127.0f32,
+            BitWidth::B16 => 32767.0,
+            BitWidth::B32 => unreachable!(),
+        };
+        let absmax = t.data().iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        let scale = if absmax == 0.0 { 1.0 } else { absmax / qmax };
+        let inv = 1.0 / scale;
+        let codes = t
+            .data()
+            .iter()
+            .map(|&v| (v * inv).round().clamp(-qmax, qmax) as i32)
+            .collect();
+        QuantizedTensor { codes, scale, bits, shape: t.shape().clone() }
+    }
+
+    /// Reconstructs the f32 tensor.
+    pub fn dequantize(&self) -> Tensor {
+        let data = self.codes.iter().map(|&c| c as f32 * self.scale).collect();
+        Tensor::from_vec(self.shape.clone(), data)
+    }
+
+    /// Exact wire size in bytes.
+    pub fn wire_bytes(&self) -> usize {
+        self.bits.wire_bytes(self.codes.len())
+    }
+
+    /// The bit-width this tensor was quantized to.
+    pub fn bits(&self) -> BitWidth {
+        self.bits
+    }
+
+    /// Worst-case absolute reconstruction error (half a quantization step).
+    pub fn max_abs_error_bound(&self) -> f32 {
+        self.scale * 0.5
+    }
+}
+
+/// Quantize→dequantize round trip, as the receiving device would see the
+/// tensor. `B32` is the identity.
+pub fn simulate_wire_roundtrip(t: &Tensor, bits: BitWidth) -> Tensor {
+    match bits {
+        BitWidth::B32 => t.clone(),
+        _ => QuantizedTensor::quantize(t, bits).dequantize(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shape::Shape;
+    use proptest::prelude::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn wire_bytes_scale_with_bits() {
+        assert_eq!(BitWidth::B32.wire_bytes(100), 400);
+        assert_eq!(BitWidth::B16.wire_bytes(100), 204);
+        assert_eq!(BitWidth::B8.wire_bytes(100), 104);
+        // Odd element counts round up whole bytes.
+        assert_eq!(BitWidth::B8.wire_bytes(3), 7);
+    }
+
+    #[test]
+    fn roundtrip_error_within_bound() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = Tensor::rand_uniform(Shape::nchw(1, 4, 8, 8), 5.0, &mut rng);
+        for bits in [BitWidth::B8, BitWidth::B16] {
+            let q = QuantizedTensor::quantize(&t, bits);
+            let r = q.dequantize();
+            let bound = q.max_abs_error_bound() + 1e-6;
+            for (a, b) in t.data().iter().zip(r.data().iter()) {
+                assert!((a - b).abs() <= bound, "{a} vs {b}, bound {bound}");
+            }
+        }
+    }
+
+    #[test]
+    fn sixteen_bit_is_tighter_than_eight() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let t = Tensor::rand_uniform(Shape::d1(1000), 3.0, &mut rng);
+        let e8: f32 = {
+            let r = simulate_wire_roundtrip(&t, BitWidth::B8);
+            t.data().iter().zip(r.data().iter()).map(|(a, b)| (a - b).abs()).sum()
+        };
+        let e16: f32 = {
+            let r = simulate_wire_roundtrip(&t, BitWidth::B16);
+            t.data().iter().zip(r.data().iter()).map(|(a, b)| (a - b).abs()).sum()
+        };
+        assert!(e16 < e8 / 10.0, "16-bit ({e16}) must beat 8-bit ({e8})");
+    }
+
+    #[test]
+    fn zero_tensor_round_trips() {
+        let t = Tensor::zeros(Shape::d1(16));
+        let q = QuantizedTensor::quantize(&t, BitWidth::B8);
+        assert_eq!(q.dequantize().data(), t.data());
+    }
+
+    #[test]
+    fn b32_roundtrip_is_identity() {
+        let t = Tensor::from_vec(Shape::d1(3), vec![1.5, -2.25, 0.0]);
+        let r = simulate_wire_roundtrip(&t, BitWidth::B32);
+        assert_eq!(r.data(), t.data());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn prop_quant_error_bounded(vals in prop::collection::vec(-10.0f32..10.0, 1..200)) {
+            let n = vals.len();
+            let t = Tensor::from_vec(Shape::d1(n), vals);
+            let q = QuantizedTensor::quantize(&t, BitWidth::B8);
+            let r = q.dequantize();
+            let bound = q.max_abs_error_bound() + 1e-5;
+            for (a, b) in t.data().iter().zip(r.data().iter()) {
+                prop_assert!((a - b).abs() <= bound);
+            }
+        }
+
+        #[test]
+        fn prop_wire_bytes_monotone_in_bits(n in 1usize..10_000) {
+            prop_assert!(BitWidth::B8.wire_bytes(n) <= BitWidth::B16.wire_bytes(n));
+            prop_assert!(BitWidth::B16.wire_bytes(n) <= BitWidth::B32.wire_bytes(n) + 4);
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Shape algebra for NCHW tensors.
+
+use std::fmt;
+
+/// A tensor shape. Stored as up to 4 dimensions (N, C, H, W); lower-rank
+/// tensors use the trailing dimensions (a vector of length `n` is `[n]`,
+/// a matrix is `[rows, cols]`).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Shape(pub Vec<usize>);
+
+impl Shape {
+    /// 1-D shape.
+    pub fn d1(n: usize) -> Self {
+        Shape(vec![n])
+    }
+
+    /// 2-D shape (rows, cols).
+    pub fn d2(r: usize, c: usize) -> Self {
+        Shape(vec![r, c])
+    }
+
+    /// 4-D NCHW shape.
+    pub fn nchw(n: usize, c: usize, h: usize, w: usize) -> Self {
+        Shape(vec![n, c, h, w])
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Dimension `i`, panicking with a clear message when out of range.
+    pub fn dim(&self, i: usize) -> usize {
+        self.0[i]
+    }
+
+    /// Batch dimension for a 4-D shape.
+    pub fn n(&self) -> usize {
+        assert_eq!(self.rank(), 4, "n() requires a 4-D shape, got {self}");
+        self.0[0]
+    }
+
+    /// Channel dimension for a 4-D shape.
+    pub fn c(&self) -> usize {
+        assert_eq!(self.rank(), 4, "c() requires a 4-D shape, got {self}");
+        self.0[1]
+    }
+
+    /// Height dimension for a 4-D shape.
+    pub fn h(&self) -> usize {
+        assert_eq!(self.rank(), 4, "h() requires a 4-D shape, got {self}");
+        self.0[2]
+    }
+
+    /// Width dimension for a 4-D shape.
+    pub fn w(&self) -> usize {
+        assert_eq!(self.rank(), 4, "w() requires a 4-D shape, got {self}");
+        self.0[3]
+    }
+
+    /// Row-major strides for this shape.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut s = vec![1usize; self.rank()];
+        for i in (0..self.rank().saturating_sub(1)).rev() {
+            s[i] = s[i + 1] * self.0[i + 1];
+        }
+        s
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Shape{:?}", self.0)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.0)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(v: Vec<usize>) -> Self {
+        Shape(v)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(v: &[usize]) -> Self {
+        Shape(v.to_vec())
+    }
+}
+
+/// Output spatial size of a convolution/pooling window.
+///
+/// `size` is the input extent, `k` the kernel extent, `pad` the (symmetric)
+/// zero padding and `stride` the step.
+pub fn conv_out_size(size: usize, k: usize, pad: usize, stride: usize) -> usize {
+    assert!(stride > 0, "stride must be positive");
+    assert!(
+        size + 2 * pad >= k,
+        "window {k} larger than padded input {size}+2*{pad}"
+    );
+    (size + 2 * pad - k) / stride + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numel_and_dims() {
+        let s = Shape::nchw(2, 3, 8, 8);
+        assert_eq!(s.numel(), 2 * 3 * 8 * 8);
+        assert_eq!((s.n(), s.c(), s.h(), s.w()), (2, 3, 8, 8));
+        assert_eq!(s.rank(), 4);
+    }
+
+    #[test]
+    fn strides_row_major() {
+        let s = Shape::nchw(2, 3, 4, 5);
+        assert_eq!(s.strides(), vec![60, 20, 5, 1]);
+        let m = Shape::d2(3, 7);
+        assert_eq!(m.strides(), vec![7, 1]);
+    }
+
+    #[test]
+    fn conv_out_size_matches_known_cases() {
+        // 224x224, k=3, pad=1, stride=2 -> 112 (MobileNet stem).
+        assert_eq!(conv_out_size(224, 3, 1, 2), 112);
+        // Same-padding k=3 s=1 preserves size.
+        assert_eq!(conv_out_size(56, 3, 1, 1), 56);
+        // 7x7 s=2 pad=3 on 224 -> 112 (ResNet stem).
+        assert_eq!(conv_out_size(224, 7, 3, 2), 112);
+        // Valid 1x1.
+        assert_eq!(conv_out_size(14, 1, 0, 1), 14);
+    }
+
+    #[test]
+    #[should_panic]
+    fn conv_out_size_rejects_oversized_kernel() {
+        conv_out_size(2, 5, 0, 1);
+    }
+}

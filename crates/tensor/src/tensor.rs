@@ -1,0 +1,237 @@
+//! The owned, contiguous `f32` tensor type.
+
+use crate::shape::Shape;
+use rand::Rng;
+use std::fmt;
+
+/// An owned, contiguous, row-major `f32` tensor.
+///
+/// 4-D tensors are interpreted as NCHW. Lower ranks are used for weights
+/// (`[out, in]` matrices) and vectors (biases, logits).
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    data: Vec<f32>,
+    shape: Shape,
+}
+
+impl Tensor {
+    /// Zero-filled tensor.
+    pub fn zeros(shape: impl Into<Shape>) -> Self {
+        let shape = shape.into();
+        Tensor { data: vec![0.0; shape.numel()], shape }
+    }
+
+    /// Constant-filled tensor.
+    pub fn full(shape: impl Into<Shape>, v: f32) -> Self {
+        let shape = shape.into();
+        Tensor { data: vec![v; shape.numel()], shape }
+    }
+
+    /// Tensor from existing data; panics if the element count mismatches.
+    pub fn from_vec(shape: impl Into<Shape>, data: Vec<f32>) -> Self {
+        let shape = shape.into();
+        assert_eq!(
+            shape.numel(),
+            data.len(),
+            "shape {shape} wants {} elements, got {}",
+            shape.numel(),
+            data.len()
+        );
+        Tensor { data, shape }
+    }
+
+    /// Uniform random tensor in `[-limit, limit]`.
+    pub fn rand_uniform<R: Rng>(shape: impl Into<Shape>, limit: f32, rng: &mut R) -> Self {
+        let shape = shape.into();
+        let data = (0..shape.numel()).map(|_| rng.gen_range(-limit..=limit)).collect();
+        Tensor { data, shape }
+    }
+
+    /// Kaiming/He-style init for a conv/linear weight with `fan_in` inputs.
+    pub fn kaiming<R: Rng>(shape: impl Into<Shape>, fan_in: usize, rng: &mut R) -> Self {
+        let limit = (6.0 / fan_in.max(1) as f32).sqrt();
+        Self::rand_uniform(shape, limit, rng)
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Total element count.
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Read-only view of the underlying buffer.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying buffer.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Reinterprets the buffer under a new shape with the same element count.
+    pub fn reshape(mut self, shape: impl Into<Shape>) -> Self {
+        let shape = shape.into();
+        assert_eq!(
+            shape.numel(),
+            self.data.len(),
+            "reshape to {shape} changes element count"
+        );
+        self.shape = shape;
+        self
+    }
+
+    /// Element at NCHW coordinates (4-D tensors only).
+    #[inline]
+    pub fn at(&self, n: usize, c: usize, h: usize, w: usize) -> f32 {
+        let s = &self.shape.0;
+        debug_assert_eq!(s.len(), 4);
+        self.data[((n * s[1] + c) * s[2] + h) * s[3] + w]
+    }
+
+    /// Mutable element at NCHW coordinates (4-D tensors only).
+    #[inline]
+    pub fn at_mut(&mut self, n: usize, c: usize, h: usize, w: usize) -> &mut f32 {
+        let s = &self.shape.0;
+        debug_assert_eq!(s.len(), 4);
+        &mut self.data[((n * s[1] + c) * s[2] + h) * s[3] + w]
+    }
+
+    /// In-place element-wise addition.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "add_assign shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += b;
+        }
+    }
+
+    /// In-place scaling.
+    pub fn scale(&mut self, k: f32) {
+        for a in &mut self.data {
+            *a *= k;
+        }
+    }
+
+    /// In-place `self += k * other` (axpy).
+    pub fn axpy(&mut self, k: f32, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "axpy shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += k * b;
+        }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0 for empty tensors).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Index of the maximum element (first on ties); `None` when empty.
+    pub fn argmax(&self) -> Option<usize> {
+        let mut best: Option<(usize, f32)> = None;
+        for (i, &v) in self.data.iter().enumerate() {
+            match best {
+                Some((_, bv)) if v <= bv => {}
+                _ => best = Some((i, v)),
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+
+    /// L2 norm of the buffer.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// Wire size of the raw f32 representation in bytes.
+    pub fn byte_size_f32(&self) -> usize {
+        self.data.len() * 4
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor({}, {} elems)", self.shape, self.data.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn construction_and_indexing() {
+        let mut t = Tensor::zeros(Shape::nchw(1, 2, 3, 3));
+        *t.at_mut(0, 1, 2, 2) = 5.0;
+        assert_eq!(t.at(0, 1, 2, 2), 5.0);
+        assert_eq!(t.at(0, 0, 0, 0), 0.0);
+        assert_eq!(t.numel(), 18);
+    }
+
+    #[test]
+    fn from_vec_checks_len() {
+        let t = Tensor::from_vec(Shape::d2(2, 2), vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(t.sum(), 10.0);
+        assert_eq!(t.mean(), 2.5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_vec_rejects_bad_len() {
+        Tensor::from_vec(Shape::d2(2, 2), vec![1.0]);
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let mut a = Tensor::full(Shape::d1(3), 1.0);
+        let b = Tensor::from_vec(Shape::d1(3), vec![1.0, 2.0, 3.0]);
+        a.axpy(2.0, &b);
+        assert_eq!(a.data(), &[3.0, 5.0, 7.0]);
+        a.scale(0.5);
+        assert_eq!(a.data(), &[1.5, 2.5, 3.5]);
+    }
+
+    #[test]
+    fn argmax_ties_first() {
+        let t = Tensor::from_vec(Shape::d1(4), vec![1.0, 9.0, 9.0, 2.0]);
+        assert_eq!(t.argmax(), Some(1));
+        let e = Tensor::zeros(Shape::d1(0));
+        assert_eq!(e.argmax(), None);
+    }
+
+    #[test]
+    fn kaiming_stays_within_limit() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = Tensor::kaiming(Shape::d2(16, 9), 9, &mut rng);
+        let limit = (6.0f32 / 9.0).sqrt();
+        assert!(t.data().iter().all(|x| x.abs() <= limit + 1e-6));
+        // Not all-zero.
+        assert!(t.norm() > 0.0);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(Shape::d1(6), vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+        let m = t.reshape(Shape::d2(2, 3));
+        assert_eq!(m.shape().dim(0), 2);
+        assert_eq!(m.data()[4], 4.0);
+    }
+}

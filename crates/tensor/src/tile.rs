@@ -1,0 +1,242 @@
+//! FDSP spatial tiling (ADCNN, Zhang et al., ICPP '20).
+//!
+//! Fully Decomposable Spatial Partition splits a feature map into a
+//! `rows × cols` grid of tiles. Each tile is then convolved *independently*
+//! with ordinary zero padding at every tile edge — including interior edges,
+//! where real data from the neighbouring tile would be needed for an exact
+//! result. Trading those halo exchanges for zeros removes all cross-device
+//! communication inside a partitioned stage (latency win) at the cost of a
+//! small accuracy drop near the seams, which the paper recovers with
+//! progressive fine-tuning and we account for in the accuracy model.
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+/// A spatial partition grid. `1×1` means "no spatial partitioning".
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct GridSpec {
+    pub rows: usize,
+    pub cols: usize,
+}
+
+impl GridSpec {
+    /// Creates a grid, rejecting empty dimensions.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "grid dims must be positive");
+        GridSpec { rows, cols }
+    }
+
+    /// Number of tiles (= number of parallel workers usable by the stage).
+    pub fn tiles(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// True when the grid is the trivial 1×1 partition.
+    pub fn is_identity(&self) -> bool {
+        self.rows == 1 && self.cols == 1
+    }
+
+    /// The grids in the paper's search space: 1×1, 1×2, 2×1, 2×2.
+    pub fn search_space() -> Vec<GridSpec> {
+        vec![
+            GridSpec::new(1, 1),
+            GridSpec::new(1, 2),
+            GridSpec::new(2, 1),
+            GridSpec::new(2, 2),
+        ]
+    }
+}
+
+/// Bounds of one tile: `(y0, x0, height, width)`.
+pub type TileBounds = (usize, usize, usize, usize);
+
+/// Near-equal split of `len` into `parts` contiguous ranges; earlier parts
+/// take the remainder (e.g. 7 into 2 → 4 + 3).
+pub fn split_ranges(len: usize, parts: usize) -> Vec<(usize, usize)> {
+    assert!(parts > 0 && parts <= len, "cannot split {len} into {parts}");
+    let base = len / parts;
+    let rem = len % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let sz = base + usize::from(i < rem);
+        out.push((start, sz));
+        start += sz;
+    }
+    out
+}
+
+/// Tile bounds for an `h × w` plane under `grid`.
+pub fn tile_bounds(h: usize, w: usize, grid: GridSpec) -> Vec<TileBounds> {
+    let rs = split_ranges(h, grid.rows);
+    let cs = split_ranges(w, grid.cols);
+    let mut out = Vec::with_capacity(grid.tiles());
+    for &(y0, th) in &rs {
+        for &(x0, tw) in &cs {
+            out.push((y0, x0, th, tw));
+        }
+    }
+    out
+}
+
+/// Splits an NCHW tensor into FDSP tiles (row-major tile order).
+pub fn split_fdsp(input: &Tensor, grid: GridSpec) -> Vec<Tensor> {
+    let (h, w) = (input.shape().h(), input.shape().w());
+    tile_bounds(h, w, grid)
+        .into_iter()
+        .map(|(y0, x0, th, tw)| crate::pad::crop(input, y0, x0, th, tw))
+        .collect()
+}
+
+/// Reassembles FDSP tiles produced by [`split_fdsp`] (or per-tile outputs of
+/// the same grid shape) back into one tensor.
+///
+/// All tiles must agree on N and C; tile heights/widths may differ per
+/// row/column but must be consistent within each.
+pub fn merge_fdsp(tiles: &[Tensor], grid: GridSpec) -> Tensor {
+    assert_eq!(tiles.len(), grid.tiles(), "tile count mismatch");
+    let n = tiles[0].shape().n();
+    let c = tiles[0].shape().c();
+    // Row heights from the first tile of each row; column widths from the
+    // first row's tiles.
+    let row_h: Vec<usize> = (0..grid.rows).map(|r| tiles[r * grid.cols].shape().h()).collect();
+    let col_w: Vec<usize> = (0..grid.cols).map(|cix| tiles[cix].shape().w()).collect();
+    let h: usize = row_h.iter().sum();
+    let w: usize = col_w.iter().sum();
+    let mut out = Tensor::zeros(Shape::nchw(n, c, h, w));
+    let mut y0 = 0;
+    for r in 0..grid.rows {
+        let mut x0 = 0;
+        for cix in 0..grid.cols {
+            let t = &tiles[r * grid.cols + cix];
+            assert_eq!(t.shape().n(), n, "tile N mismatch");
+            assert_eq!(t.shape().c(), c, "tile C mismatch");
+            assert_eq!(t.shape().h(), row_h[r], "tile height inconsistent in row {r}");
+            assert_eq!(t.shape().w(), col_w[cix], "tile width inconsistent in col {cix}");
+            let (th, tw) = (t.shape().h(), t.shape().w());
+            for b in 0..n {
+                for chn in 0..c {
+                    let src = (b * c + chn) * th * tw;
+                    let dst = (b * c + chn) * h * w;
+                    for y in 0..th {
+                        let s = src + y * tw;
+                        let d = dst + (y0 + y) * w + x0;
+                        out.data_mut()[d..d + tw].copy_from_slice(&t.data()[s..s + tw]);
+                    }
+                }
+            }
+            x0 += tw;
+        }
+        y0 += row_h[r];
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conv::{conv2d, Conv2dParams};
+    use proptest::prelude::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn split_ranges_distributes_remainder() {
+        assert_eq!(split_ranges(7, 2), vec![(0, 4), (4, 3)]);
+        assert_eq!(split_ranges(9, 3), vec![(0, 3), (3, 3), (6, 3)]);
+        assert_eq!(split_ranges(5, 5), vec![(0, 1), (1, 1), (2, 1), (3, 1), (4, 1)]);
+    }
+
+    #[test]
+    fn split_merge_round_trip_2x2() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = Tensor::rand_uniform(Shape::nchw(2, 3, 7, 9), 1.0, &mut rng);
+        let grid = GridSpec::new(2, 2);
+        let tiles = split_fdsp(&x, grid);
+        assert_eq!(tiles.len(), 4);
+        assert_eq!(tiles[0].shape(), &Shape::nchw(2, 3, 4, 5));
+        assert_eq!(tiles[3].shape(), &Shape::nchw(2, 3, 3, 4));
+        let back = merge_fdsp(&tiles, grid);
+        assert_eq!(back.data(), x.data());
+    }
+
+    #[test]
+    fn identity_grid_is_noop() {
+        let x = Tensor::full(Shape::nchw(1, 1, 4, 4), 3.0);
+        let grid = GridSpec::new(1, 1);
+        let tiles = split_fdsp(&x, grid);
+        assert_eq!(tiles.len(), 1);
+        assert_eq!(tiles[0].data(), x.data());
+    }
+
+    #[test]
+    fn fdsp_conv_exact_away_from_seams() {
+        // Per-tile zero-padded conv equals the full conv except in the
+        // 1-pixel band along interior seams (k=3, pad=1).
+        let mut rng = StdRng::seed_from_u64(2);
+        let x = Tensor::rand_uniform(Shape::nchw(1, 2, 8, 8), 1.0, &mut rng);
+        let w = Tensor::rand_uniform(Shape::nchw(2, 2, 3, 3), 0.5, &mut rng);
+        let p = Conv2dParams::same(3);
+        let full = conv2d(&x, &w, None, p);
+
+        let grid = GridSpec::new(2, 2);
+        let tiles = split_fdsp(&x, grid);
+        let outs: Vec<Tensor> = tiles.iter().map(|t| conv2d(t, &w, None, p)).collect();
+        let merged = merge_fdsp(&outs, grid);
+        assert_eq!(merged.shape(), full.shape());
+        // Seams are at y=3/4 and x=3/4; everything else matches.
+        let mut mismatch_off_seam = 0;
+        for c in 0..2 {
+            for y in 0..8 {
+                for xx in 0..8 {
+                    let on_seam = (3..=4).contains(&y) || (3..=4).contains(&xx);
+                    let d = (merged.at(0, c, y, xx) - full.at(0, c, y, xx)).abs();
+                    if !on_seam && d > 1e-4 {
+                        mismatch_off_seam += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(mismatch_off_seam, 0, "FDSP must be exact away from seams");
+        // And the seam really does differ (otherwise the test is vacuous).
+        let seam_diff: f32 = (0..8)
+            .map(|xx| (merged.at(0, 0, 3, xx) - full.at(0, 0, 3, xx)).abs())
+            .sum();
+        assert!(seam_diff > 1e-4, "expected nonzero seam error, got {seam_diff}");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn prop_split_merge_round_trip(
+            h in 2usize..12, w in 2usize..12,
+            rows in 1usize..3, cols in 1usize..3,
+            seed in 0u64..500,
+        ) {
+            prop_assume!(rows <= h && cols <= w);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let x = Tensor::rand_uniform(Shape::nchw(1, 2, h, w), 1.0, &mut rng);
+            let grid = GridSpec::new(rows, cols);
+            let back = merge_fdsp(&split_fdsp(&x, grid), grid);
+            prop_assert_eq!(back.data(), x.data());
+        }
+
+        #[test]
+        fn prop_tile_bounds_cover_exactly(
+            h in 1usize..20, w in 1usize..20,
+            rows in 1usize..4, cols in 1usize..4,
+        ) {
+            prop_assume!(rows <= h && cols <= w);
+            let grid = GridSpec::new(rows, cols);
+            let bounds = tile_bounds(h, w, grid);
+            let mut covered = vec![0u8; h * w];
+            for (y0, x0, th, tw) in bounds {
+                for y in y0..y0 + th {
+                    for x in x0..x0 + tw {
+                        covered[y * w + x] += 1;
+                    }
+                }
+            }
+            prop_assert!(covered.iter().all(|&c| c == 1), "tiles must tile the plane");
+        }
+    }
+}

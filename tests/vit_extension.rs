@@ -1,0 +1,52 @@
+//! Extension (§4.1 of the paper): the partitioning machinery applied to a
+//! Vision Transformer. ViT-B/16's token-parallel layers flow through the
+//! same Neurosurgeon/ADCNN planners as the CNNs.
+
+use murmuration::edgesim::device::{augmented_computing_devices, device_swarm_devices};
+use murmuration::models::vit_b16;
+use murmuration::partition::{adcnn, neurosurgeon, single};
+use murmuration::prelude::*;
+
+#[test]
+fn neurosurgeon_offloads_vit_on_fast_links() {
+    let devices = augmented_computing_devices();
+    let net = NetworkState::uniform(1, LinkState { bandwidth_mbps: 500.0, delay_ms: 5.0 });
+    let m = vit_b16(224);
+    let p = neurosurgeon::plan(&m, &devices, &net);
+    assert!(!p.all_local, "ViT on a Pi is ~30 s; offload must win");
+    let local = single::single_device_latency_ms(&m, &devices[0], &net);
+    assert!(p.latency_ms < local / 10.0, "{} vs {local}", p.latency_ms);
+}
+
+#[test]
+fn vit_token_parallelism_speeds_up_the_swarm() {
+    // The attention sync points are ~5 % of MACs, so FDSP-style token
+    // partitioning should still give a solid speedup on a fast LAN.
+    let devices = device_swarm_devices(5);
+    let net = NetworkState::uniform(4, LinkState { bandwidth_mbps: 1000.0, delay_ms: 2.0 });
+    let m = vit_b16(160);
+    let solo = adcnn::latency_with_workers(&m, &devices, &net, 1);
+    let plan = adcnn::plan(&m, &devices, &net);
+    assert!(plan.n_workers >= 3, "workers {}", plan.n_workers);
+    assert!(
+        plan.latency_ms < solo * 0.65,
+        "token-parallel ViT: {} vs solo {solo}",
+        plan.latency_ms
+    );
+}
+
+#[test]
+fn vit_crossover_sits_far_below_cnn_crossover() {
+    // ViT-B/16 is ~80× more compute than MobileNetV3 on a Pi, so the
+    // bandwidth below which distribution stops paying off is far lower for
+    // ViT: at 2 Mbps MobileNetV3 collapses to local execution while ViT
+    // still distributes; at 0.05 Mbps even ViT collapses.
+    let devices = device_swarm_devices(5);
+    let slow = NetworkState::uniform(4, LinkState { bandwidth_mbps: 2.0, delay_ms: 80.0 });
+    let mobilenet = murmuration::models::mobilenet_v3_large(224);
+    assert_eq!(adcnn::plan(&mobilenet, &devices, &slow).n_workers, 1);
+    let vit = vit_b16(224);
+    assert!(adcnn::plan(&vit, &devices, &slow).n_workers > 1, "ViT compute dominates at 2 Mbps");
+    let dead = NetworkState::uniform(4, LinkState { bandwidth_mbps: 0.05, delay_ms: 500.0 });
+    assert_eq!(adcnn::plan(&vit, &devices, &dead).n_workers, 1, "even ViT collapses eventually");
+}
