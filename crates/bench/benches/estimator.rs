@@ -28,9 +28,7 @@ fn bench_estimation(c: &mut Criterion) {
     g.bench_function("neurosurgeon_plan_resnet50", |b| {
         b.iter(|| neurosurgeon::plan(&model, &aug, &net1))
     });
-    g.bench_function("adcnn_plan_resnet50_5pi", |b| {
-        b.iter(|| adcnn::plan(&model, &devices, &net))
-    });
+    g.bench_function("adcnn_plan_resnet50_5pi", |b| b.iter(|| adcnn::plan(&model, &devices, &net)));
     g.finish();
 }
 

@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use murmuration_tensor::conv::{conv2d, depthwise_conv2d, Conv2dParams};
-use murmuration_tensor::gemm::gemm;
+use murmuration_tensor::gemm::{gemm, gemm_bt};
 use murmuration_tensor::quant::{BitWidth, QuantizedTensor};
 use murmuration_tensor::tile::{merge_fdsp, split_fdsp, GridSpec};
 use murmuration_tensor::{Shape, Tensor};
@@ -14,7 +14,7 @@ use rand::SeedableRng;
 fn bench_gemm(c: &mut Criterion) {
     let mut g = c.benchmark_group("gemm");
     let mut rng = StdRng::seed_from_u64(0);
-    for &n in &[64usize, 128, 256] {
+    for &n in &[64usize, 128, 256, 384] {
         let a = Tensor::rand_uniform(Shape::d2(n, n), 1.0, &mut rng);
         let b = Tensor::rand_uniform(Shape::d2(n, n), 1.0, &mut rng);
         let mut out = vec![0.0f32; n * n];
@@ -23,6 +23,15 @@ fn bench_gemm(c: &mut Criterion) {
             bench.iter(|| gemm(n, n, n, a.data(), b.data(), &mut out));
         });
     }
+    // Packed transposed-operand path (conv-backward weight gradient shape).
+    let (m, k, n) = (32usize, 784usize, 288usize);
+    let a = Tensor::rand_uniform(Shape::d2(m, k), 1.0, &mut rng);
+    let bt = Tensor::rand_uniform(Shape::d2(n, k), 1.0, &mut rng);
+    let mut out = vec![0.0f32; m * n];
+    g.throughput(Throughput::Elements((m * k * n) as u64));
+    g.bench_function("bt_32x784x288", |bench| {
+        bench.iter(|| gemm_bt(m, k, n, a.data(), bt.data(), &mut out));
+    });
     g.finish();
 }
 
@@ -37,6 +46,16 @@ fn bench_conv(c: &mut Criterion) {
     let dw = Tensor::rand_uniform(Shape::nchw(32, 1, 5, 5), 0.2, &mut rng);
     let p5 = Conv2dParams::same(5);
     g.bench_function("depthwise_32x28x28_k5", |b| b.iter(|| depthwise_conv2d(&x, &dw, None, p5)));
+    // Batched path: exercises the per-image parallel fan-out + scratch pool.
+    let xb = Tensor::rand_uniform(Shape::nchw(4, 32, 28, 28), 1.0, &mut rng);
+    g.bench_function("dense_batch4_32x28x28_k3", |b| b.iter(|| conv2d(&xb, &w, None, p)));
+    // Border-heavy: stride 2, pad 2 on a small plane makes the checked
+    // border a large fraction of the output.
+    let xs = Tensor::rand_uniform(Shape::nchw(1, 32, 14, 14), 1.0, &mut rng);
+    let ps2 = Conv2dParams { kernel: 5, stride: 2, pad: 2 };
+    g.bench_function("depthwise_border_32x14x14_k5_s2", |b| {
+        b.iter(|| depthwise_conv2d(&xs, &dw, None, ps2))
+    });
     g.finish();
 }
 

@@ -24,14 +24,12 @@ fn main() {
         ("no_prune", Box::new(|c| SupremeConfig { prune_every: 0, ..c })),
         ("no_mutation", Box::new(|c| SupremeConfig { mutations_per_step: 0, ..c })),
         ("no_curriculum", Box::new(|c| SupremeConfig { curriculum: false, ..c })),
-        (
-            "no_exploration",
-            Box::new(|c| SupremeConfig { eps_start: 0.0, eps_end: 0.0, ..c }),
-        ),
+        ("no_exploration", Box::new(|c| SupremeConfig { eps_start: 0.0, eps_end: 0.0, ..c })),
     ];
     for (name, make) in &variants {
         for seed in 0..seeds {
-            let cfg = make(SupremeConfig { steps, eval_every: steps + 1, seed, ..Default::default() });
+            let cfg =
+                make(SupremeConfig { steps, eval_every: steps + 1, seed, ..Default::default() });
             let (policy, _) = train(&scenario, &cfg);
             let r = evaluate_policy(&policy, &scenario, &conds);
             out.row(&format!("{name},{seed},{:.4},{:.2}", r.avg_reward, r.compliance_pct));

@@ -1,0 +1,149 @@
+//! Kernel timing summary for the perf trajectory across PRs.
+//!
+//! Times the tensor-substrate hot kernels with plain wall-clock loops (no
+//! Criterion dependency, so it runs as a release bin) and writes a JSON
+//! summary to `results/BENCH_kernels.json` plus a table to stdout:
+//!
+//! ```text
+//! cargo run -p murmuration-bench --release --bin bench_kernels
+//! ```
+//!
+//! Iteration counts adapt to a per-benchmark time budget
+//! (`MURMURATION_BENCH_MS`, default 300 ms after 3 warmup iterations), so
+//! slow seed kernels and fast optimized kernels both get stable numbers.
+
+use murmuration_tensor::conv::{conv2d, depthwise_conv2d, Conv2dParams};
+use murmuration_tensor::gemm::{gemm, gemm_bt};
+use murmuration_tensor::quant::{BitWidth, QuantizedTensor};
+use murmuration_tensor::tile::{merge_fdsp, split_fdsp, GridSpec};
+use murmuration_tensor::{Shape, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::io::Write;
+use std::time::Instant;
+
+/// One benchmark's timing summary (microseconds).
+struct Entry {
+    name: &'static str,
+    mean_us: f64,
+    min_us: f64,
+    iters: usize,
+}
+
+/// Times `f` adaptively: warm up, estimate cost, then run enough iterations
+/// to fill the time budget (at least 10).
+fn time_it<R>(name: &'static str, budget_ms: u64, mut f: impl FnMut() -> R) -> Entry {
+    for _ in 0..3 {
+        black_box(f());
+    }
+    let probe = Instant::now();
+    black_box(f());
+    let once = probe.elapsed().as_secs_f64().max(1e-9);
+    let iters = ((budget_ms as f64 / 1e3 / once) as usize).clamp(10, 100_000);
+    let mut min = f64::MAX;
+    let total_t = Instant::now();
+    for _ in 0..iters {
+        let t = Instant::now();
+        black_box(f());
+        min = min.min(t.elapsed().as_secs_f64());
+    }
+    let mean = total_t.elapsed().as_secs_f64() / iters as f64;
+    Entry { name, mean_us: mean * 1e6, min_us: min * 1e6, iters }
+}
+
+fn main() {
+    let budget_ms: u64 =
+        std::env::var("MURMURATION_BENCH_MS").ok().and_then(|v| v.parse().ok()).unwrap_or(300);
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut entries: Vec<Entry> = Vec::new();
+
+    // GEMM square sizes (criterion group `gemm`).
+    for &n in &[64usize, 128, 256] {
+        let a = Tensor::rand_uniform(Shape::d2(n, n), 1.0, &mut rng);
+        let b = Tensor::rand_uniform(Shape::d2(n, n), 1.0, &mut rng);
+        let mut out = vec![0.0f32; n * n];
+        let name: &'static str = match n {
+            64 => "gemm/64",
+            128 => "gemm/128",
+            _ => "gemm/256",
+        };
+        entries.push(time_it(name, budget_ms, || gemm(n, n, n, a.data(), b.data(), &mut out)));
+    }
+
+    // Transposed-operand GEMM (conv-backward weight-gradient shape).
+    {
+        let (m, k, n) = (32usize, 784usize, 288usize);
+        let a = Tensor::rand_uniform(Shape::d2(m, k), 1.0, &mut rng);
+        let bt = Tensor::rand_uniform(Shape::d2(n, k), 1.0, &mut rng);
+        let mut out = vec![0.0f32; m * n];
+        entries.push(time_it("gemm/bt_32x784x288", budget_ms, || {
+            gemm_bt(m, k, n, a.data(), bt.data(), &mut out)
+        }));
+    }
+
+    // Convolutions (criterion group `conv2d`).
+    {
+        let x = Tensor::rand_uniform(Shape::nchw(1, 32, 28, 28), 1.0, &mut rng);
+        let w = Tensor::rand_uniform(Shape::nchw(32, 32, 3, 3), 0.2, &mut rng);
+        let p = Conv2dParams::same(3);
+        entries.push(time_it("conv2d/dense_32x28x28_k3", budget_ms, || conv2d(&x, &w, None, p)));
+        let xb = Tensor::rand_uniform(Shape::nchw(4, 32, 28, 28), 1.0, &mut rng);
+        entries.push(time_it("conv2d/dense_batch4_32x28x28_k3", budget_ms, || {
+            conv2d(&xb, &w, None, p)
+        }));
+        let dw = Tensor::rand_uniform(Shape::nchw(32, 1, 5, 5), 0.2, &mut rng);
+        let p5 = Conv2dParams::same(5);
+        entries.push(time_it("conv2d/depthwise_32x28x28_k5", budget_ms, || {
+            depthwise_conv2d(&x, &dw, None, p5)
+        }));
+        let xs = Tensor::rand_uniform(Shape::nchw(1, 32, 14, 14), 1.0, &mut rng);
+        let ps2 = Conv2dParams { kernel: 5, stride: 2, pad: 2 };
+        entries.push(time_it("conv2d/depthwise_border_32x14x14_k5_s2", budget_ms, || {
+            depthwise_conv2d(&xs, &dw, None, ps2)
+        }));
+    }
+
+    // FDSP tiling (criterion group `fdsp_tiling`).
+    {
+        let x = Tensor::rand_uniform(Shape::nchw(1, 64, 56, 56), 1.0, &mut rng);
+        let grid = GridSpec::new(2, 2);
+        entries.push(time_it("fdsp/split_2x2_64x56x56", budget_ms, || split_fdsp(&x, grid)));
+        let tiles = split_fdsp(&x, grid);
+        entries.push(time_it("fdsp/merge_2x2_64x56x56", budget_ms, || merge_fdsp(&tiles, grid)));
+    }
+
+    // Quantization (criterion group `quantization`).
+    {
+        let x = Tensor::rand_uniform(Shape::nchw(1, 64, 28, 28), 3.0, &mut rng);
+        entries.push(time_it("quant/quantize_b8_64x28x28", budget_ms, || {
+            QuantizedTensor::quantize(&x, BitWidth::B8)
+        }));
+        let q = QuantizedTensor::quantize(&x, BitWidth::B8);
+        entries.push(time_it("quant/dequantize_b8_64x28x28", budget_ms, || q.dequantize()));
+    }
+
+    println!("{:<42} {:>12} {:>12} {:>8}", "kernel", "mean_us", "min_us", "iters");
+    for e in &entries {
+        println!("{:<42} {:>12.2} {:>12.2} {:>8}", e.name, e.mean_us, e.min_us, e.iters);
+    }
+
+    let mut json = String::from("{\n  \"benchmarks\": {\n");
+    for (i, e) in entries.iter().enumerate() {
+        let sep = if i + 1 == entries.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    \"{}\": {{\"mean_us\": {:.3}, \"min_us\": {:.3}, \"iters\": {}}}{}\n",
+            e.name, e.mean_us, e.min_us, e.iters, sep
+        ));
+    }
+    json.push_str("  }\n}\n");
+    let dir = std::path::PathBuf::from("results");
+    let _ = std::fs::create_dir_all(&dir);
+    match std::fs::File::create(dir.join("BENCH_kernels.json")) {
+        Ok(mut f) => {
+            let _ = f.write_all(json.as_bytes());
+            eprintln!("wrote results/BENCH_kernels.json");
+        }
+        Err(e) => eprintln!("could not write results/BENCH_kernels.json: {e}"),
+    }
+}

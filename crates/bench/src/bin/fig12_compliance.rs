@@ -47,14 +47,24 @@ fn main() {
                     "GCSL" => {
                         gcsl::train(
                             &scenario,
-                            &gcsl::GcslConfig { steps: s, eval_every: s + 1, seed, ..Default::default() },
+                            &gcsl::GcslConfig {
+                                steps: s,
+                                eval_every: s + 1,
+                                seed,
+                                ..Default::default()
+                            },
                         )
                         .0
                     }
                     _ => {
                         ppo::train(
                             &scenario,
-                            &ppo::PpoConfig { steps: s, eval_every: s + 1, seed, ..Default::default() },
+                            &ppo::PpoConfig {
+                                steps: s,
+                                eval_every: s + 1,
+                                seed,
+                                ..Default::default()
+                            },
                         )
                         .0
                     }

@@ -7,7 +7,10 @@
 //!
 //! Run: `cargo run -p murmuration-bench --release --bin fig13_augmented`
 
-use murmuration_bench::{fig13_baselines, murmuration_outcome, murmuration_policy_only_outcome, steps_budget, train_policy, uniform_net, CsvOut};
+use murmuration_bench::{
+    fig13_baselines, murmuration_outcome, murmuration_policy_only_outcome, steps_budget,
+    train_policy, uniform_net, CsvOut,
+};
 use murmuration_edgesim::device::augmented_computing_devices;
 use murmuration_rl::{Condition, Scenario, SloKind};
 

@@ -4,7 +4,9 @@
 //!
 //! Run: `cargo run -p murmuration-bench --release --bin fig14_swarm`
 
-use murmuration_bench::{fig14_baselines, murmuration_outcome, steps_budget, train_policy, uniform_net, CsvOut};
+use murmuration_bench::{
+    fig14_baselines, murmuration_outcome, steps_budget, train_policy, uniform_net, CsvOut,
+};
 use murmuration_edgesim::device::device_swarm_devices;
 use murmuration_rl::{Condition, Scenario, SloKind};
 
@@ -17,9 +19,8 @@ fn main() {
     let mut out = CsvOut::new("fig14_swarm");
     out.row("latency_slo_ms,bandwidth_mbps,method,latency_ms,accuracy_pct,slo_met");
     // Log-spaced bandwidths 5..500 Mbps (9 points, as in Fig. 16(b)).
-    let bandwidths: Vec<f64> = (0..9)
-        .map(|i| (5.0f64.ln() + (500.0f64 / 5.0).ln() * i as f64 / 8.0).exp())
-        .collect();
+    let bandwidths: Vec<f64> =
+        (0..9).map(|i| (5.0f64.ln() + (500.0f64 / 5.0).ln() * i as f64 / 8.0).exp()).collect();
     let slos = [2000.0, 1000.0, 600.0, 500.0, 400.0];
     const DELAY: f64 = 20.0;
     for &slo in &slos {

@@ -6,7 +6,9 @@
 //!
 //! Run: `cargo run -p murmuration-bench --release --bin fig15_accuracy_slo`
 
-use murmuration_bench::{murmuration_outcome, steps_budget, train_policy, uniform_net, CsvOut, BaselineMethod};
+use murmuration_bench::{
+    murmuration_outcome, steps_budget, train_policy, uniform_net, BaselineMethod, CsvOut,
+};
 use murmuration_edgesim::device::augmented_computing_devices;
 use murmuration_models::zoo::BaselineModel;
 use murmuration_rl::{Condition, Scenario, SloKind};
@@ -20,10 +22,8 @@ fn main() {
     let policy = train_policy(&scenario, steps_budget(), 0);
 
     // Fig. 15 baselines: Neurosurgeon with every zoo model.
-    let baselines: Vec<BaselineMethod> = BaselineModel::all()
-        .into_iter()
-        .map(BaselineMethod::Neurosurgeon)
-        .collect();
+    let baselines: Vec<BaselineMethod> =
+        BaselineModel::all().into_iter().map(BaselineMethod::Neurosurgeon).collect();
 
     let mut out = CsvOut::new("fig15_accuracy_slo");
     out.row("bandwidth_mbps,accuracy_slo_pct,method,latency_ms,accuracy_pct,slo_met");

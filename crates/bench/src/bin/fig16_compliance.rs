@@ -10,7 +10,9 @@
 //!
 //! Run: `cargo run -p murmuration-bench --release --bin fig16_compliance`
 
-use murmuration_bench::{murmuration_outcome, steps_budget, train_policy, uniform_net, BaselineMethod, CsvOut};
+use murmuration_bench::{
+    murmuration_outcome, steps_budget, train_policy, uniform_net, BaselineMethod, CsvOut,
+};
 use murmuration_edgesim::device::{augmented_computing_devices, device_swarm_devices};
 use murmuration_models::zoo::BaselineModel;
 use murmuration_partition::compliance::{compliance_rate_pct, JointSlo};
@@ -34,19 +36,20 @@ fn main() {
     for &lat_slo in &[100.0, 120.0, 140.0] {
         let joint = JointSlo { latency_ms: lat_slo, accuracy_pct: 75.0 };
         for m in &baselines_a {
-            let rate = compliance_rate_pct(delays.iter().flat_map(|&d| {
-                bandwidths.iter().map(move |&b| (d, b))
-            }).map(|(d, b)| {
-                joint.met(&m.outcome(&devices, &uniform_net(1, b, d)))
-            }));
+            let rate = compliance_rate_pct(
+                delays
+                    .iter()
+                    .flat_map(|&d| bandwidths.iter().map(move |&b| (d, b)))
+                    .map(|(d, b)| joint.met(&m.outcome(&devices, &uniform_net(1, b, d)))),
+            );
             out.row(&format!("augmented,{lat_slo},{},{rate:.1}", m.label()));
         }
-        let rate = compliance_rate_pct(delays.iter().flat_map(|&d| {
-            bandwidths.iter().map(move |&b| (d, b))
-        }).map(|(d, b)| {
-            let cond = Condition { slo: lat_slo, bw_mbps: vec![b], delay_ms: vec![d] };
-            joint.met(&murmuration_outcome(&policy, &scenario, &cond))
-        }));
+        let rate = compliance_rate_pct(
+            delays.iter().flat_map(|&d| bandwidths.iter().map(move |&b| (d, b))).map(|(d, b)| {
+                let cond = Condition { slo: lat_slo, bw_mbps: vec![b], delay_ms: vec![d] };
+                joint.met(&murmuration_outcome(&policy, &scenario, &cond))
+            }),
+        );
         out.row(&format!("augmented,{lat_slo},Murmuration,{rate:.1}"));
     }
 
@@ -55,9 +58,8 @@ fn main() {
     let scenario = Scenario::device_swarm(5, SloKind::Latency);
     eprintln!("training swarm policy ({} episodes)…", steps_budget());
     let policy = train_policy(&scenario, steps_budget(), 0);
-    let bandwidths: Vec<f64> = (0..9)
-        .map(|i| (5.0f64.ln() + (500.0f64 / 5.0).ln() * i as f64 / 8.0).exp())
-        .collect();
+    let bandwidths: Vec<f64> =
+        (0..9).map(|i| (5.0f64.ln() + (500.0f64 / 5.0).ln() * i as f64 / 8.0).exp()).collect();
     const DELAY: f64 = 20.0;
     let baselines_b = [
         BaselineMethod::Adcnn(BaselineModel::MobileNetV3Large),
@@ -67,7 +69,9 @@ fn main() {
         let joint = JointSlo { latency_ms: lat_slo, accuracy_pct: 74.0 };
         for m in &baselines_b {
             let rate = compliance_rate_pct(
-                bandwidths.iter().map(|&b| joint.met(&m.outcome(&devices, &uniform_net(4, b, DELAY)))),
+                bandwidths
+                    .iter()
+                    .map(|&b| joint.met(&m.outcome(&devices, &uniform_net(4, b, DELAY)))),
             );
             out.row(&format!("swarm,{lat_slo},{},{rate:.1}", m.label()));
         }

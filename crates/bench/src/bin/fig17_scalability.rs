@@ -58,13 +58,14 @@ fn aligned_plan(spec: &SubnetSpec, n_devices: usize) -> ExecutionPlan {
 
 /// Network view matching `n` devices (n == 1 still needs one remote link
 /// for the estimator's invariants; the plan never touches it).
-fn est_net_for(n: usize, full: &murmuration_edgesim::NetworkState) -> murmuration_edgesim::NetworkState {
+fn est_net_for(
+    n: usize,
+    full: &murmuration_edgesim::NetworkState,
+) -> murmuration_edgesim::NetworkState {
     let links = (0..n.saturating_sub(1).max(1))
-        .map(|i| {
-            murmuration_edgesim::LinkState {
-                bandwidth_mbps: full.bandwidths().get(i).copied().unwrap_or(1000.0),
-                delay_ms: full.delays().get(i).copied().unwrap_or(2.0),
-            }
+        .map(|i| murmuration_edgesim::LinkState {
+            bandwidth_mbps: full.bandwidths().get(i).copied().unwrap_or(1000.0),
+            delay_ms: full.delays().get(i).copied().unwrap_or(2.0),
         })
         .collect();
     murmuration_edgesim::NetworkState::from_links(links)
@@ -84,16 +85,16 @@ fn main() {
             // For n == 1 there are no remote links; use a 1-remote net that
             // the plan never touches.
             let est_net = if n == 1 { uniform_net(1, 1000.0, 2.0) } else { net };
-            let est_devices = if n == 1 {
-                device_swarm_devices(2)
-            } else {
-                devices
-            };
+            let est_devices = if n == 1 { device_swarm_devices(2) } else { devices };
             let est = LatencyEstimator::new(&est_devices, &est_net);
             // Structured sweep: aligned uniform-grid strategies.
             let mut best = f64::INFINITY;
             let grids: &[GridSpec] = if n >= 4 {
-                &[GridSpec { rows: 1, cols: 1 }, GridSpec { rows: 1, cols: 2 }, GridSpec { rows: 2, cols: 2 }]
+                &[
+                    GridSpec { rows: 1, cols: 1 },
+                    GridSpec { rows: 1, cols: 2 },
+                    GridSpec { rows: 2, cols: 2 },
+                ]
             } else if n >= 2 {
                 &[GridSpec { rows: 1, cols: 1 }, GridSpec { rows: 1, cols: 2 }]
             } else {
@@ -110,8 +111,12 @@ fn main() {
                     if plan.validate(&spec, n).is_ok() {
                         best = best.min(est.estimate(&spec, &plan).total_ms);
                     }
-                    let (_, beam_ms) =
-                        murmuration_partition::beam::plan_beam(&spec, &est_devices[..n.max(1)], &est_net_for(n, &est_net), 6);
+                    let (_, beam_ms) = murmuration_partition::beam::plan_beam(
+                        &spec,
+                        &est_devices[..n.max(1)],
+                        &est_net_for(n, &est_net),
+                        6,
+                    );
                     best = best.min(beam_ms);
                 }
             }

@@ -92,9 +92,7 @@ fn main() {
         let settings: Vec<(f64, f64)> = [5.0, 25.0, 50.0, 75.0, 100.0]
             .iter()
             .flat_map(|&d| {
-                [50.0, 100.0, 150.0, 200.0, 250.0, 300.0, 350.0, 400.0]
-                    .iter()
-                    .map(move |&b| (d, b))
+                [50.0, 100.0, 150.0, 200.0, 250.0, 300.0, 350.0, 400.0].iter().map(move |&b| (d, b))
             })
             .collect();
         let ours = 100.0

@@ -62,11 +62,7 @@ impl CsvOut {
 /// a cached policy from `results/policies/` when one exists for the same
 /// (scenario shape, steps, seed) — Stage 2 runs once, not per figure.
 pub fn train_policy(sc: &Scenario, steps: usize, seed: u64) -> LstmPolicy {
-    let tag = format!(
-        "{}dev_{:?}_{steps}steps_seed{seed}",
-        sc.devices.len(),
-        sc.slo_kind
-    );
+    let tag = format!("{}dev_{:?}_{steps}steps_seed{seed}", sc.devices.len(), sc.slo_kind);
     let dir = PathBuf::from("results/policies");
     let path = dir.join(format!("{tag}.bin"));
     if let Ok(policy) = murmuration_rl::serialize::load_policy(&path) {
@@ -75,10 +71,8 @@ pub fn train_policy(sc: &Scenario, steps: usize, seed: u64) -> LstmPolicy {
             return policy;
         }
     }
-    let (mut policy, _) = supreme::train(
-        sc,
-        &SupremeConfig { steps, eval_every: steps, seed, ..Default::default() },
-    );
+    let (mut policy, _) =
+        supreme::train(sc, &SupremeConfig { steps, eval_every: steps, seed, ..Default::default() });
     if std::fs::create_dir_all(&dir).is_ok() {
         let _ = murmuration_rl::serialize::save_policy(&mut policy, &path);
     }
@@ -95,7 +89,11 @@ pub fn murmuration_outcome(policy: &LstmPolicy, sc: &Scenario, cond: &Condition)
 
 /// The raw greedy-policy outcome (no guard) — used to quantify what the
 /// guard contributes.
-pub fn murmuration_policy_only_outcome(policy: &LstmPolicy, sc: &Scenario, cond: &Condition) -> Outcome {
+pub fn murmuration_policy_only_outcome(
+    policy: &LstmPolicy,
+    sc: &Scenario,
+    cond: &Condition,
+) -> Outcome {
     let mut rng = StdRng::seed_from_u64(0);
     let (actions, _, _) = rollout(policy, sc, cond, RolloutMode::Greedy, &mut rng);
     let r = sc.evaluate(cond, &actions);

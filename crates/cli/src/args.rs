@@ -36,9 +36,7 @@ impl Args {
             let key = k
                 .strip_prefix("--")
                 .ok_or_else(|| ArgError(format!("expected --flag, got `{k}`")))?;
-            let v = it
-                .next()
-                .ok_or_else(|| ArgError(format!("flag --{key} needs a value")))?;
+            let v = it.next().ok_or_else(|| ArgError(format!("flag --{key} needs a value")))?;
             if flags.insert(key.to_string(), v.clone()).is_some() {
                 return Err(ArgError(format!("duplicate flag --{key}")));
             }
@@ -60,12 +58,14 @@ impl Args {
     }
 
     /// Typed flag with a default.
-    pub fn get_parsed_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
+    pub fn get_parsed_or<T: std::str::FromStr>(
+        &self,
+        key: &str,
+        default: T,
+    ) -> Result<T, ArgError> {
         match self.flags.get(key) {
             None => Ok(default),
-            Some(v) => v
-                .parse()
-                .map_err(|_| ArgError(format!("--{key}: cannot parse `{v}`"))),
+            Some(v) => v.parse().map_err(|_| ArgError(format!("--{key}: cannot parse `{v}`"))),
         }
     }
 

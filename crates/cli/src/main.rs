@@ -143,9 +143,7 @@ fn cmd_decide(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let sc = scenario_from(args)?;
     let policy = serialize::load_policy(args.require("policy")?)?;
     if policy.input_dim != sc.input_dim() {
-        return Err(Box::new(ArgError(
-            "policy was trained for a different scenario shape".into(),
-        )));
+        return Err(Box::new(ArgError("policy was trained for a different scenario shape".into())));
     }
     let cond = condition_from(args, &sc)?;
     let result = murmuration_rl::env::decide_guarded(&policy, &sc, &cond);
@@ -181,7 +179,10 @@ fn cmd_decide(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         let (_, trace) = est.estimate_with_trace(&spec, &plan);
         println!("{:<10} {:>12} {:>10} | devices", "unit", "input@ms", "done@ms");
         for t in trace {
-            println!("{:<10} {:>12.1} {:>10.1} | {:?}", t.unit, t.input_ready_ms, t.done_ms, t.devices);
+            println!(
+                "{:<10} {:>12.1} {:>10.1} | {:?}",
+                t.unit, t.input_ready_ms, t.done_ms, t.devices
+            );
         }
     }
     Ok(())
@@ -213,7 +214,9 @@ fn cmd_estimate(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
-fn parse_config(args: &Args) -> Result<murmuration_supernet::SubnetConfig, Box<dyn std::error::Error>> {
+fn parse_config(
+    args: &Args,
+) -> Result<murmuration_supernet::SubnetConfig, Box<dyn std::error::Error>> {
     let space = SearchSpace::default();
     Ok(match args.get_or("config", "max") {
         "min" => space.min_config(),
@@ -256,10 +259,7 @@ fn cmd_plan(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
 }
 
 fn cmd_models() -> Result<(), Box<dyn std::error::Error>> {
-    println!(
-        "{:<24} {:>10} {:>10} {:>8} {:>8}",
-        "model", "GMACs", "params M", "top-1 %", "layers"
-    );
+    println!("{:<24} {:>10} {:>10} {:>8} {:>8}", "model", "GMACs", "params M", "top-1 %", "layers");
     for m in murmuration_models::zoo::all_models() {
         println!(
             "{:<24} {:>10.2} {:>10.1} {:>8.1} {:>8}",
@@ -323,9 +323,6 @@ fn cmd_simulate(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     let stats = rt.cache_stats();
-    println!(
-        "met {met}/{requests}; cache hit ratio {:.0} %",
-        stats.hit_ratio() * 100.0
-    );
+    println!("met {met}/{requests}; cache hit ratio {:.0} %", stats.hit_ratio() * 100.0);
     Ok(())
 }

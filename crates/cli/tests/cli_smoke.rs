@@ -22,7 +22,9 @@ fn models_prints_the_zoo() {
     let out = bin().arg("models").output().unwrap();
     assert!(out.status.success());
     let text = String::from_utf8(out.stdout).unwrap();
-    for name in ["MobileNetV3", "ResNet50", "Inception", "DenseNet161", "ResNeXt101", "EfficientNet", "ViT"] {
+    for name in
+        ["MobileNetV3", "ResNet50", "Inception", "DenseNet161", "ResNeXt101", "EfficientNet", "ViT"]
+    {
         assert!(text.contains(name), "zoo must list {name}");
     }
 }
@@ -30,7 +32,17 @@ fn models_prints_the_zoo() {
 #[test]
 fn estimate_runs_without_a_policy() {
     let out = bin()
-        .args(["estimate", "--scenario", "swarm", "--config", "min", "--bw", "1000", "--delay", "2"])
+        .args([
+            "estimate",
+            "--scenario",
+            "swarm",
+            "--config",
+            "min",
+            "--bw",
+            "1000",
+            "--delay",
+            "2",
+        ])
         .output()
         .unwrap();
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
@@ -54,7 +66,10 @@ fn train_decide_simulate_round_trip() {
     assert!(policy.exists());
 
     let out = bin()
-        .args(["decide", "--policy", policy_s, "--slo", "140", "--bw", "200", "--delay", "20", "--trace", "true"])
+        .args([
+            "decide", "--policy", policy_s, "--slo", "140", "--bw", "200", "--delay", "20",
+            "--trace", "true",
+        ])
         .output()
         .unwrap();
     assert!(out.status.success(), "decide: {}", String::from_utf8_lossy(&out.stderr));
@@ -86,7 +101,15 @@ fn bad_inputs_fail_cleanly() {
     std::fs::create_dir_all(&dir).unwrap();
     let policy = dir.join("p.bin");
     let ok = bin()
-        .args(["train", "--scenario", "augmented", "--steps", "30", "--out", policy.to_str().unwrap()])
+        .args([
+            "train",
+            "--scenario",
+            "augmented",
+            "--steps",
+            "30",
+            "--out",
+            policy.to_str().unwrap(),
+        ])
         .output()
         .unwrap();
     assert!(ok.status.success());

@@ -48,7 +48,11 @@ impl StrategyCache {
     pub fn new(grid_points: usize, capacity: usize) -> Self {
         assert!(capacity >= 1);
         StrategyCache {
-            inner: Mutex::new(Inner { map: HashMap::new(), order: Vec::new(), stats: CacheStats::default() }),
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                order: Vec::new(),
+                stats: CacheStats::default(),
+            }),
             grid_points,
             capacity,
         }

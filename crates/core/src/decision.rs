@@ -54,8 +54,7 @@ impl DecisionModule {
             return Decision { actions: hit.actions, genome, cached: true };
         }
         let result = murmuration_rl::env::decide_guarded(&self.policy, &self.scenario, cond);
-        self.cache
-            .put(&self.scenario, cond, CachedStrategy { actions: result.actions.clone() });
+        self.cache.put(&self.scenario, cond, CachedStrategy { actions: result.actions.clone() });
         let genome = self.scenario.decode(&result.actions);
         Decision { actions: result.actions, genome, cached: false }
     }

@@ -100,7 +100,12 @@ impl Executor {
     /// Executes `input` through all units under `plan`. `wire[u]`
     /// describes unit `u`'s grid and input precision. The data starts on
     /// device 0 and the result is gathered back there.
-    pub fn execute(&self, plan: &ExecutionPlan, wire: &[UnitWire], input: Tensor) -> (Tensor, ExecReport) {
+    pub fn execute(
+        &self,
+        plan: &ExecutionPlan,
+        wire: &[UnitWire],
+        input: Tensor,
+    ) -> (Tensor, ExecReport) {
         assert_eq!(plan.placements.len(), wire.len(), "one wire entry per unit");
         let start = Instant::now();
         let mut data = input;
@@ -357,13 +362,9 @@ mod tests {
 
         // And it is *close* to the monolithic result overall.
         let mono = local_reference(&compute, &input);
-        let err: f32 = out
-            .data()
-            .iter()
-            .zip(mono.data().iter())
-            .map(|(a, b)| (a - b).abs())
-            .sum::<f32>()
-            / out.numel() as f32;
+        let err: f32 =
+            out.data().iter().zip(mono.data().iter()).map(|(a, b)| (a - b).abs()).sum::<f32>()
+                / out.numel() as f32;
         let scale: f32 = mono.data().iter().map(|v| v.abs()).sum::<f32>() / mono.numel() as f32;
         assert!(err < scale * 0.5, "seam error too large: {err} vs scale {scale}");
     }
@@ -381,15 +382,10 @@ mod tests {
         let (out8, _) =
             exec.execute(&plan, &wire_all(BitWidth::B8, GridSpec::new(1, 1), 3), input.clone());
         let expect = local_reference(&compute, &input);
-        let err: f32 = out8
-            .data()
-            .iter()
-            .zip(expect.data().iter())
-            .map(|(a, b)| (a - b).abs())
-            .sum::<f32>()
-            / out8.numel() as f32;
-        let scale: f32 =
-            expect.data().iter().map(|v| v.abs()).sum::<f32>() / expect.numel() as f32;
+        let err: f32 =
+            out8.data().iter().zip(expect.data().iter()).map(|(a, b)| (a - b).abs()).sum::<f32>()
+                / out8.numel() as f32;
+        let scale: f32 = expect.data().iter().map(|v| v.abs()).sum::<f32>() / expect.numel() as f32;
         assert!(err < scale * 0.1, "8-bit wire error {err} vs scale {scale}");
         // But not bit-identical (quantization really happened).
         assert_ne!(out8.data(), expect.data());
@@ -403,8 +399,7 @@ mod tests {
         let inputs: Vec<Tensor> = (0..5)
             .map(|_| Tensor::rand_uniform(Shape::nchw(1, 4, 10, 10), 1.0, &mut rng))
             .collect();
-        let (outs, report) =
-            exec.execute_stream(&[0, 1, 2], inputs.clone(), BitWidth::B32);
+        let (outs, report) = exec.execute_stream(&[0, 1, 2], inputs.clone(), BitWidth::B32);
         assert_eq!(outs.len(), 5);
         assert!(report.wall_ms >= 0.0);
         for (input, out) in inputs.iter().zip(&outs) {

@@ -29,7 +29,11 @@ pub struct MonitorPredictor;
 impl MonitorPredictor {
     /// Forecasts every link's conditions at `t_future_ms` from the
     /// monitor's history. Forecasts are clamped to stay physical.
-    pub fn predict(monitor: &NetworkMonitor, n_remote: usize, t_future_ms: f64) -> Vec<LinkEstimate> {
+    pub fn predict(
+        monitor: &NetworkMonitor,
+        n_remote: usize,
+        t_future_ms: f64,
+    ) -> Vec<LinkEstimate> {
         (0..n_remote)
             .map(|link| {
                 let h = monitor.history(link);
@@ -82,11 +86,7 @@ mod tests {
             mon.sample(&net, i as f64 * 100.0, &mut rng);
         }
         let pred = MonitorPredictor::predict(&mon, 1, 1100.0);
-        assert!(
-            (pred[0].bandwidth_mbps - 90.0).abs() < 1.0,
-            "forecast {}",
-            pred[0].bandwidth_mbps
-        );
+        assert!((pred[0].bandwidth_mbps - 90.0).abs() < 1.0, "forecast {}", pred[0].bandwidth_mbps);
         assert!((pred[0].delay_ms - 10.0).abs() < 1e-6);
     }
 

@@ -36,12 +36,7 @@ impl InMemorySupernet {
         let max_spec = SubnetSpec::lower(&space.max_config());
         let n_params = max_spec.total_params() as usize;
         let active = space.max_config();
-        InMemorySupernet {
-            weights: Tensor::zeros(Shape::d1(n_params)),
-            space,
-            active,
-            switches: 0,
-        }
+        InMemorySupernet { weights: Tensor::zeros(Shape::d1(n_params)), space, active, switches: 0 }
     }
 
     /// Resident weight bytes (what stays in memory).
@@ -59,11 +54,7 @@ impl InMemorySupernet {
     /// weight movement. Returns the measured wall time.
     pub fn switch_submodel(&mut self, config: SubnetConfig) -> SwitchReport {
         let start = Instant::now();
-        assert_eq!(
-            config.stages.len(),
-            self.space.num_stages,
-            "config does not fit this supernet"
-        );
+        assert_eq!(config.stages.len(), self.space.num_stages, "config does not fit this supernet");
         // Lowering validates the configuration and produces the execution
         // metadata the scheduler needs; the weights never move.
         let _spec = SubnetSpec::lower(&config);
@@ -101,11 +92,7 @@ mod tests {
         let report = net.switch_submodel(SearchSpace::default().max_config());
         // In-memory reconfig must be far below any weight reload; allow a
         // generous 50 ms bound for debug builds.
-        assert!(
-            report.elapsed < Duration::from_millis(50),
-            "switch took {:?}",
-            report.elapsed
-        );
+        assert!(report.elapsed < Duration::from_millis(50), "switch took {:?}", report.elapsed);
         assert_eq!(report.total_switches, 2);
     }
 

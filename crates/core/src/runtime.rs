@@ -75,7 +75,12 @@ pub struct Runtime {
 
 impl Runtime {
     /// Assembles a runtime from a scenario and a trained policy.
-    pub fn new(scenario: Scenario, policy: LstmPolicy, cfg: RuntimeConfig, initial_slo: Slo) -> Self {
+    pub fn new(
+        scenario: Scenario,
+        policy: LstmPolicy,
+        cfg: RuntimeConfig,
+        initial_slo: Slo,
+    ) -> Self {
         let n_remote = scenario.n_remote();
         let space = scenario.space.clone();
         check_slo_kind(&scenario, &initial_slo);
@@ -124,7 +129,12 @@ impl Runtime {
     }
 
     /// Serves one inference request at virtual time `t_ms`.
-    pub fn infer<R: Rng>(&mut self, net_truth: &NetworkState, t_ms: f64, rng: &mut R) -> RequestReport {
+    pub fn infer<R: Rng>(
+        &mut self,
+        net_truth: &NetworkState,
+        t_ms: f64,
+        rng: &mut R,
+    ) -> RequestReport {
         // Fresh monitoring sample for this request.
         self.monitor.sample(net_truth, t_ms, rng);
         self.last_t_ms = t_ms;

@@ -136,10 +136,9 @@ pub fn decode(frame: &[u8]) -> Result<Tensor, WireError> {
         return Err(WireError::Malformed("trailing bytes"));
     }
     let data: Vec<f32> = match bits {
-        BitWidth::B32 => payload
-            .chunks_exact(4)
-            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
-            .collect(),
+        BitWidth::B32 => {
+            payload.chunks_exact(4).map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect()
+        }
         BitWidth::B16 => payload
             .chunks_exact(2)
             .map(|c| i16::from_le_bytes([c[0], c[1]]) as f32 * scale)

@@ -132,10 +132,7 @@ impl Device {
 
 /// The paper's Augmented Computing scenario: one Pi 4 (local) + desktop GPU.
 pub fn augmented_computing_devices() -> Vec<Device> {
-    vec![
-        Device::new(0, DeviceKind::RaspberryPi4),
-        Device::new(1, DeviceKind::DesktopGpu),
-    ]
+    vec![Device::new(0, DeviceKind::RaspberryPi4), Device::new(1, DeviceKind::DesktopGpu)]
 }
 
 /// The paper's Device Swarm scenario: `n` Raspberry Pi 4s (device 0 local).
@@ -204,7 +201,9 @@ mod tests {
     #[test]
     fn depthwise_slower_per_mac_than_dense() {
         let p = DeviceKind::RaspberryPi4.profile();
-        assert!(p.layer_time_ms(OpKind::DwConv, 1_000_000) > p.layer_time_ms(OpKind::Conv, 1_000_000));
+        assert!(
+            p.layer_time_ms(OpKind::DwConv, 1_000_000) > p.layer_time_ms(OpKind::Conv, 1_000_000)
+        );
     }
 
     #[test]

@@ -15,10 +15,7 @@ pub enum NetworkTrace {
     /// Piecewise-constant steps: `(start_ms, state)` sorted by time.
     Steps(Vec<(f64, LinkState)>),
     /// Precomputed bounded random walk sampled on a fixed grid.
-    Walk {
-        period_ms: f64,
-        states: Vec<LinkState>,
-    },
+    Walk { period_ms: f64, states: Vec<LinkState> },
 }
 
 impl NetworkTrace {
@@ -26,16 +23,19 @@ impl NetworkTrace {
     pub fn steps(steps: Vec<(f64, LinkState)>) -> Self {
         assert!(!steps.is_empty(), "need at least one step");
         assert_eq!(steps[0].0, 0.0, "first step must start at t=0");
-        assert!(
-            steps.windows(2).all(|w| w[0].0 < w[1].0),
-            "steps must be strictly time-ordered"
-        );
+        assert!(steps.windows(2).all(|w| w[0].0 < w[1].0), "steps must be strictly time-ordered");
         NetworkTrace::Steps(steps)
     }
 
     /// Bounded multiplicative random walk around `base`, re-sampled every
     /// `period_ms`, clamped to `[1/span, span] × base`.
-    pub fn random_walk(base: LinkState, period_ms: f64, steps: usize, span: f64, seed: u64) -> Self {
+    pub fn random_walk(
+        base: LinkState,
+        period_ms: f64,
+        steps: usize,
+        span: f64,
+        seed: u64,
+    ) -> Self {
         assert!(period_ms > 0.0 && steps > 0 && span > 1.0);
         let mut rng = StdRng::seed_from_u64(seed);
         let mut bw = base.bandwidth_mbps;

@@ -22,7 +22,8 @@ const STAGES: &[(usize, usize, usize, usize, usize)] = &[
 /// Builds the EfficientNet-B0 spec at the given square input resolution
 /// (canonically 224).
 pub fn efficientnet_b0(resolution: usize) -> ModelSpec {
-    let mut b = SpecBuilder::new(format!("EfficientNetB0@{resolution}"), (3, resolution, resolution));
+    let mut b =
+        SpecBuilder::new(format!("EfficientNetB0@{resolution}"), (3, resolution, resolution));
     b.conv("stem", 32, 3, 2, 1).cut();
     let mut c_in = 32usize;
     for (si, &(expand, k, out, repeats, stride)) in STAGES.iter().enumerate() {

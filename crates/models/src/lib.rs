@@ -118,11 +118,7 @@ impl ModelSpec {
     /// Indices after which a layer-wise cut is legal (always includes the
     /// virtual cut "before layer 0" as `None` handled by planners).
     pub fn cut_points(&self) -> Vec<usize> {
-        self.layers
-            .iter()
-            .enumerate()
-            .filter_map(|(i, l)| l.cut_ok.then_some(i))
-            .collect()
+        self.layers.iter().enumerate().filter_map(|(i, l)| l.cut_ok.then_some(i)).collect()
     }
 }
 
@@ -140,16 +136,8 @@ mod tests {
     fn mobilenet_v3_large_totals_match_published() {
         let m = mobilenet_v3_large(224);
         // Published: ~219 M MACs, ~5.4 M params.
-        assert!(
-            within(m.total_macs(), 219_000_000, 0.15),
-            "MACs {}",
-            m.total_macs()
-        );
-        assert!(
-            within(m.total_params(), 5_400_000, 0.15),
-            "params {}",
-            m.total_params()
-        );
+        assert!(within(m.total_macs(), 219_000_000, 0.15), "MACs {}", m.total_macs());
+        assert!(within(m.total_params(), 5_400_000, 0.15), "params {}", m.total_params());
     }
 
     #[test]

@@ -28,7 +28,8 @@ const BNECK: &[(usize, usize, usize, bool, usize)] = &[
 
 /// Builds the MobileNetV3-Large spec at the given square input resolution.
 pub fn mobilenet_v3_large(resolution: usize) -> ModelSpec {
-    let mut b = SpecBuilder::new(format!("MobileNetV3-Large@{resolution}"), (3, resolution, resolution));
+    let mut b =
+        SpecBuilder::new(format!("MobileNetV3-Large@{resolution}"), (3, resolution, resolution));
     b.conv("stem", 16, 3, 2, 1).cut();
     let mut c_in = 16;
     for (i, &(k, exp, out, se, stride)) in BNECK.iter().enumerate() {

@@ -93,8 +93,7 @@ impl SyntheticDataset {
         let img_len = c * h * w;
         for j in 0..count {
             let idx = (i0 + j) % self.len();
-            out.data_mut()[j * img_len..(j + 1) * img_len]
-                .copy_from_slice(self.images[idx].data());
+            out.data_mut()[j * img_len..(j + 1) * img_len].copy_from_slice(self.images[idx].data());
             labels.push(self.labels[idx]);
         }
         (out, labels)
@@ -173,19 +172,12 @@ mod tests {
     fn classes_are_visually_distinct() {
         // Mean absolute difference between class-0 and class-1 prototypes
         // should dominate the noise level.
-        let d = SyntheticDataset::generate(
-            SyntheticSpec { noise: 0.0, ..Default::default() },
-            3,
-        );
+        let d = SyntheticDataset::generate(SyntheticSpec { noise: 0.0, ..Default::default() }, 3);
         let a = &d.images[0]; // class 0
         let b = &d.images[1]; // class 1
-        let diff: f32 = a
-            .data()
-            .iter()
-            .zip(b.data().iter())
-            .map(|(x, y)| (x - y).abs())
-            .sum::<f32>()
-            / a.numel() as f32;
+        let diff: f32 =
+            a.data().iter().zip(b.data().iter()).map(|(x, y)| (x - y).abs()).sum::<f32>()
+                / a.numel() as f32;
         assert!(diff > 0.2, "classes too similar: {diff}");
     }
 }

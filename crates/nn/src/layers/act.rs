@@ -2,7 +2,9 @@
 
 use crate::module::Module;
 use crate::param::Param;
-use murmuration_tensor::activation::{hswish_backward, hswish_inplace, relu_backward, relu_inplace};
+use murmuration_tensor::activation::{
+    hswish_backward, hswish_inplace, relu_backward, relu_inplace,
+};
 use murmuration_tensor::Tensor;
 
 /// Rectified linear unit.

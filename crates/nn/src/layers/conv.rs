@@ -4,6 +4,7 @@ use crate::module::Module;
 use crate::param::Param;
 use murmuration_tensor::conv::{col2im, conv2d, depthwise_conv2d, im2col, Conv2dParams};
 use murmuration_tensor::gemm::{gemm_at, gemm_bt};
+use murmuration_tensor::scratch;
 use murmuration_tensor::{Shape, Tensor};
 use rand::Rng;
 
@@ -27,11 +28,8 @@ impl Conv2d {
         rng: &mut R,
     ) -> Self {
         let fan_in = c_in * p.kernel * p.kernel;
-        let weight = Param::new(Tensor::kaiming(
-            Shape::nchw(c_out, c_in, p.kernel, p.kernel),
-            fan_in,
-            rng,
-        ));
+        let weight =
+            Param::new(Tensor::kaiming(Shape::nchw(c_out, c_in, p.kernel, p.kernel), fan_in, rng));
         let bias = bias.then(|| Param::new(Tensor::zeros(Shape::d1(c_out))));
         Conv2d { weight, bias, params: p, c_in, c_out, cached_in: None }
     }
@@ -56,31 +54,47 @@ impl Module for Conv2d {
         assert_eq!(dy.shape(), &Shape::nchw(n, c_out, oh, ow), "Conv2d dy shape");
 
         let mut dx = Tensor::zeros(x.shape().clone());
-        let mut cols = Vec::new();
-        let mut dw_tmp = vec![0.0f32; c_out * rows];
-        let mut dcols = vec![0.0f32; rows * spatial];
         let img_in = c_in * h * w;
         let img_out = c_out * spatial;
-        for b in 0..n {
-            let x_img = &x.data()[b * img_in..(b + 1) * img_in];
-            let dy_img = &dy.data()[b * img_out..(b + 1) * img_out];
-            im2col(x_img, c_in, h, w, self.params, &mut cols);
-            // dW += dY · colsᵀ
-            gemm_bt(c_out, spatial, rows, dy_img, &cols, &mut dw_tmp);
-            for (g, t) in self.weight.grad.data_mut().iter_mut().zip(dw_tmp.iter()) {
-                *g += t;
-            }
-            // dcols = Wᵀ · dY  (W stored c_out×rows = k×m for gemm_at)
-            gemm_at(rows, c_out, spatial, self.weight.value.data(), dy_img, &mut dcols);
-            col2im(&dcols, c_in, h, w, self.params, &mut dx.data_mut()[b * img_in..(b + 1) * img_in]);
-            // dB += per-channel sums
-            if let Some(bias) = &mut self.bias {
-                for co in 0..c_out {
-                    let s: f32 = dy_img[co * spatial..(co + 1) * spatial].iter().sum();
-                    bias.grad.data_mut()[co] += s;
-                }
-            }
-        }
+        // All three workspaces come from the thread-local scratch pool, so
+        // steady-state training steps allocate nothing here.
+        scratch::with(|cols| {
+            scratch::with(|dcols| {
+                scratch::with(|dw_tmp| {
+                    dw_tmp.clear();
+                    dw_tmp.resize(c_out * rows, 0.0);
+                    dcols.clear();
+                    dcols.resize(rows * spatial, 0.0);
+                    for b in 0..n {
+                        let x_img = &x.data()[b * img_in..(b + 1) * img_in];
+                        let dy_img = &dy.data()[b * img_out..(b + 1) * img_out];
+                        im2col(x_img, c_in, h, w, self.params, cols);
+                        // dW += dY · colsᵀ
+                        gemm_bt(c_out, spatial, rows, dy_img, cols, dw_tmp);
+                        for (g, t) in self.weight.grad.data_mut().iter_mut().zip(dw_tmp.iter()) {
+                            *g += t;
+                        }
+                        // dcols = Wᵀ · dY  (W stored c_out×rows = k×m for gemm_at)
+                        gemm_at(rows, c_out, spatial, self.weight.value.data(), dy_img, dcols);
+                        col2im(
+                            dcols,
+                            c_in,
+                            h,
+                            w,
+                            self.params,
+                            &mut dx.data_mut()[b * img_in..(b + 1) * img_in],
+                        );
+                        // dB += per-channel sums
+                        if let Some(bias) = &mut self.bias {
+                            for co in 0..c_out {
+                                let s: f32 = dy_img[co * spatial..(co + 1) * spatial].iter().sum();
+                                bias.grad.data_mut()[co] += s;
+                            }
+                        }
+                    }
+                });
+            });
+        });
         dx
     }
 
@@ -109,11 +123,8 @@ impl DepthwiseConv2d {
     /// Kaiming-initialized depthwise convolution.
     pub fn new<R: Rng>(channels: usize, p: Conv2dParams, bias: bool, rng: &mut R) -> Self {
         let fan_in = p.kernel * p.kernel;
-        let weight = Param::new(Tensor::kaiming(
-            Shape::nchw(channels, 1, p.kernel, p.kernel),
-            fan_in,
-            rng,
-        ));
+        let weight =
+            Param::new(Tensor::kaiming(Shape::nchw(channels, 1, p.kernel, p.kernel), fan_in, rng));
         let bias = bias.then(|| Param::new(Tensor::zeros(Shape::d1(channels))));
         DepthwiseConv2d { weight, bias, params: p, channels, cached_in: None }
     }
@@ -135,6 +146,14 @@ impl Module for DepthwiseConv2d {
         let k = self.params.kernel;
         let (stride, pad) = (self.params.stride, self.params.pad);
         let mut dx = Tensor::zeros(x.shape().clone());
+        // dB is a plain per-channel reduction over dy — do it in one pass up
+        // front instead of accumulating inside the per-pixel tap loops.
+        if let Some(bias) = &mut self.bias {
+            let bg = bias.grad.data_mut();
+            for (plane, dy_plane) in dy.data().chunks_exact(oh * ow).enumerate() {
+                bg[plane % c] += dy_plane.iter().sum::<f32>();
+            }
+        }
         for b in 0..n {
             for ch in 0..c {
                 let in_base = (b * c + ch) * h * w;
@@ -143,9 +162,6 @@ impl Module for DepthwiseConv2d {
                 for oy in 0..oh {
                     for ox in 0..ow {
                         let g = dy.data()[out_base + oy * ow + ox];
-                        if g == 0.0 {
-                            continue;
-                        }
                         for ky in 0..k {
                             let iy = (oy * stride + ky) as isize - pad as isize;
                             if iy < 0 || iy >= h as isize {
@@ -162,9 +178,6 @@ impl Module for DepthwiseConv2d {
                                 dx.data_mut()[xi] +=
                                     self.weight.value.data()[w_base + ky * k + kx] * g;
                             }
-                        }
-                        if let Some(bias) = &mut self.bias {
-                            bias.grad.data_mut()[ch] += g;
                         }
                     }
                 }
@@ -189,14 +202,15 @@ impl Module for DepthwiseConv2d {
 mod tests {
     use super::*;
     use crate::layers::gradcheck::check_param_grads;
-    use crate::module::Sequential;
     use crate::layers::{Flatten, GlobalAvgPool};
+    use crate::module::Sequential;
     use rand::{rngs::StdRng, SeedableRng};
 
     #[test]
     fn conv_forward_shape() {
         let mut rng = StdRng::seed_from_u64(1);
-        let mut l = Conv2d::new(3, 8, Conv2dParams { kernel: 3, stride: 2, pad: 1 }, true, &mut rng);
+        let mut l =
+            Conv2d::new(3, 8, Conv2dParams { kernel: 3, stride: 2, pad: 1 }, true, &mut rng);
         let x = Tensor::rand_uniform(Shape::nchw(2, 3, 8, 8), 1.0, &mut rng);
         let y = l.forward(&x, false);
         assert_eq!(y.shape(), &Shape::nchw(2, 8, 4, 4));

@@ -82,8 +82,7 @@ impl Module for LayerNorm {
             }
             for i in 0..f {
                 let d = dyr[i] * self.gamma.value.data()[i];
-                dx.data_mut()[r * f + i] =
-                    invstd / m * (m * d - sum_dyg - xhr[i] * sum_dyg_xhat);
+                dx.data_mut()[r * f + i] = invstd / m * (m * d - sum_dyg - xhr[i] * sum_dyg_xhat);
             }
         }
         dx

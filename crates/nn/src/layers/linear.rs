@@ -19,7 +19,11 @@ impl Linear {
     /// Kaiming-initialized linear layer.
     pub fn new<R: Rng>(in_features: usize, out_features: usize, rng: &mut R) -> Self {
         Linear {
-            weight: Param::new(Tensor::kaiming(Shape::d2(out_features, in_features), in_features, rng)),
+            weight: Param::new(Tensor::kaiming(
+                Shape::d2(out_features, in_features),
+                in_features,
+                rng,
+            )),
             bias: Param::new(Tensor::zeros(Shape::d1(out_features))),
             in_features,
             out_features,

@@ -91,10 +91,7 @@ mod tests {
     #[test]
     fn maxpool_backward_routes_to_argmax() {
         let mut l = MaxPool2d::new(2, 2, 0);
-        let x = Tensor::from_vec(
-            Shape::nchw(1, 1, 2, 2),
-            vec![1.0, 5.0, 2.0, 3.0],
-        );
+        let x = Tensor::from_vec(Shape::nchw(1, 1, 2, 2), vec![1.0, 5.0, 2.0, 3.0]);
         let y = l.forward(&x, true);
         assert_eq!(y.data(), &[5.0]);
         let dx = l.backward(&Tensor::from_vec(Shape::nchw(1, 1, 1, 1), vec![7.0]));

@@ -34,11 +34,8 @@ impl Sgd {
                 velocity.push(Tensor::zeros(p.value.shape().clone()));
             }
             let v = &mut velocity[idx];
-            for ((vv, &g), w) in v
-                .data_mut()
-                .iter_mut()
-                .zip(p.grad.data())
-                .zip(p.value.data_mut().iter_mut())
+            for ((vv, &g), w) in
+                v.data_mut().iter_mut().zip(p.grad.data()).zip(p.value.data_mut().iter_mut())
             {
                 let g = g + wd * *w;
                 *vv = mom * *vv + g;
@@ -113,10 +110,7 @@ mod tests {
         // Learn a separable 2-class problem on 2-D points.
         let mut rng = StdRng::seed_from_u64(42);
         let mut net = Sequential::new().push(Linear::new(2, 2, &mut rng));
-        let xs = Tensor::from_vec(
-            Shape::d2(4, 2),
-            vec![1.0, 0.0, 0.9, 0.1, 0.0, 1.0, 0.1, 0.9],
-        );
+        let xs = Tensor::from_vec(Shape::d2(4, 2), vec![1.0, 0.0, 0.9, 0.1, 0.0, 1.0, 0.1, 0.9]);
         let ts = [0usize, 0, 1, 1];
         let mut sgd = Sgd::new(0.5, 0.9, 0.0);
         let mut adam = Adam::new(0.05);

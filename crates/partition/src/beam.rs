@@ -50,12 +50,12 @@ pub fn plan_beam(
 
     for unit in &spec.units {
         // Candidate placements for this unit.
-        let mut candidates: Vec<UnitPlacement> = (0..devices.len()).map(UnitPlacement::Single).collect();
+        let mut candidates: Vec<UnitPlacement> =
+            (0..devices.len()).map(UnitPlacement::Single).collect();
         let tiles = unit.partition.tiles();
         if tiles > 1 && unit.spatially_partitionable() && devices.len() > 1 {
             // Fastest `tiles` devices (cycling if the fleet is smaller).
-            let fast: Vec<DeviceId> =
-                (0..tiles).map(|t| by_speed[t % devices.len()]).collect();
+            let fast: Vec<DeviceId> = (0..tiles).map(|t| by_speed[t % devices.len()]).collect();
             candidates.push(UnitPlacement::Tiled(fast));
             // Same but anchored on the local device (no input scatter cost
             // for tile 0).
@@ -89,7 +89,9 @@ pub fn plan_beam(
                 next.push(BeamState { placements, holders, frontier_ms: frontier });
             }
         }
-        next.sort_by(|a, b| a.frontier_ms.partial_cmp(&b.frontier_ms).unwrap_or(std::cmp::Ordering::Equal));
+        next.sort_by(|a, b| {
+            a.frontier_ms.partial_cmp(&b.frontier_ms).unwrap_or(std::cmp::Ordering::Equal)
+        });
         next.truncate(beam_width);
         beam = next;
         bytes_in = unit.out_wire_bytes();
@@ -143,7 +145,10 @@ mod tests {
             let spec = SubnetSpec::lower(&cfg);
             let net = NetworkState::uniform(
                 1,
-                LinkState { bandwidth_mbps: 20.0 + 40.0 * i as f64, delay_ms: 5.0 + 3.0 * i as f64 },
+                LinkState {
+                    bandwidth_mbps: 20.0 + 40.0 * i as f64,
+                    delay_ms: 5.0 + 3.0 * i as f64,
+                },
             );
             let est = LatencyEstimator::new(&devices, &net);
             let (_, beam_ms) = plan_beam(&spec, &devices, &net, 8);
@@ -153,10 +158,7 @@ mod tests {
                 ExecutionPlan::spread(&spec, 2),
             ] {
                 let c = est.estimate(&spec, &canonical).total_ms;
-                assert!(
-                    beam_ms <= c + 1e-6,
-                    "iter {i}: beam {beam_ms} must beat canonical {c}"
-                );
+                assert!(beam_ms <= c + 1e-6, "iter {i}: beam {beam_ms} must beat canonical {c}");
             }
         }
     }

@@ -24,7 +24,12 @@ enum Ev {
 
 /// Simulates one inference of `spec` under `plan`; returns the end-to-end
 /// latency in ms.
-pub fn simulate(devices: &[Device], net: &NetworkState, spec: &SubnetSpec, plan: &ExecutionPlan) -> f64 {
+pub fn simulate(
+    devices: &[Device],
+    net: &NetworkState,
+    spec: &SubnetSpec,
+    plan: &ExecutionPlan,
+) -> f64 {
     debug_assert!(plan.validate(spec, devices.len()).is_ok());
     let mut q: EventQueue<Ev> = EventQueue::new();
 
@@ -36,8 +41,7 @@ pub fn simulate(devices: &[Device], net: &NetworkState, spec: &SubnetSpec, plan:
     let n_units = spec.units.len();
 
     // State: per unit, per slot readiness / completion time.
-    let mut done_at: Vec<Vec<Option<f64>>> =
-        shares.iter().map(|s| vec![None; s.len()]).collect();
+    let mut done_at: Vec<Vec<Option<f64>>> = shares.iter().map(|s| vec![None; s.len()]).collect();
     let mut holders: Vec<Holder> = vec![Holder { dev: 0, frac: 1.0, ready_ms: 0.0 }];
     let mut bytes = spec.input_bytes();
 
@@ -66,7 +70,14 @@ pub fn simulate(devices: &[Device], net: &NetworkState, spec: &SubnetSpec, plan:
                         .collect();
                     bytes = spec.units[unit].out_wire_bytes();
                     if unit + 1 < n_units {
-                        schedule_unit_inputs(&mut q, net, &holders, &shares[unit + 1], bytes, unit + 1);
+                        schedule_unit_inputs(
+                            &mut q,
+                            net,
+                            &holders,
+                            &shares[unit + 1],
+                            bytes,
+                            unit + 1,
+                        );
                     } else {
                         // Gather the logits back to device 0.
                         let arrivals =

@@ -84,12 +84,13 @@ pub fn seam_overhead(tiles: usize) -> f64 {
 
 /// Compute time of a layer sequence on one device, with MACs scaled by
 /// `1/tiles × seam_overhead` when tiled.
-pub fn layers_time_ms(profile: &murmuration_edgesim::ComputeProfile, layers: &[LayerSpec], tiles: usize) -> f64 {
+pub fn layers_time_ms(
+    profile: &murmuration_edgesim::ComputeProfile,
+    layers: &[LayerSpec],
+    tiles: usize,
+) -> f64 {
     let scale = if tiles <= 1 { 1.0 } else { seam_overhead(tiles) / tiles as f64 };
-    layers
-        .iter()
-        .map(|l| profile.layer_time_ms(l.op, (l.macs as f64 * scale).ceil() as u64))
-        .sum()
+    layers.iter().map(|l| profile.layer_time_ms(l.op, (l.macs as f64 * scale).ceil() as u64)).sum()
 }
 
 /// Latency estimator bound to a device fleet and current network state.
@@ -115,11 +116,7 @@ pub struct LatencyEstimator<'a> {
 impl<'a> LatencyEstimator<'a> {
     /// Binds the estimator.
     pub fn new(devices: &'a [Device], net: &'a NetworkState) -> Self {
-        assert_eq!(
-            net.n_remote() + 1,
-            devices.len(),
-            "network must cover every non-local device"
-        );
+        assert_eq!(net.n_remote() + 1, devices.len(), "network must cover every non-local device");
         LatencyEstimator { devices, net }
     }
 
@@ -260,9 +257,9 @@ pub fn wire_bytes(elems: u64, q: BitWidth) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::plan::UnitPlacement;
     use murmuration_edgesim::device::{augmented_computing_devices, device_swarm_devices};
     use murmuration_edgesim::LinkState;
-    use crate::plan::UnitPlacement;
     use murmuration_supernet::space::SearchSpace;
     use murmuration_tensor::tile::GridSpec;
 

@@ -130,10 +130,18 @@ mod tests {
             let p = plan(&model, &devices, &n);
             // Brute force.
             let mut best = sequential_time_ms(&devices[0], &model.layers);
-            let mut options = vec![cut_latency_ms(&model, None, false, &devices[0], &devices[1], &n)];
+            let mut options =
+                vec![cut_latency_ms(&model, None, false, &devices[0], &devices[1], &n)];
             for c in model.cut_points() {
                 if c + 1 < model.layers.len() {
-                    options.push(cut_latency_ms(&model, Some(c), false, &devices[0], &devices[1], &n));
+                    options.push(cut_latency_ms(
+                        &model,
+                        Some(c),
+                        false,
+                        &devices[0],
+                        &devices[1],
+                        &n,
+                    ));
                 }
             }
             for o in options {

@@ -220,24 +220,21 @@ mod tests {
         use proptest::prelude::*;
         let mut runner = proptest::test_runner::TestRunner::default();
         runner
-            .run(
-                &proptest::collection::vec(0usize..5, 1..12),
-                |devs| {
-                    let p = UnitPlacement::Tiled(devs.clone());
-                    let merged = p.merged_shares();
-                    // Fractions sum to 1 and counts sum to the tile count.
-                    let frac: f64 = merged.iter().map(|m| m.1).sum();
-                    prop_assert!((frac - 1.0).abs() < 1e-9);
-                    let count: usize = merged.iter().map(|m| m.2).sum();
-                    prop_assert_eq!(count, devs.len());
-                    // Each device appears at most once.
-                    let mut seen = std::collections::HashSet::new();
-                    for m in &merged {
-                        prop_assert!(seen.insert(m.0));
-                    }
-                    Ok(())
-                },
-            )
+            .run(&proptest::collection::vec(0usize..5, 1..12), |devs| {
+                let p = UnitPlacement::Tiled(devs.clone());
+                let merged = p.merged_shares();
+                // Fractions sum to 1 and counts sum to the tile count.
+                let frac: f64 = merged.iter().map(|m| m.1).sum();
+                prop_assert!((frac - 1.0).abs() < 1e-9);
+                let count: usize = merged.iter().map(|m| m.2).sum();
+                prop_assert_eq!(count, devs.len());
+                // Each device appears at most once.
+                let mut seen = std::collections::HashSet::new();
+                for m in &merged {
+                    prop_assert!(seen.insert(m.0));
+                }
+                Ok(())
+            })
             .unwrap();
     }
 

@@ -43,9 +43,7 @@ pub fn plan_thresholds(
     plan: &ExecutionPlan,
     slo_ms: f64,
 ) -> PlanThresholds {
-    let base: Vec<LinkState> = (1..devices.len())
-        .map(|d| reference.link_for(d))
-        .collect();
+    let base: Vec<LinkState> = (1..devices.len()).map(|d| reference.link_for(d)).collect();
     let n = base.len();
     let mut min_bw = Vec::with_capacity(n);
     let mut max_delay = Vec::with_capacity(n);

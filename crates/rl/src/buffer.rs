@@ -88,8 +88,8 @@ impl BucketedBuffer {
         let mut key = Vec::with_capacity(1 + 2 * cond.bw_mbps.len());
         let slo_i = self.nearest_index(sc.slo_range.0, sc.slo_range.1, cond.slo);
         key.push(match sc.slo_kind {
-            SloKind::Latency => slo_i as u8,          // higher budget = relaxed
-            SloKind::Accuracy => (g - slo_i) as u8,   // lower floor = relaxed
+            SloKind::Latency => slo_i as u8,        // higher budget = relaxed
+            SloKind::Accuracy => (g - slo_i) as u8, // lower floor = relaxed
         });
         for &b in &cond.bw_mbps {
             key.push(self.nearest_log_index(sc.bw_range.0, sc.bw_range.1, b) as u8);
@@ -158,7 +158,11 @@ impl BucketedBuffer {
                         .partial_cmp(&b.reward)
                         .unwrap_or(std::cmp::Ordering::Equal)
                         // Deterministic tie-break: lower latency wins.
-                        .then(b.latency_ms.partial_cmp(&a.latency_ms).unwrap_or(std::cmp::Ordering::Equal))
+                        .then(
+                            b.latency_ms
+                                .partial_cmp(&a.latency_ms)
+                                .unwrap_or(std::cmp::Ordering::Equal),
+                        )
                 })
                 .map(|e| (*e).clone())
         } else {
@@ -169,7 +173,12 @@ impl BucketedBuffer {
     /// Like [`sample`](Self::sample) but **without** cross-bucket sharing:
     /// only the condition's own bucket is consulted (the no-share ablation
     /// of SUPREME).
-    pub fn sample_exact<R: Rng>(&self, sc: &Scenario, cond: &Condition, rng: &mut R) -> Option<Entry> {
+    pub fn sample_exact<R: Rng>(
+        &self,
+        sc: &Scenario,
+        cond: &Condition,
+        rng: &mut R,
+    ) -> Option<Entry> {
         let key = self.key_for(sc, cond);
         let bucket = self.buckets.get(&key)?;
         if bucket.is_empty() {
@@ -254,14 +263,10 @@ mod tests {
     fn key_orientation_larger_is_relaxed() {
         let sc = scenario();
         let buf = BucketedBuffer::new(10, 4);
-        let tight = buf.key_for(
-            &sc,
-            &Condition { slo: 80.0, bw_mbps: vec![50.0], delay_ms: vec![100.0] },
-        );
-        let relaxed = buf.key_for(
-            &sc,
-            &Condition { slo: 400.0, bw_mbps: vec![400.0], delay_ms: vec![5.0] },
-        );
+        let tight =
+            buf.key_for(&sc, &Condition { slo: 80.0, bw_mbps: vec![50.0], delay_ms: vec![100.0] });
+        let relaxed =
+            buf.key_for(&sc, &Condition { slo: 400.0, bw_mbps: vec![400.0], delay_ms: vec![5.0] });
         assert!(tight.iter().zip(relaxed.iter()).all(|(a, b)| a <= b));
         assert_eq!(tight, vec![0, 0, 0]);
         assert_eq!(relaxed, vec![9, 9, 9]);

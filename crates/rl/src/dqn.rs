@@ -178,10 +178,6 @@ mod tests {
         }
         let fw = q.forward_seq(&steps);
         let q_final = fw.logits(fw.len() - 1)[actions[fw.len() - 1]];
-        assert!(
-            (q_final - res.reward).abs() < 0.05,
-            "Q {q_final} vs reward {}",
-            res.reward
-        );
+        assert!((q_final - res.reward).abs() < 0.05, "Q {q_final} vs reward {}", res.reward);
     }
 }

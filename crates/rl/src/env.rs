@@ -145,12 +145,20 @@ impl Scenario {
 
     /// A condition from grid indices (`slo_i`, per-remote `bw_i`,
     /// per-remote `delay_i`); each index < `grid_points`.
-    pub fn condition_from_indices(&self, slo_i: usize, bw_i: &[usize], delay_i: &[usize]) -> Condition {
+    pub fn condition_from_indices(
+        &self,
+        slo_i: usize,
+        bw_i: &[usize],
+        delay_i: &[usize],
+    ) -> Condition {
         assert_eq!(bw_i.len(), self.n_remote());
         assert_eq!(delay_i.len(), self.n_remote());
         Condition {
             slo: self.lin_grid(self.slo_range.0, self.slo_range.1, slo_i),
-            bw_mbps: bw_i.iter().map(|&i| self.log_grid(self.bw_range.0, self.bw_range.1, i)).collect(),
+            bw_mbps: bw_i
+                .iter()
+                .map(|&i| self.log_grid(self.bw_range.0, self.bw_range.1, i))
+                .collect(),
             delay_ms: delay_i
                 .iter()
                 .map(|&i| self.lin_grid(self.delay_range.0, self.delay_range.1, i))
@@ -265,7 +273,13 @@ impl Scenario {
             for slot in prefs[1 + si].iter_mut() {
                 *slot = it.next().unwrap();
             }
-            stages.push(murmuration_supernet::BlockChoice { kernel, depth, expand, partition, quant });
+            stages.push(murmuration_supernet::BlockChoice {
+                kernel,
+                depth,
+                expand,
+                partition,
+                quant,
+            });
         }
         prefs[6][0] = it.next().unwrap();
         Genome { config: SubnetConfig { resolution, stages }, prefs }
@@ -506,7 +520,14 @@ pub fn fallback_actions(scenario: &Scenario) -> Vec<Vec<usize>> {
             }
             // 2×2 spread over the fleet, 8-bit wire.
             if n_dev > 1 {
-                out.push(mk(res_i, arch_i, part_2x2, quant_b8, &|_| [0, 1, 2 % n_dev.max(1), 3 % n_dev.max(1)], 0));
+                out.push(mk(
+                    res_i,
+                    arch_i,
+                    part_2x2,
+                    quant_b8,
+                    &|_| [0, 1, 2 % n_dev.max(1), 3 % n_dev.max(1)],
+                    0,
+                ));
             }
         }
     }
@@ -727,7 +748,10 @@ mod tests {
             assert!(
                 guarded.met >= raw.met && (guarded.met != raw.met || guarded.reward >= raw.reward),
                 "guard must not regress: raw met {} r {} vs guarded met {} r {}",
-                raw.met, raw.reward, guarded.met, guarded.reward
+                raw.met,
+                raw.reward,
+                guarded.met,
+                guarded.reward
             );
         }
     }

@@ -41,9 +41,8 @@ pub fn validation_conditions(sc: &Scenario, count: usize) -> Vec<Condition> {
     let g = sc.grid_points;
     let k = sc.n_remote();
     let mix = |i: u64, dim: u64| -> usize {
-        let mut z = i
-            .wrapping_mul(0x9e3779b97f4a7c15)
-            .wrapping_add(dim.wrapping_mul(0xbf58476d1ce4e5b9));
+        let mut z =
+            i.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(dim.wrapping_mul(0xbf58476d1ce4e5b9));
         z ^= z >> 30;
         z = z.wrapping_mul(0xbf58476d1ce4e5b9);
         z ^= z >> 27;
@@ -56,8 +55,7 @@ pub fn validation_conditions(sc: &Scenario, count: usize) -> Vec<Condition> {
             // The SLO axis sweeps the grid evenly; network axes scramble.
             let slo_i = (i * 7 + 3) % g;
             let bw_i: Vec<usize> = (0..k).map(|d| mix(i as u64, 1 + d as u64)).collect();
-            let delay_i: Vec<usize> =
-                (0..k).map(|d| mix(i as u64, 101 + d as u64)).collect();
+            let delay_i: Vec<usize> = (0..k).map(|d| mix(i as u64, 101 + d as u64)).collect();
             sc.condition_from_indices(slo_i, &bw_i, &delay_i)
         })
         .collect()

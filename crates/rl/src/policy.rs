@@ -186,8 +186,8 @@ impl LstmPolicy {
         }
         // Value.
         let vrow = self.value.0.value.data();
-        let value =
-            self.value.1.value.data()[0] + vrow.iter().zip(h.iter()).map(|(w, v)| w * v).sum::<f32>();
+        let value = self.value.1.value.data()[0]
+            + vrow.iter().zip(h.iter()).map(|(w, v)| w * v).sum::<f32>();
         StepCache {
             x: x.to_vec(),
             h_prev: st.h.clone(),
@@ -322,12 +322,7 @@ impl LstmPolicy {
     }
 
     /// Samples an action from logits; `epsilon` forces uniform exploration.
-    pub fn sample_action<R: Rng>(
-        logits: &[f32],
-        valid: usize,
-        epsilon: f32,
-        rng: &mut R,
-    ) -> usize {
+    pub fn sample_action<R: Rng>(logits: &[f32], valid: usize, epsilon: f32, rng: &mut R) -> usize {
         assert!(valid >= 1 && valid <= logits.len());
         if epsilon > 0.0 && rng.gen::<f32>() < epsilon {
             return rng.gen_range(0..valid);
@@ -396,9 +391,8 @@ mod tests {
     #[test]
     fn step_and_seq_agree() {
         let p = tiny_policy(0);
-        let xs: Vec<(Vec<f32>, ActionHead)> = (0..5)
-            .map(|t| (vec![t as f32 * 0.1, 0.5, -0.2, 1.0], ActionHead::Kernel))
-            .collect();
+        let xs: Vec<(Vec<f32>, ActionHead)> =
+            (0..5).map(|t| (vec![t as f32 * 0.1, 0.5, -0.2, 1.0], ActionHead::Kernel)).collect();
         let fw = p.forward_seq(&xs);
         let mut st = p.initial_state();
         for (t, (x, head)) in xs.iter().enumerate() {

@@ -96,14 +96,12 @@ pub fn train(sc: &Scenario, cfg: &PpoConfig) -> (LstmPolicy, TrainHistory) {
                     let logp_new = probs[a].max(1e-12).ln();
                     let ratio = (logp_new - ep.old_logps[t]).exp();
                     // Clipped-surrogate gradient coefficient.
-                    let unclipped_active = if adv >= 0.0 {
-                        ratio <= 1.0 + cfg.clip
-                    } else {
-                        ratio >= 1.0 - cfg.clip
-                    };
+                    let unclipped_active =
+                        if adv >= 0.0 { ratio <= 1.0 + cfg.clip } else { ratio >= 1.0 - cfg.clip };
                     let coef = if unclipped_active { ratio * adv } else { 0.0 };
                     // Entropy of the step distribution.
-                    let ent: f32 = -probs.iter().map(|&p| if p > 0.0 { p * p.ln() } else { 0.0 }).sum::<f32>();
+                    let ent: f32 =
+                        -probs.iter().map(|&p| if p > 0.0 { p * p.ln() } else { 0.0 }).sum::<f32>();
                     let mut d = vec![0.0f32; probs.len()];
                     for (j, &p) in probs.iter().enumerate() {
                         // −coef · d logp/d l_j  +  ent_coef · d(−H)/d l_j

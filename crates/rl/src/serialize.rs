@@ -114,7 +114,10 @@ pub fn load_policy(path: impl AsRef<Path>) -> Result<LstmPolicy, PolicyIoError> 
     let hidden = read_u32(&mut r)? as usize;
     let n_heads = read_u32(&mut r)? as usize;
     if n_heads != crate::policy::NUM_HEADS {
-        return Err(PolicyIoError::Format(format!("expected {} heads, file has {n_heads}", crate::policy::NUM_HEADS)));
+        return Err(PolicyIoError::Format(format!(
+            "expected {} heads, file has {n_heads}",
+            crate::policy::NUM_HEADS
+        )));
     }
     let mut arities = Vec::with_capacity(n_heads);
     for _ in 0..n_heads {

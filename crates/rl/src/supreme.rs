@@ -72,11 +72,7 @@ impl Default for SupremeConfig {
 /// Curriculum condition sampling: only the first `active` constraint
 /// dimensions vary (order: SLO, bw₁, delay₁, bw₂, delay₂, …); the rest are
 /// pinned to their most relaxed grid value.
-fn sample_condition_curriculum<R: Rng>(
-    sc: &Scenario,
-    active: usize,
-    rng: &mut R,
-) -> Condition {
+fn sample_condition_curriculum<R: Rng>(sc: &Scenario, active: usize, rng: &mut R) -> Condition {
     let g = sc.grid_points;
     let k = sc.n_remote();
     let mut slo_i = g - 1; // most relaxed latency budget

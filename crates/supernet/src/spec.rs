@@ -134,10 +134,7 @@ impl SubnetSpec {
         for (si, choice) in config.stages.iter().enumerate() {
             let key: StageKey = (si, r, choice.kernel, choice.depth, choice.expand);
             let mut unit = STAGE.with(|c| {
-                c.borrow_mut()
-                    .entry(key)
-                    .or_insert_with(|| lower_stage(si, choice, cur).0)
-                    .clone()
+                c.borrow_mut().entry(key).or_insert_with(|| lower_stage(si, choice, cur).0).clone()
             });
             unit.partition = choice.partition;
             unit.quant = choice.quant;
@@ -177,11 +174,7 @@ impl SubnetSpec {
 
     /// Total parameters of the whole subnet.
     pub fn total_params(&self) -> u64 {
-        self.units
-            .iter()
-            .flat_map(|u| u.layers.iter())
-            .map(|l| l.params)
-            .sum()
+        self.units.iter().flat_map(|u| u.layers.iter()).map(|l| l.params).sum()
     }
 
     /// Input tensor bytes (f32 NCHW at the config resolution).
@@ -237,10 +230,7 @@ mod tests {
         let macs = spec.total_macs();
         // The largest subnet should be a few hundred MMACs (OFA-style nets
         // top out around 300–600 MMACs).
-        assert!(
-            (150_000_000..900_000_000).contains(&macs),
-            "max subnet {macs} MACs"
-        );
+        assert!((150_000_000..900_000_000).contains(&macs), "max subnet {macs} MACs");
     }
 
     #[test]
@@ -271,11 +261,7 @@ mod tests {
         let mut cfg = s.min_config();
         cfg.stages[0].depth = 4;
         let spec = SubnetSpec::lower(&cfg);
-        let stage0_blocks = spec.units[1]
-            .layers
-            .iter()
-            .filter(|l| l.name.ends_with(".dw"))
-            .count();
+        let stage0_blocks = spec.units[1].layers.iter().filter(|l| l.name.ends_with(".dw")).count();
         assert_eq!(stage0_blocks, 4);
     }
 

@@ -354,10 +354,9 @@ impl ShrinkPhase {
         let max = DemoChoice::max();
         match self {
             ShrinkPhase::MaxOnly => max,
-            ShrinkPhase::Kernel => DemoChoice {
-                kernel: if rng.gen_bool(0.5) { 3 } else { 5 },
-                ..max
-            },
+            ShrinkPhase::Kernel => {
+                DemoChoice { kernel: if rng.gen_bool(0.5) { 3 } else { 5 }, ..max }
+            }
             ShrinkPhase::KernelWidth => DemoChoice {
                 kernel: if rng.gen_bool(0.5) { 3 } else { 5 },
                 width: if rng.gen_bool(0.5) { 3 } else { MID_MAX },
@@ -390,12 +389,8 @@ pub fn progressive_shrinking(
 ) -> (DemoSupernet, TrainReport) {
     let mut net = DemoSupernet::new(dataset.classes, seed);
     let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
-    let phases = [
-        ShrinkPhase::MaxOnly,
-        ShrinkPhase::Kernel,
-        ShrinkPhase::KernelWidth,
-        ShrinkPhase::Full,
-    ];
+    let phases =
+        [ShrinkPhase::MaxOnly, ShrinkPhase::Kernel, ShrinkPhase::KernelWidth, ShrinkPhase::Full];
     let mut cursor = 0usize;
     for phase in phases {
         for _ in 0..steps_per_phase {
@@ -406,10 +401,8 @@ pub fn progressive_shrinking(
         }
     }
     let (ex, et) = eval.batch(0, eval.len());
-    let per_choice_accuracy = DemoChoice::all()
-        .into_iter()
-        .map(|c| (c, net.eval(&ex, &et, c)))
-        .collect();
+    let per_choice_accuracy =
+        DemoChoice::all().into_iter().map(|c| (c, net.eval(&ex, &et, c))).collect();
     (net, TrainReport { per_choice_accuracy })
 }
 
@@ -453,10 +446,7 @@ mod tests {
         let (train, eval) = tiny_dataset();
         let (_, report) = progressive_shrinking(&train, &eval, 45, 8, 0.05, 5);
         for (choice, acc) in &report.per_choice_accuracy {
-            assert!(
-                *acc > 0.7,
-                "subnet {choice:?} accuracy {acc} after shrinking (chance = 0.5)"
-            );
+            assert!(*acc > 0.7, "subnet {choice:?} accuracy {acc} after shrinking (chance = 0.5)");
         }
     }
 

@@ -58,12 +58,7 @@ pub fn hswish_grad(x: f32) -> f32 {
 /// Hard-swish backward: `dy * hswish'(x)`.
 pub fn hswish_backward(x: &Tensor, dy: &Tensor) -> Tensor {
     assert_eq!(x.shape(), dy.shape());
-    let data = x
-        .data()
-        .iter()
-        .zip(dy.data().iter())
-        .map(|(&xv, &g)| g * hswish_grad(xv))
-        .collect();
+    let data = x.data().iter().zip(dy.data().iter()).map(|(&xv, &g)| g * hswish_grad(xv)).collect();
     Tensor::from_vec(x.shape().clone(), data)
 }
 

@@ -1,8 +1,27 @@
 //! 2-D convolutions: im2col + GEMM standard path and a direct depthwise path.
+//!
+//! Both hot paths are written for throughput:
+//!
+//! * [`conv2d`] parallelizes over batch images; each Rayon task pulls its
+//!   im2col column buffer from the thread-local [`scratch`](crate::scratch)
+//!   pool (zero steady-state allocation) and the bias add is fused into the
+//!   GEMM epilogue via [`gemm_bias`].
+//! * [`depthwise_conv2d`] parallelizes over `(batch × channel)` planes and
+//!   splits every output plane into a bounds-check-free **interior** (with
+//!   fully unrolled k=3 / k=5 inner loops) and a checked **border** band, so
+//!   the per-tap `isize` casts and range tests of the naive kernel only run
+//!   on the few output pixels whose receptive field actually leaves the
+//!   input.
 
-use crate::gemm::gemm;
+use crate::gemm::gemm_bias;
+use crate::scratch;
 use crate::shape::{conv_out_size, Shape};
 use crate::tensor::Tensor;
+use rayon::prelude::*;
+
+/// Below this many output elements a kernel runs sequentially — parallel
+/// dispatch overhead dominates for tiny problems.
+const PAR_THRESHOLD: usize = 4096;
 
 /// Convolution geometry: square kernel, symmetric padding, uniform stride.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -41,8 +60,6 @@ pub fn im2col(
     let (oh, ow) = p.out_hw(h, w);
     let rows = c_in * p.kernel * p.kernel;
     cols.clear();
-    cols.resize(rows, 0.0); // ensure non-empty before the resize below
-    cols.clear();
     cols.resize(rows * oh * ow, 0.0);
     for c in 0..c_in {
         for ky in 0..p.kernel {
@@ -71,14 +88,7 @@ pub fn im2col(
 
 /// Folds a column matrix back into a CHW image, accumulating overlapping
 /// taps — the adjoint of [`im2col`], used by conv backward.
-pub fn col2im(
-    cols: &[f32],
-    c_in: usize,
-    h: usize,
-    w: usize,
-    p: Conv2dParams,
-    out: &mut [f32],
-) {
+pub fn col2im(cols: &[f32], c_in: usize, h: usize, w: usize, p: Conv2dParams, out: &mut [f32]) {
     let (oh, ow) = p.out_hw(h, w);
     assert_eq!(out.len(), c_in * h * w);
     out.fill(0.0);
@@ -108,13 +118,12 @@ pub fn col2im(
 
 /// Standard convolution. `input` is NCHW, `weight` is `[c_out, c_in, k, k]`,
 /// optional `bias` is `[c_out]`. Returns NCHW output.
+///
+/// Batch images are processed in parallel; each worker unfolds into a pooled
+/// scratch buffer and runs one GEMM with the bias fused into its epilogue.
 pub fn conv2d(input: &Tensor, weight: &Tensor, bias: Option<&Tensor>, p: Conv2dParams) -> Tensor {
-    let (n, c_in, h, w) = (
-        input.shape().n(),
-        input.shape().c(),
-        input.shape().h(),
-        input.shape().w(),
-    );
+    let (n, c_in, h, w) =
+        (input.shape().n(), input.shape().c(), input.shape().h(), input.shape().w());
     let ws = weight.shape();
     assert_eq!(ws.rank(), 4, "weight must be [c_out, c_in, k, k]");
     let c_out = ws.dim(0);
@@ -123,29 +132,314 @@ pub fn conv2d(input: &Tensor, weight: &Tensor, bias: Option<&Tensor>, p: Conv2dP
     assert_eq!(ws.dim(3), p.kernel);
     let (oh, ow) = p.out_hw(h, w);
     let mut out = Tensor::zeros(Shape::nchw(n, c_out, oh, ow));
-    let mut cols = Vec::new();
     let img_in = c_in * h * w;
     let img_out = c_out * oh * ow;
-    for b in 0..n {
-        let (rows, spatial) = im2col(&input.data()[b * img_in..(b + 1) * img_in], c_in, h, w, p, &mut cols);
-        gemm(
-            c_out,
-            rows,
-            spatial,
-            weight.data(),
-            &cols,
-            &mut out.data_mut()[b * img_out..(b + 1) * img_out],
-        );
+    let in_data = input.data();
+    let w_data = weight.data();
+    let bias_data = bias.map(|b| {
+        assert_eq!(b.numel(), c_out, "bias length");
+        b.data()
+    });
+    let run_image = |b_ix: usize, out_img: &mut [f32]| {
+        scratch::with(|cols| {
+            let img = &in_data[b_ix * img_in..(b_ix + 1) * img_in];
+            let (rows, spatial) = im2col(img, c_in, h, w, p, cols);
+            gemm_bias(c_out, rows, spatial, w_data, cols, bias_data, out_img);
+        });
+    };
+    if n > 1 && n * img_out >= PAR_THRESHOLD {
+        out.data_mut()
+            .par_chunks_mut(img_out)
+            .enumerate()
+            .for_each(|(b_ix, out_img)| run_image(b_ix, out_img));
+    } else {
+        for (b_ix, out_img) in out.data_mut().chunks_exact_mut(img_out).enumerate() {
+            run_image(b_ix, out_img);
+        }
     }
-    if let Some(bias) = bias {
-        assert_eq!(bias.numel(), c_out, "bias length");
-        let od = out.data_mut();
-        for b in 0..n {
-            for co in 0..c_out {
-                let base = (b * c_out + co) * oh * ow;
-                let bv = bias.data()[co];
-                for v in &mut od[base..base + oh * ow] {
-                    *v += bv;
+    out
+}
+
+/// Depthwise convolution: `weight` is `[c, 1, k, k]`, each channel convolved
+/// with its own filter. Direct (non-GEMM) implementation, parallel over
+/// `(batch × channel)` planes with an interior/border split per plane.
+pub fn depthwise_conv2d(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    p: Conv2dParams,
+) -> Tensor {
+    let (n, c, h, w) = (input.shape().n(), input.shape().c(), input.shape().h(), input.shape().w());
+    let ws = weight.shape();
+    assert_eq!(ws.dim(0), c, "depthwise weight channels");
+    assert_eq!(ws.dim(1), 1, "depthwise weight must be [c,1,k,k]");
+    let (oh, ow) = p.out_hw(h, w);
+    let mut out = Tensor::zeros(Shape::nchw(n, c, oh, ow));
+    let k = p.kernel;
+    let in_data = input.data();
+    let w_data = weight.data();
+    let bias_data = bias.map(|bt| bt.data());
+    let plane_out = oh * ow;
+    let plane_in = h * w;
+    let run_plane = |plane: usize, out_plane: &mut [f32]| {
+        let ch = plane % c;
+        let inp = &in_data[plane * plane_in..(plane + 1) * plane_in];
+        let wk = &w_data[ch * k * k..(ch + 1) * k * k];
+        let bv = bias_data.map_or(0.0, |bd| bd[ch]);
+        dw_plane(inp, wk, bv, h, w, oh, ow, p, out_plane);
+    };
+    let planes = n * c;
+    if planes > 1 && planes * plane_out >= PAR_THRESHOLD {
+        out.data_mut()
+            .par_chunks_mut(plane_out)
+            .enumerate()
+            .for_each(|(plane, out_plane)| run_plane(plane, out_plane));
+    } else {
+        for (plane, out_plane) in out.data_mut().chunks_exact_mut(plane_out).enumerate() {
+            run_plane(plane, out_plane);
+        }
+    }
+    out
+}
+
+/// One depthwise output plane: checked border band + unchecked interior.
+///
+/// The interior is the rectangle of output pixels whose receptive field lies
+/// entirely inside the input, so taps index without bounds tests; k=3 and
+/// k=5 (the supernet's kernel choices) get fully unrolled inner loops.
+#[allow(clippy::too_many_arguments)]
+fn dw_plane(
+    inp: &[f32],
+    wk: &[f32],
+    bv: f32,
+    h: usize,
+    w: usize,
+    oh: usize,
+    ow: usize,
+    p: Conv2dParams,
+    out: &mut [f32],
+) {
+    let (k, s, pad) = (p.kernel, p.stride, p.pad);
+    // First/last output coords whose k-wide window stays in-bounds.
+    let oy_lo = pad.div_ceil(s).min(oh);
+    let ox_lo = pad.div_ceil(s).min(ow);
+    let oy_hi = if h + pad >= k { ((h + pad - k) / s + 1).min(oh) } else { 0 };
+    let ox_hi = if w + pad >= k { ((w + pad - k) / s + 1).min(ow) } else { 0 };
+    if oy_lo >= oy_hi || ox_lo >= ox_hi {
+        dw_checked(inp, wk, bv, h, w, ow, p, out, 0..oh, 0..ow);
+        return;
+    }
+    // Border bands: top and bottom full-width, then the left/right strips of
+    // the interior rows.
+    dw_checked(inp, wk, bv, h, w, ow, p, out, 0..oy_lo, 0..ow);
+    dw_checked(inp, wk, bv, h, w, ow, p, out, oy_hi..oh, 0..ow);
+    dw_checked(inp, wk, bv, h, w, ow, p, out, oy_lo..oy_hi, 0..ox_lo);
+    dw_checked(inp, wk, bv, h, w, ow, p, out, oy_lo..oy_hi, ox_hi..ow);
+    match k {
+        3 => dw_interior_k3(inp, wk, bv, w, ow, s, pad, out, oy_lo..oy_hi, ox_lo..ox_hi),
+        5 => dw_interior_k5(inp, wk, bv, w, ow, s, pad, out, oy_lo..oy_hi, ox_lo..ox_hi),
+        _ => dw_interior(inp, wk, bv, w, ow, p, out, oy_lo..oy_hi, ox_lo..ox_hi),
+    }
+}
+
+/// Border path: the original per-tap bounds-checked kernel, restricted to an
+/// output sub-rectangle.
+#[allow(clippy::too_many_arguments)]
+fn dw_checked(
+    inp: &[f32],
+    wk: &[f32],
+    bv: f32,
+    h: usize,
+    w: usize,
+    ow: usize,
+    p: Conv2dParams,
+    out: &mut [f32],
+    oy_range: std::ops::Range<usize>,
+    ox_range: std::ops::Range<usize>,
+) {
+    let (k, s, pad) = (p.kernel, p.stride, p.pad);
+    for oy in oy_range {
+        for ox in ox_range.clone() {
+            let mut acc = bv;
+            for ky in 0..k {
+                let iy = (oy * s + ky) as isize - pad as isize;
+                if iy < 0 || iy >= h as isize {
+                    continue;
+                }
+                for kx in 0..k {
+                    let ix = (ox * s + kx) as isize - pad as isize;
+                    if ix < 0 || ix >= w as isize {
+                        continue;
+                    }
+                    acc += inp[iy as usize * w + ix as usize] * wk[ky * k + kx];
+                }
+            }
+            out[oy * ow + ox] = acc;
+        }
+    }
+}
+
+/// Generic-k interior: windows fully in-bounds, slice-iterator taps.
+#[allow(clippy::too_many_arguments)]
+fn dw_interior(
+    inp: &[f32],
+    wk: &[f32],
+    bv: f32,
+    w: usize,
+    ow: usize,
+    p: Conv2dParams,
+    out: &mut [f32],
+    oy_range: std::ops::Range<usize>,
+    ox_range: std::ops::Range<usize>,
+) {
+    let (k, s, pad) = (p.kernel, p.stride, p.pad);
+    for oy in oy_range {
+        let iy0 = oy * s - pad;
+        let out_row = &mut out[oy * ow..(oy + 1) * ow];
+        for ox in ox_range.clone() {
+            let ix0 = ox * s - pad;
+            let mut acc = bv;
+            for ky in 0..k {
+                let irow = &inp[(iy0 + ky) * w + ix0..(iy0 + ky) * w + ix0 + k];
+                let wrow = &wk[ky * k..(ky + 1) * k];
+                for (iv, wv) in irow.iter().zip(wrow.iter()) {
+                    acc += iv * wv;
+                }
+            }
+            out_row[ox] = acc;
+        }
+    }
+}
+
+/// Fully unrolled 3×3 interior.
+#[allow(clippy::too_many_arguments)]
+fn dw_interior_k3(
+    inp: &[f32],
+    wk: &[f32],
+    bv: f32,
+    w: usize,
+    ow: usize,
+    s: usize,
+    pad: usize,
+    out: &mut [f32],
+    oy_range: std::ops::Range<usize>,
+    ox_range: std::ops::Range<usize>,
+) {
+    let wk: &[f32; 9] = wk.try_into().expect("k=3 weight plane");
+    for oy in oy_range {
+        let iy0 = oy * s - pad;
+        let r0 = &inp[iy0 * w..(iy0 + 1) * w];
+        let r1 = &inp[(iy0 + 1) * w..(iy0 + 2) * w];
+        let r2 = &inp[(iy0 + 2) * w..(iy0 + 3) * w];
+        let out_row = &mut out[oy * ow..(oy + 1) * ow];
+        for ox in ox_range.clone() {
+            let i = ox * s - pad;
+            out_row[ox] = bv
+                + r0[i] * wk[0]
+                + r0[i + 1] * wk[1]
+                + r0[i + 2] * wk[2]
+                + r1[i] * wk[3]
+                + r1[i + 1] * wk[4]
+                + r1[i + 2] * wk[5]
+                + r2[i] * wk[6]
+                + r2[i + 1] * wk[7]
+                + r2[i + 2] * wk[8];
+        }
+    }
+}
+
+/// Fully unrolled 5×5 interior.
+#[allow(clippy::too_many_arguments)]
+fn dw_interior_k5(
+    inp: &[f32],
+    wk: &[f32],
+    bv: f32,
+    w: usize,
+    ow: usize,
+    s: usize,
+    pad: usize,
+    out: &mut [f32],
+    oy_range: std::ops::Range<usize>,
+    ox_range: std::ops::Range<usize>,
+) {
+    let wk: &[f32; 25] = wk.try_into().expect("k=5 weight plane");
+    for oy in oy_range {
+        let iy0 = oy * s - pad;
+        let r0 = &inp[iy0 * w..(iy0 + 1) * w];
+        let r1 = &inp[(iy0 + 1) * w..(iy0 + 2) * w];
+        let r2 = &inp[(iy0 + 2) * w..(iy0 + 3) * w];
+        let r3 = &inp[(iy0 + 3) * w..(iy0 + 4) * w];
+        let r4 = &inp[(iy0 + 4) * w..(iy0 + 5) * w];
+        let out_row = &mut out[oy * ow..(oy + 1) * ow];
+        for ox in ox_range.clone() {
+            let i = ox * s - pad;
+            let mut acc = bv;
+            acc += r0[i] * wk[0]
+                + r0[i + 1] * wk[1]
+                + r0[i + 2] * wk[2]
+                + r0[i + 3] * wk[3]
+                + r0[i + 4] * wk[4];
+            acc += r1[i] * wk[5]
+                + r1[i + 1] * wk[6]
+                + r1[i + 2] * wk[7]
+                + r1[i + 3] * wk[8]
+                + r1[i + 4] * wk[9];
+            acc += r2[i] * wk[10]
+                + r2[i + 1] * wk[11]
+                + r2[i + 2] * wk[12]
+                + r2[i + 3] * wk[13]
+                + r2[i + 4] * wk[14];
+            acc += r3[i] * wk[15]
+                + r3[i + 1] * wk[16]
+                + r3[i + 2] * wk[17]
+                + r3[i + 3] * wk[18]
+                + r3[i + 4] * wk[19];
+            acc += r4[i] * wk[20]
+                + r4[i + 1] * wk[21]
+                + r4[i + 2] * wk[22]
+                + r4[i + 3] * wk[23]
+                + r4[i + 4] * wk[24];
+            out_row[ox] = acc;
+        }
+    }
+}
+
+/// Naive reference convolution used for testing the im2col path.
+pub fn conv2d_ref(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    p: Conv2dParams,
+) -> Tensor {
+    let (n, c_in, h, w) =
+        (input.shape().n(), input.shape().c(), input.shape().h(), input.shape().w());
+    let c_out = weight.shape().dim(0);
+    let k = p.kernel;
+    let (oh, ow) = p.out_hw(h, w);
+    let mut out = Tensor::zeros(Shape::nchw(n, c_out, oh, ow));
+    for b in 0..n {
+        for co in 0..c_out {
+            let bv = bias.map_or(0.0, |bt| bt.data()[co]);
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = bv;
+                    for ci in 0..c_in {
+                        for ky in 0..k {
+                            let iy = (oy * p.stride + ky) as isize - p.pad as isize;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            for kx in 0..k {
+                                let ix = (ox * p.stride + kx) as isize - p.pad as isize;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                acc += input.at(b, ci, iy as usize, ix as usize)
+                                    * weight.data()[((co * c_in + ci) * k + ky) * k + kx];
+                            }
+                        }
+                    }
+                    *out.at_mut(b, co, oy, ox) = acc;
                 }
             }
         }
@@ -153,23 +447,15 @@ pub fn conv2d(input: &Tensor, weight: &Tensor, bias: Option<&Tensor>, p: Conv2dP
     out
 }
 
-/// Depthwise convolution: `weight` is `[c, 1, k, k]`, each channel convolved
-/// with its own filter. Direct (non-GEMM) implementation.
-pub fn depthwise_conv2d(
+/// Naive reference depthwise convolution (per-tap bounds checks everywhere),
+/// used to validate the interior/border fast path.
+pub fn depthwise_conv2d_ref(
     input: &Tensor,
     weight: &Tensor,
     bias: Option<&Tensor>,
     p: Conv2dParams,
 ) -> Tensor {
-    let (n, c, h, w) = (
-        input.shape().n(),
-        input.shape().c(),
-        input.shape().h(),
-        input.shape().w(),
-    );
-    let ws = weight.shape();
-    assert_eq!(ws.dim(0), c, "depthwise weight channels");
-    assert_eq!(ws.dim(1), 1, "depthwise weight must be [c,1,k,k]");
+    let (n, c, h, w) = (input.shape().n(), input.shape().c(), input.shape().h(), input.shape().w());
     let (oh, ow) = p.out_hw(h, w);
     let mut out = Tensor::zeros(Shape::nchw(n, c, oh, ow));
     let k = p.kernel;
@@ -197,49 +483,6 @@ pub fn depthwise_conv2d(
                         }
                     }
                     out.data_mut()[out_base + oy * ow + ox] = acc;
-                }
-            }
-        }
-    }
-    out
-}
-
-/// Naive reference convolution used for testing the im2col path.
-pub fn conv2d_ref(input: &Tensor, weight: &Tensor, bias: Option<&Tensor>, p: Conv2dParams) -> Tensor {
-    let (n, c_in, h, w) = (
-        input.shape().n(),
-        input.shape().c(),
-        input.shape().h(),
-        input.shape().w(),
-    );
-    let c_out = weight.shape().dim(0);
-    let k = p.kernel;
-    let (oh, ow) = p.out_hw(h, w);
-    let mut out = Tensor::zeros(Shape::nchw(n, c_out, oh, ow));
-    for b in 0..n {
-        for co in 0..c_out {
-            let bv = bias.map_or(0.0, |bt| bt.data()[co]);
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    let mut acc = bv;
-                    for ci in 0..c_in {
-                        for ky in 0..k {
-                            let iy = (oy * p.stride + ky) as isize - p.pad as isize;
-                            if iy < 0 || iy >= h as isize {
-                                continue;
-                            }
-                            for kx in 0..k {
-                                let ix = (ox * p.stride + kx) as isize - p.pad as isize;
-                                if ix < 0 || ix >= w as isize {
-                                    continue;
-                                }
-                                acc += input.at(b, ci, iy as usize, ix as usize)
-                                    * weight.data()
-                                        [((co * c_in + ci) * k + ky) * k + kx];
-                            }
-                        }
-                    }
-                    *out.at_mut(b, co, oy, ox) = acc;
                 }
             }
         }
@@ -317,6 +560,51 @@ mod tests {
     }
 
     #[test]
+    fn depthwise_border_heavy_geometries_match_reference() {
+        // Geometries chosen so most (or all) of the plane is border: h/w near
+        // k, stride 2, pad up to 2, non-square.
+        let mut rng = StdRng::seed_from_u64(12);
+        for &(c, h, w, k, s, pad) in &[
+            (3, 5, 5, 5, 1, 2), // interior is a single pixel
+            (2, 4, 7, 5, 2, 2), // h < k without padding
+            (4, 3, 3, 3, 2, 1), // everything border
+            (2, 28, 28, 5, 2, 2),
+            (1, 6, 11, 7, 2, 3),
+            (5, 9, 4, 3, 1, 1),
+        ] {
+            let p = Conv2dParams { kernel: k, stride: s, pad };
+            let x = Tensor::rand_uniform(Shape::nchw(2, c, h, w), 1.0, &mut rng);
+            let wt = Tensor::rand_uniform(Shape::nchw(c, 1, k, k), 0.5, &mut rng);
+            let b = Tensor::rand_uniform(Shape::d1(c), 0.5, &mut rng);
+            let fast = depthwise_conv2d(&x, &wt, Some(&b), p);
+            let slow = depthwise_conv2d_ref(&x, &wt, Some(&b), p);
+            assert_eq!(fast.shape(), slow.shape());
+            assert_close(fast.data(), slow.data(), 1e-4);
+        }
+    }
+
+    #[test]
+    fn scratch_pool_reuse_is_deterministic() {
+        // Repeated forwards through the pooled-scratch paths must be
+        // bit-identical (the pool hands back dirty buffers; kernels must
+        // fully overwrite or zero what they read).
+        let mut rng = StdRng::seed_from_u64(21);
+        let p = Conv2dParams { kernel: 3, stride: 2, pad: 1 };
+        let x = Tensor::rand_uniform(Shape::nchw(3, 4, 9, 7), 1.0, &mut rng);
+        let wt = Tensor::rand_uniform(Shape::nchw(6, 4, 3, 3), 0.5, &mut rng);
+        let b = Tensor::rand_uniform(Shape::d1(6), 0.5, &mut rng);
+        let first = conv2d(&x, &wt, Some(&b), p);
+        for _ in 0..3 {
+            let again = conv2d(&x, &wt, Some(&b), p);
+            assert_eq!(first.data(), again.data(), "conv2d must be deterministic");
+        }
+        let dwt = Tensor::rand_uniform(Shape::nchw(4, 1, 3, 3), 0.5, &mut rng);
+        let d1 = depthwise_conv2d(&x, &dwt, None, p);
+        let d2 = depthwise_conv2d(&x, &dwt, None, p);
+        assert_eq!(d1.data(), d2.data(), "depthwise must be deterministic");
+    }
+
+    #[test]
     fn col2im_is_adjoint_of_im2col() {
         // <im2col(x), y> == <x, col2im(y)> for random x, y.
         let mut rng = StdRng::seed_from_u64(11);
@@ -325,9 +613,8 @@ mod tests {
         let x = Tensor::rand_uniform(Shape::nchw(1, c, h, w), 1.0, &mut rng);
         let mut cols = Vec::new();
         let (rows, spatial) = im2col(x.data(), c, h, w, p, &mut cols);
-        let y: Vec<f32> = (0..rows * spatial)
-            .map(|i| ((i * 2654435761) % 97) as f32 / 97.0 - 0.5)
-            .collect();
+        let y: Vec<f32> =
+            (0..rows * spatial).map(|i| ((i * 2654435761) % 97) as f32 / 97.0 - 0.5).collect();
         let lhs: f32 = cols.iter().zip(y.iter()).map(|(a, b)| a * b).sum();
         let mut back = vec![0.0; c * h * w];
         col2im(&y, c, h, w, p, &mut back);
@@ -361,6 +648,49 @@ mod tests {
             let slow = conv2d_ref(&x, &wt, None, p);
             for (a, b) in fast.data().iter().zip(slow.data().iter()) {
                 prop_assert!((a - b).abs() < 1e-3);
+            }
+        }
+
+        #[test]
+        fn prop_batched_conv_border_heavy_matches_reference(
+            n in 1usize..4, c_in in 1usize..3, c_out in 1usize..4,
+            h in 3usize..10, dw in 1usize..4,
+            k in prop::sample::select(vec![1usize, 3, 5]),
+            s in 1usize..3, pad in 1usize..3, seed in 0u64..500,
+        ) {
+            let w = h + dw; // non-square planes
+            prop_assume!(h + 2 * pad >= k && w + 2 * pad >= k);
+            let p = Conv2dParams { kernel: k, stride: s, pad };
+            let mut rng = StdRng::seed_from_u64(seed);
+            let x = Tensor::rand_uniform(Shape::nchw(n, c_in, h, w), 1.0, &mut rng);
+            let wt = Tensor::rand_uniform(Shape::nchw(c_out, c_in, k, k), 0.5, &mut rng);
+            let b = Tensor::rand_uniform(Shape::d1(c_out), 0.5, &mut rng);
+            let fast = conv2d(&x, &wt, Some(&b), p);
+            let slow = conv2d_ref(&x, &wt, Some(&b), p);
+            prop_assert_eq!(fast.shape(), slow.shape());
+            for (a, b) in fast.data().iter().zip(slow.data().iter()) {
+                prop_assert!((a - b).abs() < 1e-3);
+            }
+        }
+
+        #[test]
+        fn prop_depthwise_border_heavy_matches_reference(
+            n in 1usize..3, c in 1usize..5,
+            h in 2usize..9, dw in 1usize..4,
+            k in prop::sample::select(vec![3usize, 5, 7]),
+            s in 1usize..3, pad in 1usize..4, seed in 0u64..500,
+        ) {
+            let w = h + dw; // h ≠ w exercises row/col border asymmetry
+            prop_assume!(h + 2 * pad >= k && w + 2 * pad >= k);
+            let p = Conv2dParams { kernel: k, stride: s, pad };
+            let mut rng = StdRng::seed_from_u64(seed);
+            let x = Tensor::rand_uniform(Shape::nchw(n, c, h, w), 1.0, &mut rng);
+            let wt = Tensor::rand_uniform(Shape::nchw(c, 1, k, k), 0.5, &mut rng);
+            let fast = depthwise_conv2d(&x, &wt, None, p);
+            let slow = depthwise_conv2d_ref(&x, &wt, None, p);
+            prop_assert_eq!(fast.shape(), slow.shape());
+            for (a, b) in fast.data().iter().zip(slow.data().iter()) {
+                prop_assert!((a - b).abs() < 1e-4);
             }
         }
     }

@@ -18,10 +18,15 @@
 //!   wire-size accounting, used when intermediate activations cross a
 //!   device boundary.
 //!
-//! Design notes (per the session's HPC guides): hot loops are written over
-//! slices with explicit blocking, GEMM parallelism uses Rayon over output
-//! row blocks, and no per-call heap allocation happens inside the inner
-//! loops beyond the im2col scratch buffer, which callers may reuse.
+//! Design notes: hot loops are written over slices with explicit blocking;
+//! GEMM packs its B operand into cache-resident `NR`-column panels and
+//! dispatches a 4×16 register-tiled microkernel; the depthwise kernel splits
+//! each plane into a bounds-check-free interior and a checked border;
+//! parallelism uses Rayon over disjoint `&mut` output chunks (row blocks for
+//! GEMM, batch images for conv2d, batch×channel planes for depthwise and
+//! FDSP merge); and steady-state forward passes do zero heap allocation —
+//! every kernel workspace (im2col columns, packing panels, transposes) comes
+//! from the thread-local [`scratch`] pool.
 
 pub mod activation;
 pub mod conv;
@@ -29,6 +34,7 @@ pub mod gemm;
 pub mod pad;
 pub mod pool;
 pub mod quant;
+pub mod scratch;
 pub mod shape;
 pub mod tensor;
 pub mod tile;
@@ -44,9 +50,6 @@ pub const TEST_EPS: f32 = 1e-4;
 pub fn assert_close(a: &[f32], b: &[f32], eps: f32) {
     assert_eq!(a.len(), b.len(), "length mismatch: {} vs {}", a.len(), b.len());
     for (i, (&x, &y)) in a.iter().zip(b.iter()).enumerate() {
-        assert!(
-            (x - y).abs() <= eps,
-            "element {i} differs: {x} vs {y} (eps {eps})"
-        );
+        assert!((x - y).abs() <= eps, "element {i} differs: {x} vs {y} (eps {eps})");
     }
 }

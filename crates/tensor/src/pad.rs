@@ -6,12 +6,7 @@ use crate::tensor::Tensor;
 /// Pads each spatial plane with zeros: `top/bottom/left/right` extra rows
 /// and columns.
 pub fn zero_pad(input: &Tensor, top: usize, bottom: usize, left: usize, right: usize) -> Tensor {
-    let (n, c, h, w) = (
-        input.shape().n(),
-        input.shape().c(),
-        input.shape().h(),
-        input.shape().w(),
-    );
+    let (n, c, h, w) = (input.shape().n(), input.shape().c(), input.shape().h(), input.shape().w());
     let nh = h + top + bottom;
     let nw = w + left + right;
     let mut out = Tensor::zeros(Shape::nchw(n, c, nh, nw));
@@ -31,12 +26,7 @@ pub fn zero_pad(input: &Tensor, top: usize, bottom: usize, left: usize, right: u
 
 /// Crops a spatial window `[y0, y0+ch_h) × [x0, x0+ch_w)` from each plane.
 pub fn crop(input: &Tensor, y0: usize, x0: usize, ch_h: usize, ch_w: usize) -> Tensor {
-    let (n, c, h, w) = (
-        input.shape().n(),
-        input.shape().c(),
-        input.shape().h(),
-        input.shape().w(),
-    );
+    let (n, c, h, w) = (input.shape().n(), input.shape().c(), input.shape().h(), input.shape().w());
     assert!(y0 + ch_h <= h, "crop rows out of range");
     assert!(x0 + ch_w <= w, "crop cols out of range");
     let mut out = Tensor::zeros(Shape::nchw(n, c, ch_h, ch_w));

@@ -6,12 +6,7 @@ use crate::tensor::Tensor;
 /// Max pooling over square windows. Returns `(output, argmax_indices)` where
 /// indices address the flattened input buffer (used by the backward pass).
 pub fn maxpool2d(input: &Tensor, k: usize, stride: usize, pad: usize) -> (Tensor, Vec<usize>) {
-    let (n, c, h, w) = (
-        input.shape().n(),
-        input.shape().c(),
-        input.shape().h(),
-        input.shape().w(),
-    );
+    let (n, c, h, w) = (input.shape().n(), input.shape().c(), input.shape().h(), input.shape().w());
     let oh = conv_out_size(h, k, pad, stride);
     let ow = conv_out_size(w, k, pad, stride);
     let mut out = Tensor::zeros(Shape::nchw(n, c, oh, ow));
@@ -60,12 +55,7 @@ pub fn maxpool2d(input: &Tensor, k: usize, stride: usize, pad: usize) -> (Tensor
 /// Average pooling over square windows; padding contributes zeros and the
 /// divisor is the full window size (PyTorch `count_include_pad=True`).
 pub fn avgpool2d(input: &Tensor, k: usize, stride: usize, pad: usize) -> Tensor {
-    let (n, c, h, w) = (
-        input.shape().n(),
-        input.shape().c(),
-        input.shape().h(),
-        input.shape().w(),
-    );
+    let (n, c, h, w) = (input.shape().n(), input.shape().c(), input.shape().h(), input.shape().w());
     let oh = conv_out_size(h, k, pad, stride);
     let ow = conv_out_size(w, k, pad, stride);
     let mut out = Tensor::zeros(Shape::nchw(n, c, oh, ow));
@@ -101,12 +91,7 @@ pub fn avgpool2d(input: &Tensor, k: usize, stride: usize, pad: usize) -> Tensor 
 
 /// Global average pooling: NCHW → `[n, c, 1, 1]`.
 pub fn global_avgpool(input: &Tensor) -> Tensor {
-    let (n, c, h, w) = (
-        input.shape().n(),
-        input.shape().c(),
-        input.shape().h(),
-        input.shape().w(),
-    );
+    let (n, c, h, w) = (input.shape().n(), input.shape().c(), input.shape().h(), input.shape().w());
     let mut out = Tensor::zeros(Shape::nchw(n, c, 1, 1));
     let inv = 1.0 / (h * w) as f32;
     for b in 0..n {

@@ -8,6 +8,14 @@
 //! latency estimator.
 
 use crate::tensor::Tensor;
+use rayon::prelude::*;
+
+/// Below this many elements the quantize/dequantize kernels run
+/// sequentially; above it they fan out over element chunks.
+const PAR_THRESHOLD: usize = 16 * 1024;
+
+/// Chunk size for the parallel absmax reduction.
+const REDUCE_CHUNK: usize = 4096;
 
 /// Wire bit-width for inter-device feature-map transfer.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -67,20 +75,35 @@ impl QuantizedTensor {
             BitWidth::B16 => 32767.0,
             BitWidth::B32 => unreachable!(),
         };
-        let absmax = t.data().iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        let data = t.data();
+        let parallel = data.len() >= PAR_THRESHOLD;
+        let absmax = if parallel {
+            data.par_chunks(REDUCE_CHUNK)
+                .map(|c| c.iter().fold(0.0f32, |m, &v| m.max(v.abs())))
+                .max_by(|a, b| a.total_cmp(b))
+                .unwrap_or(0.0)
+        } else {
+            data.iter().fold(0.0f32, |m, &v| m.max(v.abs()))
+        };
         let scale = if absmax == 0.0 { 1.0 } else { absmax / qmax };
         let inv = 1.0 / scale;
-        let codes = t
-            .data()
-            .iter()
-            .map(|&v| (v * inv).round().clamp(-qmax, qmax) as i32)
-            .collect();
+        let encode = |v: f32| (v * inv).round().clamp(-qmax, qmax) as i32;
+        let codes = if parallel {
+            data.par_iter().map(|&v| encode(v)).collect()
+        } else {
+            data.iter().map(|&v| encode(v)).collect()
+        };
         QuantizedTensor { codes, scale, bits, shape: t.shape().clone() }
     }
 
     /// Reconstructs the f32 tensor.
     pub fn dequantize(&self) -> Tensor {
-        let data = self.codes.iter().map(|&c| c as f32 * self.scale).collect();
+        let scale = self.scale;
+        let data = if self.codes.len() >= PAR_THRESHOLD {
+            self.codes.par_iter().map(|&c| c as f32 * scale).collect()
+        } else {
+            self.codes.iter().map(|&c| c as f32 * scale).collect()
+        };
         Tensor::from_vec(self.shape.clone(), data)
     }
 
@@ -152,6 +175,21 @@ mod tests {
             t.data().iter().zip(r.data().iter()).map(|(a, b)| (a - b).abs()).sum()
         };
         assert!(e16 < e8 / 10.0, "16-bit ({e16}) must beat 8-bit ({e8})");
+    }
+
+    #[test]
+    fn large_tensor_parallel_path_round_trips() {
+        // Above PAR_THRESHOLD both the absmax reduction and the code map run
+        // through the parallel path; the error bound must still hold.
+        let n = 20_000;
+        let vals: Vec<f32> = (0..n).map(|i| ((i % 255) as f32 - 127.0) / 16.0).collect();
+        let t = Tensor::from_vec(Shape::d1(n), vals);
+        let q = QuantizedTensor::quantize(&t, BitWidth::B8);
+        let r = q.dequantize();
+        let bound = q.max_abs_error_bound() + 1e-6;
+        for (a, b) in t.data().iter().zip(r.data().iter()) {
+            assert!((a - b).abs() <= bound, "{a} vs {b}");
+        }
     }
 
     #[test]

@@ -1,0 +1,83 @@
+//! Thread-local scratch-buffer pool for kernel workspaces.
+//!
+//! The im2col column matrix, GEMM packing panels, and backward-pass
+//! temporaries are all short-lived `Vec<f32>` workspaces whose size repeats
+//! from call to call. Allocating them fresh on every forward pass puts an
+//! allocator round-trip (and a page-fault storm on first touch) on the
+//! inference hot path. This module keeps a small per-thread stack of
+//! reusable buffers so that steady-state forward passes do zero heap
+//! allocation: a buffer is popped on [`with`], handed to the closure, and
+//! pushed back afterwards with its capacity intact.
+//!
+//! Contract:
+//!
+//! * Buffers come back with unspecified length and contents — callers must
+//!   `clear()`/`resize()` before use (or overwrite every element they read).
+//! * Calls nest: each nested [`with`] pops a distinct buffer, so a kernel
+//!   that needs three workspaces simply nests three closures.
+//! * The pool is per-thread (no locks); Rayon workers each warm their own
+//!   pool after the first task they run.
+//! * At most [`MAX_POOLED`] buffers are retained per thread; extras are
+//!   freed on return so pathological nesting cannot hoard memory.
+
+use std::cell::RefCell;
+
+/// Maximum buffers retained per thread.
+const MAX_POOLED: usize = 8;
+
+thread_local! {
+    static POOL: RefCell<Vec<Vec<f32>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Runs `f` with a pooled scratch buffer, returning the buffer to the
+/// per-thread pool afterwards. The buffer's length and contents on entry are
+/// unspecified; its capacity persists across calls on the same thread.
+pub fn with<R>(f: impl FnOnce(&mut Vec<f32>) -> R) -> R {
+    let mut buf = POOL.with(|p| p.borrow_mut().pop()).unwrap_or_default();
+    let out = f(&mut buf);
+    POOL.with(|p| {
+        let mut pool = p.borrow_mut();
+        if pool.len() < MAX_POOLED {
+            pool.push(buf);
+        }
+    });
+    out
+}
+
+/// Number of buffers currently pooled on this thread (diagnostics/tests).
+pub fn pooled_buffers() -> usize {
+    POOL.with(|p| p.borrow().len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffer_capacity_is_reused() {
+        let cap0 = with(|buf| {
+            buf.clear();
+            buf.resize(4096, 1.0);
+            buf.capacity()
+        });
+        // Second call on the same thread sees the retained capacity.
+        let cap1 = with(|buf| buf.capacity());
+        assert!(cap1 >= cap0.min(4096), "capacity {cap1} lost (was {cap0})");
+    }
+
+    #[test]
+    fn nested_calls_get_distinct_buffers() {
+        with(|a| {
+            a.clear();
+            a.resize(8, 1.0);
+            with(|b| {
+                b.clear();
+                b.resize(8, 2.0);
+                assert_eq!(a[0], 1.0, "outer buffer must be untouched");
+                assert_eq!(b[0], 2.0);
+            });
+            assert_eq!(a[7], 1.0);
+        });
+        assert!(pooled_buffers() >= 2);
+    }
+}

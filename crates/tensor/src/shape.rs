@@ -103,10 +103,7 @@ impl From<&[usize]> for Shape {
 /// zero padding and `stride` the step.
 pub fn conv_out_size(size: usize, k: usize, pad: usize, stride: usize) -> usize {
     assert!(stride > 0, "stride must be positive");
-    assert!(
-        size + 2 * pad >= k,
-        "window {k} larger than padded input {size}+2*{pad}"
-    );
+    assert!(size + 2 * pad >= k, "window {k} larger than padded input {size}+2*{pad}");
     (size + 2 * pad - k) / stride + 1
 }
 

@@ -81,11 +81,7 @@ impl Tensor {
     /// Reinterprets the buffer under a new shape with the same element count.
     pub fn reshape(mut self, shape: impl Into<Shape>) -> Self {
         let shape = shape.into();
-        assert_eq!(
-            shape.numel(),
-            self.data.len(),
-            "reshape to {shape} changes element count"
-        );
+        assert_eq!(shape.numel(), self.data.len(), "reshape to {shape} changes element count");
         self.shape = shape;
         self
     }

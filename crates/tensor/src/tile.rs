@@ -11,6 +11,10 @@
 
 use crate::shape::Shape;
 use crate::tensor::Tensor;
+use rayon::prelude::*;
+
+/// Below this many elements per tensor the split/merge run sequentially.
+const PAR_THRESHOLD: usize = 4096;
 
 /// A spatial partition grid. `1×1` means "no spatial partitioning".
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -38,12 +42,7 @@ impl GridSpec {
 
     /// The grids in the paper's search space: 1×1, 1×2, 2×1, 2×2.
     pub fn search_space() -> Vec<GridSpec> {
-        vec![
-            GridSpec::new(1, 1),
-            GridSpec::new(1, 2),
-            GridSpec::new(2, 1),
-            GridSpec::new(2, 2),
-        ]
+        vec![GridSpec::new(1, 1), GridSpec::new(1, 2), GridSpec::new(2, 1), GridSpec::new(2, 2)]
     }
 }
 
@@ -80,12 +79,20 @@ pub fn tile_bounds(h: usize, w: usize, grid: GridSpec) -> Vec<TileBounds> {
 }
 
 /// Splits an NCHW tensor into FDSP tiles (row-major tile order).
+///
+/// Tiles are cropped in parallel when the tensor is large enough to amortize
+/// the dispatch (each crop writes a disjoint freshly-allocated tile).
 pub fn split_fdsp(input: &Tensor, grid: GridSpec) -> Vec<Tensor> {
     let (h, w) = (input.shape().h(), input.shape().w());
-    tile_bounds(h, w, grid)
-        .into_iter()
-        .map(|(y0, x0, th, tw)| crate::pad::crop(input, y0, x0, th, tw))
-        .collect()
+    let bounds = tile_bounds(h, w, grid);
+    if grid.tiles() > 1 && input.numel() >= PAR_THRESHOLD {
+        bounds
+            .into_par_iter()
+            .map(|(y0, x0, th, tw)| crate::pad::crop(input, y0, x0, th, tw))
+            .collect()
+    } else {
+        bounds.into_iter().map(|(y0, x0, th, tw)| crate::pad::crop(input, y0, x0, th, tw)).collect()
+    }
 }
 
 /// Reassembles FDSP tiles produced by [`split_fdsp`] (or per-tile outputs of
@@ -103,7 +110,9 @@ pub fn merge_fdsp(tiles: &[Tensor], grid: GridSpec) -> Tensor {
     let col_w: Vec<usize> = (0..grid.cols).map(|cix| tiles[cix].shape().w()).collect();
     let h: usize = row_h.iter().sum();
     let w: usize = col_w.iter().sum();
-    let mut out = Tensor::zeros(Shape::nchw(n, c, h, w));
+    // Validate every tile up front, plus precompute its (y0, x0) offset, so
+    // the copy loop below is assertion-free and parallelizable.
+    let mut offsets = Vec::with_capacity(tiles.len());
     let mut y0 = 0;
     for r in 0..grid.rows {
         let mut x0 = 0;
@@ -113,21 +122,35 @@ pub fn merge_fdsp(tiles: &[Tensor], grid: GridSpec) -> Tensor {
             assert_eq!(t.shape().c(), c, "tile C mismatch");
             assert_eq!(t.shape().h(), row_h[r], "tile height inconsistent in row {r}");
             assert_eq!(t.shape().w(), col_w[cix], "tile width inconsistent in col {cix}");
-            let (th, tw) = (t.shape().h(), t.shape().w());
-            for b in 0..n {
-                for chn in 0..c {
-                    let src = (b * c + chn) * th * tw;
-                    let dst = (b * c + chn) * h * w;
-                    for y in 0..th {
-                        let s = src + y * tw;
-                        let d = dst + (y0 + y) * w + x0;
-                        out.data_mut()[d..d + tw].copy_from_slice(&t.data()[s..s + tw]);
-                    }
-                }
-            }
-            x0 += tw;
+            offsets.push((y0, x0));
+            x0 += col_w[cix];
         }
         y0 += row_h[r];
+    }
+    let mut out = Tensor::zeros(Shape::nchw(n, c, h, w));
+    // Each (batch, channel) plane of the output is written by exactly one
+    // task, gathering that plane's rows from every tile.
+    let copy_plane = |plane: usize, out_plane: &mut [f32]| {
+        for (t, &(ty0, tx0)) in tiles.iter().zip(offsets.iter()) {
+            let (th, tw) = (t.shape().h(), t.shape().w());
+            let src = plane * th * tw;
+            for y in 0..th {
+                let s = src + y * tw;
+                let d = (ty0 + y) * w + tx0;
+                out_plane[d..d + tw].copy_from_slice(&t.data()[s..s + tw]);
+            }
+        }
+    };
+    let planes = n * c;
+    if planes > 1 && planes * h * w >= PAR_THRESHOLD {
+        out.data_mut()
+            .par_chunks_mut(h * w)
+            .enumerate()
+            .for_each(|(plane, out_plane)| copy_plane(plane, out_plane));
+    } else {
+        for (plane, out_plane) in out.data_mut().chunks_exact_mut(h * w).enumerate() {
+            copy_plane(plane, out_plane);
+        }
     }
     out
 }
@@ -198,9 +221,8 @@ mod tests {
         }
         assert_eq!(mismatch_off_seam, 0, "FDSP must be exact away from seams");
         // And the seam really does differ (otherwise the test is vacuous).
-        let seam_diff: f32 = (0..8)
-            .map(|xx| (merged.at(0, 0, 3, xx) - full.at(0, 0, 3, xx)).abs())
-            .sum();
+        let seam_diff: f32 =
+            (0..8).map(|xx| (merged.at(0, 0, 3, xx) - full.at(0, 0, 3, xx)).abs()).sum();
         assert!(seam_diff > 1e-4, "expected nonzero seam error, got {seam_diff}");
     }
 

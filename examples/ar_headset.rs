@@ -9,8 +9,8 @@ use murmuration::edgesim::device::augmented_computing_devices;
 use murmuration::models::zoo::BaselineModel;
 use murmuration::partition::{adcnn, neurosurgeon, single};
 use murmuration::prelude::*;
-use murmuration::rl::supreme::{self, SupremeConfig};
 use murmuration::rl::env::{rollout, RolloutMode};
+use murmuration::rl::supreme::{self, SupremeConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

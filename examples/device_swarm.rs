@@ -6,8 +6,8 @@
 
 use murmuration::edgesim::device::device_swarm_devices;
 use murmuration::models::zoo::BaselineModel;
-use murmuration::partition::evolutionary;
 use murmuration::partition::adcnn;
+use murmuration::partition::evolutionary;
 use murmuration::prelude::*;
 
 fn main() {

@@ -8,8 +8,8 @@
 
 use murmuration::edgesim::trace::NetworkTrace;
 use murmuration::prelude::*;
-use murmuration::runtime::executor::{ConvStackCompute, Executor, UnitWire};
 use murmuration::rl::supreme::{self, SupremeConfig};
+use murmuration::runtime::executor::{ConvStackCompute, Executor, UnitWire};
 use murmuration::tensor::quant::BitWidth;
 use murmuration::tensor::tile::GridSpec;
 use murmuration::tensor::{Shape, Tensor};
@@ -36,8 +36,10 @@ fn main() {
     ]);
 
     println!("\nruntime adaptation over a step trace (SLO = 140 ms):");
-    println!("{:>8} {:>9} {:>9} {:>10} {:>11} {:>7} {:>6}",
-        "t ms", "bw Mbps", "delay ms", "lat ms", "accuracy %", "cached", "met");
+    println!(
+        "{:>8} {:>9} {:>9} {:>10} {:>11} {:>7} {:>6}",
+        "t ms", "bw Mbps", "delay ms", "lat ms", "accuracy %", "cached", "met"
+    );
     for step in 0..12u32 {
         let t = step as f64 * 400.0;
         let link = trace.sample(t);
@@ -47,7 +49,13 @@ fn main() {
         let r = rt.infer(&net, t + 50.0, &mut rng);
         println!(
             "{:>8.0} {:>9.0} {:>9.0} {:>10.1} {:>11.2} {:>7} {:>6}",
-            t, link.bandwidth_mbps, link.delay_ms, r.latency_ms, r.accuracy_pct, r.cached, r.slo_met
+            t,
+            link.bandwidth_mbps,
+            link.delay_ms,
+            r.latency_ms,
+            r.accuracy_pct,
+            r.cached,
+            r.slo_met
         );
     }
     let stats = rt.cache_stats();
@@ -61,8 +69,7 @@ fn main() {
     let input = Tensor::rand_uniform(Shape::nchw(1, 8, 64, 64), 1.0, &mut rng);
 
     let local_plan = ExecutionPlan { placements: vec![UnitPlacement::Single(0); 3] };
-    let wire_local =
-        vec![UnitWire { grid: GridSpec::new(1, 1), in_quant: BitWidth::B32 }; 3];
+    let wire_local = vec![UnitWire { grid: GridSpec::new(1, 1), in_quant: BitWidth::B32 }; 3];
     let (_out, local) = exec.execute(&local_plan, &wire_local, input.clone());
 
     let tiled_plan = ExecutionPlan {
@@ -79,7 +86,11 @@ fn main() {
     let (out_tiled, tiled) = exec.execute(&tiled_plan, &wire_tiled, input.clone());
 
     println!("  single worker : {:>8.2} ms wall", local.wall_ms);
-    println!("  2x2 tiled     : {:>8.2} ms wall ({:.2}x)", tiled.wall_ms, local.wall_ms / tiled.wall_ms);
+    println!(
+        "  2x2 tiled     : {:>8.2} ms wall ({:.2}x)",
+        tiled.wall_ms,
+        local.wall_ms / tiled.wall_ms
+    );
     println!("  output shape  : {:?}", out_tiled.shape());
 
     // Pipelined streaming: 6 inputs flow through units pinned to devices

@@ -22,7 +22,9 @@ fn main() {
     );
 
     let slo = 200.0;
-    println!("\nlatency SLO = {slo} ms; per-link (bw Mbps, delay ms) shown as [jetson1, jetson2, gpu]");
+    println!(
+        "\nlatency SLO = {slo} ms; per-link (bw Mbps, delay ms) shown as [jetson1, jetson2, gpu]"
+    );
     println!("{:<42} | {:>9} {:>8} | devices used", "network state", "lat ms", "acc %");
     let cases: Vec<(&str, Vec<f64>, Vec<f64>)> = vec![
         ("all links fast", vec![400.0, 400.0, 400.0], vec![3.0, 3.0, 3.0]),
@@ -35,11 +37,8 @@ fn main() {
         let r = decide_guarded(&policy, &scenario, &cond);
         let used = scenario.used_links(&r.actions);
         let labels = ["jetson1", "jetson2", "gpu"];
-        let used_str: Vec<&str> = used
-            .iter()
-            .enumerate()
-            .filter_map(|(i, &u)| u.then_some(labels[i]))
-            .collect();
+        let used_str: Vec<&str> =
+            used.iter().enumerate().filter_map(|(i, &u)| u.then_some(labels[i])).collect();
         println!(
             "{:<42} | {:>9.1} {:>8.2} | local{}{}",
             format!("{name}: bw {bw:?}"),

@@ -36,9 +36,13 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(7);
 
     println!("\nserving requests as the network degrades:");
-    println!("{:>8} {:>10} {:>10} {:>12} {:>10} {:>7} {:>7}",
-        "bw Mbps", "delay ms", "lat ms", "accuracy %", "decide µs", "cached", "met");
-    for (bw, delay) in [(400.0, 5.0), (400.0, 5.0), (200.0, 20.0), (100.0, 40.0), (60.0, 80.0), (60.0, 80.0)] {
+    println!(
+        "{:>8} {:>10} {:>10} {:>12} {:>10} {:>7} {:>7}",
+        "bw Mbps", "delay ms", "lat ms", "accuracy %", "decide µs", "cached", "met"
+    );
+    for (bw, delay) in
+        [(400.0, 5.0), (400.0, 5.0), (200.0, 20.0), (100.0, 40.0), (60.0, 80.0), (60.0, 80.0)]
+    {
         let net = NetworkState::uniform(1, LinkState { bandwidth_mbps: bw, delay_ms: delay });
         let report = rt.infer(&net, 0.0, &mut rng);
         println!(

@@ -149,9 +149,5 @@ fn estimator_agrees_with_neurosurgeon_for_equivalent_plans() {
     let b = est.estimate(&spec, &remote);
     let up = net.transfer_ms(0, 1, spec.input_bytes());
     let down = net.transfer_ms(1, 0, (1000usize * 4) as u64);
-    assert!(
-        (b.comm_ms - (up + down)).abs() < 1e-6,
-        "comm {} vs {up}+{down}",
-        b.comm_ms
-    );
+    assert!((b.comm_ms - (up + down)).abs() < 1e-6, "comm {} vs {up}+{down}", b.comm_ms);
 }

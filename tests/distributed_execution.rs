@@ -26,9 +26,7 @@ fn many_devices_many_units_exact_at_full_precision() {
     let mut rng = StdRng::seed_from_u64(2);
     let input = Tensor::rand_uniform(Shape::nchw(1, 6, 16, 16), 1.0, &mut rng);
     // Ping-pong across all five devices, unpartitioned.
-    let plan = ExecutionPlan {
-        placements: (0..5).map(|u| UnitPlacement::Single(u % 5)).collect(),
-    };
+    let plan = ExecutionPlan { placements: (0..5).map(|u| UnitPlacement::Single(u % 5)).collect() };
     let wire = vec![UnitWire { grid: GridSpec::new(1, 1), in_quant: BitWidth::B32 }; 5];
     let (out, _) = exec.execute(&plan, &wire, input.clone());
     assert_eq!(out.data(), reference(&compute, &input).data());
@@ -60,13 +58,9 @@ fn mixed_plan_tiled_and_single_units() {
     // Result stays close to the monolithic reference despite tiling and
     // quantization.
     let mono = reference(&compute, &input);
-    let mean_err: f32 = out
-        .data()
-        .iter()
-        .zip(mono.data().iter())
-        .map(|(a, b)| (a - b).abs())
-        .sum::<f32>()
-        / out.numel() as f32;
+    let mean_err: f32 =
+        out.data().iter().zip(mono.data().iter()).map(|(a, b)| (a - b).abs()).sum::<f32>()
+            / out.numel() as f32;
     let scale: f32 = mono.data().iter().map(|v| v.abs()).sum::<f32>() / mono.numel() as f32;
     assert!(mean_err < scale * 0.6, "mean err {mean_err} vs scale {scale}");
 }

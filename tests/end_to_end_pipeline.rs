@@ -61,10 +61,7 @@ fn runtime_serves_and_adapts_through_public_api() {
             hit_after_convergence |= r.cached;
         }
     }
-    assert!(
-        hit_after_convergence,
-        "stable conditions must be served from the strategy cache"
-    );
+    assert!(hit_after_convergence, "stable conditions must be served from the strategy cache");
 }
 
 #[test]

@@ -66,9 +66,8 @@ fn fig13_shape_accuracy_wins_at_good_conditions() {
 #[test]
 fn fig14_shape_feasible_set_nests_with_slo() {
     let devices = device_swarm_devices(5);
-    let bandwidths: Vec<f64> = (0..9)
-        .map(|i| (5.0f64.ln() + 100.0f64.ln() * i as f64 / 8.0).exp())
-        .collect();
+    let bandwidths: Vec<f64> =
+        (0..9).map(|i| (5.0f64.ln() + 100.0f64.ln() * i as f64 / 8.0).exp()).collect();
     for model in [BaselineModel::MobileNetV3Large, BaselineModel::ResNet50] {
         let spec = model.spec();
         let mut prev_count = usize::MAX;
@@ -76,10 +75,8 @@ fn fig14_shape_feasible_set_nests_with_slo() {
             let count = bandwidths
                 .iter()
                 .filter(|&&bw| {
-                    let net = NetworkState::uniform(
-                        4,
-                        LinkState { bandwidth_mbps: bw, delay_ms: 20.0 },
-                    );
+                    let net =
+                        NetworkState::uniform(4, LinkState { bandwidth_mbps: bw, delay_ms: 20.0 });
                     adcnn::plan(&spec, &devices, &net).latency_ms <= slo
                 })
                 .count();
@@ -95,14 +92,9 @@ fn fig14_shape_feasible_set_nests_with_slo() {
 #[test]
 fn fig18_shape_rl_decision_is_one_evaluation() {
     let sc = Scenario::augmented_computing(SloKind::Latency);
-    let result = murmuration::partition::evolutionary::search(
-        &sc.space,
-        2,
-        24,
-        25,
-        0,
-        |cfg, _| f64::from(AccuracyModel::new().predict(cfg)),
-    );
+    let result = murmuration::partition::evolutionary::search(&sc.space, 2, 24, 25, 0, |cfg, _| {
+        f64::from(AccuracyModel::new().predict(cfg))
+    });
     assert!(result.evaluations > 400, "GA must do hundreds of evaluations");
     // The RL decision is a single forward rollout; the guard adds a fixed
     // ~30-candidate check — still 10x below the GA.
@@ -143,9 +135,8 @@ fn intro_shape_fixed_dnn_compliance_collapses() {
     let devices = device_swarm_devices(5);
     let sc = Scenario::device_swarm(5, SloKind::Latency);
     let policy = LstmPolicy::new(sc.input_dim(), 16, sc.arities(), 0);
-    let bandwidths: Vec<f64> = (0..9)
-        .map(|i| (5.0f64.ln() + 100.0f64.ln() * i as f64 / 8.0).exp())
-        .collect();
+    let bandwidths: Vec<f64> =
+        (0..9).map(|i| (5.0f64.ln() + 100.0f64.ln() * i as f64 / 8.0).exp()).collect();
     let slo = 600.0;
     let fixed = BaselineModel::ResNet50.spec();
     let mut fixed_met = 0;

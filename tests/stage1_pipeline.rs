@@ -27,11 +27,8 @@ fn predictor_fitted_on_measured_subnet_accuracies_ranks_correctly() {
     let (_, report) = progressive_shrinking(&train, &eval, 45, 8, 0.05, 5);
 
     // 2. Fit a tiny MLP on the *measured* (choice → accuracy) pairs.
-    let data: Vec<(Vec<f32>, f32)> = report
-        .per_choice_accuracy
-        .iter()
-        .map(|&(c, acc)| (encode_choice(c), acc))
-        .collect();
+    let data: Vec<(Vec<f32>, f32)> =
+        report.per_choice_accuracy.iter().map(|&(c, acc)| (encode_choice(c), acc)).collect();
     assert_eq!(data.len(), 8);
     let mut rng = StdRng::seed_from_u64(0);
     let mut net = Sequential::new()
@@ -62,11 +59,7 @@ fn predictor_fitted_on_measured_subnet_accuracies_ranks_correctly() {
         x.data_mut()[i * 3..(i + 1) * 3].copy_from_slice(f);
     }
     let pred = net.forward(&x, false);
-    let mae: f32 = data
-        .iter()
-        .enumerate()
-        .map(|(i, (_, y))| (pred.data()[i] - y).abs())
-        .sum::<f32>()
-        / 8.0;
+    let mae: f32 =
+        data.iter().enumerate().map(|(i, (_, y))| (pred.data()[i] - y).abs()).sum::<f32>() / 8.0;
     assert!(mae < 0.08, "predictor MAE {mae} on measured subnet accuracies");
 }
