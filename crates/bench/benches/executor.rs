@@ -22,7 +22,7 @@ fn bench_executor(c: &mut Criterion) {
     let local = ExecutionPlan { placements: vec![UnitPlacement::Single(0); 3] };
     let wire32 = vec![UnitWire { grid: GridSpec::new(1, 1), in_quant: BitWidth::B32 }; 3];
     g.bench_function("single_worker_3units_48px", |b| {
-        b.iter(|| exec.execute(&local, &wire32, input.clone()))
+        b.iter(|| exec.execute(&local, &wire32, input.clone()).unwrap())
     });
 
     let tiled = ExecutionPlan {
@@ -37,7 +37,7 @@ fn bench_executor(c: &mut Criterion) {
     wire_t[1].grid = GridSpec::new(2, 2);
     wire_t[1].in_quant = BitWidth::B8;
     g.bench_function("tiled_2x2_wire_b8_48px", |b| {
-        b.iter(|| exec.execute(&tiled, &wire_t, input.clone()))
+        b.iter(|| exec.execute(&tiled, &wire_t, input.clone()).unwrap())
     });
     g.finish();
 }

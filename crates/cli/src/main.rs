@@ -75,6 +75,8 @@ fn print_help() {
            models    Print the baseline model zoo.\n\
            simulate  Serve requests through the full runtime over a dynamic trace.\n\
                      --policy FILE  --scenario ...  --slo V  --requests N (10)\n\
+                     --kill-device D --kill-at-req K (0) --revive-at-req R (never)\n\
+                     (injects a device failure window; degraded column shows recovery)\n\
            help      This message."
     );
 }
@@ -301,25 +303,57 @@ fn cmd_simulate(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         SloKind::Accuracy => Slo::AccuracyPct(slo as f32),
     };
     let n_remote = sc.n_remote();
+    let n_devices = sc.devices.len();
+    // Fault injection: optionally kill one device for a request window.
+    let kill_device: usize = args.get_parsed_or("kill-device", usize::MAX)?;
+    let kill_at: usize = args.get_parsed_or("kill-at-req", 0)?;
+    let revive_at: usize = args.get_parsed_or("revive-at-req", usize::MAX)?;
+    if kill_device != usize::MAX && (kill_device == 0 || kill_device >= n_devices) {
+        return Err(Box::new(ArgError(format!(
+            "--kill-device: device must be a remote (1..{})",
+            n_devices - 1
+        ))));
+    }
     let mut rt = Runtime::new(sc, policy, RuntimeConfig::default(), initial);
     let mut rng = StdRng::seed_from_u64(args.get_parsed_or("seed", 0u64)?);
     let base = LinkState { bandwidth_mbps: 150.0, delay_ms: 20.0 };
     let trace = NetworkTrace::random_walk(base, 400.0, requests * 2 + 4, 4.0, 11);
     println!(
-        "{:>4} {:>9} {:>9} {:>10} {:>10} {:>7} {:>6}",
-        "req", "bw Mbps", "delay ms", "lat ms", "acc %", "cached", "met"
+        "{:>4} {:>9} {:>9} {:>10} {:>10} {:>7} {:>6} {:>9}",
+        "req", "bw Mbps", "delay ms", "lat ms", "acc %", "cached", "met", "degraded"
     );
     let mut met = 0usize;
     for i in 0..requests {
+        if kill_device != usize::MAX {
+            if i == kill_at {
+                rt.set_device_down(kill_device);
+            }
+            if i == revive_at {
+                rt.set_device_up(kill_device);
+            }
+        }
         let t = i as f64 * 400.0;
         let link = trace.sample(t);
         let net = NetworkState::uniform(n_remote, link);
         rt.tick(&net, t, &mut rng);
         let r = rt.infer(&net, t + 50.0, &mut rng);
         met += usize::from(r.slo_met);
+        let degraded = if r.degradation.forced_local {
+            "local".to_string()
+        } else if !r.degradation.down_devices.is_empty() {
+            format!("-{:?}", r.degradation.down_devices)
+        } else {
+            "-".to_string()
+        };
         println!(
-            "{i:>4} {:>9.0} {:>9.0} {:>10.1} {:>10.2} {:>7} {:>6}",
-            link.bandwidth_mbps, link.delay_ms, r.latency_ms, r.accuracy_pct, r.cached, r.slo_met
+            "{i:>4} {:>9.0} {:>9.0} {:>10.1} {:>10.2} {:>7} {:>6} {:>9}",
+            link.bandwidth_mbps,
+            link.delay_ms,
+            r.latency_ms,
+            r.accuracy_pct,
+            r.cached,
+            r.slo_met,
+            degraded
         );
     }
     let stats = rt.cache_stats();

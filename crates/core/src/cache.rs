@@ -127,6 +127,27 @@ impl StrategyCache {
         inner.map.clear();
         inner.order.clear();
     }
+
+    /// Removes the entry for a condition bucket (e.g. when it turned out
+    /// to reference a dead device). Returns the evicted strategy.
+    pub fn remove(&self, sc: &Scenario, cond: &Condition) -> Option<CachedStrategy> {
+        let key = self.key(sc, cond);
+        let mut inner = self.inner.lock();
+        inner.order.retain(|k| k != &key);
+        inner.map.remove(&key)
+    }
+
+    /// Keeps only strategies for which `keep` returns true — used to purge
+    /// every cached plan that places work on a device that just died.
+    /// Returns the number of evicted entries.
+    pub fn retain<F: FnMut(&CachedStrategy) -> bool>(&self, mut keep: F) -> usize {
+        let mut inner = self.inner.lock();
+        let before = inner.map.len();
+        let Inner { map, order, .. } = &mut *inner;
+        map.retain(|_, v| keep(v));
+        order.retain(|k| map.contains_key(k));
+        before - inner.map.len()
+    }
 }
 
 #[cfg(test)]
@@ -189,5 +210,25 @@ mod tests {
         cache.put(&sc, &cond(140.0, 100.0, 20.0), CachedStrategy { actions: vec![1] });
         cache.clear();
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn remove_and_retain_evict_targeted_entries() {
+        let sc = sc();
+        let cache = StrategyCache::new(10, 8);
+        let c1 = cond(80.0, 50.0, 5.0);
+        let c2 = cond(400.0, 400.0, 100.0);
+        cache.put(&sc, &c1, CachedStrategy { actions: vec![1] });
+        cache.put(&sc, &c2, CachedStrategy { actions: vec![2] });
+        assert_eq!(cache.remove(&sc, &c1).unwrap().actions, vec![1]);
+        assert!(cache.get(&sc, &c1).is_none());
+        assert!(cache.get(&sc, &c2).is_some());
+        // retain drops by predicate and keeps the order list consistent.
+        let evicted = cache.retain(|s| s.actions != vec![2]);
+        assert_eq!(evicted, 1);
+        assert!(cache.is_empty());
+        // Re-inserting after retain must not trip FIFO bookkeeping.
+        cache.put(&sc, &c2, CachedStrategy { actions: vec![3] });
+        assert_eq!(cache.get(&sc, &c2).unwrap().actions, vec![3]);
     }
 }

@@ -49,14 +49,44 @@ impl DecisionModule {
     /// latency model and canonical fallbacks (the estimator guard) before
     /// being cached and deployed.
     pub fn decide(&self, cond: &Condition) -> Decision {
+        let alive = vec![true; self.scenario.devices.len()];
+        self.decide_masked(cond, &alive)
+    }
+
+    /// [`decide`](Self::decide) restricted to live devices. A cache hit
+    /// that places work on a dead device is treated as stale: the entry is
+    /// purged and the policy re-decides under the mask. Decisions made
+    /// while degraded are *not* cached — the bucket key does not encode
+    /// fleet health, and a degraded plan must not be served after the
+    /// device recovers.
+    pub fn decide_masked(&self, cond: &Condition, alive: &[bool]) -> Decision {
+        let healthy = alive.iter().all(|&a| a);
         if let Some(hit) = self.cache.get(&self.scenario, cond) {
-            let genome = self.scenario.decode(&hit.actions);
-            return Decision { actions: hit.actions, genome, cached: true };
+            if healthy || murmuration_rl::env::actions_feasible(&self.scenario, &hit.actions, alive)
+            {
+                let genome = self.scenario.decode(&hit.actions);
+                return Decision { actions: hit.actions, genome, cached: true };
+            }
+            self.cache.remove(&self.scenario, cond);
         }
-        let result = murmuration_rl::env::decide_guarded(&self.policy, &self.scenario, cond);
-        self.cache.put(&self.scenario, cond, CachedStrategy { actions: result.actions.clone() });
+        let result =
+            murmuration_rl::env::decide_guarded_masked(&self.policy, &self.scenario, cond, alive);
+        if healthy {
+            self.cache.put(
+                &self.scenario,
+                cond,
+                CachedStrategy { actions: result.actions.clone() },
+            );
+        }
         let genome = self.scenario.decode(&result.actions);
         Decision { actions: result.actions, genome, cached: false }
+    }
+
+    /// Purges every cached strategy that places work on a dead device.
+    /// Returns the number of evicted entries.
+    pub fn purge_infeasible(&self, alive: &[bool]) -> usize {
+        let sc = &self.scenario;
+        self.cache.retain(|s| murmuration_rl::env::actions_feasible(sc, &s.actions, alive))
     }
 
     /// Precomputes (and caches) a strategy for a *predicted* condition so
@@ -103,6 +133,42 @@ mod tests {
         m.precompute(&cond);
         let d = m.decide(&cond);
         assert!(d.cached, "decision after precompute must be a hit");
+    }
+
+    #[test]
+    fn masked_decisions_are_feasible_and_never_cached() {
+        let m = module();
+        let n = m.scenario().devices.len();
+        let cond = Condition { slo: 140.0, bw_mbps: vec![100.0], delay_ms: vec![20.0] };
+        let mut alive = vec![false; n];
+        alive[0] = true; // every remote is dead
+        let d = m.decide_masked(&cond, &alive);
+        assert!(!d.cached);
+        let spec = murmuration_supernet::SubnetSpec::lower(&d.genome.config);
+        let plan = d.genome.plan(&spec, n);
+        assert!(plan.is_feasible(&alive), "masked decision must avoid dead devices");
+        // The degraded decision must not be cached under the healthy key:
+        // the next healthy decide is a miss, not a poisoned hit.
+        let d2 = m.decide(&cond);
+        assert!(!d2.cached, "degraded decision leaked into the cache");
+        let d3 = m.decide(&cond);
+        assert!(d3.cached, "healthy decision caches normally");
+    }
+
+    #[test]
+    fn purge_infeasible_only_drops_remote_plans() {
+        let m = module();
+        let n = m.scenario().devices.len();
+        let cond = Condition { slo: 100.0, bw_mbps: vec![60.0], delay_ms: vec![80.0] };
+        let d = m.decide(&cond);
+        let used = m.scenario().used_links(&d.actions);
+        let uses_remote = used.iter().any(|&u| u);
+        let mut alive = vec![false; n];
+        alive[0] = true;
+        let evicted = m.purge_infeasible(&alive);
+        assert_eq!(evicted, usize::from(uses_remote));
+        let all_up = vec![true; n];
+        assert_eq!(m.purge_infeasible(&all_up), 0, "healthy fleet purges nothing");
     }
 
     #[test]

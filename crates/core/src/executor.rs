@@ -8,15 +8,41 @@
 //! produces bit-identical results to local execution (at 32-bit wire
 //! precision), and tiled plans differ from the monolithic result only at
 //! FDSP seams — both properties are asserted in tests.
+//!
+//! # Fault model
+//!
+//! Devices can crash (worker exits without replying), stall (reply arrives
+//! after the deadline), panic (worker survives, request fails), or garble
+//! frames in transit (checksum failure). The coordinator never blocks
+//! forever on any of them: every wait is a `recv_timeout` against a
+//! per-attempt deadline, failed attempts are retried with exponential
+//! backoff and failover onto surviving devices, and exhaustion surfaces as
+//! a typed [`ExecError`] instead of a panic or a hang.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crate::wire::WireError;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use murmuration_partition::{ExecutionPlan, UnitPlacement};
 use murmuration_tensor::quant::BitWidth;
 use murmuration_tensor::tile::{merge_fdsp, split_fdsp, GridSpec};
 use murmuration_tensor::Tensor;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// What one worker invocation produced. The `Vanish` arm lets fault
+/// injectors simulate a process crash: the worker thread exits without
+/// replying, exactly like a killed remote peer.
+pub enum UnitOutcome {
+    /// Normal completion.
+    Output(Tensor),
+    /// Simulated crash: no reply is sent and the worker thread exits.
+    Vanish,
+    /// Recoverable failure: an error reply is sent, the worker survives.
+    Error(String),
+}
 
 /// Per-unit computation hosted by every worker (weights are shared
 /// read-only, as each device holds the full supernet in memory).
@@ -25,6 +51,13 @@ pub trait UnitCompute: Send + Sync + 'static {
     fn n_units(&self) -> usize;
     /// Runs one unit on an input (a whole feature map or one FDSP tile).
     fn run_unit(&self, unit: usize, input: &Tensor) -> Tensor;
+    /// Device-aware entry point the workers call; the default delegates to
+    /// [`run_unit`](Self::run_unit). Fault-injecting wrappers override
+    /// this to kill, stall, or fail specific devices.
+    fn run_unit_on(&self, dev: usize, unit: usize, input: &Tensor) -> UnitOutcome {
+        let _ = dev;
+        UnitOutcome::Output(self.run_unit(unit, input))
+    }
 }
 
 /// Per-unit wire/partition metadata the scheduler needs.
@@ -36,11 +69,92 @@ pub struct UnitWire {
     pub in_quant: BitWidth,
 }
 
+/// Typed execution failure. Every variant names the device and unit
+/// involved so callers can feed device-health tracking.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ExecError {
+    /// The worker's channel is gone: the device crashed or was killed.
+    DeviceDown { dev: usize },
+    /// No reply within the per-attempt deadline.
+    Timeout { dev: usize, unit: usize, waited_ms: f64 },
+    /// The worker panicked (or reported an injected error) on this unit.
+    WorkerPanic { dev: usize, unit: usize, msg: String },
+    /// Frame corruption detected on the link to `dev`.
+    Wire { dev: usize, err: WireError },
+    /// Every device the coordinator could try is dead.
+    NoDevice { unit: usize },
+    /// The retry budget ran out; `last` is the final attempt's failure.
+    AttemptsExhausted { unit: usize, attempts: usize, last: Box<ExecError> },
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::DeviceDown { dev } => write!(f, "device {dev} is down"),
+            ExecError::Timeout { dev, unit, waited_ms } => {
+                write!(f, "device {dev} missed the deadline on unit {unit} ({waited_ms:.1} ms)")
+            }
+            ExecError::WorkerPanic { dev, unit, msg } => {
+                write!(f, "device {dev} failed on unit {unit}: {msg}")
+            }
+            ExecError::Wire { dev, err } => write!(f, "wire to device {dev}: {err}"),
+            ExecError::NoDevice { unit } => write!(f, "no live device for unit {unit}"),
+            ExecError::AttemptsExhausted { unit, attempts, last } => {
+                write!(f, "unit {unit} failed after {attempts} attempts; last: {last}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Retry/deadline policy for one execution.
+#[derive(Clone, Copy, Debug)]
+pub struct ExecOptions {
+    /// How long one attempt may wait for a worker reply.
+    pub deadline: Duration,
+    /// Total attempts per unit (or per tile) before giving up.
+    pub max_attempts: usize,
+    /// Base backoff before retry `k` (doubles per attempt, capped).
+    pub backoff: Duration,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            deadline: Duration::from_secs(2),
+            max_attempts: 3,
+            backoff: Duration::from_millis(2),
+        }
+    }
+}
+
+impl ExecOptions {
+    /// Derives a per-attempt deadline from the latency model's estimate
+    /// for the whole request: generous enough that modeling error never
+    /// trips it (4× the budget plus scheduling slack), tight enough that
+    /// a dead device is detected within a bounded, budget-proportional
+    /// wait instead of a hard-coded worst case.
+    pub fn for_budget_ms(budget_ms: f64) -> Self {
+        let ms = (budget_ms * 4.0 + 100.0).clamp(100.0, 5_000.0);
+        ExecOptions { deadline: Duration::from_micros((ms * 1e3) as u64), ..Default::default() }
+    }
+}
+
 struct Job {
     unit: usize,
-    input: Tensor,
-    reply: Sender<(usize, Tensor)>,
+    /// Shared with the coordinator, which keeps its reference so a failed
+    /// attempt can be re-dispatched without deep-copying activations.
+    input: Arc<Tensor>,
+    reply: Sender<Reply>,
     tag: usize,
+    attempt: u32,
+}
+
+struct Reply {
+    tag: usize,
+    attempt: u32,
+    result: Result<Tensor, String>,
 }
 
 enum Msg {
@@ -51,14 +165,84 @@ enum Msg {
 /// The executor: owns the worker threads.
 pub struct Executor {
     senders: Vec<Sender<Msg>>,
-    handles: Vec<JoinHandle<()>>,
+    handles: Vec<Option<JoinHandle<()>>>,
+    /// Handles of workers replaced by [`restart_device`](Self::restart_device);
+    /// joined on drop.
+    graveyard: Vec<JoinHandle<()>>,
+    /// Coordinator's belief about device liveness, updated on hard
+    /// evidence (send failure / reply-channel disconnect).
+    alive: Vec<AtomicBool>,
+    /// Wire-corruption injection: frames shipped *to* a flagged device are
+    /// garbled before decode, so tests can exercise the checksum path.
+    garble: Vec<AtomicBool>,
+    compute: Arc<dyn UnitCompute>,
 }
 
 /// Execution report.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct ExecReport {
     /// Measured wall time of the distributed execution (host time).
     pub wall_ms: f64,
+    /// Re-dispatches after a failed attempt (any cause).
+    pub retries: u32,
+    /// Completions on a device other than the planned one.
+    pub failovers: u32,
+    /// Attempts that exceeded their deadline.
+    pub deadline_misses: u32,
+}
+
+fn spawn_worker(dev: usize, compute: Arc<dyn UnitCompute>) -> (Sender<Msg>, JoinHandle<()>) {
+    let (tx, rx): (Sender<Msg>, Receiver<Msg>) = unbounded();
+    let builder = std::thread::Builder::new().name(format!("murmuration-dev{dev}"));
+    let handle = builder.spawn(move || {
+        while let Ok(msg) = rx.recv() {
+            match msg {
+                Msg::Run(job) => {
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        compute.run_unit_on(dev, job.unit, &job.input)
+                    }));
+                    match outcome {
+                        Ok(UnitOutcome::Output(t)) => {
+                            // The coordinator may have moved on (timeout
+                            // path); ignore send failures.
+                            let _ = job.reply.send(Reply {
+                                tag: job.tag,
+                                attempt: job.attempt,
+                                result: Ok(t),
+                            });
+                        }
+                        Ok(UnitOutcome::Error(msg)) => {
+                            let _ = job.reply.send(Reply {
+                                tag: job.tag,
+                                attempt: job.attempt,
+                                result: Err(msg),
+                            });
+                        }
+                        // Simulated crash: die silently, dropping any
+                        // queued jobs — exactly what a killed peer does.
+                        Ok(UnitOutcome::Vanish) => break,
+                        Err(panic) => {
+                            let msg = panic
+                                .downcast_ref::<&str>()
+                                .map(|s| (*s).to_owned())
+                                .or_else(|| panic.downcast_ref::<String>().cloned())
+                                .unwrap_or_else(|| "worker panicked".to_owned());
+                            let _ = job.reply.send(Reply {
+                                tag: job.tag,
+                                attempt: job.attempt,
+                                result: Err(msg),
+                            });
+                        }
+                    }
+                }
+                Msg::Stop => break,
+            }
+        }
+    });
+    match handle {
+        Ok(h) => (tx, h),
+        Err(e) => panic!("spawn worker {dev}: {e}"),
+    }
 }
 
 impl Executor {
@@ -68,28 +252,18 @@ impl Executor {
         let mut senders = Vec::with_capacity(n_devices);
         let mut handles = Vec::with_capacity(n_devices);
         for dev in 0..n_devices {
-            let (tx, rx): (Sender<Msg>, Receiver<Msg>) = unbounded();
-            let compute = compute.clone();
-            let handle = std::thread::Builder::new()
-                .name(format!("murmuration-dev{dev}"))
-                .spawn(move || {
-                    while let Ok(msg) = rx.recv() {
-                        match msg {
-                            Msg::Run(job) => {
-                                let out = compute.run_unit(job.unit, &job.input);
-                                // The coordinator may have gone away on
-                                // error paths; ignore send failures.
-                                let _ = job.reply.send((job.tag, out));
-                            }
-                            Msg::Stop => break,
-                        }
-                    }
-                })
-                .expect("spawn worker");
+            let (tx, handle) = spawn_worker(dev, compute.clone());
             senders.push(tx);
-            handles.push(handle);
+            handles.push(Some(handle));
         }
-        Executor { senders, handles }
+        Executor {
+            senders,
+            handles,
+            graveyard: Vec::new(),
+            alive: (0..n_devices).map(|_| AtomicBool::new(true)).collect(),
+            garble: (0..n_devices).map(|_| AtomicBool::new(false)).collect(),
+            compute,
+        }
     }
 
     /// Number of device workers.
@@ -97,126 +271,596 @@ impl Executor {
         self.senders.len()
     }
 
-    /// Executes `input` through all units under `plan`. `wire[u]`
-    /// describes unit `u`'s grid and input precision. The data starts on
-    /// device 0 and the result is gathered back there.
+    /// Whether the coordinator believes `dev` is alive. Optimistic: a
+    /// crashed device is only discovered on the next interaction.
+    pub fn is_alive(&self, dev: usize) -> bool {
+        self.alive[dev].load(Ordering::SeqCst)
+    }
+
+    /// Stops `dev`'s worker (queued jobs still drain, then the thread
+    /// exits). Subsequent work fails over to surviving devices.
+    pub fn kill_device(&self, dev: usize) {
+        self.alive[dev].store(false, Ordering::SeqCst);
+        let _ = self.senders[dev].send(Msg::Stop);
+    }
+
+    /// Spawns a fresh worker for `dev`, replacing a crashed or killed one.
+    pub fn restart_device(&mut self, dev: usize) {
+        let (tx, handle) = spawn_worker(dev, self.compute.clone());
+        let _ = self.senders[dev].send(Msg::Stop); // in case the old worker still runs
+        self.senders[dev] = tx;
+        if let Some(old) = self.handles[dev].replace(handle) {
+            self.graveyard.push(old);
+        }
+        self.alive[dev].store(true, Ordering::SeqCst);
+    }
+
+    /// Turns frame corruption on/off for frames shipped *to* `dev`.
+    pub fn set_wire_corruption(&self, dev: usize, on: bool) {
+        self.garble[dev].store(on, Ordering::SeqCst);
+    }
+
+    fn mark_dead(&self, dev: usize) {
+        self.alive[dev].store(false, Ordering::SeqCst);
+    }
+
+    /// Serializes a tensor to a wire frame and decodes it back — exactly
+    /// what crossing a device boundary does to the data (including packed
+    /// quantization). The byte round-trip keeps the executor honest about
+    /// the transport format; corruption injected on the link surfaces here
+    /// as a checksum error.
+    fn ship(&self, to_dev: usize, t: &Tensor, quant: BitWidth) -> Result<Tensor, ExecError> {
+        let mut frame = crate::wire::encode(t, quant);
+        if self.garble[to_dev].load(Ordering::SeqCst) {
+            let mid = frame.len() / 2;
+            frame[mid] ^= 0x5A;
+        }
+        crate::wire::decode(&frame).map_err(|err| ExecError::Wire { dev: to_dev, err })
+    }
+
+    /// Executes `input` through all units under `plan` with default
+    /// retry/deadline options. `wire[u]` describes unit `u`'s grid and
+    /// input precision. The data starts on device 0 and the result is
+    /// gathered back there.
     pub fn execute(
         &self,
         plan: &ExecutionPlan,
         wire: &[UnitWire],
         input: Tensor,
-    ) -> (Tensor, ExecReport) {
+    ) -> Result<(Tensor, ExecReport), ExecError> {
+        self.execute_with(plan, wire, input, ExecOptions::default())
+    }
+
+    /// [`execute`](Self::execute) with explicit fault-handling options.
+    pub fn execute_with(
+        &self,
+        plan: &ExecutionPlan,
+        wire: &[UnitWire],
+        input: Tensor,
+        opts: ExecOptions,
+    ) -> Result<(Tensor, ExecReport), ExecError> {
         assert_eq!(plan.placements.len(), wire.len(), "one wire entry per unit");
         let start = Instant::now();
-        let mut data = input;
+        let mut report = ExecReport::default();
+        // Devices shunned for the remainder of this call: seeded from the
+        // global belief, extended by timeouts/wire errors observed here.
+        let mut shunned: Vec<bool> = (0..self.n_devices()).map(|d| !self.is_alive(d)).collect();
+        let mut data = Arc::new(input);
         let mut loc: usize = 0; // device currently holding `data`
         for (unit, (placement, w)) in plan.placements.iter().zip(wire.iter()).enumerate() {
             match placement {
                 UnitPlacement::Single(d) => {
-                    if *d != loc {
-                        data = ship(&data, w.in_quant);
-                    }
-                    data = self.run_on(*d, unit, data);
-                    loc = *d;
+                    let (out, dev) = self.run_single(
+                        *d,
+                        unit,
+                        &data,
+                        w.in_quant,
+                        loc,
+                        &opts,
+                        &mut report,
+                        &mut shunned,
+                    )?;
+                    data = Arc::new(out);
+                    loc = dev;
                 }
                 UnitPlacement::Tiled(devs) => {
                     assert_eq!(devs.len(), w.grid.tiles(), "tile/device count");
-                    let tiles = split_fdsp(&data, w.grid);
-                    let (reply_tx, reply_rx) = unbounded();
-                    for (tag, (tile, dev)) in tiles.into_iter().zip(devs.iter()).enumerate() {
-                        let shipped = if *dev != loc { ship(&tile, w.in_quant) } else { tile };
-                        self.senders[*dev]
-                            .send(Msg::Run(Job {
-                                unit,
-                                input: shipped,
-                                reply: reply_tx.clone(),
-                                tag,
-                            }))
-                            .expect("worker alive");
-                    }
-                    drop(reply_tx);
-                    let mut outs: Vec<Option<Tensor>> = vec![None; devs.len()];
-                    for _ in 0..devs.len() {
-                        let (tag, out) = reply_rx.recv().expect("tile result");
-                        outs[tag] = Some(out);
-                    }
-                    let outs: Vec<Tensor> = outs.into_iter().map(|o| o.unwrap()).collect();
-                    data = merge_fdsp(&outs, w.grid);
-                    loc = devs[0]; // gathered at the first tile's device
+                    let (out, dev) = self.run_tiled(
+                        devs,
+                        unit,
+                        &data,
+                        w,
+                        loc,
+                        &opts,
+                        &mut report,
+                        &mut shunned,
+                    )?;
+                    data = Arc::new(out);
+                    loc = dev;
                 }
             }
         }
         // Result returns to device 0 (tiny logits; precision kept).
-        let report = ExecReport { wall_ms: start.elapsed().as_secs_f64() * 1e3 };
-        (data, report)
+        report.wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        let out = Arc::try_unwrap(data).unwrap_or_else(|a| (*a).clone());
+        Ok((out, report))
+    }
+
+    /// First non-shunned device, preferring `preferred`.
+    fn pick_device(&self, preferred: usize, shunned: &[bool]) -> Option<usize> {
+        if !shunned[preferred] {
+            return Some(preferred);
+        }
+        (0..self.n_devices()).find(|&d| !shunned[d])
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_single(
+        &self,
+        preferred: usize,
+        unit: usize,
+        data: &Arc<Tensor>,
+        quant: BitWidth,
+        loc: usize,
+        opts: &ExecOptions,
+        report: &mut ExecReport,
+        shunned: &mut [bool],
+    ) -> Result<(Tensor, usize), ExecError> {
+        let mut last_err: Option<ExecError> = None;
+        let mut attempts = 0usize;
+        while attempts < opts.max_attempts {
+            let dev = match self.pick_device(preferred, shunned) {
+                Some(d) => d,
+                None => {
+                    return Err(last_err.unwrap_or(ExecError::NoDevice { unit }));
+                }
+            };
+            if attempts > 0 {
+                report.retries += 1;
+                std::thread::sleep(opts.backoff * (1u32 << (attempts - 1).min(6)));
+            }
+            attempts += 1;
+            let shipped = if dev != loc {
+                match self.ship(dev, data, quant) {
+                    Ok(t) => Arc::new(t),
+                    Err(e) => {
+                        // Treat a corrupted link like a bad device: shun
+                        // it for this call and fail over.
+                        shunned[dev] = true;
+                        last_err = Some(e);
+                        continue;
+                    }
+                }
+            } else {
+                Arc::clone(data)
+            };
+            // Fresh reply channel per attempt: a disconnect means *this*
+            // worker died holding *this* job, and stale replies from
+            // abandoned attempts can never be confused with live ones.
+            let (reply_tx, reply_rx) = unbounded();
+            let job =
+                Job { unit, input: shipped, reply: reply_tx, tag: 0, attempt: attempts as u32 };
+            if self.senders[dev].send(Msg::Run(job)).is_err() {
+                self.mark_dead(dev);
+                shunned[dev] = true;
+                last_err = Some(ExecError::DeviceDown { dev });
+                continue;
+            }
+            match reply_rx.recv_timeout(opts.deadline) {
+                Ok(reply) => match reply.result {
+                    Ok(t) => {
+                        if dev != preferred {
+                            report.failovers += 1;
+                        }
+                        return Ok((t, dev));
+                    }
+                    Err(msg) => {
+                        last_err = Some(ExecError::WorkerPanic { dev, unit, msg });
+                        continue;
+                    }
+                },
+                Err(RecvTimeoutError::Disconnected) => {
+                    // The worker exited between accepting and answering.
+                    self.mark_dead(dev);
+                    shunned[dev] = true;
+                    last_err = Some(ExecError::DeviceDown { dev });
+                    continue;
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    report.deadline_misses += 1;
+                    shunned[dev] = true; // straggler: shun for this call
+                    last_err = Some(ExecError::Timeout {
+                        dev,
+                        unit,
+                        waited_ms: opts.deadline.as_secs_f64() * 1e3,
+                    });
+                    continue;
+                }
+            }
+        }
+        Err(ExecError::AttemptsExhausted {
+            unit,
+            attempts,
+            last: Box::new(last_err.unwrap_or(ExecError::NoDevice { unit })),
+        })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_tiled(
+        &self,
+        devs: &[usize],
+        unit: usize,
+        data: &Tensor,
+        w: &UnitWire,
+        loc: usize,
+        opts: &ExecOptions,
+        report: &mut ExecReport,
+        shunned: &mut [bool],
+    ) -> Result<(Tensor, usize), ExecError> {
+        let tiles: Vec<Arc<Tensor>> = split_fdsp(data, w.grid).into_iter().map(Arc::new).collect();
+        let n_tiles = tiles.len();
+        struct TileState {
+            dev: usize,
+            attempt: u32,
+            attempts: usize,
+            deadline: Instant,
+            done: Option<Tensor>,
+        }
+        let (reply_tx, reply_rx) = unbounded::<Reply>();
+        let mut states: Vec<TileState> = Vec::with_capacity(n_tiles);
+        // Dispatches tile `tag` to the first usable device, shipping from
+        // `loc`. Returns the device used, or the last error if every
+        // candidate fails at send time.
+        let dispatch = |tag: usize,
+                        preferred: usize,
+                        attempt: u32,
+                        shunned: &mut [bool]|
+         -> Result<(usize, Instant), ExecError> {
+            let mut last_err: Option<ExecError> = None;
+            loop {
+                let dev = match self.pick_device(preferred, shunned) {
+                    Some(d) => d,
+                    None => return Err(last_err.unwrap_or(ExecError::NoDevice { unit })),
+                };
+                let shipped = if dev != loc {
+                    match self.ship(dev, &tiles[tag], w.in_quant) {
+                        Ok(t) => Arc::new(t),
+                        Err(e) => {
+                            shunned[dev] = true;
+                            last_err = Some(e);
+                            continue;
+                        }
+                    }
+                } else {
+                    Arc::clone(&tiles[tag])
+                };
+                let job = Job { unit, input: shipped, reply: reply_tx.clone(), tag, attempt };
+                if self.senders[dev].send(Msg::Run(job)).is_err() {
+                    self.mark_dead(dev);
+                    shunned[dev] = true;
+                    last_err = Some(ExecError::DeviceDown { dev });
+                    continue;
+                }
+                return Ok((dev, Instant::now() + opts.deadline));
+            }
+        };
+        for (tag, &planned) in devs.iter().enumerate() {
+            let (dev, deadline) = dispatch(tag, planned, 1, shunned)?;
+            if dev != planned {
+                report.failovers += 1;
+            }
+            states.push(TileState { dev, attempt: 1, attempts: 1, deadline, done: None });
+        }
+        let mut done = 0usize;
+        while done < n_tiles {
+            let next_deadline = states
+                .iter()
+                .filter(|s| s.done.is_none())
+                .map(|s| s.deadline)
+                .min()
+                .unwrap_or_else(Instant::now);
+            let wait = next_deadline.saturating_duration_since(Instant::now());
+            match reply_rx.recv_timeout(wait) {
+                Ok(reply) => {
+                    let st = &mut states[reply.tag];
+                    if st.done.is_some() || reply.attempt != st.attempt {
+                        continue; // stale reply from an abandoned attempt
+                    }
+                    match reply.result {
+                        Ok(t) => {
+                            st.done = Some(t);
+                            done += 1;
+                        }
+                        Err(msg) => {
+                            if st.attempts >= opts.max_attempts {
+                                return Err(ExecError::AttemptsExhausted {
+                                    unit,
+                                    attempts: st.attempts,
+                                    last: Box::new(ExecError::WorkerPanic {
+                                        dev: st.dev,
+                                        unit,
+                                        msg,
+                                    }),
+                                });
+                            }
+                            report.retries += 1;
+                            let attempt = st.attempt + 1;
+                            let planned = devs[reply.tag];
+                            let (dev, deadline) = dispatch(reply.tag, planned, attempt, shunned)?;
+                            if dev != planned {
+                                report.failovers += 1;
+                            }
+                            let st = &mut states[reply.tag];
+                            st.dev = dev;
+                            st.attempt = attempt;
+                            st.attempts += 1;
+                            st.deadline = deadline;
+                        }
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    let now = Instant::now();
+                    for tag in 0..n_tiles {
+                        if states[tag].done.is_some() || now < states[tag].deadline {
+                            continue;
+                        }
+                        report.deadline_misses += 1;
+                        shunned[states[tag].dev] = true;
+                        if states[tag].attempts >= opts.max_attempts {
+                            return Err(ExecError::AttemptsExhausted {
+                                unit,
+                                attempts: states[tag].attempts,
+                                last: Box::new(ExecError::Timeout {
+                                    dev: states[tag].dev,
+                                    unit,
+                                    waited_ms: opts.deadline.as_secs_f64() * 1e3,
+                                }),
+                            });
+                        }
+                        report.retries += 1;
+                        let attempt = states[tag].attempt + 1;
+                        let planned = devs[tag];
+                        let (dev, deadline) = dispatch(tag, planned, attempt, shunned)?;
+                        if dev != planned {
+                            report.failovers += 1;
+                        }
+                        let st = &mut states[tag];
+                        st.dev = dev;
+                        st.attempt = attempt;
+                        st.attempts += 1;
+                        st.deadline = deadline;
+                    }
+                }
+                // We hold `reply_tx`, so the channel cannot disconnect.
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(ExecError::NoDevice { unit });
+                }
+            }
+        }
+        let gather_dev = states[0].dev;
+        let outs: Vec<Tensor> = states.into_iter().filter_map(|s| s.done).collect();
+        debug_assert_eq!(outs.len(), n_tiles);
+        Ok((merge_fdsp(&outs, w.grid), gather_dev))
     }
 
     /// Streams several inputs through a chain of units pinned to devices
     /// (`device_of_unit[u]` runs unit `u`), overlapping different inputs'
     /// units across workers — real pipelining, the execution mode behind
     /// the paper's 20-inference-average measurements. Outputs are returned
-    /// in input order.
+    /// in input order; a request that exhausts its retry budget yields a
+    /// typed error without sinking the rest of the stream.
     pub fn execute_stream(
         &self,
         device_of_unit: &[usize],
         inputs: Vec<Tensor>,
         quant: BitWidth,
-    ) -> (Vec<Tensor>, ExecReport) {
+    ) -> (Vec<Result<Tensor, ExecError>>, ExecReport) {
+        self.execute_stream_with(device_of_unit, inputs, quant, ExecOptions::default())
+    }
+
+    /// [`execute_stream`](Self::execute_stream) with explicit options.
+    pub fn execute_stream_with(
+        &self,
+        device_of_unit: &[usize],
+        inputs: Vec<Tensor>,
+        quant: BitWidth,
+        opts: ExecOptions,
+    ) -> (Vec<Result<Tensor, ExecError>>, ExecReport) {
         assert!(!device_of_unit.is_empty());
         let n_units = device_of_unit.len();
         let n_inputs = inputs.len();
         let start = Instant::now();
-        let (reply_tx, reply_rx) = unbounded();
-        // Launch every input's first unit; workers queue and pipeline.
-        for (idx, input) in inputs.into_iter().enumerate() {
-            let shipped = if device_of_unit[0] != 0 { ship(&input, quant) } else { input };
-            self.senders[device_of_unit[0]]
-                .send(Msg::Run(Job { unit: 0, input: shipped, reply: reply_tx.clone(), tag: idx }))
-                .expect("worker alive");
+        let mut report = ExecReport::default();
+        let mut shunned: Vec<bool> = (0..self.n_devices()).map(|d| !self.is_alive(d)).collect();
+        let (reply_tx, reply_rx) = unbounded::<Reply>();
+
+        struct ReqState {
+            stage: usize,
+            /// Input of the current stage, pre-shipping (kept for retry).
+            cur_input: Arc<Tensor>,
+            /// Device holding `cur_input` (shipping source).
+            loc: usize,
+            dev: usize,
+            attempt: u32,
+            stage_attempts: usize,
+            deadline: Instant,
+            result: Option<Result<Tensor, ExecError>>,
         }
-        let mut outputs: Vec<Option<Tensor>> = (0..n_inputs).map(|_| None).collect();
-        let mut stage_of: Vec<usize> = vec![0; n_inputs];
-        let mut done = 0usize;
-        while done < n_inputs {
-            let (idx, out) = reply_rx.recv().expect("stream result");
-            let next = stage_of[idx] + 1;
-            if next < n_units {
-                stage_of[idx] = next;
-                let crossing = device_of_unit[next] != device_of_unit[next - 1];
-                let shipped = if crossing { ship(&out, quant) } else { out };
-                self.senders[device_of_unit[next]]
-                    .send(Msg::Run(Job {
-                        unit: next,
-                        input: shipped,
-                        reply: reply_tx.clone(),
-                        tag: idx,
-                    }))
-                    .expect("worker alive");
-            } else {
-                outputs[idx] = Some(out);
-                done += 1;
+        let mut states: Vec<ReqState> = inputs
+            .into_iter()
+            .map(|input| ReqState {
+                stage: 0,
+                cur_input: Arc::new(input),
+                loc: 0,
+                dev: 0,
+                attempt: 0,
+                stage_attempts: 0,
+                deadline: Instant::now(),
+                result: None,
+            })
+            .collect();
+        let mut completed = 0usize;
+
+        // Dispatches request `idx`'s current stage to the first usable
+        // device. On unrecoverable dispatch failure the request is marked
+        // failed (the stream continues).
+        let dispatch = |idx: usize,
+                        states: &mut Vec<ReqState>,
+                        shunned: &mut [bool],
+                        report: &mut ExecReport,
+                        completed: &mut usize| {
+            let planned = device_of_unit[states[idx].stage];
+            let attempt = states[idx].attempt + 1;
+            let mut last_err: Option<ExecError> = None;
+            loop {
+                let dev = match self.pick_device(planned, shunned) {
+                    Some(d) => d,
+                    None => {
+                        let unit = states[idx].stage;
+                        states[idx].result =
+                            Some(Err(last_err.unwrap_or(ExecError::NoDevice { unit })));
+                        *completed += 1;
+                        return;
+                    }
+                };
+                let st = &states[idx];
+                let shipped = if dev != st.loc {
+                    match self.ship(dev, &st.cur_input, quant) {
+                        Ok(t) => Arc::new(t),
+                        Err(e) => {
+                            shunned[dev] = true;
+                            last_err = Some(e);
+                            continue;
+                        }
+                    }
+                } else {
+                    Arc::clone(&st.cur_input)
+                };
+                let job = Job {
+                    unit: st.stage,
+                    input: shipped,
+                    reply: reply_tx.clone(),
+                    tag: idx,
+                    attempt,
+                };
+                if self.senders[dev].send(Msg::Run(job)).is_err() {
+                    self.mark_dead(dev);
+                    shunned[dev] = true;
+                    last_err = Some(ExecError::DeviceDown { dev });
+                    continue;
+                }
+                if dev != planned {
+                    report.failovers += 1;
+                }
+                let st = &mut states[idx];
+                st.dev = dev;
+                st.attempt = attempt;
+                st.stage_attempts += 1;
+                st.deadline = Instant::now() + opts.deadline;
+                return;
+            }
+        };
+
+        for idx in 0..n_inputs {
+            dispatch(idx, &mut states, &mut shunned, &mut report, &mut completed);
+        }
+        while completed < n_inputs {
+            let next_deadline = states
+                .iter()
+                .filter(|s| s.result.is_none())
+                .map(|s| s.deadline)
+                .min()
+                .unwrap_or_else(Instant::now);
+            let wait = next_deadline.saturating_duration_since(Instant::now());
+            match reply_rx.recv_timeout(wait) {
+                Ok(reply) => {
+                    let idx = reply.tag;
+                    if states[idx].result.is_some() || reply.attempt != states[idx].attempt {
+                        continue; // stale reply from an abandoned attempt
+                    }
+                    match reply.result {
+                        Ok(t) => {
+                            let next = states[idx].stage + 1;
+                            if next < n_units {
+                                let st = &mut states[idx];
+                                st.stage = next;
+                                st.loc = st.dev;
+                                st.cur_input = Arc::new(t);
+                                st.stage_attempts = 0;
+                                dispatch(
+                                    idx,
+                                    &mut states,
+                                    &mut shunned,
+                                    &mut report,
+                                    &mut completed,
+                                );
+                            } else {
+                                states[idx].result = Some(Ok(t));
+                                completed += 1;
+                            }
+                        }
+                        Err(msg) => {
+                            let st = &states[idx];
+                            let err = ExecError::WorkerPanic { dev: st.dev, unit: st.stage, msg };
+                            if st.stage_attempts >= opts.max_attempts {
+                                states[idx].result = Some(Err(ExecError::AttemptsExhausted {
+                                    unit: st.stage,
+                                    attempts: st.stage_attempts,
+                                    last: Box::new(err),
+                                }));
+                                completed += 1;
+                            } else {
+                                report.retries += 1;
+                                dispatch(
+                                    idx,
+                                    &mut states,
+                                    &mut shunned,
+                                    &mut report,
+                                    &mut completed,
+                                );
+                            }
+                        }
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    let now = Instant::now();
+                    for idx in 0..n_inputs {
+                        if states[idx].result.is_some() || now < states[idx].deadline {
+                            continue;
+                        }
+                        report.deadline_misses += 1;
+                        shunned[states[idx].dev] = true;
+                        let st = &states[idx];
+                        let err = ExecError::Timeout {
+                            dev: st.dev,
+                            unit: st.stage,
+                            waited_ms: opts.deadline.as_secs_f64() * 1e3,
+                        };
+                        if st.stage_attempts >= opts.max_attempts {
+                            states[idx].result = Some(Err(ExecError::AttemptsExhausted {
+                                unit: st.stage,
+                                attempts: st.stage_attempts,
+                                last: Box::new(err),
+                            }));
+                            completed += 1;
+                        } else {
+                            report.retries += 1;
+                            dispatch(idx, &mut states, &mut shunned, &mut report, &mut completed);
+                        }
+                    }
+                }
+                // We hold `reply_tx`, so the channel cannot disconnect.
+                Err(RecvTimeoutError::Disconnected) => break,
             }
         }
-        let report = ExecReport { wall_ms: start.elapsed().as_secs_f64() * 1e3 };
-        (outputs.into_iter().map(|o| o.unwrap()).collect(), report)
+        report.wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        let results = states
+            .into_iter()
+            .enumerate()
+            .map(|(idx, s)| s.result.unwrap_or(Err(ExecError::NoDevice { unit: idx })))
+            .collect();
+        (results, report)
     }
-
-    fn run_on(&self, dev: usize, unit: usize, input: Tensor) -> Tensor {
-        let (reply_tx, reply_rx) = unbounded();
-        self.senders[dev]
-            .send(Msg::Run(Job { unit, input, reply: reply_tx, tag: 0 }))
-            .expect("worker alive");
-        reply_rx.recv().expect("unit result").1
-    }
-}
-
-/// Serializes a tensor to a wire frame and decodes it back — exactly what
-/// crossing a device boundary does to the data (including packed
-/// quantization). The byte round-trip keeps the executor honest about the
-/// transport format.
-fn ship(t: &Tensor, quant: BitWidth) -> Tensor {
-    let frame = crate::wire::encode(t, quant);
-    crate::wire::decode(&frame).expect("self-encoded frame must decode")
 }
 
 impl Drop for Executor {
@@ -224,7 +868,10 @@ impl Drop for Executor {
         for tx in &self.senders {
             let _ = tx.send(Msg::Stop);
         }
-        for h in self.handles.drain(..) {
+        for h in self.handles.drain(..).flatten() {
+            let _ = h.join();
+        }
+        for h in self.graveyard.drain(..) {
             let _ = h.join();
         }
     }
@@ -282,8 +929,10 @@ impl UnitCompute for ConvStackCompute {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
+    use crate::fault::{FaultKind, FaultyCompute};
     use murmuration_tensor::Shape;
 
     fn setup(n_devices: usize) -> (Executor, Arc<ConvStackCompute>, Tensor) {
@@ -293,6 +942,18 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let input = Tensor::rand_uniform(Shape::nchw(1, 4, 12, 12), 1.0, &mut rng);
         (exec, compute, input)
+    }
+
+    fn faulty_setup(
+        n_devices: usize,
+    ) -> (Executor, Arc<FaultyCompute>, Arc<ConvStackCompute>, Tensor) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let inner = Arc::new(ConvStackCompute::random(3, 2, 4, 7));
+        let faulty = Arc::new(FaultyCompute::new(inner.clone(), n_devices));
+        let exec = Executor::new(n_devices, faulty.clone());
+        let mut rng = StdRng::seed_from_u64(1);
+        let input = Tensor::rand_uniform(Shape::nchw(1, 4, 12, 12), 1.0, &mut rng);
+        (exec, faulty, inner, input)
     }
 
     fn local_reference(compute: &ConvStackCompute, input: &Tensor) -> Tensor {
@@ -307,15 +968,27 @@ mod tests {
         vec![UnitWire { grid, in_quant: quant }; n]
     }
 
+    fn remote_plan() -> ExecutionPlan {
+        ExecutionPlan {
+            placements: vec![
+                UnitPlacement::Single(0),
+                UnitPlacement::Single(1),
+                UnitPlacement::Single(0),
+            ],
+        }
+    }
+
     #[test]
     fn single_device_matches_local_exactly() {
         let (exec, compute, input) = setup(1);
         let plan = ExecutionPlan { placements: vec![UnitPlacement::Single(0); 3] };
-        let (out, report) =
-            exec.execute(&plan, &wire_all(BitWidth::B32, GridSpec::new(1, 1), 3), input.clone());
+        let (out, report) = exec
+            .execute(&plan, &wire_all(BitWidth::B32, GridSpec::new(1, 1), 3), input.clone())
+            .unwrap();
         let expect = local_reference(&compute, &input);
         assert_eq!(out.data(), expect.data());
         assert!(report.wall_ms >= 0.0);
+        assert_eq!(report.retries + report.failovers + report.deadline_misses, 0);
     }
 
     #[test]
@@ -328,8 +1001,9 @@ mod tests {
                 UnitPlacement::Single(1),
             ],
         };
-        let (out, _) =
-            exec.execute(&plan, &wire_all(BitWidth::B32, GridSpec::new(1, 1), 3), input.clone());
+        let (out, _) = exec
+            .execute(&plan, &wire_all(BitWidth::B32, GridSpec::new(1, 1), 3), input.clone())
+            .unwrap();
         let expect = local_reference(&compute, &input);
         assert_eq!(out.data(), expect.data());
     }
@@ -350,7 +1024,7 @@ mod tests {
         };
         let mut wire = wire_all(BitWidth::B32, GridSpec::new(1, 1), 3);
         wire[0].grid = grid;
-        let (out, _) = exec.execute(&plan, &wire, input.clone());
+        let (out, _) = exec.execute(&plan, &wire, input.clone()).unwrap();
 
         // Local FDSP reference for unit 0, then units 1–2 monolithic.
         let tiles = split_fdsp(&input, grid);
@@ -372,15 +1046,9 @@ mod tests {
     #[test]
     fn quantized_wire_stays_close() {
         let (exec, compute, input) = setup(2);
-        let plan = ExecutionPlan {
-            placements: vec![
-                UnitPlacement::Single(0),
-                UnitPlacement::Single(1),
-                UnitPlacement::Single(0),
-            ],
-        };
-        let (out8, _) =
-            exec.execute(&plan, &wire_all(BitWidth::B8, GridSpec::new(1, 1), 3), input.clone());
+        let (out8, _) = exec
+            .execute(&remote_plan(), &wire_all(BitWidth::B8, GridSpec::new(1, 1), 3), input.clone())
+            .unwrap();
         let expect = local_reference(&compute, &input);
         let err: f32 =
             out8.data().iter().zip(expect.data().iter()).map(|(a, b)| (a - b).abs()).sum::<f32>()
@@ -404,7 +1072,11 @@ mod tests {
         assert!(report.wall_ms >= 0.0);
         for (input, out) in inputs.iter().zip(&outs) {
             let expect = local_reference(&compute, input);
-            assert_eq!(out.data(), expect.data(), "pipelined result must be exact at B32");
+            assert_eq!(
+                out.as_ref().unwrap().data(),
+                expect.data(),
+                "pipelined result must be exact at B32"
+            );
         }
     }
 
@@ -412,7 +1084,7 @@ mod tests {
     fn stream_single_device_also_works() {
         let (exec, compute, input) = setup(1);
         let (outs, _) = exec.execute_stream(&[0, 0, 0], vec![input.clone()], BitWidth::B32);
-        assert_eq!(outs[0].data(), local_reference(&compute, &input).data());
+        assert_eq!(outs[0].as_ref().unwrap().data(), local_reference(&compute, &input).data());
     }
 
     #[test]
@@ -420,5 +1092,168 @@ mod tests {
         let (exec, _, _) = setup(4);
         assert_eq!(exec.n_devices(), 4);
         drop(exec); // Drop joins all workers; hangs = test timeout.
+    }
+
+    // ---- fault handling ----
+
+    fn fast_opts() -> ExecOptions {
+        ExecOptions {
+            deadline: Duration::from_millis(250),
+            max_attempts: 3,
+            backoff: Duration::from_millis(1),
+        }
+    }
+
+    #[test]
+    fn worker_killed_mid_request_fails_over_not_hangs() {
+        // Regression: a worker that dies between accepting a job and
+        // replying used to block the coordinator forever. Now the fresh
+        // reply channel disconnects and the request fails over.
+        let (exec, faulty, inner, input) = faulty_setup(2);
+        faulty.script(1, 0, FaultKind::Vanish);
+        let (out, report) = exec
+            .execute_with(
+                &remote_plan(),
+                &wire_all(BitWidth::B32, GridSpec::new(1, 1), 3),
+                input.clone(),
+                fast_opts(),
+            )
+            .unwrap();
+        assert_eq!(out.data(), local_reference(&inner, &input).data(), "failover stays exact");
+        assert!(report.failovers >= 1, "must have failed over: {report:?}");
+        assert!(!exec.is_alive(1), "crash must be discovered");
+    }
+
+    #[test]
+    fn dead_device_with_no_retry_budget_is_a_typed_error() {
+        let (exec, faulty, _, input) = faulty_setup(2);
+        faulty.kill(1);
+        let opts = ExecOptions { max_attempts: 1, ..fast_opts() };
+        // Warm the crash: first call discovers device 1 is gone.
+        let r1 = exec.execute_with(
+            &remote_plan(),
+            &wire_all(BitWidth::B32, GridSpec::new(1, 1), 3),
+            input.clone(),
+            opts,
+        );
+        match r1 {
+            Err(ExecError::AttemptsExhausted { .. }) | Err(ExecError::DeviceDown { .. }) => {}
+            other => panic!("expected typed failure, got {:?}", other.map(|(_, r)| r)),
+        }
+    }
+
+    #[test]
+    fn injected_panic_is_retried() {
+        let (exec, faulty, inner, input) = faulty_setup(2);
+        faulty.script(1, 0, FaultKind::Panic);
+        let (out, report) = exec
+            .execute_with(
+                &remote_plan(),
+                &wire_all(BitWidth::B32, GridSpec::new(1, 1), 3),
+                input.clone(),
+                fast_opts(),
+            )
+            .unwrap();
+        assert_eq!(out.data(), local_reference(&inner, &input).data());
+        assert!(report.retries >= 1, "panic must cost a retry: {report:?}");
+    }
+
+    #[test]
+    fn stall_past_deadline_counts_and_fails_over() {
+        let (exec, faulty, inner, input) = faulty_setup(2);
+        faulty.script(1, 0, FaultKind::Stall(Duration::from_millis(600)));
+        let (out, report) = exec
+            .execute_with(
+                &remote_plan(),
+                &wire_all(BitWidth::B32, GridSpec::new(1, 1), 3),
+                input.clone(),
+                fast_opts(),
+            )
+            .unwrap();
+        assert_eq!(out.data(), local_reference(&inner, &input).data());
+        assert!(report.deadline_misses >= 1, "stall must miss the deadline: {report:?}");
+        assert!(report.failovers >= 1, "stall must fail over: {report:?}");
+    }
+
+    #[test]
+    fn corrupted_wire_is_detected_and_failed_over() {
+        let (exec, compute, input) = setup(2);
+        exec.set_wire_corruption(1, true);
+        let (out, report) = exec
+            .execute_with(
+                &remote_plan(),
+                &wire_all(BitWidth::B8, GridSpec::new(1, 1), 3),
+                input.clone(),
+                fast_opts(),
+            )
+            .unwrap();
+        // Unit 1 fails over to device 0 — all-local execution is exact at
+        // any precision because nothing crosses a device boundary.
+        assert_eq!(out.data(), local_reference(&compute, &input).data());
+        assert!(report.failovers >= 1, "corruption must fail over: {report:?}");
+    }
+
+    #[test]
+    fn kill_and_restart_device_round_trip() {
+        let (mut exec, compute, input) = setup(2);
+        let wire = wire_all(BitWidth::B32, GridSpec::new(1, 1), 3);
+        exec.kill_device(1);
+        assert!(!exec.is_alive(1));
+        let (out, report) =
+            exec.execute_with(&remote_plan(), &wire, input.clone(), fast_opts()).unwrap();
+        assert_eq!(out.data(), local_reference(&compute, &input).data());
+        assert!(report.failovers >= 1);
+        exec.restart_device(1);
+        assert!(exec.is_alive(1));
+        let (out, report) =
+            exec.execute_with(&remote_plan(), &wire, input.clone(), fast_opts()).unwrap();
+        assert_eq!(out.data(), local_reference(&compute, &input).data());
+        assert_eq!(report.failovers, 0, "restarted device serves again: {report:?}");
+    }
+
+    #[test]
+    fn tiled_execution_survives_a_dead_tile_device() {
+        let (exec, faulty, inner, input) = faulty_setup(4);
+        faulty.kill(3);
+        let grid = GridSpec::new(2, 2);
+        let plan = ExecutionPlan {
+            placements: vec![
+                UnitPlacement::Tiled(vec![0, 1, 2, 3]),
+                UnitPlacement::Single(0),
+                UnitPlacement::Single(0),
+            ],
+        };
+        let mut wire = wire_all(BitWidth::B32, GridSpec::new(1, 1), 3);
+        wire[0].grid = grid;
+        let (out, report) = exec.execute_with(&plan, &wire, input.clone(), fast_opts()).unwrap();
+        // Reference: local FDSP (tile placement does not change values).
+        let tiles = split_fdsp(&input, grid);
+        let outs: Vec<Tensor> = tiles.iter().map(|t| inner.run_unit(0, t)).collect();
+        let mut cur = merge_fdsp(&outs, grid);
+        cur = inner.run_unit(1, &cur);
+        cur = inner.run_unit(2, &cur);
+        assert_eq!(out.data(), cur.data(), "failover must not change tile math");
+        assert!(report.deadline_misses >= 1 || report.failovers >= 1, "{report:?}");
+    }
+
+    #[test]
+    fn stream_survives_mid_stream_crash() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let (exec, faulty, inner, _) = faulty_setup(3);
+        // Device 1 dies while serving its 3rd stream job.
+        faulty.script(1, 2, FaultKind::Vanish);
+        let mut rng = StdRng::seed_from_u64(11);
+        let inputs: Vec<Tensor> = (0..6)
+            .map(|_| Tensor::rand_uniform(Shape::nchw(1, 4, 10, 10), 1.0, &mut rng))
+            .collect();
+        let (outs, report) =
+            exec.execute_stream_with(&[0, 1, 2], inputs.clone(), BitWidth::B32, fast_opts());
+        assert_eq!(outs.len(), 6);
+        for (input, out) in inputs.iter().zip(&outs) {
+            let expect = local_reference(&inner, input);
+            let got = out.as_ref().expect("every request must complete via failover");
+            assert_eq!(got.data(), expect.data(), "B32 results stay exact across failover");
+        }
+        assert!(report.failovers >= 1, "crashed stage must fail over: {report:?}");
     }
 }

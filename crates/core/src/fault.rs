@@ -1,0 +1,217 @@
+//! Fault injection for the distributed executor.
+//!
+//! [`FaultyCompute`] wraps any [`UnitCompute`] and turns specific devices
+//! bad on demand: killed outright, killed at a scripted call index,
+//! panicking, stalling past a deadline, or returning an error reply. It is
+//! the executor-side counterpart of `murmuration_edgesim::FleetTrace` —
+//! traces describe *when* a device misbehaves in virtual time, this
+//! wrapper makes the worker threads actually do it.
+
+use crate::executor::{UnitCompute, UnitOutcome};
+use murmuration_edgesim::{DeviceStatus, FleetTrace};
+use murmuration_tensor::Tensor;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One scripted misbehavior, consumed when a device reaches a call index.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Worker exits without replying (process crash). The device also
+    /// stays dead for later calls until [`FaultyCompute::revive`].
+    Vanish,
+    /// Worker panics mid-unit (caught by the executor, turned into an
+    /// error reply). The device survives.
+    Panic,
+    /// Worker sleeps this long before computing — a straggler.
+    Stall(Duration),
+    /// Worker sends an error reply and survives.
+    Error,
+}
+
+/// A [`UnitCompute`] wrapper with per-device kill switches, slowdown
+/// factors, call counters, and one-shot scripted faults.
+pub struct FaultyCompute {
+    inner: Arc<dyn UnitCompute>,
+    dead: Vec<AtomicBool>,
+    /// Compute slowdown ×1000 (1000 = nominal speed).
+    slow_milli: Vec<AtomicUsize>,
+    calls: Vec<AtomicUsize>,
+    /// `(device, call index, fault)` — consumed on trigger.
+    scripted: Mutex<Vec<(usize, usize, FaultKind)>>,
+}
+
+impl FaultyCompute {
+    /// Wraps `inner` for a fleet of `n_devices` healthy devices.
+    pub fn new(inner: Arc<dyn UnitCompute>, n_devices: usize) -> Self {
+        FaultyCompute {
+            inner,
+            dead: (0..n_devices).map(|_| AtomicBool::new(false)).collect(),
+            slow_milli: (0..n_devices).map(|_| AtomicUsize::new(1000)).collect(),
+            calls: (0..n_devices).map(|_| AtomicUsize::new(0)).collect(),
+            scripted: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Kills `dev`: its worker vanishes on the next job it accepts.
+    pub fn kill(&self, dev: usize) {
+        self.dead[dev].store(true, Ordering::SeqCst);
+    }
+
+    /// Revives `dev` at the compute level. The executor must still
+    /// `restart_device` if the worker thread already exited.
+    pub fn revive(&self, dev: usize) {
+        self.dead[dev].store(false, Ordering::SeqCst);
+    }
+
+    /// Whether `dev` is currently marked dead.
+    pub fn is_dead(&self, dev: usize) -> bool {
+        self.dead[dev].load(Ordering::SeqCst)
+    }
+
+    /// Multiplies `dev`'s compute time by `factor` (≥ 1.0).
+    pub fn set_slowdown(&self, dev: usize, factor: f64) {
+        assert!(factor >= 1.0 && factor.is_finite());
+        self.slow_milli[dev].store((factor * 1e3) as usize, Ordering::SeqCst);
+    }
+
+    /// Schedules `kind` to fire when `dev` serves its `at_call`-th job
+    /// (0-based, counted across all units). One-shot.
+    pub fn script(&self, dev: usize, at_call: usize, kind: FaultKind) {
+        self.scripted.lock().push((dev, at_call, kind));
+    }
+
+    /// Jobs device `dev` has accepted so far.
+    pub fn calls(&self, dev: usize) -> usize {
+        self.calls[dev].load(Ordering::SeqCst)
+    }
+
+    /// Applies a [`FleetTrace`] sample at virtual time `t_ms`: `Down`
+    /// devices are killed, `Up` devices revived, `Slow` devices get the
+    /// trace's slowdown factor. Returns the alive mask.
+    pub fn apply_trace(&self, fleet: &FleetTrace, t_ms: f64) -> Vec<bool> {
+        let n = self.dead.len().min(fleet.n_devices());
+        for dev in 0..n {
+            match fleet.status(dev, t_ms) {
+                DeviceStatus::Down => self.kill(dev),
+                DeviceStatus::Up => {
+                    self.revive(dev);
+                    self.set_slowdown(dev, 1.0);
+                }
+                DeviceStatus::Slow(f) => {
+                    self.revive(dev);
+                    self.set_slowdown(dev, f.max(1.0));
+                }
+            }
+        }
+        (0..self.dead.len()).map(|d| !self.is_dead(d)).collect()
+    }
+
+    fn take_scripted(&self, dev: usize, call: usize) -> Option<FaultKind> {
+        let mut scripted = self.scripted.lock();
+        let pos = scripted.iter().position(|(d, c, _)| *d == dev && *c == call)?;
+        Some(scripted.remove(pos).2)
+    }
+}
+
+impl UnitCompute for FaultyCompute {
+    fn n_units(&self) -> usize {
+        self.inner.n_units()
+    }
+
+    fn run_unit(&self, unit: usize, input: &Tensor) -> Tensor {
+        self.inner.run_unit(unit, input)
+    }
+
+    fn run_unit_on(&self, dev: usize, unit: usize, input: &Tensor) -> UnitOutcome {
+        let call = self.calls[dev].fetch_add(1, Ordering::SeqCst);
+        match self.take_scripted(dev, call) {
+            Some(FaultKind::Vanish) => {
+                self.kill(dev);
+                return UnitOutcome::Vanish;
+            }
+            Some(FaultKind::Panic) => panic!("injected panic on device {dev} unit {unit}"),
+            Some(FaultKind::Stall(d)) => std::thread::sleep(d),
+            Some(FaultKind::Error) => {
+                return UnitOutcome::Error(format!("injected error on device {dev} unit {unit}"));
+            }
+            None => {}
+        }
+        if self.dead[dev].load(Ordering::SeqCst) {
+            return UnitOutcome::Vanish;
+        }
+        let t0 = std::time::Instant::now();
+        let out = self.inner.run_unit(unit, input);
+        let slow = self.slow_milli[dev].load(Ordering::SeqCst);
+        if slow > 1000 {
+            let extra = t0.elapsed().mul_f64((slow as f64 - 1000.0) / 1000.0);
+            std::thread::sleep(extra);
+        }
+        UnitOutcome::Output(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::ConvStackCompute;
+    use murmuration_edgesim::DeviceTrace;
+    use murmuration_tensor::Shape;
+
+    fn wrapped() -> FaultyCompute {
+        FaultyCompute::new(Arc::new(ConvStackCompute::random(2, 1, 2, 3)), 3)
+    }
+
+    #[test]
+    fn healthy_wrapper_is_transparent() {
+        let f = wrapped();
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0);
+        let x = Tensor::rand_uniform(Shape::nchw(1, 2, 6, 6), 1.0, &mut rng);
+        match f.run_unit_on(1, 0, &x) {
+            UnitOutcome::Output(t) => assert_eq!(t.data(), f.run_unit(0, &x).data()),
+            _ => panic!("healthy device must produce output"),
+        }
+        assert_eq!(f.calls(1), 1);
+        assert_eq!(f.calls(0), 0);
+    }
+
+    #[test]
+    fn killed_device_vanishes_until_revived() {
+        let f = wrapped();
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0);
+        let x = Tensor::rand_uniform(Shape::nchw(1, 2, 6, 6), 1.0, &mut rng);
+        f.kill(2);
+        assert!(matches!(f.run_unit_on(2, 0, &x), UnitOutcome::Vanish));
+        f.revive(2);
+        assert!(matches!(f.run_unit_on(2, 0, &x), UnitOutcome::Output(_)));
+    }
+
+    #[test]
+    fn scripted_faults_fire_once_at_their_call_index() {
+        let f = wrapped();
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0);
+        let x = Tensor::rand_uniform(Shape::nchw(1, 2, 6, 6), 1.0, &mut rng);
+        f.script(0, 1, FaultKind::Error);
+        assert!(matches!(f.run_unit_on(0, 0, &x), UnitOutcome::Output(_)));
+        assert!(matches!(f.run_unit_on(0, 0, &x), UnitOutcome::Error(_)));
+        assert!(matches!(f.run_unit_on(0, 0, &x), UnitOutcome::Output(_)), "one-shot");
+    }
+
+    #[test]
+    fn fleet_trace_drives_kill_and_revive() {
+        let f = wrapped();
+        let mut fleet = FleetTrace::always_up(3);
+        fleet.set(1, DeviceTrace::down_between(50.0, 100.0));
+        let mask = f.apply_trace(&fleet, 0.0);
+        assert_eq!(mask, vec![true, true, true]);
+        let mask = f.apply_trace(&fleet, 60.0);
+        assert_eq!(mask, vec![true, false, true]);
+        assert!(f.is_dead(1));
+        let mask = f.apply_trace(&fleet, 120.0);
+        assert_eq!(mask, vec![true, true, true]);
+    }
+}

@@ -26,11 +26,14 @@
 //!   quantized payloads whose sizes match the latency model's accounting.
 //! * [`scheduler`] — translates a decided (spec, plan) into the executor's
 //!   per-unit dispatch table (grids + wire precisions).
+//! * [`fault`] — fault injection ([`fault::FaultyCompute`]): kill, stall,
+//!   panic, or slow any device's worker to exercise the recovery paths.
 //! * [`runtime`] — the per-request adaptation loop tying it all together.
 
 pub mod cache;
 pub mod decision;
 pub mod executor;
+pub mod fault;
 pub mod monitor;
 pub mod predictor;
 pub mod reconfig;
@@ -39,4 +42,4 @@ pub mod scheduler;
 pub mod slo;
 pub mod wire;
 
-pub use runtime::{Runtime, RuntimeConfig};
+pub use runtime::{Degradation, RequestReport, Runtime, RuntimeConfig};

@@ -11,9 +11,9 @@ use crate::monitor::NetworkMonitor;
 use crate::predictor::MonitorPredictor;
 use crate::reconfig::InMemorySupernet;
 use crate::slo::SloApi;
-use murmuration_edgesim::NetworkState;
+use murmuration_edgesim::{DeviceStatus, FleetTrace, NetworkState};
 use murmuration_partition::compliance::Slo;
-use murmuration_partition::LatencyEstimator;
+use murmuration_partition::{ExecutionPlan, LatencyEstimator};
 use murmuration_rl::{Condition, LstmPolicy, Scenario, SloKind};
 use murmuration_supernet::SubnetSpec;
 use rand::Rng;
@@ -32,6 +32,8 @@ pub struct RuntimeConfig {
     pub cache_capacity: usize,
     /// Forecast horizon for strategy precomputation (ms); 0 disables.
     pub precompute_horizon_ms: f64,
+    /// Consecutive execution failures before a device is marked down.
+    pub health_threshold: usize,
 }
 
 impl Default for RuntimeConfig {
@@ -42,6 +44,72 @@ impl Default for RuntimeConfig {
             monitor_noise: 0.05,
             cache_capacity: 512,
             precompute_horizon_ms: 500.0,
+            health_threshold: 1,
+        }
+    }
+}
+
+/// Why a request was served in degraded mode (empty when healthy).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Degradation {
+    /// Devices currently believed down, masked out of the decision.
+    pub down_devices: Vec<usize>,
+    /// The decided plan was infeasible and the runtime fell back to
+    /// running everything on the local device.
+    pub forced_local: bool,
+}
+
+impl Degradation {
+    /// Whether the request was served under any degradation at all.
+    pub fn is_degraded(&self) -> bool {
+        !self.down_devices.is_empty() || self.forced_local
+    }
+}
+
+/// Device-health bookkeeping: consecutive-failure counting with a
+/// threshold, fed by executor outcomes. Device 0 (local) is never marked
+/// down — the runtime itself runs there.
+struct DeviceHealth {
+    failures: Vec<usize>,
+    down: Vec<bool>,
+    threshold: usize,
+}
+
+impl DeviceHealth {
+    fn new(n_devices: usize, threshold: usize) -> Self {
+        DeviceHealth {
+            failures: vec![0; n_devices],
+            down: vec![false; n_devices],
+            threshold: threshold.max(1),
+        }
+    }
+
+    fn alive_mask(&self) -> Vec<bool> {
+        self.down.iter().map(|&d| !d).collect()
+    }
+
+    fn record(&mut self, dev: usize, ok: bool) {
+        if dev == 0 || dev >= self.down.len() {
+            return;
+        }
+        if ok {
+            self.failures[dev] = 0;
+            self.down[dev] = false;
+        } else {
+            self.failures[dev] += 1;
+            if self.failures[dev] >= self.threshold {
+                self.down[dev] = true;
+            }
+        }
+    }
+
+    fn force(&mut self, dev: usize, down: bool) {
+        if dev == 0 || dev >= self.down.len() {
+            return;
+        }
+        self.down[dev] = down;
+        if !down {
+            self.failures[dev] = 0;
         }
     }
 }
@@ -61,6 +129,10 @@ pub struct RequestReport {
     pub accuracy_pct: f32,
     /// Whether the current SLO was met.
     pub slo_met: bool,
+    /// Devices the deployed plan actually uses.
+    pub devices_used: Vec<usize>,
+    /// Fault-recovery state this request was served under.
+    pub degradation: Degradation,
 }
 
 /// The assembled runtime.
@@ -69,6 +141,7 @@ pub struct Runtime {
     monitor: NetworkMonitor,
     decision: DecisionModule,
     supernet: InMemorySupernet,
+    health: DeviceHealth,
     cfg: RuntimeConfig,
     last_t_ms: f64,
 }
@@ -82,6 +155,7 @@ impl Runtime {
         initial_slo: Slo,
     ) -> Self {
         let n_remote = scenario.n_remote();
+        let n_devices = scenario.devices.len();
         let space = scenario.space.clone();
         check_slo_kind(&scenario, &initial_slo);
         Runtime {
@@ -94,6 +168,7 @@ impl Runtime {
             ),
             decision: DecisionModule::new(scenario, policy, cfg.cache_capacity),
             supernet: InMemorySupernet::new(space),
+            health: DeviceHealth::new(n_devices, cfg.health_threshold),
             cfg,
             last_t_ms: 0.0,
         }
@@ -112,12 +187,73 @@ impl Runtime {
         }
     }
 
+    /// Current liveness belief, one flag per device (device 0 is the local
+    /// device and always alive).
+    pub fn alive_mask(&self) -> Vec<bool> {
+        self.health.alive_mask()
+    }
+
+    /// Feeds one executor outcome into health tracking: `ok = false`
+    /// counts toward the consecutive-failure threshold, `ok = true` clears
+    /// it (and revives a device believed down). When a device crosses the
+    /// threshold, every cached strategy that placed work on it is purged.
+    pub fn report_exec_outcome(&mut self, dev: usize, ok: bool) {
+        let was_down = self.health.down.get(dev).copied().unwrap_or(false);
+        self.health.record(dev, ok);
+        let is_down = self.health.down.get(dev).copied().unwrap_or(false);
+        if is_down && !was_down {
+            self.decision.purge_infeasible(&self.health.alive_mask());
+        }
+    }
+
+    /// Manually marks a device down (e.g. from an out-of-band failure
+    /// detector). Cached strategies using it are purged.
+    pub fn set_device_down(&mut self, dev: usize) {
+        self.health.force(dev, true);
+        self.decision.purge_infeasible(&self.health.alive_mask());
+    }
+
+    /// Manually revives a device.
+    pub fn set_device_up(&mut self, dev: usize) {
+        self.health.force(dev, false);
+    }
+
+    /// Syncs health from a fault trace at virtual time `t_ms` (`Slow`
+    /// devices stay up — stragglers are the executor's problem).
+    pub fn apply_fleet_trace(&mut self, fleet: &FleetTrace, t_ms: f64) {
+        let n = self.scenario().devices.len().min(fleet.n_devices());
+        for dev in 1..n {
+            match fleet.status(dev, t_ms) {
+                DeviceStatus::Down => self.set_device_down(dev),
+                DeviceStatus::Up | DeviceStatus::Slow(_) => self.set_device_up(dev),
+            }
+        }
+    }
+
+    /// Clamps the links of down devices to the scenario's worst grid
+    /// corner (minimum bandwidth, maximum delay) so the policy — which
+    /// knows nothing about faults — is steered away from them, on top of
+    /// the hard feasibility mask. Remote link `i` serves device `i + 1`.
+    fn mask_condition(&self, mut cond: Condition, alive: &[bool]) -> Condition {
+        let sc = self.scenario();
+        for (i, (bw, delay)) in cond.bw_mbps.iter_mut().zip(cond.delay_ms.iter_mut()).enumerate() {
+            if !alive.get(i + 1).copied().unwrap_or(false) {
+                *bw = sc.bw_range.0;
+                *delay = sc.delay_range.1;
+            }
+        }
+        cond
+    }
+
     /// Background tick: sample monitoring and precompute a strategy for
-    /// the forecast condition.
+    /// the forecast condition. Skipped while degraded — precomputed
+    /// strategies would not be cacheable anyway (see
+    /// [`DecisionModule::decide_masked`]).
     pub fn tick<R: Rng>(&mut self, net_truth: &NetworkState, t_ms: f64, rng: &mut R) {
         self.monitor.sample(net_truth, t_ms, rng);
         self.last_t_ms = t_ms;
-        if self.cfg.precompute_horizon_ms > 0.0 {
+        let alive = self.health.alive_mask();
+        if self.cfg.precompute_horizon_ms > 0.0 && alive.iter().all(|&a| a) {
             let forecast = MonitorPredictor::predict(
                 &self.monitor,
                 self.scenario().n_remote(),
@@ -128,7 +264,10 @@ impl Runtime {
         }
     }
 
-    /// Serves one inference request at virtual time `t_ms`.
+    /// Serves one inference request at virtual time `t_ms`. Never panics
+    /// on device loss: dead devices are masked out of the decision, and if
+    /// the decided plan is still infeasible the runtime falls back to an
+    /// all-local plan and reports the degradation.
     pub fn infer<R: Rng>(
         &mut self,
         net_truth: &NetworkState,
@@ -139,17 +278,28 @@ impl Runtime {
         self.monitor.sample(net_truth, t_ms, rng);
         self.last_t_ms = t_ms;
         let estimates = self.monitor.estimates();
-        let cond = self.decision.condition(self.slo_scalar(), &estimates);
+        let alive = self.health.alive_mask();
+        let raw_cond = self.decision.condition(self.slo_scalar(), &estimates);
+        let cond = self.mask_condition(raw_cond, &alive);
 
-        // Decide (cache-first) and reconfigure the in-memory supernet.
+        // Decide (cache-first, dead devices masked) and reconfigure the
+        // in-memory supernet.
         let t0 = Instant::now();
-        let decision = self.decision.decide(&cond);
+        let decision = self.decision.decide_masked(&cond, &alive);
         let decision_time = t0.elapsed();
         let switch = self.supernet.switch_submodel(decision.genome.config.clone());
 
         // Ground-truth deployment outcome.
         let spec = SubnetSpec::lower(&decision.genome.config);
-        let plan = decision.genome.plan(&spec, self.scenario().devices.len());
+        let mut plan = decision.genome.plan(&spec, self.scenario().devices.len());
+        let mut forced_local = false;
+        if !plan.is_feasible(&alive) {
+            // Last-resort degradation: the masked decision still touched a
+            // dead device (e.g. the whole fleet dropped at once). Serve
+            // the request locally rather than fail it.
+            plan = ExecutionPlan::all_on(&spec, 0);
+            forced_local = true;
+        }
         let est = LatencyEstimator::new(&self.scenario().devices, net_truth);
         let latency_ms = est.estimate(&spec, &plan).total_ms;
         let accuracy_pct = self.scenario().accuracy_model.predict(&decision.genome.config);
@@ -157,6 +307,8 @@ impl Runtime {
             Slo::LatencyMs(v) => latency_ms <= v,
             Slo::AccuracyPct(v) => accuracy_pct >= v,
         };
+        let down_devices: Vec<usize> =
+            alive.iter().enumerate().filter(|(_, &a)| !a).map(|(d, _)| d).collect();
         RequestReport {
             cached: decision.cached,
             decision_time,
@@ -164,6 +316,8 @@ impl Runtime {
             latency_ms,
             accuracy_pct,
             slo_met,
+            devices_used: plan.devices_used(),
+            degradation: Degradation { down_devices, forced_local },
         }
     }
 
@@ -260,6 +414,57 @@ mod tests {
         let sc = Scenario::augmented_computing(SloKind::Latency);
         let policy = LstmPolicy::new(sc.input_dim(), 16, sc.arities(), 0);
         let _ = Runtime::new(sc, policy, RuntimeConfig::default(), Slo::AccuracyPct(75.0));
+    }
+
+    #[test]
+    fn dead_device_is_masked_out_of_decisions() {
+        let mut rt = runtime();
+        let mut rng = StdRng::seed_from_u64(5);
+        let net = lan();
+        let r = rt.infer(&net, 0.0, &mut rng);
+        assert!(!r.degradation.is_degraded(), "healthy fleet reports no degradation");
+        // Device 1 dies (its worker failed once; threshold is 1).
+        rt.report_exec_outcome(1, false);
+        assert!(!rt.alive_mask()[1]);
+        let r = rt.infer(&net, 100.0, &mut rng);
+        assert_eq!(r.degradation.down_devices, vec![1]);
+        assert!(!r.devices_used.contains(&1), "plan must avoid the dead device");
+        // Recovery: a success on the device revives it.
+        rt.report_exec_outcome(1, true);
+        let r = rt.infer(&net, 200.0, &mut rng);
+        assert!(!r.degradation.is_degraded());
+    }
+
+    #[test]
+    fn infer_never_panics_with_all_remotes_down() {
+        let mut rt = runtime();
+        let mut rng = StdRng::seed_from_u64(6);
+        let net = lan();
+        for dev in 1..rt.scenario().devices.len() {
+            rt.set_device_down(dev);
+        }
+        let r = rt.infer(&net, 0.0, &mut rng);
+        assert!(r.latency_ms.is_finite());
+        assert_eq!(r.devices_used, vec![0], "only the local device may serve");
+        assert!(r.degradation.is_degraded());
+        // Local device can never be marked down.
+        rt.report_exec_outcome(0, false);
+        assert!(rt.alive_mask()[0]);
+    }
+
+    #[test]
+    fn fleet_trace_drives_runtime_health() {
+        use murmuration_edgesim::DeviceTrace;
+        let mut rt = runtime();
+        let n = rt.scenario().devices.len();
+        let mut fleet = FleetTrace::always_up(n);
+        fleet.set(1, DeviceTrace::down_between(50.0, 150.0));
+        rt.apply_fleet_trace(&fleet, 0.0);
+        assert!(rt.alive_mask().iter().all(|&a| a));
+        rt.apply_fleet_trace(&fleet, 100.0);
+        assert!(!rt.alive_mask()[1]);
+        rt.apply_fleet_trace(&fleet, 200.0);
+        assert!(rt.alive_mask()[1]);
     }
 
     #[test]

@@ -3,37 +3,69 @@
 //!
 //! A frame is: magic `MWIR` · u8 version · u8 bit-width (8/16/32) · u8
 //! rank · per-dim u32 sizes · f32 scale (quantized payloads) · u64 payload
-//! length · payload. 8/16-bit payloads are *packed* integer codes, so the
-//! frame length matches the latency model's
+//! length · u32 FNV-1a checksum · payload. 8/16-bit payloads are *packed*
+//! integer codes, so the frame length matches the latency model's
 //! [`BitWidth::wire_bytes`](murmuration_tensor::quant::BitWidth::wire_bytes)
 //! accounting (± the fixed header).
+//!
+//! The checksum covers every frame byte except the checksum field itself,
+//! so corruption anywhere — header or payload — is detected rather than
+//! silently dequantized into garbage activations.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 use murmuration_tensor::quant::BitWidth;
 use murmuration_tensor::{Shape, Tensor};
 
 const MAGIC: &[u8; 4] = b"MWIR";
-const VERSION: u8 = 1;
+const VERSION: u8 = 2;
 
 /// Frame decode errors.
-#[derive(Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum WireError {
     /// Not a frame, wrong version, or inconsistent lengths.
     Malformed(&'static str),
+    /// Structurally valid frame whose bytes were corrupted in transit.
+    Checksum { expect: u32, got: u32 },
 }
 
 impl std::fmt::Display for WireError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             WireError::Malformed(m) => write!(f, "malformed frame: {m}"),
+            WireError::Checksum { expect, got } => {
+                write!(f, "frame checksum mismatch: expect {expect:#010x}, got {got:#010x}")
+            }
         }
     }
 }
 
 impl std::error::Error for WireError {}
 
+/// Byte offset of the u32 checksum field for a tensor of rank `r`
+/// (just after the payload-length field).
+fn checksum_offset(rank: usize) -> usize {
+    4 + 1 + 1 + 1 + 4 * rank + 4 + 8
+}
+
 /// Serialized frame header size for a tensor of rank `r`.
 pub fn header_bytes(rank: usize) -> usize {
-    4 + 1 + 1 + 1 + 4 * rank + 4 + 8
+    checksum_offset(rank) + 4
+}
+
+/// FNV-1a over every frame byte except the checksum field itself.
+fn frame_checksum(frame: &[u8], crc_off: usize) -> u32 {
+    let mut h: u32 = 0x811C_9DC5;
+    let mut step = |b: u8| {
+        h ^= u32::from(b);
+        h = h.wrapping_mul(0x0100_0193);
+    };
+    for &b in &frame[..crc_off] {
+        step(b);
+    }
+    for &b in &frame[crc_off + 4..] {
+        step(b);
+    }
+    h
 }
 
 /// Encodes a tensor at the given wire precision.
@@ -52,6 +84,7 @@ pub fn encode(t: &Tensor, bits: BitWidth) -> Vec<u8> {
             out.extend_from_slice(&0f32.to_le_bytes()); // scale unused
             let payload_len = t.numel() * 4;
             out.extend_from_slice(&(payload_len as u64).to_le_bytes());
+            out.extend_from_slice(&0u32.to_le_bytes()); // checksum placeholder
             for v in t.data() {
                 out.extend_from_slice(&v.to_le_bytes());
             }
@@ -65,6 +98,7 @@ pub fn encode(t: &Tensor, bits: BitWidth) -> Vec<u8> {
             if bits == BitWidth::B8 {
                 let payload_len = t.numel();
                 out.extend_from_slice(&(payload_len as u64).to_le_bytes());
+                out.extend_from_slice(&0u32.to_le_bytes()); // checksum placeholder
                 for &v in t.data() {
                     let c = (v * inv).round().clamp(-qmax, qmax) as i8;
                     out.push(c as u8);
@@ -72,6 +106,7 @@ pub fn encode(t: &Tensor, bits: BitWidth) -> Vec<u8> {
             } else {
                 let payload_len = t.numel() * 2;
                 out.extend_from_slice(&(payload_len as u64).to_le_bytes());
+                out.extend_from_slice(&0u32.to_le_bytes()); // checksum placeholder
                 for &v in t.data() {
                     let c = (v * inv).round().clamp(-qmax, qmax) as i16;
                     out.extend_from_slice(&c.to_le_bytes());
@@ -79,6 +114,9 @@ pub fn encode(t: &Tensor, bits: BitWidth) -> Vec<u8> {
             }
         }
     }
+    let crc_off = checksum_offset(dims.len());
+    let crc = frame_checksum(&out, crc_off);
+    out[crc_off..crc_off + 4].copy_from_slice(&crc.to_le_bytes());
     out
 }
 
@@ -131,9 +169,16 @@ pub fn decode(frame: &[u8]) -> Result<Tensor, WireError> {
     if payload_len != expect {
         return Err(WireError::Malformed("payload length mismatch"));
     }
+    let crc_off = pos;
+    let cb = take(&mut pos, 4)?;
+    let got_crc = u32::from_le_bytes([cb[0], cb[1], cb[2], cb[3]]);
     let payload = take(&mut pos, payload_len)?;
     if pos != frame.len() {
         return Err(WireError::Malformed("trailing bytes"));
+    }
+    let want_crc = frame_checksum(frame, crc_off);
+    if got_crc != want_crc {
+        return Err(WireError::Checksum { expect: want_crc, got: got_crc });
     }
     let data: Vec<f32> = match bits {
         BitWidth::B32 => {
@@ -228,6 +273,29 @@ mod tests {
         let len_off = 4 + 1 + 1 + 1 + 4 * 4 + 4;
         bad_len[len_off] ^= 0xff;
         assert!(decode(&bad_len).is_err());
+    }
+
+    #[test]
+    fn detects_corrupted_payload_bytes() {
+        let t = sample();
+        for bits in [BitWidth::B8, BitWidth::B16, BitWidth::B32] {
+            let good = encode(&t, bits);
+            assert!(decode(&good).is_ok());
+            // Garble one payload byte: structure is intact, so only the
+            // checksum can catch it.
+            let mut bad = good.clone();
+            let last = bad.len() - 1;
+            bad[last] ^= 0x55;
+            match decode(&bad) {
+                Err(WireError::Checksum { .. }) => {}
+                other => panic!("expected checksum error, got {other:?}"),
+            }
+            // Garbling the stored checksum itself is also detected.
+            let mut bad_crc = good;
+            let crc_off = header_bytes(4) - 4;
+            bad_crc[crc_off] ^= 0xff;
+            assert!(matches!(decode(&bad_crc), Err(WireError::Checksum { .. })));
+        }
     }
 
     #[test]

@@ -1,0 +1,192 @@
+//! Device fault traces for the fault-tolerance experiments.
+//!
+//! Mirrors [`crate::trace::NetworkTrace`]: a [`DeviceTrace`] is a
+//! deterministic function of virtual time, so a "device 2 dies at t=4s and
+//! comes back at t=9s" scenario replays identically run-to-run. A
+//! [`FleetTrace`] bundles one trace per device and answers the two
+//! questions the runtime asks: who is alive at `t`, and how slow is each
+//! survivor.
+
+/// Availability of a single device at one instant.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum DeviceStatus {
+    /// Healthy: accepts work at nominal speed.
+    Up,
+    /// Crashed or unreachable: accepts no work.
+    Down,
+    /// Alive but a straggler: compute takes `factor`× the nominal time.
+    Slow(f64),
+}
+
+impl DeviceStatus {
+    /// Whether the device can accept work at all.
+    pub fn is_up(&self) -> bool {
+        !matches!(self, DeviceStatus::Down)
+    }
+
+    /// Compute-time multiplier (1.0 for `Up`, 0.0 slots are impossible:
+    /// `Down` devices report ∞).
+    pub fn slow_factor(&self) -> f64 {
+        match self {
+            DeviceStatus::Up => 1.0,
+            DeviceStatus::Down => f64::INFINITY,
+            DeviceStatus::Slow(f) => *f,
+        }
+    }
+}
+
+/// A deterministic up/down/slow trajectory for one device.
+#[derive(Clone, Debug)]
+pub enum DeviceTrace {
+    /// Never fails.
+    AlwaysUp,
+    /// Piecewise-constant phases: `(start_ms, status)` sorted by time.
+    Phases(Vec<(f64, DeviceStatus)>),
+}
+
+impl DeviceTrace {
+    /// A phase trace; panics unless phases are time-sorted starting at 0.
+    pub fn phases(phases: Vec<(f64, DeviceStatus)>) -> Self {
+        assert!(!phases.is_empty(), "need at least one phase");
+        assert_eq!(phases[0].0, 0.0, "first phase must start at t=0");
+        assert!(phases.windows(2).all(|w| w[0].0 < w[1].0), "phases must be strictly time-ordered");
+        DeviceTrace::Phases(phases)
+    }
+
+    /// Up, then down for `[t_down_ms, t_up_ms)`, then up again — the
+    /// canonical crash-and-recover scenario.
+    pub fn down_between(t_down_ms: f64, t_up_ms: f64) -> Self {
+        assert!(0.0 < t_down_ms && t_down_ms < t_up_ms, "need 0 < t_down < t_up");
+        DeviceTrace::phases(vec![
+            (0.0, DeviceStatus::Up),
+            (t_down_ms, DeviceStatus::Down),
+            (t_up_ms, DeviceStatus::Up),
+        ])
+    }
+
+    /// Up, then permanently down from `t_down_ms`.
+    pub fn down_after(t_down_ms: f64) -> Self {
+        assert!(t_down_ms > 0.0, "need t_down > 0");
+        DeviceTrace::phases(vec![(0.0, DeviceStatus::Up), (t_down_ms, DeviceStatus::Down)])
+    }
+
+    /// Status at virtual time `t_ms`; each phase holds until the next.
+    pub fn sample(&self, t_ms: f64) -> DeviceStatus {
+        match self {
+            DeviceTrace::AlwaysUp => DeviceStatus::Up,
+            DeviceTrace::Phases(phases) => {
+                let mut cur = phases[0].1;
+                for &(t0, s) in phases {
+                    if t_ms >= t0 {
+                        cur = s;
+                    } else {
+                        break;
+                    }
+                }
+                cur
+            }
+        }
+    }
+}
+
+/// Per-device traces for a whole fleet. Device 0 is the coordinator that
+/// receives requests; callers typically keep it `AlwaysUp` (a dead
+/// coordinator means there is no system left to degrade gracefully).
+#[derive(Clone, Debug)]
+pub struct FleetTrace {
+    traces: Vec<DeviceTrace>,
+}
+
+impl FleetTrace {
+    /// A fleet of `n` devices that never fail.
+    pub fn always_up(n: usize) -> Self {
+        assert!(n > 0, "need at least one device");
+        FleetTrace { traces: vec![DeviceTrace::AlwaysUp; n] }
+    }
+
+    /// A fleet from explicit per-device traces.
+    pub fn new(traces: Vec<DeviceTrace>) -> Self {
+        assert!(!traces.is_empty(), "need at least one device");
+        FleetTrace { traces }
+    }
+
+    /// Replaces device `dev`'s trace.
+    pub fn set(&mut self, dev: usize, trace: DeviceTrace) {
+        self.traces[dev] = trace;
+    }
+
+    pub fn n_devices(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// Status of device `dev` at time `t_ms`.
+    pub fn status(&self, dev: usize, t_ms: f64) -> DeviceStatus {
+        self.traces[dev].sample(t_ms)
+    }
+
+    /// `mask[d]` is true when device `d` accepts work at `t_ms`.
+    pub fn alive_mask(&self, t_ms: f64) -> Vec<bool> {
+        self.traces.iter().map(|t| t.sample(t_ms).is_up()).collect()
+    }
+
+    /// Compute-time multiplier for device `dev` at `t_ms` (∞ when down).
+    pub fn slow_factor(&self, dev: usize, t_ms: f64) -> f64 {
+        self.traces[dev].sample(t_ms).slow_factor()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn always_up_never_fails() {
+        let t = DeviceTrace::AlwaysUp;
+        assert_eq!(t.sample(0.0), DeviceStatus::Up);
+        assert_eq!(t.sample(1e12), DeviceStatus::Up);
+    }
+
+    #[test]
+    fn down_between_crashes_and_recovers() {
+        let t = DeviceTrace::down_between(1000.0, 3000.0);
+        assert!(t.sample(999.9).is_up());
+        assert!(!t.sample(1000.0).is_up());
+        assert!(!t.sample(2999.9).is_up());
+        assert!(t.sample(3000.0).is_up());
+    }
+
+    #[test]
+    fn phases_hold_until_next_boundary() {
+        let t = DeviceTrace::phases(vec![
+            (0.0, DeviceStatus::Up),
+            (500.0, DeviceStatus::Slow(3.0)),
+            (800.0, DeviceStatus::Down),
+        ]);
+        assert_eq!(t.sample(499.0), DeviceStatus::Up);
+        assert_eq!(t.sample(500.0), DeviceStatus::Slow(3.0));
+        assert_eq!(t.sample(500.0).slow_factor(), 3.0);
+        assert_eq!(t.sample(900.0), DeviceStatus::Down);
+        assert_eq!(t.sample(900.0).slow_factor(), f64::INFINITY);
+    }
+
+    #[test]
+    fn fleet_masks_reflect_per_device_traces() {
+        let mut fleet = FleetTrace::always_up(3);
+        fleet.set(2, DeviceTrace::down_between(100.0, 200.0));
+        assert_eq!(fleet.alive_mask(0.0), vec![true, true, true]);
+        assert_eq!(fleet.alive_mask(150.0), vec![true, true, false]);
+        assert_eq!(fleet.alive_mask(250.0), vec![true, true, true]);
+        assert_eq!(fleet.slow_factor(1, 150.0), 1.0);
+        assert!(fleet.slow_factor(2, 150.0).is_infinite());
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_unsorted_phases() {
+        DeviceTrace::phases(vec![
+            (0.0, DeviceStatus::Up),
+            (5.0, DeviceStatus::Down),
+            (3.0, DeviceStatus::Up),
+        ]);
+    }
+}

@@ -19,14 +19,18 @@
 //!   Murmuration's network-monitoring module.
 //! * [`des`] — a small deterministic discrete-event engine used by the
 //!   partition crate to simulate distributed plan execution.
+//! * [`fault`] — deterministic device up/down/slow traces ([`DeviceTrace`],
+//!   [`FleetTrace`]) for fault-injection experiments.
 
 pub mod des;
 pub mod device;
+pub mod fault;
 pub mod monitor;
 pub mod net;
 pub mod tc;
 pub mod trace;
 
 pub use device::{ComputeProfile, Device, DeviceId, DeviceKind};
+pub use fault::{DeviceStatus, DeviceTrace, FleetTrace};
 pub use net::{LinkState, NetworkState};
 pub use tc::TrafficControl;

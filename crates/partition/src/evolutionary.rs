@@ -164,14 +164,14 @@ mod tests {
         // Objective: pure accuracy — the GA must find near-max configs.
         let space = SearchSpace::default();
         let acc = AccuracyModel::new();
-        let result = search(&space, 2, 16, 12, 1, |cfg, _| acc.predict(cfg) as f64);
+        let result = search(&space, 2, 16, 24, 1, |cfg, _| acc.predict(cfg) as f64);
         let max_acc = acc.predict(&space.max_config()) as f64;
         assert!(
             result.best_score > max_acc - 1.0,
             "GA best {} vs max {max_acc}",
             result.best_score
         );
-        assert_eq!(result.evaluations, 16 + 12 * 12); // pop + gens*(pop-elite)
+        assert_eq!(result.evaluations, 16 + 24 * 12); // pop + gens*(pop-elite)
     }
 
     #[test]

@@ -117,6 +117,27 @@ impl ExecutionPlan {
         Ok(())
     }
 
+    /// All devices referenced anywhere in the plan, sorted and deduplicated.
+    pub fn devices_used(&self) -> Vec<DeviceId> {
+        let mut devs: Vec<DeviceId> = self
+            .placements
+            .iter()
+            .flat_map(|p| match p {
+                UnitPlacement::Single(d) => vec![*d],
+                UnitPlacement::Tiled(v) => v.clone(),
+            })
+            .collect();
+        devs.sort_unstable();
+        devs.dedup();
+        devs
+    }
+
+    /// Whether every device the plan touches is alive under `alive`
+    /// (devices beyond the mask's length count as dead).
+    pub fn is_feasible(&self, alive: &[bool]) -> bool {
+        self.devices_used().iter().all(|&d| alive.get(d).copied().unwrap_or(false))
+    }
+
     /// A reasonable default plan for a spec: partitioned stages spread
     /// tiles round-robin over all devices, everything else on device 0.
     pub fn spread(spec: &SubnetSpec, n_devices: usize) -> Self {
@@ -236,6 +257,19 @@ mod tests {
                 Ok(())
             })
             .unwrap();
+    }
+
+    #[test]
+    fn feasibility_tracks_devices_used() {
+        let spec = spec_with_partition();
+        let mut plan = ExecutionPlan::all_on(&spec, 0);
+        plan.placements[2] = UnitPlacement::Tiled(vec![0, 1, 0, 2]);
+        assert_eq!(plan.devices_used(), vec![0, 1, 2]);
+        assert!(plan.is_feasible(&[true, true, true]));
+        assert!(!plan.is_feasible(&[true, true, false]), "device 2 dead");
+        assert!(!plan.is_feasible(&[true, true]), "mask shorter than fleet");
+        let local = ExecutionPlan::all_on(&spec, 0);
+        assert!(local.is_feasible(&[true, false, false]), "all-local survives any remote loss");
     }
 
     #[test]

@@ -17,7 +17,7 @@
 
 use crate::env::{Condition, Scenario, SloKind};
 use rand::Rng;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One stored trajectory.
 #[derive(Clone, Debug)]
@@ -34,14 +34,17 @@ pub struct Entry {
 pub struct BucketedBuffer {
     grid_points: usize,
     per_bucket: usize,
-    buckets: HashMap<Vec<u8>, Vec<Entry>>,
+    // BTreeMap, not HashMap: sampling iterates the buckets, and a hashed
+    // order would make training nondeterministic run-to-run (RandomState
+    // is seeded per process).
+    buckets: BTreeMap<Vec<u8>, Vec<Entry>>,
 }
 
 impl BucketedBuffer {
     /// `per_bucket` = n of the top-n reward filter.
     pub fn new(grid_points: usize, per_bucket: usize) -> Self {
         assert!(grid_points >= 2 && per_bucket >= 1);
-        BucketedBuffer { grid_points, per_bucket, buckets: HashMap::new() }
+        BucketedBuffer { grid_points, per_bucket, buckets: BTreeMap::new() }
     }
 
     /// Total stored entries.
@@ -209,7 +212,7 @@ impl BucketedBuffer {
     /// shared strategy would always be preferred). Returns entries removed.
     pub fn prune(&mut self) -> usize {
         let keys: Vec<Vec<u8>> = self.buckets.keys().cloned().collect();
-        let best_of: HashMap<Vec<u8>, f32> = keys
+        let best_of: BTreeMap<Vec<u8>, f32> = keys
             .iter()
             .map(|k| {
                 let b = self.buckets[k].iter().map(|e| e.reward).fold(f32::MIN, f32::max);

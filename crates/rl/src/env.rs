@@ -555,16 +555,58 @@ pub fn fallback_actions(scenario: &Scenario) -> Vec<Vec<usize>> {
 /// cost model, so it never deploys a predicted SLO violation when a
 /// feasible fallback exists.
 pub fn decide_guarded(policy: &LstmPolicy, scenario: &Scenario, cond: &Condition) -> EpisodeResult {
+    let alive = vec![true; scenario.devices.len()];
+    decide_guarded_masked(policy, scenario, cond, &alive)
+}
+
+/// Whether a strategy only places work on alive devices. `alive[d]` covers
+/// the whole fleet; the stem is pinned to device 0, so a dead coordinator
+/// makes everything infeasible.
+pub fn actions_feasible(scenario: &Scenario, actions: &[usize], alive: &[bool]) -> bool {
+    if !alive.first().copied().unwrap_or(false) {
+        return false;
+    }
+    scenario
+        .used_links(actions)
+        .iter()
+        .enumerate()
+        .all(|(i, &used)| !used || alive.get(i + 1).copied().unwrap_or(false))
+}
+
+/// [`decide_guarded`] over a degraded fleet: strategies that place work on
+/// a dead device are discarded before scoring. The all-local fallback is
+/// always in the candidate set, so some feasible strategy always survives
+/// (device 0 is the coordinator and must be alive for a request to exist
+/// at all).
+pub fn decide_guarded_masked(
+    policy: &LstmPolicy,
+    scenario: &Scenario,
+    cond: &Condition,
+    alive: &[bool],
+) -> EpisodeResult {
     let mut rng = rand::rngs::mock::StepRng::new(0, 0);
     let (actions, _, _) = rollout(policy, scenario, cond, RolloutMode::Greedy, &mut rng);
-    let mut best = scenario.evaluate(cond, &actions);
+    let mut best: Option<EpisodeResult> = if actions_feasible(scenario, &actions, alive) {
+        Some(scenario.evaluate(cond, &actions))
+    } else {
+        None
+    };
     for fb in fallback_actions(scenario) {
+        if !actions_feasible(scenario, &fb, alive) {
+            continue;
+        }
         let r = scenario.evaluate(cond, &fb);
-        if (r.met && !best.met) || (r.met == best.met && r.reward > best.reward) {
-            best = r;
+        let better = match &best {
+            None => true,
+            Some(b) => (r.met && !b.met) || (r.met == b.met && r.reward > b.reward),
+        };
+        if better {
+            best = Some(r);
         }
     }
-    best
+    // fallback_actions always contains the all-local ladder, which uses no
+    // remote link, so with a live coordinator `best` is always Some.
+    best.unwrap_or_else(|| scenario.evaluate(cond, &fallback_actions(scenario)[0]))
 }
 
 #[cfg(test)]
@@ -753,6 +795,31 @@ mod tests {
                 guarded.met,
                 guarded.reward
             );
+        }
+    }
+
+    #[test]
+    fn masked_guard_avoids_dead_devices() {
+        let sc = Scenario::augmented_computing(SloKind::Latency);
+        let policy = LstmPolicy::new(sc.input_dim(), 16, sc.arities(), 3);
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..10 {
+            let cond = sc.sample_condition(&mut rng);
+            // Kill every remote: the only feasible strategies are all-local.
+            let alive = {
+                let mut a = vec![false; sc.devices.len()];
+                a[0] = true;
+                a
+            };
+            let r = decide_guarded_masked(&policy, &sc, &cond, &alive);
+            assert!(actions_feasible(&sc, &r.actions, &alive), "plan touches a dead device");
+            assert!(sc.used_links(&r.actions).iter().all(|&u| !u), "must be all-local");
+            assert!(r.latency_ms.is_finite() && r.latency_ms > 0.0);
+            // Kill one remote: the chosen plan must avoid just that one.
+            let mut one_dead = vec![true; sc.devices.len()];
+            one_dead[1] = false;
+            let r = decide_guarded_masked(&policy, &sc, &cond, &one_dead);
+            assert!(actions_feasible(&sc, &r.actions, &one_dead));
         }
     }
 

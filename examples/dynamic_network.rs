@@ -70,7 +70,7 @@ fn main() {
 
     let local_plan = ExecutionPlan { placements: vec![UnitPlacement::Single(0); 3] };
     let wire_local = vec![UnitWire { grid: GridSpec::new(1, 1), in_quant: BitWidth::B32 }; 3];
-    let (_out, local) = exec.execute(&local_plan, &wire_local, input.clone());
+    let (_out, local) = exec.execute(&local_plan, &wire_local, input.clone()).expect("local plan");
 
     let tiled_plan = ExecutionPlan {
         placements: vec![
@@ -83,7 +83,8 @@ fn main() {
     wire_tiled[0].grid = GridSpec::new(2, 2);
     wire_tiled[1].grid = GridSpec::new(2, 2);
     wire_tiled[1].in_quant = BitWidth::B8;
-    let (out_tiled, tiled) = exec.execute(&tiled_plan, &wire_tiled, input.clone());
+    let (out_tiled, tiled) =
+        exec.execute(&tiled_plan, &wire_tiled, input.clone()).expect("tiled plan");
 
     println!("  single worker : {:>8.2} ms wall", local.wall_ms);
     println!(
@@ -104,6 +105,7 @@ fn main() {
         outs.len(),
         stream.wall_ms / outs.len() as f64
     );
+    assert!(outs.iter().all(Result::is_ok), "healthy stream must fully complete");
     println!("\n(FDSP keeps tiles independent, so the tiled result differs from the");
     println!(" monolithic one only along tile seams — the accuracy cost Murmuration's");
     println!(" accuracy model charges for spatial partitioning.)");

@@ -17,4 +17,15 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> chaos tests (bounded: a hang is a failure, not a stuck CI job)"
+timeout 300 cargo test -q --test executor_chaos --test runtime_degraded
+
+echo "==> fault-path lint gates (no unwrap/expect in hardened modules)"
+for f in crates/core/src/executor.rs crates/core/src/wire.rs; do
+    if ! grep -q 'deny(clippy::unwrap_used, clippy::expect_used)' "$f"; then
+        echo "error: $f lost its unwrap/expect lint gate" >&2
+        exit 1
+    fi
+done
+
 echo "All checks passed."

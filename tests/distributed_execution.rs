@@ -28,7 +28,7 @@ fn many_devices_many_units_exact_at_full_precision() {
     // Ping-pong across all five devices, unpartitioned.
     let plan = ExecutionPlan { placements: (0..5).map(|u| UnitPlacement::Single(u % 5)).collect() };
     let wire = vec![UnitWire { grid: GridSpec::new(1, 1), in_quant: BitWidth::B32 }; 5];
-    let (out, _) = exec.execute(&plan, &wire, input.clone());
+    let (out, _) = exec.execute(&plan, &wire, input.clone()).unwrap();
     assert_eq!(out.data(), reference(&compute, &input).data());
 }
 
@@ -52,7 +52,7 @@ fn mixed_plan_tiled_and_single_units() {
         UnitWire { grid: GridSpec::new(1, 2), in_quant: BitWidth::B16 },
         UnitWire { grid: GridSpec::new(1, 1), in_quant: BitWidth::B8 },
     ];
-    let (out, report) = exec.execute(&plan, &wire, input.clone());
+    let (out, report) = exec.execute(&plan, &wire, input.clone()).unwrap();
     assert_eq!(out.shape(), &Shape::nchw(1, 4, 20, 20));
     assert!(report.wall_ms > 0.0);
     // Result stays close to the monolithic reference despite tiling and
@@ -80,8 +80,8 @@ fn repeated_execution_is_deterministic() {
     };
     let mut wire = vec![UnitWire { grid: GridSpec::new(1, 1), in_quant: BitWidth::B8 }; 3];
     wire[0].grid = GridSpec::new(1, 2);
-    let (a, _) = exec.execute(&plan, &wire, input.clone());
-    let (b, _) = exec.execute(&plan, &wire, input.clone());
+    let (a, _) = exec.execute(&plan, &wire, input.clone()).unwrap();
+    let (b, _) = exec.execute(&plan, &wire, input.clone()).unwrap();
     assert_eq!(a.data(), b.data(), "distributed execution must be deterministic");
 }
 
@@ -97,7 +97,7 @@ fn concurrent_tile_fanout_uses_all_workers() {
         let input = Tensor::rand_uniform(Shape::nchw(1, 4, h, h), 1.0, &mut rng);
         let plan = ExecutionPlan { placements: vec![UnitPlacement::Tiled(vec![0, 1, 2, 3])] };
         let wire = vec![UnitWire { grid: GridSpec::new(2, 2), in_quant: BitWidth::B32 }];
-        let (out, _) = exec.execute(&plan, &wire, input.clone());
+        let (out, _) = exec.execute(&plan, &wire, input.clone()).unwrap();
         assert_eq!(out.shape(), input.shape());
     }
 }

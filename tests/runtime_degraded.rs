@@ -1,0 +1,112 @@
+//! Degraded-mode runtime test: a device dies mid-trace and the runtime
+//! keeps serving — no panics, no plans touching the dead device (cached or
+//! fresh), SLO compliance dips while the fleet is degraded and recovers
+//! after failover.
+
+use murmuration::edgesim::{DeviceTrace, FleetTrace};
+use murmuration::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn device_loss_mid_trace_degrades_then_recovers() {
+    let sc = Scenario::augmented_computing(SloKind::Latency);
+    let n = sc.devices.len();
+    let link = LinkState { bandwidth_mbps: 300.0, delay_ms: 5.0 };
+    let net = NetworkState::uniform(sc.n_remote(), link);
+
+    // Pick an SLO that *requires* offloading: above the best possible
+    // remote deployment, below anything the local device can do alone.
+    let min_spec = SubnetSpec::lower(&sc.space.min_config());
+    let est = LatencyEstimator::new(&sc.devices, &net);
+    let local_floor = est.estimate(&min_spec, &ExecutionPlan::all_on(&min_spec, 0)).total_ms;
+    let offload_floor = (1..n)
+        .map(|d| est.estimate(&min_spec, &ExecutionPlan::all_on(&min_spec, d)).total_ms)
+        .fold(f64::INFINITY, f64::min);
+    let slo = ((offload_floor + local_floor) / 2.0).clamp(sc.slo_range.0, sc.slo_range.1);
+    assert!(
+        offload_floor < slo && slo < local_floor,
+        "test premise: SLO {slo:.1} must sit between offload floor {offload_floor:.1} \
+         and local floor {local_floor:.1}"
+    );
+
+    let policy = LstmPolicy::new(sc.input_dim(), 16, sc.arities(), 0);
+    let cfg = RuntimeConfig { monitor_noise: 0.0, ..Default::default() };
+    let mut rt = Runtime::new(sc, policy, cfg, Slo::LatencyMs(slo));
+
+    // 20 requests at 100 ms spacing; every remote device is down for
+    // requests 6..13 (virtual time 600..1300 ms).
+    let mut fleet = FleetTrace::always_up(n);
+    for d in 1..n {
+        fleet.set(d, DeviceTrace::down_between(600.0, 1300.0));
+    }
+
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut met = Vec::new();
+    for i in 0..20usize {
+        let t = i as f64 * 100.0;
+        rt.apply_fleet_trace(&fleet, t);
+        let r = rt.infer(&net, t, &mut rng);
+        let alive = rt.alive_mask();
+        // The invariant the strategy cache must uphold: no served plan —
+        // cached, precomputed, or fresh — may place work on a dead device.
+        for &d in &r.devices_used {
+            assert!(alive[d], "request {i}: plan uses dead device {d} (cached={})", r.cached);
+        }
+        if (6..13).contains(&i) {
+            assert!(r.degradation.is_degraded(), "request {i}: outage must be reported");
+            assert_eq!(
+                r.devices_used,
+                vec![0],
+                "request {i}: only the local device can serve during the outage"
+            );
+            assert!(!r.slo_met, "request {i}: this SLO is unachievable locally");
+        } else {
+            assert!(!r.degradation.is_degraded(), "request {i}: healthy fleet, no degradation");
+        }
+        met.push(r.slo_met);
+    }
+
+    // Compliance dips during the outage and recovers after failback.
+    assert!(met[..6].iter().all(|&m| m), "healthy prefix must meet the SLO: {met:?}");
+    assert!(!met[6..13].iter().any(|&m| m), "outage window cannot meet the SLO: {met:?}");
+    assert!(met[13..].iter().all(|&m| m), "post-recovery requests must meet the SLO: {met:?}");
+}
+
+#[test]
+fn cache_is_purged_when_a_device_dies() {
+    let sc = Scenario::augmented_computing(SloKind::Latency);
+    let n = sc.devices.len();
+    let link = LinkState { bandwidth_mbps: 300.0, delay_ms: 5.0 };
+    let net = NetworkState::uniform(sc.n_remote(), link);
+    let policy = LstmPolicy::new(sc.input_dim(), 16, sc.arities(), 0);
+    let cfg = RuntimeConfig { monitor_noise: 0.0, ..Default::default() };
+    // Tight SLO forces the healthy decision to offload.
+    let mut rt = Runtime::new(sc, policy, cfg, Slo::LatencyMs(85.0));
+    let mut rng = StdRng::seed_from_u64(1);
+
+    let r0 = rt.infer(&net, 0.0, &mut rng);
+    let r1 = rt.infer(&net, 100.0, &mut rng);
+    assert!(r1.cached, "stable conditions must hit the cache");
+    let used_remote = r0.devices_used.iter().any(|&d| d != 0);
+
+    // Kill every remote: any cached strategy referencing one must go.
+    for d in 1..n {
+        rt.set_device_down(d);
+    }
+    let r2 = rt.infer(&net, 200.0, &mut rng);
+    assert_eq!(r2.devices_used, vec![0]);
+    if used_remote {
+        assert!(!r2.cached, "a cached remote strategy must not be served after device loss");
+    }
+
+    // After recovery the cache serves remote strategies again (repopulated
+    // by the first healthy decision).
+    for d in 1..n {
+        rt.set_device_up(d);
+    }
+    let r3 = rt.infer(&net, 300.0, &mut rng);
+    let r4 = rt.infer(&net, 400.0, &mut rng);
+    assert_eq!(r3.devices_used, r0.devices_used, "healthy decision is restored");
+    assert!(r4.cached, "healthy cache refills after recovery");
+}

@@ -1,0 +1,208 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the API subset the workspace benches use — `Criterion`,
+//! `benchmark_group`, `bench_function` / `bench_with_input`, `Bencher::iter`,
+//! `Throughput`, `BenchmarkId`, and the `criterion_group!`/`criterion_main!`
+//! macros — with a simple wall-clock harness that prints mean time per
+//! iteration. No statistics, plots, or CLI parsing.
+
+use std::fmt::Write as _;
+use std::hint::black_box as std_black_box;
+use std::time::Instant;
+
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl std::fmt::Display, param: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{name}/{param}") }
+    }
+
+    pub fn from_parameter(param: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: param.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+pub struct Bencher {
+    samples: usize,
+    mean_ns: f64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One warmup, then `samples` timed iterations.
+        std_black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            std_black_box(f());
+        }
+        self.mean_ns = start.elapsed().as_nanos() as f64 / self.samples as f64;
+    }
+}
+
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: None, throughput: None }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, mut f: F) {
+        let id = id.into();
+        let mut b = Bencher { samples: self.sample_size, mean_ns: 0.0 };
+        f(&mut b);
+        println!("{}", render_line(&id.id, b.mean_ns, None));
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, mut f: F) {
+        let id = id.into();
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let mut b = Bencher { samples, mean_ns: 0.0 };
+        f(&mut b);
+        let label = format!("{}/{}", self.name, id.id);
+        println!("{}", render_line(&label, b.mean_ns, self.throughput));
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: impl Into<BenchmarkId>, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let mut b = Bencher { samples, mean_ns: 0.0 };
+        f(&mut b, input);
+        let label = format!("{}/{}", self.name, id.id);
+        println!("{}", render_line(&label, b.mean_ns, self.throughput));
+    }
+
+    pub fn finish(self) {}
+}
+
+fn render_line(label: &str, mean_ns: f64, throughput: Option<Throughput>) -> String {
+    let mut line = format!("{label:<44} {:>12}", format_ns(mean_ns));
+    if let Some(t) = throughput {
+        let per_sec = match t {
+            Throughput::Elements(n) => format!("{:.1} Melem/s", n as f64 / mean_ns * 1e3),
+            Throughput::Bytes(n) => {
+                format!("{:.1} MiB/s", n as f64 / mean_ns * 1e9 / (1 << 20) as f64)
+            }
+        };
+        let _ = write!(line, "  {per_sec}");
+    }
+    line
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $cfg;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default().sample_size(5);
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(100));
+        g.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        g.finish();
+    }
+
+    #[test]
+    fn format_ns_scales() {
+        assert!(format_ns(1.5e9).ends_with(" s"));
+        assert!(format_ns(2.5e6).ends_with(" ms"));
+        assert!(format_ns(3.5e3).ends_with(" us"));
+        assert!(format_ns(12.0).ends_with(" ns"));
+    }
+}

@@ -1,0 +1,40 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only the `channel` module subset the workspace uses is provided, backed
+//! by `std::sync::mpsc` (whose `Sender` has been `Sync` since Rust 1.72).
+
+pub mod channel {
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+    pub type Sender<T> = std::sync::mpsc::Sender<T>;
+    pub type Receiver<T> = std::sync::mpsc::Receiver<T>;
+
+    /// Unbounded MPSC channel (crossbeam's is MPMC; the workspace only ever
+    /// moves each receiver to a single consumer, so mpsc suffices).
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+    use std::time::Duration;
+
+    #[test]
+    fn send_recv_round_trip() {
+        let (tx, rx) = channel::unbounded();
+        tx.send(41).unwrap();
+        assert_eq!(rx.recv().unwrap(), 41);
+    }
+
+    #[test]
+    fn recv_timeout_reports_disconnect() {
+        let (tx, rx) = channel::unbounded::<u8>();
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(channel::RecvTimeoutError::Disconnected)
+        );
+    }
+}

@@ -1,0 +1,417 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace uses: the
+//! `proptest!` macro with `#![proptest_config(...)]`, numeric-range and
+//! tuple strategies, `collection::vec`, `sample::select`, `TestRunner`,
+//! and the `prop_assert*` macros. Sampling is purely random (seeded,
+//! deterministic); there is no shrinking — a failing case reports the
+//! exact inputs instead.
+
+/// Minimal deterministic RNG used for strategy sampling (SplitMix64).
+#[derive(Clone, Debug)]
+pub struct SampleRng {
+    state: u64,
+}
+
+impl SampleRng {
+    pub fn new(seed: u64) -> Self {
+        SampleRng { state: seed ^ 0x9E37_79B9_7F4A_7C15 }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+}
+
+pub mod strategy {
+    use super::SampleRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        type Value: std::fmt::Debug;
+        fn pick(&self, rng: &mut SampleRng) -> Self::Value;
+    }
+
+    macro_rules! impl_strategy_int {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn pick(&self, rng: &mut SampleRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn pick(&self, rng: &mut SampleRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty strategy range");
+                    let span = (hi as i128 - lo as i128 + 1) as u64;
+                    (lo as i128 + rng.below(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+    impl_strategy_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_strategy_float {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn pick(&self, rng: &mut SampleRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    self.start + (self.end - self.start) * rng.unit_f64() as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn pick(&self, rng: &mut SampleRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty strategy range");
+                    lo + (hi - lo) * rng.unit_f64() as $t
+                }
+            }
+        )*};
+    }
+    impl_strategy_float!(f32, f64);
+
+    /// Always yields a clone of the same value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone + std::fmt::Debug>(pub T);
+
+    impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+        type Value = T;
+        fn pick(&self, _rng: &mut SampleRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_strategy_tuple {
+        ($($name:ident : $idx:tt),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn pick(&self, rng: &mut SampleRng) -> Self::Value {
+                    ($(self.$idx.pick(rng),)+)
+                }
+            }
+        };
+    }
+    impl_strategy_tuple!(A: 0);
+    impl_strategy_tuple!(A: 0, B: 1);
+    impl_strategy_tuple!(A: 0, B: 1, C: 2);
+    impl_strategy_tuple!(A: 0, B: 1, C: 2, D: 3);
+    impl_strategy_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+    impl_strategy_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+    impl_strategy_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6);
+    impl_strategy_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7);
+    impl_strategy_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7, I: 8);
+    impl_strategy_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7, I: 8, J: 9);
+    impl_strategy_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7, I: 8, J: 9, K: 10);
+    impl_strategy_tuple!(
+        A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7, I: 8, J: 9, K: 10, L: 11
+    );
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::SampleRng;
+
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    /// `proptest::collection::vec`: a Vec whose length is drawn from
+    /// `len` and whose elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn pick(&self, rng: &mut SampleRng) -> Self::Value {
+            let n = self.len.clone().pick(rng);
+            (0..n).map(|_| self.element.pick(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    use super::strategy::Strategy;
+    use super::SampleRng;
+
+    #[derive(Clone, Debug)]
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    /// `proptest::sample::select`: uniform choice from a fixed list.
+    pub fn select<T: Clone + std::fmt::Debug>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select: empty options");
+        Select { options }
+    }
+
+    impl<T: Clone + std::fmt::Debug> Strategy for Select<T> {
+        type Value = T;
+        fn pick(&self, rng: &mut SampleRng) -> T {
+            self.options[(0..self.options.len()).pick(rng)].clone()
+        }
+    }
+}
+
+pub mod test_runner {
+    use super::strategy::Strategy;
+    use super::SampleRng;
+
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        pub cases: u32,
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+
+    /// Failure raised inside a test case (via `prop_assert!` etc.).
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        Fail(String),
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        pub fn fail(reason: impl Into<String>) -> Self {
+            TestCaseError::Fail(reason.into())
+        }
+        pub fn reject(reason: impl Into<String>) -> Self {
+            TestCaseError::Reject(reason.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Fail(r) => write!(f, "test case failed: {r}"),
+                TestCaseError::Reject(r) => write!(f, "test case rejected: {r}"),
+            }
+        }
+    }
+
+    /// Terminal failure of a whole run, carrying the offending input.
+    #[derive(Clone, Debug)]
+    pub struct TestError(pub String);
+
+    impl std::fmt::Display for TestError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "{}", self.0)
+        }
+    }
+
+    pub struct TestRunner {
+        config: Config,
+        rng: SampleRng,
+    }
+
+    impl TestRunner {
+        pub fn new(config: Config) -> Self {
+            TestRunner { config, rng: SampleRng::new(0x00C0_FFEE) }
+        }
+
+        pub fn run<S, F>(&mut self, strategy: &S, mut test: F) -> Result<(), TestError>
+        where
+            S: Strategy,
+            F: FnMut(S::Value) -> Result<(), TestCaseError>,
+        {
+            let mut case = 0u32;
+            let mut rejects = 0u32;
+            while case < self.config.cases {
+                let input = strategy.pick(&mut self.rng);
+                let shown = format!("{input:?}");
+                match test(input) {
+                    Ok(()) => case += 1,
+                    Err(TestCaseError::Reject(_)) => {
+                        rejects += 1;
+                        if rejects > self.config.cases.saturating_mul(8).max(1024) {
+                            return Err(TestError("too many rejected cases".into()));
+                        }
+                    }
+                    Err(TestCaseError::Fail(reason)) => {
+                        return Err(TestError(format!("{reason}; input = {shown}")));
+                    }
+                }
+            }
+            Ok(())
+        }
+    }
+
+    impl Default for TestRunner {
+        fn default() -> Self {
+            TestRunner::new(Config::default())
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::sample;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Mirrors `proptest::prelude::prop` so `prop::collection::vec(..)`
+    /// and `prop::sample::select(..)` resolve after a glob import.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {} ({:?} vs {:?})",
+            stringify!($lhs),
+            stringify!($rhs),
+            l,
+            r
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {} != {} (both {:?})",
+            stringify!($lhs),
+            stringify!($rhs),
+            l
+        );
+    }};
+}
+
+/// The `proptest!` macro: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `body` over sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!($cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!($crate::test_runner::Config::default(); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            let mut runner = $crate::test_runner::TestRunner::new(config);
+            let outcome = runner.run(&($($strat,)+), |($($arg,)+)| {
+                $body
+                ::core::result::Result::Ok(())
+            });
+            if let ::core::result::Result::Err(e) = outcome {
+                panic!("proptest failed: {}", e.0);
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn ranges_stay_in_bounds(a in 0usize..5, b in -1.0f64..1.0, c in 1u64..=9) {
+            prop_assert!(a < 5);
+            prop_assert!((-1.0..1.0).contains(&b));
+            prop_assert!((1..=9).contains(&c));
+        }
+
+        #[test]
+        fn vec_strategy_respects_len(v in prop::collection::vec(0usize..5, 1..12)) {
+            prop_assert!(!v.is_empty() && v.len() < 12);
+            for x in &v {
+                prop_assert!(*x < 5);
+            }
+        }
+
+        #[test]
+        fn select_picks_from_options(k in prop::sample::select(vec![1usize, 3, 5])) {
+            prop_assert!(k == 1 || k == 3 || k == 5);
+        }
+    }
+
+    #[test]
+    fn runner_reports_failure_input() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(32));
+        let err = runner
+            .run(&(0usize..10,), |(x,)| {
+                prop_assert!(x < 3, "x too big");
+                Ok(())
+            })
+            .unwrap_err();
+        assert!(err.0.contains("x too big"), "{}", err.0);
+    }
+}

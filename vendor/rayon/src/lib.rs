@@ -1,0 +1,99 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The registry is unreachable in this build environment, so the `par_*`
+//! entry points the workspace uses are provided as thin wrappers that
+//! return the corresponding *sequential* std iterators. Numerically the
+//! results are identical; the parallel speedup is simply absent until the
+//! real rayon can be restored.
+
+/// Sequential stand-in for `rayon::join`: runs both closures in order.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    let ra = a();
+    (ra, b())
+}
+
+pub mod prelude {
+    pub trait IntoParallelIterator {
+        type Item;
+        type Iter: Iterator<Item = Self::Item>;
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<T> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        type Iter = std::vec::IntoIter<T>;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    impl<T> IntoParallelIterator for std::ops::Range<T>
+    where
+        std::ops::Range<T>: Iterator<Item = T>,
+    {
+        type Item = T;
+        type Iter = std::ops::Range<T>;
+        fn into_par_iter(self) -> Self::Iter {
+            self
+        }
+    }
+
+    pub trait ParallelSlice<T> {
+        fn par_iter(&self) -> std::slice::Iter<'_, T>;
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.iter()
+        }
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+            self.chunks(chunk_size)
+        }
+    }
+
+    pub trait ParallelSliceMut<T> {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(chunk_size)
+        }
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+            self.iter_mut()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_iter() {
+        let v = vec![1, 2, 3, 4];
+        let doubled: Vec<i32> = v.clone().into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+        let sum: i32 = v.par_iter().sum();
+        assert_eq!(sum, 10);
+    }
+
+    #[test]
+    fn par_chunks_mut_writes() {
+        let mut v = vec![0u8; 6];
+        v.par_chunks_mut(2).enumerate().for_each(|(i, c)| c.fill(i as u8));
+        assert_eq!(v, vec![0, 0, 1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn join_runs_both() {
+        let (a, b) = super::join(|| 1, || 2);
+        assert_eq!((a, b), (1, 2));
+    }
+}
