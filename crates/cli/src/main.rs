@@ -12,16 +12,22 @@
 mod args;
 
 use args::{ArgError, Args};
-use murmuration_core::{Runtime, RuntimeConfig};
+use murmuration_core::{Runtime, RuntimeConfig, SharedRuntime};
 use murmuration_edgesim::trace::NetworkTrace;
-use murmuration_edgesim::{LinkState, NetworkState};
+use murmuration_edgesim::{
+    ArrivalTrace, DeviceTrace, FleetTrace, LinkState, NetworkState, RateShape,
+};
 use murmuration_partition::compliance::Slo;
 use murmuration_partition::{ExecutionPlan, LatencyEstimator};
 use murmuration_rl::supreme::{self, SupremeConfig};
-use murmuration_rl::{serialize, Condition, Scenario, SloKind};
+use murmuration_rl::{serialize, Condition, LstmPolicy, Scenario, SloKind};
+use murmuration_serve::{
+    default_classes, run_closed_loop, run_open_loop, EnvModel, LoadReport, ServeConfig, ServeHandle,
+};
 use murmuration_supernet::{AccuracyModel, SearchSpace, SubnetSpec};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -47,6 +53,8 @@ fn run(argv: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         "plan" => cmd_plan(&args),
         "models" => cmd_models(),
         "simulate" => cmd_simulate(&args),
+        "serve" => cmd_serve(&args),
+        "loadtest" => cmd_loadtest(&args),
         "help" | "--help" | "-h" => {
             print_help();
             Ok(())
@@ -77,7 +85,19 @@ fn print_help() {
                      --policy FILE  --scenario ...  --slo V  --requests N (10)\n\
                      --kill-device D --kill-at-req K (0) --revive-at-req R (never)\n\
                      (injects a device failure window; degraded column shows recovery)\n\
-           help      This message."
+           serve     Closed-loop SLO-class serving demo (concurrent clients).\n\
+                     --policy FILE|fresh  --scenario ...  --clients N (4)\n\
+                     --duration-ms D (5000)  --time-scale S (0.02)  --workers W (2)\n\
+           loadtest  Open-loop load test against the serving layer.\n\
+                     --policy FILE|fresh  --scenario ...  --duration-ms D (10000)\n\
+                     --rps R (20)  --rps-to R2 (= overload ramp to R2)\n\
+                     --mix W0,W1,W2 (0.4,0.3,0.3)  --baseline naive|engineered (engineered)\n\
+                     --kill-device D --kill-at-ms T --revive-at-ms R\n\
+                     --time-scale S (0.02)  --workers W (2)  --seed S (0)\n\
+           help      This message.\n\
+         \n\
+         `--policy fresh` skips loading: an untrained, fallback-guarded policy is\n\
+         built on the spot (smoke tests without a training run)."
     );
 }
 
@@ -121,6 +141,27 @@ fn condition_from(args: &Args, sc: &Scenario) -> Result<Condition, ArgError> {
     Ok(Condition { slo, bw_mbps: bw, delay_ms: delay })
 }
 
+/// Loads `--policy FILE`, or builds an untrained policy for `--policy
+/// fresh` — decisions then lean on the guarded fallback, which is enough
+/// for smoke-testing the serving stack without a training run.
+fn policy_from(args: &Args, sc: &Scenario) -> Result<LstmPolicy, Box<dyn std::error::Error>> {
+    match args.require("policy")? {
+        "fresh" => {
+            let seed: u64 = args.get_parsed_or("seed", 0u64)?;
+            Ok(LstmPolicy::new(sc.input_dim(), 16, sc.arities(), seed))
+        }
+        path => {
+            let policy = serialize::load_policy(path)?;
+            if policy.input_dim != sc.input_dim() {
+                return Err(Box::new(ArgError(
+                    "policy was trained for a different scenario shape".into(),
+                )));
+            }
+            Ok(policy)
+        }
+    }
+}
+
 fn cmd_train(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let sc = scenario_from(args)?;
     let steps: usize = args.get_parsed_or("steps", 4000)?;
@@ -143,10 +184,7 @@ fn cmd_train(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
 
 fn cmd_decide(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let sc = scenario_from(args)?;
-    let policy = serialize::load_policy(args.require("policy")?)?;
-    if policy.input_dim != sc.input_dim() {
-        return Err(Box::new(ArgError("policy was trained for a different scenario shape".into())));
-    }
+    let policy = policy_from(args, &sc)?;
     let cond = condition_from(args, &sc)?;
     let result = murmuration_rl::env::decide_guarded(&policy, &sc, &cond);
     let genome = sc.decode(&result.actions);
@@ -295,7 +333,7 @@ fn cmd_models() -> Result<(), Box<dyn std::error::Error>> {
 
 fn cmd_simulate(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let sc = scenario_from(args)?;
-    let policy = serialize::load_policy(args.require("policy")?)?;
+    let policy = policy_from(args, &sc)?;
     let requests: usize = args.get_parsed_or("requests", 10)?;
     let slo: f64 = args.get_parsed_or("slo", sc.slo_range.1)?;
     let initial = match sc.slo_kind {
@@ -358,5 +396,118 @@ fn cmd_simulate(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     }
     let stats = rt.cache_stats();
     println!("met {met}/{requests}; cache hit ratio {:.0} %", stats.hit_ratio() * 100.0);
+    Ok(())
+}
+
+/// Shared setup for the serving commands: runtime, environment, config.
+fn serving_setup(
+    args: &Args,
+) -> Result<(Arc<SharedRuntime>, EnvModel, ServeConfig), Box<dyn std::error::Error>> {
+    let sc = scenario_from(args)?;
+    let policy = policy_from(args, &sc)?;
+    let initial = match sc.slo_kind {
+        SloKind::Latency => Slo::LatencyMs(sc.slo_range.1),
+        SloKind::Accuracy => Slo::AccuracyPct(sc.slo_range.1 as f32),
+    };
+    let n_remote = sc.n_remote();
+    let n_devices = sc.devices.len();
+    let rt = Arc::new(SharedRuntime::new(sc, policy, RuntimeConfig::default(), initial));
+    let duration: f64 = args.get_parsed_or("duration-ms", 10_000.0)?;
+    let base = LinkState {
+        bandwidth_mbps: args.get_parsed_or("bw", 150.0)?,
+        delay_ms: args.get_parsed_or("delay", 20.0)?,
+    };
+    let seed: u64 = args.get_parsed_or("seed", 0u64)?;
+    let steps = (duration / 400.0) as usize + 2;
+    let net = NetworkTrace::random_walk(base, 400.0, steps, 3.0, seed ^ 0xbeef);
+    let mut env = EnvModel::new(net, n_remote);
+    // Optional fault window, on the virtual clock.
+    let kill_device: usize = args.get_parsed_or("kill-device", usize::MAX)?;
+    if kill_device != usize::MAX {
+        if kill_device == 0 || kill_device >= n_devices {
+            return Err(Box::new(ArgError(format!(
+                "--kill-device: device must be a remote (1..{})",
+                n_devices - 1
+            ))));
+        }
+        let kill_at: f64 = args.get_parsed_or("kill-at-ms", duration / 3.0)?;
+        let revive_at: f64 = args.get_parsed_or("revive-at-ms", f64::INFINITY)?;
+        let mut fleet = FleetTrace::always_up(n_devices);
+        let trace = if revive_at.is_finite() {
+            DeviceTrace::down_between(kill_at, revive_at)
+        } else {
+            DeviceTrace::down_after(kill_at)
+        };
+        fleet.set(kill_device, trace);
+        env = env.with_fleet(fleet);
+    }
+    let classes = default_classes();
+    let mut cfg = match args.get_or("baseline", "engineered") {
+        "engineered" => ServeConfig::engineered(classes),
+        "naive" => ServeConfig::naive(classes),
+        other => return Err(Box::new(ArgError(format!("--baseline: unknown `{other}`")))),
+    };
+    cfg.time_scale = args.get_parsed_or("time-scale", 0.02)?;
+    cfg.n_workers = args.get_parsed_or("workers", cfg.n_workers)?;
+    cfg.base_seed = seed;
+    Ok((rt, env, cfg))
+}
+
+fn cmd_serve(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let (rt, env, cfg) = serving_setup(args)?;
+    let duration: f64 = args.get_parsed_or("duration-ms", 5_000.0)?;
+    let clients: usize = args.get_parsed_or("clients", 4)?;
+    let classes = cfg.classes.clone();
+    let handle = ServeHandle::start(rt, env, cfg);
+    eprintln!(
+        "serving: {clients} closed-loop clients for {duration:.0} virtual ms \
+         across {} classes…",
+        classes.len()
+    );
+    let cycle: Vec<usize> = (0..classes.len()).collect();
+    let outcomes = run_closed_loop(&handle, clients, duration, &cycle);
+    let stats = handle.shutdown();
+    let report = LoadReport::build(&classes, &outcomes, stats, duration);
+    print!("{}", report.render_table());
+    println!(
+        "conservation: {} submitted = {} completed + {} rejected",
+        stats.submitted, stats.completed, stats.rejected
+    );
+    Ok(())
+}
+
+fn cmd_loadtest(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let (rt, env, cfg) = serving_setup(args)?;
+    let duration: f64 = args.get_parsed_or("duration-ms", 10_000.0)?;
+    let rps: f64 = args.get_parsed_or("rps", 20.0)?;
+    let shape = match args.get_parsed_or("rps-to", f64::NAN)? {
+        to if to.is_finite() => RateShape::Ramp { from_rps: rps, to_rps: to },
+        _ => RateShape::Constant(rps),
+    };
+    let mix = args.get_f64_list("mix")?.unwrap_or_else(|| vec![0.4, 0.3, 0.3]);
+    if mix.len() != cfg.classes.len() {
+        return Err(Box::new(ArgError(format!(
+            "--mix needs {} weights (one per class)",
+            cfg.classes.len()
+        ))));
+    }
+    let seed: u64 = args.get_parsed_or("seed", 0u64)?;
+    let trace = ArrivalTrace::poisson(duration, &shape, &mix, seed);
+    let classes = cfg.classes.clone();
+    let handle = ServeHandle::start(rt, env, cfg);
+    eprintln!(
+        "loadtest: {} open-loop arrivals over {duration:.0} virtual ms \
+         (offered {:.1} rps)…",
+        trace.len(),
+        trace.offered_rps()
+    );
+    let outcomes = run_open_loop(&handle, &trace);
+    let stats = handle.shutdown();
+    let report = LoadReport::build(&classes, &outcomes, stats, duration);
+    print!("{}", report.render_table());
+    println!(
+        "conservation: {} submitted = {} completed + {} rejected",
+        stats.submitted, stats.completed, stats.rejected
+    );
     Ok(())
 }

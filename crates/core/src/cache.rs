@@ -1,9 +1,25 @@
 //! The Strategy Cache: memoizes (SLO, network-condition bucket) →
 //! (subnet config + placement) so the RL policy runs only on cache misses.
+//!
+//! The cache sits on the serve hot path where many worker threads look up
+//! strategies concurrently, so it is **sharded**: keys hash to one of
+//! several independently locked shards, and hit/miss counters live in
+//! lock-free atomics outside the shard locks. Small caches (capacity
+//! below [`SHARD_THRESHOLD`]) collapse to a single shard so capacity and
+//! FIFO-eviction semantics stay exact where tests and experiments rely on
+//! them; large caches trade strict global FIFO for per-shard FIFO, which
+//! preserves the bounded-capacity contract (`len() <= capacity`).
 
 use murmuration_rl::{Condition, Scenario};
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Capacity at or above which the cache splits into [`N_SHARDS`] shards.
+pub const SHARD_THRESHOLD: usize = 64;
+
+/// Shard count for large caches.
+pub const N_SHARDS: usize = 8;
 
 /// A cached strategy: the decision sequence the policy produced.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -32,29 +48,31 @@ impl CacheStats {
 
 /// The strategy cache, keyed by the scenario's condition grid bucket.
 pub struct StrategyCache {
-    inner: Mutex<Inner>,
+    shards: Vec<Mutex<Shard>>,
+    /// Contention-free hit/miss counting: bumped outside any shard lock.
+    hits: AtomicU64,
+    misses: AtomicU64,
     grid_points: usize,
-    capacity: usize,
+    shard_capacity: usize,
 }
 
-struct Inner {
+#[derive(Default)]
+struct Shard {
     map: HashMap<Vec<u16>, CachedStrategy>,
-    order: Vec<Vec<u16>>, // FIFO eviction order
-    stats: CacheStats,
+    order: Vec<Vec<u16>>, // FIFO eviction order within the shard
 }
 
 impl StrategyCache {
-    /// Cache with bounded capacity (FIFO eviction).
+    /// Cache with bounded capacity (FIFO eviction per shard).
     pub fn new(grid_points: usize, capacity: usize) -> Self {
         assert!(capacity >= 1);
+        let n_shards = if capacity >= SHARD_THRESHOLD { N_SHARDS } else { 1 };
         StrategyCache {
-            inner: Mutex::new(Inner {
-                map: HashMap::new(),
-                order: Vec::new(),
-                stats: CacheStats::default(),
-            }),
+            shards: (0..n_shards).map(|_| Mutex::new(Shard::default())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
             grid_points,
-            capacity,
+            shard_capacity: capacity.div_ceil(n_shards),
         }
     }
 
@@ -77,17 +95,32 @@ impl StrategyCache {
         k
     }
 
+    /// FNV-1a over the key bytes → shard index.
+    fn shard_of(&self, key: &[u16]) -> usize {
+        if self.shards.len() == 1 {
+            return 0;
+        }
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &v in key {
+            for b in v.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        (h % self.shards.len() as u64) as usize
+    }
+
     /// Looks up a strategy, recording hit/miss.
     pub fn get(&self, sc: &Scenario, cond: &Condition) -> Option<CachedStrategy> {
         let key = self.key(sc, cond);
-        let mut inner = self.inner.lock();
-        match inner.map.get(&key).cloned() {
+        let found = self.shards[self.shard_of(&key)].lock().map.get(&key).cloned();
+        match found {
             Some(s) => {
-                inner.stats.hits += 1;
+                self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(s)
             }
             None => {
-                inner.stats.misses += 1;
+                self.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
         }
@@ -96,24 +129,27 @@ impl StrategyCache {
     /// Inserts a strategy for a condition bucket.
     pub fn put(&self, sc: &Scenario, cond: &Condition, strategy: CachedStrategy) {
         let key = self.key(sc, cond);
-        let mut inner = self.inner.lock();
-        if inner.map.insert(key.clone(), strategy).is_none() {
-            inner.order.push(key);
-            if inner.order.len() > self.capacity {
-                let evict = inner.order.remove(0);
-                inner.map.remove(&evict);
+        let mut shard = self.shards[self.shard_of(&key)].lock();
+        if shard.map.insert(key.clone(), strategy).is_none() {
+            shard.order.push(key);
+            if shard.order.len() > self.shard_capacity {
+                let evict = shard.order.remove(0);
+                shard.map.remove(&evict);
             }
         }
     }
 
     /// Snapshot of hit/miss statistics.
     pub fn stats(&self) -> CacheStats {
-        self.inner.lock().stats
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
     }
 
     /// Entries currently cached.
     pub fn len(&self) -> usize {
-        self.inner.lock().map.len()
+        self.shards.iter().map(|s| s.lock().map.len()).sum()
     }
 
     /// True when the cache is empty.
@@ -123,30 +159,36 @@ impl StrategyCache {
 
     /// Drops every entry (e.g. after a policy update).
     pub fn clear(&self) {
-        let mut inner = self.inner.lock();
-        inner.map.clear();
-        inner.order.clear();
+        for s in &self.shards {
+            let mut shard = s.lock();
+            shard.map.clear();
+            shard.order.clear();
+        }
     }
 
     /// Removes the entry for a condition bucket (e.g. when it turned out
     /// to reference a dead device). Returns the evicted strategy.
     pub fn remove(&self, sc: &Scenario, cond: &Condition) -> Option<CachedStrategy> {
         let key = self.key(sc, cond);
-        let mut inner = self.inner.lock();
-        inner.order.retain(|k| k != &key);
-        inner.map.remove(&key)
+        let mut shard = self.shards[self.shard_of(&key)].lock();
+        shard.order.retain(|k| k != &key);
+        shard.map.remove(&key)
     }
 
     /// Keeps only strategies for which `keep` returns true — used to purge
     /// every cached plan that places work on a device that just died.
     /// Returns the number of evicted entries.
     pub fn retain<F: FnMut(&CachedStrategy) -> bool>(&self, mut keep: F) -> usize {
-        let mut inner = self.inner.lock();
-        let before = inner.map.len();
-        let Inner { map, order, .. } = &mut *inner;
-        map.retain(|_, v| keep(v));
-        order.retain(|k| map.contains_key(k));
-        before - inner.map.len()
+        let mut evicted = 0;
+        for s in &self.shards {
+            let mut shard = s.lock();
+            let before = shard.map.len();
+            let Shard { map, order } = &mut *shard;
+            map.retain(|_, v| keep(v));
+            order.retain(|k| map.contains_key(k));
+            evicted += before - shard.map.len();
+        }
+        evicted
     }
 }
 
@@ -230,5 +272,46 @@ mod tests {
         // Re-inserting after retain must not trip FIFO bookkeeping.
         cache.put(&sc, &c2, CachedStrategy { actions: vec![3] });
         assert_eq!(cache.get(&sc, &c2).unwrap().actions, vec![3]);
+    }
+
+    #[test]
+    fn sharded_cache_bounds_capacity_and_counts_concurrent_hits() {
+        use std::sync::Arc;
+        let sc = Arc::new(sc());
+        // Capacity 64 → 8 shards of 8.
+        let cache = Arc::new(StrategyCache::new(16, 64));
+        assert_eq!(cache.shards.len(), N_SHARDS);
+        // Fill with many distinct buckets; len must never exceed capacity.
+        for i in 0..200u16 {
+            let c =
+                cond(60.0 + f64::from(i) * 1.5, 20.0 + f64::from(i) * 2.0, 1.0 + f64::from(i % 90));
+            cache.put(&sc, &c, CachedStrategy { actions: vec![usize::from(i)] });
+        }
+        assert!(cache.len() <= 64, "len {} exceeds capacity", cache.len());
+        assert!(!cache.is_empty());
+        // Concurrent readers: every thread's lookups are tallied exactly.
+        let warm = cond(140.0, 100.0, 20.0);
+        cache.put(&sc, &warm, CachedStrategy { actions: vec![9] });
+        let before = cache.stats();
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let cache = cache.clone();
+                let sc = sc.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        assert_eq!(
+                            cache.get(&sc, &cond(140.0, 100.0, 20.0)).unwrap().actions,
+                            vec![9]
+                        );
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let after = cache.stats();
+        assert_eq!(after.hits - before.hits, 400);
+        assert_eq!(after.misses, before.misses);
     }
 }

@@ -42,4 +42,6 @@ pub mod scheduler;
 pub mod slo;
 pub mod wire;
 
-pub use runtime::{Degradation, RequestReport, Runtime, RuntimeConfig};
+pub use runtime::{
+    Degradation, DeployReport, RequestReport, Runtime, RuntimeConfig, ServeDecision, SharedRuntime,
+};

@@ -5,18 +5,38 @@
 //! selection + partitioning (cache-first) → reconfigure the in-memory
 //! supernet → report the deployment's latency/accuracy under the *ground
 //! truth* network (what a real request would experience).
+//!
+//! # Concurrency split
+//!
+//! The runtime comes in two flavours sharing one implementation:
+//!
+//! * [`SharedRuntime`] — `Send + Sync`, every method takes `&self`.
+//!   Request-path state (strategy cache, device health, the resident
+//!   supernet) lives behind interior locks so serve-layer workers can
+//!   decide and deploy concurrently while monitoring ticks happen on a
+//!   control thread. Per-request randomness comes from seeded streams
+//!   ([`SharedRuntime::infer_seeded`]) so results are deterministic under
+//!   concurrency.
+//! * [`Runtime`] — the original single-threaded `&mut self + &mut Rng`
+//!   API, now a thin wrapper that derefs to a [`SharedRuntime`]. Existing
+//!   tests, figures, and examples run unchanged.
 
 use crate::decision::DecisionModule;
-use crate::monitor::NetworkMonitor;
+use crate::monitor::{LinkEstimate, NetworkMonitor};
 use crate::predictor::MonitorPredictor;
 use crate::reconfig::InMemorySupernet;
 use crate::slo::SloApi;
 use murmuration_edgesim::{DeviceStatus, FleetTrace, NetworkState};
 use murmuration_partition::compliance::Slo;
+use murmuration_partition::evolutionary::Genome;
 use murmuration_partition::{ExecutionPlan, LatencyEstimator};
 use murmuration_rl::{Condition, LstmPolicy, Scenario, SloKind};
 use murmuration_supernet::SubnetSpec;
-use rand::Rng;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::Deref;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// Runtime tuning knobs.
@@ -135,18 +155,59 @@ pub struct RequestReport {
     pub degradation: Degradation,
 }
 
-/// The assembled runtime.
-pub struct Runtime {
-    pub slo: SloApi,
-    monitor: NetworkMonitor,
-    decision: DecisionModule,
-    supernet: InMemorySupernet,
-    health: DeviceHealth,
-    cfg: RuntimeConfig,
-    last_t_ms: f64,
+/// A decided strategy on the serve path: what the policy (or cache)
+/// selected for one request's SLO, before deployment. Cheap to clone;
+/// the serve layer's micro-batcher groups requests by [`actions`]
+/// (identical actions ⇒ identical subnet ⇒ one switch serves the batch).
+///
+/// [`actions`]: ServeDecision::actions
+#[derive(Clone, Debug)]
+pub struct ServeDecision {
+    /// The raw decision sequence — the batch-grouping key.
+    pub actions: Vec<usize>,
+    /// Decoded subnet config + placement preferences.
+    pub genome: Genome,
+    /// Whether the strategy came from the cache.
+    pub cached: bool,
+    /// Measured wall time of the decision.
+    pub decision_time: Duration,
+    /// The request SLO the decision was made for (deployment is judged
+    /// against this, not the runtime-global SLO).
+    pub slo: Slo,
 }
 
-impl Runtime {
+/// Outcome of deploying a [`ServeDecision`] under ground-truth network
+/// conditions.
+#[derive(Clone, Debug)]
+pub struct DeployReport {
+    /// Measured wall time of the submodel switch.
+    pub switch_time: Duration,
+    /// Deployment latency under the ground-truth network (ms).
+    pub latency_ms: f64,
+    /// Predicted accuracy of the selected submodel (%).
+    pub accuracy_pct: f32,
+    /// Whether the *decision's* SLO was met.
+    pub slo_met: bool,
+    /// Devices the deployed plan actually uses.
+    pub devices_used: Vec<usize>,
+    /// Fault-recovery state the deployment was served under.
+    pub degradation: Degradation,
+}
+
+/// The assembled runtime with `&self` methods throughout — safe to share
+/// across serve-layer worker threads via `Arc`.
+pub struct SharedRuntime {
+    pub slo: SloApi,
+    monitor: Mutex<NetworkMonitor>,
+    decision: DecisionModule,
+    supernet: Mutex<InMemorySupernet>,
+    health: Mutex<DeviceHealth>,
+    cfg: RuntimeConfig,
+    /// Latest virtual time seen by tick/infer (f64 bits).
+    last_t_ms: AtomicU64,
+}
+
+impl SharedRuntime {
     /// Assembles a runtime from a scenario and a trained policy.
     pub fn new(
         scenario: Scenario,
@@ -158,19 +219,19 @@ impl Runtime {
         let n_devices = scenario.devices.len();
         let space = scenario.space.clone();
         check_slo_kind(&scenario, &initial_slo);
-        Runtime {
+        SharedRuntime {
             slo: SloApi::new(initial_slo),
-            monitor: NetworkMonitor::new(
+            monitor: Mutex::new(NetworkMonitor::new(
                 n_remote,
                 cfg.monitor_alpha,
                 cfg.monitor_window,
                 cfg.monitor_noise,
-            ),
+            )),
             decision: DecisionModule::new(scenario, policy, cfg.cache_capacity),
-            supernet: InMemorySupernet::new(space),
-            health: DeviceHealth::new(n_devices, cfg.health_threshold),
+            supernet: Mutex::new(InMemorySupernet::new(space)),
+            health: Mutex::new(DeviceHealth::new(n_devices, cfg.health_threshold)),
             cfg,
-            last_t_ms: 0.0,
+            last_t_ms: AtomicU64::new(0.0f64.to_bits()),
         }
     }
 
@@ -187,40 +248,60 @@ impl Runtime {
         }
     }
 
+    /// Maps an arbitrary per-request SLO onto the scenario's scalar goal
+    /// axis. Same-kind SLOs pass through; cross-kind SLOs (e.g. an
+    /// accuracy-floor request on a latency-trained policy) map to the most
+    /// permissive goal of the trained kind — the largest latency budget or
+    /// the lowest accuracy floor — which selects the largest feasible
+    /// submodel; the request's own SLO is then judged on the outcome.
+    pub fn decision_scalar(&self, slo: &Slo) -> f64 {
+        let sc = self.scenario();
+        match (sc.slo_kind, slo) {
+            (SloKind::Latency, Slo::LatencyMs(v)) => *v,
+            (SloKind::Accuracy, Slo::AccuracyPct(v)) => f64::from(*v),
+            (SloKind::Latency, Slo::AccuracyPct(_)) => sc.slo_range.1,
+            (SloKind::Accuracy, Slo::LatencyMs(_)) => sc.slo_range.0,
+        }
+    }
+
     /// Current liveness belief, one flag per device (device 0 is the local
     /// device and always alive).
     pub fn alive_mask(&self) -> Vec<bool> {
-        self.health.alive_mask()
+        self.health.lock().alive_mask()
     }
 
     /// Feeds one executor outcome into health tracking: `ok = false`
     /// counts toward the consecutive-failure threshold, `ok = true` clears
     /// it (and revives a device believed down). When a device crosses the
     /// threshold, every cached strategy that placed work on it is purged.
-    pub fn report_exec_outcome(&mut self, dev: usize, ok: bool) {
-        let was_down = self.health.down.get(dev).copied().unwrap_or(false);
-        self.health.record(dev, ok);
-        let is_down = self.health.down.get(dev).copied().unwrap_or(false);
-        if is_down && !was_down {
-            self.decision.purge_infeasible(&self.health.alive_mask());
+    pub fn report_exec_outcome(&self, dev: usize, ok: bool) {
+        let newly_down = {
+            let mut health = self.health.lock();
+            let was_down = health.down.get(dev).copied().unwrap_or(false);
+            health.record(dev, ok);
+            let is_down = health.down.get(dev).copied().unwrap_or(false);
+            is_down && !was_down
+        };
+        if newly_down {
+            self.decision.purge_infeasible(&self.alive_mask());
         }
     }
 
     /// Manually marks a device down (e.g. from an out-of-band failure
     /// detector). Cached strategies using it are purged.
-    pub fn set_device_down(&mut self, dev: usize) {
-        self.health.force(dev, true);
-        self.decision.purge_infeasible(&self.health.alive_mask());
+    pub fn set_device_down(&self, dev: usize) {
+        self.health.lock().force(dev, true);
+        self.decision.purge_infeasible(&self.alive_mask());
     }
 
     /// Manually revives a device.
-    pub fn set_device_up(&mut self, dev: usize) {
-        self.health.force(dev, false);
+    pub fn set_device_up(&self, dev: usize) {
+        self.health.lock().force(dev, false);
     }
 
     /// Syncs health from a fault trace at virtual time `t_ms` (`Slow`
     /// devices stay up — stragglers are the executor's problem).
-    pub fn apply_fleet_trace(&mut self, fleet: &FleetTrace, t_ms: f64) {
+    pub fn apply_fleet_trace(&self, fleet: &FleetTrace, t_ms: f64) {
         let n = self.scenario().devices.len().min(fleet.n_devices());
         for dev in 1..n {
             match fleet.status(dev, t_ms) {
@@ -248,48 +329,111 @@ impl Runtime {
     /// Background tick: sample monitoring and precompute a strategy for
     /// the forecast condition. Skipped while degraded — precomputed
     /// strategies would not be cacheable anyway (see
-    /// [`DecisionModule::decide_masked`]).
-    pub fn tick<R: Rng>(&mut self, net_truth: &NetworkState, t_ms: f64, rng: &mut R) {
-        self.monitor.sample(net_truth, t_ms, rng);
-        self.last_t_ms = t_ms;
-        let alive = self.health.alive_mask();
-        if self.cfg.precompute_horizon_ms > 0.0 && alive.iter().all(|&a| a) {
-            let forecast = MonitorPredictor::predict(
-                &self.monitor,
-                self.scenario().n_remote(),
-                t_ms + self.cfg.precompute_horizon_ms,
-            );
+    /// [`DecisionModule::decide_masked`]). On the serve path this runs on
+    /// the control thread; workers never touch the monitor.
+    pub fn tick<R: Rng>(&self, net_truth: &NetworkState, t_ms: f64, rng: &mut R) {
+        let forecast = {
+            let mut monitor = self.monitor.lock();
+            monitor.sample(net_truth, t_ms, rng);
+            self.last_t_ms.store(t_ms.to_bits(), Ordering::Relaxed);
+            let alive = self.health.lock().alive_mask();
+            if self.cfg.precompute_horizon_ms > 0.0 && alive.iter().all(|&a| a) {
+                Some(MonitorPredictor::predict(
+                    &monitor,
+                    self.scenario().n_remote(),
+                    t_ms + self.cfg.precompute_horizon_ms,
+                ))
+            } else {
+                None
+            }
+        };
+        if let Some(forecast) = forecast {
             let cond = self.decision.condition(self.slo_scalar(), &forecast);
             self.decision.precompute(&cond);
         }
+    }
+
+    /// Whether the monitor has taken at least one sample (serve-path
+    /// decisions need an estimate to decide on).
+    pub fn monitor_ready(&self) -> bool {
+        self.monitor.lock().is_ready()
     }
 
     /// Serves one inference request at virtual time `t_ms`. Never panics
     /// on device loss: dead devices are masked out of the decision, and if
     /// the decided plan is still infeasible the runtime falls back to an
     /// all-local plan and reports the degradation.
-    pub fn infer<R: Rng>(
-        &mut self,
-        net_truth: &NetworkState,
-        t_ms: f64,
-        rng: &mut R,
-    ) -> RequestReport {
+    pub fn infer<R: Rng>(&self, net_truth: &NetworkState, t_ms: f64, rng: &mut R) -> RequestReport {
         // Fresh monitoring sample for this request.
-        self.monitor.sample(net_truth, t_ms, rng);
-        self.last_t_ms = t_ms;
-        let estimates = self.monitor.estimates();
-        let alive = self.health.alive_mask();
-        let raw_cond = self.decision.condition(self.slo_scalar(), &estimates);
-        let cond = self.mask_condition(raw_cond, &alive);
+        let estimates = {
+            let mut monitor = self.monitor.lock();
+            monitor.sample(net_truth, t_ms, rng);
+            self.last_t_ms.store(t_ms.to_bits(), Ordering::Relaxed);
+            monitor.estimates()
+        };
+        let decision = self.decide_for(self.slo.get(), &estimates);
+        let deploy = self.deploy(&decision, net_truth);
+        RequestReport {
+            cached: decision.cached,
+            decision_time: decision.decision_time,
+            switch_time: deploy.switch_time,
+            latency_ms: deploy.latency_ms,
+            accuracy_pct: deploy.accuracy_pct,
+            slo_met: deploy.slo_met,
+            devices_used: deploy.devices_used,
+            degradation: deploy.degradation,
+        }
+    }
 
-        // Decide (cache-first, dead devices masked) and reconfigure the
-        // in-memory supernet.
+    /// [`infer`](Self::infer) with a per-request seeded RNG stream:
+    /// request `seed`s can be derived (e.g. `base ^ request_id`) so a
+    /// concurrent serve trace reproduces the exact monitoring observations
+    /// of a sequential replay, independent of worker interleaving.
+    pub fn infer_seeded(&self, net_truth: &NetworkState, t_ms: f64, seed: u64) -> RequestReport {
+        let mut rng = StdRng::seed_from_u64(seed);
+        self.infer(net_truth, t_ms, &mut rng)
+    }
+
+    /// Serve-path decision: picks a strategy for `slo` from the *current*
+    /// monitor estimates without sampling (monitoring belongs to the
+    /// control thread's [`tick`](Self::tick)). Returns `None` until the
+    /// monitor has sampled at least once.
+    pub fn serve_decide(&self, slo: Slo) -> Option<ServeDecision> {
+        let monitor = self.monitor.lock();
+        if !monitor.is_ready() {
+            return None;
+        }
+        let estimates = monitor.estimates();
+        drop(monitor);
+        Some(self.decide_for(slo, &estimates))
+    }
+
+    /// Decision core shared by [`infer`](Self::infer) and
+    /// [`serve_decide`](Self::serve_decide).
+    fn decide_for(&self, slo: Slo, estimates: &[LinkEstimate]) -> ServeDecision {
+        let alive = self.alive_mask();
+        let raw_cond = self.decision.condition(self.decision_scalar(&slo), estimates);
+        let cond = self.mask_condition(raw_cond, &alive);
         let t0 = Instant::now();
         let decision = self.decision.decide_masked(&cond, &alive);
         let decision_time = t0.elapsed();
-        let switch = self.supernet.switch_submodel(decision.genome.config.clone());
+        ServeDecision {
+            actions: decision.actions,
+            genome: decision.genome,
+            cached: decision.cached,
+            decision_time,
+            slo,
+        }
+    }
 
-        // Ground-truth deployment outcome.
+    /// Deploys a decision: switches the resident supernet (one lock-held
+    /// pointer-level reconfiguration — a batch of same-subnet requests
+    /// pays this once) and reports the ground-truth outcome, judged
+    /// against the decision's SLO. Falls back to an all-local plan when
+    /// the decided plan touches a device that died after the decision.
+    pub fn deploy(&self, decision: &ServeDecision, net_truth: &NetworkState) -> DeployReport {
+        let alive = self.alive_mask();
+        let switch = self.supernet.lock().switch_submodel(decision.genome.config.clone());
         let spec = SubnetSpec::lower(&decision.genome.config);
         let mut plan = decision.genome.plan(&spec, self.scenario().devices.len());
         let mut forced_local = false;
@@ -303,15 +447,13 @@ impl Runtime {
         let est = LatencyEstimator::new(&self.scenario().devices, net_truth);
         let latency_ms = est.estimate(&spec, &plan).total_ms;
         let accuracy_pct = self.scenario().accuracy_model.predict(&decision.genome.config);
-        let slo_met = match self.slo.get() {
+        let slo_met = match decision.slo {
             Slo::LatencyMs(v) => latency_ms <= v,
             Slo::AccuracyPct(v) => accuracy_pct >= v,
         };
         let down_devices: Vec<usize> =
             alive.iter().enumerate().filter(|(_, &a)| !a).map(|(d, _)| d).collect();
-        RequestReport {
-            cached: decision.cached,
-            decision_time,
+        DeployReport {
             switch_time: switch.elapsed,
             latency_ms,
             accuracy_pct,
@@ -324,15 +466,84 @@ impl Runtime {
     /// Builds the condition the runtime would decide on right now
     /// (exposed for inspection and tests).
     pub fn current_condition(&self) -> Option<Condition> {
-        if !self.monitor.is_ready() {
+        let monitor = self.monitor.lock();
+        if !monitor.is_ready() {
             return None;
         }
-        Some(self.decision.condition(self.slo_scalar(), &self.monitor.estimates()))
+        Some(self.decision.condition(self.slo_scalar(), &monitor.estimates()))
     }
 
     /// Strategy-cache statistics.
     pub fn cache_stats(&self) -> crate::cache::CacheStats {
         self.decision.cache_stats()
+    }
+}
+
+/// The assembled runtime — the original single-threaded API, kept as a
+/// thin wrapper over [`SharedRuntime`] so existing callers (tests,
+/// figures, examples) are untouched. Derefs to [`SharedRuntime`] for the
+/// read-only surface (`scenario()`, `alive_mask()`, the `slo` field, …).
+pub struct Runtime {
+    shared: SharedRuntime,
+}
+
+impl Deref for Runtime {
+    type Target = SharedRuntime;
+    fn deref(&self) -> &SharedRuntime {
+        &self.shared
+    }
+}
+
+impl Runtime {
+    /// Assembles a runtime from a scenario and a trained policy.
+    pub fn new(
+        scenario: Scenario,
+        policy: LstmPolicy,
+        cfg: RuntimeConfig,
+        initial_slo: Slo,
+    ) -> Self {
+        Runtime { shared: SharedRuntime::new(scenario, policy, cfg, initial_slo) }
+    }
+
+    /// Background tick: sample monitoring and precompute strategies.
+    pub fn tick<R: Rng>(&mut self, net_truth: &NetworkState, t_ms: f64, rng: &mut R) {
+        self.shared.tick(net_truth, t_ms, rng);
+    }
+
+    /// Serves one inference request at virtual time `t_ms`.
+    pub fn infer<R: Rng>(
+        &mut self,
+        net_truth: &NetworkState,
+        t_ms: f64,
+        rng: &mut R,
+    ) -> RequestReport {
+        self.shared.infer(net_truth, t_ms, rng)
+    }
+
+    /// Feeds one executor outcome into device-health tracking.
+    pub fn report_exec_outcome(&mut self, dev: usize, ok: bool) {
+        self.shared.report_exec_outcome(dev, ok);
+    }
+
+    /// Manually marks a device down.
+    pub fn set_device_down(&mut self, dev: usize) {
+        self.shared.set_device_down(dev);
+    }
+
+    /// Manually revives a device.
+    pub fn set_device_up(&mut self, dev: usize) {
+        self.shared.set_device_up(dev);
+    }
+
+    /// Syncs health from a fault trace at virtual time `t_ms`.
+    pub fn apply_fleet_trace(&mut self, fleet: &FleetTrace, t_ms: f64) {
+        self.shared.apply_fleet_trace(fleet, t_ms);
+    }
+
+    /// Unwraps into the shareable runtime (for `Arc`-ing into the serve
+    /// layer).
+    pub fn into_shared(self) -> SharedRuntime {
+        self.shared
     }
 }
 
@@ -349,6 +560,7 @@ mod tests {
     use super::*;
     use murmuration_edgesim::LinkState;
     use rand::{rngs::StdRng, SeedableRng};
+    use std::sync::Arc;
 
     fn runtime() -> Runtime {
         let sc = Scenario::augmented_computing(SloKind::Latency);
@@ -474,5 +686,74 @@ mod tests {
         let net = lan();
         let r = rt.infer(&net, 0.0, &mut rng);
         assert!(r.switch_time < Duration::from_millis(50), "{:?}", r.switch_time);
+    }
+
+    #[test]
+    fn seeded_infer_is_deterministic() {
+        let rt_a = runtime().into_shared();
+        let rt_b = runtime().into_shared();
+        let net = lan();
+        let a = rt_a.infer_seeded(&net, 0.0, 42);
+        let b = rt_b.infer_seeded(&net, 0.0, 42);
+        assert_eq!(a.latency_ms, b.latency_ms);
+        assert_eq!(a.accuracy_pct, b.accuracy_pct);
+        assert_eq!(a.devices_used, b.devices_used);
+    }
+
+    #[test]
+    fn serve_decide_requires_a_monitor_sample() {
+        let rt = runtime().into_shared();
+        assert!(!rt.monitor_ready());
+        assert!(rt.serve_decide(Slo::LatencyMs(140.0)).is_none());
+        let mut rng = StdRng::seed_from_u64(7);
+        rt.tick(&lan(), 0.0, &mut rng);
+        let d = rt.serve_decide(Slo::LatencyMs(140.0)).unwrap();
+        let report = rt.deploy(&d, &lan());
+        assert!(report.latency_ms.is_finite() && report.latency_ms > 0.0);
+        assert_eq!(report.slo_met, report.latency_ms <= 140.0);
+    }
+
+    #[test]
+    fn cross_kind_slo_maps_to_permissive_goal() {
+        let rt = runtime().into_shared();
+        // Accuracy request on a latency-trained scenario: decide with the
+        // largest latency budget (largest submodels → best accuracy).
+        let scalar = rt.decision_scalar(&Slo::AccuracyPct(75.0));
+        assert_eq!(scalar, rt.scenario().slo_range.1);
+        let same = rt.decision_scalar(&Slo::LatencyMs(123.0));
+        assert_eq!(same, 123.0);
+    }
+
+    #[test]
+    fn shared_runtime_serves_concurrent_workers() {
+        let rt = Arc::new(runtime().into_shared());
+        let net = lan();
+        let mut rng = StdRng::seed_from_u64(8);
+        rt.tick(&net, 0.0, &mut rng);
+        // The single-threaded reference decision for the same SLO.
+        let reference = rt.serve_decide(Slo::LatencyMs(140.0)).unwrap();
+        let workers: Vec<_> = (0..4)
+            .map(|_| {
+                let rt = rt.clone();
+                let net = net.clone();
+                std::thread::spawn(move || {
+                    let mut out = Vec::new();
+                    for _ in 0..25 {
+                        let d = rt.serve_decide(Slo::LatencyMs(140.0)).unwrap();
+                        let r = rt.deploy(&d, &net);
+                        out.push((d.actions, r.latency_ms));
+                    }
+                    out
+                })
+            })
+            .collect();
+        for w in workers {
+            for (actions, latency) in w.join().unwrap() {
+                // Decisions under a fixed monitor snapshot are deterministic
+                // regardless of worker interleaving.
+                assert_eq!(actions, reference.actions);
+                assert!(latency.is_finite());
+            }
+        }
     }
 }

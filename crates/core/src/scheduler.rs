@@ -85,6 +85,51 @@ mod tests {
     }
 
     #[test]
+    fn tiled_placement_on_identity_grid_is_rejected() {
+        // Unit 1 lowers with a 1x1 grid; tiling it is a plan bug the
+        // scheduler must catch before dispatch.
+        let spec = partitioned_spec();
+        assert!(spec.units[1].partition.is_identity(), "test premise");
+        let mut plan = ExecutionPlan::all_on(&spec, 0);
+        plan.placements[1] = UnitPlacement::Tiled(vec![0]);
+        let err = dispatch_table(&spec, &plan, 2).unwrap_err();
+        assert!(err.0.contains("1x1 grid must be Single"), "got: {err}");
+    }
+
+    #[test]
+    fn tile_count_mismatch_is_rejected() {
+        // Unit 2 carries a 2x2 grid: exactly 4 tile devices or bust.
+        let spec = partitioned_spec();
+        let mut plan = ExecutionPlan::all_on(&spec, 0);
+        plan.placements[2] = UnitPlacement::Tiled(vec![0, 1]);
+        let err = dispatch_table(&spec, &plan, 2).unwrap_err();
+        assert!(err.0.contains("tile devices"), "got: {err}");
+    }
+
+    #[test]
+    fn tiled_device_out_of_range_is_rejected() {
+        let spec = partitioned_spec();
+        let mut plan = ExecutionPlan::all_on(&spec, 0);
+        plan.placements[2] = UnitPlacement::Tiled(vec![0, 1, 0, 7]);
+        let err = dispatch_table(&spec, &plan, 2).unwrap_err();
+        assert!(err.0.contains("out of range"), "got: {err}");
+    }
+
+    #[test]
+    fn schedule_error_displays_its_cause() {
+        // The serve layer logs these verbatim; Display must carry the
+        // underlying validation message.
+        let spec = partitioned_spec();
+        let short = ExecutionPlan { placements: vec![UnitPlacement::Single(0)] };
+        let err = dispatch_table(&spec, &short, 2).unwrap_err();
+        let shown = format!("{err}");
+        assert!(shown.starts_with("schedule error:"), "got: {shown}");
+        assert!(shown.contains("placements"), "got: {shown}");
+        let dyn_err: &dyn std::error::Error = &err;
+        assert!(dyn_err.source().is_none());
+    }
+
+    #[test]
     fn dispatch_matches_executor_contract() {
         // The table slots one-to-one with executor units and carries grids
         // matching the plan's tile counts.

@@ -1,0 +1,250 @@
+//! Request-arrival traces for sustained-load experiments.
+//!
+//! Where [`trace`](crate::trace) models *how the network changes*, this
+//! module models *when requests arrive*: open-loop Poisson processes
+//! (arrivals independent of service — the honest way to measure overload),
+//! deterministic periodic streams, and rate ramps for saturation sweeps.
+//! A trace is materialized once, seeded, and immutable — replaying the
+//! same trace against two server configurations is an apples-to-apples
+//! comparison.
+//!
+//! Class mixing: every arrival carries a class index drawn from a weighted
+//! distribution, so mixed SLO-class traffic (interactive + standard +
+//! best-effort) comes from one trace.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One request arrival: when, and which SLO class.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Arrival {
+    /// Virtual arrival time (ms).
+    pub t_ms: f64,
+    /// Index into the server's class table.
+    pub class: usize,
+}
+
+/// Offered-load shape over the trace duration, in requests per second.
+#[derive(Clone, Debug)]
+pub enum RateShape {
+    /// Constant rate.
+    Constant(f64),
+    /// Linear ramp from `from_rps` at t=0 to `to_rps` at the end — the
+    /// overload-ramp experiment's generator.
+    Ramp { from_rps: f64, to_rps: f64 },
+    /// Piecewise-constant steps: `(start_ms, rps)`, time-sorted from 0.
+    Steps(Vec<(f64, f64)>),
+}
+
+impl RateShape {
+    /// Instantaneous rate at `t_ms` (req/s).
+    pub fn rate_at(&self, t_ms: f64, duration_ms: f64) -> f64 {
+        match self {
+            RateShape::Constant(r) => *r,
+            RateShape::Ramp { from_rps, to_rps } => {
+                let frac = (t_ms / duration_ms).clamp(0.0, 1.0);
+                from_rps + (to_rps - from_rps) * frac
+            }
+            RateShape::Steps(steps) => {
+                let mut cur = steps.first().map_or(0.0, |s| s.1);
+                for &(t0, r) in steps {
+                    if t_ms >= t0 {
+                        cur = r;
+                    } else {
+                        break;
+                    }
+                }
+                cur
+            }
+        }
+    }
+
+    /// Peak rate over the trace (the thinning envelope).
+    fn max_rate(&self) -> f64 {
+        match self {
+            RateShape::Constant(r) => *r,
+            RateShape::Ramp { from_rps, to_rps } => from_rps.max(*to_rps),
+            RateShape::Steps(steps) => steps.iter().map(|s| s.1).fold(0.0, f64::max),
+        }
+    }
+}
+
+/// A materialized, replayable arrival schedule.
+#[derive(Clone, Debug, Default)]
+pub struct ArrivalTrace {
+    arrivals: Vec<Arrival>,
+}
+
+impl ArrivalTrace {
+    /// Open-loop Poisson arrivals over `[0, duration_ms)` following
+    /// `shape`, classes drawn with probability proportional to
+    /// `class_weights`. Nonhomogeneous rates use Lewis–Shedler thinning
+    /// against the peak rate, so ramps stay exactly Poisson at every
+    /// instant. Deterministic in `seed`.
+    pub fn poisson(duration_ms: f64, shape: &RateShape, class_weights: &[f64], seed: u64) -> Self {
+        assert!(duration_ms > 0.0, "trace needs a positive duration");
+        let lambda_max = shape.max_rate() / 1000.0; // per ms
+        assert!(lambda_max > 0.0, "peak rate must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut arrivals = Vec::new();
+        let mut t = 0.0f64;
+        loop {
+            // Exponential gap at the envelope rate.
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            t += -u.ln() / lambda_max;
+            if t >= duration_ms {
+                break;
+            }
+            // Thin: keep with probability rate(t)/rate_max.
+            let keep: f64 = rng.gen_range(0.0..1.0);
+            if keep * lambda_max <= shape.rate_at(t, duration_ms) / 1000.0 {
+                arrivals.push(Arrival { t_ms: t, class: pick_class(class_weights, &mut rng) });
+            }
+        }
+        ArrivalTrace { arrivals }
+    }
+
+    /// Deterministic periodic arrivals at a constant rate — the zero-jitter
+    /// baseline for batching experiments (perfectly coalescable bursts
+    /// when `burst > 1`).
+    pub fn periodic(
+        duration_ms: f64,
+        rps: f64,
+        burst: usize,
+        class_weights: &[f64],
+        seed: u64,
+    ) -> Self {
+        assert!(duration_ms > 0.0 && rps > 0.0 && burst >= 1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let gap_ms = 1000.0 / rps * burst as f64;
+        let mut arrivals = Vec::new();
+        let mut t = 0.0;
+        while t < duration_ms {
+            for _ in 0..burst {
+                arrivals.push(Arrival { t_ms: t, class: pick_class(class_weights, &mut rng) });
+            }
+            t += gap_ms;
+        }
+        ArrivalTrace { arrivals }
+    }
+
+    /// The arrivals, time-sorted.
+    pub fn arrivals(&self) -> &[Arrival] {
+        &self.arrivals
+    }
+
+    /// Number of arrivals.
+    pub fn len(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// True when the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.arrivals.is_empty()
+    }
+
+    /// Average offered rate over the trace (req/s).
+    pub fn offered_rps(&self) -> f64 {
+        match (self.arrivals.first(), self.arrivals.last()) {
+            (Some(first), Some(last)) if last.t_ms > first.t_ms => {
+                (self.arrivals.len() - 1) as f64 / (last.t_ms - first.t_ms) * 1000.0
+            }
+            _ => 0.0,
+        }
+    }
+
+    /// Merges two traces into one time-sorted schedule (e.g. a steady
+    /// background stream plus a bursty foreground).
+    pub fn merge(mut self, other: ArrivalTrace) -> Self {
+        self.arrivals.extend(other.arrivals);
+        self.arrivals.sort_by(|a, b| a.t_ms.total_cmp(&b.t_ms));
+        ArrivalTrace { arrivals: self.arrivals }
+    }
+}
+
+fn pick_class(weights: &[f64], rng: &mut StdRng) -> usize {
+    assert!(!weights.is_empty(), "need at least one class weight");
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0, "class weights must sum to a positive value");
+    let mut draw: f64 = rng.gen_range(0.0..total);
+    for (i, w) in weights.iter().enumerate() {
+        if draw < *w {
+            return i;
+        }
+        draw -= w;
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_rate_is_close_to_requested() {
+        let t = ArrivalTrace::poisson(60_000.0, &RateShape::Constant(50.0), &[1.0], 7);
+        // 60 s at 50 rps → ~3000 arrivals; Poisson σ ≈ 55.
+        assert!((t.len() as f64 - 3000.0).abs() < 250.0, "got {}", t.len());
+        assert!((t.offered_rps() - 50.0).abs() < 5.0, "{}", t.offered_rps());
+        // Sorted and in-range.
+        assert!(t.arrivals().windows(2).all(|w| w[0].t_ms <= w[1].t_ms));
+        assert!(t.arrivals().iter().all(|a| (0.0..60_000.0).contains(&a.t_ms)));
+    }
+
+    #[test]
+    fn poisson_is_deterministic_in_seed() {
+        let shape = RateShape::Ramp { from_rps: 10.0, to_rps: 40.0 };
+        let a = ArrivalTrace::poisson(10_000.0, &shape, &[2.0, 1.0], 3);
+        let b = ArrivalTrace::poisson(10_000.0, &shape, &[2.0, 1.0], 3);
+        assert_eq!(a.arrivals(), b.arrivals());
+        let c = ArrivalTrace::poisson(10_000.0, &shape, &[2.0, 1.0], 4);
+        assert_ne!(a.arrivals(), c.arrivals(), "different seeds differ");
+    }
+
+    #[test]
+    fn ramp_back_half_is_denser_than_front_half() {
+        let shape = RateShape::Ramp { from_rps: 5.0, to_rps: 50.0 };
+        let t = ArrivalTrace::poisson(40_000.0, &shape, &[1.0], 11);
+        let front = t.arrivals().iter().filter(|a| a.t_ms < 20_000.0).count();
+        let back = t.len() - front;
+        assert!(back > front * 2, "ramp must load the back half: {front} vs {back}");
+    }
+
+    #[test]
+    fn class_weights_shape_the_mix() {
+        let t = ArrivalTrace::poisson(30_000.0, &RateShape::Constant(100.0), &[3.0, 1.0], 5);
+        let c0 = t.arrivals().iter().filter(|a| a.class == 0).count();
+        let c1 = t.len() - c0;
+        let ratio = c0 as f64 / c1.max(1) as f64;
+        assert!((2.0..4.5).contains(&ratio), "3:1 weighting, observed {ratio:.2}");
+    }
+
+    #[test]
+    fn steps_shape_changes_rate_at_boundaries() {
+        let shape = RateShape::Steps(vec![(0.0, 10.0), (5_000.0, 100.0)]);
+        assert_eq!(shape.rate_at(0.0, 10_000.0), 10.0);
+        assert_eq!(shape.rate_at(4_999.0, 10_000.0), 10.0);
+        assert_eq!(shape.rate_at(5_000.0, 10_000.0), 100.0);
+        let t = ArrivalTrace::poisson(10_000.0, &shape, &[1.0], 2);
+        let front = t.arrivals().iter().filter(|a| a.t_ms < 5_000.0).count();
+        let back = t.len() - front;
+        assert!(back > front * 3, "step-up must dominate: {front} vs {back}");
+    }
+
+    #[test]
+    fn periodic_bursts_coalesce() {
+        let t = ArrivalTrace::periodic(1_000.0, 40.0, 4, &[1.0], 0);
+        // 40 rps in bursts of 4 → a burst every 100 ms → 10 bursts.
+        assert_eq!(t.len(), 40);
+        assert_eq!(t.arrivals()[0].t_ms, t.arrivals()[3].t_ms, "burst shares a timestamp");
+        assert_ne!(t.arrivals()[3].t_ms, t.arrivals()[4].t_ms);
+    }
+
+    #[test]
+    fn merge_keeps_time_order() {
+        let a = ArrivalTrace::periodic(1_000.0, 10.0, 1, &[1.0], 0);
+        let b = ArrivalTrace::poisson(1_000.0, &RateShape::Constant(20.0), &[1.0], 1);
+        let m = a.merge(b);
+        assert!(m.arrivals().windows(2).all(|w| w[0].t_ms <= w[1].t_ms));
+    }
+}

@@ -21,7 +21,10 @@
 //!   partition crate to simulate distributed plan execution.
 //! * [`fault`] — deterministic device up/down/slow traces ([`DeviceTrace`],
 //!   [`FleetTrace`]) for fault-injection experiments.
+//! * [`arrivals`] — replayable request-arrival traces (open-loop Poisson,
+//!   rate ramps, mixed SLO classes) for sustained-load experiments.
 
+pub mod arrivals;
 pub mod des;
 pub mod device;
 pub mod fault;
@@ -30,6 +33,7 @@ pub mod net;
 pub mod tc;
 pub mod trace;
 
+pub use arrivals::{Arrival, ArrivalTrace, RateShape};
 pub use device::{ComputeProfile, Device, DeviceId, DeviceKind};
 pub use fault::{DeviceStatus, DeviceTrace, FleetTrace};
 pub use net::{LinkState, NetworkState};

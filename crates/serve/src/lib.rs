@@ -1,0 +1,44 @@
+//! # murmuration-serve
+//!
+//! The SLO-class request serving layer over the Murmuration runtime: the
+//! piece that turns the paper's per-request adaptation loop into a
+//! multi-tenant server that keeps its promises under overload.
+//!
+//! The paper evaluates one request at a time; a deployed edge node sees a
+//! *stream* of requests with different SLOs, and a dynamic environment
+//! besides. This crate adds the three mechanisms that matter at that
+//! point, all on top of [`SharedRuntime`]'s lock-scoped request path:
+//!
+//! * **SLO classes & priority dispatch** ([`class`], `queue`) — requests
+//!   are tagged with a class (latency deadline or accuracy floor); each
+//!   class gets a bounded queue, and workers drain in class-priority
+//!   order, so interactive traffic never queues behind best-effort bulk.
+//! * **Admission control & load shedding** ([`server`]) — a full queue or
+//!   an EWMA-predicted unmeetable deadline rejects at submit time with a
+//!   typed reason; requests whose deadline expires while queued are shed
+//!   at dispatch. Under overload the server degrades into *choosing* what
+//!   it fails, instead of failing everything late.
+//! * **Adaptive micro-batching** ([`server`]) — same-class requests
+//!   coalesce into one decision + one supernet switch; only the marginal
+//!   compute serializes, so batching multiplies capacity under load while
+//!   a lone request still takes the idle fast path at direct-infer cost.
+//!
+//! The [`harness`] module drives it: open-loop trace replay (honest
+//! overload measurement), closed-loop clients, and percentile/goodput
+//! reports. `cli serve` / `cli loadtest` and `bench_serve` are thin
+//! wrappers around it.
+//!
+//! [`SharedRuntime`]: murmuration_core::SharedRuntime
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+pub mod class;
+pub mod harness;
+mod queue;
+pub mod request;
+pub mod server;
+
+pub use class::{default_classes, ClassKind, ClassSpec};
+pub use harness::{run_closed_loop, run_open_loop, ClassReport, LoadReport};
+pub use request::{Completion, RejectReason, Rejection, ServeOutcome};
+pub use server::{Clock, EnvModel, ServeConfig, ServeHandle, ServeStats};

@@ -1,0 +1,286 @@
+//! Per-class bounded queues with a blocking, batch-draining dispatcher.
+//!
+//! One mutex guards all class queues — contention is negligible next to
+//! decision/deployment work, and a single lock makes the priority scan and
+//! same-class batch drain atomic. Workers block on a condvar; shutdown
+//! flips a flag and wakes everyone, after which [`take_batch`] keeps
+//! draining until every queue is empty (shutdown *drains*, it never drops
+//! — the conservation invariant depends on that).
+//!
+//! [`take_batch`]: ClassQueues::take_batch
+
+use crate::request::ServeOutcome;
+use std::collections::VecDeque;
+use std::sync::mpsc::Sender;
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// A queued request awaiting dispatch.
+pub(crate) struct Pending {
+    pub id: u64,
+    pub class: usize,
+    /// Virtual enqueue time (ms).
+    pub enqueue_ms: f64,
+    /// Relative deadline (the class deadline), for latency classes;
+    /// expiry is judged against `enqueue_ms + deadline_ms`.
+    pub deadline_ms: Option<f64>,
+    /// Resolution channel back to the submitter.
+    pub tx: Sender<ServeOutcome>,
+}
+
+/// Result of offering a request to the queues.
+pub(crate) enum Offer {
+    Enqueued,
+    /// The class queue was at capacity; the request is handed back.
+    Full(Pending),
+    /// The server no longer accepts work; the request is handed back.
+    Shutdown(Pending),
+}
+
+/// Result of a blocking batch take.
+pub(crate) enum Take {
+    /// One or more same-class requests, head first.
+    Batch(Vec<Pending>),
+    /// Shutdown observed and every queue drained — the worker should exit.
+    Shutdown,
+}
+
+struct QueueState {
+    queues: Vec<VecDeque<Pending>>,
+    shutdown: bool,
+}
+
+/// The serving layer's queue fabric.
+pub(crate) struct ClassQueues {
+    state: Mutex<QueueState>,
+    nonempty: Condvar,
+    capacities: Vec<usize>,
+    /// `true` selects by oldest head across classes (the naive FIFO
+    /// baseline); `false` selects by class priority (table order).
+    fifo: bool,
+}
+
+/// Poison-tolerant lock: a panicking worker must not wedge the whole
+/// server, so we adopt the (plain-old-data) state and carry on.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl ClassQueues {
+    pub fn new(capacities: Vec<usize>, fifo: bool) -> Self {
+        let queues = capacities.iter().map(|_| VecDeque::new()).collect();
+        ClassQueues {
+            state: Mutex::new(QueueState { queues, shutdown: false }),
+            nonempty: Condvar::new(),
+            capacities,
+            fifo,
+        }
+    }
+
+    /// Enqueues a request, or hands it back when the class queue is at
+    /// capacity or the server is shutting down.
+    pub fn offer(&self, p: Pending) -> Offer {
+        let mut st = lock(&self.state);
+        if st.shutdown {
+            return Offer::Shutdown(p);
+        }
+        let class = p.class;
+        if st.queues[class].len() >= self.capacities[class] {
+            return Offer::Full(p);
+        }
+        st.queues[class].push_back(p);
+        drop(st);
+        self.nonempty.notify_one();
+        Offer::Enqueued
+    }
+
+    /// Requests that would drain before a new arrival of `class`: the
+    /// whole backlog under FIFO, the backlog of same-or-higher-priority
+    /// classes under priority order. The admission controller's queue-wait
+    /// estimate multiplies this by the EWMA service time.
+    pub fn backlog_ahead(&self, class: usize) -> usize {
+        let st = lock(&self.state);
+        if self.fifo {
+            st.queues.iter().map(VecDeque::len).sum()
+        } else {
+            st.queues.iter().take(class + 1).map(VecDeque::len).sum()
+        }
+    }
+
+    /// Total queued requests.
+    pub fn len(&self) -> usize {
+        lock(&self.state).queues.iter().map(VecDeque::len).sum()
+    }
+
+    /// True when no request is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Blocks until work is available, then drains up to `max_batch`
+    /// same-class requests. When the selected class has fewer than
+    /// `max_batch` queued and `window` is set, waits once for stragglers
+    /// to coalesce before returning the batch.
+    pub fn take_batch(&self, max_batch: usize, window: Option<Duration>) -> Take {
+        let mut st = lock(&self.state);
+        let class = loop {
+            match self.select_class(&st) {
+                Some(c) => break c,
+                None if st.shutdown => return Take::Shutdown,
+                None => {
+                    st = self.nonempty.wait(st).unwrap_or_else(std::sync::PoisonError::into_inner);
+                }
+            }
+        };
+        let mut batch = Vec::with_capacity(max_batch);
+        while batch.len() < max_batch {
+            match st.queues[class].pop_front() {
+                Some(p) => batch.push(p),
+                None => break,
+            }
+        }
+        let wants_more = batch.len() < max_batch && !st.shutdown;
+        if let (true, Some(window)) = (wants_more, window) {
+            // Batching window: one bounded wait for coalescable arrivals
+            // of the same class.
+            let (mut st2, _) = self
+                .nonempty
+                .wait_timeout(st, window)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            while batch.len() < max_batch {
+                match st2.queues[class].pop_front() {
+                    Some(p) => batch.push(p),
+                    None => break,
+                }
+            }
+            st = st2;
+        }
+        drop(st);
+        // More work may remain for other workers.
+        self.nonempty.notify_one();
+        Take::Batch(batch)
+    }
+
+    /// Which class a worker should drain next, or `None` when idle.
+    fn select_class(&self, st: &QueueState) -> Option<usize> {
+        if self.fifo {
+            // Naive baseline: the queue whose head arrived first.
+            st.queues
+                .iter()
+                .enumerate()
+                .filter_map(|(c, q)| q.front().map(|p| (c, p.enqueue_ms)))
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+                .map(|(c, _)| c)
+        } else {
+            st.queues.iter().position(|q| !q.is_empty())
+        }
+    }
+
+    /// Returns requests to the *front* of their class queue, preserving
+    /// order — used when the adaptive batcher cuts a batch's tail. The
+    /// requests were already admitted, so capacity is not re-checked.
+    pub fn requeue_front(&self, items: Vec<Pending>) {
+        if items.is_empty() {
+            return;
+        }
+        let mut st = lock(&self.state);
+        for p in items.into_iter().rev() {
+            let class = p.class;
+            st.queues[class].push_front(p);
+        }
+        drop(st);
+        self.nonempty.notify_one();
+    }
+
+    /// Stops admission and wakes every worker; queued requests still
+    /// drain.
+    pub fn shutdown(&self) {
+        lock(&self.state).shutdown = true;
+        self.nonempty.notify_all();
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc::channel;
+
+    fn pending(
+        id: u64,
+        class: usize,
+        t: f64,
+    ) -> (Pending, std::sync::mpsc::Receiver<ServeOutcome>) {
+        let (tx, rx) = channel();
+        (Pending { id, class, enqueue_ms: t, deadline_ms: None, tx }, rx)
+    }
+
+    #[test]
+    fn priority_order_drains_class_zero_first() {
+        let q = ClassQueues::new(vec![4, 4], false);
+        let (p1, _r1) = pending(1, 1, 0.0);
+        let (p0, _r0) = pending(0, 0, 5.0);
+        assert!(matches!(q.offer(p1), Offer::Enqueued));
+        assert!(matches!(q.offer(p0), Offer::Enqueued));
+        // Class 0 arrived later but outranks class 1.
+        match q.take_batch(1, None) {
+            Take::Batch(b) => assert_eq!((b[0].id, b[0].class), (0, 0)),
+            Take::Shutdown => panic!("not shut down"),
+        }
+    }
+
+    #[test]
+    fn fifo_order_drains_oldest_head() {
+        let q = ClassQueues::new(vec![4, 4], true);
+        let (p1, _r1) = pending(1, 1, 0.0);
+        let (p0, _r0) = pending(0, 0, 5.0);
+        q.offer(p1);
+        q.offer(p0);
+        match q.take_batch(1, None) {
+            Take::Batch(b) => assert_eq!(b[0].id, 1, "older head wins under FIFO"),
+            Take::Shutdown => panic!("not shut down"),
+        }
+    }
+
+    #[test]
+    fn batch_drains_same_class_only() {
+        let q = ClassQueues::new(vec![8, 8], false);
+        for i in 0..3 {
+            let (p, r) = pending(i, 0, i as f64);
+            q.offer(p);
+            std::mem::forget(r);
+        }
+        let (px, rx) = pending(99, 1, 0.0);
+        q.offer(px);
+        std::mem::forget(rx);
+        match q.take_batch(8, None) {
+            Take::Batch(b) => {
+                assert_eq!(b.len(), 3, "only class-0 requests coalesce");
+                assert!(b.iter().all(|p| p.class == 0));
+            }
+            Take::Shutdown => panic!("not shut down"),
+        }
+        assert_eq!(q.len(), 1, "class-1 request still queued");
+    }
+
+    #[test]
+    fn full_queue_hands_request_back() {
+        let q = ClassQueues::new(vec![1], false);
+        let (p0, _r0) = pending(0, 0, 0.0);
+        let (p1, _r1) = pending(1, 0, 0.0);
+        assert!(matches!(q.offer(p0), Offer::Enqueued));
+        assert!(matches!(q.offer(p1), Offer::Full(p) if p.id == 1));
+    }
+
+    #[test]
+    fn shutdown_drains_then_signals_exit() {
+        let q = ClassQueues::new(vec![4], false);
+        let (p, _r) = pending(7, 0, 0.0);
+        q.offer(p);
+        q.shutdown();
+        let (p2, _r2) = pending(8, 0, 0.0);
+        assert!(matches!(q.offer(p2), Offer::Shutdown(_)), "no admission after shutdown");
+        assert!(matches!(q.take_batch(4, None), Take::Batch(b) if b.len() == 1), "drains first");
+        assert!(matches!(q.take_batch(4, None), Take::Shutdown), "then exits");
+    }
+}

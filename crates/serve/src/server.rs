@@ -1,0 +1,672 @@
+//! The serving loop: admission → class queues → priority dispatch →
+//! micro-batched decide/deploy on a shared runtime.
+//!
+//! # Threads
+//!
+//! * **Submitters** (caller threads) run admission control and enqueue.
+//! * **Workers** block on the queue fabric, drain same-class batches,
+//!   decide once per batch ([`SharedRuntime::serve_decide`]), deploy once
+//!   (one supernet switch amortized over the batch), and resolve every
+//!   request with a typed outcome.
+//! * **One control thread** owns monitoring: it ticks the runtime on a
+//!   fixed virtual-time cadence and replays the fault trace. Workers never
+//!   touch the monitor, so the decision path is sampling-free and
+//!   deterministic given the tick schedule.
+//!
+//! # Virtual time
+//!
+//! The server runs on a scaled clock: `time_scale` wall milliseconds per
+//! virtual millisecond. Model latencies (hundreds of virtual ms) become
+//! milliseconds of wall time, so a 60-virtual-second overload experiment
+//! runs in about a wall second while preserving queueing dynamics —
+//! workers really are occupied for the (scaled) service time.
+
+use crate::class::{ClassKind, ClassSpec};
+use crate::queue::{ClassQueues, Offer, Pending, Take};
+use crate::request::{Completion, RejectReason, Rejection, ServeOutcome};
+use murmuration_core::SharedRuntime;
+use murmuration_edgesim::trace::NetworkTrace;
+use murmuration_edgesim::{FleetTrace, LinkState, NetworkState};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Ground truth the server serves under: a network trajectory and an
+/// optional device fault schedule, both functions of virtual time.
+#[derive(Clone, Debug)]
+pub struct EnvModel {
+    net: NetworkTrace,
+    n_remote: usize,
+    fleet: Option<FleetTrace>,
+}
+
+impl EnvModel {
+    /// An environment following `net`, uniform across `n_remote` links.
+    pub fn new(net: NetworkTrace, n_remote: usize) -> Self {
+        EnvModel { net, n_remote, fleet: None }
+    }
+
+    /// Static network conditions.
+    pub fn constant(link: LinkState, n_remote: usize) -> Self {
+        EnvModel::new(NetworkTrace::Constant(link), n_remote)
+    }
+
+    /// Attaches a device fault schedule, replayed by the control thread.
+    pub fn with_fleet(mut self, fleet: FleetTrace) -> Self {
+        self.fleet = Some(fleet);
+        self
+    }
+
+    /// Ground-truth network at virtual time `t_ms`.
+    pub fn network_at(&self, t_ms: f64) -> NetworkState {
+        NetworkState::uniform(self.n_remote, self.net.sample(t_ms))
+    }
+}
+
+/// Serving-layer knobs. Start from [`engineered`](ServeConfig::engineered)
+/// or [`naive`](ServeConfig::naive) and override fields as needed.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// SLO class table; index is priority (0 drains first).
+    pub classes: Vec<ClassSpec>,
+    /// Worker threads draining the queues.
+    pub n_workers: usize,
+    /// Deadline-aware admission control (reject requests whose predicted
+    /// queue wait + service already exceeds their deadline).
+    pub admission: bool,
+    /// Micro-batch ceiling; 1 disables batching.
+    pub max_batch: usize,
+    /// How long a worker waits for coalescable same-class arrivals when a
+    /// batch is short (virtual ms); 0 disables the wait.
+    pub batch_window_ms: f64,
+    /// Marginal cost of each extra batched request relative to the first
+    /// (pipelined execution reuses the deployed submodel; only compute
+    /// serializes, transfers overlap).
+    pub batch_marginal: f64,
+    /// Wall milliseconds per virtual millisecond.
+    pub time_scale: f64,
+    /// Whether workers hold their slot for the scaled service time (true
+    /// for load experiments; false for overhead microbenchmarks).
+    pub service_sleep: bool,
+    /// Control-thread monitoring cadence (virtual ms).
+    pub tick_interval_ms: f64,
+    /// Drain queues oldest-head-first, ignoring class priority (the naive
+    /// FIFO baseline).
+    pub fifo: bool,
+    /// Serve a request inline on the submitter thread when the server is
+    /// completely idle, skipping the queue handoff (the common-case fast
+    /// path; only [`submit_wait`](ServeHandle::submit_wait) uses it).
+    pub inline_when_idle: bool,
+    /// Seed for the control thread's monitoring-noise stream.
+    pub base_seed: u64,
+}
+
+impl ServeConfig {
+    /// The full serving stack: priority queues, admission control,
+    /// micro-batching, idle fast path.
+    pub fn engineered(classes: Vec<ClassSpec>) -> Self {
+        ServeConfig {
+            classes,
+            n_workers: 2,
+            admission: true,
+            max_batch: 8,
+            batch_window_ms: 4.0,
+            batch_marginal: 0.35,
+            time_scale: 0.05,
+            service_sleep: true,
+            tick_interval_ms: 100.0,
+            fifo: false,
+            inline_when_idle: true,
+            base_seed: 17,
+        }
+    }
+
+    /// The baseline the bench compares against: same queues and runtime,
+    /// but FIFO order, no admission control, no batching, no fast path.
+    pub fn naive(classes: Vec<ClassSpec>) -> Self {
+        ServeConfig {
+            admission: false,
+            max_batch: 1,
+            batch_window_ms: 0.0,
+            fifo: true,
+            inline_when_idle: false,
+            ..ServeConfig::engineered(classes)
+        }
+    }
+}
+
+/// The scaled virtual clock shared by every server thread.
+#[derive(Clone, Debug)]
+pub struct Clock {
+    start: Instant,
+    /// Wall ms per virtual ms.
+    scale: f64,
+}
+
+impl Clock {
+    fn new(scale: f64) -> Self {
+        assert!(scale > 0.0, "time scale must be positive");
+        Clock { start: Instant::now(), scale }
+    }
+
+    /// Virtual now (ms since server start).
+    pub fn now_ms(&self) -> f64 {
+        self.start.elapsed().as_secs_f64() * 1000.0 / self.scale
+    }
+
+    /// Sleeps for `virtual_ms` of virtual time.
+    pub fn sleep_virtual(&self, virtual_ms: f64) {
+        if virtual_ms > 0.0 {
+            thread::sleep(Duration::from_secs_f64(virtual_ms * self.scale / 1000.0));
+        }
+    }
+
+    /// Wall duration of `virtual_ms`.
+    fn wall(&self, virtual_ms: f64) -> Duration {
+        Duration::from_secs_f64((virtual_ms * self.scale / 1000.0).max(0.0))
+    }
+}
+
+/// Monotonic counters, exported via [`ServeHandle::stats`]. Conservation
+/// invariant: `completed + rejected == submitted` once the server has shut
+/// down (every submitted request resolves exactly once).
+#[derive(Default)]
+struct Counters {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    rejected: AtomicU64,
+    queue_full: AtomicU64,
+    deadline_unmeetable: AtomicU64,
+    expired: AtomicU64,
+    not_ready: AtomicU64,
+    shutdown_rejects: AtomicU64,
+    batches: AtomicU64,
+    batched_requests: AtomicU64,
+    max_batch_seen: AtomicU64,
+}
+
+/// A point-in-time snapshot of the server's counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    pub submitted: u64,
+    pub completed: u64,
+    pub rejected: u64,
+    pub queue_full: u64,
+    pub deadline_unmeetable: u64,
+    pub expired: u64,
+    pub not_ready: u64,
+    pub shutdown_rejects: u64,
+    /// Dispatched batches (a batch of one still counts).
+    pub batches: u64,
+    /// Requests served through batches of size ≥ 2.
+    pub batched_requests: u64,
+    pub max_batch_seen: u64,
+}
+
+impl ServeStats {
+    /// Mean dispatched batch size.
+    pub fn avg_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.completed as f64 / self.batches as f64
+        }
+    }
+}
+
+struct ServerCore {
+    rt: Arc<SharedRuntime>,
+    env: EnvModel,
+    cfg: ServeConfig,
+    queues: ClassQueues,
+    clock: Clock,
+    next_id: AtomicU64,
+    /// Requests currently being served by workers (batches in flight).
+    in_flight: AtomicUsize,
+    /// EWMA of per-request service time (f64 bits); 0 until first sample.
+    ewma_service_bits: AtomicU64,
+    /// Per-class EWMA of the unbatched deployment latency (f64 bits) — the
+    /// adaptive batcher's cost-model input. Per class because each class's
+    /// SLO steers the decision toward different models, whose deployment
+    /// latencies differ; a shared estimate would let a cheap class drag the
+    /// estimate below an expensive class's real cost.
+    ewma_base_bits: Vec<AtomicU64>,
+    /// Stops the control thread (workers stop via queue shutdown).
+    stop: AtomicBool,
+    counters: Counters,
+}
+
+impl ServerCore {
+    fn ewma_service_ms(&self) -> f64 {
+        f64::from_bits(self.ewma_service_bits.load(Ordering::Relaxed))
+    }
+
+    fn update_ewma(&self, per_request_ms: f64) {
+        // Benign read-modify-write race: the EWMA is an estimate.
+        let old = self.ewma_service_ms();
+        let new = if old == 0.0 { per_request_ms } else { 0.3 * per_request_ms + 0.7 * old };
+        self.ewma_service_bits.store(new.to_bits(), Ordering::Relaxed);
+    }
+
+    fn ewma_base_ms(&self, class: usize) -> f64 {
+        f64::from_bits(self.ewma_base_bits[class].load(Ordering::Relaxed))
+    }
+
+    fn update_ewma_base(&self, class: usize, base_ms: f64) {
+        let old = self.ewma_base_ms(class);
+        let new = if old == 0.0 { base_ms } else { 0.3 * base_ms + 0.7 * old };
+        self.ewma_base_bits[class].store(new.to_bits(), Ordering::Relaxed);
+    }
+
+    fn reject(&self, id: u64, class: usize, reason: RejectReason) -> Rejection {
+        self.counters.rejected.fetch_add(1, Ordering::Relaxed);
+        let ctr = match reason {
+            RejectReason::QueueFull { .. } => &self.counters.queue_full,
+            RejectReason::DeadlineUnmeetable { .. } => &self.counters.deadline_unmeetable,
+            RejectReason::Expired { .. } => &self.counters.expired,
+            RejectReason::NotReady => &self.counters.not_ready,
+            RejectReason::Shutdown => &self.counters.shutdown_rejects,
+        };
+        ctr.fetch_add(1, Ordering::Relaxed);
+        Rejection { id, class, reason, t_ms: self.clock.now_ms() }
+    }
+
+    /// Admission check for a latency-class request: predicted queue wait
+    /// plus one service time must fit inside the deadline. Accuracy-class
+    /// requests always pass (no deadline to miss).
+    fn admit(&self, class: usize) -> Result<(), RejectReason> {
+        if !self.cfg.admission {
+            return Ok(());
+        }
+        let Some(deadline) = self.cfg.classes[class].deadline_ms() else {
+            return Ok(());
+        };
+        let ewma = self.ewma_service_ms();
+        if ewma <= 0.0 {
+            return Ok(()); // no evidence yet — admit optimistically
+        }
+        let ahead = self.queues.backlog_ahead(class) + self.in_flight.load(Ordering::Relaxed);
+        // Batching drains `max_batch` requests per `batch_cost` of worker
+        // time, so the effective per-request drain rate scales with both
+        // the worker pool and the batch factor.
+        let batch_factor = 1.0 + self.cfg.batch_marginal * (self.cfg.max_batch as f64 - 1.0);
+        let drain_per_slot = self.cfg.max_batch as f64 / batch_factor;
+        let slots = self.cfg.n_workers as f64 * drain_per_slot;
+        let needed_ms = ewma * (ahead as f64 / slots + 1.0);
+        if needed_ms > deadline {
+            Err(RejectReason::DeadlineUnmeetable { needed_ms, budget_ms: deadline })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Serves one same-class batch: shed expired requests, decide once,
+    /// deploy once, attribute per-request service shares, resolve all.
+    fn serve_batch(&self, batch: Vec<Pending>) {
+        let t_dispatch = self.clock.now_ms();
+        let Some(first) = batch.first() else { return };
+        let class = first.class;
+        // Predictive shed: once admission is on, a request whose remaining
+        // budget no longer covers one estimated service time would only
+        // complete late — spending capacity on a guaranteed SLO miss.
+        // Shed it now and give the slot to a request that can still win.
+        let est = if self.cfg.admission {
+            let per_class = self.ewma_base_ms(class);
+            if per_class > 0.0 {
+                per_class
+            } else {
+                self.ewma_service_ms()
+            }
+        } else {
+            0.0
+        };
+        let mut live = Vec::with_capacity(batch.len());
+        for p in batch {
+            match p.deadline_ms {
+                Some(d) if t_dispatch - p.enqueue_ms + est >= d => {
+                    let r = self.reject(
+                        p.id,
+                        p.class,
+                        RejectReason::Expired {
+                            waited_ms: t_dispatch - p.enqueue_ms,
+                            deadline_ms: d,
+                        },
+                    );
+                    let _ = p.tx.send(ServeOutcome::Rejected(r));
+                }
+                _ => live.push(p),
+            }
+        }
+        if live.is_empty() {
+            return;
+        }
+        let spec = &self.cfg.classes[class];
+        // Adaptive batch cut: a latency-class batch is only as large as its
+        // members' budgets allow. Position `i` pays a predicted share of
+        // `est_base * (1 + marginal*i)`, so a deep batch puts its tail past
+        // the deadline even when every member was individually admissible.
+        // Cut the batch at the first position whose predicted completion
+        // would miss, and hand the tail back to the queue front (order
+        // preserved — those requests become head positions next round).
+        if let (Some(deadline), true) = (spec.deadline_ms(), self.cfg.admission) {
+            let est_base = self.ewma_base_ms(class);
+            if est_base > 0.0 {
+                let keep = live
+                    .iter()
+                    .enumerate()
+                    .skip(1) // the head already passed the shed check
+                    .find(|(i, p)| {
+                        let waited = t_dispatch - p.enqueue_ms;
+                        let share = est_base * (1.0 + self.cfg.batch_marginal * *i as f64);
+                        waited + share > deadline
+                    })
+                    .map(|(i, _)| i);
+                if let Some(keep) = keep {
+                    let tail = live.split_off(keep);
+                    self.queues.requeue_front(tail);
+                }
+            }
+        }
+        let Some(decision) = self.rt.serve_decide(spec.slo()) else {
+            for p in live {
+                let r = self.reject(p.id, p.class, RejectReason::NotReady);
+                let _ = p.tx.send(ServeOutcome::Rejected(r));
+            }
+            return;
+        };
+        let net = self.env.network_at(t_dispatch);
+        let report = self.rt.deploy(&decision, &net);
+        let k = live.len();
+        self.counters.batches.fetch_add(1, Ordering::Relaxed);
+        self.counters.max_batch_seen.fetch_max(k as u64, Ordering::Relaxed);
+        if k >= 2 {
+            self.counters.batched_requests.fetch_add(k as u64, Ordering::Relaxed);
+        }
+        let base = report.latency_ms;
+        self.update_ewma_base(class, base);
+        let batch_total_ms = base * (1.0 + self.cfg.batch_marginal * (k as f64 - 1.0));
+        if self.cfg.service_sleep {
+            thread::sleep(self.clock.wall(batch_total_ms));
+        }
+        self.update_ewma(batch_total_ms / k as f64);
+        let degraded = report.degradation.is_degraded();
+        for (i, p) in live.into_iter().enumerate() {
+            // Request i's share: the pipeline fill plus its position in
+            // the batch's serialized compute.
+            let service_ms = base * (1.0 + self.cfg.batch_marginal * i as f64);
+            let queue_ms = t_dispatch - p.enqueue_ms;
+            let total_ms = queue_ms + service_ms;
+            let slo_ok = match spec.kind {
+                ClassKind::Latency { deadline_ms } => total_ms <= deadline_ms,
+                ClassKind::Accuracy { floor_pct } => report.accuracy_pct >= floor_pct,
+            };
+            self.counters.completed.fetch_add(1, Ordering::Relaxed);
+            let _ = p.tx.send(ServeOutcome::Done(Completion {
+                id: p.id,
+                class: p.class,
+                queue_ms,
+                service_ms,
+                total_ms,
+                deploy_ms: report.latency_ms,
+                accuracy_pct: report.accuracy_pct,
+                batch_size: k,
+                cached: decision.cached,
+                degraded,
+                slo_ok,
+            }));
+        }
+    }
+
+    fn worker_loop(&self) {
+        let window = if self.cfg.batch_window_ms > 0.0 && self.cfg.max_batch > 1 {
+            Some(self.clock.wall(self.cfg.batch_window_ms))
+        } else {
+            None
+        };
+        loop {
+            match self.queues.take_batch(self.cfg.max_batch, window) {
+                Take::Shutdown => break,
+                Take::Batch(batch) => {
+                    let k = batch.len();
+                    self.in_flight.fetch_add(k, Ordering::Relaxed);
+                    self.serve_batch(batch);
+                    // serve_batch resolved every request in the batch.
+                    self.in_flight.fetch_sub(k, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    fn control_loop(&self) {
+        let mut rng = StdRng::seed_from_u64(self.cfg.base_seed);
+        while !self.stop.load(Ordering::Relaxed) {
+            let t = self.clock.now_ms();
+            if let Some(fleet) = &self.env.fleet {
+                self.rt.apply_fleet_trace(fleet, t);
+            }
+            self.rt.tick(&self.env.network_at(t), t, &mut rng);
+            thread::sleep(self.clock.wall(self.cfg.tick_interval_ms));
+        }
+    }
+}
+
+/// Handle to a running server. Dropping it without
+/// [`shutdown`](ServeHandle::shutdown) aborts the control thread and
+/// drains the queues (the drop impl shuts down cleanly).
+pub struct ServeHandle {
+    core: Arc<ServerCore>,
+    workers: Vec<thread::JoinHandle<()>>,
+    control: Option<thread::JoinHandle<()>>,
+}
+
+impl ServeHandle {
+    /// Boots the server: one synchronous warm-up tick (so the monitor is
+    /// ready before the first request), then the control thread and the
+    /// worker pool.
+    pub fn start(rt: Arc<SharedRuntime>, env: EnvModel, cfg: ServeConfig) -> Self {
+        assert!(!cfg.classes.is_empty(), "need at least one SLO class");
+        assert!(cfg.n_workers >= 1 && cfg.max_batch >= 1);
+        let clock = Clock::new(cfg.time_scale);
+        // Warm-up tick at t=0 so serve_decide never sees a cold monitor.
+        let mut rng = StdRng::seed_from_u64(cfg.base_seed ^ 0x5eed);
+        rt.tick(&env.network_at(0.0), 0.0, &mut rng);
+        let capacities = cfg.classes.iter().map(|c| c.queue_capacity).collect();
+        let queues = ClassQueues::new(capacities, cfg.fifo);
+        let n_classes_atomics = cfg.classes.iter().map(|_| AtomicU64::new(0)).collect();
+        let core = Arc::new(ServerCore {
+            rt,
+            env,
+            cfg,
+            queues,
+            clock,
+            next_id: AtomicU64::new(0),
+            in_flight: AtomicUsize::new(0),
+            ewma_service_bits: AtomicU64::new(0),
+            ewma_base_bits: n_classes_atomics,
+            stop: AtomicBool::new(false),
+            counters: Counters::default(),
+        });
+        let workers = (0..core.cfg.n_workers)
+            .map(|i| {
+                let core = Arc::clone(&core);
+                thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || core.worker_loop())
+                    .unwrap_or_else(|e| panic!("spawning worker {i}: {e}"))
+            })
+            .collect();
+        let control = {
+            let core = Arc::clone(&core);
+            thread::Builder::new()
+                .name("serve-control".to_string())
+                .spawn(move || core.control_loop())
+                .unwrap_or_else(|e| panic!("spawning control thread: {e}"))
+        };
+        ServeHandle { core, workers, control: Some(control) }
+    }
+
+    /// The server's virtual clock.
+    pub fn clock(&self) -> &Clock {
+        &self.core.clock
+    }
+
+    /// Submits a request to `class` and returns the channel its outcome
+    /// will arrive on. Admission control and queue bounds may resolve it
+    /// immediately (the rejection is already in the channel on return).
+    pub fn submit(&self, class: usize) -> Receiver<ServeOutcome> {
+        assert!(class < self.core.cfg.classes.len(), "unknown class {class}");
+        let core = &self.core;
+        let id = core.next_id.fetch_add(1, Ordering::Relaxed);
+        core.counters.submitted.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = channel();
+        if let Err(reason) = core.admit(class) {
+            let r = core.reject(id, class, reason);
+            let _ = tx.send(ServeOutcome::Rejected(r));
+            return rx;
+        }
+        let pending = Pending {
+            id,
+            class,
+            enqueue_ms: core.clock.now_ms(),
+            deadline_ms: core.cfg.classes[class].deadline_ms(),
+            tx,
+        };
+        match core.queues.offer(pending) {
+            Offer::Enqueued => {}
+            Offer::Full(p) => {
+                let r = core.reject(p.id, p.class, RejectReason::QueueFull { class });
+                let _ = p.tx.send(ServeOutcome::Rejected(r));
+            }
+            Offer::Shutdown(p) => {
+                let r = core.reject(p.id, p.class, RejectReason::Shutdown);
+                let _ = p.tx.send(ServeOutcome::Rejected(r));
+            }
+        }
+        rx
+    }
+
+    /// Submits and blocks for the outcome. When the server is completely
+    /// idle (and the config allows), serves inline on this thread —
+    /// skipping the queue handoff so a lone request pays essentially the
+    /// direct-infer price.
+    pub fn submit_wait(&self, class: usize) -> ServeOutcome {
+        let core = &self.core;
+        if core.cfg.inline_when_idle
+            && core.queues.is_empty()
+            && core.in_flight.load(Ordering::Relaxed) == 0
+        {
+            return self.serve_inline(class);
+        }
+        match self.submit(class).recv() {
+            Ok(outcome) => outcome,
+            // The server dropped the sender without resolving — only
+            // possible if a worker panicked; surface it as a shutdown.
+            Err(_) => ServeOutcome::Rejected(core.reject(u64::MAX, class, RejectReason::Shutdown)),
+        }
+    }
+
+    /// The idle fast path: one request, no queue, no handoff.
+    fn serve_inline(&self, class: usize) -> ServeOutcome {
+        assert!(class < self.core.cfg.classes.len(), "unknown class {class}");
+        let core = &self.core;
+        let id = core.next_id.fetch_add(1, Ordering::Relaxed);
+        core.counters.submitted.fetch_add(1, Ordering::Relaxed);
+        if let Err(reason) = core.admit(class) {
+            return ServeOutcome::Rejected(core.reject(id, class, reason));
+        }
+        let t = core.clock.now_ms();
+        let spec = &core.cfg.classes[class];
+        let Some(decision) = core.rt.serve_decide(spec.slo()) else {
+            return ServeOutcome::Rejected(core.reject(id, class, RejectReason::NotReady));
+        };
+        let report = core.rt.deploy(&decision, &core.env.network_at(t));
+        if core.cfg.service_sleep {
+            thread::sleep(core.clock.wall(report.latency_ms));
+        }
+        core.update_ewma(report.latency_ms);
+        core.update_ewma_base(class, report.latency_ms);
+        core.counters.batches.fetch_add(1, Ordering::Relaxed);
+        core.counters.max_batch_seen.fetch_max(1, Ordering::Relaxed);
+        core.counters.completed.fetch_add(1, Ordering::Relaxed);
+        let slo_ok = match spec.kind {
+            ClassKind::Latency { deadline_ms } => report.latency_ms <= deadline_ms,
+            ClassKind::Accuracy { floor_pct } => report.accuracy_pct >= floor_pct,
+        };
+        ServeOutcome::Done(Completion {
+            id,
+            class,
+            queue_ms: 0.0,
+            service_ms: report.latency_ms,
+            total_ms: report.latency_ms,
+            deploy_ms: report.latency_ms,
+            accuracy_pct: report.accuracy_pct,
+            batch_size: 1,
+            cached: decision.cached,
+            degraded: report.degradation.is_degraded(),
+            slo_ok,
+        })
+    }
+
+    /// Marks a device down mid-load (chaos hook; also purges cached
+    /// strategies that used it).
+    pub fn kill_device(&self, dev: usize) {
+        self.core.rt.set_device_down(dev);
+    }
+
+    /// Revives a device.
+    pub fn revive_device(&self, dev: usize) {
+        self.core.rt.set_device_up(dev);
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> ServeStats {
+        let c = &self.core.counters;
+        ServeStats {
+            submitted: c.submitted.load(Ordering::Relaxed),
+            completed: c.completed.load(Ordering::Relaxed),
+            rejected: c.rejected.load(Ordering::Relaxed),
+            queue_full: c.queue_full.load(Ordering::Relaxed),
+            deadline_unmeetable: c.deadline_unmeetable.load(Ordering::Relaxed),
+            expired: c.expired.load(Ordering::Relaxed),
+            not_ready: c.not_ready.load(Ordering::Relaxed),
+            shutdown_rejects: c.shutdown_rejects.load(Ordering::Relaxed),
+            batches: c.batches.load(Ordering::Relaxed),
+            batched_requests: c.batched_requests.load(Ordering::Relaxed),
+            max_batch_seen: c.max_batch_seen.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Runtime cache statistics (pass-through).
+    pub fn cache_stats(&self) -> murmuration_core::cache::CacheStats {
+        self.core.rt.cache_stats()
+    }
+
+    /// Stops admission, drains every queued request, joins all threads,
+    /// and returns the final counter snapshot. After shutdown,
+    /// `completed + rejected == submitted`.
+    pub fn shutdown(mut self) -> ServeStats {
+        self.shutdown_inner();
+        self.stats()
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.core.queues.shutdown();
+        self.core.stop.store(true, Ordering::Relaxed);
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        if let Some(c) = self.control.take() {
+            let _ = c.join();
+        }
+    }
+}
+
+impl Drop for ServeHandle {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}

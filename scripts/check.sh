@@ -20,6 +20,10 @@ cargo test -q
 echo "==> chaos tests (bounded: a hang is a failure, not a stuck CI job)"
 timeout 300 cargo test -q --test executor_chaos --test runtime_degraded
 
+echo "==> serving-layer tests (bounded: the serve loop must never hang)"
+timeout 300 cargo test -q --test serve_loop --test serve_chaos
+timeout 300 cargo test -q -p murmuration-serve
+
 echo "==> fault-path lint gates (no unwrap/expect in hardened modules)"
 for f in crates/core/src/executor.rs crates/core/src/wire.rs; do
     if ! grep -q 'deny(clippy::unwrap_used, clippy::expect_used)' "$f"; then
@@ -27,5 +31,15 @@ for f in crates/core/src/executor.rs crates/core/src/wire.rs; do
         exit 1
     fi
 done
+
+echo "==> serve crate lint gate (crate-wide unwrap/expect denial)"
+if ! grep -q 'deny(clippy::unwrap_used, clippy::expect_used)' crates/serve/src/lib.rs; then
+    echo "error: crates/serve/src/lib.rs lost its unwrap/expect lint gate" >&2
+    exit 1
+fi
+
+echo "==> serving benchmark gates (overhead <= 5%, goodput >= 1.5x, p99 in SLO)"
+cargo build --release -q -p murmuration-bench --bin bench_serve
+timeout 300 ./target/release/bench_serve
 
 echo "All checks passed."

@@ -21,6 +21,7 @@
 //! | [`partition`] | Plans, latency estimator, Neurosurgeon/ADCNN/evolutionary baselines |
 //! | [`rl`] | LSTM policy, PPO, GCSL, and the SUPREME training algorithm |
 //! | [`runtime`] | The online stage: monitoring, prediction, caching, reconfig, executor |
+//! | [`serve`] | SLO-class request serving: admission control, priority queues, micro-batching |
 //!
 //! ## Quickstart
 //!
@@ -48,6 +49,7 @@ pub use murmuration_models as models;
 pub use murmuration_nn as nn;
 pub use murmuration_partition as partition;
 pub use murmuration_rl as rl;
+pub use murmuration_serve as serve;
 pub use murmuration_supernet as supernet;
 pub use murmuration_tensor as tensor;
 

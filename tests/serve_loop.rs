@@ -1,0 +1,183 @@
+//! Integration tests of the serving layer: round trips, conservation,
+//! priority, batching, and admission behaviour under load.
+
+use murmuration::edgesim::trace::NetworkTrace;
+use murmuration::edgesim::{ArrivalTrace, LinkState, RateShape};
+use murmuration::partition::compliance::Slo;
+use murmuration::rl::{LstmPolicy, Scenario, SloKind};
+use murmuration::runtime::{RuntimeConfig, SharedRuntime};
+use murmuration::serve::{
+    default_classes, run_open_loop, ClassSpec, EnvModel, LoadReport, ServeConfig, ServeHandle,
+    ServeOutcome,
+};
+use std::sync::Arc;
+
+fn shared_runtime() -> Arc<SharedRuntime> {
+    let sc = Scenario::augmented_computing(SloKind::Latency);
+    let policy = LstmPolicy::new(sc.input_dim(), 16, sc.arities(), 0);
+    Arc::new(SharedRuntime::new(sc, policy, RuntimeConfig::default(), Slo::LatencyMs(200.0)))
+}
+
+fn good_link() -> LinkState {
+    LinkState { bandwidth_mbps: 300.0, delay_ms: 8.0 }
+}
+
+/// Fast test profile: no service occupancy, aggressive clock.
+fn fast(cfg: ServeConfig) -> ServeConfig {
+    ServeConfig { service_sleep: false, time_scale: 0.01, ..cfg }
+}
+
+#[test]
+fn single_request_round_trips_with_accounting() {
+    let handle = ServeHandle::start(
+        shared_runtime(),
+        EnvModel::constant(good_link(), 1),
+        fast(ServeConfig::engineered(default_classes())),
+    );
+    let outcome = handle.submit_wait(0);
+    let done = outcome.completion().expect("idle server must serve");
+    assert_eq!(done.class, 0);
+    assert!(done.service_ms > 0.0);
+    assert!((done.total_ms - (done.queue_ms + done.service_ms)).abs() < 1e-9);
+    assert_eq!(done.batch_size, 1);
+    let stats = handle.shutdown();
+    assert_eq!(stats.submitted, 1);
+    assert_eq!(stats.completed, 1);
+    assert_eq!(stats.rejected, 0);
+}
+
+#[test]
+fn open_loop_conserves_every_request() {
+    let classes = default_classes();
+    let handle = ServeHandle::start(
+        shared_runtime(),
+        EnvModel::constant(good_link(), 1),
+        fast(ServeConfig::engineered(classes.clone())),
+    );
+    let trace = ArrivalTrace::poisson(3_000.0, &RateShape::Constant(30.0), &[0.4, 0.3, 0.3], 42);
+    let outcomes = run_open_loop(&handle, &trace);
+    assert_eq!(outcomes.len(), trace.len(), "one outcome per arrival");
+    let stats = handle.shutdown();
+    assert_eq!(stats.submitted, trace.len() as u64);
+    assert_eq!(
+        stats.completed + stats.rejected,
+        stats.submitted,
+        "conservation: every submitted request resolves exactly once"
+    );
+    let done = outcomes.iter().filter(|o| o.completion().is_some()).count();
+    assert_eq!(done as u64, stats.completed);
+}
+
+#[test]
+fn bursts_coalesce_into_batches() {
+    let classes = vec![ClassSpec::latency("only", 5_000.0, 256)];
+    let cfg = ServeConfig { n_workers: 1, ..fast(ServeConfig::engineered(classes)) };
+    let handle = ServeHandle::start(shared_runtime(), EnvModel::constant(good_link(), 1), cfg);
+    // Deterministic bursts of 8 — exactly coalescable at max_batch 8.
+    let trace = ArrivalTrace::periodic(2_000.0, 80.0, 8, &[1.0], 0);
+    let outcomes = run_open_loop(&handle, &trace);
+    let stats = handle.shutdown();
+    assert_eq!(stats.completed + stats.rejected, stats.submitted);
+    assert!(stats.max_batch_seen >= 2, "bursts must batch, saw {}", stats.max_batch_seen);
+    assert!(stats.batched_requests > 0);
+    let max_seen =
+        outcomes.iter().filter_map(|o| o.completion()).map(|c| c.batch_size).max().unwrap_or(0);
+    assert_eq!(max_seen as u64, stats.max_batch_seen);
+}
+
+#[test]
+fn overload_rejections_are_typed_and_counted() {
+    // Tiny queues + sustained overload on a single worker: admission and
+    // queue bounds must shed, and every shed is typed.
+    let classes = vec![ClassSpec::latency("tight", 120.0, 4), ClassSpec::accuracy("bulk", 70.0, 4)];
+    let cfg = ServeConfig {
+        n_workers: 1,
+        max_batch: 2,
+        time_scale: 0.01,
+        service_sleep: true,
+        ..ServeConfig::engineered(classes.clone())
+    };
+    let handle = ServeHandle::start(shared_runtime(), EnvModel::constant(good_link(), 1), cfg);
+    let trace = ArrivalTrace::poisson(4_000.0, &RateShape::Constant(60.0), &[0.6, 0.4], 9);
+    let outcomes = run_open_loop(&handle, &trace);
+    let stats = handle.shutdown();
+    assert_eq!(stats.completed + stats.rejected, stats.submitted);
+    assert!(stats.rejected > 0, "2x+ overload on one worker must shed something");
+    // Rejection counters decompose the total exactly.
+    assert_eq!(
+        stats.queue_full
+            + stats.deadline_unmeetable
+            + stats.expired
+            + stats.not_ready
+            + stats.shutdown_rejects,
+        stats.rejected
+    );
+    // And the report aggregates per class without losing anything.
+    let report = LoadReport::build(&classes, &outcomes, stats, 4_000.0);
+    let by_class: u64 = report.per_class.iter().map(|c| c.completed + c.rejected).sum();
+    assert_eq!(by_class, stats.submitted);
+}
+
+#[test]
+fn priority_favours_the_interactive_class() {
+    // One slow worker, no batching: the priority dispatcher should keep
+    // class 0 queue delays below class 1's under contention.
+    // Effectively-infinite deadlines: this test isolates queue ordering,
+    // so nothing may expire or be refused.
+    let classes = vec![
+        ClassSpec::latency("interactive", 1e9, 256),
+        ClassSpec::latency("background", 1e9, 256),
+    ];
+    let cfg = ServeConfig {
+        n_workers: 1,
+        max_batch: 1,
+        batch_window_ms: 0.0,
+        admission: false,
+        time_scale: 0.01,
+        service_sleep: true,
+        ..ServeConfig::engineered(classes)
+    };
+    let handle = ServeHandle::start(shared_runtime(), EnvModel::constant(good_link(), 1), cfg);
+    let trace = ArrivalTrace::poisson(3_000.0, &RateShape::Constant(40.0), &[0.5, 0.5], 3);
+    let outcomes = run_open_loop(&handle, &trace);
+    let _ = handle.shutdown();
+    let mean_queue = |class: usize| {
+        let waits: Vec<f64> = outcomes
+            .iter()
+            .filter_map(|o| o.completion())
+            .filter(|c| c.class == class)
+            .map(|c| c.queue_ms)
+            .collect();
+        assert!(!waits.is_empty(), "class {class} served nothing");
+        waits.iter().sum::<f64>() / waits.len() as f64
+    };
+    assert!(
+        mean_queue(0) < mean_queue(1),
+        "priority class must queue less: {:.1} vs {:.1}",
+        mean_queue(0),
+        mean_queue(1)
+    );
+}
+
+#[test]
+fn dynamic_network_is_tracked_by_the_control_thread() {
+    // Conditions collapse mid-run; the serving loop must keep resolving
+    // requests (decisions adapt through the ticked monitor).
+    let collapse = NetworkTrace::steps(vec![
+        (0.0, good_link()),
+        (1_500.0, LinkState { bandwidth_mbps: 60.0, delay_ms: 60.0 }),
+    ]);
+    let handle = ServeHandle::start(
+        shared_runtime(),
+        EnvModel::new(collapse, 1),
+        fast(ServeConfig::engineered(default_classes())),
+    );
+    let trace = ArrivalTrace::poisson(3_000.0, &RateShape::Constant(20.0), &[1.0], 5);
+    let outcomes = run_open_loop(&handle, &trace);
+    let stats = handle.shutdown();
+    assert_eq!(stats.completed + stats.rejected, stats.submitted);
+    assert!(
+        outcomes.iter().any(|o| matches!(o, ServeOutcome::Done(d) if d.deploy_ms > 0.0)),
+        "requests must still be served across the collapse"
+    );
+}
