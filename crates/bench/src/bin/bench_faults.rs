@@ -195,11 +195,11 @@ fn main() {
     }
     let mut rows = Vec::new();
     for (name, plan, wires) in &plans {
-        // Interleave two passes per executor and keep the best of each, so
-        // a scheduler hiccup in one pass cannot masquerade as overhead.
+        // Interleave three passes per executor and keep the best of each,
+        // so a scheduler hiccup in one pass cannot masquerade as overhead.
         let mut raw_ms = f64::INFINITY;
         let mut hardened_ms = f64::INFINITY;
-        for _ in 0..2 {
+        for _ in 0..3 {
             raw_ms = raw_ms.min(time_mean_ms(budget_ms, || {
                 black_box(raw.execute(plan, wires, input.clone()));
             }));

@@ -10,6 +10,7 @@
 //! ```
 
 mod args;
+mod remote;
 
 use args::{ArgError, Args};
 use murmuration_core::{Runtime, RuntimeConfig, SharedRuntime};
@@ -55,6 +56,8 @@ fn run(argv: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         "simulate" => cmd_simulate(&args),
         "serve" => cmd_serve(&args),
         "loadtest" => cmd_loadtest(&args),
+        "worker" => remote::cmd_worker(&args),
+        "exec" => remote::cmd_exec(&args),
         "help" | "--help" | "-h" => {
             print_help();
             Ok(())
@@ -94,6 +97,18 @@ fn print_help() {
                      --mix W0,W1,W2 (0.4,0.3,0.3)  --baseline naive|engineered (engineered)\n\
                      --kill-device D --kill-at-ms T --revive-at-ms R\n\
                      --time-scale S (0.02)  --workers W (2)  --seed S (0)\n\
+           worker    Host one device's compute behind a TCP listener.\n\
+                     --listen ADDR (e.g. 127.0.0.1:7070; port 0 = pick free)\n\
+                     --dev D (0)  --units N (3)  --layers L (2)  --channels C (4)\n\
+                     --compute-seed S (7)   (must match the coordinator)\n\
+           exec      Run a plan through the distributed executor.\n\
+                     --transport inproc|tcp (inproc)\n\
+                     inproc: --devices N (2);  tcp: --workers ADDR[,ADDR..]\n\
+                     --plan pingpong|single (pingpong)  --requests N (3)\n\
+                     --quant 8|16|32 (32)  --input-seed S (1)\n\
+                     --units/--layers/--channels/--compute-seed as for worker\n\
+                     (prints per-request transport counters and an output digest;\n\
+                      at --quant 32 the digest is identical across transports)\n\
            help      This message.\n\
          \n\
          `--policy fresh` skips loading: an untrained, fallback-guarded policy is\n\

@@ -1,10 +1,73 @@
 //! End-to-end tests of the `murmuration` binary: train → decide →
-//! estimate → simulate, through real process invocations.
+//! estimate → simulate, through real process invocations — plus the
+//! two-process distributed mode (`worker` + `exec --transport tcp`).
 
-use std::process::Command;
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
 
 fn bin() -> Command {
     Command::new(env!("CARGO_BIN_EXE_murmuration"))
+}
+
+/// A spawned `worker` child process, killed on drop so a failing test
+/// can't leak listeners.
+struct WorkerProc {
+    child: Child,
+    addr: String,
+}
+
+impl WorkerProc {
+    fn spawn(dev: usize) -> WorkerProc {
+        let mut child = bin()
+            .args(["worker", "--listen", "127.0.0.1:0", "--dev", &dev.to_string()])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn worker");
+        // The worker prints `listening on ADDR` once the port is bound.
+        let stdout = child.stdout.take().expect("worker stdout");
+        let mut line = String::new();
+        BufReader::new(stdout).read_line(&mut line).expect("read listen line");
+        let addr = line
+            .trim()
+            .strip_prefix("listening on ")
+            .unwrap_or_else(|| panic!("unexpected worker banner: {line:?}"))
+            .to_string();
+        WorkerProc { child, addr }
+    }
+}
+
+impl Drop for WorkerProc {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Runs `exec` with the given transport flags and returns the
+/// `digest-all` line — the bit-exact fingerprint of every output tensor.
+fn exec_digest(extra: &[&str]) -> String {
+    let mut cmd = bin();
+    cmd.args(["exec", "--requests", "3", "--quant", "32"]);
+    cmd.args(extra);
+    let out = cmd.output().expect("run exec");
+    assert!(out.status.success(), "exec failed: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).expect("utf8 stdout");
+    assert!(text.contains("reconn"), "report must show transport counters: {text}");
+    text.lines()
+        .find(|l| l.starts_with("digest-all "))
+        .unwrap_or_else(|| panic!("no digest line in: {text}"))
+        .to_string()
+}
+
+#[test]
+fn two_process_tcp_matches_inproc_bit_for_bit() {
+    let w0 = WorkerProc::spawn(0);
+    let w1 = WorkerProc::spawn(1);
+    let workers = format!("{},{}", w0.addr, w1.addr);
+    let tcp = exec_digest(&["--transport", "tcp", "--workers", &workers]);
+    let inproc = exec_digest(&["--transport", "inproc", "--devices", "2"]);
+    assert_eq!(tcp, inproc, "B32 digests must be identical across transports");
 }
 
 #[test]

@@ -1,35 +1,42 @@
-//! The distributed Executor: one worker thread per device, crossbeam
-//! channels standing in for the paper's gRPC transport.
+//! The distributed Executor: the coordinator that drives a fleet of
+//! device workers through a [`Transport`] — in-process worker threads
+//! ([`InProcTransport`]) or real worker processes over TCP
+//! (`murmuration_transport::TcpTransport`).
 //!
 //! The executor runs *real tensor computation*: unit inputs are FDSP-tiled
-//! with [`murmuration_tensor::tile`], shipped through the channel after a
-//! wire-quantization round-trip, computed on the worker thread, and merged
+//! with [`murmuration_tensor::tile`], shipped through the transport after a
+//! wire-quantization round-trip, computed on the worker, and merged
 //! back. Running a plan with 1×1 placements on any device therefore
 //! produces bit-identical results to local execution (at 32-bit wire
 //! precision), and tiled plans differ from the monolithic result only at
-//! FDSP seams — both properties are asserted in tests.
+//! FDSP seams — both properties are asserted in tests, over both
+//! transports.
 //!
 //! # Fault model
 //!
 //! Devices can crash (worker exits without replying), stall (reply arrives
-//! after the deadline), panic (worker survives, request fails), or garble
-//! frames in transit (checksum failure). The coordinator never blocks
-//! forever on any of them: every wait is a `recv_timeout` against a
-//! per-attempt deadline, failed attempts are retried with exponential
-//! backoff and failover onto surviving devices, and exhaustion surfaces as
-//! a typed [`ExecError`] instead of a panic or a hang.
+//! after the deadline), panic (worker survives, request fails), garble
+//! frames in transit (checksum failure), or — over TCP — lose their
+//! connection mid-request. The coordinator never blocks forever on any of
+//! them: every wait is a `recv_timeout` against a per-attempt deadline,
+//! failed attempts are retried with exponential backoff and failover onto
+//! surviving devices, and exhaustion surfaces as a typed [`ExecError`]
+//! instead of a panic or a hang. Connection supervision (heartbeats,
+//! reconnect, resend dedup) happens below the trait; its counters surface
+//! in [`ExecReport`].
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
+use crate::transport::{
+    InProcTransport, ReplyError, SubmitError, Transport, TransportJob, TransportReply,
+    TransportStats,
+};
 use crate::wire::WireError;
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use crossbeam::channel::{unbounded, RecvTimeoutError, Sender};
 use murmuration_partition::{ExecutionPlan, UnitPlacement};
 use murmuration_tensor::quant::BitWidth;
 use murmuration_tensor::tile::{merge_fdsp, split_fdsp, GridSpec};
 use murmuration_tensor::Tensor;
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// What one worker invocation produced. The `Vanish` arm lets fault
@@ -73,7 +80,8 @@ pub struct UnitWire {
 /// involved so callers can feed device-health tracking.
 #[derive(Clone, Debug, PartialEq)]
 pub enum ExecError {
-    /// The worker's channel is gone: the device crashed or was killed.
+    /// The worker is unreachable: the device crashed, was killed, or its
+    /// connection died and could not be re-established in time.
     DeviceDown { dev: usize },
     /// No reply within the per-attempt deadline.
     Timeout { dev: usize, unit: usize, waited_ms: f64 },
@@ -141,41 +149,9 @@ impl ExecOptions {
     }
 }
 
-struct Job {
-    unit: usize,
-    /// Shared with the coordinator, which keeps its reference so a failed
-    /// attempt can be re-dispatched without deep-copying activations.
-    input: Arc<Tensor>,
-    reply: Sender<Reply>,
-    tag: usize,
-    attempt: u32,
-}
-
-struct Reply {
-    tag: usize,
-    attempt: u32,
-    result: Result<Tensor, String>,
-}
-
-enum Msg {
-    Run(Job),
-    Stop,
-}
-
-/// The executor: owns the worker threads.
+/// The executor: the coordinator over a [`Transport`].
 pub struct Executor {
-    senders: Vec<Sender<Msg>>,
-    handles: Vec<Option<JoinHandle<()>>>,
-    /// Handles of workers replaced by [`restart_device`](Self::restart_device);
-    /// joined on drop.
-    graveyard: Vec<JoinHandle<()>>,
-    /// Coordinator's belief about device liveness, updated on hard
-    /// evidence (send failure / reply-channel disconnect).
-    alive: Vec<AtomicBool>,
-    /// Wire-corruption injection: frames shipped *to* a flagged device are
-    /// garbled before decode, so tests can exercise the checksum path.
-    garble: Vec<AtomicBool>,
-    compute: Arc<dyn UnitCompute>,
+    transport: Box<dyn Transport>,
 }
 
 /// Execution report.
@@ -189,133 +165,101 @@ pub struct ExecReport {
     pub failovers: u32,
     /// Attempts that exceeded their deadline.
     pub deadline_misses: u32,
+    /// Connections re-established during this execution (TCP transport).
+    pub reconnects: u64,
+    /// Heartbeat intervals missed during this execution (TCP transport).
+    pub heartbeats_missed: u64,
+    /// Transport-level resends the workers recognised as duplicates and
+    /// served without recomputing (at-most-once dedup; TCP transport).
+    pub resends_deduped: u64,
 }
 
-fn spawn_worker(dev: usize, compute: Arc<dyn UnitCompute>) -> (Sender<Msg>, JoinHandle<()>) {
-    let (tx, rx): (Sender<Msg>, Receiver<Msg>) = unbounded();
-    let builder = std::thread::Builder::new().name(format!("murmuration-dev{dev}"));
-    let handle = builder.spawn(move || {
-        while let Ok(msg) = rx.recv() {
-            match msg {
-                Msg::Run(job) => {
-                    let outcome = catch_unwind(AssertUnwindSafe(|| {
-                        compute.run_unit_on(dev, job.unit, &job.input)
-                    }));
-                    match outcome {
-                        Ok(UnitOutcome::Output(t)) => {
-                            // The coordinator may have moved on (timeout
-                            // path); ignore send failures.
-                            let _ = job.reply.send(Reply {
-                                tag: job.tag,
-                                attempt: job.attempt,
-                                result: Ok(t),
-                            });
-                        }
-                        Ok(UnitOutcome::Error(msg)) => {
-                            let _ = job.reply.send(Reply {
-                                tag: job.tag,
-                                attempt: job.attempt,
-                                result: Err(msg),
-                            });
-                        }
-                        // Simulated crash: die silently, dropping any
-                        // queued jobs — exactly what a killed peer does.
-                        Ok(UnitOutcome::Vanish) => break,
-                        Err(panic) => {
-                            let msg = panic
-                                .downcast_ref::<&str>()
-                                .map(|s| (*s).to_owned())
-                                .or_else(|| panic.downcast_ref::<String>().cloned())
-                                .unwrap_or_else(|| "worker panicked".to_owned());
-                            let _ = job.reply.send(Reply {
-                                tag: job.tag,
-                                attempt: job.attempt,
-                                result: Err(msg),
-                            });
-                        }
-                    }
-                }
-                Msg::Stop => break,
-            }
-        }
-    });
-    match handle {
-        Ok(h) => (tx, h),
-        Err(e) => panic!("spawn worker {dev}: {e}"),
+impl ExecReport {
+    fn absorb_stats(&mut self, delta: TransportStats) {
+        self.reconnects += delta.reconnects;
+        self.heartbeats_missed += delta.heartbeats_missed;
+        self.resends_deduped += delta.resends_deduped;
     }
 }
 
 impl Executor {
-    /// Spawns one worker per device.
+    /// Spawns one in-process worker thread per device — the classic
+    /// single-process mode.
     pub fn new(n_devices: usize, compute: Arc<dyn UnitCompute>) -> Self {
-        assert!(n_devices >= 1);
-        let mut senders = Vec::with_capacity(n_devices);
-        let mut handles = Vec::with_capacity(n_devices);
-        for dev in 0..n_devices {
-            let (tx, handle) = spawn_worker(dev, compute.clone());
-            senders.push(tx);
-            handles.push(Some(handle));
-        }
-        Executor {
-            senders,
-            handles,
-            graveyard: Vec::new(),
-            alive: (0..n_devices).map(|_| AtomicBool::new(true)).collect(),
-            garble: (0..n_devices).map(|_| AtomicBool::new(false)).collect(),
-            compute,
-        }
+        Executor { transport: Box::new(InProcTransport::new(n_devices, compute)) }
+    }
+
+    /// Builds an executor over an arbitrary transport (e.g. a
+    /// `TcpTransport` reaching remote worker processes).
+    pub fn with_transport(transport: Box<dyn Transport>) -> Self {
+        assert!(transport.n_devices() >= 1);
+        Executor { transport }
     }
 
     /// Number of device workers.
     pub fn n_devices(&self) -> usize {
-        self.senders.len()
+        self.transport.n_devices()
     }
 
     /// Whether the coordinator believes `dev` is alive. Optimistic: a
     /// crashed device is only discovered on the next interaction.
     pub fn is_alive(&self, dev: usize) -> bool {
-        self.alive[dev].load(Ordering::SeqCst)
+        self.transport.is_alive(dev)
     }
 
-    /// Stops `dev`'s worker (queued jobs still drain, then the thread
-    /// exits). Subsequent work fails over to surviving devices.
+    /// Takes `dev` out of service. Subsequent work fails over to
+    /// surviving devices.
     pub fn kill_device(&self, dev: usize) {
-        self.alive[dev].store(false, Ordering::SeqCst);
-        let _ = self.senders[dev].send(Msg::Stop);
+        self.transport.kill_device(dev);
     }
 
-    /// Spawns a fresh worker for `dev`, replacing a crashed or killed one.
+    /// Brings `dev` back into service, replacing a crashed or killed
+    /// worker (in-proc: a fresh thread; TCP: reconnection resumes).
     pub fn restart_device(&mut self, dev: usize) {
-        let (tx, handle) = spawn_worker(dev, self.compute.clone());
-        let _ = self.senders[dev].send(Msg::Stop); // in case the old worker still runs
-        self.senders[dev] = tx;
-        if let Some(old) = self.handles[dev].replace(handle) {
-            self.graveyard.push(old);
-        }
-        self.alive[dev].store(true, Ordering::SeqCst);
+        self.transport.restart_device(dev);
     }
 
     /// Turns frame corruption on/off for frames shipped *to* `dev`.
     pub fn set_wire_corruption(&self, dev: usize, on: bool) {
-        self.garble[dev].store(on, Ordering::SeqCst);
+        self.transport.set_wire_corruption(dev, on);
     }
 
-    fn mark_dead(&self, dev: usize) {
-        self.alive[dev].store(false, Ordering::SeqCst);
+    /// Cumulative connection-supervision counters of the underlying
+    /// transport (all zero for the in-process transport).
+    pub fn transport_stats(&self) -> TransportStats {
+        self.transport.stats()
     }
 
-    /// Serializes a tensor to a wire frame and decodes it back — exactly
-    /// what crossing a device boundary does to the data (including packed
-    /// quantization). The byte round-trip keeps the executor honest about
-    /// the transport format; corruption injected on the link surfaces here
-    /// as a checksum error.
-    fn ship(&self, to_dev: usize, t: &Tensor, quant: BitWidth) -> Result<Tensor, ExecError> {
-        let mut frame = crate::wire::encode(t, quant);
-        if self.garble[to_dev].load(Ordering::SeqCst) {
-            let mid = frame.len() / 2;
-            frame[mid] ^= 0x5A;
-        }
-        crate::wire::decode(&frame).map_err(|err| ExecError::Wire { dev: to_dev, err })
+    /// Gracefully drains the transport: in-flight work finishes (bounded),
+    /// connections close with a goodbye. Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        self.transport.shutdown();
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn submit(
+        &self,
+        dev: usize,
+        unit: usize,
+        input: &Arc<Tensor>,
+        quant: BitWidth,
+        cross: bool,
+        tag: usize,
+        attempt: u32,
+        reply: Sender<TransportReply>,
+    ) -> Result<(), ExecError> {
+        let job = TransportJob {
+            unit,
+            input: Arc::clone(input),
+            quant,
+            cross_boundary: cross,
+            tag,
+            attempt,
+        };
+        self.transport.submit(dev, job, reply).map_err(|e| match e {
+            SubmitError::DeviceDown => ExecError::DeviceDown { dev },
+            SubmitError::Wire(err) => ExecError::Wire { dev, err },
+        })
     }
 
     /// Executes `input` through all units under `plan` with default
@@ -341,47 +285,47 @@ impl Executor {
     ) -> Result<(Tensor, ExecReport), ExecError> {
         assert_eq!(plan.placements.len(), wire.len(), "one wire entry per unit");
         let start = Instant::now();
+        let stats0 = self.transport.stats();
         let mut report = ExecReport::default();
         // Devices shunned for the remainder of this call: seeded from the
         // global belief, extended by timeouts/wire errors observed here.
         let mut shunned: Vec<bool> = (0..self.n_devices()).map(|d| !self.is_alive(d)).collect();
         let mut data = Arc::new(input);
         let mut loc: usize = 0; // device currently holding `data`
+        let finish = |report: &mut ExecReport| {
+            report.wall_ms = start.elapsed().as_secs_f64() * 1e3;
+            report.absorb_stats(self.transport.stats().since(&stats0));
+        };
         for (unit, (placement, w)) in plan.placements.iter().zip(wire.iter()).enumerate() {
-            match placement {
-                UnitPlacement::Single(d) => {
-                    let (out, dev) = self.run_single(
-                        *d,
-                        unit,
-                        &data,
-                        w.in_quant,
-                        loc,
-                        &opts,
-                        &mut report,
-                        &mut shunned,
-                    )?;
+            let run = match placement {
+                UnitPlacement::Single(d) => self.run_single(
+                    *d,
+                    unit,
+                    &data,
+                    w.in_quant,
+                    loc,
+                    &opts,
+                    &mut report,
+                    &mut shunned,
+                ),
+                UnitPlacement::Tiled(devs) => {
+                    assert_eq!(devs.len(), w.grid.tiles(), "tile/device count");
+                    self.run_tiled(devs, unit, &data, w, loc, &opts, &mut report, &mut shunned)
+                }
+            };
+            match run {
+                Ok((out, dev)) => {
                     data = Arc::new(out);
                     loc = dev;
                 }
-                UnitPlacement::Tiled(devs) => {
-                    assert_eq!(devs.len(), w.grid.tiles(), "tile/device count");
-                    let (out, dev) = self.run_tiled(
-                        devs,
-                        unit,
-                        &data,
-                        w,
-                        loc,
-                        &opts,
-                        &mut report,
-                        &mut shunned,
-                    )?;
-                    data = Arc::new(out);
-                    loc = dev;
+                Err(e) => {
+                    finish(&mut report);
+                    return Err(e);
                 }
             }
         }
         // Result returns to device 0 (tiny logits; precision kept).
-        report.wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        finish(&mut report);
         let out = Arc::try_unwrap(data).unwrap_or_else(|a| (*a).clone());
         Ok((out, report))
     }
@@ -420,30 +364,17 @@ impl Executor {
                 std::thread::sleep(opts.backoff * (1u32 << (attempts - 1).min(6)));
             }
             attempts += 1;
-            let shipped = if dev != loc {
-                match self.ship(dev, data, quant) {
-                    Ok(t) => Arc::new(t),
-                    Err(e) => {
-                        // Treat a corrupted link like a bad device: shun
-                        // it for this call and fail over.
-                        shunned[dev] = true;
-                        last_err = Some(e);
-                        continue;
-                    }
-                }
-            } else {
-                Arc::clone(data)
-            };
             // Fresh reply channel per attempt: a disconnect means *this*
             // worker died holding *this* job, and stale replies from
             // abandoned attempts can never be confused with live ones.
             let (reply_tx, reply_rx) = unbounded();
-            let job =
-                Job { unit, input: shipped, reply: reply_tx, tag: 0, attempt: attempts as u32 };
-            if self.senders[dev].send(Msg::Run(job)).is_err() {
-                self.mark_dead(dev);
+            if let Err(e) =
+                self.submit(dev, unit, data, quant, dev != loc, 0, attempts as u32, reply_tx)
+            {
+                // Treat a corrupted link like a bad device: shun it for
+                // this call and fail over.
                 shunned[dev] = true;
-                last_err = Some(ExecError::DeviceDown { dev });
+                last_err = Some(e);
                 continue;
             }
             match reply_rx.recv_timeout(opts.deadline) {
@@ -454,14 +385,20 @@ impl Executor {
                         }
                         return Ok((t, dev));
                     }
-                    Err(msg) => {
+                    Err(ReplyError::Worker(msg)) => {
                         last_err = Some(ExecError::WorkerPanic { dev, unit, msg });
+                        continue;
+                    }
+                    Err(ReplyError::Link(_)) => {
+                        self.transport.mark_dead(dev);
+                        shunned[dev] = true;
+                        last_err = Some(ExecError::DeviceDown { dev });
                         continue;
                     }
                 },
                 Err(RecvTimeoutError::Disconnected) => {
                     // The worker exited between accepting and answering.
-                    self.mark_dead(dev);
+                    self.transport.mark_dead(dev);
                     shunned[dev] = true;
                     last_err = Some(ExecError::DeviceDown { dev });
                     continue;
@@ -506,7 +443,7 @@ impl Executor {
             deadline: Instant,
             done: Option<Tensor>,
         }
-        let (reply_tx, reply_rx) = unbounded::<Reply>();
+        let (reply_tx, reply_rx) = unbounded::<TransportReply>();
         let mut states: Vec<TileState> = Vec::with_capacity(n_tiles);
         // Dispatches tile `tag` to the first usable device, shipping from
         // `loc`. Returns the device used, or the last error if every
@@ -522,23 +459,18 @@ impl Executor {
                     Some(d) => d,
                     None => return Err(last_err.unwrap_or(ExecError::NoDevice { unit })),
                 };
-                let shipped = if dev != loc {
-                    match self.ship(dev, &tiles[tag], w.in_quant) {
-                        Ok(t) => Arc::new(t),
-                        Err(e) => {
-                            shunned[dev] = true;
-                            last_err = Some(e);
-                            continue;
-                        }
-                    }
-                } else {
-                    Arc::clone(&tiles[tag])
-                };
-                let job = Job { unit, input: shipped, reply: reply_tx.clone(), tag, attempt };
-                if self.senders[dev].send(Msg::Run(job)).is_err() {
-                    self.mark_dead(dev);
+                if let Err(e) = self.submit(
+                    dev,
+                    unit,
+                    &tiles[tag],
+                    w.in_quant,
+                    dev != loc,
+                    tag,
+                    attempt,
+                    reply_tx.clone(),
+                ) {
                     shunned[dev] = true;
-                    last_err = Some(ExecError::DeviceDown { dev });
+                    last_err = Some(e);
                     continue;
                 }
                 return Ok((dev, Instant::now() + opts.deadline));
@@ -571,16 +503,23 @@ impl Executor {
                             st.done = Some(t);
                             done += 1;
                         }
-                        Err(msg) => {
+                        Err(err) => {
+                            let exec_err = match err {
+                                ReplyError::Worker(msg) => {
+                                    ExecError::WorkerPanic { dev: st.dev, unit, msg }
+                                }
+                                ReplyError::Link(_) => {
+                                    let dev = st.dev;
+                                    self.transport.mark_dead(dev);
+                                    shunned[dev] = true;
+                                    ExecError::DeviceDown { dev }
+                                }
+                            };
                             if st.attempts >= opts.max_attempts {
                                 return Err(ExecError::AttemptsExhausted {
                                     unit,
                                     attempts: st.attempts,
-                                    last: Box::new(ExecError::WorkerPanic {
-                                        dev: st.dev,
-                                        unit,
-                                        msg,
-                                    }),
+                                    last: Box::new(exec_err),
                                 });
                             }
                             report.retries += 1;
@@ -670,9 +609,10 @@ impl Executor {
         let n_units = device_of_unit.len();
         let n_inputs = inputs.len();
         let start = Instant::now();
+        let stats0 = self.transport.stats();
         let mut report = ExecReport::default();
         let mut shunned: Vec<bool> = (0..self.n_devices()).map(|d| !self.is_alive(d)).collect();
-        let (reply_tx, reply_rx) = unbounded::<Reply>();
+        let (reply_tx, reply_rx) = unbounded::<TransportReply>();
 
         struct ReqState {
             stage: usize,
@@ -724,29 +664,18 @@ impl Executor {
                     }
                 };
                 let st = &states[idx];
-                let shipped = if dev != st.loc {
-                    match self.ship(dev, &st.cur_input, quant) {
-                        Ok(t) => Arc::new(t),
-                        Err(e) => {
-                            shunned[dev] = true;
-                            last_err = Some(e);
-                            continue;
-                        }
-                    }
-                } else {
-                    Arc::clone(&st.cur_input)
-                };
-                let job = Job {
-                    unit: st.stage,
-                    input: shipped,
-                    reply: reply_tx.clone(),
-                    tag: idx,
+                if let Err(e) = self.submit(
+                    dev,
+                    st.stage,
+                    &st.cur_input,
+                    quant,
+                    dev != st.loc,
+                    idx,
                     attempt,
-                };
-                if self.senders[dev].send(Msg::Run(job)).is_err() {
-                    self.mark_dead(dev);
+                    reply_tx.clone(),
+                ) {
                     shunned[dev] = true;
-                    last_err = Some(ExecError::DeviceDown { dev });
+                    last_err = Some(e);
                     continue;
                 }
                 if dev != planned {
@@ -799,14 +728,24 @@ impl Executor {
                                 completed += 1;
                             }
                         }
-                        Err(msg) => {
+                        Err(err) => {
                             let st = &states[idx];
-                            let err = ExecError::WorkerPanic { dev: st.dev, unit: st.stage, msg };
+                            let exec_err = match err {
+                                ReplyError::Worker(msg) => {
+                                    ExecError::WorkerPanic { dev: st.dev, unit: st.stage, msg }
+                                }
+                                ReplyError::Link(_) => {
+                                    let dev = st.dev;
+                                    self.transport.mark_dead(dev);
+                                    shunned[dev] = true;
+                                    ExecError::DeviceDown { dev }
+                                }
+                            };
                             if st.stage_attempts >= opts.max_attempts {
                                 states[idx].result = Some(Err(ExecError::AttemptsExhausted {
                                     unit: st.stage,
                                     attempts: st.stage_attempts,
-                                    last: Box::new(err),
+                                    last: Box::new(exec_err),
                                 }));
                                 completed += 1;
                             } else {
@@ -854,6 +793,7 @@ impl Executor {
             }
         }
         report.wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        report.absorb_stats(self.transport.stats().since(&stats0));
         let results = states
             .into_iter()
             .enumerate()
@@ -863,23 +803,10 @@ impl Executor {
     }
 }
 
-impl Drop for Executor {
-    fn drop(&mut self) {
-        for tx in &self.senders {
-            let _ = tx.send(Msg::Stop);
-        }
-        for h in self.handles.drain(..).flatten() {
-            let _ = h.join();
-        }
-        for h in self.graveyard.drain(..) {
-            let _ = h.join();
-        }
-    }
-}
-
 /// A concrete [`UnitCompute`]: stacks of same-padded convolutions with
 /// ReLU — the structure of the supernet's convolutional stages, sized for
-/// tests and examples.
+/// tests and examples. Deterministic from its seed, so a remote worker
+/// process built with the same parameters hosts bit-identical weights.
 pub struct ConvStackCompute {
     /// Per unit: a list of (weight, bias, params) conv layers.
     units: Vec<Vec<(Tensor, Tensor, murmuration_tensor::conv::Conv2dParams)>>,
@@ -989,6 +916,7 @@ mod tests {
         assert_eq!(out.data(), expect.data());
         assert!(report.wall_ms >= 0.0);
         assert_eq!(report.retries + report.failovers + report.deadline_misses, 0);
+        assert_eq!(report.reconnects + report.heartbeats_missed + report.resends_deduped, 0);
     }
 
     #[test]

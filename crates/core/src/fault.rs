@@ -6,6 +6,7 @@
 //! the executor-side counterpart of `murmuration_edgesim::FleetTrace` —
 //! traces describe *when* a device misbehaves in virtual time, this
 //! wrapper makes the worker threads actually do it.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 use crate::executor::{UnitCompute, UnitOutcome};
 use murmuration_edgesim::{DeviceStatus, FleetTrace};

@@ -18,10 +18,14 @@
 //! * [`reconfig`] — Model Reconfig: the in-memory supernet whose submodel
 //!   switch is a pointer-level reconfiguration (no weight copies), versus
 //!   the weight-reload path other systems pay (Fig. 19).
-//! * [`executor`] — the distributed Executor/Scheduler: one worker thread
-//!   per device connected by crossbeam channels (the gRPC substitute),
+//! * [`executor`] — the distributed Executor/Scheduler: the coordinator
+//!   that drives device workers through a [`transport::Transport`],
 //!   executing real tensor computation with FDSP tile scatter/gather and
 //!   byte-level wire frames.
+//! * [`transport`] — the transport abstraction behind the executor: the
+//!   [`transport::Transport`] trait plus the in-process channel
+//!   implementation; the TCP remote-worker implementation lives in the
+//!   `murmuration-transport` crate.
 //! * [`wire`] — the framing protocol those channels carry: packed 8/16-bit
 //!   quantized payloads whose sizes match the latency model's accounting.
 //! * [`scheduler`] — translates a decided (spec, plan) into the executor's
@@ -40,6 +44,7 @@ pub mod reconfig;
 pub mod runtime;
 pub mod scheduler;
 pub mod slo;
+pub mod transport;
 pub mod wire;
 
 pub use runtime::{

@@ -3,8 +3,9 @@
 //!
 //! A frame is: magic `MWIR` · u8 version · u8 bit-width (8/16/32) · u8
 //! rank · per-dim u32 sizes · f32 scale (quantized payloads) · u64 payload
-//! length · u32 FNV-1a checksum · payload. 8/16-bit payloads are *packed*
-//! integer codes, so the frame length matches the latency model's
+//! length · u32 folded-FNV-1a checksum (see [`frame_checksum`]) · payload.
+//! 8/16-bit payloads are *packed* integer codes, so the frame length
+//! matches the latency model's
 //! [`BitWidth::wire_bytes`](murmuration_tensor::quant::BitWidth::wire_bytes)
 //! accounting (± the fixed header).
 //!
@@ -52,18 +53,28 @@ pub fn header_bytes(rank: usize) -> usize {
     checksum_offset(rank) + 4
 }
 
-/// FNV-1a over every frame byte except the checksum field itself.
+/// Checksum over every frame byte except the checksum field itself:
+/// FNV-1a stepped byte-wise over the short header, then folded four bytes
+/// per step over the payload (4x fewer serially-dependent multiplies,
+/// which dominate FNV's cost on megabyte activations). Every step — word
+/// or byte — is an xor followed by an odd multiply, both invertible mod
+/// 2^32, so any single-byte change anywhere always changes the sum, the
+/// same guarantee as classic byte-wise FNV-1a.
 fn frame_checksum(frame: &[u8], crc_off: usize) -> u32 {
     let mut h: u32 = 0x811C_9DC5;
-    let mut step = |b: u8| {
+    for &b in &frame[..crc_off] {
         h ^= u32::from(b);
         h = h.wrapping_mul(0x0100_0193);
-    };
-    for &b in &frame[..crc_off] {
-        step(b);
     }
-    for &b in &frame[crc_off + 4..] {
-        step(b);
+    let payload = &frame[crc_off + 4..];
+    let mut words = payload.chunks_exact(4);
+    for w in &mut words {
+        h ^= u32::from_le_bytes([w[0], w[1], w[2], w[3]]);
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    for &b in words.remainder() {
+        h ^= u32::from(b);
+        h = h.wrapping_mul(0x0100_0193);
     }
     h
 }
@@ -85,8 +96,13 @@ pub fn encode(t: &Tensor, bits: BitWidth) -> Vec<u8> {
             let payload_len = t.numel() * 4;
             out.extend_from_slice(&(payload_len as u64).to_le_bytes());
             out.extend_from_slice(&0u32.to_le_bytes()); // checksum placeholder
-            for v in t.data() {
-                out.extend_from_slice(&v.to_le_bytes());
+
+            // Bulk conversion: resize once, then fill fixed-width chunks —
+            // this lowers to a straight memcpy on little-endian targets.
+            let start = out.len();
+            out.resize(start + payload_len, 0);
+            for (dst, v) in out[start..].chunks_exact_mut(4).zip(t.data()) {
+                dst.copy_from_slice(&v.to_le_bytes());
             }
         }
         BitWidth::B16 | BitWidth::B8 => {

@@ -1,0 +1,645 @@
+//! The coordinator side of the TCP transport: [`TcpTransport`] implements
+//! `murmuration_core::transport::Transport` over one supervised TCP
+//! connection per device worker.
+//!
+//! # Connection supervision
+//!
+//! Each peer gets a supervisor thread that owns the connection lifecycle:
+//!
+//! ```text
+//!        connect ok                    teardown (io error, corrupt
+//!  ┌────────────────► CONNECTED ───────frame, heartbeat miss limit)──┐
+//!  │                  hello, resend                                  │
+//!  │                  pending, serve                                 ▼
+//! CONNECTING ◄───────────────────────────────────────────── BACKOFF (jittered,
+//!  ▲   │ connect failed ×N                                   exponential, capped)
+//!  │   └────────► DEAD (alive=false, pending failed fast) ──────┐
+//!  │               keeps retrying in the background             │
+//!  └────────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! While CONNECTED, submitting threads write request frames inline (under
+//! a per-peer write lock, so frames never interleave); a writer loop
+//! handles reconnect resends and sends a heartbeat every interval; a
+//! reader thread dispatches responses by request id. Missing `heartbeat_miss_limit` intervals without hearing
+//! anything from the peer tears the connection down. In-flight requests
+//! are *kept* across a teardown and resent (same request id) after
+//! reconnect — the worker's `(session, req_id)` dedup map makes the resend
+//! at-most-once. Only when the peer is declared dead (too many consecutive
+//! connect failures), killed, or the transport shuts down are pending
+//! requests failed with a `Link` error — so the executor's wait always
+//! resolves. Liveness flips back to healthy on the next successful
+//! reconnect, which is how a healed partition restores the device.
+
+use crate::frame::{self, Msg};
+use crossbeam::channel::Sender;
+use murmuration_core::transport::{
+    ReplyError, SubmitError, Transport, TransportJob, TransportReply, TransportStats,
+};
+use murmuration_core::wire;
+use murmuration_tensor::quant::BitWidth;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::collections::{HashMap, VecDeque};
+use std::net::{Shutdown, SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for connection supervision. The defaults suit a LAN; the
+/// chaos tests shrink everything for speed.
+#[derive(Clone, Copy, Debug)]
+pub struct TcpTransportConfig {
+    /// Idle interval between heartbeats; also the staleness bound used for
+    /// dead-peer detection.
+    pub heartbeat_interval: Duration,
+    /// Consecutive heartbeat intervals without traffic from the peer
+    /// before the connection is torn down and rebuilt.
+    pub heartbeat_miss_limit: u32,
+    /// Base reconnect backoff (doubles per failure, jittered).
+    pub reconnect_backoff: Duration,
+    /// Backoff cap.
+    pub reconnect_backoff_max: Duration,
+    /// Consecutive connect failures before the peer is declared dead and
+    /// pending requests are failed fast (reconnection keeps trying).
+    pub fails_before_dead: u32,
+    /// Bounded in-flight window per peer; `submit` blocks (briefly, and
+    /// never past peer death) when full.
+    pub max_in_flight: usize,
+    /// TCP connect timeout per attempt.
+    pub connect_timeout: Duration,
+    /// How long shutdown waits for in-flight work before failing it.
+    pub drain_timeout: Duration,
+    /// Seed for reconnect jitter (deterministic supervision in tests).
+    pub seed: u64,
+}
+
+impl Default for TcpTransportConfig {
+    fn default() -> Self {
+        TcpTransportConfig {
+            heartbeat_interval: Duration::from_millis(200),
+            heartbeat_miss_limit: 3,
+            reconnect_backoff: Duration::from_millis(25),
+            reconnect_backoff_max: Duration::from_millis(1_000),
+            fails_before_dead: 4,
+            max_in_flight: 64,
+            connect_timeout: Duration::from_millis(500),
+            drain_timeout: Duration::from_secs(2),
+            seed: 0x6d75_726d,
+        }
+    }
+}
+
+/// Locks a mutex, recovering from poisoning (a panicked holder cannot
+/// corrupt our state invariants: every critical section leaves the maps
+/// consistent).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+struct PendingReq {
+    tag: usize,
+    attempt: u32,
+    reply: Sender<TransportReply>,
+    /// Encoded request frame, kept for resend after a reconnect.
+    bytes: Arc<Vec<u8>>,
+}
+
+#[derive(Default)]
+struct PeerQueues {
+    /// Requests awaiting a response, by request id.
+    inflight: HashMap<u64, PendingReq>,
+    /// Encoded frames the writer should send next.
+    outbound: VecDeque<Arc<Vec<u8>>>,
+    /// Whether a connection is currently established.
+    connected: bool,
+}
+
+struct Peer {
+    dev: usize,
+    addr: String,
+    cfg: TcpTransportConfig,
+    /// Coordinator session id: stable across reconnects (it keys the
+    /// worker's dedup map), unique across transport instances.
+    session: u64,
+    alive: AtomicBool,
+    admin_down: AtomicBool,
+    stopping: AtomicBool,
+    garble: AtomicBool,
+    next_req: AtomicU64,
+    /// Milliseconds since `epoch` when we last heard from the peer.
+    last_rx_ms: AtomicU64,
+    epoch: Instant,
+    reconnects: AtomicU64,
+    heartbeats_missed: AtomicU64,
+    resends_deduped: AtomicU64,
+    queues: Mutex<PeerQueues>,
+    cond: Condvar,
+    /// Live socket (for out-of-band shutdown on kill / transport stop).
+    conn: Mutex<Option<TcpStream>>,
+    /// Write half of the live socket. All frame writes — submit's inline
+    /// sends, the writer loop's resends and heartbeats — serialize on this
+    /// lock so frames never interleave mid-stream. Submitting threads
+    /// write in place rather than waking a writer thread: one fewer
+    /// context switch on the request hot path.
+    wconn: Mutex<Option<TcpStream>>,
+}
+
+impl Peer {
+    fn now_ms(&self) -> u64 {
+        self.epoch.elapsed().as_millis() as u64
+    }
+
+    fn touch_rx(&self) {
+        self.last_rx_ms.store(self.now_ms(), Ordering::SeqCst);
+    }
+
+    /// Fails every pending request with a `Link` error and clears the
+    /// queues. Frees backpressure waiters.
+    fn fail_all(&self, why: &str) {
+        let drained: Vec<PendingReq> = {
+            let mut q = lock(&self.queues);
+            q.outbound.clear();
+            q.inflight.drain().map(|(_, p)| p).collect()
+        };
+        for p in drained {
+            let _ = p.reply.send(TransportReply {
+                tag: p.tag,
+                attempt: p.attempt,
+                result: Err(ReplyError::Link(why.to_owned())),
+            });
+        }
+        self.cond.notify_all();
+    }
+
+    /// Closes the live socket, if any, forcing reader/writer loops (and
+    /// any thread blocked in a socket write) to notice promptly.
+    fn drop_conn(&self) {
+        if let Some(s) = lock(&self.conn).take() {
+            let _ = s.shutdown(Shutdown::Both);
+        }
+        if let Some(s) = lock(&self.wconn).take() {
+            let _ = s.shutdown(Shutdown::Both);
+        }
+    }
+
+    /// Writes one frame on the live connection, false if there is none or
+    /// the write fails. The lock makes concurrent writers frame-atomic.
+    fn write_conn(&self, bytes: &[u8]) -> bool {
+        let mut guard = lock(&self.wconn);
+        match guard.as_mut() {
+            Some(s) => frame::write_frame(s, bytes).is_ok(),
+            None => false,
+        }
+    }
+
+    /// Parks the supervisor for `dur`, waking early on any notify (submit,
+    /// kill, restart, shutdown).
+    fn park(&self, dur: Duration) {
+        let q = lock(&self.queues);
+        let _ = self.cond.wait_timeout(q, dur);
+    }
+}
+
+/// A [`Transport`] reaching one remote worker process per device over TCP.
+pub struct TcpTransport {
+    peers: Vec<Arc<Peer>>,
+    supervisors: Vec<Option<JoinHandle<()>>>,
+}
+
+/// Process-unique session counter so two transports (even with the same
+/// seed) never collide in a worker's dedup map.
+static SESSION_COUNTER: AtomicU64 = AtomicU64::new(1);
+
+impl TcpTransport {
+    /// Connects to one worker per address. Returns immediately; the
+    /// supervisors establish connections in the background (a worker that
+    /// is slow to come up is just a peer in its reconnect loop).
+    pub fn connect(addrs: &[String], cfg: TcpTransportConfig) -> Self {
+        assert!(!addrs.is_empty(), "need at least one worker address");
+        let pid = std::process::id() as u64;
+        let mut peers = Vec::with_capacity(addrs.len());
+        let mut supervisors = Vec::with_capacity(addrs.len());
+        for (dev, addr) in addrs.iter().enumerate() {
+            let nonce = SESSION_COUNTER.fetch_add(1, Ordering::SeqCst);
+            let session = frame::fnv1a64(
+                &[cfg.seed.to_le_bytes(), pid.to_le_bytes(), nonce.to_le_bytes()].concat(),
+            );
+            let peer = Arc::new(Peer {
+                dev,
+                addr: addr.clone(),
+                cfg,
+                session,
+                alive: AtomicBool::new(true),
+                admin_down: AtomicBool::new(false),
+                stopping: AtomicBool::new(false),
+                garble: AtomicBool::new(false),
+                next_req: AtomicU64::new(1),
+                last_rx_ms: AtomicU64::new(0),
+                epoch: Instant::now(),
+                reconnects: AtomicU64::new(0),
+                heartbeats_missed: AtomicU64::new(0),
+                resends_deduped: AtomicU64::new(0),
+                queues: Mutex::new(PeerQueues::default()),
+                cond: Condvar::new(),
+                conn: Mutex::new(None),
+                wconn: Mutex::new(None),
+            });
+            let sup_peer = Arc::clone(&peer);
+            let builder = std::thread::Builder::new().name(format!("murmuration-tcp-sup{dev}"));
+            let handle = match builder.spawn(move || supervise(sup_peer)) {
+                Ok(h) => Some(h),
+                Err(e) => panic!("spawn supervisor for device {dev}: {e}"),
+            };
+            peers.push(peer);
+            supervisors.push(handle);
+        }
+        TcpTransport { peers, supervisors }
+    }
+
+    /// Blocks until every peer is connected (alive) or `timeout` elapses.
+    /// Returns whether all peers came up — handy before a benchmark or a
+    /// parity run; the transport works either way (late peers are just in
+    /// their reconnect loop).
+    pub fn wait_connected(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let all = self.peers.iter().all(|p| lock(&p.queues).connected);
+            if all {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+}
+
+fn resolve(addr: &str) -> std::io::Result<SocketAddr> {
+    addr.to_socket_addrs()?.next().ok_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::AddrNotAvailable, "no address resolved")
+    })
+}
+
+/// The supervisor: owns one peer's connection lifecycle until shutdown.
+fn supervise(peer: Arc<Peer>) {
+    let mut rng = StdRng::seed_from_u64(peer.cfg.seed ^ (peer.dev as u64).wrapping_mul(0x9E37));
+    let mut first_connect = true;
+    let mut fails: u32 = 0;
+    let mut backoff = peer.cfg.reconnect_backoff;
+    loop {
+        if peer.stopping.load(Ordering::SeqCst) {
+            break;
+        }
+        if peer.admin_down.load(Ordering::SeqCst) {
+            peer.park(Duration::from_millis(20));
+            continue;
+        }
+        let stream = resolve(&peer.addr)
+            .and_then(|sa| TcpStream::connect_timeout(&sa, peer.cfg.connect_timeout));
+        match stream {
+            Err(_) => {
+                fails += 1;
+                if fails == peer.cfg.fails_before_dead {
+                    // Dead-peer declaration: stop making the executor wait.
+                    peer.alive.store(false, Ordering::SeqCst);
+                    peer.fail_all("peer unreachable");
+                }
+                // Jittered exponential backoff, capped.
+                let jitter_ms = rng.gen_range(0..=(backoff.as_millis() as u64 / 2).max(1));
+                peer.park(backoff + Duration::from_millis(jitter_ms));
+                backoff = (backoff * 2).min(peer.cfg.reconnect_backoff_max);
+                continue;
+            }
+            Ok(s) => {
+                fails = 0;
+                backoff = peer.cfg.reconnect_backoff;
+                if !first_connect {
+                    peer.reconnects.fetch_add(1, Ordering::SeqCst);
+                }
+                first_connect = false;
+                run_connection(&peer, s);
+                // Loop back to reconnect (or exit on stopping/admin_down).
+            }
+        }
+    }
+    peer.alive.store(false, Ordering::SeqCst);
+    peer.fail_all("transport shut down");
+    peer.drop_conn();
+}
+
+/// Serves one established connection until it dies or the peer is being
+/// stopped. On return the socket is closed and the reader joined.
+fn run_connection(peer: &Arc<Peer>, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    // The reader's read timeout bounds how long a teardown takes to
+    // propagate; keep it well under the heartbeat interval.
+    let _ = stream.set_read_timeout(Some(peer.cfg.heartbeat_interval / 2));
+    let (mut wstream, rstream) = match (stream.try_clone(), stream) {
+        (Ok(w), r) => (w, r),
+        (Err(_), r) => {
+            let _ = r.shutdown(Shutdown::Both);
+            return;
+        }
+    };
+    if frame::write_frame(
+        &mut wstream,
+        &frame::encode_frame(&Msg::Hello { session: peer.session, version: frame::PROTO_VERSION }),
+    )
+    .is_err()
+    {
+        return;
+    }
+    *lock(&peer.conn) = rstream.try_clone().ok();
+    *lock(&peer.wconn) = Some(wstream);
+    peer.touch_rx();
+    peer.alive.store(true, Ordering::SeqCst);
+    // Resend every in-flight request in id order: the worker dedups
+    // already-seen ids, so this is at-most-once.
+    {
+        let mut q = lock(&peer.queues);
+        q.outbound.clear();
+        let mut ids: Vec<u64> = q.inflight.keys().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
+            let bytes = q.inflight.get(&id).map(|p| Arc::clone(&p.bytes));
+            if let Some(b) = bytes {
+                q.outbound.push_back(b);
+            }
+        }
+        q.connected = true;
+        peer.cond.notify_all();
+    }
+    let reader_peer = Arc::clone(peer);
+    let builder = std::thread::Builder::new().name(format!("murmuration-tcp-rd{}", peer.dev));
+    let reader = builder.spawn(move || reader_loop(&reader_peer, rstream));
+    writer_loop(peer);
+    // Teardown: close the socket so the reader exits, then join it.
+    {
+        let mut q = lock(&peer.queues);
+        q.connected = false;
+        peer.cond.notify_all();
+    }
+    peer.drop_conn();
+    if let Ok(h) = reader {
+        let _ = h.join();
+    }
+}
+
+/// Drains the outbound queue (resends after a reconnect) and heartbeats;
+/// returns on any write failure, heartbeat-miss limit, stop, or admin-down.
+/// On the request hot path this thread is idle: `submit` writes its frame
+/// inline under the same `wconn` lock.
+fn writer_loop(peer: &Arc<Peer>) {
+    let hb = peer.cfg.heartbeat_interval;
+    let mut misses: u32 = 0;
+    let mut nonce: u64 = 0;
+    let mut next_tick = Instant::now() + hb;
+    loop {
+        if peer.admin_down.load(Ordering::SeqCst) {
+            return;
+        }
+        if peer.stopping.load(Ordering::SeqCst) {
+            // Graceful drain: flush what's queued, say goodbye, leave.
+            let frames: Vec<Arc<Vec<u8>>> = lock(&peer.queues).outbound.drain(..).collect();
+            for f in frames {
+                if !peer.write_conn(&f) {
+                    return;
+                }
+            }
+            let _ = peer.write_conn(&frame::encode_frame(&Msg::Goodbye));
+            return;
+        }
+        let frames: Vec<Arc<Vec<u8>>> = lock(&peer.queues).outbound.drain(..).collect();
+        for f in frames {
+            if !peer.write_conn(&f) {
+                return;
+            }
+        }
+        let now = Instant::now();
+        if now >= next_tick {
+            next_tick = now + hb;
+            // Staleness check: if we have not heard from the peer for a
+            // full interval, that is a miss; too many in a row is a dead
+            // peer and the connection is rebuilt.
+            let silent_ms = peer.now_ms().saturating_sub(peer.last_rx_ms.load(Ordering::SeqCst));
+            if silent_ms > hb.as_millis() as u64 {
+                misses += 1;
+                peer.heartbeats_missed.fetch_add(1, Ordering::SeqCst);
+                if misses >= peer.cfg.heartbeat_miss_limit {
+                    return;
+                }
+            } else {
+                misses = 0;
+            }
+            nonce += 1;
+            if !peer.write_conn(&frame::encode_frame(&Msg::Heartbeat { nonce })) {
+                return;
+            }
+        }
+        let wait = next_tick.saturating_duration_since(Instant::now()).min(hb);
+        let q = lock(&peer.queues);
+        if q.outbound.is_empty() {
+            let _ = peer.cond.wait_timeout(q, wait);
+        }
+    }
+}
+
+/// Dispatches responses to waiting submitters until the connection dies.
+fn reader_loop(peer: &Arc<Peer>, mut stream: TcpStream) {
+    loop {
+        if peer.stopping.load(Ordering::SeqCst) || peer.admin_down.load(Ordering::SeqCst) {
+            break;
+        }
+        match frame::read_frame(&mut stream) {
+            Ok(msg) => {
+                peer.touch_rx();
+                match msg {
+                    Msg::ResponseOk { req_id, deduped, frame: tframe } => {
+                        if deduped {
+                            peer.resends_deduped.fetch_add(1, Ordering::SeqCst);
+                        }
+                        let result = wire::decode(&tframe)
+                            .map_err(|e| ReplyError::Worker(format!("response decode: {e}")));
+                        settle(peer, req_id, result);
+                    }
+                    Msg::ResponseErr { req_id, msg } => {
+                        settle(peer, req_id, Err(ReplyError::Worker(msg)));
+                    }
+                    Msg::Goodbye => break,
+                    // Heartbeat acks (and anything else) only matter for
+                    // the `touch_rx` above.
+                    _ => {}
+                }
+            }
+            Err(frame::FrameError::Io(ref e)) if frame::is_timeout(e) => continue,
+            // Any other failure — EOF, reset, corrupt outer frame — is
+            // connection-fatal: the stream may be out of sync.
+            Err(_) => break,
+        }
+    }
+    // Make sure the writer notices too.
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// Completes `req_id` with `result`, freeing its in-flight slot.
+fn settle(peer: &Peer, req_id: u64, result: Result<murmuration_tensor::Tensor, ReplyError>) {
+    let pending = {
+        let mut q = lock(&peer.queues);
+        let p = q.inflight.remove(&req_id);
+        peer.cond.notify_all();
+        p
+    };
+    if let Some(p) = pending {
+        let _ = p.reply.send(TransportReply { tag: p.tag, attempt: p.attempt, result });
+    }
+    // No pending entry: a late duplicate of something already settled —
+    // drop it (the executor filters stale attempts anyway).
+}
+
+impl Transport for TcpTransport {
+    fn n_devices(&self) -> usize {
+        self.peers.len()
+    }
+
+    fn is_alive(&self, dev: usize) -> bool {
+        self.peers[dev].alive.load(Ordering::SeqCst)
+    }
+
+    fn mark_dead(&self, dev: usize) {
+        self.peers[dev].alive.store(false, Ordering::SeqCst);
+    }
+
+    fn submit(
+        &self,
+        dev: usize,
+        job: TransportJob,
+        reply: Sender<TransportReply>,
+    ) -> Result<(), SubmitError> {
+        let peer = &self.peers[dev];
+        if peer.admin_down.load(Ordering::SeqCst)
+            || peer.stopping.load(Ordering::SeqCst)
+            || !peer.alive.load(Ordering::SeqCst)
+        {
+            return Err(SubmitError::DeviceDown);
+        }
+        // The socket always pays the full wire frame; quantization is only
+        // applied when the hop crosses a device boundary, mirroring the
+        // in-process semantics exactly (so B32 plans are bit-identical
+        // across transports).
+        let quant = if job.cross_boundary { job.quant } else { BitWidth::B32 };
+        let mut tframe = wire::encode(&job.input, quant);
+        if peer.garble.load(Ordering::SeqCst) {
+            // Injected link corruption: the worker's checksum catches it
+            // and answers with a typed error — the real remote detection
+            // path, not a local simulation.
+            let mid = tframe.len() / 2;
+            tframe[mid] ^= 0x5A;
+        }
+        let req_id = peer.next_req.fetch_add(1, Ordering::SeqCst);
+        let bytes = Arc::new(frame::encode_request(req_id, job.unit as u32, &tframe));
+        let mut q = lock(&peer.queues);
+        // Bounded in-flight backpressure. Never waits past peer death:
+        // `fail_all` empties the window and notifies.
+        while q.inflight.len() >= peer.cfg.max_in_flight {
+            if peer.admin_down.load(Ordering::SeqCst)
+                || peer.stopping.load(Ordering::SeqCst)
+                || !peer.alive.load(Ordering::SeqCst)
+            {
+                return Err(SubmitError::DeviceDown);
+            }
+            match peer.cond.wait_timeout(q, Duration::from_millis(50)) {
+                Ok((guard, _)) => q = guard,
+                Err(poisoned) => q = poisoned.into_inner().0,
+            }
+        }
+        q.inflight.insert(
+            req_id,
+            PendingReq { tag: job.tag, attempt: job.attempt, reply, bytes: Arc::clone(&bytes) },
+        );
+        let connected = q.connected;
+        peer.cond.notify_all();
+        drop(q);
+        if connected {
+            // Inline write on the submitting thread: no writer-thread
+            // handoff on the hot path. If the write fails (or the
+            // connection drops in between) the request simply stays in
+            // `inflight` and the reconnect path resends it; a rare
+            // resend-plus-inline-write overlap is absorbed by the worker's
+            // dedup map.
+            let _ = peer.write_conn(&bytes);
+        }
+        // If disconnected, the request waits in `inflight`; the reconnect
+        // path resends it. The executor's per-attempt deadline bounds how
+        // long it is willing to wait for that.
+        Ok(())
+    }
+
+    fn kill_device(&self, dev: usize) {
+        let peer = &self.peers[dev];
+        peer.admin_down.store(true, Ordering::SeqCst);
+        peer.alive.store(false, Ordering::SeqCst);
+        peer.fail_all("device administratively down");
+        peer.drop_conn();
+    }
+
+    fn restart_device(&mut self, dev: usize) {
+        let peer = &self.peers[dev];
+        peer.admin_down.store(false, Ordering::SeqCst);
+        peer.cond.notify_all(); // wake the supervisor out of its park
+    }
+
+    fn set_wire_corruption(&self, dev: usize, on: bool) {
+        self.peers[dev].garble.store(on, Ordering::SeqCst);
+    }
+
+    fn stats(&self) -> TransportStats {
+        let mut s = TransportStats::default();
+        for p in &self.peers {
+            s.reconnects += p.reconnects.load(Ordering::SeqCst);
+            s.heartbeats_missed += p.heartbeats_missed.load(Ordering::SeqCst);
+            s.resends_deduped += p.resends_deduped.load(Ordering::SeqCst);
+        }
+        s
+    }
+
+    fn shutdown(&mut self) {
+        // Graceful drain: give in-flight work a bounded chance to finish.
+        for peer in &self.peers {
+            let deadline = Instant::now() + peer.cfg.drain_timeout;
+            let mut q = lock(&peer.queues);
+            while !(q.inflight.is_empty() && q.outbound.is_empty())
+                && peer.alive.load(Ordering::SeqCst)
+                && Instant::now() < deadline
+            {
+                match peer.cond.wait_timeout(q, Duration::from_millis(20)) {
+                    Ok((guard, _)) => q = guard,
+                    Err(poisoned) => q = poisoned.into_inner().0,
+                }
+            }
+        }
+        for peer in &self.peers {
+            peer.stopping.store(true, Ordering::SeqCst);
+            peer.cond.notify_all();
+        }
+        // Give writers a moment to say goodbye, then force the sockets.
+        std::thread::sleep(Duration::from_millis(10));
+        for peer in &self.peers {
+            peer.drop_conn();
+            peer.fail_all("transport shut down");
+        }
+        for h in self.supervisors.iter_mut().filter_map(Option::take) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for TcpTransport {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

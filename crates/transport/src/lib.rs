@@ -1,0 +1,31 @@
+//! # murmuration-transport
+//!
+//! Real TCP transport for the distributed executor: the wire-v2 frames
+//! that `murmuration-core` has always round-tripped through its in-process
+//! channels, carried over actual `std::net` sockets that can fail.
+//!
+//! * [`frame`] — the outer socket framing: length-delimited, checksummed
+//!   messages (hello / request / response / heartbeat / goodbye).
+//! * [`client`] — [`client::TcpTransport`], the coordinator side: one
+//!   supervised connection per worker with heartbeats, dead-peer
+//!   detection, jittered-backoff reconnect, request-id correlation,
+//!   bounded in-flight backpressure, and graceful drain. Implements
+//!   `murmuration_core::transport::Transport`, so the executor, the
+//!   runtime, and the serve layer work unchanged over it.
+//! * [`worker`] — [`worker::WorkerServer`], the worker side: hosts a
+//!   device's `UnitCompute` behind a listener with at-most-once resend
+//!   dedup keyed by `(session, request id)`.
+//! * [`chaos`] — [`chaos::ChaosProxy`], a deterministic seeded TCP chaos
+//!   proxy (delay, drop, corrupt, reorder, full partition) for the
+//!   socket-level fault suite.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod chaos;
+pub mod client;
+pub mod frame;
+pub mod worker;
+
+pub use chaos::{ChaosConfig, ChaosProxy};
+pub use client::{TcpTransport, TcpTransportConfig};
+pub use worker::{WorkerConfig, WorkerServer};

@@ -1,0 +1,418 @@
+//! The worker side of the TCP transport: [`WorkerServer`] hosts one
+//! device's [`UnitCompute`] behind a listening socket.
+//!
+//! # At-most-once semantics
+//!
+//! A coordinator that loses its connection mid-request resends the same
+//! `(session, req_id)` after reconnecting. The worker keeps a bounded
+//! dedup map keyed by that pair:
+//!
+//! * **unknown** id → decode, enqueue for compute, remember as pending;
+//! * **pending** id (still computing) → re-route the eventual response to
+//!   the newest connection, count a dedup, do **not** recompute;
+//! * **done** id → resend the cached response (flagged `deduped`), do not
+//!   recompute.
+//!
+//! Compute is a single serial thread per server, mirroring the in-process
+//! transport's one-worker-per-device execution model — so TCP and in-proc
+//! runs schedule unit work identically.
+//!
+//! Heartbeats are answered from the connection's reader thread, never from
+//! the compute thread, so a worker busy with a long unit still proves
+//! liveness.
+
+use crate::frame::{self, Msg};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use murmuration_core::executor::{UnitCompute, UnitOutcome};
+use murmuration_core::wire;
+use murmuration_tensor::quant::BitWidth;
+use murmuration_tensor::Tensor;
+use std::collections::{HashMap, VecDeque};
+use std::io::ErrorKind;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Worker-side tuning.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkerConfig {
+    /// Which device this worker is (passed to `run_unit_on` so fault
+    /// injection and device-aware compute behave as in-process).
+    pub dev_id: usize,
+    /// Socket read timeout: bounds how fast stop/kill propagates and how
+    /// a half-open connection is noticed.
+    pub read_timeout: Duration,
+    /// Dedup map capacity (completed entries are evicted FIFO beyond it).
+    pub dedup_capacity: usize,
+}
+
+impl Default for WorkerConfig {
+    fn default() -> Self {
+        WorkerConfig { dev_id: 0, read_timeout: Duration::from_millis(100), dedup_capacity: 1024 }
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// The response body once computed: a B32 tensor frame or an error string.
+type Body = Result<Vec<u8>, String>;
+
+/// A connection's write half. Reader and compute threads write response
+/// and ack frames directly under this lock — no writer-thread handoff —
+/// and the lock keeps concurrent frames from interleaving mid-stream.
+type Route = Arc<Mutex<TcpStream>>;
+
+/// Writes one frame on a route, ignoring failure: a dead connection just
+/// means the coordinator will resend on its next one.
+fn write_route(route: &Route, bytes: &[u8]) {
+    let mut s = lock(route);
+    let _ = frame::write_frame(&mut *s, bytes);
+}
+
+enum Entry {
+    /// Queued or computing. `route` is the newest connection's write half;
+    /// `resent` records that a duplicate delivery arrived, so the eventual
+    /// response is flagged `deduped`.
+    Pending { route: Route, resent: bool },
+    /// Finished; the body is cached for duplicate deliveries.
+    Done { body: Body },
+}
+
+struct Dedup {
+    map: HashMap<(u64, u64), Entry>,
+    order: VecDeque<(u64, u64)>,
+    cap: usize,
+}
+
+impl Dedup {
+    /// Evicts oldest *completed* entries beyond capacity. Pending entries
+    /// are never evicted (their count is bounded by the client's in-flight
+    /// window).
+    fn evict(&mut self) {
+        while self.map.len() > self.cap {
+            let Some(key) = self.order.front().copied() else { break };
+            match self.map.get(&key) {
+                Some(Entry::Done { .. }) | None => {
+                    self.order.pop_front();
+                    self.map.remove(&key);
+                }
+                Some(Entry::Pending { .. }) => break,
+            }
+        }
+    }
+}
+
+struct WorkItem {
+    key: (u64, u64),
+    unit: usize,
+    input: Tensor,
+}
+
+struct Shared {
+    compute: Arc<dyn UnitCompute>,
+    cfg: WorkerConfig,
+    stop: AtomicBool,
+    computed: AtomicU64,
+    deduped: AtomicU64,
+    dedup: Mutex<Dedup>,
+    work_tx: Sender<WorkItem>,
+    conn_handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// A worker process's serving half: accepts coordinator connections and
+/// runs unit compute until [`stop`](WorkerServer::stop) (or a simulated
+/// crash via [`UnitOutcome::Vanish`]).
+pub struct WorkerServer {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_handle: Option<JoinHandle<()>>,
+    compute_handle: Option<JoinHandle<()>>,
+}
+
+impl WorkerServer {
+    /// Binds `addr` (use port 0 for an ephemeral port; see
+    /// [`local_addr`](Self::local_addr)) and starts serving `compute`.
+    pub fn bind(
+        addr: &str,
+        compute: Arc<dyn UnitCompute>,
+        cfg: WorkerConfig,
+    ) -> std::io::Result<WorkerServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let (work_tx, work_rx) = unbounded();
+        let shared = Arc::new(Shared {
+            compute,
+            cfg,
+            stop: AtomicBool::new(false),
+            computed: AtomicU64::new(0),
+            deduped: AtomicU64::new(0),
+            dedup: Mutex::new(Dedup {
+                map: HashMap::new(),
+                order: VecDeque::new(),
+                cap: cfg.dedup_capacity.max(1),
+            }),
+            work_tx,
+            conn_handles: Mutex::new(Vec::new()),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept_handle = std::thread::Builder::new()
+            .name(format!("murmuration-wrk{}-accept", cfg.dev_id))
+            .spawn(move || accept_loop(&accept_shared, listener))
+            .map_err(std::io::Error::other)?;
+        let compute_shared = Arc::clone(&shared);
+        let compute_handle = std::thread::Builder::new()
+            .name(format!("murmuration-wrk{}-compute", cfg.dev_id))
+            .spawn(move || compute_loop(&compute_shared, &work_rx))
+            .map_err(std::io::Error::other)?;
+        Ok(WorkerServer {
+            addr: local,
+            shared,
+            accept_handle: Some(accept_handle),
+            compute_handle: Some(compute_handle),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Units actually computed (dedup hits do not count).
+    pub fn computed(&self) -> u64 {
+        self.shared.computed.load(Ordering::SeqCst)
+    }
+
+    /// Duplicate deliveries served from the dedup map.
+    pub fn deduped(&self) -> u64 {
+        self.shared.deduped.load(Ordering::SeqCst)
+    }
+
+    /// Whether the server has stopped (externally or via a simulated
+    /// crash).
+    pub fn is_stopped(&self) -> bool {
+        self.shared.stop.load(Ordering::SeqCst)
+    }
+
+    /// Stops serving: closes the listener and all connections, joins every
+    /// thread. Idempotent.
+    pub fn stop(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.compute_handle.take() {
+            let _ = h.join();
+        }
+        let handles: Vec<JoinHandle<()>> = lock(&self.shared.conn_handles).drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+
+    /// Blocks the calling thread until the server stops — the serving
+    /// forever mode of the `worker` CLI command.
+    pub fn run_until_stopped(&self) {
+        while !self.shared.stop.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    }
+}
+
+impl Drop for WorkerServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(shared: &Arc<Shared>, listener: TcpListener) {
+    while !shared.stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let conn_shared = Arc::clone(shared);
+                let spawned = std::thread::Builder::new()
+                    .name(format!("murmuration-wrk{}-conn", shared.cfg.dev_id))
+                    .spawn(move || serve_connection(&conn_shared, stream));
+                if let Ok(h) = spawned {
+                    lock(&shared.conn_handles).push(h);
+                }
+            }
+            Err(ref e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => break,
+        }
+    }
+    // Listener drops here: further connects are refused, which is what a
+    // crashed worker process looks like from the coordinator.
+}
+
+fn encode_response(req_id: u64, body: &Body, deduped: bool) -> Vec<u8> {
+    match body {
+        Ok(tframe) => frame::encode_response_ok(req_id, deduped, tframe),
+        Err(msg) => frame::encode_frame(&Msg::ResponseErr { req_id, msg: msg.clone() }),
+    }
+}
+
+fn serve_connection(shared: &Arc<Shared>, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(shared.cfg.read_timeout));
+    let route: Route = match stream.try_clone() {
+        Ok(s) => Arc::new(Mutex::new(s)),
+        Err(_) => {
+            let _ = stream.shutdown(Shutdown::Both);
+            return;
+        }
+    };
+    let mut rstream = stream;
+    let mut session: u64 = 0;
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        match frame::read_frame(&mut rstream) {
+            Ok(Msg::Hello { session: s, .. }) => session = s,
+            Ok(Msg::Heartbeat { nonce }) => {
+                // Answered here, never behind compute: a busy worker still
+                // proves liveness.
+                write_route(&route, &frame::encode_frame(&Msg::HeartbeatAck { nonce }));
+            }
+            Ok(Msg::Request { req_id, unit, frame: tframe }) => {
+                handle_request(shared, session, req_id, unit, &tframe, &route);
+            }
+            Ok(Msg::Goodbye) => break,
+            Ok(_) => {}
+            Err(frame::FrameError::Io(ref e)) if frame::is_timeout(e) => continue,
+            // EOF, reset, or a corrupt outer frame: the stream is done.
+            Err(_) => break,
+        }
+    }
+    // Shuts both halves of the socket; a compute thread still holding this
+    // route just sees failed writes, and the coordinator's resend on its
+    // next connection re-routes the response.
+    let _ = rstream.shutdown(Shutdown::Both);
+}
+
+fn handle_request(
+    shared: &Arc<Shared>,
+    session: u64,
+    req_id: u64,
+    unit: u32,
+    tframe: &[u8],
+    route: &Route,
+) {
+    let key = (session, req_id);
+    enum Action {
+        Compute,
+        Resend(Vec<u8>),
+        None,
+    }
+    let action = {
+        let mut d = lock(&shared.dedup);
+        match d.map.get_mut(&key) {
+            None => {
+                d.map.insert(key, Entry::Pending { route: Arc::clone(route), resent: false });
+                d.order.push_back(key);
+                d.evict();
+                Action::Compute
+            }
+            Some(Entry::Pending { route: r, resent }) => {
+                // Duplicate delivery of something still computing (the
+                // coordinator reconnected): answer on the new connection
+                // when done, and only once.
+                *r = Arc::clone(route);
+                *resent = true;
+                shared.deduped.fetch_add(1, Ordering::SeqCst);
+                Action::None
+            }
+            Some(Entry::Done { body }) => {
+                shared.deduped.fetch_add(1, Ordering::SeqCst);
+                Action::Resend(encode_response(req_id, body, true))
+            }
+        }
+    };
+    match action {
+        Action::Compute => match wire::decode(tframe) {
+            Ok(input) => {
+                let _ = shared.work_tx.send(WorkItem { key, unit: unit as usize, input });
+            }
+            Err(e) => {
+                // Undecodable request (e.g. injected link corruption): a
+                // typed error, cached like any other completion.
+                let body: Body = Err(format!("request frame: {e}"));
+                let resp = encode_response(req_id, &body, false);
+                if let Some(entry) = lock(&shared.dedup).map.get_mut(&key) {
+                    *entry = Entry::Done { body };
+                }
+                write_route(route, &resp);
+            }
+        },
+        Action::Resend(resp) => {
+            write_route(route, &resp);
+        }
+        Action::None => {}
+    }
+}
+
+fn compute_loop(shared: &Arc<Shared>, work_rx: &Receiver<WorkItem>) {
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let item = match work_rx.recv_timeout(Duration::from_millis(100)) {
+            Ok(i) => i,
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => break,
+        };
+        let dev = shared.cfg.dev_id;
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            shared.compute.run_unit_on(dev, item.unit, &item.input)
+        }));
+        let body: Body = match outcome {
+            Ok(UnitOutcome::Output(t)) => {
+                shared.computed.fetch_add(1, Ordering::SeqCst);
+                // Outputs always travel at B32: exact, like in-process.
+                Ok(wire::encode(&t, BitWidth::B32))
+            }
+            Ok(UnitOutcome::Error(msg)) => Err(msg),
+            Ok(UnitOutcome::Vanish) => {
+                // Simulated process crash: stop everything without
+                // replying. Connections die, the listener closes, and the
+                // coordinator sees exactly what a killed worker looks like.
+                shared.stop.store(true, Ordering::SeqCst);
+                break;
+            }
+            Err(panic) => {
+                let msg = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_owned())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "worker panicked".to_owned());
+                Err(msg)
+            }
+        };
+        // Encode under the dedup lock so a duplicate delivery racing in
+        // cannot observe Pending after we have chosen the route, then move
+        // the body into the map uncloned.
+        let (route, resp) = {
+            let mut d = lock(&shared.dedup);
+            let Some(entry) = d.map.get_mut(&item.key) else { continue };
+            let (route, resent) = match entry {
+                Entry::Pending { route, resent } => (route.clone(), *resent),
+                Entry::Done { .. } => continue, // impossible, but harmless
+            };
+            let resp = encode_response(item.key.1, &body, resent);
+            *entry = Entry::Done { body };
+            (route, resp)
+        };
+        write_route(&route, &resp);
+    }
+}

@@ -24,8 +24,12 @@ echo "==> serving-layer tests (bounded: the serve loop must never hang)"
 timeout 300 cargo test -q --test serve_loop --test serve_chaos
 timeout 300 cargo test -q -p murmuration-serve
 
+echo "==> socket chaos tests (bounded: the coordinator must never hang on a bad link)"
+timeout 300 cargo test -q --test transport_chaos --test transport_parity
+
 echo "==> fault-path lint gates (no unwrap/expect in hardened modules)"
-for f in crates/core/src/executor.rs crates/core/src/wire.rs; do
+for f in crates/core/src/executor.rs crates/core/src/wire.rs \
+         crates/core/src/fault.rs crates/transport/src/lib.rs; do
     if ! grep -q 'deny(clippy::unwrap_used, clippy::expect_used)' "$f"; then
         echo "error: $f lost its unwrap/expect lint gate" >&2
         exit 1
@@ -41,5 +45,13 @@ fi
 echo "==> serving benchmark gates (overhead <= 5%, goodput >= 1.5x, p99 in SLO)"
 cargo build --release -q -p murmuration-bench --bin bench_serve
 timeout 300 ./target/release/bench_serve
+
+echo "==> fault-path benchmark (bounded: failover costs are measured, not assumed)"
+cargo build --release -q -p murmuration-bench --bin bench_faults
+timeout 300 ./target/release/bench_faults
+
+echo "==> transport benchmark gate (loopback-TCP overhead <= 15% on the B32 happy path)"
+cargo build --release -q -p murmuration-bench --bin bench_transport
+timeout 300 ./target/release/bench_transport
 
 echo "All checks passed."

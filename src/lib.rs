@@ -21,6 +21,7 @@
 //! | [`partition`] | Plans, latency estimator, Neurosurgeon/ADCNN/evolutionary baselines |
 //! | [`rl`] | LSTM policy, PPO, GCSL, and the SUPREME training algorithm |
 //! | [`runtime`] | The online stage: monitoring, prediction, caching, reconfig, executor |
+//! | [`transport`] | TCP remote-worker transport: supervised connections, heartbeats, resend dedup, chaos proxy |
 //! | [`serve`] | SLO-class request serving: admission control, priority queues, micro-batching |
 //!
 //! ## Quickstart
@@ -52,6 +53,7 @@ pub use murmuration_rl as rl;
 pub use murmuration_serve as serve;
 pub use murmuration_supernet as supernet;
 pub use murmuration_tensor as tensor;
+pub use murmuration_transport as transport;
 
 /// The most common imports in one place.
 pub mod prelude {
