@@ -230,6 +230,7 @@ fn main() {
             deadline: Duration::from_millis(500),
             max_attempts: 3,
             backoff: Duration::from_millis(1),
+            hedge: None,
         };
         let reps = 10;
         let total = Instant::now();

@@ -395,6 +395,8 @@ fn cmd_simulate(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             "local".to_string()
         } else if !r.degradation.down_devices.is_empty() {
             format!("-{:?}", r.degradation.down_devices)
+        } else if !r.degradation.quarantined_devices.is_empty() {
+            format!("~{:?}", r.degradation.quarantined_devices)
         } else {
             "-".to_string()
         };

@@ -9,7 +9,9 @@
 //! output digests must match exactly.
 
 use crate::args::{ArgError, Args};
-use murmuration_core::executor::{ConvStackCompute, ExecOptions, Executor, UnitCompute, UnitWire};
+use murmuration_core::executor::{
+    ConvStackCompute, ExecOptions, Executor, HedgeOptions, UnitCompute, UnitWire,
+};
 use murmuration_core::transport::Transport;
 use murmuration_partition::{ExecutionPlan, UnitPlacement};
 use murmuration_tensor::quant::BitWidth;
@@ -124,19 +126,44 @@ pub fn cmd_exec(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
 
     let plan = plan_from(args, n_units, n_devices)?;
     let wire = vec![UnitWire { grid: GridSpec::new(1, 1), in_quant: quant }; n_units];
+    // `--hedge on` arms speculative retries: when a device's reply is
+    // slower than `--hedge-factor` × its own `--hedge-quantile` latency,
+    // the request is resent to a backup and the first result wins.
+    let hedge = match args.get_or("hedge", "off") {
+        "on" => Some(HedgeOptions {
+            quantile: args.get_parsed_or("hedge-quantile", 0.9f64)?,
+            factor: args.get_parsed_or("hedge-factor", 2.0f64)?,
+            ..Default::default()
+        }),
+        "off" => None,
+        other => return Err(Box::new(ArgError(format!("--hedge: unknown `{other}`")))),
+    };
     let opts = ExecOptions {
         deadline: Duration::from_secs(5),
         max_attempts: 3,
         backoff: Duration::from_millis(2),
+        hedge,
     };
     eprintln!(
         "exec: {requests} request(s), {n_units} unit(s) over {n_devices} device(s), \
-         transport {mode}, wire {}b",
-        quant.bits()
+         transport {mode}, wire {}b, hedging {}",
+        quant.bits(),
+        if opts.hedge.is_some() { "on" } else { "off" }
     );
     println!(
-        "{:>4} {:>9} {:>7} {:>9} {:>8} {:>7} {:>8} {:>7} {:>18}",
-        "req", "wall ms", "retries", "failovers", "dl-miss", "reconn", "hb-miss", "dedup", "digest"
+        "{:>4} {:>9} {:>7} {:>9} {:>8} {:>7} {:>8} {:>7} {:>6} {:>5} {:>7} {:>18}",
+        "req",
+        "wall ms",
+        "retries",
+        "failovers",
+        "dl-miss",
+        "reconn",
+        "hb-miss",
+        "dedup",
+        "hedges",
+        "h-won",
+        "cancels",
+        "digest"
     );
     let mut all = 0u64;
     for r in 0..requests {
@@ -148,7 +175,7 @@ pub fn cmd_exec(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         let digest = tensor_digest(&out);
         all ^= digest.rotate_left((r % 64) as u32);
         println!(
-            "{r:>4} {:>9.2} {:>7} {:>9} {:>8} {:>7} {:>8} {:>7} {digest:>18x}",
+            "{r:>4} {:>9.2} {:>7} {:>9} {:>8} {:>7} {:>8} {:>7} {:>6} {:>5} {:>7} {digest:>18x}",
             rep.wall_ms,
             rep.retries,
             rep.failovers,
@@ -156,6 +183,9 @@ pub fn cmd_exec(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             rep.reconnects,
             rep.heartbeats_missed,
             rep.resends_deduped,
+            rep.hedges_fired,
+            rep.hedges_won,
+            rep.cancels_delivered,
         );
     }
     println!("digest-all {all:016x}");

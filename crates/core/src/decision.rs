@@ -60,6 +60,20 @@ impl DecisionModule {
     /// fleet health, and a degraded plan must not be served after the
     /// device recovers.
     pub fn decide_masked(&self, cond: &Condition, alive: &[bool]) -> Decision {
+        self.decide_masked_cached(cond, alive, true)
+    }
+
+    /// [`decide_masked`](Self::decide_masked) with an explicit cache-write
+    /// gate: `allow_cache = false` decides without polluting the cache
+    /// (used while soft penalties distort the condition — the penalized
+    /// condition is transient fleet state, not a network observation).
+    /// Reads still consult the cache; a feasible hit is a hit.
+    pub fn decide_masked_cached(
+        &self,
+        cond: &Condition,
+        alive: &[bool],
+        allow_cache: bool,
+    ) -> Decision {
         let healthy = alive.iter().all(|&a| a);
         if let Some(hit) = self.cache.get(&self.scenario, cond) {
             if healthy || murmuration_rl::env::actions_feasible(&self.scenario, &hit.actions, alive)
@@ -71,7 +85,7 @@ impl DecisionModule {
         }
         let result =
             murmuration_rl::env::decide_guarded_masked(&self.policy, &self.scenario, cond, alive);
-        if healthy {
+        if healthy && allow_cache {
             self.cache.put(
                 &self.scenario,
                 cond,

@@ -26,6 +26,7 @@
 //! in [`ExecReport`].
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
+use crate::health::LatencyTracker;
 use crate::transport::{
     InProcTransport, ReplyError, SubmitError, Transport, TransportJob, TransportReply,
     TransportStats,
@@ -36,6 +37,7 @@ use murmuration_partition::{ExecutionPlan, UnitPlacement};
 use murmuration_tensor::quant::BitWidth;
 use murmuration_tensor::tile::{merge_fdsp, split_fdsp, GridSpec};
 use murmuration_tensor::Tensor;
+use parking_lot::Mutex;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -116,6 +118,39 @@ impl std::fmt::Display for ExecError {
 
 impl std::error::Error for ExecError {}
 
+/// Speculative-resend (hedging) policy for straggler defense.
+///
+/// When an attempt has waited longer than `factor ×` the device's observed
+/// `quantile` latency, a hedge copy of the work is sent to a backup
+/// device; whichever reply arrives first wins and the loser is cancelled
+/// through [`Transport::cancel`]. The trigger adapts per device from the
+/// executor's own latency history, so hedges stay rare (tail-only) on a
+/// healthy fleet.
+#[derive(Clone, Copy, Debug)]
+pub struct HedgeOptions {
+    /// Latency quantile the trigger is derived from.
+    pub quantile: f64,
+    /// Trigger = `factor × quantile` (headroom above the observed tail).
+    pub factor: f64,
+    /// Floor on the trigger so microsecond-scale units don't hedge on
+    /// scheduler jitter.
+    pub min_trigger: Duration,
+    /// Observed samples required per device before hedging arms (cold
+    /// devices never trigger hedges).
+    pub min_samples: usize,
+}
+
+impl Default for HedgeOptions {
+    fn default() -> Self {
+        HedgeOptions {
+            quantile: 0.9,
+            factor: 2.0,
+            min_trigger: Duration::from_millis(1),
+            min_samples: 8,
+        }
+    }
+}
+
 /// Retry/deadline policy for one execution.
 #[derive(Clone, Copy, Debug)]
 pub struct ExecOptions {
@@ -125,6 +160,9 @@ pub struct ExecOptions {
     pub max_attempts: usize,
     /// Base backoff before retry `k` (doubles per attempt, capped).
     pub backoff: Duration,
+    /// Hedged execution against stragglers; `None` disables (the
+    /// default — retries and deadlines alone reproduce PR 2 semantics).
+    pub hedge: Option<HedgeOptions>,
 }
 
 impl Default for ExecOptions {
@@ -133,6 +171,7 @@ impl Default for ExecOptions {
             deadline: Duration::from_secs(2),
             max_attempts: 3,
             backoff: Duration::from_millis(2),
+            hedge: None,
         }
     }
 }
@@ -152,7 +191,14 @@ impl ExecOptions {
 /// The executor: the coordinator over a [`Transport`].
 pub struct Executor {
     transport: Box<dyn Transport>,
+    /// Per-device latency history (successful attempts, milliseconds):
+    /// feeds the adaptive hedge trigger and gray-health reporting.
+    lat: Mutex<Vec<LatencyTracker>>,
 }
+
+/// Marks a reply as coming from a hedge submission; the low bits still
+/// carry the attempt number for staleness filtering.
+const HEDGE_BIT: u32 = 1 << 31;
 
 /// Execution report.
 #[derive(Clone, Copy, Debug, Default)]
@@ -172,6 +218,13 @@ pub struct ExecReport {
     /// Transport-level resends the workers recognised as duplicates and
     /// served without recomputing (at-most-once dedup; TCP transport).
     pub resends_deduped: u64,
+    /// Speculative hedge submissions fired against stragglers.
+    pub hedges_fired: u32,
+    /// Hedge submissions that beat the straggling primary.
+    pub hedges_won: u32,
+    /// Cancels that verifiably dropped still-queued work at a worker
+    /// (hedge losers that never ran).
+    pub cancels_delivered: u64,
 }
 
 impl ExecReport {
@@ -179,6 +232,7 @@ impl ExecReport {
         self.reconnects += delta.reconnects;
         self.heartbeats_missed += delta.heartbeats_missed;
         self.resends_deduped += delta.resends_deduped;
+        self.cancels_delivered += delta.cancels_delivered;
     }
 }
 
@@ -186,14 +240,18 @@ impl Executor {
     /// Spawns one in-process worker thread per device — the classic
     /// single-process mode.
     pub fn new(n_devices: usize, compute: Arc<dyn UnitCompute>) -> Self {
-        Executor { transport: Box::new(InProcTransport::new(n_devices, compute)) }
+        Self::with_transport(Box::new(InProcTransport::new(n_devices, compute)))
     }
 
     /// Builds an executor over an arbitrary transport (e.g. a
     /// `TcpTransport` reaching remote worker processes).
     pub fn with_transport(transport: Box<dyn Transport>) -> Self {
-        assert!(transport.n_devices() >= 1);
-        Executor { transport }
+        let n = transport.n_devices();
+        assert!(n >= 1);
+        Executor {
+            transport,
+            lat: Mutex::new((0..n).map(|_| LatencyTracker::new(0.2, 64)).collect()),
+        }
     }
 
     /// Number of device workers.
@@ -236,6 +294,71 @@ impl Executor {
         self.transport.shutdown();
     }
 
+    /// Records one successful attempt's latency for `dev`.
+    fn observe_latency(&self, dev: usize, ms: f64) {
+        if let Some(t) = self.lat.lock().get_mut(dev) {
+            t.observe(ms);
+        }
+    }
+
+    /// Observed per-attempt latency quantile for `dev`, if enough history
+    /// exists (feeds gray-health reporting and diagnostics).
+    pub fn latency_quantile(&self, dev: usize, q: f64) -> Option<f64> {
+        self.lat.lock().get(dev).and_then(|t| t.quantile(q))
+    }
+
+    /// When hedging should fire for an attempt on `dev`: `factor ×` the
+    /// observed latency quantile, floored, and only when that still beats
+    /// the attempt deadline (otherwise the deadline path handles it).
+    ///
+    /// The quantile basis is `min(dev's own, fleet median)`: a persistent
+    /// straggler inflates its own history until it no longer looks slow
+    /// to itself, so its trigger must stay anchored to what its peers
+    /// prove is achievable; a device with a tight history keeps its own
+    /// tighter trigger.
+    fn hedge_trigger(&self, dev: usize, h: &HedgeOptions, deadline: Duration) -> Option<Duration> {
+        let q_ms = {
+            let lat = self.lat.lock();
+            let t = lat.get(dev)?;
+            if t.len() < h.min_samples {
+                return None;
+            }
+            let own = t.quantile(h.quantile)?;
+            let mut fleet: Vec<f64> = lat
+                .iter()
+                .filter(|t| t.len() >= h.min_samples)
+                .filter_map(|t| t.quantile(h.quantile))
+                .collect();
+            fleet.sort_by(f64::total_cmp);
+            if fleet.is_empty() {
+                own
+            } else {
+                own.min(fleet[(fleet.len() - 1) / 2])
+            }
+        };
+        let trigger_s = (q_ms * h.factor / 1e3).max(h.min_trigger.as_secs_f64());
+        let trigger = Duration::from_secs_f64(trigger_s);
+        (trigger < deadline).then_some(trigger)
+    }
+
+    /// First non-shunned device other than `exclude` (hedge backup for a
+    /// single request, where the rest of the fleet is idle).
+    fn pick_backup(&self, exclude: usize, shunned: &[bool]) -> Option<usize> {
+        (0..self.n_devices()).find(|&d| d != exclude && !shunned[d])
+    }
+
+    /// Least-loaded backup under streamed load: hedging onto the busiest
+    /// survivor just moves the wait to a different queue, so the backup is
+    /// chosen by the coordinator's own outstanding-submission count.
+    fn pick_backup_least_loaded(
+        &self,
+        exclude: usize,
+        shunned: &[bool],
+        inflight: &[usize],
+    ) -> Option<usize> {
+        (0..self.n_devices()).filter(|&d| d != exclude && !shunned[d]).min_by_key(|&d| inflight[d])
+    }
+
     #[allow(clippy::too_many_arguments)]
     fn submit(
         &self,
@@ -246,8 +369,9 @@ impl Executor {
         cross: bool,
         tag: usize,
         attempt: u32,
+        deadline: Option<Duration>,
         reply: Sender<TransportReply>,
-    ) -> Result<(), ExecError> {
+    ) -> Result<u64, ExecError> {
         let job = TransportJob {
             unit,
             input: Arc::clone(input),
@@ -255,6 +379,7 @@ impl Executor {
             cross_boundary: cross,
             tag,
             attempt,
+            deadline,
         };
         self.transport.submit(dev, job, reply).map_err(|e| match e {
             SubmitError::DeviceDown => ExecError::DeviceDown { dev },
@@ -364,54 +489,149 @@ impl Executor {
                 std::thread::sleep(opts.backoff * (1u32 << (attempts - 1).min(6)));
             }
             attempts += 1;
+            let attempt_no = attempts as u32;
             // Fresh reply channel per attempt: a disconnect means *this*
             // worker died holding *this* job, and stale replies from
             // abandoned attempts can never be confused with live ones.
             let (reply_tx, reply_rx) = unbounded();
-            if let Err(e) =
-                self.submit(dev, unit, data, quant, dev != loc, 0, attempts as u32, reply_tx)
-            {
-                // Treat a corrupted link like a bad device: shun it for
-                // this call and fail over.
-                shunned[dev] = true;
-                last_err = Some(e);
-                continue;
-            }
-            match reply_rx.recv_timeout(opts.deadline) {
-                Ok(reply) => match reply.result {
-                    Ok(t) => {
-                        if dev != preferred {
-                            report.failovers += 1;
-                        }
-                        return Ok((t, dev));
-                    }
-                    Err(ReplyError::Worker(msg)) => {
-                        last_err = Some(ExecError::WorkerPanic { dev, unit, msg });
-                        continue;
-                    }
-                    Err(ReplyError::Link(_)) => {
-                        self.transport.mark_dead(dev);
-                        shunned[dev] = true;
-                        last_err = Some(ExecError::DeviceDown { dev });
-                        continue;
-                    }
-                },
-                Err(RecvTimeoutError::Disconnected) => {
-                    // The worker exited between accepting and answering.
-                    self.transport.mark_dead(dev);
+            // When hedging is on and this device has enough history, a
+            // spare sender keeps the channel open past the primary
+            // worker's death until the hedge decision. Without hedging the
+            // spare is never created, preserving disconnect-as-death.
+            let mut hedge_at = opts
+                .hedge
+                .as_ref()
+                .and_then(|h| self.hedge_trigger(dev, h, opts.deadline))
+                .map(|d| Instant::now() + d);
+            let mut spare_tx = hedge_at.map(|_| reply_tx.clone());
+            let ticket = match self.submit(
+                dev,
+                unit,
+                data,
+                quant,
+                dev != loc,
+                0,
+                attempt_no,
+                Some(opts.deadline),
+                reply_tx,
+            ) {
+                Ok(t) => t,
+                Err(e) => {
+                    // Treat a corrupted link like a bad device: shun it
+                    // for this call and fail over.
                     shunned[dev] = true;
-                    last_err = Some(ExecError::DeviceDown { dev });
+                    last_err = Some(e);
                     continue;
                 }
-                Err(RecvTimeoutError::Timeout) => {
-                    report.deadline_misses += 1;
-                    shunned[dev] = true; // straggler: shun for this call
-                    last_err = Some(ExecError::Timeout {
-                        dev,
-                        unit,
-                        waited_ms: opts.deadline.as_secs_f64() * 1e3,
-                    });
-                    continue;
+            };
+            let started = Instant::now();
+            let deadline_at = started + opts.deadline;
+            // Live submissions this attempt round: primary and at most one
+            // hedge, each `(device, cancel ticket, submitted at)`.
+            let mut primary: Option<(usize, u64, Instant)> = Some((dev, ticket, started));
+            let mut hedge: Option<(usize, u64, Instant)> = None;
+            'round: loop {
+                let wake = match hedge_at {
+                    Some(h) if hedge.is_none() => deadline_at.min(h),
+                    _ => deadline_at,
+                };
+                match reply_rx.recv_timeout(wake.saturating_duration_since(Instant::now())) {
+                    Ok(reply) => {
+                        let is_hedge = reply.attempt & HEDGE_BIT != 0;
+                        if (reply.attempt & !HEDGE_BIT) != attempt_no {
+                            continue; // stale reply from an abandoned attempt
+                        }
+                        let side = if is_hedge { &mut hedge } else { &mut primary };
+                        let Some((sdev, _, sstart)) = side.take() else { continue };
+                        match reply.result {
+                            Ok(t) => {
+                                self.observe_latency(sdev, sstart.elapsed().as_secs_f64() * 1e3);
+                                // First result wins; cancel the loser.
+                                let loser = if is_hedge { &primary } else { &hedge };
+                                if let Some((ldev, lticket, _)) = loser {
+                                    self.transport.cancel(*ldev, *lticket);
+                                }
+                                if is_hedge {
+                                    report.hedges_won += 1;
+                                } else if sdev != preferred {
+                                    report.failovers += 1;
+                                }
+                                return Ok((t, sdev));
+                            }
+                            Err(ReplyError::Worker(msg)) => {
+                                last_err = Some(ExecError::WorkerPanic { dev: sdev, unit, msg });
+                            }
+                            Err(ReplyError::Link(_)) => {
+                                self.transport.mark_dead(sdev);
+                                shunned[sdev] = true;
+                                last_err = Some(ExecError::DeviceDown { dev: sdev });
+                            }
+                        }
+                        if primary.is_none() && hedge.is_none() {
+                            break 'round; // both sides failed: next attempt
+                        }
+                    }
+                    Err(RecvTimeoutError::Disconnected) => {
+                        // Every live submission's worker died holding its
+                        // job (the spare, if any, is gone too).
+                        for (d, _, _) in primary.iter().chain(hedge.iter()) {
+                            self.transport.mark_dead(*d);
+                            shunned[*d] = true;
+                            last_err = Some(ExecError::DeviceDown { dev: *d });
+                        }
+                        break 'round;
+                    }
+                    Err(RecvTimeoutError::Timeout) => {
+                        let now = Instant::now();
+                        // Hedge trigger: the primary is straggling — fire
+                        // the speculative copy at a backup device.
+                        if hedge.is_none()
+                            && primary.is_some()
+                            && hedge_at.is_some_and(|h| now >= h)
+                            && now < deadline_at
+                        {
+                            hedge_at = None;
+                            if let (Some(tx), Some(backup)) =
+                                (spare_tx.clone(), self.pick_backup(dev, shunned))
+                            {
+                                let remaining = deadline_at.saturating_duration_since(now);
+                                if let Ok(ht) = self.submit(
+                                    backup,
+                                    unit,
+                                    data,
+                                    quant,
+                                    backup != loc,
+                                    0,
+                                    attempt_no | HEDGE_BIT,
+                                    Some(remaining),
+                                    tx,
+                                ) {
+                                    report.hedges_fired += 1;
+                                    hedge = Some((backup, ht, now));
+                                }
+                            }
+                            // Decision made: the spare must not keep the
+                            // channel alive past the live submissions.
+                            spare_tx = None;
+                            continue;
+                        }
+                        if now < deadline_at {
+                            continue; // woke for a hedge check only
+                        }
+                        report.deadline_misses += 1;
+                        // Straggler(s): shun and cancel whatever is still
+                        // out, then retry.
+                        for (d, t, _) in primary.iter().chain(hedge.iter()) {
+                            shunned[*d] = true;
+                            self.transport.cancel(*d, *t);
+                        }
+                        last_err = Some(ExecError::Timeout {
+                            dev,
+                            unit,
+                            waited_ms: opts.deadline.as_secs_f64() * 1e3,
+                        });
+                        break 'round;
+                    }
                 }
             }
         }
@@ -459,7 +679,7 @@ impl Executor {
                     Some(d) => d,
                     None => return Err(last_err.unwrap_or(ExecError::NoDevice { unit })),
                 };
-                if let Err(e) = self.submit(
+                match self.submit(
                     dev,
                     unit,
                     &tiles[tag],
@@ -467,13 +687,16 @@ impl Executor {
                     dev != loc,
                     tag,
                     attempt,
+                    Some(opts.deadline),
                     reply_tx.clone(),
                 ) {
-                    shunned[dev] = true;
-                    last_err = Some(e);
-                    continue;
+                    Ok(_ticket) => return Ok((dev, Instant::now() + opts.deadline)),
+                    Err(e) => {
+                        shunned[dev] = true;
+                        last_err = Some(e);
+                        continue;
+                    }
                 }
-                return Ok((dev, Instant::now() + opts.deadline));
             }
         };
         for (tag, &planned) in devs.iter().enumerate() {
@@ -624,6 +847,16 @@ impl Executor {
             attempt: u32,
             stage_attempts: usize,
             deadline: Instant,
+            /// Cancellation ticket for the primary submission.
+            ticket: u64,
+            /// When the primary submission went out.
+            started: Instant,
+            /// The primary is still expected to answer.
+            primary_live: bool,
+            /// Live speculative copy: `(device, ticket, started)`.
+            hedge: Option<(usize, u64, Instant)>,
+            /// When to fire the hedge, if the primary is still out by then.
+            hedge_at: Option<Instant>,
             result: Option<Result<Tensor, ExecError>>,
         }
         let mut states: Vec<ReqState> = inputs
@@ -636,10 +869,19 @@ impl Executor {
                 attempt: 0,
                 stage_attempts: 0,
                 deadline: Instant::now(),
+                ticket: 0,
+                started: Instant::now(),
+                primary_live: false,
+                hedge: None,
+                hedge_at: None,
                 result: None,
             })
             .collect();
         let mut completed = 0usize;
+        // Outstanding submissions per device (primaries + hedges), from
+        // the coordinator's own bookkeeping: feeds least-loaded backup
+        // selection so hedges escape congested queues.
+        let mut inflight: Vec<usize> = vec![0; self.n_devices()];
 
         // Dispatches request `idx`'s current stage to the first usable
         // device. On unrecoverable dispatch failure the request is marked
@@ -648,7 +890,8 @@ impl Executor {
                         states: &mut Vec<ReqState>,
                         shunned: &mut [bool],
                         report: &mut ExecReport,
-                        completed: &mut usize| {
+                        completed: &mut usize,
+                        inflight: &mut [usize]| {
             let planned = device_of_unit[states[idx].stage];
             let attempt = states[idx].attempt + 1;
             let mut last_err: Option<ExecError> = None;
@@ -664,7 +907,7 @@ impl Executor {
                     }
                 };
                 let st = &states[idx];
-                if let Err(e) = self.submit(
+                let ticket = match self.submit(
                     dev,
                     st.stage,
                     &st.cur_input,
@@ -672,43 +915,91 @@ impl Executor {
                     dev != st.loc,
                     idx,
                     attempt,
+                    Some(opts.deadline),
                     reply_tx.clone(),
                 ) {
-                    shunned[dev] = true;
-                    last_err = Some(e);
-                    continue;
-                }
+                    Ok(t) => t,
+                    Err(e) => {
+                        shunned[dev] = true;
+                        last_err = Some(e);
+                        continue;
+                    }
+                };
                 if dev != planned {
                     report.failovers += 1;
                 }
+                inflight[dev] += 1;
+                let now = Instant::now();
+                let hedge_at = opts
+                    .hedge
+                    .as_ref()
+                    .and_then(|h| self.hedge_trigger(dev, h, opts.deadline))
+                    .map(|d| now + d);
                 let st = &mut states[idx];
                 st.dev = dev;
                 st.attempt = attempt;
                 st.stage_attempts += 1;
-                st.deadline = Instant::now() + opts.deadline;
+                st.deadline = now + opts.deadline;
+                st.ticket = ticket;
+                st.started = now;
+                st.primary_live = true;
+                st.hedge = None;
+                st.hedge_at = hedge_at;
                 return;
             }
         };
 
         for idx in 0..n_inputs {
-            dispatch(idx, &mut states, &mut shunned, &mut report, &mut completed);
+            dispatch(idx, &mut states, &mut shunned, &mut report, &mut completed, &mut inflight);
         }
         while completed < n_inputs {
-            let next_deadline = states
+            let next_wake = states
                 .iter()
                 .filter(|s| s.result.is_none())
-                .map(|s| s.deadline)
+                .map(|s| match s.hedge_at {
+                    Some(h) if s.hedge.is_none() && s.primary_live => s.deadline.min(h),
+                    _ => s.deadline,
+                })
                 .min()
                 .unwrap_or_else(Instant::now);
-            let wait = next_deadline.saturating_duration_since(Instant::now());
+            let wait = next_wake.saturating_duration_since(Instant::now());
             match reply_rx.recv_timeout(wait) {
                 Ok(reply) => {
                     let idx = reply.tag;
-                    if states[idx].result.is_some() || reply.attempt != states[idx].attempt {
+                    let is_hedge = reply.attempt & HEDGE_BIT != 0;
+                    if states[idx].result.is_some()
+                        || (reply.attempt & !HEDGE_BIT) != states[idx].attempt
+                        || (is_hedge && states[idx].hedge.is_none())
+                        || (!is_hedge && !states[idx].primary_live)
+                    {
                         continue; // stale reply from an abandoned attempt
                     }
                     match reply.result {
                         Ok(t) => {
+                            // First result wins; cancel the loser.
+                            let st = &mut states[idx];
+                            let (winner, won_start) = if is_hedge {
+                                let (hdev, _, hstart) =
+                                    st.hedge.take().unwrap_or((st.dev, 0, st.started));
+                                inflight[hdev] = inflight[hdev].saturating_sub(1);
+                                if st.primary_live {
+                                    self.transport.cancel(st.dev, st.ticket);
+                                    inflight[st.dev] = inflight[st.dev].saturating_sub(1);
+                                }
+                                report.hedges_won += 1;
+                                (hdev, hstart)
+                            } else {
+                                inflight[st.dev] = inflight[st.dev].saturating_sub(1);
+                                if let Some((hdev, hticket, _)) = st.hedge.take() {
+                                    self.transport.cancel(hdev, hticket);
+                                    inflight[hdev] = inflight[hdev].saturating_sub(1);
+                                }
+                                (st.dev, st.started)
+                            };
+                            st.primary_live = false;
+                            st.hedge_at = None;
+                            st.dev = winner;
+                            self.observe_latency(winner, won_start.elapsed().as_secs_f64() * 1e3);
                             let next = states[idx].stage + 1;
                             if next < n_units {
                                 let st = &mut states[idx];
@@ -722,6 +1013,7 @@ impl Executor {
                                     &mut shunned,
                                     &mut report,
                                     &mut completed,
+                                    &mut inflight,
                                 );
                             } else {
                                 states[idx].result = Some(Ok(t));
@@ -729,18 +1021,31 @@ impl Executor {
                             }
                         }
                         Err(err) => {
-                            let st = &states[idx];
+                            let st = &mut states[idx];
+                            let (fail_dev, other_live) = if is_hedge {
+                                let (hdev, _, _) =
+                                    st.hedge.take().unwrap_or((st.dev, 0, st.started));
+                                inflight[hdev] = inflight[hdev].saturating_sub(1);
+                                (hdev, st.primary_live)
+                            } else {
+                                st.primary_live = false;
+                                inflight[st.dev] = inflight[st.dev].saturating_sub(1);
+                                (st.dev, st.hedge.is_some())
+                            };
                             let exec_err = match err {
                                 ReplyError::Worker(msg) => {
-                                    ExecError::WorkerPanic { dev: st.dev, unit: st.stage, msg }
+                                    ExecError::WorkerPanic { dev: fail_dev, unit: st.stage, msg }
                                 }
                                 ReplyError::Link(_) => {
-                                    let dev = st.dev;
-                                    self.transport.mark_dead(dev);
-                                    shunned[dev] = true;
-                                    ExecError::DeviceDown { dev }
+                                    self.transport.mark_dead(fail_dev);
+                                    shunned[fail_dev] = true;
+                                    ExecError::DeviceDown { dev: fail_dev }
                                 }
                             };
+                            if other_live {
+                                continue; // the surviving side may still win
+                            }
+                            let st = &states[idx];
                             if st.stage_attempts >= opts.max_attempts {
                                 states[idx].result = Some(Err(ExecError::AttemptsExhausted {
                                     unit: st.stage,
@@ -756,40 +1061,98 @@ impl Executor {
                                     &mut shunned,
                                     &mut report,
                                     &mut completed,
+                                    &mut inflight,
                                 );
                             }
                         }
                     }
                 }
-                Err(RecvTimeoutError::Timeout) => {
-                    let now = Instant::now();
-                    for idx in 0..n_inputs {
-                        if states[idx].result.is_some() || now < states[idx].deadline {
-                            continue;
-                        }
-                        report.deadline_misses += 1;
-                        shunned[states[idx].dev] = true;
-                        let st = &states[idx];
-                        let err = ExecError::Timeout {
-                            dev: st.dev,
-                            unit: st.stage,
-                            waited_ms: opts.deadline.as_secs_f64() * 1e3,
-                        };
-                        if st.stage_attempts >= opts.max_attempts {
-                            states[idx].result = Some(Err(ExecError::AttemptsExhausted {
-                                unit: st.stage,
-                                attempts: st.stage_attempts,
-                                last: Box::new(err),
-                            }));
-                            completed += 1;
-                        } else {
-                            report.retries += 1;
-                            dispatch(idx, &mut states, &mut shunned, &mut report, &mut completed);
-                        }
-                    }
-                }
+                Err(RecvTimeoutError::Timeout) => {}
                 // We hold `reply_tx`, so the channel cannot disconnect.
                 Err(RecvTimeoutError::Disconnected) => break,
+            }
+            // Timer sweep — after EVERY event, not only on a quiet
+            // channel: under streamed load replies arrive continuously,
+            // and a timeout-only sweep would starve the hedge triggers.
+            {
+                let now = Instant::now();
+                for idx in 0..n_inputs {
+                    if states[idx].result.is_some() {
+                        continue;
+                    }
+                    // Hedge trigger: the primary is straggling — fire
+                    // the speculative copy at a backup device.
+                    if states[idx].primary_live
+                        && states[idx].hedge.is_none()
+                        && states[idx].hedge_at.is_some_and(|h| now >= h)
+                        && now < states[idx].deadline
+                    {
+                        states[idx].hedge_at = None;
+                        if let Some(backup) =
+                            self.pick_backup_least_loaded(states[idx].dev, &shunned, &inflight)
+                        {
+                            let st = &states[idx];
+                            let remaining = st.deadline.saturating_duration_since(now);
+                            if let Ok(ht) = self.submit(
+                                backup,
+                                st.stage,
+                                &st.cur_input,
+                                quant,
+                                backup != st.loc,
+                                idx,
+                                st.attempt | HEDGE_BIT,
+                                Some(remaining),
+                                reply_tx.clone(),
+                            ) {
+                                report.hedges_fired += 1;
+                                inflight[backup] += 1;
+                                states[idx].hedge = Some((backup, ht, now));
+                            }
+                        }
+                    }
+                    if now < states[idx].deadline {
+                        continue;
+                    }
+                    report.deadline_misses += 1;
+                    // Straggler(s): shun, cancel whatever is still
+                    // out, then retry.
+                    let st = &mut states[idx];
+                    shunned[st.dev] = true;
+                    if st.primary_live {
+                        self.transport.cancel(st.dev, st.ticket);
+                        inflight[st.dev] = inflight[st.dev].saturating_sub(1);
+                        st.primary_live = false;
+                    }
+                    if let Some((hdev, hticket, _)) = st.hedge.take() {
+                        self.transport.cancel(hdev, hticket);
+                        inflight[hdev] = inflight[hdev].saturating_sub(1);
+                    }
+                    st.hedge_at = None;
+                    let st = &states[idx];
+                    let err = ExecError::Timeout {
+                        dev: st.dev,
+                        unit: st.stage,
+                        waited_ms: opts.deadline.as_secs_f64() * 1e3,
+                    };
+                    if st.stage_attempts >= opts.max_attempts {
+                        states[idx].result = Some(Err(ExecError::AttemptsExhausted {
+                            unit: st.stage,
+                            attempts: st.stage_attempts,
+                            last: Box::new(err),
+                        }));
+                        completed += 1;
+                    } else {
+                        report.retries += 1;
+                        dispatch(
+                            idx,
+                            &mut states,
+                            &mut shunned,
+                            &mut report,
+                            &mut completed,
+                            &mut inflight,
+                        );
+                    }
+                }
             }
         }
         report.wall_ms = start.elapsed().as_secs_f64() * 1e3;
@@ -1029,6 +1392,7 @@ mod tests {
             deadline: Duration::from_millis(250),
             max_attempts: 3,
             backoff: Duration::from_millis(1),
+            hedge: None,
         }
     }
 

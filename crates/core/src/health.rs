@@ -1,0 +1,655 @@
+//! Graded device-health tracking for gray failures.
+//!
+//! Crash-stop faults are handled by the binary dead-mask in
+//! [`crate::runtime`]; this module covers the *gray* failures that mask
+//! misses: a device that is slow-but-alive (thermal throttling, a
+//! contended CPU, an asymmetric congested link) never crashes, yet drags
+//! every partitioned request's tail latency. Each device gets a robust
+//! latency tracker (EWMA plus windowed median/MAD outlier scoring, fed
+//! from executor per-attempt timings and transport heartbeat RTTs) that
+//! drives a graded state machine:
+//!
+//! ```text
+//!            outliers ≥ suspect_after          outliers keep coming
+//!  Healthy ───────────────────────► Suspect ─────────────────────► Quarantined
+//!     ▲  ◄──────────────────────────┘  ▲                              │
+//!     │     inliers ≥ clear_after       │ canary outlier/failure      │ backoff
+//!     │                                 │ (backoff doubles)           ▼ elapsed
+//!     └──────────────── passing canaries ≤────────────────────── Probation
+//!            (probation_canaries inlier successes)
+//! ```
+//!
+//! The scheduler consumes this as a *penalty*, not a binary mask:
+//! `Suspect`/`Probation` devices keep serving but their links are
+//! reported degraded (so decisions route around them), while
+//! `Quarantined` devices are removed from the placeable mask entirely
+//! until a canary probe re-admits them. `Healthy` is unreachable from
+//! quarantine without passing canaries — a property the proptests pin.
+//!
+//! Everything here is driven by explicit timestamps (`now_ms`), never the
+//! wall clock, so state-machine behaviour is exactly reproducible under
+//! test and in virtual-time simulations.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use std::collections::VecDeque;
+
+/// Tuning knobs for gray-failure detection.
+#[derive(Clone, Copy, Debug)]
+pub struct HealthConfig {
+    /// EWMA smoothing factor for the latency mean.
+    pub alpha: f64,
+    /// Sliding window length for median/MAD scoring.
+    pub window: usize,
+    /// Minimum samples before outlier scoring activates (cold trackers
+    /// never flag).
+    pub min_samples: usize,
+    /// Robust z-score above which a sample is an outlier.
+    pub outlier_z: f64,
+    /// Consecutive outliers before `Healthy → Suspect`.
+    pub suspect_after: u32,
+    /// Consecutive inliers before `Suspect → Healthy`.
+    pub clear_after: u32,
+    /// Further consecutive outliers while `Suspect` before quarantine
+    /// (total streak `suspect_after + quarantine_after`).
+    pub quarantine_after: u32,
+    /// Quarantine dwell before the first canary probe is due.
+    pub canary_backoff_ms: f64,
+    /// Backoff cap (doubles on every failed canary).
+    pub canary_backoff_max_ms: f64,
+    /// Consecutive passing canaries before `Probation → Healthy`.
+    pub probation_canaries: u32,
+    /// Latency penalty multiplier applied to a `Suspect` device's links.
+    pub suspect_penalty: f64,
+    /// Latency penalty multiplier applied to a `Probation` device's links.
+    pub probation_penalty: f64,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            alpha: 0.2,
+            window: 32,
+            min_samples: 8,
+            outlier_z: 4.0,
+            suspect_after: 3,
+            clear_after: 4,
+            quarantine_after: 3,
+            canary_backoff_ms: 500.0,
+            canary_backoff_max_ms: 8_000.0,
+            probation_canaries: 2,
+            suspect_penalty: 4.0,
+            probation_penalty: 2.0,
+        }
+    }
+}
+
+/// Robust per-device (or per-link) latency statistics: an EWMA mean for
+/// the smooth trend plus a sliding window for median/MAD outlier scoring
+/// and tail quantiles (the hedge trigger).
+#[derive(Clone, Debug)]
+pub struct LatencyTracker {
+    alpha: f64,
+    ewma: Option<f64>,
+    window: VecDeque<f64>,
+    cap: usize,
+}
+
+impl LatencyTracker {
+    /// An empty tracker with the given EWMA factor and window capacity.
+    pub fn new(alpha: f64, cap: usize) -> Self {
+        LatencyTracker { alpha, ewma: None, window: VecDeque::new(), cap: cap.max(4) }
+    }
+
+    /// Records one latency sample (milliseconds).
+    pub fn observe(&mut self, ms: f64) {
+        if !ms.is_finite() || ms < 0.0 {
+            return;
+        }
+        self.ewma = Some(match self.ewma {
+            None => ms,
+            Some(e) => self.alpha * ms + (1.0 - self.alpha) * e,
+        });
+        if self.window.len() == self.cap {
+            self.window.pop_front();
+        }
+        self.window.push_back(ms);
+    }
+
+    /// Number of samples currently in the window.
+    pub fn len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// Whether no samples have been observed yet.
+    pub fn is_empty(&self) -> bool {
+        self.window.is_empty()
+    }
+
+    /// Smoothed mean latency, if any sample has been observed.
+    pub fn ewma(&self) -> Option<f64> {
+        self.ewma
+    }
+
+    fn sorted(&self) -> Vec<f64> {
+        let mut v: Vec<f64> = self.window.iter().copied().collect();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        v
+    }
+
+    /// Median of the window (`None` when empty).
+    pub fn median(&self) -> Option<f64> {
+        let v = self.sorted();
+        if v.is_empty() {
+            return None;
+        }
+        Some(v[v.len() / 2])
+    }
+
+    /// Median absolute deviation of the window.
+    pub fn mad(&self) -> Option<f64> {
+        let med = self.median()?;
+        let mut dev: Vec<f64> = self.window.iter().map(|x| (x - med).abs()).collect();
+        dev.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        Some(dev[dev.len() / 2])
+    }
+
+    /// Latency quantile `q ∈ [0, 1]` over the window (`None` when empty).
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let v = self.sorted();
+        if v.is_empty() {
+            return None;
+        }
+        let idx = ((v.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        Some(v[idx.min(v.len() - 1)])
+    }
+
+    /// Robust z-score of `ms` against the window: |ms − median| over a
+    /// floored MAD scale (the floor keeps a zero-variance window from
+    /// flagging microsecond jitter). 0.0 until the window has samples.
+    pub fn outlier_score(&self, ms: f64) -> f64 {
+        let (Some(med), Some(mad)) = (self.median(), self.mad()) else { return 0.0 };
+        let denom = (1.4826 * mad).max(0.1 * med).max(0.1);
+        (ms - med).abs() / denom
+    }
+
+    /// Whether `ms` would be flagged as a *slow* outlier under `cfg`:
+    /// enough history, robust z above threshold, and slower than both the
+    /// median and the EWMA trend (fast samples are never unhealthy).
+    pub fn is_slow_outlier(&self, ms: f64, cfg: &HealthConfig) -> bool {
+        if self.window.len() < cfg.min_samples {
+            return false;
+        }
+        let above_trend = match (self.median(), self.ewma) {
+            (Some(med), Some(e)) => ms > med && ms > e,
+            _ => false,
+        };
+        above_trend && self.outlier_score(ms) > cfg.outlier_z
+    }
+}
+
+/// The graded health state of one device.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HealthState {
+    /// Nominal: full capacity, no penalty.
+    Healthy,
+    /// Recent latency outliers: still placeable, links penalized.
+    Suspect,
+    /// Recently re-probed out of quarantine: placeable under a mild
+    /// penalty while canaries confirm recovery.
+    Probation,
+    /// Persistent straggler: removed from the placeable mask until a
+    /// canary probe is due.
+    Quarantined,
+}
+
+/// What a health update caused, so callers can react (purge caches on
+/// quarantine, log re-admissions).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HealthEvent {
+    /// No state transition of interest.
+    None,
+    /// The device just entered `Quarantined`.
+    Quarantined,
+    /// The device just returned to `Healthy` after passing its canaries.
+    Readmitted,
+}
+
+/// One device's gray-health machine.
+#[derive(Clone, Debug)]
+struct DeviceGrayHealth {
+    tracker: LatencyTracker,
+    link: LatencyTracker,
+    state: HealthState,
+    bad_streak: u32,
+    good_streak: u32,
+    canary_passes: u32,
+    quarantined_at_ms: f64,
+    backoff_ms: f64,
+    /// Trace-driven slowdown factor (virtual simulations); folded into
+    /// the penalty but never into the measured state machine.
+    virtual_slow: Option<f64>,
+}
+
+impl DeviceGrayHealth {
+    fn new(cfg: &HealthConfig) -> Self {
+        DeviceGrayHealth {
+            tracker: LatencyTracker::new(cfg.alpha, cfg.window),
+            link: LatencyTracker::new(cfg.alpha, cfg.window),
+            state: HealthState::Healthy,
+            bad_streak: 0,
+            good_streak: 0,
+            canary_passes: 0,
+            quarantined_at_ms: 0.0,
+            backoff_ms: cfg.canary_backoff_ms,
+            virtual_slow: None,
+        }
+    }
+
+    fn quarantine(&mut self, cfg: &HealthConfig, now_ms: f64, double_backoff: bool) -> HealthEvent {
+        if double_backoff {
+            self.backoff_ms = (self.backoff_ms * 2.0).min(cfg.canary_backoff_max_ms);
+        }
+        self.state = HealthState::Quarantined;
+        self.quarantined_at_ms = now_ms;
+        self.bad_streak = 0;
+        self.good_streak = 0;
+        self.canary_passes = 0;
+        HealthEvent::Quarantined
+    }
+
+    fn readmit(&mut self, cfg: &HealthConfig) -> HealthEvent {
+        self.state = HealthState::Healthy;
+        self.bad_streak = 0;
+        self.good_streak = 0;
+        self.canary_passes = 0;
+        self.backoff_ms = cfg.canary_backoff_ms;
+        HealthEvent::Readmitted
+    }
+
+    /// An outlier-grade bad signal (slow sample, RTT spike, or failure).
+    fn on_bad(&mut self, cfg: &HealthConfig, now_ms: f64) -> HealthEvent {
+        match self.state {
+            HealthState::Healthy => {
+                self.good_streak = 0;
+                self.bad_streak += 1;
+                if self.bad_streak >= cfg.suspect_after {
+                    self.state = HealthState::Suspect;
+                }
+                HealthEvent::None
+            }
+            HealthState::Suspect => {
+                self.good_streak = 0;
+                self.bad_streak += 1;
+                if self.bad_streak >= cfg.suspect_after + cfg.quarantine_after {
+                    self.quarantine(cfg, now_ms, false)
+                } else {
+                    HealthEvent::None
+                }
+            }
+            // A failed canary: back to quarantine with a longer dwell.
+            HealthState::Probation => self.quarantine(cfg, now_ms, true),
+            HealthState::Quarantined => HealthEvent::None,
+        }
+    }
+
+    /// An inlier-grade good signal (a timely success).
+    fn on_good(&mut self, cfg: &HealthConfig) -> HealthEvent {
+        match self.state {
+            HealthState::Healthy => {
+                self.bad_streak = 0;
+                HealthEvent::None
+            }
+            HealthState::Suspect => {
+                self.bad_streak = 0;
+                self.good_streak += 1;
+                if self.good_streak >= cfg.clear_after {
+                    self.state = HealthState::Healthy;
+                    self.good_streak = 0;
+                }
+                HealthEvent::None
+            }
+            HealthState::Probation => {
+                self.canary_passes += 1;
+                if self.canary_passes >= cfg.probation_canaries {
+                    self.readmit(cfg)
+                } else {
+                    HealthEvent::None
+                }
+            }
+            // A late straggler reply finishing after quarantine: informs
+            // the tracker, never the state machine (re-admission only
+            // flows through the canary path).
+            HealthState::Quarantined => HealthEvent::None,
+        }
+    }
+
+    fn on_success(&mut self, cfg: &HealthConfig, latency_ms: f64, now_ms: f64) -> HealthEvent {
+        let outlier = self.tracker.is_slow_outlier(latency_ms, cfg);
+        self.tracker.observe(latency_ms);
+        if outlier {
+            self.on_bad(cfg, now_ms)
+        } else {
+            self.on_good(cfg)
+        }
+    }
+
+    fn on_failure(&mut self, cfg: &HealthConfig, now_ms: f64) -> HealthEvent {
+        // A hard failure is a strong gray signal: jump straight past the
+        // single-outlier grace toward Suspect.
+        if self.state == HealthState::Healthy {
+            self.bad_streak = self.bad_streak.max(cfg.suspect_after.saturating_sub(1));
+        }
+        self.on_bad(cfg, now_ms)
+    }
+
+    fn canary_due(&self, now_ms: f64) -> bool {
+        self.state == HealthState::Quarantined && now_ms - self.quarantined_at_ms >= self.backoff_ms
+    }
+
+    /// Advances quarantine to probation once the backoff has elapsed.
+    fn poll(&mut self, now_ms: f64) -> HealthEvent {
+        if self.canary_due(now_ms) {
+            self.state = HealthState::Probation;
+            self.canary_passes = 0;
+        }
+        HealthEvent::None
+    }
+
+    fn penalty(&self, cfg: &HealthConfig) -> f64 {
+        let measured = match self.state {
+            HealthState::Healthy => 1.0,
+            HealthState::Suspect => cfg.suspect_penalty,
+            HealthState::Probation => cfg.probation_penalty,
+            HealthState::Quarantined => f64::INFINITY,
+        };
+        measured.max(self.virtual_slow.unwrap_or(1.0))
+    }
+}
+
+/// Gray-health tracking for a whole fleet. Device 0 (the coordinator /
+/// local device) is pinned `Healthy`: there is no backup to route its
+/// work to, so penalizing it only hurts.
+pub struct FleetHealth {
+    cfg: HealthConfig,
+    devs: Vec<DeviceGrayHealth>,
+}
+
+impl FleetHealth {
+    /// A fleet of `n` devices, all initially healthy.
+    pub fn new(n_devices: usize, cfg: HealthConfig) -> Self {
+        FleetHealth { cfg, devs: (0..n_devices).map(|_| DeviceGrayHealth::new(&cfg)).collect() }
+    }
+
+    /// Number of tracked devices.
+    pub fn n_devices(&self) -> usize {
+        self.devs.len()
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &HealthConfig {
+        &self.cfg
+    }
+
+    /// Feeds one successful execution's latency. Device 0 only updates
+    /// its tracker.
+    pub fn on_success(&mut self, dev: usize, latency_ms: f64, now_ms: f64) -> HealthEvent {
+        let Some(d) = self.devs.get_mut(dev) else { return HealthEvent::None };
+        if dev == 0 {
+            d.tracker.observe(latency_ms);
+            return HealthEvent::None;
+        }
+        d.on_success(&self.cfg, latency_ms, now_ms)
+    }
+
+    /// Feeds one hard execution failure.
+    pub fn on_failure(&mut self, dev: usize, now_ms: f64) -> HealthEvent {
+        let Some(d) = self.devs.get_mut(dev) else { return HealthEvent::None };
+        if dev == 0 {
+            return HealthEvent::None;
+        }
+        d.on_failure(&self.cfg, now_ms)
+    }
+
+    /// Feeds one transport heartbeat RTT for the link to `dev`. An RTT
+    /// spike counts like a latency outlier (the link is part of the gray
+    /// surface); timely RTTs only update the link tracker — they must not
+    /// mask compute slowness.
+    pub fn on_link_rtt(&mut self, dev: usize, rtt_ms: f64, now_ms: f64) -> HealthEvent {
+        let Some(d) = self.devs.get_mut(dev) else { return HealthEvent::None };
+        let outlier = d.link.is_slow_outlier(rtt_ms, &self.cfg);
+        d.link.observe(rtt_ms);
+        if dev == 0 || !outlier {
+            return HealthEvent::None;
+        }
+        d.on_bad(&self.cfg, now_ms)
+    }
+
+    /// Advances quarantined devices whose canary backoff has elapsed into
+    /// `Probation`. Call before routing decisions.
+    pub fn poll(&mut self, now_ms: f64) {
+        for d in &mut self.devs {
+            let _ = d.poll(now_ms);
+        }
+    }
+
+    /// Whether `dev`'s canary probe is due (still quarantined, backoff
+    /// elapsed, not yet polled into probation).
+    pub fn canary_due(&self, dev: usize, now_ms: f64) -> bool {
+        self.devs.get(dev).is_some_and(|d| d.canary_due(now_ms))
+    }
+
+    /// Current state of one device.
+    pub fn state(&self, dev: usize) -> HealthState {
+        self.devs.get(dev).map_or(HealthState::Healthy, |d| d.state)
+    }
+
+    /// Current state of every device.
+    pub fn states(&self) -> Vec<HealthState> {
+        self.devs.iter().map(|d| d.state).collect()
+    }
+
+    /// Latency penalty multiplier for one device (1.0 healthy, ∞
+    /// quarantined).
+    pub fn penalty(&self, dev: usize) -> f64 {
+        self.devs.get(dev).map_or(1.0, |d| d.penalty(&self.cfg))
+    }
+
+    /// Penalties for every device.
+    pub fn penalties(&self) -> Vec<f64> {
+        self.devs.iter().map(|d| d.penalty(&self.cfg)).collect()
+    }
+
+    /// `mask[d]` is true when `d` may receive planned work (everything
+    /// except `Quarantined`).
+    pub fn placeable_mask(&self) -> Vec<bool> {
+        self.devs.iter().map(|d| d.state != HealthState::Quarantined).collect()
+    }
+
+    /// Trace-driven slowdown (virtual simulations): a factor > 1 folds
+    /// into the penalty without touching the measured state machine;
+    /// `None` clears it.
+    pub fn set_virtual_slowdown(&mut self, dev: usize, factor: Option<f64>) {
+        if dev == 0 {
+            return;
+        }
+        if let Some(d) = self.devs.get_mut(dev) {
+            d.virtual_slow = factor.filter(|f| f.is_finite() && *f > 1.0);
+        }
+    }
+
+    /// Observed latency quantile for `dev`, if enough history exists.
+    pub fn latency_quantile(&self, dev: usize, q: f64) -> Option<f64> {
+        self.devs.get(dev).and_then(|d| d.tracker.quantile(q))
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> HealthConfig {
+        HealthConfig::default()
+    }
+
+    fn warm(fleet: &mut FleetHealth, dev: usize, n: usize) {
+        for i in 0..n {
+            let _ = fleet.on_success(dev, 10.0 + (i % 3) as f64 * 0.2, i as f64);
+        }
+    }
+
+    #[test]
+    fn tracker_median_mad_quantile() {
+        let mut t = LatencyTracker::new(0.2, 16);
+        for ms in [10.0, 11.0, 9.0, 10.5, 10.0, 9.5, 10.2, 10.8] {
+            t.observe(ms);
+        }
+        let med = t.median().unwrap();
+        assert!((9.0..=11.0).contains(&med));
+        assert!(t.mad().unwrap() < 2.0);
+        assert!(t.quantile(1.0).unwrap() >= t.quantile(0.0).unwrap());
+        assert!(t.outlier_score(100.0) > 4.0, "10x latency must score as an outlier");
+        assert!(t.outlier_score(med) < 1.0);
+    }
+
+    #[test]
+    fn tracker_ignores_nonfinite() {
+        let mut t = LatencyTracker::new(0.2, 8);
+        t.observe(f64::NAN);
+        t.observe(-1.0);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn cold_tracker_never_flags() {
+        let t = LatencyTracker::new(0.2, 32);
+        assert!(!t.is_slow_outlier(1e9, &cfg()));
+    }
+
+    #[test]
+    fn persistent_straggler_walks_to_quarantine() {
+        let mut fleet = FleetHealth::new(3, cfg());
+        warm(&mut fleet, 1, 16);
+        assert_eq!(fleet.state(1), HealthState::Healthy);
+        let mut quarantined = false;
+        for i in 0..12 {
+            if fleet.on_success(1, 120.0, 100.0 + i as f64) == HealthEvent::Quarantined {
+                quarantined = true;
+                break;
+            }
+        }
+        assert!(quarantined, "10x slowdown must quarantine: {:?}", fleet.state(1));
+        assert!(!fleet.placeable_mask()[1]);
+        assert!(fleet.penalty(1).is_infinite());
+    }
+
+    #[test]
+    fn suspect_clears_with_inliers() {
+        let mut fleet = FleetHealth::new(2, cfg());
+        warm(&mut fleet, 1, 16);
+        for _ in 0..cfg().suspect_after {
+            let _ = fleet.on_success(1, 120.0, 50.0);
+        }
+        assert_eq!(fleet.state(1), HealthState::Suspect);
+        assert!(fleet.penalty(1) > 1.0);
+        for _ in 0..cfg().clear_after {
+            let _ = fleet.on_success(1, 10.0, 60.0);
+        }
+        assert_eq!(fleet.state(1), HealthState::Healthy);
+        assert_eq!(fleet.penalty(1), 1.0);
+    }
+
+    #[test]
+    fn canary_readmission_round_trip() {
+        let c = cfg();
+        let mut fleet = FleetHealth::new(2, c);
+        warm(&mut fleet, 1, 16);
+        for i in 0..12 {
+            let _ = fleet.on_success(1, 150.0, 100.0 + i as f64);
+        }
+        assert_eq!(fleet.state(1), HealthState::Quarantined);
+        // Not due yet: polling before the backoff changes nothing.
+        fleet.poll(150.0);
+        assert_eq!(fleet.state(1), HealthState::Quarantined);
+        // Backoff elapses: probation, then canaries re-admit.
+        let due = 150.0 + c.canary_backoff_ms;
+        assert!(fleet.canary_due(1, due));
+        fleet.poll(due);
+        assert_eq!(fleet.state(1), HealthState::Probation);
+        assert!(fleet.placeable_mask()[1], "probation devices are placeable");
+        let mut ev = HealthEvent::None;
+        for _ in 0..c.probation_canaries {
+            ev = fleet.on_success(1, 10.0, due + 1.0);
+        }
+        assert_eq!(ev, HealthEvent::Readmitted);
+        assert_eq!(fleet.state(1), HealthState::Healthy);
+    }
+
+    #[test]
+    fn failed_canary_doubles_backoff() {
+        let c = cfg();
+        let mut fleet = FleetHealth::new(2, c);
+        warm(&mut fleet, 1, 16);
+        for i in 0..12 {
+            let _ = fleet.on_success(1, 150.0, i as f64);
+        }
+        fleet.poll(12.0 + c.canary_backoff_ms);
+        assert_eq!(fleet.state(1), HealthState::Probation);
+        // Canary fails (still slow): re-quarantined with a doubled dwell.
+        let t1 = 12.0 + c.canary_backoff_ms + 1.0;
+        assert_eq!(fleet.on_success(1, 150.0, t1), HealthEvent::Quarantined);
+        assert!(!fleet.canary_due(1, t1 + c.canary_backoff_ms + 1.0));
+        assert!(fleet.canary_due(1, t1 + 2.0 * c.canary_backoff_ms + 1.0));
+    }
+
+    #[test]
+    fn hard_failures_are_gray_signals_too() {
+        let mut fleet = FleetHealth::new(2, cfg());
+        warm(&mut fleet, 1, 16);
+        let _ = fleet.on_failure(1, 0.0);
+        assert_eq!(fleet.state(1), HealthState::Suspect);
+    }
+
+    #[test]
+    fn link_rtt_spikes_count_inliers_do_not_clear() {
+        let c = cfg();
+        let mut fleet = FleetHealth::new(2, c);
+        for i in 0..16 {
+            let _ = fleet.on_link_rtt(1, 5.0, i as f64);
+        }
+        assert_eq!(fleet.state(1), HealthState::Healthy);
+        for i in 0..c.suspect_after {
+            let _ = fleet.on_link_rtt(1, 80.0, 20.0 + i as f64);
+        }
+        assert_eq!(fleet.state(1), HealthState::Suspect);
+        // Timely RTTs alone never clear compute suspicion.
+        for i in 0..8 {
+            let _ = fleet.on_link_rtt(1, 5.0, 30.0 + i as f64);
+        }
+        assert_eq!(fleet.state(1), HealthState::Suspect);
+    }
+
+    #[test]
+    fn device_zero_is_pinned_healthy() {
+        let mut fleet = FleetHealth::new(2, cfg());
+        warm(&mut fleet, 0, 16);
+        for _ in 0..20 {
+            let _ = fleet.on_success(0, 500.0, 0.0);
+            let _ = fleet.on_failure(0, 0.0);
+        }
+        assert_eq!(fleet.state(0), HealthState::Healthy);
+        fleet.set_virtual_slowdown(0, Some(10.0));
+        assert_eq!(fleet.penalty(0), 1.0);
+    }
+
+    #[test]
+    fn virtual_slowdown_folds_into_penalty_only() {
+        let mut fleet = FleetHealth::new(2, cfg());
+        fleet.set_virtual_slowdown(1, Some(3.0));
+        assert_eq!(fleet.state(1), HealthState::Healthy);
+        assert_eq!(fleet.penalty(1), 3.0);
+        assert!(fleet.placeable_mask()[1]);
+        fleet.set_virtual_slowdown(1, None);
+        assert_eq!(fleet.penalty(1), 1.0);
+    }
+}

@@ -38,6 +38,7 @@ pub mod cache;
 pub mod decision;
 pub mod executor;
 pub mod fault;
+pub mod health;
 pub mod monitor;
 pub mod predictor;
 pub mod reconfig;

@@ -22,6 +22,7 @@
 //!   tests, figures, and examples run unchanged.
 
 use crate::decision::DecisionModule;
+use crate::health::{FleetHealth, HealthConfig, HealthEvent, HealthState};
 use crate::monitor::{LinkEstimate, NetworkMonitor};
 use crate::predictor::MonitorPredictor;
 use crate::reconfig::InMemorySupernet;
@@ -54,6 +55,8 @@ pub struct RuntimeConfig {
     pub precompute_horizon_ms: f64,
     /// Consecutive execution failures before a device is marked down.
     pub health_threshold: usize,
+    /// Gray-failure (straggler) detection knobs.
+    pub gray: HealthConfig,
 }
 
 impl Default for RuntimeConfig {
@@ -65,6 +68,7 @@ impl Default for RuntimeConfig {
             cache_capacity: 512,
             precompute_horizon_ms: 500.0,
             health_threshold: 1,
+            gray: HealthConfig::default(),
         }
     }
 }
@@ -74,6 +78,9 @@ impl Default for RuntimeConfig {
 pub struct Degradation {
     /// Devices currently believed down, masked out of the decision.
     pub down_devices: Vec<usize>,
+    /// Devices quarantined by the gray-failure detector: alive but so
+    /// slow that placing work on them would blow the SLO.
+    pub quarantined_devices: Vec<usize>,
     /// The decided plan was infeasible and the runtime fell back to
     /// running everything on the local device.
     pub forced_local: bool,
@@ -82,7 +89,7 @@ pub struct Degradation {
 impl Degradation {
     /// Whether the request was served under any degradation at all.
     pub fn is_degraded(&self) -> bool {
-        !self.down_devices.is_empty() || self.forced_local
+        !self.down_devices.is_empty() || !self.quarantined_devices.is_empty() || self.forced_local
     }
 }
 
@@ -202,6 +209,7 @@ pub struct SharedRuntime {
     decision: DecisionModule,
     supernet: Mutex<InMemorySupernet>,
     health: Mutex<DeviceHealth>,
+    gray: Mutex<FleetHealth>,
     cfg: RuntimeConfig,
     /// Latest virtual time seen by tick/infer (f64 bits).
     last_t_ms: AtomicU64,
@@ -230,6 +238,7 @@ impl SharedRuntime {
             decision: DecisionModule::new(scenario, policy, cfg.cache_capacity),
             supernet: Mutex::new(InMemorySupernet::new(space)),
             health: Mutex::new(DeviceHealth::new(n_devices, cfg.health_threshold)),
+            gray: Mutex::new(FleetHealth::new(n_devices, cfg.gray)),
             cfg,
             last_t_ms: AtomicU64::new(0.0f64.to_bits()),
         }
@@ -274,6 +283,8 @@ impl SharedRuntime {
     /// counts toward the consecutive-failure threshold, `ok = true` clears
     /// it (and revives a device believed down). When a device crosses the
     /// threshold, every cached strategy that placed work on it is purged.
+    /// Hard failures are also gray signals — a flapping worker should not
+    /// re-enter the fleet as a first-class citizen.
     pub fn report_exec_outcome(&self, dev: usize, ok: bool) {
         let newly_down = {
             let mut health = self.health.lock();
@@ -282,16 +293,74 @@ impl SharedRuntime {
             let is_down = health.down.get(dev).copied().unwrap_or(false);
             is_down && !was_down
         };
-        if newly_down {
-            self.decision.purge_infeasible(&self.alive_mask());
+        let ev =
+            if ok { HealthEvent::None } else { self.gray.lock().on_failure(dev, self.last_t_ms()) };
+        if newly_down || ev == HealthEvent::Quarantined {
+            self.decision.purge_infeasible(&self.placeable_mask());
         }
+    }
+
+    /// Feeds one *successful* execution's measured latency into the
+    /// gray-failure detector. Latency outliers walk a device through
+    /// `Suspect → Probation → Quarantined`; quarantining purges every
+    /// cached strategy that placed work on the device, and re-admission
+    /// never resurrects them (they were dropped, not suspended).
+    pub fn report_exec_latency(&self, dev: usize, latency_ms: f64, t_ms: f64) {
+        let ev = self.gray.lock().on_success(dev, latency_ms, t_ms);
+        match ev {
+            HealthEvent::Quarantined => {
+                self.decision.purge_infeasible(&self.placeable_mask());
+            }
+            HealthEvent::Readmitted | HealthEvent::None => {}
+        }
+    }
+
+    /// Feeds a transport heartbeat RTT into the gray-failure detector: a
+    /// congested or lossy link makes a device slow even when its compute
+    /// is fine.
+    pub fn report_link_rtt(&self, dev: usize, rtt_ms: f64, t_ms: f64) {
+        let ev = self.gray.lock().on_link_rtt(dev, rtt_ms, t_ms);
+        if ev == HealthEvent::Quarantined {
+            self.decision.purge_infeasible(&self.placeable_mask());
+        }
+    }
+
+    /// Advances the gray-health clock: quarantined devices whose canary
+    /// backoff elapsed move to probation (placeable again, under penalty,
+    /// until canaries pass or fail). Call from the control loop.
+    pub fn poll_gray(&self, t_ms: f64) {
+        self.gray.lock().poll(t_ms);
+    }
+
+    /// Per-device graded health states from the gray-failure detector.
+    pub fn gray_states(&self) -> Vec<HealthState> {
+        self.gray.lock().states()
+    }
+
+    /// Per-device soft routing penalties (1.0 = healthy, `inf` =
+    /// quarantined).
+    pub fn gray_penalties(&self) -> Vec<f64> {
+        self.gray.lock().penalties()
+    }
+
+    /// Where work may be placed: alive (crash detector) *and* not
+    /// quarantined (gray detector). This is the mask decisions and
+    /// feasibility checks run against.
+    pub fn placeable_mask(&self) -> Vec<bool> {
+        let alive = self.alive_mask();
+        let gray = self.gray.lock().placeable_mask();
+        alive.iter().zip(gray.iter()).map(|(&a, &g)| a && g).collect()
+    }
+
+    fn last_t_ms(&self) -> f64 {
+        f64::from_bits(self.last_t_ms.load(Ordering::Relaxed))
     }
 
     /// Manually marks a device down (e.g. from an out-of-band failure
     /// detector). Cached strategies using it are purged.
     pub fn set_device_down(&self, dev: usize) {
         self.health.lock().force(dev, true);
-        self.decision.purge_infeasible(&self.alive_mask());
+        self.decision.purge_infeasible(&self.placeable_mask());
     }
 
     /// Manually revives a device.
@@ -299,28 +368,53 @@ impl SharedRuntime {
         self.health.lock().force(dev, false);
     }
 
-    /// Syncs health from a fault trace at virtual time `t_ms` (`Slow`
-    /// devices stay up — stragglers are the executor's problem).
+    /// Syncs health from a fault trace at virtual time `t_ms`. `Slow`
+    /// devices stay up but carry a virtual slowdown in the gray-failure
+    /// detector, so decisions route around them proportionally (a 10×
+    /// brownout is worth avoiding even before the latency trackers see
+    /// it).
     pub fn apply_fleet_trace(&self, fleet: &FleetTrace, t_ms: f64) {
         let n = self.scenario().devices.len().min(fleet.n_devices());
         for dev in 1..n {
             match fleet.status(dev, t_ms) {
                 DeviceStatus::Down => self.set_device_down(dev),
-                DeviceStatus::Up | DeviceStatus::Slow(_) => self.set_device_up(dev),
+                DeviceStatus::Up => {
+                    self.set_device_up(dev);
+                    self.gray.lock().set_virtual_slowdown(dev, None);
+                }
+                DeviceStatus::Slow(f) => {
+                    self.set_device_up(dev);
+                    self.gray.lock().set_virtual_slowdown(dev, Some(f));
+                }
             }
         }
+        self.poll_gray(t_ms);
     }
 
-    /// Clamps the links of down devices to the scenario's worst grid
-    /// corner (minimum bandwidth, maximum delay) so the policy — which
-    /// knows nothing about faults — is steered away from them, on top of
-    /// the hard feasibility mask. Remote link `i` serves device `i + 1`.
-    fn mask_condition(&self, mut cond: Condition, alive: &[bool]) -> Condition {
+    /// Clamps the links of unplaceable devices to the scenario's worst
+    /// grid corner (minimum bandwidth, maximum delay) so the policy —
+    /// which knows nothing about faults — is steered away from them, on
+    /// top of the hard feasibility mask, and degrades the links of
+    /// penalized (Suspect/Probation) devices proportionally so the policy
+    /// routes *around* stragglers without banning them. Remote link `i`
+    /// serves device `i + 1`.
+    fn mask_condition(
+        &self,
+        mut cond: Condition,
+        placeable: &[bool],
+        penalty: &[f64],
+    ) -> Condition {
         let sc = self.scenario();
         for (i, (bw, delay)) in cond.bw_mbps.iter_mut().zip(cond.delay_ms.iter_mut()).enumerate() {
-            if !alive.get(i + 1).copied().unwrap_or(false) {
+            if !placeable.get(i + 1).copied().unwrap_or(false) {
                 *bw = sc.bw_range.0;
                 *delay = sc.delay_range.1;
+                continue;
+            }
+            let p = penalty.get(i + 1).copied().unwrap_or(1.0);
+            if p > 1.0 && p.is_finite() {
+                *bw = (*bw / p).max(sc.bw_range.0);
+                *delay = (*delay * p).min(sc.delay_range.1);
             }
         }
         cond
@@ -332,12 +426,14 @@ impl SharedRuntime {
     /// [`DecisionModule::decide_masked`]). On the serve path this runs on
     /// the control thread; workers never touch the monitor.
     pub fn tick<R: Rng>(&self, net_truth: &NetworkState, t_ms: f64, rng: &mut R) {
+        self.poll_gray(t_ms);
         let forecast = {
             let mut monitor = self.monitor.lock();
             monitor.sample(net_truth, t_ms, rng);
             self.last_t_ms.store(t_ms.to_bits(), Ordering::Relaxed);
-            let alive = self.health.lock().alive_mask();
-            if self.cfg.precompute_horizon_ms > 0.0 && alive.iter().all(|&a| a) {
+            let placeable = self.placeable_mask();
+            let penalized = self.gray_penalties().iter().any(|&p| p > 1.0);
+            if self.cfg.precompute_horizon_ms > 0.0 && !penalized && placeable.iter().all(|&a| a) {
                 Some(MonitorPredictor::predict(
                     &monitor,
                     self.scenario().n_remote(),
@@ -364,6 +460,7 @@ impl SharedRuntime {
     /// the decided plan is still infeasible the runtime falls back to an
     /// all-local plan and reports the degradation.
     pub fn infer<R: Rng>(&self, net_truth: &NetworkState, t_ms: f64, rng: &mut R) -> RequestReport {
+        self.poll_gray(t_ms);
         // Fresh monitoring sample for this request.
         let estimates = {
             let mut monitor = self.monitor.lock();
@@ -411,11 +508,16 @@ impl SharedRuntime {
     /// Decision core shared by [`infer`](Self::infer) and
     /// [`serve_decide`](Self::serve_decide).
     fn decide_for(&self, slo: Slo, estimates: &[LinkEstimate]) -> ServeDecision {
-        let alive = self.alive_mask();
+        let placeable = self.placeable_mask();
+        let penalty = self.gray_penalties();
         let raw_cond = self.decision.condition(self.decision_scalar(&slo), estimates);
-        let cond = self.mask_condition(raw_cond, &alive);
+        let cond = self.mask_condition(raw_cond, &placeable, &penalty);
+        // A penalized condition is transient fleet state, not a network
+        // observation: caching it would serve straggler-avoiding plans
+        // long after the straggler recovered.
+        let allow_cache = penalty.iter().all(|&p| p == 1.0);
         let t0 = Instant::now();
-        let decision = self.decision.decide_masked(&cond, &alive);
+        let decision = self.decision.decide_masked_cached(&cond, &placeable, allow_cache);
         let decision_time = t0.elapsed();
         ServeDecision {
             actions: decision.actions,
@@ -433,11 +535,19 @@ impl SharedRuntime {
     /// the decided plan touches a device that died after the decision.
     pub fn deploy(&self, decision: &ServeDecision, net_truth: &NetworkState) -> DeployReport {
         let alive = self.alive_mask();
+        let placeable = self.placeable_mask();
+        let quarantined_devices: Vec<usize> = self
+            .gray_states()
+            .iter()
+            .enumerate()
+            .filter(|(_, &s)| s == HealthState::Quarantined)
+            .map(|(d, _)| d)
+            .collect();
         let switch = self.supernet.lock().switch_submodel(decision.genome.config.clone());
         let spec = SubnetSpec::lower(&decision.genome.config);
         let mut plan = decision.genome.plan(&spec, self.scenario().devices.len());
         let mut forced_local = false;
-        if !plan.is_feasible(&alive) {
+        if !plan.is_feasible(&placeable) {
             // Last-resort degradation: the masked decision still touched a
             // dead device (e.g. the whole fleet dropped at once). Serve
             // the request locally rather than fail it.
@@ -459,7 +569,7 @@ impl SharedRuntime {
             accuracy_pct,
             slo_met,
             devices_used: plan.devices_used(),
-            degradation: Degradation { down_devices, forced_local },
+            degradation: Degradation { down_devices, quarantined_devices, forced_local },
         }
     }
 

@@ -33,10 +33,13 @@ use crate::wire::WireError;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use murmuration_tensor::quant::BitWidth;
 use murmuration_tensor::Tensor;
+use parking_lot::Mutex;
+use std::collections::{HashSet, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// One job handed to a transport: run `unit` on `input` at device `dev`
 /// (given to [`Transport::submit`] separately).
@@ -56,6 +59,12 @@ pub struct TransportJob {
     /// Caller's attempt number; replies echo it so stale replies from
     /// abandoned attempts can be discarded.
     pub attempt: u32,
+    /// Remaining request budget for this job. Remote transports bound the
+    /// request's in-flight time by it (a stalled socket fails the request
+    /// after `deadline` instead of consuming the whole budget); in-process
+    /// transports ignore it (the coordinator's own `recv_timeout` covers
+    /// local workers).
+    pub deadline: Option<Duration>,
 }
 
 /// Why a submitted job failed at the reply level.
@@ -97,6 +106,9 @@ pub struct TransportStats {
     /// Requests the peer recognised as duplicates of an earlier delivery
     /// (at-most-once resend dedup after a reconnect).
     pub resends_deduped: u64,
+    /// Cancels that verifiably saved work: the peer dropped a still-queued
+    /// job instead of computing it (hedge losers, mostly).
+    pub cancels_delivered: u64,
 }
 
 impl TransportStats {
@@ -106,6 +118,7 @@ impl TransportStats {
             reconnects: self.reconnects.saturating_sub(earlier.reconnects),
             heartbeats_missed: self.heartbeats_missed.saturating_sub(earlier.heartbeats_missed),
             resends_deduped: self.resends_deduped.saturating_sub(earlier.resends_deduped),
+            cancels_delivered: self.cancels_delivered.saturating_sub(earlier.cancels_delivered),
         }
     }
 }
@@ -122,15 +135,25 @@ pub trait Transport: Send + Sync {
     /// Records hard evidence that `dev` is down.
     fn mark_dead(&self, dev: usize);
 
-    /// Submits a job to `dev`. On `Ok(())` a [`TransportReply`] for
+    /// Submits a job to `dev`. On success a [`TransportReply`] for
     /// `(tag, attempt)` will eventually arrive on `reply` — or `reply`
-    /// disconnects, which the coordinator treats as the peer dying.
+    /// disconnects, which the coordinator treats as the peer dying. The
+    /// returned ticket identifies this submission to [`Transport::cancel`].
     fn submit(
         &self,
         dev: usize,
         job: TransportJob,
         reply: Sender<TransportReply>,
-    ) -> Result<(), SubmitError>;
+    ) -> Result<u64, SubmitError>;
+
+    /// Best-effort cancellation of a previously submitted job (hedge
+    /// loser). No reply for the ticket is needed after this; the transport
+    /// may drop still-queued work (counted in
+    /// [`TransportStats::cancels_delivered`]) or ignore the cancel if the
+    /// job already ran. Never blocks on the peer.
+    fn cancel(&self, dev: usize, ticket: u64) {
+        let _ = (dev, ticket);
+    }
 
     /// Administratively takes `dev` out of service (in-proc: stops the
     /// worker thread; TCP: drops the link and stops reconnecting).
@@ -148,6 +171,14 @@ pub trait Transport: Send + Sync {
         TransportStats::default()
     }
 
+    /// Smoothed heartbeat round-trip time to `dev` in milliseconds, when
+    /// the transport measures one (remote links; `None` in-process). Feeds
+    /// per-link gray-failure tracking in [`crate::health`].
+    fn link_rtt_ms(&self, dev: usize) -> Option<f64> {
+        let _ = dev;
+        None
+    }
+
     /// Gracefully drains: stop accepting new work, let in-flight work
     /// finish (bounded), release resources. Idempotent.
     fn shutdown(&mut self) {}
@@ -159,11 +190,44 @@ struct InProcJob {
     reply: Sender<TransportReply>,
     tag: usize,
     attempt: u32,
+    ticket: u64,
 }
 
 enum Msg {
     Run(InProcJob),
     Stop,
+}
+
+/// Tickets cancelled before their job was dequeued. Bounded FIFO so a
+/// cancel for work that already ran (and will never match) cannot grow the
+/// set forever.
+struct CancelSet {
+    set: HashSet<u64>,
+    order: VecDeque<u64>,
+    cap: usize,
+}
+
+impl CancelSet {
+    fn new(cap: usize) -> Self {
+        CancelSet { set: HashSet::new(), order: VecDeque::new(), cap }
+    }
+
+    fn insert(&mut self, ticket: u64) {
+        if self.set.insert(ticket) {
+            self.order.push_back(ticket);
+            while self.order.len() > self.cap {
+                if let Some(old) = self.order.pop_front() {
+                    self.set.remove(&old);
+                }
+            }
+        }
+    }
+
+    fn remove(&mut self, ticket: u64) -> bool {
+        // The FIFO keeps a stale entry until it ages out; harmless, since
+        // tickets are never reused.
+        self.set.remove(&ticket)
+    }
 }
 
 /// The original executor internals as a [`Transport`]: one worker thread
@@ -179,15 +243,30 @@ pub struct InProcTransport {
     /// garbled before decode, so tests can exercise the checksum path.
     garble: Vec<AtomicBool>,
     compute: Arc<dyn UnitCompute>,
+    next_ticket: AtomicU64,
+    cancels: Arc<Mutex<CancelSet>>,
+    cancels_delivered: Arc<AtomicU64>,
 }
 
-fn spawn_worker(dev: usize, compute: Arc<dyn UnitCompute>) -> (Sender<Msg>, JoinHandle<()>) {
+fn spawn_worker(
+    dev: usize,
+    compute: Arc<dyn UnitCompute>,
+    cancels: Arc<Mutex<CancelSet>>,
+    cancels_delivered: Arc<AtomicU64>,
+) -> (Sender<Msg>, JoinHandle<()>) {
     let (tx, rx): (Sender<Msg>, Receiver<Msg>) = unbounded();
     let builder = std::thread::Builder::new().name(format!("murmuration-dev{dev}"));
     let handle = builder.spawn(move || {
         while let Ok(msg) = rx.recv() {
             match msg {
                 Msg::Run(job) => {
+                    // A cancel that lands before the job is dequeued saves
+                    // the compute entirely; the coordinator has already
+                    // moved on, so no reply is owed.
+                    if cancels.lock().remove(job.ticket) {
+                        cancels_delivered.fetch_add(1, Ordering::SeqCst);
+                        continue;
+                    }
                     let outcome = catch_unwind(AssertUnwindSafe(|| {
                         compute.run_unit_on(dev, job.unit, &job.input)
                     }));
@@ -228,10 +307,13 @@ impl InProcTransport {
     /// Spawns one worker thread per device.
     pub fn new(n_devices: usize, compute: Arc<dyn UnitCompute>) -> Self {
         assert!(n_devices >= 1);
+        let cancels = Arc::new(Mutex::new(CancelSet::new(1024)));
+        let cancels_delivered = Arc::new(AtomicU64::new(0));
         let mut senders = Vec::with_capacity(n_devices);
         let mut handles = Vec::with_capacity(n_devices);
         for dev in 0..n_devices {
-            let (tx, handle) = spawn_worker(dev, compute.clone());
+            let (tx, handle) =
+                spawn_worker(dev, compute.clone(), cancels.clone(), cancels_delivered.clone());
             senders.push(tx);
             handles.push(Some(handle));
         }
@@ -242,6 +324,9 @@ impl InProcTransport {
             alive: (0..n_devices).map(|_| AtomicBool::new(true)).collect(),
             garble: (0..n_devices).map(|_| AtomicBool::new(false)).collect(),
             compute,
+            next_ticket: AtomicU64::new(1),
+            cancels,
+            cancels_delivered,
         }
     }
 
@@ -278,7 +363,7 @@ impl Transport for InProcTransport {
         dev: usize,
         job: TransportJob,
         reply: Sender<TransportReply>,
-    ) -> Result<(), SubmitError> {
+    ) -> Result<u64, SubmitError> {
         let input = if job.cross_boundary {
             match self.ship(dev, &job.input, job.quant) {
                 Ok(t) => Arc::new(t),
@@ -287,18 +372,25 @@ impl Transport for InProcTransport {
         } else {
             job.input
         };
+        let ticket = self.next_ticket.fetch_add(1, Ordering::SeqCst);
         let msg = Msg::Run(InProcJob {
             unit: job.unit,
             input,
             reply,
             tag: job.tag,
             attempt: job.attempt,
+            ticket,
         });
         if self.senders[dev].send(msg).is_err() {
             self.mark_dead(dev);
             return Err(SubmitError::DeviceDown);
         }
-        Ok(())
+        Ok(ticket)
+    }
+
+    fn cancel(&self, dev: usize, ticket: u64) {
+        let _ = dev;
+        self.cancels.lock().insert(ticket);
     }
 
     fn kill_device(&self, dev: usize) {
@@ -307,7 +399,12 @@ impl Transport for InProcTransport {
     }
 
     fn restart_device(&mut self, dev: usize) {
-        let (tx, handle) = spawn_worker(dev, self.compute.clone());
+        let (tx, handle) = spawn_worker(
+            dev,
+            self.compute.clone(),
+            self.cancels.clone(),
+            self.cancels_delivered.clone(),
+        );
         let _ = self.senders[dev].send(Msg::Stop); // in case the old worker still runs
         self.senders[dev] = tx;
         if let Some(old) = self.handles[dev].replace(handle) {
@@ -318,6 +415,13 @@ impl Transport for InProcTransport {
 
     fn set_wire_corruption(&self, dev: usize, on: bool) {
         self.garble[dev].store(on, Ordering::SeqCst);
+    }
+
+    fn stats(&self) -> TransportStats {
+        TransportStats {
+            cancels_delivered: self.cancels_delivered.load(Ordering::SeqCst),
+            ..TransportStats::default()
+        }
     }
 
     fn shutdown(&mut self) {
@@ -364,6 +468,7 @@ mod tests {
             cross_boundary: cross,
             tag: 7,
             attempt: 1,
+            deadline: None,
         }
     }
 
@@ -402,7 +507,7 @@ mod tests {
         let (tx, rx) = unbounded();
         match t.submit(1, job(&input, false), tx) {
             Err(SubmitError::DeviceDown) => {}
-            Ok(()) => {
+            Ok(_) => {
                 // Accepted into the drained queue: the reply never comes
                 // and the channel disconnects instead.
                 assert!(rx.recv_timeout(Duration::from_secs(5)).is_err());
@@ -421,5 +526,29 @@ mod tests {
         let (t, _, _) = setup();
         assert_eq!(t.stats(), TransportStats::default());
         assert_eq!(t.stats().since(&t.stats()), TransportStats::default());
+    }
+
+    #[test]
+    fn cancel_before_dequeue_saves_the_compute() {
+        use crate::fault::{FaultKind, FaultyCompute};
+        let (_, compute, input) = setup();
+        // Stall the worker on its first job so the second stays queued
+        // long enough for the cancel to land first.
+        let faulty = Arc::new(FaultyCompute::new(compute, 2));
+        faulty.script(1, 0, FaultKind::Stall(Duration::from_millis(150)));
+        let t = InProcTransport::new(2, faulty);
+        let (tx, rx) = unbounded();
+        t.submit(1, job(&input, false), tx.clone()).unwrap();
+        let ticket = t.submit(1, job(&input, false), tx).unwrap();
+        t.cancel(1, ticket);
+        // First reply arrives; the cancelled job never replies.
+        assert!(rx.recv_timeout(Duration::from_secs(5)).unwrap().result.is_ok());
+        // Eventually the worker dequeues (and drops) the cancelled job.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while t.stats().cancels_delivered == 0 {
+            assert!(std::time::Instant::now() < deadline, "cancel never delivered");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(rx.recv_timeout(Duration::from_millis(100)).is_err(), "no reply for a cancel");
     }
 }

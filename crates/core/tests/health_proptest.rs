@@ -1,0 +1,200 @@
+//! Property tests for the gray-failure health state machine
+//! (`core::health`): the detector that routes around stragglers must
+//! never wedge the fleet.
+//!
+//! Three properties, each over arbitrary signal sequences:
+//! * no panic and no livelock — whatever arrives, invariants hold, and a
+//!   quarantined device is always re-probed within the maximum canary
+//!   backoff;
+//! * `Quarantined` is always temporary — the canary becomes due within
+//!   `canary_backoff_max_ms` no matter how many failed canaries doubled
+//!   the dwell;
+//! * `Healthy` is unreachable from `Quarantined` without a *passing*
+//!   canary — failures and polls alone can only oscillate between
+//!   `Quarantined` and `Probation`.
+
+use murmuration_core::health::{FleetHealth, HealthConfig, HealthState};
+use proptest::collection::vec;
+use proptest::test_runner::{Config as ProptestConfig, TestCaseError, TestRunner};
+
+const FAST_MS: f64 = 10.0;
+const SLOW_MS: f64 = 150.0;
+
+/// Seeds device 1's latency tracker with enough fast samples that the
+/// outlier detector is armed (min_samples reached, tight baseline).
+fn warmed(cfg: HealthConfig) -> (FleetHealth, f64) {
+    let mut fleet = FleetHealth::new(2, cfg);
+    let mut now = 0.0;
+    for i in 0..16 {
+        let _ = fleet.on_success(1, FAST_MS + 0.1 * (i % 5) as f64, now);
+        now += 1.0;
+    }
+    (fleet, now)
+}
+
+/// Drives device 1 into quarantine with slow outliers; panics if the walk
+/// does not converge (it must — that is `straggler_walks_to_quarantine`'s
+/// job to pin down, and this helper's precondition).
+fn quarantined(cfg: HealthConfig) -> (FleetHealth, f64) {
+    let (mut fleet, mut now) = warmed(cfg);
+    for _ in 0..32 {
+        let _ = fleet.on_success(1, SLOW_MS, now);
+        now += 1.0;
+        if fleet.state(1) == HealthState::Quarantined {
+            return (fleet, now);
+        }
+    }
+    panic!("slow outliers failed to quarantine the device");
+}
+
+fn check_invariants(fleet: &FleetHealth) -> Result<(), TestCaseError> {
+    if fleet.state(0) != HealthState::Healthy {
+        return Err(TestCaseError::fail("device 0 must stay pinned Healthy"));
+    }
+    for dev in 0..fleet.n_devices() {
+        let p = fleet.penalty(dev);
+        if p.is_nan() || p < 1.0 {
+            return Err(TestCaseError::fail(format!("penalty {p} < 1 on dev {dev}")));
+        }
+        let placeable = fleet.placeable_mask()[dev];
+        let quarantined = fleet.state(dev) == HealthState::Quarantined;
+        if placeable == quarantined {
+            return Err(TestCaseError::fail(format!(
+                "dev {dev}: placeable={placeable} but state={:?}",
+                fleet.state(dev)
+            )));
+        }
+    }
+    Ok(())
+}
+
+#[test]
+fn arbitrary_signal_sequences_never_panic_or_wedge() {
+    let cfg = HealthConfig::default();
+    let mut runner = TestRunner::new(ProptestConfig::with_cases(200));
+    runner
+        .run(&vec((0u8..=5u8, 0.1f64..50.0), 0..80), |ops| {
+            let (mut fleet, mut now) = warmed(cfg);
+            for (op, dt) in ops {
+                now += dt;
+                match op {
+                    0 => drop(fleet.on_success(1, FAST_MS, now)),
+                    1 => drop(fleet.on_success(1, SLOW_MS, now)),
+                    2 => drop(fleet.on_failure(1, now)),
+                    3 => drop(fleet.on_link_rtt(1, 5.0, now)),
+                    4 => drop(fleet.on_link_rtt(1, 90.0, now)),
+                    _ => fleet.poll(now),
+                }
+                check_invariants(&fleet)?;
+            }
+            // No livelock: whatever state the sequence left the device in,
+            // waiting out the maximum backoff always re-probes it.
+            if fleet.state(1) == HealthState::Quarantined {
+                now += cfg.canary_backoff_max_ms + 1.0;
+                if !fleet.canary_due(1, now) {
+                    return Err(TestCaseError::fail("canary not due after the maximum backoff"));
+                }
+                fleet.poll(now);
+                if fleet.state(1) != HealthState::Probation {
+                    return Err(TestCaseError::fail("poll past max backoff must re-probe"));
+                }
+            }
+            Ok(())
+        })
+        .unwrap();
+}
+
+#[test]
+fn quarantine_is_always_temporary_even_after_failed_canaries() {
+    let cfg = HealthConfig::default();
+    let mut runner = TestRunner::new(ProptestConfig::with_cases(100));
+    // Arbitrarily many failed canary rounds: the doubled backoff is capped,
+    // so the next probe is always due within canary_backoff_max_ms.
+    runner
+        .run(&(0usize..12, 0.0f64..500.0), |(failed_rounds, slack)| {
+            let (mut fleet, mut now) = quarantined(cfg);
+            for _ in 0..failed_rounds {
+                now += cfg.canary_backoff_max_ms + slack;
+                fleet.poll(now);
+                if fleet.state(1) != HealthState::Probation {
+                    return Err(TestCaseError::fail("due canary must re-probe"));
+                }
+                // The canary fails hard (a probation failure always
+                // re-quarantines; a slow *success* may stop counting as an
+                // outlier once the tracker adapts to the new normal).
+                let _ = fleet.on_failure(1, now);
+                if fleet.state(1) != HealthState::Quarantined {
+                    return Err(TestCaseError::fail("failed canary must re-quarantine"));
+                }
+            }
+            now += cfg.canary_backoff_max_ms + 1.0;
+            if !fleet.canary_due(1, now) {
+                return Err(TestCaseError::fail(format!(
+                    "canary never due after {failed_rounds} failed rounds"
+                )));
+            }
+            Ok(())
+        })
+        .unwrap();
+}
+
+#[test]
+fn healthy_unreachable_from_quarantine_without_passing_canary() {
+    let cfg = HealthConfig::default();
+    let mut runner = TestRunner::new(ProptestConfig::with_cases(200));
+    // Failures and polls only — no inlier success can ever occur, so no
+    // canary can pass, so Healthy must stay unreachable.
+    runner
+        .run(&vec((0u8..=1u8, 0.1f64..9000.0), 0..60), |ops| {
+            let (mut fleet, mut now) = quarantined(cfg);
+            for (fail, dt) in ops {
+                now += dt;
+                if fail == 1 {
+                    let _ = fleet.on_failure(1, now);
+                } else {
+                    fleet.poll(now);
+                }
+                if fleet.state(1) == HealthState::Healthy {
+                    return Err(TestCaseError::fail(
+                        "reached Healthy from Quarantined without a passing canary",
+                    ));
+                }
+            }
+            Ok(())
+        })
+        .unwrap();
+}
+
+#[test]
+fn recovery_path_exists_from_any_quarantine() {
+    let cfg = HealthConfig::default();
+    let mut runner = TestRunner::new(ProptestConfig::with_cases(100));
+    // Constructive liveness: wait out the backoff, pass the canaries, and
+    // the device is a first-class citizen again — regardless of how long
+    // it idled in quarantine first.
+    runner
+        .run(&(0.0f64..20_000.0, 1u32..6), |(idle_ms, extra_canaries)| {
+            let (mut fleet, mut now) = quarantined(cfg);
+            now += idle_ms + cfg.canary_backoff_max_ms + 1.0;
+            fleet.poll(now);
+            if fleet.state(1) != HealthState::Probation {
+                return Err(TestCaseError::fail("due canary must re-probe"));
+            }
+            let canaries = cfg.probation_canaries + extra_canaries;
+            for _ in 0..canaries {
+                now += 1.0;
+                let _ = fleet.on_success(1, FAST_MS, now);
+            }
+            if fleet.state(1) != HealthState::Healthy {
+                return Err(TestCaseError::fail(format!(
+                    "device stuck in {:?} after {canaries} passing canaries",
+                    fleet.state(1)
+                )));
+            }
+            if fleet.penalty(1) != 1.0 {
+                return Err(TestCaseError::fail("re-admitted device must carry no penalty"));
+            }
+            Ok(())
+        })
+        .unwrap();
+}

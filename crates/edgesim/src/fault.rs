@@ -42,6 +42,10 @@ pub enum DeviceTrace {
     AlwaysUp,
     /// Piecewise-constant phases: `(start_ms, status)` sorted by time.
     Phases(Vec<(f64, DeviceStatus)>),
+    /// A brownout: healthy until `start_ms`, then compute slows toward
+    /// `factor`× over `ramp_ms` and stays there — the gray failure that
+    /// crash detectors never see. `ramp_ms = 0` is a step brownout.
+    Brownout { start_ms: f64, factor: f64, ramp_ms: f64 },
 }
 
 impl DeviceTrace {
@@ -70,10 +74,30 @@ impl DeviceTrace {
         DeviceTrace::phases(vec![(0.0, DeviceStatus::Up), (t_down_ms, DeviceStatus::Down)])
     }
 
+    /// A brownout from `start_ms`: compute degrades linearly to `factor`×
+    /// nominal over `ramp_ms`, then holds. Panics unless `factor > 1`.
+    pub fn brownout(start_ms: f64, factor: f64, ramp_ms: f64) -> Self {
+        assert!(start_ms >= 0.0, "need start >= 0");
+        assert!(factor > 1.0, "a brownout must slow the device (factor > 1)");
+        assert!(ramp_ms >= 0.0, "need ramp >= 0");
+        DeviceTrace::Brownout { start_ms, factor, ramp_ms }
+    }
+
     /// Status at virtual time `t_ms`; each phase holds until the next.
     pub fn sample(&self, t_ms: f64) -> DeviceStatus {
         match self {
             DeviceTrace::AlwaysUp => DeviceStatus::Up,
+            DeviceTrace::Brownout { start_ms, factor, ramp_ms } => {
+                if t_ms < *start_ms {
+                    return DeviceStatus::Up;
+                }
+                let frac = if *ramp_ms > 0.0 {
+                    ((t_ms - start_ms) / ramp_ms).clamp(0.0, 1.0)
+                } else {
+                    1.0
+                };
+                DeviceStatus::Slow(1.0 + (factor - 1.0) * frac)
+            }
             DeviceTrace::Phases(phases) => {
                 let mut cur = phases[0].1;
                 for &(t0, s) in phases {
@@ -178,6 +202,30 @@ mod tests {
         assert_eq!(fleet.alive_mask(250.0), vec![true, true, true]);
         assert_eq!(fleet.slow_factor(1, 150.0), 1.0);
         assert!(fleet.slow_factor(2, 150.0).is_infinite());
+    }
+
+    #[test]
+    fn brownout_ramps_to_factor_and_holds() {
+        let t = DeviceTrace::brownout(1000.0, 10.0, 500.0);
+        assert_eq!(t.sample(999.9), DeviceStatus::Up);
+        assert_eq!(t.sample(1000.0), DeviceStatus::Slow(1.0));
+        assert_eq!(t.sample(1250.0), DeviceStatus::Slow(5.5));
+        assert_eq!(t.sample(1500.0), DeviceStatus::Slow(10.0));
+        assert_eq!(t.sample(1e9), DeviceStatus::Slow(10.0));
+        assert!(t.sample(1250.0).is_up(), "browned-out devices still accept work");
+    }
+
+    #[test]
+    fn step_brownout_has_no_ramp() {
+        let t = DeviceTrace::brownout(100.0, 4.0, 0.0);
+        assert_eq!(t.sample(99.0), DeviceStatus::Up);
+        assert_eq!(t.sample(100.0), DeviceStatus::Slow(4.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_speedup_brownout() {
+        let _ = DeviceTrace::brownout(0.0, 0.5, 100.0);
     }
 
     #[test]

@@ -187,6 +187,7 @@ struct Counters {
     batches: AtomicU64,
     batched_requests: AtomicU64,
     max_batch_seen: AtomicU64,
+    degraded_served: AtomicU64,
 }
 
 /// A point-in-time snapshot of the server's counters.
@@ -205,6 +206,9 @@ pub struct ServeStats {
     /// Requests served through batches of size ≥ 2.
     pub batched_requests: u64,
     pub max_batch_seen: u64,
+    /// Completions served under degradation (devices down, quarantined
+    /// by the gray-failure detector, or forced-local fallback).
+    pub degraded_served: u64,
 }
 
 impl ServeStats {
@@ -394,6 +398,9 @@ impl ServerCore {
         }
         self.update_ewma(batch_total_ms / k as f64);
         let degraded = report.degradation.is_degraded();
+        if degraded {
+            self.counters.degraded_served.fetch_add(live.len() as u64, Ordering::Relaxed);
+        }
         for (i, p) in live.into_iter().enumerate() {
             // Request i's share: the pipeline fill plus its position in
             // the batch's serialized compute.
@@ -592,6 +599,9 @@ impl ServeHandle {
         core.counters.batches.fetch_add(1, Ordering::Relaxed);
         core.counters.max_batch_seen.fetch_max(1, Ordering::Relaxed);
         core.counters.completed.fetch_add(1, Ordering::Relaxed);
+        if report.degradation.is_degraded() {
+            core.counters.degraded_served.fetch_add(1, Ordering::Relaxed);
+        }
         let slo_ok = match spec.kind {
             ClassKind::Latency { deadline_ms } => report.latency_ms <= deadline_ms,
             ClassKind::Accuracy { floor_pct } => report.accuracy_pct >= floor_pct,
@@ -637,7 +647,27 @@ impl ServeHandle {
             batches: c.batches.load(Ordering::Relaxed),
             batched_requests: c.batched_requests.load(Ordering::Relaxed),
             max_batch_seen: c.max_batch_seen.load(Ordering::Relaxed),
+            degraded_served: c.degraded_served.load(Ordering::Relaxed),
         }
+    }
+
+    /// Per-device graded gray-health states (pass-through to the runtime's
+    /// straggler detector).
+    pub fn gray_states(&self) -> Vec<murmuration_core::health::HealthState> {
+        self.core.rt.gray_states()
+    }
+
+    /// Per-device soft routing penalties from the gray-failure detector.
+    pub fn gray_penalties(&self) -> Vec<f64> {
+        self.core.rt.gray_penalties()
+    }
+
+    /// Feeds a measured per-device execution latency into the runtime's
+    /// gray-failure detector (chaos hook for straggler experiments; the
+    /// runtime quarantines devices whose latencies walk into the tail).
+    pub fn report_exec_latency(&self, dev: usize, latency_ms: f64) {
+        let t = self.core.clock.now_ms();
+        self.core.rt.report_exec_latency(dev, latency_ms, t);
     }
 
     /// Runtime cache statistics (pass-through).

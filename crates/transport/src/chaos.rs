@@ -22,7 +22,16 @@ use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Which pump direction an asymmetric fault applies to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChaosDirection {
+    /// Coordinator → worker frames (requests).
+    ClientToServer,
+    /// Worker → coordinator frames (responses).
+    ServerToClient,
+}
 
 /// Chaos schedule knobs. All probabilities are per forwarded frame.
 #[derive(Clone, Copy, Debug)]
@@ -41,6 +50,18 @@ pub struct ChaosConfig {
     /// Probability of holding a frame back and sending it after the next
     /// one (adjacent reorder).
     pub reorder_prob: f64,
+    /// Asymmetric slow link: when set, *every* frame in the given
+    /// direction is delayed — a browning-out uplink rather than random
+    /// loss. The other direction flows at full speed, which is exactly the
+    /// gray failure a binary health check misses.
+    pub slow_dir: Option<ChaosDirection>,
+    /// Per-frame delay at full ramp in slow-link mode.
+    pub slow_delay: Duration,
+    /// Seeded uniform jitter added on top of [`slow_delay`](Self::slow_delay).
+    pub slow_jitter: Duration,
+    /// Ramp-up window: the slow-link delay scales linearly from 0 to full
+    /// over this long after the proxy starts (0 = instant brownout).
+    pub slow_ramp: Duration,
 }
 
 impl Default for ChaosConfig {
@@ -52,6 +73,10 @@ impl Default for ChaosConfig {
             drop_prob: 0.0,
             corrupt_prob: 0.0,
             reorder_prob: 0.0,
+            slow_dir: None,
+            slow_delay: Duration::from_millis(0),
+            slow_jitter: Duration::from_millis(0),
+            slow_ramp: Duration::from_millis(0),
         }
     }
 }
@@ -69,6 +94,8 @@ struct ProxyShared {
     partitioned: AtomicBool,
     stop: AtomicBool,
     conn_counter: AtomicU64,
+    /// Proxy start time: the slow-link ramp is measured from here.
+    started: Instant,
     /// Sockets of live proxied connections, for partition teardown.
     socks: Mutex<Vec<TcpStream>>,
 }
@@ -102,6 +129,7 @@ impl ChaosProxy {
             partitioned: AtomicBool::new(false),
             stop: AtomicBool::new(false),
             conn_counter: AtomicU64::new(0),
+            started: Instant::now(),
             socks: Mutex::new(Vec::new()),
         });
         let pump_handles = Arc::new(Mutex::new(Vec::new()));
@@ -258,6 +286,32 @@ fn pump(shared: &Arc<ProxyShared>, mut src: TcpStream, mut dst: TcpStream, lane:
         frame[..HEADER_BYTES].copy_from_slice(&header);
         if !read_full(shared, &mut src, &mut frame[HEADER_BYTES..]) {
             break;
+        }
+        // Asymmetric slow link: even lanes carry client → server frames,
+        // odd lanes the reverse (see `accept_loop`). The ramp makes the
+        // brownout gradual — a health check that only looks at binary
+        // liveness never fires.
+        if let Some(dir) = cfg.slow_dir {
+            let this_dir = if lane.is_multiple_of(2) {
+                ChaosDirection::ClientToServer
+            } else {
+                ChaosDirection::ServerToClient
+            };
+            if dir == this_dir {
+                let frac = if cfg.slow_ramp.is_zero() {
+                    1.0
+                } else {
+                    (shared.started.elapsed().as_secs_f64() / cfg.slow_ramp.as_secs_f64())
+                        .clamp(0.0, 1.0)
+                };
+                let jitter_us = cfg.slow_jitter.as_micros() as u64;
+                let jitter = if jitter_us > 0 { rng.gen_range(0..=jitter_us) } else { 0 };
+                let total =
+                    cfg.slow_delay.mul_f64(frac) + Duration::from_micros(jitter).mul_f64(frac);
+                if !total.is_zero() {
+                    std::thread::sleep(total);
+                }
+            }
         }
         // Chaos schedule, in drop → corrupt → delay → reorder order.
         if cfg.drop_prob > 0.0 && rng.gen_bool(cfg.drop_prob) {

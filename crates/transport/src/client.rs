@@ -39,7 +39,7 @@ use murmuration_core::transport::{
 use murmuration_core::wire;
 use murmuration_tensor::quant::BitWidth;
 use rand::{rngs::StdRng, Rng, SeedableRng};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::net::{Shutdown, SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
@@ -106,7 +106,16 @@ struct PendingReq {
     reply: Sender<TransportReply>,
     /// Encoded request frame, kept for resend after a reconnect.
     bytes: Arc<Vec<u8>>,
+    /// Per-request deadline ([`TransportJob::deadline`]): after this the
+    /// request is failed locally so a stalled socket cannot consume the
+    /// caller's whole budget waiting for reconnect+resend.
+    expires_at: Option<Instant>,
 }
+
+/// How many cancelled request ids are remembered while waiting for the
+/// worker's acknowledgement (bounded so cancels for already-computed work,
+/// which never get a `"cancelled"` answer, cannot accumulate).
+const CANCELLED_CAP: usize = 256;
 
 #[derive(Default)]
 struct PeerQueues {
@@ -114,8 +123,26 @@ struct PeerQueues {
     inflight: HashMap<u64, PendingReq>,
     /// Encoded frames the writer should send next.
     outbound: VecDeque<Arc<Vec<u8>>>,
+    /// Request ids cancelled by the executor (hedge losers): their
+    /// responses are swallowed instead of settled.
+    cancelled: HashSet<u64>,
+    /// FIFO ageing for `cancelled`.
+    cancelled_order: VecDeque<u64>,
     /// Whether a connection is currently established.
     connected: bool,
+}
+
+impl PeerQueues {
+    fn mark_cancelled(&mut self, req_id: u64) {
+        if self.cancelled.insert(req_id) {
+            self.cancelled_order.push_back(req_id);
+            while self.cancelled_order.len() > CANCELLED_CAP {
+                if let Some(old) = self.cancelled_order.pop_front() {
+                    self.cancelled.remove(&old);
+                }
+            }
+        }
+    }
 }
 
 struct Peer {
@@ -136,6 +163,11 @@ struct Peer {
     reconnects: AtomicU64,
     heartbeats_missed: AtomicU64,
     resends_deduped: AtomicU64,
+    cancels_delivered: AtomicU64,
+    /// Outstanding heartbeat probes (nonce → send time) for RTT tracking.
+    hb_sent: Mutex<HashMap<u64, Instant>>,
+    /// EWMA heartbeat RTT in microseconds (0 = no sample yet).
+    hb_rtt_us: AtomicU64,
     queues: Mutex<PeerQueues>,
     cond: Condvar,
     /// Live socket (for out-of-band shutdown on kill / transport stop).
@@ -202,6 +234,41 @@ impl Peer {
         let q = lock(&self.queues);
         let _ = self.cond.wait_timeout(q, dur);
     }
+
+    /// Fails every in-flight request whose per-request deadline has
+    /// passed, freeing its window slot. Runs on the writer loop while
+    /// connected and on the supervisor while reconnecting, so a stalled
+    /// or partitioned socket cannot hold a request past its budget.
+    fn sweep_expired(&self) {
+        let now = Instant::now();
+        let expired: Vec<PendingReq> = {
+            let mut q = lock(&self.queues);
+            let ids: Vec<u64> = q
+                .inflight
+                .iter()
+                .filter(|(_, p)| p.expires_at.is_some_and(|at| now >= at))
+                .map(|(id, _)| *id)
+                .collect();
+            if ids.is_empty() {
+                return;
+            }
+            let dropped = ids.iter().filter_map(|id| q.inflight.remove(id)).collect();
+            // The worker may still answer (or compute) these; swallowing
+            // the late response keeps the reply channel single-settle.
+            for id in ids {
+                q.mark_cancelled(id);
+            }
+            self.cond.notify_all();
+            dropped
+        };
+        for p in expired {
+            let _ = p.reply.send(TransportReply {
+                tag: p.tag,
+                attempt: p.attempt,
+                result: Err(ReplyError::Worker("transport request deadline expired".to_owned())),
+            });
+        }
+    }
 }
 
 /// A [`Transport`] reaching one remote worker process per device over TCP.
@@ -243,6 +310,9 @@ impl TcpTransport {
                 reconnects: AtomicU64::new(0),
                 heartbeats_missed: AtomicU64::new(0),
                 resends_deduped: AtomicU64::new(0),
+                cancels_delivered: AtomicU64::new(0),
+                hb_sent: Mutex::new(HashMap::new()),
+                hb_rtt_us: AtomicU64::new(0),
                 queues: Mutex::new(PeerQueues::default()),
                 cond: Condvar::new(),
                 conn: Mutex::new(None),
@@ -299,6 +369,9 @@ fn supervise(peer: Arc<Peer>) {
             peer.park(Duration::from_millis(20));
             continue;
         }
+        // While reconnecting, per-request deadlines still tick: a stalled
+        // link must not hold requests past their budget.
+        peer.sweep_expired();
         let stream = resolve(&peer.addr)
             .and_then(|sa| TcpStream::connect_timeout(&sa, peer.cfg.connect_timeout));
         match stream {
@@ -420,6 +493,7 @@ fn writer_loop(peer: &Arc<Peer>) {
                 return;
             }
         }
+        peer.sweep_expired();
         let now = Instant::now();
         if now >= next_tick {
             next_tick = now + hb;
@@ -437,6 +511,14 @@ fn writer_loop(peer: &Arc<Peer>) {
                 misses = 0;
             }
             nonce += 1;
+            {
+                let mut sent = lock(&peer.hb_sent);
+                // Unanswered probes (torn connections) must not leak.
+                if sent.len() > 64 {
+                    sent.clear();
+                }
+                sent.insert(nonce, Instant::now());
+            }
             if !peer.write_conn(&frame::encode_frame(&Msg::Heartbeat { nonce })) {
                 return;
             }
@@ -460,6 +542,11 @@ fn reader_loop(peer: &Arc<Peer>, mut stream: TcpStream) {
                 peer.touch_rx();
                 match msg {
                     Msg::ResponseOk { req_id, deduped, frame: tframe } => {
+                        if lock(&peer.queues).cancelled.remove(&req_id) {
+                            // The cancel lost the race (the work had
+                            // already run): drop the body, nobody waits.
+                            continue;
+                        }
                         if deduped {
                             peer.resends_deduped.fetch_add(1, Ordering::SeqCst);
                         }
@@ -468,11 +555,28 @@ fn reader_loop(peer: &Arc<Peer>, mut stream: TcpStream) {
                         settle(peer, req_id, result);
                     }
                     Msg::ResponseErr { req_id, msg } => {
+                        if lock(&peer.queues).cancelled.remove(&req_id) {
+                            if msg == "cancelled" {
+                                // The worker dropped the job unrun: the
+                                // cancel verifiably saved edge compute.
+                                peer.cancels_delivered.fetch_add(1, Ordering::SeqCst);
+                            }
+                            continue;
+                        }
                         settle(peer, req_id, Err(ReplyError::Worker(msg)));
                     }
+                    Msg::HeartbeatAck { nonce } => {
+                        // Probe RTT: a slow-but-alive link shows up here
+                        // long before the heartbeat-miss teardown fires.
+                        if let Some(at) = lock(&peer.hb_sent).remove(&nonce) {
+                            let rtt_us = at.elapsed().as_micros() as u64;
+                            let prev = peer.hb_rtt_us.load(Ordering::SeqCst);
+                            let next = if prev == 0 { rtt_us } else { (prev * 4 + rtt_us) / 5 };
+                            peer.hb_rtt_us.store(next.max(1), Ordering::SeqCst);
+                        }
+                    }
                     Msg::Goodbye => break,
-                    // Heartbeat acks (and anything else) only matter for
-                    // the `touch_rx` above.
+                    // Anything else only matters for the `touch_rx` above.
                     _ => {}
                 }
             }
@@ -519,7 +623,7 @@ impl Transport for TcpTransport {
         dev: usize,
         job: TransportJob,
         reply: Sender<TransportReply>,
-    ) -> Result<(), SubmitError> {
+    ) -> Result<u64, SubmitError> {
         let peer = &self.peers[dev];
         if peer.admin_down.load(Ordering::SeqCst)
             || peer.stopping.load(Ordering::SeqCst)
@@ -559,7 +663,13 @@ impl Transport for TcpTransport {
         }
         q.inflight.insert(
             req_id,
-            PendingReq { tag: job.tag, attempt: job.attempt, reply, bytes: Arc::clone(&bytes) },
+            PendingReq {
+                tag: job.tag,
+                attempt: job.attempt,
+                reply,
+                bytes: Arc::clone(&bytes),
+                expires_at: job.deadline.map(|d| Instant::now() + d),
+            },
         );
         let connected = q.connected;
         peer.cond.notify_all();
@@ -574,9 +684,25 @@ impl Transport for TcpTransport {
             let _ = peer.write_conn(&bytes);
         }
         // If disconnected, the request waits in `inflight`; the reconnect
-        // path resends it. The executor's per-attempt deadline bounds how
-        // long it is willing to wait for that.
-        Ok(())
+        // path resends it. The executor's per-attempt deadline — and the
+        // per-request `expires_at` sweep — bound how long that can take.
+        Ok(req_id)
+    }
+
+    fn cancel(&self, dev: usize, ticket: u64) {
+        let peer = &self.peers[dev];
+        {
+            let mut q = lock(&peer.queues);
+            if q.inflight.remove(&ticket).is_none() {
+                return; // already settled (or never ours): nothing to undo
+            }
+            q.mark_cancelled(ticket);
+            peer.cond.notify_all(); // a window slot just freed
+        }
+        // Best-effort: tell the worker so still-queued work is dropped.
+        // A failed write just means the work runs to completion and its
+        // response is swallowed by the cancelled set.
+        let _ = peer.write_conn(&frame::encode_frame(&Msg::Cancel { req_id: ticket }));
     }
 
     fn kill_device(&self, dev: usize) {
@@ -597,12 +723,18 @@ impl Transport for TcpTransport {
         self.peers[dev].garble.store(on, Ordering::SeqCst);
     }
 
+    fn link_rtt_ms(&self, dev: usize) -> Option<f64> {
+        let us = self.peers[dev].hb_rtt_us.load(Ordering::SeqCst);
+        (us > 0).then(|| us as f64 / 1e3)
+    }
+
     fn stats(&self) -> TransportStats {
         let mut s = TransportStats::default();
         for p in &self.peers {
             s.reconnects += p.reconnects.load(Ordering::SeqCst);
             s.heartbeats_missed += p.heartbeats_missed.load(Ordering::SeqCst);
             s.resends_deduped += p.resends_deduped.load(Ordering::SeqCst);
+            s.cancels_delivered += p.cancels_delivered.load(Ordering::SeqCst);
         }
         s
     }

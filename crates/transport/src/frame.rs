@@ -39,6 +39,7 @@ const TYPE_RESPONSE_ERR: u8 = 4;
 const TYPE_HEARTBEAT: u8 = 5;
 const TYPE_HEARTBEAT_ACK: u8 = 6;
 const TYPE_GOODBYE: u8 = 7;
+const TYPE_CANCEL: u8 = 8;
 
 /// One message between a coordinator and a worker.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -90,6 +91,15 @@ pub enum Msg {
     },
     /// Graceful close: the sender is draining and will not send again.
     Goodbye,
+    /// Best-effort hedge cancellation (coordinator → worker): the
+    /// coordinator no longer wants `req_id`'s result (a hedged sibling
+    /// already won). If the work is still queued the worker drops it and
+    /// answers with a `ResponseErr { msg: "cancelled" }`; if it already
+    /// ran (or was never seen) the cancel is ignored.
+    Cancel {
+        /// Request id to abandon.
+        req_id: u64,
+    },
 }
 
 /// Why a frame could not be read or parsed.
@@ -259,6 +269,10 @@ pub fn encode_frame(msg: &Msg) -> Vec<u8> {
             put_u64(&mut out, *nonce);
         }
         Msg::Goodbye => out.push(TYPE_GOODBYE),
+        Msg::Cancel { req_id } => {
+            out.push(TYPE_CANCEL);
+            put_u64(&mut out, *req_id);
+        }
     }
     finish_frame(out)
 }
@@ -303,6 +317,7 @@ pub fn parse_payload(mut payload: Vec<u8>) -> Result<Msg, FrameError> {
                 TYPE_HEARTBEAT => Msg::Heartbeat { nonce: c.u64()? },
                 TYPE_HEARTBEAT_ACK => Msg::HeartbeatAck { nonce: c.u64()? },
                 TYPE_GOODBYE => Msg::Goodbye,
+                TYPE_CANCEL => Msg::Cancel { req_id: c.u64()? },
                 _ => return Err(FrameError::Corrupt("unknown message type")),
             };
             Ok(msg)
@@ -355,6 +370,7 @@ mod tests {
             Msg::Heartbeat { nonce: 11 },
             Msg::HeartbeatAck { nonce: 11 },
             Msg::Goodbye,
+            Msg::Cancel { req_id: 42 },
         ]
     }
 

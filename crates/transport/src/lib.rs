@@ -26,6 +26,6 @@ pub mod client;
 pub mod frame;
 pub mod worker;
 
-pub use chaos::{ChaosConfig, ChaosProxy};
+pub use chaos::{ChaosConfig, ChaosDirection, ChaosProxy};
 pub use client::{TcpTransport, TcpTransportConfig};
 pub use worker::{WorkerConfig, WorkerServer};

@@ -82,6 +82,10 @@ enum Entry {
     /// `resent` records that a duplicate delivery arrived, so the eventual
     /// response is flagged `deduped`.
     Pending { route: Route, resent: bool },
+    /// A [`Msg::Cancel`] arrived while the work was still queued: the
+    /// compute loop drops it unrun and answers `"cancelled"` so the
+    /// coordinator can count the saved compute.
+    Cancelled { route: Route },
     /// Finished; the body is cached for duplicate deliveries.
     Done { body: Body },
 }
@@ -104,7 +108,7 @@ impl Dedup {
                     self.order.pop_front();
                     self.map.remove(&key);
                 }
-                Some(Entry::Pending { .. }) => break,
+                Some(Entry::Pending { .. } | Entry::Cancelled { .. }) => break,
             }
         }
     }
@@ -122,6 +126,7 @@ struct Shared {
     stop: AtomicBool,
     computed: AtomicU64,
     deduped: AtomicU64,
+    cancelled: AtomicU64,
     dedup: Mutex<Dedup>,
     work_tx: Sender<WorkItem>,
     conn_handles: Mutex<Vec<JoinHandle<()>>>,
@@ -155,6 +160,7 @@ impl WorkerServer {
             stop: AtomicBool::new(false),
             computed: AtomicU64::new(0),
             deduped: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
             dedup: Mutex::new(Dedup {
                 map: HashMap::new(),
                 order: VecDeque::new(),
@@ -194,6 +200,11 @@ impl WorkerServer {
     /// Duplicate deliveries served from the dedup map.
     pub fn deduped(&self) -> u64 {
         self.shared.deduped.load(Ordering::SeqCst)
+    }
+
+    /// Jobs dropped unrun because a cancel arrived while they were queued.
+    pub fn cancelled(&self) -> u64 {
+        self.shared.cancelled.load(Ordering::SeqCst)
     }
 
     /// Whether the server has stopped (externally or via a simulated
@@ -288,6 +299,14 @@ fn serve_connection(shared: &Arc<Shared>, stream: TcpStream) {
             Ok(Msg::Request { req_id, unit, frame: tframe }) => {
                 handle_request(shared, session, req_id, unit, &tframe, &route);
             }
+            Ok(Msg::Cancel { req_id }) => {
+                // Only still-queued work is cancellable; anything already
+                // computed (or never seen) is silently ignored.
+                let mut d = lock(&shared.dedup);
+                if let Some(entry @ Entry::Pending { .. }) = d.map.get_mut(&(session, req_id)) {
+                    *entry = Entry::Cancelled { route: Arc::clone(&route) };
+                }
+            }
             Ok(Msg::Goodbye) => break,
             Ok(_) => {}
             Err(frame::FrameError::Io(ref e)) if frame::is_timeout(e) => continue,
@@ -337,6 +356,9 @@ fn handle_request(
                 shared.deduped.fetch_add(1, Ordering::SeqCst);
                 Action::Resend(encode_response(req_id, body, true))
             }
+            // A duplicate delivery of cancelled work stays cancelled; the
+            // compute loop will answer on the cancel's route.
+            Some(Entry::Cancelled { .. }) => Action::None,
         }
     };
     match action {
@@ -372,6 +394,28 @@ fn compute_loop(shared: &Arc<Shared>, work_rx: &Receiver<WorkItem>) {
             Err(RecvTimeoutError::Timeout) => continue,
             Err(RecvTimeoutError::Disconnected) => break,
         };
+        // A cancel that landed while this item sat in the queue saves the
+        // compute: answer "cancelled" (so the coordinator can count the
+        // delivered cancel) and move on.
+        {
+            let skip = {
+                let mut d = lock(&shared.dedup);
+                if let Some(Entry::Cancelled { route }) = d.map.get(&item.key) {
+                    let route = Arc::clone(route);
+                    let body: Body = Err("cancelled".to_owned());
+                    let resp = encode_response(item.key.1, &body, false);
+                    d.map.insert(item.key, Entry::Done { body });
+                    shared.cancelled.fetch_add(1, Ordering::SeqCst);
+                    Some((route, resp))
+                } else {
+                    None
+                }
+            };
+            if let Some((route, resp)) = skip {
+                write_route(&route, &resp);
+                continue;
+            }
+        }
         let dev = shared.cfg.dev_id;
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             shared.compute.run_unit_on(dev, item.unit, &item.input)
@@ -407,6 +451,9 @@ fn compute_loop(shared: &Arc<Shared>, work_rx: &Receiver<WorkItem>) {
             let Some(entry) = d.map.get_mut(&item.key) else { continue };
             let (route, resent) = match entry {
                 Entry::Pending { route, resent } => (route.clone(), *resent),
+                // Cancelled mid-compute: the work is already done, so
+                // answer normally — the client discards it either way.
+                Entry::Cancelled { route } => (route.clone(), false),
                 Entry::Done { .. } => continue, // impossible, but harmless
             };
             let resp = encode_response(item.key.1, &body, resent);

@@ -20,6 +20,10 @@ cargo test -q
 echo "==> chaos tests (bounded: a hang is a failure, not a stuck CI job)"
 timeout 300 cargo test -q --test executor_chaos --test runtime_degraded
 
+echo "==> straggler chaos + health proptests (bounded: hedging must never hang)"
+timeout 300 cargo test -q --test straggler_chaos
+timeout 300 cargo test -q -p murmuration-core --test health_proptest
+
 echo "==> serving-layer tests (bounded: the serve loop must never hang)"
 timeout 300 cargo test -q --test serve_loop --test serve_chaos
 timeout 300 cargo test -q -p murmuration-serve
@@ -29,7 +33,8 @@ timeout 300 cargo test -q --test transport_chaos --test transport_parity
 
 echo "==> fault-path lint gates (no unwrap/expect in hardened modules)"
 for f in crates/core/src/executor.rs crates/core/src/wire.rs \
-         crates/core/src/fault.rs crates/transport/src/lib.rs; do
+         crates/core/src/fault.rs crates/core/src/health.rs \
+         crates/transport/src/lib.rs; do
     if ! grep -q 'deny(clippy::unwrap_used, clippy::expect_used)' "$f"; then
         echo "error: $f lost its unwrap/expect lint gate" >&2
         exit 1
@@ -42,16 +47,33 @@ if ! grep -q 'deny(clippy::unwrap_used, clippy::expect_used)' crates/serve/src/l
     exit 1
 fi
 
+# Perf gates measure single-digit-percent overheads on whatever box CI
+# happens to run on; a background noise burst during one bench reads as
+# a phantom regression. One retry after a cool-down separates "this
+# commit regressed" (fails twice) from "the box hiccupped" (passes on
+# the quiet rerun).
+perf_gate() {
+    if ! timeout 300 "$1"; then
+        echo "    (perf gate failed once; retrying after a cool-down)"
+        sleep 5
+        timeout 300 "$1"
+    fi
+}
+
 echo "==> serving benchmark gates (overhead <= 5%, goodput >= 1.5x, p99 in SLO)"
 cargo build --release -q -p murmuration-bench --bin bench_serve
-timeout 300 ./target/release/bench_serve
+perf_gate ./target/release/bench_serve
 
 echo "==> fault-path benchmark (bounded: failover costs are measured, not assumed)"
 cargo build --release -q -p murmuration-bench --bin bench_faults
-timeout 300 ./target/release/bench_faults
+perf_gate ./target/release/bench_faults
 
 echo "==> transport benchmark gate (loopback-TCP overhead <= 15% on the B32 happy path)"
 cargo build --release -q -p murmuration-bench --bin bench_transport
-timeout 300 ./target/release/bench_transport
+perf_gate ./target/release/bench_transport
+
+echo "==> hedging benchmark gates (brownout p99 <= 0.5x unhedged, overhead <= 5%, hedge rate <= 10%)"
+cargo build --release -q -p murmuration-bench --bin bench_hedging
+perf_gate ./target/release/bench_hedging
 
 echo "All checks passed."

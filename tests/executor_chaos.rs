@@ -42,6 +42,7 @@ fn chaos_opts() -> ExecOptions {
         deadline: Duration::from_millis(250),
         max_attempts: 3,
         backoff: Duration::from_millis(1),
+        hedge: None,
     }
 }
 

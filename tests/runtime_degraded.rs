@@ -110,3 +110,89 @@ fn cache_is_purged_when_a_device_dies() {
     assert_eq!(r3.devices_used, r0.devices_used, "healthy decision is restored");
     assert!(r4.cached, "healthy cache refills after recovery");
 }
+
+/// Gray-failure variant of the purge invariant: a device quarantined by
+/// latency outliers (never reported down) must purge the cached
+/// strategies that used it, and walking the device back through canary
+/// re-admission must not resurrect those stale entries — the first
+/// post-recovery decision is computed fresh, then re-caches.
+#[test]
+fn quarantine_purges_cache_and_readmission_does_not_resurrect() {
+    use murmuration::runtime::health::HealthState;
+
+    let sc = Scenario::augmented_computing(SloKind::Latency);
+    let link = LinkState { bandwidth_mbps: 300.0, delay_ms: 5.0 };
+    let net = NetworkState::uniform(sc.n_remote(), link);
+    let policy = LstmPolicy::new(sc.input_dim(), 16, sc.arities(), 0);
+    let cfg = RuntimeConfig { monitor_noise: 0.0, ..Default::default() };
+    // Tight SLO forces the healthy decision to offload.
+    let mut rt = Runtime::new(sc, policy, cfg, Slo::LatencyMs(85.0));
+    let mut rng = StdRng::seed_from_u64(2);
+
+    let r0 = rt.infer(&net, 0.0, &mut rng);
+    let r1 = rt.infer(&net, 100.0, &mut rng);
+    assert!(r1.cached, "stable conditions must hit the cache");
+    let Some(&straggler) = r0.devices_used.iter().find(|&&d| d != 0) else {
+        panic!("test premise: a tight SLO must offload (got {:?})", r0.devices_used)
+    };
+
+    // Arm the straggler's latency tracker with a fast baseline, then feed
+    // slow-success outliers until the gray detector quarantines it. The
+    // device never fails — it is a brownout, invisible to the crash
+    // detector.
+    let mut t = 200.0;
+    for i in 0..16 {
+        rt.report_exec_latency(straggler, 10.0 + 0.1 * (i % 5) as f64, t);
+        t += 1.0;
+    }
+    for _ in 0..32 {
+        if rt.gray_states()[straggler] == HealthState::Quarantined {
+            break;
+        }
+        rt.report_exec_latency(straggler, 200.0, t);
+        t += 1.0;
+    }
+    assert_eq!(
+        rt.gray_states()[straggler],
+        HealthState::Quarantined,
+        "slow-success outliers must quarantine the brownout device"
+    );
+    assert!(!rt.placeable_mask()[straggler], "quarantined devices are not placeable");
+    assert!(rt.alive_mask()[straggler], "gray failure: the device is alive, just slow");
+
+    // The cached offload strategy referenced the quarantined device: it
+    // must be gone, and the fresh decision must route around it.
+    let r2 = rt.infer(&net, t, &mut rng);
+    assert!(!r2.cached, "a strategy on a quarantined device must not be served from cache");
+    assert!(
+        !r2.devices_used.contains(&straggler),
+        "no plan may place work on a quarantined device: {:?}",
+        r2.devices_used
+    );
+
+    // Re-admission: wait out the canary backoff (infer polls the gray
+    // clock), then pass the canaries with fast successes.
+    t += 9_000.0;
+    rt.poll_gray(t);
+    assert_eq!(
+        rt.gray_states()[straggler],
+        HealthState::Probation,
+        "an elapsed canary backoff must re-probe the device"
+    );
+    for _ in 0..4 {
+        rt.report_exec_latency(straggler, 10.0, t);
+        t += 1.0;
+    }
+    assert_eq!(rt.gray_states()[straggler], HealthState::Healthy, "canaries passed");
+    assert_eq!(rt.gray_penalties()[straggler], 1.0, "re-admission clears the penalty");
+    assert!(rt.placeable_mask()[straggler], "re-admitted device is placeable again");
+
+    // The purged entries were dropped, not suspended: the first
+    // post-recovery decision is computed fresh (cache miss), lands back
+    // on the healthy offload strategy, and re-caches.
+    let r3 = rt.infer(&net, t, &mut rng);
+    assert!(!r3.cached, "re-admission must not resurrect purged strategies");
+    assert_eq!(r3.devices_used, r0.devices_used, "healthy decision is restored");
+    let r4 = rt.infer(&net, t + 100.0, &mut rng);
+    assert!(r4.cached, "the restored strategy re-caches on the next request");
+}

@@ -60,6 +60,7 @@ fn chaos_opts() -> ExecOptions {
         deadline: Duration::from_millis(250),
         max_attempts: 4,
         backoff: Duration::from_millis(1),
+        hedge: None,
     }
 }
 
@@ -247,6 +248,7 @@ fn random_chaos_stream_never_hangs_and_ok_results_are_exact() {
                 drop_prob: 0.15,
                 corrupt_prob: 0.1,
                 reorder_prob: 0.2,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -333,6 +335,7 @@ fn resend_after_connection_loss_is_deduped_not_recomputed() {
             deadline: Duration::from_secs(20),
             max_attempts: 1,
             backoff: Duration::from_millis(1),
+            hedge: None,
         };
         let (done_tx, done_rx) = std::sync::mpsc::channel();
         let runner = std::thread::spawn(move || {

@@ -63,6 +63,7 @@ fn opts() -> ExecOptions {
         deadline: Duration::from_secs(5),
         max_attempts: 3,
         backoff: Duration::from_millis(1),
+        hedge: None,
     }
 }
 
