@@ -1170,19 +1170,42 @@ impl Executor {
 /// ReLU — the structure of the supernet's convolutional stages, sized for
 /// tests and examples. Deterministic from its seed, so a remote worker
 /// process built with the same parameters hosts bit-identical weights.
+///
+/// Units whose plan selects 8-bit compute ([`ExecUnit::compute_bits`] in
+/// the supernet crate) carry pre-quantized int8 weights alongside the f32
+/// originals and run the `murmuration_tensor::int8` path. Quantization
+/// happens at construction — deterministic from the same seed — and the
+/// int8 kernels round identically on every device (SIMD or scalar), so
+/// distributed execution still reproduces local execution bit for bit.
 pub struct ConvStackCompute {
     /// Per unit: a list of (weight, bias, params) conv layers.
     units: Vec<Vec<(Tensor, Tensor, murmuration_tensor::conv::Conv2dParams)>>,
+    /// Per unit: int8 weights for units running the quantized compute path
+    /// (`None` = f32 unit).
+    qunits: Vec<Option<Vec<murmuration_tensor::int8::QConv2dWeights>>>,
 }
 
 impl ConvStackCompute {
     /// Random conv stacks: `n_units` units of `layers_per_unit` k3
-    /// same-padded convs over `channels` channels.
+    /// same-padded convs over `channels` channels. All units run f32.
     pub fn random(n_units: usize, layers_per_unit: usize, channels: usize, seed: u64) -> Self {
+        Self::random_quantized(n_units, layers_per_unit, channels, seed, &[])
+    }
+
+    /// [`Self::random`] with the units flagged in `int8_units` running the
+    /// int8 compute path (indices past the end are f32).
+    pub fn random_quantized(
+        n_units: usize,
+        layers_per_unit: usize,
+        channels: usize,
+        seed: u64,
+        int8_units: &[bool],
+    ) -> Self {
         use rand::{rngs::StdRng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(seed);
         let p = murmuration_tensor::conv::Conv2dParams::same(3);
-        let units = (0..n_units)
+        let units: Vec<Vec<(Tensor, Tensor, murmuration_tensor::conv::Conv2dParams)>> = (0
+            ..n_units)
             .map(|_| {
                 (0..layers_per_unit)
                     .map(|_| {
@@ -1199,7 +1222,24 @@ impl ConvStackCompute {
                     .collect()
             })
             .collect();
-        ConvStackCompute { units }
+        let qunits = units
+            .iter()
+            .enumerate()
+            .map(|(u, layers)| {
+                int8_units.get(u).copied().unwrap_or(false).then(|| {
+                    layers
+                        .iter()
+                        .map(|(w, _, _)| murmuration_tensor::int8::QConv2dWeights::quantize(w))
+                        .collect()
+                })
+            })
+            .collect();
+        ConvStackCompute { units, qunits }
+    }
+
+    /// Whether `unit` runs the int8 compute path.
+    pub fn is_int8_unit(&self, unit: usize) -> bool {
+        self.qunits.get(unit).map(Option::is_some).unwrap_or(false)
     }
 }
 
@@ -1210,9 +1250,19 @@ impl UnitCompute for ConvStackCompute {
 
     fn run_unit(&self, unit: usize, input: &Tensor) -> Tensor {
         let mut cur = input.clone();
-        for (w, b, p) in &self.units[unit] {
-            cur = murmuration_tensor::conv::conv2d(&cur, w, Some(b), *p);
-            murmuration_tensor::activation::relu_inplace(&mut cur);
+        match &self.qunits[unit] {
+            Some(qlayers) => {
+                for (q, (_, b, p)) in qlayers.iter().zip(&self.units[unit]) {
+                    cur = murmuration_tensor::int8::qconv2d(&cur, q, Some(b), *p);
+                    murmuration_tensor::activation::relu_inplace(&mut cur);
+                }
+            }
+            None => {
+                for (w, b, p) in &self.units[unit] {
+                    cur = murmuration_tensor::conv::conv2d(&cur, w, Some(b), *p);
+                    murmuration_tensor::activation::relu_inplace(&mut cur);
+                }
+            }
         }
         cur
     }
@@ -1280,6 +1330,36 @@ mod tests {
         assert!(report.wall_ms >= 0.0);
         assert_eq!(report.retries + report.failovers + report.deadline_misses, 0);
         assert_eq!(report.reconnects + report.heartbeats_missed + report.resends_deduped, 0);
+    }
+
+    #[test]
+    fn int8_units_distributed_matches_local_exactly() {
+        use rand::{rngs::StdRng, SeedableRng};
+        // Middle unit runs the int8 compute path; the int8 kernels are
+        // bit-identical across devices (SIMD or scalar), so distributing
+        // must reproduce the local pass exactly.
+        let compute =
+            Arc::new(ConvStackCompute::random_quantized(3, 2, 4, 7, &[false, true, false]));
+        assert!(!compute.is_int8_unit(0));
+        assert!(compute.is_int8_unit(1));
+        let exec = Executor::new(3, compute.clone());
+        let mut rng = StdRng::seed_from_u64(1);
+        let input = Tensor::rand_uniform(Shape::nchw(1, 4, 12, 12), 1.0, &mut rng);
+        let (out, _) = exec
+            .execute(
+                &remote_plan(),
+                &wire_all(BitWidth::B32, GridSpec::new(1, 1), 3),
+                input.clone(),
+            )
+            .unwrap();
+        let expect = local_reference(&compute, &input);
+        assert_eq!(out.data(), expect.data());
+
+        // And the int8 unit genuinely diverges from its f32 twin — the
+        // quantized path is being exercised, not silently skipped.
+        let f32_twin = ConvStackCompute::random(3, 2, 4, 7);
+        let f32_out = local_reference(&f32_twin, &input);
+        assert_ne!(expect.data(), f32_out.data());
     }
 
     #[test]

@@ -37,16 +37,36 @@ pub struct ComputeProfile {
     pub mem_bw_bytes_per_ms: f64,
     /// Storage bandwidth (bytes/ms) — weight reload from disk/SD.
     pub disk_bw_bytes_per_ms: f64,
+    /// Speedup of the int8 compute path over f32 for conv/depthwise/FC ops
+    /// (FC is memory-bound here, but int8 also quarters its byte traffic).
+    /// Dispatch overhead and pool/elementwise ops are unaffected. Calibrated
+    /// per class: narrow-SIMD CPUs roughly double their per-cycle MAC rate
+    /// (`vpmaddubsw` does 2 MACs/lane-pair), dp4a-class accelerators a bit
+    /// more, while the eager-GPU profile gains less because per-op dispatch
+    /// dominates its layer times.
+    pub int8_speedup: f64,
 }
 
 impl ComputeProfile {
     /// Time to execute `macs` MACs of operator class `op`, including the
     /// dispatch overhead.
     pub fn layer_time_ms(&self, op: OpKind, macs: u64) -> f64 {
+        self.layer_time_ms_q(op, macs, false)
+    }
+
+    /// [`Self::layer_time_ms`], selecting the int8 compute path when `int8`
+    /// is set. Only the MAC-rate term scales — `layer_overhead_ms` and the
+    /// memory-bound rate are precision-independent.
+    pub fn layer_time_ms_q(&self, op: OpKind, macs: u64, int8: bool) -> f64 {
         let rate = match op {
             OpKind::Conv => self.conv_macs_per_ms,
             OpKind::DwConv => self.conv_macs_per_ms * self.dw_efficiency,
             OpKind::Pool | OpKind::Elementwise | OpKind::Fc => self.membound_macs_per_ms,
+        };
+        let rate = if int8 && matches!(op, OpKind::Conv | OpKind::DwConv | OpKind::Fc) {
+            rate * self.int8_speedup
+        } else {
+            rate
         };
         macs as f64 / rate + self.layer_overhead_ms
     }
@@ -75,6 +95,7 @@ impl DeviceKind {
                 layer_overhead_ms: 0.15,
                 mem_bw_bytes_per_ms: 3.0e6,
                 disk_bw_bytes_per_ms: 40.0e3,
+                int8_speedup: 2.2,
             },
             // ~1 TMAC/s effective arithmetic, but eager-framework per-op
             // dispatch (~0.8 ms/layer) dominates layer-heavy nets — this is
@@ -87,6 +108,7 @@ impl DeviceKind {
                 layer_overhead_ms: 0.8,
                 mem_bw_bytes_per_ms: 200.0e6,
                 disk_bw_bytes_per_ms: 1.5e6 * 1.0e3,
+                int8_speedup: 1.5,
             },
             // ~20 GMAC/s effective edge accelerator.
             DeviceKind::JetsonClass => ComputeProfile {
@@ -96,6 +118,7 @@ impl DeviceKind {
                 layer_overhead_ms: 0.10,
                 mem_bw_bytes_per_ms: 20.0e6,
                 disk_bw_bytes_per_ms: 200.0e3,
+                int8_speedup: 2.5,
             },
         }
     }
@@ -195,6 +218,28 @@ mod tests {
         let gpu = DeviceKind::DesktopGpu.profile();
         for op in [OpKind::Conv, OpKind::DwConv, OpKind::Fc, OpKind::Pool] {
             assert!(gpu.layer_time_ms(op, 10_000_000) < pi.layer_time_ms(op, 10_000_000));
+        }
+    }
+
+    #[test]
+    fn int8_speeds_up_mac_bound_ops_only() {
+        for kind in [DeviceKind::RaspberryPi4, DeviceKind::DesktopGpu, DeviceKind::JetsonClass] {
+            let p = kind.profile();
+            for op in [OpKind::Conv, OpKind::DwConv, OpKind::Fc] {
+                let f = p.layer_time_ms_q(op, 50_000_000, false);
+                let q = p.layer_time_ms_q(op, 50_000_000, true);
+                assert!(q < f, "{kind:?}/{op:?}: int8 {q} ms !< f32 {f} ms");
+                // The MAC term (not the fixed overhead) scales by the ratio.
+                let want = (f - p.layer_overhead_ms) / p.int8_speedup + p.layer_overhead_ms;
+                assert!((q - want).abs() < 1e-9);
+            }
+            for op in [OpKind::Pool, OpKind::Elementwise] {
+                assert_eq!(
+                    p.layer_time_ms_q(op, 1_000_000, true),
+                    p.layer_time_ms_q(op, 1_000_000, false),
+                    "{kind:?}/{op:?} must be precision-independent"
+                );
+            }
         }
     }
 

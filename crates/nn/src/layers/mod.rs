@@ -6,6 +6,7 @@ mod layernorm;
 mod linear;
 mod norm;
 mod pool;
+mod quantized;
 
 pub use act::{HSwish, ReLU};
 pub use conv::{Conv2d, DepthwiseConv2d};
@@ -13,6 +14,7 @@ pub use layernorm::LayerNorm;
 pub use linear::{Flatten, Linear};
 pub use norm::BatchNorm2d;
 pub use pool::{GlobalAvgPool, MaxPool2d};
+pub use quantized::{relative_l2_error, QuantConv2d, QuantLinear};
 
 #[cfg(test)]
 pub(crate) mod gradcheck {

@@ -1,0 +1,183 @@
+//! Inference-only int8 layers.
+//!
+//! [`QuantConv2d`] and [`QuantLinear`] are built *from* trained f32 layers
+//! ([`Conv2d`], [`Linear`]) by per-output-channel weight quantization; their
+//! forward pass runs the end-to-end int8 compute path in
+//! [`murmuration_tensor::int8`] — per-tensor activation quantization, i32
+//! accumulation, f32 epilogue. They carry no gradients: the runtime swaps
+//! them in when a plan's low-bit config selects int8 compute for a unit,
+//! trading a bounded accuracy loss for the kernel speedup measured in
+//! `bench_kernels`.
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use crate::layers::{Conv2d, Linear};
+use crate::module::Module;
+use crate::param::Param;
+use murmuration_tensor::conv::Conv2dParams;
+use murmuration_tensor::int8::{qconv2d, qlinear, QConv2dWeights, QGemmWeights};
+use murmuration_tensor::Tensor;
+
+/// Int8 convolution: weights quantized per output channel at build time,
+/// activations per tensor at each forward pass.
+pub struct QuantConv2d {
+    weights: QConv2dWeights,
+    bias: Option<Tensor>,
+    /// Convolution geometry, identical to the source layer's.
+    pub params: Conv2dParams,
+    c_in: usize,
+}
+
+impl QuantConv2d {
+    /// Quantizes a trained [`Conv2d`]'s weights into an int8 forward layer.
+    pub fn from_conv(src: &Conv2d) -> Self {
+        let shape = src.weight.value.shape();
+        let c_in = shape.c();
+        QuantConv2d {
+            weights: QConv2dWeights::quantize(&src.weight.value),
+            bias: src.bias.as_ref().map(|b| b.value.clone()),
+            params: src.params,
+            c_in,
+        }
+    }
+
+    /// Output channel count.
+    pub fn c_out(&self) -> usize {
+        self.weights.c_out()
+    }
+}
+
+impl Module for QuantConv2d {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        assert!(!train, "QuantConv2d is inference-only");
+        assert_eq!(x.shape().c(), self.c_in, "QuantConv2d input channels");
+        qconv2d(x, &self.weights, self.bias.as_ref(), self.params)
+    }
+
+    fn backward(&mut self, _dy: &Tensor) -> Tensor {
+        panic!("QuantConv2d has no backward pass; quantize after training")
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    fn name(&self) -> &'static str {
+        "QuantConv2d"
+    }
+}
+
+/// Int8 fully-connected layer: `y = x Wᵀ + b` with int8 weights/activations
+/// and i32 accumulation.
+pub struct QuantLinear {
+    weights: QGemmWeights,
+    bias: Vec<f32>,
+    in_features: usize,
+}
+
+impl QuantLinear {
+    /// Quantizes a trained [`Linear`]'s weights into an int8 forward layer.
+    pub fn from_linear(src: &Linear) -> Self {
+        let shape = src.weight.value.shape();
+        let (out_features, in_features) = (shape.dim(0), shape.dim(1));
+        QuantLinear {
+            weights: QGemmWeights::quantize(out_features, in_features, src.weight.value.data()),
+            bias: src.bias.value.data().to_vec(),
+            in_features,
+        }
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.weights.m()
+    }
+}
+
+impl Module for QuantLinear {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        assert!(!train, "QuantLinear is inference-only");
+        assert_eq!(x.shape().rank(), 2, "QuantLinear expects [batch, in]");
+        assert_eq!(x.shape().dim(1), self.in_features, "QuantLinear in_features");
+        qlinear(x, &self.weights, Some(&self.bias))
+    }
+
+    fn backward(&mut self, _dy: &Tensor) -> Tensor {
+        panic!("QuantLinear has no backward pass; quantize after training")
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    fn name(&self) -> &'static str {
+        "QuantLinear"
+    }
+}
+
+/// Relative L2 error of the int8 layer against its f32 source — the accuracy
+/// cost the planner trades against the int8 speedup.
+pub fn relative_l2_error(f32_out: &Tensor, q_out: &Tensor) -> f32 {
+    assert_eq!(f32_out.shape(), q_out.shape(), "shape mismatch");
+    let mut num = 0.0f64;
+    let mut den = 0.0f64;
+    for (&a, &b) in f32_out.data().iter().zip(q_out.data().iter()) {
+        num += f64::from(a - b) * f64::from(a - b);
+        den += f64::from(a) * f64::from(a);
+    }
+    if den == 0.0 {
+        return if num == 0.0 { 0.0 } else { f32::MAX };
+    }
+    ((num / den).sqrt()) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use murmuration_tensor::Shape;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn quant_conv_tracks_f32_within_quantization_noise() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut f = Conv2d::new(8, 16, Conv2dParams::same(3), true, &mut rng);
+        let mut q = QuantConv2d::from_conv(&f);
+        let x = Tensor::rand_uniform(Shape::nchw(2, 8, 14, 14), 1.0, &mut rng);
+        let yf = f.forward(&x, false);
+        let yq = q.forward(&x, false);
+        assert_eq!(yf.shape(), yq.shape());
+        let err = relative_l2_error(&yf, &yq);
+        assert!(err < 0.05, "int8 conv relative L2 error {err} too large");
+        assert!(err > 0.0, "int8 conv should not be bit-exact vs f32");
+    }
+
+    #[test]
+    fn quant_linear_tracks_f32_within_quantization_noise() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut f = Linear::new(64, 10, &mut rng);
+        let mut q = QuantLinear::from_linear(&f);
+        assert_eq!(q.out_features(), 10);
+        let x = Tensor::rand_uniform(Shape::d2(4, 64), 1.0, &mut rng);
+        let yf = f.forward(&x, false);
+        let yq = q.forward(&x, false);
+        let err = relative_l2_error(&yf, &yq);
+        assert!(err < 0.05, "int8 linear relative L2 error {err} too large");
+    }
+
+    #[test]
+    fn quant_layers_have_no_params() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let f = Conv2d::new(2, 3, Conv2dParams::same(3), false, &mut rng);
+        let mut q = QuantConv2d::from_conv(&f);
+        assert_eq!(q.param_count(), 0);
+        assert_eq!(q.c_out(), 3);
+    }
+
+    #[test]
+    fn quant_conv_strided_no_bias() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let mut f =
+            Conv2d::new(4, 6, Conv2dParams { kernel: 3, stride: 2, pad: 1 }, false, &mut rng);
+        let mut q = QuantConv2d::from_conv(&f);
+        let x = Tensor::rand_uniform(Shape::nchw(1, 4, 9, 9), 1.0, &mut rng);
+        let yf = f.forward(&x, false);
+        let yq = q.forward(&x, false);
+        assert_eq!(yf.shape(), yq.shape());
+        assert!(relative_l2_error(&yf, &yq) < 0.05);
+    }
+}

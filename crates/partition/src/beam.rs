@@ -8,7 +8,7 @@
 //! problem has — it is the planner a deployment without a trained policy
 //! would use, and a strong deterministic oracle for the harness.
 
-use crate::estimator::{layers_time_ms, redistribute, Holder};
+use crate::estimator::{layers_time_ms_bits, redistribute, Holder};
 use crate::plan::{ExecutionPlan, UnitPlacement};
 use murmuration_edgesim::{Device, DeviceId, NetworkState};
 use murmuration_supernet::SubnetSpec;
@@ -79,7 +79,12 @@ pub fn plan_beam(
                     .iter()
                     .zip(participants.iter())
                     .map(|(&(d, ready), &(_, frac, count))| {
-                        let t = layers_time_ms(&devices[d].profile(), &unit.layers, width);
+                        let t = layers_time_ms_bits(
+                            &devices[d].profile(),
+                            &unit.layers,
+                            width,
+                            unit.compute_bits(),
+                        );
                         Holder { dev: d, frac, ready_ms: ready + t * count as f64 }
                     })
                     .collect();

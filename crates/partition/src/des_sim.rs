@@ -7,7 +7,7 @@
 //! the closed-form [`LatencyEstimator`](crate::estimator::LatencyEstimator)
 //! — a strong property test over random specs, plans, and networks.
 
-use crate::estimator::{layers_time_ms, Holder};
+use crate::estimator::{layers_time_ms_bits, Holder};
 use crate::plan::ExecutionPlan;
 use murmuration_edgesim::des::EventQueue;
 use murmuration_edgesim::{Device, NetworkState};
@@ -54,8 +54,12 @@ pub fn simulate(
             Ev::InputReady { unit, slot } => {
                 let (dev, _frac, count) = shares[unit][slot];
                 let tiles = widths[unit];
-                let compute =
-                    layers_time_ms(&devices[dev].profile(), &spec.units[unit].layers, tiles);
+                let compute = layers_time_ms_bits(
+                    &devices[dev].profile(),
+                    &spec.units[unit].layers,
+                    tiles,
+                    spec.units[unit].compute_bits(),
+                );
                 q.schedule_at(t + compute * count as f64, Ev::ComputeDone { unit, slot });
             }
             Ev::ComputeDone { unit, slot } => {

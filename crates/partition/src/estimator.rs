@@ -83,14 +83,33 @@ pub fn seam_overhead(tiles: usize) -> f64 {
 }
 
 /// Compute time of a layer sequence on one device, with MACs scaled by
-/// `1/tiles × seam_overhead` when tiled.
+/// `1/tiles × seam_overhead` when tiled. f32 compute; see
+/// [`layers_time_ms_bits`] for precision-aware costing.
 pub fn layers_time_ms(
     profile: &murmuration_edgesim::ComputeProfile,
     layers: &[LayerSpec],
     tiles: usize,
 ) -> f64 {
+    layers_time_ms_bits(profile, layers, tiles, BitWidth::B32)
+}
+
+/// [`layers_time_ms`] at an explicit *compute* precision: `B8` charges
+/// MAC-bound layers at the profile's int8 rate (the device runs the
+/// `murmuration_tensor::int8` kernels), anything wider is costed as f32.
+/// Callers derive `bits` from `ExecUnit::compute_bits()` so the estimate
+/// tracks what the executor actually runs.
+pub fn layers_time_ms_bits(
+    profile: &murmuration_edgesim::ComputeProfile,
+    layers: &[LayerSpec],
+    tiles: usize,
+    bits: BitWidth,
+) -> f64 {
+    let int8 = bits == BitWidth::B8;
     let scale = if tiles <= 1 { 1.0 } else { seam_overhead(tiles) / tiles as f64 };
-    layers.iter().map(|l| profile.layer_time_ms(l.op, (l.macs as f64 * scale).ceil() as u64)).sum()
+    layers
+        .iter()
+        .map(|l| profile.layer_time_ms_q(l.op, (l.macs as f64 * scale).ceil() as u64, int8))
+        .sum()
 }
 
 /// Latency estimator bound to a device fleet and current network state.
@@ -143,7 +162,12 @@ impl<'a> LatencyEstimator<'a> {
                 .iter()
                 .zip(participants.iter())
                 .map(|(&(d, ready), &(_, frac, count))| {
-                    let t = layers_time_ms(&self.devices[d].profile(), &unit.layers, tiles);
+                    let t = layers_time_ms_bits(
+                        &self.devices[d].profile(),
+                        &unit.layers,
+                        tiles,
+                        unit.compute_bits(),
+                    );
                     Holder { dev: d, frac, ready_ms: ready + t * count as f64 }
                 })
                 .collect();
@@ -201,7 +225,12 @@ impl<'a> LatencyEstimator<'a> {
                 .iter()
                 .zip(participants.iter())
                 .map(|(&(d, r), &(_, frac, count))| {
-                    let t = layers_time_ms(&self.devices[d].profile(), &unit.layers, tiles);
+                    let t = layers_time_ms_bits(
+                        &self.devices[d].profile(),
+                        &unit.layers,
+                        tiles,
+                        unit.compute_bits(),
+                    );
                     Holder { dev: d, frac, ready_ms: r + t * count as f64 }
                 })
                 .collect();

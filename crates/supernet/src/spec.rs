@@ -75,6 +75,22 @@ impl ExecUnit {
     pub fn spatially_partitionable(&self) -> bool {
         self.layers.iter().all(|l| l.spatial_ok)
     }
+
+    /// The *compute* precision this unit runs at on its device.
+    ///
+    /// A unit whose wire quantization is already 8-bit ships int8 codes
+    /// between devices, so running the unit's conv/linear kernels on the
+    /// int8 compute path (`murmuration_tensor::int8`) adds no extra wire
+    /// error — the activations were going to be quantized anyway — and buys
+    /// the int8 GEMM speedup. Wider wire settings keep f32 compute: their
+    /// configs were chosen to preserve precision across the boundary, and
+    /// silently narrowing the math would undercut that choice.
+    pub fn compute_bits(&self) -> BitWidth {
+        match self.quant {
+            BitWidth::B8 => BitWidth::B8,
+            BitWidth::B16 | BitWidth::B32 => BitWidth::B32,
+        }
+    }
 }
 
 /// A lowered subnet: ordered execution units.

@@ -16,6 +16,7 @@
 use crate::gemm::gemm_bias;
 use crate::scratch;
 use crate::shape::{conv_out_size, Shape};
+use crate::simd;
 use crate::tensor::Tensor;
 use rayon::prelude::*;
 
@@ -57,10 +58,40 @@ pub fn im2col(
     p: Conv2dParams,
     cols: &mut Vec<f32>,
 ) -> (usize, usize) {
+    im2col_generic(0.0f32, input, c_in, h, w, p, cols)
+}
+
+/// [`im2col`] over i8 activation codes, used by the int8 compute path in
+/// [`crate::int8`]. Out-of-bounds taps read as the zero code.
+pub fn im2col_i8(
+    input: &[i8],
+    c_in: usize,
+    h: usize,
+    w: usize,
+    p: Conv2dParams,
+    cols: &mut Vec<i8>,
+) -> (usize, usize) {
+    im2col_generic(0i8, input, c_in, h, w, p, cols)
+}
+
+/// Shared im2col body. At stride 1 each `(c, ky, kx)` unfold row is a set of
+/// contiguous input-row segments, so the inner loop becomes one
+/// `copy_from_slice` per output row instead of a load/store per pixel — the
+/// stride-1 dense convs that dominate the supernet spend most of their
+/// non-GEMM time here.
+fn im2col_generic<T: Copy>(
+    zero: T,
+    input: &[T],
+    c_in: usize,
+    h: usize,
+    w: usize,
+    p: Conv2dParams,
+    cols: &mut Vec<T>,
+) -> (usize, usize) {
     let (oh, ow) = p.out_hw(h, w);
     let rows = c_in * p.kernel * p.kernel;
     cols.clear();
-    cols.resize(rows * oh * ow, 0.0);
+    cols.resize(rows * oh * ow, zero);
     for c in 0..c_in {
         for ky in 0..p.kernel {
             for kx in 0..p.kernel {
@@ -72,12 +103,26 @@ pub fn im2col(
                         continue; // stays zero
                     }
                     let in_row = (c * h + iy as usize) * w;
-                    for ox in 0..ow {
-                        let ix = (ox * p.stride + kx) as isize - p.pad as isize;
-                        if ix < 0 || ix >= w as isize {
+                    if p.stride == 1 {
+                        // ix = ox + kx - pad must fall in [0, w): copy the
+                        // in-bounds ox span in one memcpy.
+                        let ox_lo = p.pad.saturating_sub(kx);
+                        let ox_hi = (w + p.pad).saturating_sub(kx).min(ow);
+                        if ox_lo >= ox_hi {
                             continue;
                         }
-                        cols[out_base + oy * ow + ox] = input[in_row + ix as usize];
+                        let ix0 = ox_lo + kx - p.pad;
+                        let dst = out_base + oy * ow;
+                        cols[dst + ox_lo..dst + ox_hi]
+                            .copy_from_slice(&input[in_row + ix0..in_row + ix0 + (ox_hi - ox_lo)]);
+                    } else {
+                        for ox in 0..ow {
+                            let ix = (ox * p.stride + kx) as isize - p.pad as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            cols[out_base + oy * ow + ox] = input[in_row + ix as usize];
+                        }
                     }
                 }
             }
@@ -242,8 +287,10 @@ fn dw_plane(
     }
 }
 
-/// Border path: the original per-tap bounds-checked kernel, restricted to an
-/// output sub-rectangle.
+/// Border path, restricted to an output sub-rectangle. Instead of testing
+/// every tap, the valid `ky`/`kx` ranges are clipped up front per output
+/// pixel: the surviving inner loop is a branch-free dot product over two
+/// contiguous slices (consecutive `kx` taps read consecutive `ix`).
 #[allow(clippy::too_many_arguments)]
 fn dw_checked(
     inp: &[f32],
@@ -259,19 +306,23 @@ fn dw_checked(
 ) {
     let (k, s, pad) = (p.kernel, p.stride, p.pad);
     for oy in oy_range {
+        // iy = oy*s + ky - pad must fall in [0, h).
+        let ky_lo = pad.saturating_sub(oy * s);
+        let ky_hi = (h + pad).saturating_sub(oy * s).min(k);
         for ox in ox_range.clone() {
+            let kx_lo = pad.saturating_sub(ox * s);
+            let kx_hi = (w + pad).saturating_sub(ox * s).min(k);
             let mut acc = bv;
-            for ky in 0..k {
-                let iy = (oy * s + ky) as isize - pad as isize;
-                if iy < 0 || iy >= h as isize {
-                    continue;
-                }
-                for kx in 0..k {
-                    let ix = (ox * s + kx) as isize - pad as isize;
-                    if ix < 0 || ix >= w as isize {
-                        continue;
+            if kx_lo < kx_hi {
+                let ix0 = ox * s + kx_lo - pad;
+                let span = kx_hi - kx_lo;
+                for ky in ky_lo..ky_hi {
+                    let iy = oy * s + ky - pad;
+                    let irow = &inp[iy * w + ix0..iy * w + ix0 + span];
+                    let wrow = &wk[ky * k + kx_lo..ky * k + kx_hi];
+                    for (iv, wv) in irow.iter().zip(wrow.iter()) {
+                        acc += iv * wv;
                     }
-                    acc += inp[iy as usize * w + ix as usize] * wk[ky * k + kx];
                 }
             }
             out[oy * ow + ox] = acc;
@@ -326,12 +377,26 @@ fn dw_interior_k3(
     ox_range: std::ops::Range<usize>,
 ) {
     let wk: &[f32; 9] = wk.try_into().expect("k=3 weight plane");
+    // At stride 1 the interior row is a contiguous sliding window — hand it
+    // to the AVX2 row kernel when available (8 outputs per step).
+    let use_simd = s == 1 && simd::simd_active();
     for oy in oy_range {
         let iy0 = oy * s - pad;
         let r0 = &inp[iy0 * w..(iy0 + 1) * w];
         let r1 = &inp[(iy0 + 1) * w..(iy0 + 2) * w];
         let r2 = &inp[(iy0 + 2) * w..(iy0 + 3) * w];
         let out_row = &mut out[oy * ow..(oy + 1) * ow];
+        if use_simd {
+            let base = ox_range.start - pad; // ix of the first interior tap
+            if simd::dw_row_s1(
+                &[&r0[base..], &r1[base..], &r2[base..]],
+                wk,
+                bv,
+                &mut out_row[ox_range.clone()],
+            ) {
+                continue;
+            }
+        }
         for ox in ox_range.clone() {
             let i = ox * s - pad;
             out_row[ox] = bv
@@ -363,6 +428,7 @@ fn dw_interior_k5(
     ox_range: std::ops::Range<usize>,
 ) {
     let wk: &[f32; 25] = wk.try_into().expect("k=5 weight plane");
+    let use_simd = s == 1 && simd::simd_active();
     for oy in oy_range {
         let iy0 = oy * s - pad;
         let r0 = &inp[iy0 * w..(iy0 + 1) * w];
@@ -371,6 +437,17 @@ fn dw_interior_k5(
         let r3 = &inp[(iy0 + 3) * w..(iy0 + 4) * w];
         let r4 = &inp[(iy0 + 4) * w..(iy0 + 5) * w];
         let out_row = &mut out[oy * ow..(oy + 1) * ow];
+        if use_simd {
+            let base = ox_range.start - pad; // ix of the first interior tap
+            if simd::dw_row_s1(
+                &[&r0[base..], &r1[base..], &r2[base..], &r3[base..], &r4[base..]],
+                wk,
+                bv,
+                &mut out_row[ox_range.clone()],
+            ) {
+                continue;
+            }
+        }
         for ox in ox_range.clone() {
             let i = ox * s - pad;
             let mut acc = bv;

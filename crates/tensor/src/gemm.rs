@@ -21,8 +21,14 @@
 //! [`gemm_bt`] packs the transposed operand directly from its `n×k` storage
 //! and [`gemm_at`] transposes `A` once into scratch, so all four entry points
 //! dispatch the same microkernel.
+//!
+//! On x86-64 the register tile dispatches to the AVX2/FMA microkernel in
+//! [`crate::simd`] when the CPU supports it (checked once at runtime); the
+//! scalar microkernels below remain the portable fallback and the reference
+//! for the SIMD-vs-scalar parity tests.
 
 use crate::scratch;
+use crate::simd;
 use rayon::prelude::*;
 
 /// Microkernel tile rows (rows of `A`/`C` per register tile).
@@ -207,6 +213,9 @@ fn gemm_block_packed(
     c_blk: &mut [f32],
 ) {
     let n_panels = n.div_ceil(NR);
+    // Dispatch is decided once per block so a concurrent scalar-override
+    // toggle cannot change paths halfway through an output row.
+    let use_simd = simd::simd_active();
     let mut r = 0;
     while r < rows {
         let mr = MR.min(rows - r);
@@ -219,7 +228,10 @@ fn gemm_block_packed(
         for (jp, panel) in packed.chunks_exact(kc * NR).take(n_panels).enumerate() {
             let j0 = jp * NR;
             let nr = NR.min(n - j0);
-            let acc = if mr == MR {
+            let mut tile = [[0.0f32; NR]; MR];
+            let acc = if use_simd && simd::gemm_tile_16(kc, &rows_a, panel, &mut tile) {
+                tile
+            } else if mr == MR {
                 micro_4(kc, rows_a[0], rows_a[1], rows_a[2], rows_a[3], panel)
             } else {
                 micro_r(kc, &rows_a[..mr], panel)

@@ -17,25 +17,34 @@
 //! * [`quant`] — symmetric feature-map quantization (8/16-bit) with exact
 //!   wire-size accounting, used when intermediate activations cross a
 //!   device boundary.
+//! * [`int8`] — an end-to-end int8 *compute* path: per-channel i8 weights,
+//!   per-tensor i8 activations, i32-accumulating quantized GEMM with a fused
+//!   requantize epilogue, and an int8 im2col convolution.
+//! * [`simd`] — runtime-dispatched AVX2/FMA microkernels behind every hot
+//!   loop above, with `MURMURATION_FORCE_SCALAR` forcing the portable
+//!   fallback for testing.
 //!
 //! Design notes: hot loops are written over slices with explicit blocking;
 //! GEMM packs its B operand into cache-resident `NR`-column panels and
-//! dispatches a 4×16 register-tiled microkernel; the depthwise kernel splits
-//! each plane into a bounds-check-free interior and a checked border;
-//! parallelism uses Rayon over disjoint `&mut` output chunks (row blocks for
-//! GEMM, batch images for conv2d, batch×channel planes for depthwise and
-//! FDSP merge); and steady-state forward passes do zero heap allocation —
-//! every kernel workspace (im2col columns, packing panels, transposes) comes
-//! from the thread-local [`scratch`] pool.
+//! dispatches a 4×16 register-tiled microkernel (AVX2/FMA when the CPU has
+//! it, scalar otherwise); the depthwise kernel splits each plane into a
+//! bounds-check-free interior and a checked border; parallelism uses Rayon
+//! over disjoint `&mut` output chunks (row blocks for GEMM, batch images for
+//! conv2d, batch×channel planes for depthwise); and steady-state forward
+//! passes do zero heap allocation — every kernel workspace (im2col columns,
+//! packing panels, transposes, int8 code buffers) comes from the
+//! thread-local [`scratch`] pools.
 
 pub mod activation;
 pub mod conv;
 pub mod gemm;
+pub mod int8;
 pub mod pad;
 pub mod pool;
 pub mod quant;
 pub mod scratch;
 pub mod shape;
+pub mod simd;
 pub mod tensor;
 pub mod tile;
 

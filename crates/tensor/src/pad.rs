@@ -25,23 +25,26 @@ pub fn zero_pad(input: &Tensor, top: usize, bottom: usize, left: usize, right: u
 }
 
 /// Crops a spatial window `[y0, y0+ch_h) × [x0, x0+ch_w)` from each plane.
+///
+/// The output is built by appending one source row at a time into a
+/// pre-reserved buffer — every destination byte is written exactly once, so
+/// the crop never pays the zero-prefill + overwrite double touch that the
+/// `Tensor::zeros` + `copy_from_slice` formulation did (it showed up as the
+/// FDSP split regressing below seed in BENCH_kernels).
 pub fn crop(input: &Tensor, y0: usize, x0: usize, ch_h: usize, ch_w: usize) -> Tensor {
     let (n, c, h, w) = (input.shape().n(), input.shape().c(), input.shape().h(), input.shape().w());
     assert!(y0 + ch_h <= h, "crop rows out of range");
     assert!(x0 + ch_w <= w, "crop cols out of range");
-    let mut out = Tensor::zeros(Shape::nchw(n, c, ch_h, ch_w));
-    for b in 0..n {
-        for chn in 0..c {
-            let src = (b * c + chn) * h * w;
-            let dst = (b * c + chn) * ch_h * ch_w;
-            for y in 0..ch_h {
-                let s = src + (y0 + y) * w + x0;
-                let d = dst + y * ch_w;
-                out.data_mut()[d..d + ch_w].copy_from_slice(&input.data()[s..s + ch_w]);
-            }
+    let in_data = input.data();
+    let mut data = Vec::with_capacity(n * c * ch_h * ch_w);
+    for plane in 0..n * c {
+        let src = plane * h * w;
+        for y in 0..ch_h {
+            let s = src + (y0 + y) * w + x0;
+            data.extend_from_slice(&in_data[s..s + ch_w]);
         }
     }
-    out
+    Tensor::from_vec(Shape::nchw(n, c, ch_h, ch_w), data)
 }
 
 #[cfg(test)]

@@ -7,15 +7,8 @@
 //! can round-trip real activations, plus the byte accounting used by the
 //! latency estimator.
 
+use crate::simd;
 use crate::tensor::Tensor;
-use rayon::prelude::*;
-
-/// Below this many elements the quantize/dequantize kernels run
-/// sequentially; above it they fan out over element chunks.
-const PAR_THRESHOLD: usize = 16 * 1024;
-
-/// Chunk size for the parallel absmax reduction.
-const REDUCE_CHUNK: usize = 4096;
 
 /// Wire bit-width for inter-device feature-map transfer.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -66,8 +59,14 @@ pub struct QuantizedTensor {
 }
 
 impl QuantizedTensor {
-    /// Quantizes symmetrically: `code = round(x / scale)` with
-    /// `scale = max|x| / qmax`.
+    /// Quantizes symmetrically: `code = round_ties_even(clamp(x / scale))`
+    /// with `scale = max|x| / qmax`.
+    ///
+    /// Both passes (absmax reduction, encode) dispatch to the AVX2 kernels in
+    /// [`crate::simd`] when available; the scalar fallback uses the same
+    /// clamp-then-round-to-nearest-even formula, so the two paths produce
+    /// bit-identical codes (`vcvtps2dq` rounds half-to-even, exactly like
+    /// `f32::round_ties_even`).
     pub fn quantize(t: &Tensor, bits: BitWidth) -> Self {
         assert_ne!(bits, BitWidth::B32, "use the raw path for 32-bit transfer");
         let qmax = match bits {
@@ -76,34 +75,27 @@ impl QuantizedTensor {
             BitWidth::B32 => unreachable!(),
         };
         let data = t.data();
-        let parallel = data.len() >= PAR_THRESHOLD;
-        let absmax = if parallel {
-            data.par_chunks(REDUCE_CHUNK)
-                .map(|c| c.iter().fold(0.0f32, |m, &v| m.max(v.abs())))
-                .max_by(|a, b| a.total_cmp(b))
-                .unwrap_or(0.0)
-        } else {
-            data.iter().fold(0.0f32, |m, &v| m.max(v.abs()))
-        };
+        let use_simd = simd::simd_active();
+        let absmax = if use_simd { simd::absmax(data) } else { None }
+            .unwrap_or_else(|| data.iter().fold(0.0f32, |m, &v| m.max(v.abs())));
         let scale = if absmax == 0.0 { 1.0 } else { absmax / qmax };
         let inv = 1.0 / scale;
-        let encode = |v: f32| (v * inv).round().clamp(-qmax, qmax) as i32;
-        let codes = if parallel {
-            data.par_iter().map(|&v| encode(v)).collect()
-        } else {
-            data.iter().map(|&v| encode(v)).collect()
-        };
+        let mut codes = vec![0i32; data.len()];
+        if !(use_simd && simd::encode_i32(data, inv, qmax, &mut codes)) {
+            for (c, &v) in codes.iter_mut().zip(data.iter()) {
+                *c = ((v * inv).clamp(-qmax, qmax)).round_ties_even() as i32;
+            }
+        }
         QuantizedTensor { codes, scale, bits, shape: t.shape().clone() }
     }
 
-    /// Reconstructs the f32 tensor.
+    /// Reconstructs the f32 tensor. Both paths fill the output allocation in
+    /// a single pass (no zero prefill — the decode is bandwidth-bound).
     pub fn dequantize(&self) -> Tensor {
         let scale = self.scale;
-        let data = if self.codes.len() >= PAR_THRESHOLD {
-            self.codes.par_iter().map(|&c| c as f32 * scale).collect()
-        } else {
-            self.codes.iter().map(|&c| c as f32 * scale).collect()
-        };
+        let data =
+            if simd::simd_active() { simd::dequant_i32_vec(&self.codes, scale) } else { None }
+                .unwrap_or_else(|| self.codes.iter().map(|&c| c as f32 * scale).collect());
         Tensor::from_vec(self.shape.clone(), data)
     }
 
@@ -178,9 +170,9 @@ mod tests {
     }
 
     #[test]
-    fn large_tensor_parallel_path_round_trips() {
-        // Above PAR_THRESHOLD both the absmax reduction and the code map run
-        // through the parallel path; the error bound must still hold.
+    fn large_tensor_vector_path_round_trips() {
+        // Large enough that the AVX2 absmax/encode main loops (not just the
+        // scalar tails) do the bulk of the work; the error bound must hold.
         let n = 20_000;
         let vals: Vec<f32> = (0..n).map(|i| ((i % 255) as f32 - 127.0) / 16.0).collect();
         let t = Tensor::from_vec(Shape::d1(n), vals);

@@ -1,52 +1,68 @@
-//! Thread-local scratch-buffer pool for kernel workspaces.
+//! Thread-local scratch-buffer pools for kernel workspaces.
 //!
 //! The im2col column matrix, GEMM packing panels, and backward-pass
-//! temporaries are all short-lived `Vec<f32>` workspaces whose size repeats
-//! from call to call. Allocating them fresh on every forward pass puts an
-//! allocator round-trip (and a page-fault storm on first touch) on the
-//! inference hot path. This module keeps a small per-thread stack of
-//! reusable buffers so that steady-state forward passes do zero heap
-//! allocation: a buffer is popped on [`with`], handed to the closure, and
-//! pushed back afterwards with its capacity intact.
+//! temporaries are all short-lived workspaces whose size repeats from call
+//! to call. Allocating them fresh on every forward pass puts an allocator
+//! round-trip (and a page-fault storm on first touch) on the inference hot
+//! path. This module keeps a small per-thread stack of reusable buffers so
+//! that steady-state forward passes do zero heap allocation: a buffer is
+//! popped on [`with`], handed to the closure, and pushed back afterwards
+//! with its capacity intact.
 //!
-//! Contract:
+//! The int8 compute path ([`crate::int8`]) needs byte-typed workspaces too
+//! (i8 activation codes / im2col columns, u8 packed GEMM panels, i32 scalar
+//! accumulators), so the pool is stamped out per element type: [`with`]
+//! (f32), [`with_i8`], [`with_u8`], and [`with_i32`].
+//!
+//! Contract (identical for every pool):
 //!
 //! * Buffers come back with unspecified length and contents — callers must
 //!   `clear()`/`resize()` before use (or overwrite every element they read).
-//! * Calls nest: each nested [`with`] pops a distinct buffer, so a kernel
+//! * Calls nest: each nested `with_*` pops a distinct buffer, so a kernel
 //!   that needs three workspaces simply nests three closures.
 //! * The pool is per-thread (no locks); Rayon workers each warm their own
 //!   pool after the first task they run.
-//! * At most [`MAX_POOLED`] buffers are retained per thread; extras are
-//!   freed on return so pathological nesting cannot hoard memory.
+//! * At most [`MAX_POOLED`] buffers are retained per thread per type;
+//!   extras are freed on return so pathological nesting cannot hoard
+//!   memory.
 
 use std::cell::RefCell;
 
-/// Maximum buffers retained per thread.
+/// Maximum buffers retained per thread (per element type).
 const MAX_POOLED: usize = 8;
 
-thread_local! {
-    static POOL: RefCell<Vec<Vec<f32>>> = const { RefCell::new(Vec::new()) };
-}
-
-/// Runs `f` with a pooled scratch buffer, returning the buffer to the
-/// per-thread pool afterwards. The buffer's length and contents on entry are
-/// unspecified; its capacity persists across calls on the same thread.
-pub fn with<R>(f: impl FnOnce(&mut Vec<f32>) -> R) -> R {
-    let mut buf = POOL.with(|p| p.borrow_mut().pop()).unwrap_or_default();
-    let out = f(&mut buf);
-    POOL.with(|p| {
-        let mut pool = p.borrow_mut();
-        if pool.len() < MAX_POOLED {
-            pool.push(buf);
+macro_rules! pool {
+    ($pool:ident, $with:ident, $ty:ty, $doc:literal) => {
+        thread_local! {
+            static $pool: RefCell<Vec<Vec<$ty>>> = const { RefCell::new(Vec::new()) };
         }
-    });
-    out
+
+        #[doc = $doc]
+        ///
+        /// The buffer's length and contents on entry are unspecified; its
+        /// capacity persists across calls on the same thread.
+        pub fn $with<R>(f: impl FnOnce(&mut Vec<$ty>) -> R) -> R {
+            let mut buf = $pool.with(|p| p.borrow_mut().pop()).unwrap_or_default();
+            let out = f(&mut buf);
+            $pool.with(|p| {
+                let mut pool = p.borrow_mut();
+                if pool.len() < MAX_POOLED {
+                    pool.push(buf);
+                }
+            });
+            out
+        }
+    };
 }
 
-/// Number of buffers currently pooled on this thread (diagnostics/tests).
+pool!(POOL_F32, with, f32, "Runs `f` with a pooled f32 scratch buffer.");
+pool!(POOL_I8, with_i8, i8, "Runs `f` with a pooled i8 scratch buffer (quantized codes).");
+pool!(POOL_U8, with_u8, u8, "Runs `f` with a pooled u8 scratch buffer (packed int8 panels).");
+pool!(POOL_I32, with_i32, i32, "Runs `f` with a pooled i32 scratch buffer (int8 accumulators).");
+
+/// Number of f32 buffers currently pooled on this thread (diagnostics/tests).
 pub fn pooled_buffers() -> usize {
-    POOL.with(|p| p.borrow().len())
+    POOL_F32.with(|p| p.borrow().len())
 }
 
 #[cfg(test)]
@@ -79,5 +95,22 @@ mod tests {
             assert_eq!(a[7], 1.0);
         });
         assert!(pooled_buffers() >= 2);
+    }
+
+    #[test]
+    fn typed_pools_are_independent() {
+        with_i8(|a| {
+            a.clear();
+            a.resize(4, -3);
+            with_u8(|b| {
+                b.clear();
+                b.resize(4, 7);
+                with_i32(|c| {
+                    c.clear();
+                    c.resize(4, 9);
+                    assert_eq!((a[0], b[0], c[0]), (-3, 7, 9));
+                });
+            });
+        });
     }
 }

@@ -11,10 +11,6 @@
 
 use crate::shape::Shape;
 use crate::tensor::Tensor;
-use rayon::prelude::*;
-
-/// Below this many elements per tensor the split/merge run sequentially.
-const PAR_THRESHOLD: usize = 4096;
 
 /// A spatial partition grid. `1×1` means "no spatial partitioning".
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -80,19 +76,17 @@ pub fn tile_bounds(h: usize, w: usize, grid: GridSpec) -> Vec<TileBounds> {
 
 /// Splits an NCHW tensor into FDSP tiles (row-major tile order).
 ///
-/// Tiles are cropped in parallel when the tensor is large enough to amortize
-/// the dispatch (each crop writes a disjoint freshly-allocated tile).
+/// Each tile is one streaming [`crop`](crate::pad::crop): rows are appended
+/// into a pre-reserved buffer so every tile byte is written exactly once.
+/// (An earlier revision fanned the crops out over Rayon, but the per-tile
+/// work is a short memcpy sequence — dispatch overhead regressed the split
+/// below seed, and the workspace's rayon stand-in is sequential anyway.)
 pub fn split_fdsp(input: &Tensor, grid: GridSpec) -> Vec<Tensor> {
     let (h, w) = (input.shape().h(), input.shape().w());
-    let bounds = tile_bounds(h, w, grid);
-    if grid.tiles() > 1 && input.numel() >= PAR_THRESHOLD {
-        bounds
-            .into_par_iter()
-            .map(|(y0, x0, th, tw)| crate::pad::crop(input, y0, x0, th, tw))
-            .collect()
-    } else {
-        bounds.into_iter().map(|(y0, x0, th, tw)| crate::pad::crop(input, y0, x0, th, tw)).collect()
-    }
+    tile_bounds(h, w, grid)
+        .into_iter()
+        .map(|(y0, x0, th, tw)| crate::pad::crop(input, y0, x0, th, tw))
+        .collect()
 }
 
 /// Reassembles FDSP tiles produced by [`split_fdsp`] (or per-tile outputs of
@@ -110,49 +104,33 @@ pub fn merge_fdsp(tiles: &[Tensor], grid: GridSpec) -> Tensor {
     let col_w: Vec<usize> = (0..grid.cols).map(|cix| tiles[cix].shape().w()).collect();
     let h: usize = row_h.iter().sum();
     let w: usize = col_w.iter().sum();
-    // Validate every tile up front, plus precompute its (y0, x0) offset, so
-    // the copy loop below is assertion-free and parallelizable.
-    let mut offsets = Vec::with_capacity(tiles.len());
-    let mut y0 = 0;
+    // Validate every tile up front so the copy loop below is assertion-free.
     for r in 0..grid.rows {
-        let mut x0 = 0;
         for cix in 0..grid.cols {
             let t = &tiles[r * grid.cols + cix];
             assert_eq!(t.shape().n(), n, "tile N mismatch");
             assert_eq!(t.shape().c(), c, "tile C mismatch");
             assert_eq!(t.shape().h(), row_h[r], "tile height inconsistent in row {r}");
             assert_eq!(t.shape().w(), col_w[cix], "tile width inconsistent in col {cix}");
-            offsets.push((y0, x0));
-            x0 += col_w[cix];
         }
-        y0 += row_h[r];
     }
-    let mut out = Tensor::zeros(Shape::nchw(n, c, h, w));
-    // Each (batch, channel) plane of the output is written by exactly one
-    // task, gathering that plane's rows from every tile.
-    let copy_plane = |plane: usize, out_plane: &mut [f32]| {
-        for (t, &(ty0, tx0)) in tiles.iter().zip(offsets.iter()) {
-            let (th, tw) = (t.shape().h(), t.shape().w());
-            let src = plane * th * tw;
+    // Build the output by walking its rows in storage order and appending the
+    // matching column band from each tile in the row's grid band. Every
+    // output byte is written exactly once into a pre-reserved buffer — no
+    // zero prefill, no scattered destination writes.
+    let mut data = Vec::with_capacity(n * c * h * w);
+    for plane in 0..n * c {
+        for (r, &th) in row_h.iter().enumerate() {
+            let band = &tiles[r * grid.cols..(r + 1) * grid.cols];
             for y in 0..th {
-                let s = src + y * tw;
-                let d = (ty0 + y) * w + tx0;
-                out_plane[d..d + tw].copy_from_slice(&t.data()[s..s + tw]);
+                for (t, &tw) in band.iter().zip(col_w.iter()) {
+                    let s = (plane * th + y) * tw;
+                    data.extend_from_slice(&t.data()[s..s + tw]);
+                }
             }
         }
-    };
-    let planes = n * c;
-    if planes > 1 && planes * h * w >= PAR_THRESHOLD {
-        out.data_mut()
-            .par_chunks_mut(h * w)
-            .enumerate()
-            .for_each(|(plane, out_plane)| copy_plane(plane, out_plane));
-    } else {
-        for (plane, out_plane) in out.data_mut().chunks_exact_mut(h * w).enumerate() {
-            copy_plane(plane, out_plane);
-        }
     }
-    out
+    Tensor::from_vec(Shape::nchw(n, c, h, w), data)
 }
 
 #[cfg(test)]

@@ -1,0 +1,154 @@
+//! Bit-exactness of the int8 compute path.
+//!
+//! The contract (DESIGN.md §8): quantize → int8 GEMM → requantize produces
+//! *identical* results on the AVX2 and scalar paths, and both match the
+//! naive i32 reference, for arbitrary shapes and scales. This is stronger
+//! than the f32 ULP bound — i32 accumulation is exact, the offset-panel
+//! correction is exact integer arithmetic, and both epilogues round
+//! half-to-even — and it is what lets the distributed executor mix SIMD and
+//! non-SIMD devices without cross-device divergence.
+//!
+//! The scalar override is process-global; every test serializes on a mutex.
+
+use std::sync::{Mutex, MutexGuard};
+
+use murmuration_tensor::conv::Conv2dParams;
+use murmuration_tensor::int8::{
+    qconv2d, qgemm_f32, qgemm_ref_i32, qgemm_requant, qlinear, quantize_activations, requant_one,
+    QConv2dWeights, QGemmWeights,
+};
+use murmuration_tensor::simd;
+use murmuration_tensor::{Shape, Tensor};
+use proptest::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+static DISPATCH_LOCK: Mutex<()> = Mutex::new(());
+
+fn both_paths<T>(mut f: impl FnMut() -> T) -> (T, T, MutexGuard<'static, ()>) {
+    let guard = DISPATCH_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    simd::force_scalar(false);
+    let vec_out = f();
+    simd::force_scalar(true);
+    let scalar_out = f();
+    simd::force_scalar(false);
+    (vec_out, scalar_out, guard)
+}
+
+fn rand_vec(n: usize, rng: &mut StdRng, amp: f32) -> Vec<f32> {
+    (0..n).map(|_| rng.gen_range(-amp..amp)).collect()
+}
+
+#[test]
+fn extreme_codes_cannot_saturate_the_vector_kernel() {
+    // Adversarial operands: weights pinned at the ±63 bound, activations
+    // spanning the full ±127 range — the worst case for the i16 pair sums
+    // inside vpmaddubsw. SIMD must still match the i32 reference exactly.
+    let (m, k, n) = (5, 67, 19);
+    let wdata: Vec<f32> = (0..m * k).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+    let xdata: Vec<f32> = (0..k * n)
+        .map(|i| match i % 3 {
+            0 => 1.0,
+            1 => -1.0,
+            _ => 127.0f32 / 127.0,
+        })
+        .collect();
+    let qw = QGemmWeights::quantize(m, k, &wdata);
+    let (codes, b_scale) = quantize_activations(&xdata);
+    let mut want = vec![0i32; m * n];
+    qgemm_ref_i32(&qw, &codes, n, &mut want);
+    let (v, s, _g) = both_paths(|| {
+        let mut out = vec![0.0f32; m * n];
+        qgemm_f32(&qw, &codes, n, b_scale, None, &mut out);
+        out
+    });
+    assert_eq!(v, s, "SIMD and scalar int8 GEMM must be bit-identical");
+    for (i, (&g, &ri)) in v.iter().zip(want.iter()).enumerate() {
+        assert_eq!(g, ri as f32 * (qw.scales()[i / n] * b_scale), "element {i}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn prop_qgemm_f32_bit_identical_and_matches_reference(
+        m in 1usize..14, k in 1usize..40, n in 1usize..36,
+        amp in 0.1f32..8.0, seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let wdata = rand_vec(m * k, &mut rng, amp);
+        let xdata = rand_vec(k * n, &mut rng, amp);
+        let bias = rand_vec(m, &mut rng, amp);
+        let qw = QGemmWeights::quantize(m, k, &wdata);
+        let (codes, b_scale) = quantize_activations(&xdata);
+        let (v, s, _g) = both_paths(|| {
+            let mut out = vec![0.0f32; m * n];
+            qgemm_f32(&qw, &codes, n, b_scale, Some(&bias), &mut out);
+            out
+        });
+        prop_assert_eq!(&v, &s);
+        let mut refi = vec![0i32; m * n];
+        qgemm_ref_i32(&qw, &codes, n, &mut refi);
+        for (i, (&g, &ri)) in v.iter().zip(refi.iter()).enumerate() {
+            let want = ri as f32 * (qw.scales()[i / n] * b_scale) + bias[i / n];
+            prop_assert_eq!(g, want);
+        }
+    }
+
+    #[test]
+    fn prop_requant_epilogue_bit_identical_and_matches_reference(
+        m in 1usize..12, k in 1usize..48, n in 1usize..30,
+        amp in 0.1f32..6.0, out_scale in 0.001f32..2.0, seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let wdata = rand_vec(m * k, &mut rng, amp);
+        let xdata = rand_vec(k * n, &mut rng, amp);
+        let qw = QGemmWeights::quantize(m, k, &wdata);
+        let (codes, b_scale) = quantize_activations(&xdata);
+        let (v, s, _g) = both_paths(|| {
+            let mut out = vec![0i8; m * n];
+            qgemm_requant(&qw, &codes, n, b_scale, out_scale, &mut out);
+            out
+        });
+        prop_assert_eq!(&v, &s);
+        // quantize → int8 GEMM → requant must equal the scalar i32 reference
+        // pushed through the same epilogue formula, element for element.
+        let mut refi = vec![0i32; m * n];
+        qgemm_ref_i32(&qw, &codes, n, &mut refi);
+        for (i, (&g, &ri)) in v.iter().zip(refi.iter()).enumerate() {
+            let want = requant_one(ri, qw.scales()[i / n] * b_scale / out_scale);
+            prop_assert_eq!(g, want);
+        }
+    }
+
+    #[test]
+    fn prop_qconv2d_bit_identical_across_paths(
+        c_in in 1usize..4, c_out in 1usize..5,
+        h in 3usize..9, w in 3usize..9,
+        k in prop::sample::select(vec![1usize, 3]),
+        s in 1usize..3, seed in 0u64..1000,
+    ) {
+        let pad = k / 2;
+        let p = Conv2dParams { kernel: k, stride: s, pad };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = Tensor::rand_uniform(Shape::nchw(2, c_in, h, w), 1.0, &mut rng);
+        let wt = Tensor::rand_uniform(Shape::nchw(c_out, c_in, k, k), 0.5, &mut rng);
+        let b = Tensor::rand_uniform(Shape::d1(c_out), 0.5, &mut rng);
+        let qw = QConv2dWeights::quantize(&wt);
+        let (v, sres, _g) = both_paths(|| qconv2d(&x, &qw, Some(&b), p).data().to_vec());
+        prop_assert_eq!(v, sres);
+    }
+
+    #[test]
+    fn prop_qlinear_bit_identical_across_paths(
+        batch in 1usize..20, fin in 1usize..30, fout in 1usize..18, seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = Tensor::rand_uniform(Shape::d2(batch, fin), 1.0, &mut rng);
+        let wdata = rand_vec(fout * fin, &mut rng, 1.0);
+        let bias = rand_vec(fout, &mut rng, 1.0);
+        let qw = QGemmWeights::quantize(fout, fin, &wdata);
+        let (v, s, _g) = both_paths(|| qlinear(&x, &qw, Some(&bias)).data().to_vec());
+        prop_assert_eq!(v, s);
+    }
+}

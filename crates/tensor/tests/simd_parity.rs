@@ -1,0 +1,171 @@
+//! SIMD-vs-scalar equivalence for the f32 microkernels and bit-exactness for
+//! the quantize encode/decode kernels.
+//!
+//! Each case runs the same operation twice — once with the AVX2 path active,
+//! once with the scalar override forced — and compares. f32 kernels are
+//! ULP-bounded (FMA contracts one rounding per multiply-add, so a k-long
+//! reduction may drift by O(k) ULPs); the integer quantize codes must match
+//! bit for bit. On machines without AVX2 both runs take the scalar path and
+//! every case passes trivially.
+//!
+//! The scalar override is process-global, so all tests in this binary
+//! serialize on one mutex.
+
+use std::sync::{Mutex, MutexGuard};
+
+use murmuration_tensor::conv::{conv2d, depthwise_conv2d, Conv2dParams};
+use murmuration_tensor::gemm::gemm;
+use murmuration_tensor::quant::{BitWidth, QuantizedTensor};
+use murmuration_tensor::simd;
+use murmuration_tensor::{Shape, Tensor};
+use proptest::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+static DISPATCH_LOCK: Mutex<()> = Mutex::new(());
+
+/// Runs `f` twice — vector path, then forced-scalar path — returning both
+/// results. Restores auto dispatch even if `f` panics mid-run would poison
+/// the mutex (the next test clears it).
+fn both_paths<T>(mut f: impl FnMut() -> T) -> (T, T, MutexGuard<'static, ()>) {
+    let guard = DISPATCH_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    simd::force_scalar(false);
+    let vec_out = f();
+    simd::force_scalar(true);
+    let scalar_out = f();
+    simd::force_scalar(false);
+    (vec_out, scalar_out, guard)
+}
+
+/// |a-b| within `ulps` float steps at the magnitude of the *summands*, not
+/// the result: inputs here are O(1), so intermediate partial sums are O(1)
+/// even when the final value cancels to near zero — the floor of 1.0 keeps
+/// the bound meaningful under that cancellation.
+fn close_ulps(a: f32, b: f32, ulps: f32) -> bool {
+    let scale = a.abs().max(b.abs()).max(1.0);
+    (a - b).abs() <= ulps * scale * f32::EPSILON
+}
+
+fn rand_vec(n: usize, rng: &mut StdRng) -> Vec<f32> {
+    (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect()
+}
+
+#[test]
+fn gemm_paths_agree_on_tile_edge_sizes() {
+    // Straddles full tiles, row remainders, column remainders, KC slabs.
+    for &(m, k, n) in
+        &[(4, 16, 16), (5, 17, 18), (1, 1, 1), (3, 300, 33), (64, 257, 48), (31, 64, 95)]
+    {
+        let mut rng = StdRng::seed_from_u64((m * 31 + k * 7 + n) as u64);
+        let a = rand_vec(m * k, &mut rng);
+        let b = rand_vec(k * n, &mut rng);
+        let (v, s, _g) = both_paths(|| {
+            let mut c = vec![0.0f32; m * n];
+            gemm(m, k, n, &a, &b, &mut c);
+            c
+        });
+        for (i, (&x, &y)) in v.iter().zip(s.iter()).enumerate() {
+            assert!(
+                close_ulps(x, y, 4.0 * k as f32),
+                "({m},{k},{n}) element {i}: simd {x} vs scalar {y}"
+            );
+        }
+    }
+}
+
+#[test]
+fn quantize_codes_are_bit_identical() {
+    // Includes exact .5 multiples to pin the ties-even agreement.
+    let mut vals: Vec<f32> = (0..3000).map(|i| ((i as f32 * 0.77).sin() - 0.3) * 4.0).collect();
+    for (i, v) in vals.iter_mut().enumerate() {
+        if i % 7 == 0 {
+            *v = (i as f32 / 2.0 - 400.0) * (4.0 / 127.0); // lands on n+0.5 codes
+        }
+    }
+    let t = Tensor::from_vec(Shape::d1(vals.len()), vals);
+    for bits in [BitWidth::B8, BitWidth::B16] {
+        let (v, s, _g) = both_paths(|| {
+            let q = QuantizedTensor::quantize(&t, bits);
+            q.dequantize().data().to_vec()
+        });
+        assert_eq!(v, s, "quantize({bits:?}) round-trip must be bit-identical across paths");
+    }
+}
+
+#[test]
+fn activation_codes_are_bit_identical() {
+    let data: Vec<f32> = (0..777).map(|i| ((i as f32 * 1.3).cos() - 0.1) * 2.5).collect();
+    let (v, s, _g) = both_paths(|| murmuration_tensor::int8::quantize_activations(&data));
+    assert_eq!(v.1, s.1, "activation scale");
+    assert_eq!(v.0, s.0, "activation codes must be bit-identical across paths");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn prop_gemm_paths_agree(
+        m in 1usize..24, k in 1usize..48, n in 1usize..40, seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = rand_vec(m * k, &mut rng);
+        let b = rand_vec(k * n, &mut rng);
+        let (v, s, _g) = both_paths(|| {
+            let mut c = vec![0.0f32; m * n];
+            gemm(m, k, n, &a, &b, &mut c);
+            c
+        });
+        for (x, y) in v.iter().zip(s.iter()) {
+            prop_assert!(close_ulps(*x, *y, 4.0 * k as f32), "{x} vs {y} (k={k})");
+        }
+    }
+
+    #[test]
+    fn prop_conv2d_paths_agree(
+        c_in in 1usize..4, c_out in 1usize..5,
+        h in 3usize..10, w in 3usize..10,
+        k in prop::sample::select(vec![1usize, 3, 5]),
+        s in 1usize..3, seed in 0u64..1000,
+    ) {
+        let pad = k / 2;
+        prop_assume!(h + 2 * pad >= k && w + 2 * pad >= k);
+        let p = Conv2dParams { kernel: k, stride: s, pad };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = Tensor::rand_uniform(Shape::nchw(2, c_in, h, w), 1.0, &mut rng);
+        let wt = Tensor::rand_uniform(Shape::nchw(c_out, c_in, k, k), 0.5, &mut rng);
+        let b = Tensor::rand_uniform(Shape::d1(c_out), 0.5, &mut rng);
+        let (v, sres, _g) = both_paths(|| conv2d(&x, &wt, Some(&b), p).data().to_vec());
+        let red = c_in * k * k;
+        for (a, bb) in v.iter().zip(sres.iter()) {
+            prop_assert!(close_ulps(*a, *bb, 8.0 * red as f32), "{a} vs {bb}");
+        }
+    }
+
+    #[test]
+    fn prop_depthwise_paths_agree(
+        c in 1usize..5, h in 3usize..14, dw in 0usize..4,
+        k in prop::sample::select(vec![3usize, 5]),
+        s in 1usize..3, seed in 0u64..1000,
+    ) {
+        let w = h + dw;
+        let pad = k / 2;
+        let p = Conv2dParams { kernel: k, stride: s, pad };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = Tensor::rand_uniform(Shape::nchw(1, c, h, w), 1.0, &mut rng);
+        let wt = Tensor::rand_uniform(Shape::nchw(c, 1, k, k), 0.5, &mut rng);
+        let (v, sres, _g) = both_paths(|| depthwise_conv2d(&x, &wt, None, p).data().to_vec());
+        for (a, bb) in v.iter().zip(sres.iter()) {
+            prop_assert!(close_ulps(*a, *bb, 8.0 * (k * k) as f32), "{a} vs {bb}");
+        }
+    }
+
+    #[test]
+    fn prop_quantize_codes_bit_identical(
+        vals in prop::collection::vec(-8.0f32..8.0, 1..300),
+    ) {
+        let t = Tensor::from_vec(Shape::d1(vals.len()), vals);
+        let (v, s, _g) = both_paths(|| {
+            QuantizedTensor::quantize(&t, BitWidth::B8).dequantize().data().to_vec()
+        });
+        prop_assert_eq!(v, s);
+    }
+}

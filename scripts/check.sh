@@ -31,9 +31,17 @@ timeout 300 cargo test -q -p murmuration-serve
 echo "==> socket chaos tests (bounded: the coordinator must never hang on a bad link)"
 timeout 300 cargo test -q --test transport_chaos --test transport_parity
 
+echo "==> scalar-fallback leg (full tensor + quantized-layer suites, SIMD forced off)"
+# The SIMD dispatch satellite: the same tests must pass with the portable
+# kernels, and the parity/exactness suites inside them compare both paths.
+MURMURATION_FORCE_SCALAR=1 timeout 600 cargo test -q -p murmuration-tensor
+MURMURATION_FORCE_SCALAR=1 timeout 300 cargo test -q -p murmuration-nn quantized
+
 echo "==> fault-path lint gates (no unwrap/expect in hardened modules)"
 for f in crates/core/src/executor.rs crates/core/src/wire.rs \
          crates/core/src/fault.rs crates/core/src/health.rs \
+         crates/tensor/src/simd.rs crates/tensor/src/int8.rs \
+         crates/nn/src/layers/quantized.rs \
          crates/transport/src/lib.rs; do
     if ! grep -q 'deny(clippy::unwrap_used, clippy::expect_used)' "$f"; then
         echo "error: $f lost its unwrap/expect lint gate" >&2
@@ -46,6 +54,27 @@ if ! grep -q 'deny(clippy::unwrap_used, clippy::expect_used)' crates/serve/src/l
     echo "error: crates/serve/src/lib.rs lost its unwrap/expect lint gate" >&2
     exit 1
 fi
+
+echo "==> unsafe-block safety-comment lint (SIMD kernels)"
+# Every `unsafe fn` / `unsafe {` in the hand-written kernel modules must be
+# preceded (within 12 lines, spanning doc sections and attributes) by a
+# SAFETY comment or a # Safety doc section.
+for f in crates/tensor/src/simd.rs crates/tensor/src/int8.rs; do
+    if ! awk -v file="$f" '
+        BEGIN { bad = 0 }
+        { line[NR] = $0 }
+        /unsafe (fn|\{)/ {
+            ok = 0
+            for (i = NR - 1; i >= NR - 12 && i >= 1; i--)
+                if (tolower(line[i]) ~ /safety/) { ok = 1; break }
+            if (!ok) { printf "%s:%d: unsafe without SAFETY comment: %s\n", file, NR, $0; bad = 1 }
+        }
+        END { exit bad }
+    ' "$f"; then
+        echo "error: $f has unsafe blocks without safety comments" >&2
+        exit 1
+    fi
+done
 
 # Perf gates measure single-digit-percent overheads on whatever box CI
 # happens to run on; a background noise burst during one bench reads as
@@ -68,12 +97,16 @@ echo "==> fault-path benchmark (bounded: failover costs are measured, not assume
 cargo build --release -q -p murmuration-bench --bin bench_faults
 perf_gate ./target/release/bench_faults
 
-echo "==> transport benchmark gate (loopback-TCP overhead <= 15% on the B32 happy path)"
+echo "==> transport benchmark gate (loopback-TCP overhead <= 20% on the B32 happy path)"
 cargo build --release -q -p murmuration-bench --bin bench_transport
 perf_gate ./target/release/bench_transport
 
 echo "==> hedging benchmark gates (brownout p99 <= 0.5x unhedged, overhead <= 5%, hedge rate <= 10%)"
 cargo build --release -q -p murmuration-bench --bin bench_hedging
 perf_gate ./target/release/bench_hedging
+
+echo "==> kernel benchmark gates (dense conv >= 2x seed, int8 GEMM >= 2x f32, no floor regressions)"
+cargo build --release -q -p murmuration-bench --bin bench_kernels
+perf_gate ./target/release/bench_kernels
 
 echo "All checks passed."
