@@ -1,0 +1,244 @@
+//! Control-plane benchmark: gossip overhead and failover recovery.
+//!
+//! Two measurements, two gates:
+//!
+//! 1. **Gossip overhead** — the happy-path cost of running a request
+//!    through a two-coordinator [`FailoverCluster`] (membership ticks,
+//!    digest exchange every few requests, reputation folds) vs a bare
+//!    [`ServeHandle`] on the same runtime scenario. The control plane
+//!    must cost ≤ 5% per request.
+//! 2. **Failover recovery** — Poisson load, primary killed mid-stream
+//!    with requests in flight: the standby must promote and goodput in
+//!    the post-kill phase must recover to ≥ 80% of the pre-kill phase,
+//!    with cluster-level conservation intact.
+//!
+//! ```text
+//! cargo run -p murmuration-bench --release --bin bench_failover
+//! ```
+//!
+//! Writes `results/BENCH_failover.json`.
+
+use murmuration_core::{RuntimeConfig, SharedRuntime};
+use murmuration_edgesim::LinkState;
+use murmuration_partition::compliance::Slo;
+use murmuration_rl::{LstmPolicy, Scenario, SloKind};
+use murmuration_serve::{
+    default_classes, CoordinatorSpec, EnvModel, FailoverCluster, FailoverConfig, PendingServe,
+    ServeConfig, ServeHandle, ServeOutcome,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use std::io::Write;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Gossip rounds are amortised: one digest exchange per this many
+/// requests on the happy path.
+const PUMP_EVERY: usize = 8;
+
+fn shared_runtime(policy_seed: u64) -> Arc<SharedRuntime> {
+    let sc = Scenario::augmented_computing(SloKind::Latency);
+    let policy = LstmPolicy::new(sc.input_dim(), 16, sc.arities(), policy_seed);
+    Arc::new(SharedRuntime::new(sc, policy, RuntimeConfig::default(), Slo::LatencyMs(200.0)))
+}
+
+fn good_link() -> LinkState {
+    LinkState { bandwidth_mbps: 300.0, delay_ms: 8.0 }
+}
+
+fn serve_cfg(seed: u64) -> ServeConfig {
+    ServeConfig {
+        service_sleep: false,
+        time_scale: 0.01,
+        base_seed: seed,
+        ..ServeConfig::engineered(default_classes())
+    }
+}
+
+fn spec(seed: u64) -> CoordinatorSpec {
+    CoordinatorSpec {
+        rt: shared_runtime(seed),
+        env: EnvModel::constant(good_link(), 1),
+        cfg: serve_cfg(seed),
+    }
+}
+
+/// Gate 1: per-request cost with and without the control plane.
+fn bench_overhead(iters: usize) -> (f64, f64, f64) {
+    // Baseline: a bare serving stack, no gossip anywhere.
+    let handle =
+        ServeHandle::start(shared_runtime(1), EnvModel::constant(good_link(), 1), serve_cfg(1));
+    // Subject: the same stack inside a two-coordinator cluster that ticks
+    // membership and exchanges digests every PUMP_EVERY requests.
+    let mut cl = FailoverCluster::new(vec![spec(1), spec(2)], FailoverConfig::default());
+
+    // Interleave and keep the best of two passes each, so a scheduler
+    // hiccup cannot masquerade as control-plane overhead.
+    let mut bare_us = f64::INFINITY;
+    let mut cluster_us = f64::INFINITY;
+    for _ in 0..2 {
+        for _ in 0..iters / 10 + 3 {
+            black_box(handle.submit_wait(0));
+        }
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            black_box(handle.submit_wait(0));
+        }
+        bare_us = bare_us.min(t0.elapsed().as_secs_f64() * 1e6 / iters as f64);
+
+        for _ in 0..iters / 10 + 3 {
+            black_box(cl.submit_wait(0));
+        }
+        let t0 = Instant::now();
+        for i in 0..iters {
+            black_box(cl.submit_wait(0));
+            if i % PUMP_EVERY == PUMP_EVERY - 1 {
+                cl.pump();
+            }
+        }
+        cluster_us = cluster_us.min(t0.elapsed().as_secs_f64() * 1e6 / iters as f64);
+    }
+    drop(handle);
+    let _ = cl.shutdown();
+    let overhead_pct = (cluster_us - bare_us) / bare_us * 100.0;
+    (bare_us, cluster_us, overhead_pct)
+}
+
+fn poisson(rng: &mut StdRng, lambda: f64) -> usize {
+    let l = (-lambda).exp();
+    let mut k = 0usize;
+    let mut p = 1.0;
+    loop {
+        p *= rng.gen_range(0.0..1.0);
+        if p <= l {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+fn poisson_phase(cl: &mut FailoverCluster, rng: &mut StdRng, total: usize) -> usize {
+    let mut done = 0usize;
+    let mut sent = 0usize;
+    while sent < total {
+        let burst = poisson(rng, 3.0).clamp(1, total - sent);
+        let pending: Vec<PendingServe> = (0..burst).map(|_| cl.submit(0)).collect();
+        sent += burst;
+        for p in pending {
+            if matches!(cl.resolve(p), Some(ServeOutcome::Done(_))) {
+                done += 1;
+            }
+        }
+    }
+    done
+}
+
+struct Recovery {
+    phase: usize,
+    before: usize,
+    after: usize,
+    detect_ms: f64,
+    crash_dropped: u64,
+    retried: u64,
+    lost: u64,
+    conserved: bool,
+    failovers: u64,
+}
+
+/// Gate 2: kill the primary under Poisson load, time the promotion, and
+/// compare goodput either side of the crash.
+fn bench_recovery(phase: usize) -> Recovery {
+    let mut cl = FailoverCluster::new(vec![spec(11), spec(23)], FailoverConfig::default());
+    let mut rng = StdRng::seed_from_u64(0xFA11);
+
+    let before = poisson_phase(&mut cl, &mut rng, phase);
+    let window: Vec<PendingServe> = (0..12).map(|_| cl.submit(0)).collect();
+    cl.kill_active();
+    // Detection + promotion happens inside the first post-kill resolve;
+    // wall-time it.
+    let t0 = Instant::now();
+    let mut resolved = 0usize;
+    for p in window {
+        if cl.resolve(p).is_some() {
+            resolved += 1;
+        }
+    }
+    let detect_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(resolved, 12, "in-flight requests must fail over, not vanish");
+
+    let after = poisson_phase(&mut cl, &mut rng, phase);
+    let s = cl.shutdown();
+    Recovery {
+        phase,
+        before,
+        after,
+        detect_ms,
+        crash_dropped: s.crash_dropped,
+        retried: s.retried,
+        lost: s.lost,
+        conserved: s.completed + s.rejected == s.submitted,
+        failovers: s.failovers,
+    }
+}
+
+fn main() {
+    let budget_ms: u64 =
+        std::env::var("MURMURATION_BENCH_MS").ok().and_then(|v| v.parse().ok()).unwrap_or(1500);
+    let iters = (budget_ms as usize * 2).clamp(200, 10_000);
+
+    let (bare_us, cluster_us, overhead_pct) = bench_overhead(iters);
+    println!("happy path ({iters} iters, gossip round every {PUMP_EVERY} requests):");
+    println!("  bare serve     {bare_us:>9.1} us");
+    println!("  cluster serve  {cluster_us:>9.1} us");
+    println!("  overhead       {overhead_pct:>8.2} %   (budget: 5%)");
+
+    let r = bench_recovery((budget_ms as usize / 25).clamp(30, 400));
+    let recovery_ratio =
+        if r.before > 0 { r.after as f64 / r.before as f64 } else { f64::INFINITY };
+    println!("\nfailover recovery ({} requests per phase):", r.phase);
+    println!("  goodput before  {:>4}/{}", r.before, r.phase);
+    println!("  goodput after   {:>4}/{}   ({recovery_ratio:.2}x, budget: 0.8x)", r.after, r.phase);
+    println!("  detect+promote  {:>7.1} ms (12 in-flight requests failed over)", r.detect_ms);
+    println!(
+        "  dropped {} / retried {} / lost {} / conservation {}",
+        r.crash_dropped, r.retried, r.lost, r.conserved
+    );
+
+    let json = format!(
+        "{{\n  \"gossip_overhead\": {{\"bare_us\": {bare_us:.2}, \"cluster_us\": {cluster_us:.2}, \
+         \"overhead_pct\": {overhead_pct:.3}, \"budget_pct\": 5.0, \"pump_every\": {PUMP_EVERY}}},\n  \
+         \"failover\": {{\"phase_requests\": {}, \"completed_before\": {}, \"completed_after\": {}, \
+         \"recovery_ratio\": {recovery_ratio:.3}, \"recovery_budget\": 0.8, \
+         \"detect_promote_ms\": {:.2}, \"crash_dropped\": {}, \"retried\": {}, \"lost\": {}, \
+         \"failovers\": {}, \"conservation\": {}}}\n}}\n",
+        r.phase, r.before, r.after, r.detect_ms, r.crash_dropped, r.retried, r.lost, r.failovers,
+        r.conserved,
+    );
+    let dir = std::path::PathBuf::from("results");
+    let _ = std::fs::create_dir_all(&dir);
+    match std::fs::File::create(dir.join("BENCH_failover.json")) {
+        Ok(mut f) => {
+            let _ = f.write_all(json.as_bytes());
+            eprintln!("wrote results/BENCH_failover.json");
+        }
+        Err(e) => eprintln!("could not write results/BENCH_failover.json: {e}"),
+    }
+
+    let mut failed = false;
+    if overhead_pct > 5.0 {
+        eprintln!("WARNING: control-plane overhead exceeds the 5% budget");
+        failed = true;
+    }
+    if recovery_ratio < 0.8 {
+        eprintln!("WARNING: post-failover goodput below the 0.8x budget");
+        failed = true;
+    }
+    if r.lost != 0 || !r.conserved || r.failovers != 1 {
+        eprintln!("WARNING: conservation violated across the handover");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

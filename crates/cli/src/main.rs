@@ -23,7 +23,8 @@ use murmuration_partition::{ExecutionPlan, LatencyEstimator};
 use murmuration_rl::supreme::{self, SupremeConfig};
 use murmuration_rl::{serialize, Condition, LstmPolicy, Scenario, SloKind};
 use murmuration_serve::{
-    default_classes, run_closed_loop, run_open_loop, EnvModel, LoadReport, ServeConfig, ServeHandle,
+    default_classes, run_closed_loop, run_open_loop, CoordinatorSpec, EnvModel, FailoverCluster,
+    FailoverConfig, LoadReport, ServeConfig, ServeHandle, ServeOutcome,
 };
 use murmuration_supernet::{AccuracyModel, SearchSpace, SubnetSpec};
 use rand::rngs::StdRng;
@@ -56,6 +57,7 @@ fn run(argv: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         "simulate" => cmd_simulate(&args),
         "serve" => cmd_serve(&args),
         "loadtest" => cmd_loadtest(&args),
+        "failover" => cmd_failover(&args),
         "worker" => remote::cmd_worker(&args),
         "exec" => remote::cmd_exec(&args),
         "help" | "--help" | "-h" => {
@@ -97,6 +99,11 @@ fn print_help() {
                      --mix W0,W1,W2 (0.4,0.3,0.3)  --baseline naive|engineered (engineered)\n\
                      --kill-device D --kill-at-ms T --revive-at-ms R\n\
                      --time-scale S (0.02)  --workers W (2)  --seed S (0)\n\
+           failover  Primary + standby coordinator demo with gossip failover.\n\
+                     --policy FILE|fresh  --scenario ...  --requests N (60)\n\
+                     --die-at-req K (N/2; usize::MAX = never)  --seed S (0)\n\
+                     (kills the primary mid-load; the standby promotes via\n\
+                      gossip and the cluster conserves every request)\n\
            worker    Host one device's compute behind a TCP listener.\n\
                      --listen ADDR (e.g. 127.0.0.1:7070; port 0 = pick free)\n\
                      --dev D (0)  --units N (3)  --layers L (2)  --channels C (4)\n\
@@ -489,6 +496,70 @@ fn cmd_serve(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "conservation: {} submitted = {} completed + {} rejected",
         stats.submitted, stats.completed, stats.rejected
+    );
+    Ok(())
+}
+
+fn cmd_failover(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let requests: usize = args.get_parsed_or("requests", 60)?;
+    let die_at: usize = args.get_parsed_or("die-at-req", requests / 2)?;
+    let seed: u64 = args.get_parsed_or("seed", 0u64)?;
+    // Two independent coordinators over the same scenario: each has its
+    // own runtime (a standby trusts gossip, not the primary's memory).
+    let (rt0, env0, cfg0) = serving_setup(args)?;
+    let (rt1, env1, mut cfg1) = serving_setup(args)?;
+    cfg1.base_seed ^= 0x57A9;
+    let mut cl = FailoverCluster::new(
+        vec![
+            CoordinatorSpec { rt: rt0, env: env0, cfg: cfg0 },
+            CoordinatorSpec { rt: rt1, env: env1, cfg: cfg1 },
+        ],
+        FailoverConfig { seed, ..FailoverConfig::default() },
+    );
+    let n_classes = default_classes().len();
+    eprintln!(
+        "failover demo: {requests} closed-loop requests, primary (rank 0) dies at \
+         request {die_at}…"
+    );
+    let mut done = 0usize;
+    let mut rejected = 0usize;
+    for i in 0..requests {
+        if i == die_at {
+            let dropped = cl.kill_active();
+            println!(
+                "request {i:>4}: PRIMARY KILLED ({dropped} queued requests dropped, \
+                 failing over through gossip)"
+            );
+        }
+        match cl.submit_wait(i % n_classes) {
+            Some(ServeOutcome::Done(_)) => done += 1,
+            Some(ServeOutcome::Rejected(_)) => rejected += 1,
+            None => {}
+        }
+        // Amortised gossip round: membership ticks + digest exchange.
+        if i % 8 == 7 {
+            cl.pump();
+        }
+        if i + 1 == die_at || i + 1 == requests || (i + 1) % 20 == 0 {
+            println!(
+                "request {:>4}: active rank {:?}, {done} done / {rejected} rejected",
+                i + 1,
+                cl.active_rank()
+            );
+        }
+    }
+    let s = cl.shutdown();
+    println!(
+        "\nfailovers {} | submitted {} | completed {} | rejected {} | retried {} \
+         (crash dropped {}) | lost {}",
+        s.failovers, s.submitted, s.completed, s.rejected, s.retried, s.crash_dropped, s.lost
+    );
+    println!(
+        "conservation: {} completed + {} rejected = {} submitted — {}",
+        s.completed,
+        s.rejected,
+        s.submitted,
+        if s.completed + s.rejected == s.submitted && s.lost == 0 { "ok" } else { "VIOLATED" }
     );
     Ok(())
 }

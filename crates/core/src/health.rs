@@ -62,6 +62,11 @@ pub struct HealthConfig {
     pub suspect_penalty: f64,
     /// Latency penalty multiplier applied to a `Probation` device's links.
     pub probation_penalty: f64,
+    /// Cap on the penalty that *peer-reported* (gossiped) health may apply
+    /// to a device. Peer reports can steer routing away from a device but
+    /// can never quarantine it — that requires local evidence plus a local
+    /// canary pass — so the cap stays finite.
+    pub peer_penalty_cap: f64,
 }
 
 impl Default for HealthConfig {
@@ -79,6 +84,7 @@ impl Default for HealthConfig {
             probation_canaries: 2,
             suspect_penalty: 4.0,
             probation_penalty: 2.0,
+            peer_penalty_cap: 4.0,
         }
     }
 }
@@ -202,6 +208,41 @@ pub enum HealthState {
     Quarantined,
 }
 
+impl HealthState {
+    /// Stable single-byte wire code (gossip health digests).
+    pub fn code(self) -> u8 {
+        match self {
+            HealthState::Healthy => 0,
+            HealthState::Suspect => 1,
+            HealthState::Probation => 2,
+            HealthState::Quarantined => 3,
+        }
+    }
+
+    /// Decodes a wire code; unknown codes degrade to `Healthy` (an
+    /// unrecognised claim from a peer must not penalize anyone).
+    pub fn from_code(code: u8) -> HealthState {
+        match code {
+            1 => HealthState::Suspect,
+            2 => HealthState::Probation,
+            3 => HealthState::Quarantined,
+            _ => HealthState::Healthy,
+        }
+    }
+}
+
+/// Monotone counters of graded-state transitions, for robustness metrics:
+/// how often the fleet flapped, quarantined, and recovered.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HealthTransitions {
+    /// Entries into `Suspect` (from `Healthy`).
+    pub suspects: u64,
+    /// Entries into `Quarantined`.
+    pub quarantines: u64,
+    /// Re-admissions to `Healthy` via passing canaries.
+    pub readmissions: u64,
+}
+
 /// What a health update caused, so callers can react (purge caches on
 /// quarantine, log re-admissions).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -228,6 +269,9 @@ struct DeviceGrayHealth {
     /// Trace-driven slowdown factor (virtual simulations); folded into
     /// the penalty but never into the measured state machine.
     virtual_slow: Option<f64>,
+    /// Peer-reported (gossip-aggregated) penalty; folded into the penalty
+    /// capped at `peer_penalty_cap`, never into the state machine.
+    peer_penalty: Option<f64>,
 }
 
 impl DeviceGrayHealth {
@@ -242,6 +286,7 @@ impl DeviceGrayHealth {
             quarantined_at_ms: 0.0,
             backoff_ms: cfg.canary_backoff_ms,
             virtual_slow: None,
+            peer_penalty: None,
         }
     }
 
@@ -355,7 +400,10 @@ impl DeviceGrayHealth {
         HealthEvent::None
     }
 
-    fn penalty(&self, cfg: &HealthConfig) -> f64 {
+    /// Penalty from direct local evidence only (state machine + trace
+    /// slowdown) — the reference that peer claims are scored against, so
+    /// a gossiped lie can never poison its own refutation.
+    fn measured_penalty(&self, cfg: &HealthConfig) -> f64 {
         let measured = match self.state {
             HealthState::Healthy => 1.0,
             HealthState::Suspect => cfg.suspect_penalty,
@@ -363,6 +411,14 @@ impl DeviceGrayHealth {
             HealthState::Quarantined => f64::INFINITY,
         };
         measured.max(self.virtual_slow.unwrap_or(1.0))
+    }
+
+    fn penalty(&self, cfg: &HealthConfig) -> f64 {
+        let peer = self
+            .peer_penalty
+            .filter(|p| p.is_finite() && *p > 1.0)
+            .map_or(1.0, |p| p.min(cfg.peer_penalty_cap));
+        self.measured_penalty(cfg).max(peer)
     }
 }
 
@@ -372,12 +428,32 @@ impl DeviceGrayHealth {
 pub struct FleetHealth {
     cfg: HealthConfig,
     devs: Vec<DeviceGrayHealth>,
+    transitions: HealthTransitions,
 }
 
 impl FleetHealth {
     /// A fleet of `n` devices, all initially healthy.
     pub fn new(n_devices: usize, cfg: HealthConfig) -> Self {
-        FleetHealth { cfg, devs: (0..n_devices).map(|_| DeviceGrayHealth::new(&cfg)).collect() }
+        FleetHealth {
+            cfg,
+            devs: (0..n_devices).map(|_| DeviceGrayHealth::new(&cfg)).collect(),
+            transitions: HealthTransitions::default(),
+        }
+    }
+
+    /// Folds one health event (and the surrounding state change) into the
+    /// monotone transition counters.
+    fn count(&mut self, before: HealthState, dev: usize, ev: HealthEvent) -> HealthEvent {
+        let after = self.state(dev);
+        if before == HealthState::Healthy && after == HealthState::Suspect {
+            self.transitions.suspects += 1;
+        }
+        match ev {
+            HealthEvent::Quarantined => self.transitions.quarantines += 1,
+            HealthEvent::Readmitted => self.transitions.readmissions += 1,
+            HealthEvent::None => {}
+        }
+        ev
     }
 
     /// Number of tracked devices.
@@ -393,21 +469,27 @@ impl FleetHealth {
     /// Feeds one successful execution's latency. Device 0 only updates
     /// its tracker.
     pub fn on_success(&mut self, dev: usize, latency_ms: f64, now_ms: f64) -> HealthEvent {
+        let cfg = self.cfg;
         let Some(d) = self.devs.get_mut(dev) else { return HealthEvent::None };
         if dev == 0 {
             d.tracker.observe(latency_ms);
             return HealthEvent::None;
         }
-        d.on_success(&self.cfg, latency_ms, now_ms)
+        let before = d.state;
+        let ev = d.on_success(&cfg, latency_ms, now_ms);
+        self.count(before, dev, ev)
     }
 
     /// Feeds one hard execution failure.
     pub fn on_failure(&mut self, dev: usize, now_ms: f64) -> HealthEvent {
+        let cfg = self.cfg;
         let Some(d) = self.devs.get_mut(dev) else { return HealthEvent::None };
         if dev == 0 {
             return HealthEvent::None;
         }
-        d.on_failure(&self.cfg, now_ms)
+        let before = d.state;
+        let ev = d.on_failure(&cfg, now_ms);
+        self.count(before, dev, ev)
     }
 
     /// Feeds one transport heartbeat RTT for the link to `dev`. An RTT
@@ -415,13 +497,16 @@ impl FleetHealth {
     /// surface); timely RTTs only update the link tracker — they must not
     /// mask compute slowness.
     pub fn on_link_rtt(&mut self, dev: usize, rtt_ms: f64, now_ms: f64) -> HealthEvent {
+        let cfg = self.cfg;
         let Some(d) = self.devs.get_mut(dev) else { return HealthEvent::None };
-        let outlier = d.link.is_slow_outlier(rtt_ms, &self.cfg);
+        let outlier = d.link.is_slow_outlier(rtt_ms, &cfg);
         d.link.observe(rtt_ms);
         if dev == 0 || !outlier {
             return HealthEvent::None;
         }
-        d.on_bad(&self.cfg, now_ms)
+        let before = d.state;
+        let ev = d.on_bad(&cfg, now_ms);
+        self.count(before, dev, ev)
     }
 
     /// Advances quarantined devices whose canary backoff has elapsed into
@@ -480,6 +565,55 @@ impl FleetHealth {
     /// Observed latency quantile for `dev`, if enough history exists.
     pub fn latency_quantile(&self, dev: usize, q: f64) -> Option<f64> {
         self.devs.get(dev).and_then(|d| d.tracker.quantile(q))
+    }
+
+    /// Peer-reported (gossip-aggregated) penalty for `dev`. Folds into
+    /// [`FleetHealth::penalty`] capped at
+    /// [`HealthConfig::peer_penalty_cap`]; never touches the local state
+    /// machine or the placeable mask — gossip alone cannot quarantine,
+    /// only local evidence plus a canary pass can. `None` clears it.
+    /// Device 0 ignores peer claims (pinned healthy).
+    pub fn set_peer_penalty(&mut self, dev: usize, penalty: Option<f64>) {
+        if dev == 0 {
+            return;
+        }
+        if let Some(d) = self.devs.get_mut(dev) {
+            d.peer_penalty = penalty.filter(|p| p.is_finite() && *p > 1.0);
+        }
+    }
+
+    /// Penalty from direct local evidence only — excludes any gossiped
+    /// peer claims, so reputation scoring compares a claim against what
+    /// *this* node actually measured.
+    pub fn local_penalty(&self, dev: usize) -> f64 {
+        self.devs.get(dev).map_or(1.0, |d| d.measured_penalty(&self.cfg))
+    }
+
+    /// Number of latency samples directly observed for `dev` (gates
+    /// whether local evidence is strong enough to judge peer claims).
+    pub fn local_samples(&self, dev: usize) -> usize {
+        self.devs.get(dev).map_or(0, |d| d.tracker.len())
+    }
+
+    /// The peer-reported penalty currently folded in for `dev` (after the
+    /// cap), or 1.0.
+    pub fn peer_penalty(&self, dev: usize) -> f64 {
+        self.devs
+            .get(dev)
+            .and_then(|d| d.peer_penalty)
+            .map_or(1.0, |p| p.min(self.cfg.peer_penalty_cap))
+    }
+
+    /// Monotone counters of graded-state transitions since construction.
+    pub fn transitions(&self) -> HealthTransitions {
+        self.transitions
+    }
+
+    /// Compact latency digest for gossip: (p50, p95) over the window, if
+    /// the tracker has history.
+    pub fn latency_digest(&self, dev: usize) -> Option<(f64, f64)> {
+        let d = self.devs.get(dev)?;
+        Some((d.tracker.quantile(0.5)?, d.tracker.quantile(0.95)?))
     }
 }
 
@@ -640,6 +774,62 @@ mod tests {
         assert_eq!(fleet.state(0), HealthState::Healthy);
         fleet.set_virtual_slowdown(0, Some(10.0));
         assert_eq!(fleet.penalty(0), 1.0);
+    }
+
+    #[test]
+    fn peer_penalty_caps_and_never_quarantines() {
+        let c = cfg();
+        let mut fleet = FleetHealth::new(3, c);
+        // A peer claiming a device is catastrophically slow moves routing
+        // penalty only up to the cap, and the device stays placeable.
+        fleet.set_peer_penalty(1, Some(1e9));
+        assert_eq!(fleet.state(1), HealthState::Healthy);
+        assert_eq!(fleet.penalty(1), c.peer_penalty_cap);
+        assert!(fleet.placeable_mask()[1]);
+        // Clearing restores the nominal penalty; device 0 ignores claims.
+        fleet.set_peer_penalty(1, None);
+        assert_eq!(fleet.penalty(1), 1.0);
+        fleet.set_peer_penalty(0, Some(3.0));
+        assert_eq!(fleet.penalty(0), 1.0);
+        // Sub-unity or non-finite claims are discarded.
+        fleet.set_peer_penalty(2, Some(0.5));
+        assert_eq!(fleet.penalty(2), 1.0);
+        fleet.set_peer_penalty(2, Some(f64::INFINITY));
+        assert_eq!(fleet.penalty(2), 1.0);
+    }
+
+    #[test]
+    fn transitions_count_suspects_quarantines_readmissions() {
+        let c = cfg();
+        let mut fleet = FleetHealth::new(2, c);
+        warm(&mut fleet, 1, 16);
+        assert_eq!(fleet.transitions(), HealthTransitions::default());
+        for i in 0..12 {
+            let _ = fleet.on_success(1, 150.0, 100.0 + i as f64);
+        }
+        let t = fleet.transitions();
+        assert_eq!(t.suspects, 1);
+        assert_eq!(t.quarantines, 1);
+        assert_eq!(t.readmissions, 0);
+        let due = 200.0 + c.canary_backoff_ms;
+        fleet.poll(due);
+        for _ in 0..c.probation_canaries {
+            let _ = fleet.on_success(1, 10.0, due + 1.0);
+        }
+        assert_eq!(fleet.transitions().readmissions, 1);
+    }
+
+    #[test]
+    fn health_state_codes_round_trip() {
+        for s in [
+            HealthState::Healthy,
+            HealthState::Suspect,
+            HealthState::Probation,
+            HealthState::Quarantined,
+        ] {
+            assert_eq!(HealthState::from_code(s.code()), s);
+        }
+        assert_eq!(HealthState::from_code(200), HealthState::Healthy);
     }
 
     #[test]

@@ -32,12 +32,17 @@
 //!   per-unit dispatch table (grids + wire precisions).
 //! * [`fault`] — fault injection ([`fault::FaultyCompute`]): kill, stall,
 //!   panic, or slow any device's worker to exercise the recovery paths.
+//! * [`gossip`] — the decentralized control plane: SWIM-style gossip
+//!   membership, reputation-weighted trimmed aggregation of peer health
+//!   reports, and the deterministic primary-coordinator ranking that
+//!   failover leans on.
 //! * [`runtime`] — the per-request adaptation loop tying it all together.
 
 pub mod cache;
 pub mod decision;
 pub mod executor;
 pub mod fault;
+pub mod gossip;
 pub mod health;
 pub mod monitor;
 pub mod predictor;

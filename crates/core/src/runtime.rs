@@ -22,7 +22,8 @@
 //!   tests, figures, and examples run unchanged.
 
 use crate::decision::DecisionModule;
-use crate::health::{FleetHealth, HealthConfig, HealthEvent, HealthState};
+use crate::gossip::{HealthReport, NodeId, ReputationAggregator, ReputationConfig};
+use crate::health::{FleetHealth, HealthConfig, HealthEvent, HealthState, HealthTransitions};
 use crate::monitor::{LinkEstimate, NetworkMonitor};
 use crate::predictor::MonitorPredictor;
 use crate::reconfig::InMemorySupernet;
@@ -210,6 +211,8 @@ pub struct SharedRuntime {
     supernet: Mutex<InMemorySupernet>,
     health: Mutex<DeviceHealth>,
     gray: Mutex<FleetHealth>,
+    /// Per-reporter reputation for gossiped health claims.
+    reputation: Mutex<ReputationAggregator>,
     cfg: RuntimeConfig,
     /// Latest virtual time seen by tick/infer (f64 bits).
     last_t_ms: AtomicU64,
@@ -239,6 +242,7 @@ impl SharedRuntime {
             supernet: Mutex::new(InMemorySupernet::new(space)),
             health: Mutex::new(DeviceHealth::new(n_devices, cfg.health_threshold)),
             gray: Mutex::new(FleetHealth::new(n_devices, cfg.gray)),
+            reputation: Mutex::new(ReputationAggregator::new(ReputationConfig::default())),
             cfg,
             last_t_ms: AtomicU64::new(0.0f64.to_bits()),
         }
@@ -587,6 +591,82 @@ impl SharedRuntime {
     pub fn cache_stats(&self) -> crate::cache::CacheStats {
         self.decision.cache_stats()
     }
+
+    /// Monotone gray-health transition counters (suspects, quarantines,
+    /// re-admissions) — the robustness metrics the serve layer surfaces.
+    pub fn gray_transitions(&self) -> HealthTransitions {
+        self.gray.lock().transitions()
+    }
+
+    /// Exports this node's direct graded-health observations as gossip
+    /// health reports, stamped with `reporter` and `version` (callers
+    /// bump the version each publication so merges stay idempotent).
+    pub fn export_health_reports(&self, reporter: NodeId, version: u64) -> Vec<HealthReport> {
+        let gray = self.gray.lock();
+        (0..gray.n_devices())
+            .map(|dev| {
+                let (p50, p95) = gray.latency_digest(dev).unwrap_or((f64::NAN, f64::NAN));
+                HealthReport {
+                    reporter,
+                    device: dev as u32,
+                    state: gray.state(dev).code(),
+                    penalty: gray.local_penalty(dev),
+                    p50_ms: p50,
+                    p95_ms: p95,
+                    version,
+                }
+            })
+            .collect()
+    }
+
+    /// Folds peer-reported health claims into routing penalties.
+    ///
+    /// Per device, the claims go through the reputation-weighted trimmed
+    /// mean ([`ReputationAggregator::aggregate`]); the result lands in
+    /// [`FleetHealth::set_peer_penalty`], which caps it and never touches
+    /// the placeable mask — a gossiped claim can steer routing, but
+    /// quarantine still requires local evidence plus a local canary pass.
+    /// Where this node has enough *direct* observations of a device,
+    /// each reporter's claim is also scored against them, so reporters
+    /// who repeatedly contradict reality lose weight.
+    pub fn fold_peer_reports(&self, reports: &[HealthReport]) {
+        let n = self.scenario().devices.len();
+        let mut by_dev: Vec<Vec<(NodeId, f64)>> = vec![Vec::new(); n];
+        for r in reports {
+            if let Some(claims) = by_dev.get_mut(r.device as usize) {
+                claims.push((r.reporter, r.penalty));
+            }
+        }
+        let mut rep = self.reputation.lock();
+        let mut gray = self.gray.lock();
+        let min_samples = self.cfg.gray.min_samples;
+        for (dev, claims) in by_dev.iter().enumerate() {
+            if dev == 0 || claims.is_empty() {
+                continue;
+            }
+            if gray.local_samples(dev) >= min_samples {
+                let observed = gray.local_penalty(dev);
+                for (who, claimed) in claims {
+                    rep.observe(*who, *claimed, observed);
+                }
+            }
+            gray.set_peer_penalty(dev, rep.aggregate(claims));
+        }
+    }
+
+    /// Current reputation weight of a gossip reporter (1.0 = trusted).
+    pub fn reputation_weight(&self, reporter: NodeId) -> f64 {
+        self.reputation.lock().weight(reporter)
+    }
+
+    /// Replaces the reputation-aggregation policy (weights reset). Small
+    /// deployments need this: the default `trim = 1` requires three
+    /// reporters per device before any peer claim takes effect, so a
+    /// primary/standby pair — one reporter — sets `trim = 0` and accepts
+    /// the other coordinator's claims at face value.
+    pub fn set_reputation_config(&self, cfg: ReputationConfig) {
+        *self.reputation.lock() = ReputationAggregator::new(cfg);
+    }
 }
 
 /// The assembled runtime — the original single-threaded API, kept as a
@@ -832,6 +912,48 @@ mod tests {
         assert_eq!(scalar, rt.scenario().slo_range.1);
         let same = rt.decision_scalar(&Slo::LatencyMs(123.0));
         assert_eq!(same, 123.0);
+    }
+
+    #[test]
+    fn peer_reports_steer_routing_but_never_quarantine() {
+        let rt = runtime().into_shared();
+        let claim = |who: u64, penalty: f64| HealthReport {
+            reporter: NodeId(who),
+            device: 1,
+            state: HealthState::Suspect.code(),
+            penalty,
+            p50_ms: f64::NAN,
+            p95_ms: f64::NAN,
+            version: 1,
+        };
+        // Three agreeing reporters: the trimmed mean lands as a routing
+        // penalty, but the device stays placeable and locally Healthy.
+        rt.fold_peer_reports(&[claim(1, 3.0), claim(2, 3.0), claim(3, 3.0)]);
+        assert_eq!(rt.gray_penalties()[1], 3.0);
+        assert!(rt.placeable_mask()[1]);
+        assert_eq!(rt.gray_states()[1], HealthState::Healthy);
+        // One liar among honest reporters is trimmed away entirely.
+        rt.fold_peer_reports(&[claim(1, 1.0), claim(2, 1.0), claim(3, 16.0)]);
+        assert_eq!(rt.gray_penalties()[1], 1.0);
+        // Too few reports: local evidence rules (no peer penalty).
+        rt.fold_peer_reports(&[claim(1, 4.0)]);
+        assert_eq!(rt.gray_penalties()[1], 1.0);
+    }
+
+    #[test]
+    fn exported_reports_carry_local_observations() {
+        let rt = runtime().into_shared();
+        for i in 0..16 {
+            rt.report_exec_latency(1, 12.0 + (i % 3) as f64, i as f64);
+        }
+        let me = NodeId::derive(9, 0);
+        let reports = rt.export_health_reports(me, 5);
+        assert_eq!(reports.len(), rt.scenario().devices.len());
+        let r1 = &reports[1];
+        assert_eq!(r1.reporter, me);
+        assert_eq!(r1.version, 5);
+        assert_eq!(r1.penalty, 1.0);
+        assert!(r1.p50_ms > 0.0 && r1.p95_ms >= r1.p50_ms);
     }
 
     #[test]

@@ -179,6 +179,24 @@ pub trait Transport: Send + Sync {
         None
     }
 
+    /// Pushes one gossip control payload (an encoded
+    /// `murmuration_core::gossip::GossipMsg`) toward `dev`'s node.
+    /// Best-effort: returns `false` when the link is down or the
+    /// transport carries no control plane (the in-process default). A
+    /// peer that receives a push replies with its own digest, which
+    /// arrives via [`Transport::drain_gossip`] — the SWIM push-pull.
+    fn send_gossip(&self, dev: usize, payload: &[u8]) -> bool {
+        let _ = (dev, payload);
+        false
+    }
+
+    /// Drains gossip payloads received from peers since the last call
+    /// (pull replies and unsolicited pushes alike). Payload order follows
+    /// arrival; merging is idempotent so duplicates are harmless.
+    fn drain_gossip(&self) -> Vec<Vec<u8>> {
+        Vec::new()
+    }
+
     /// Gracefully drains: stop accepting new work, let in-flight work
     /// finish (bounded), release resources. Idempotent.
     fn shutdown(&mut self) {}

@@ -1,0 +1,165 @@
+//! Property tests for the reputation-weighted trimmed aggregation in
+//! `core::gossip`: the defense that keeps lying gossip reporters from
+//! steering routing.
+//!
+//! Three properties, each over arbitrary claim sets:
+//! * **Byzantine bound** — with `k ≤ trim` liars among `≥ 2·trim + 1`
+//!   full-weight reports, the aggregate never leaves the honest claims'
+//!   range, no matter what the liars say (including ∞, NaN, and negative
+//!   claims);
+//! * **exclusion** — a reporter whose weight has decayed below
+//!   `min_weight` contributes *nothing*: the aggregate equals the
+//!   honest-only aggregate exactly;
+//! * **rehabilitation** — any amount of lying is recoverable: a bounded
+//!   run of honest reports restores full weight.
+
+use murmuration_core::gossip::{NodeId, ReputationAggregator, ReputationConfig};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn runner() -> TestRunner {
+    TestRunner::new(ProptestConfig { cases: 256 })
+}
+
+/// Decodes a `(selector, continuous)` pair into a Byzantine claim:
+/// values the wire format can carry but no honest reporter would send.
+fn liar_value(sel: usize, cont: f64) -> f64 {
+    match sel {
+        0 => f64::INFINITY,
+        1 => f64::NEG_INFINITY,
+        2 => f64::NAN,
+        3 => -5.0,
+        4 => 0.0,
+        5 => 1e300,
+        _ => cont,
+    }
+}
+
+#[test]
+fn liars_within_trim_never_move_aggregate_past_honest_bound() {
+    let mut runner = runner();
+    runner
+        .run(
+            &(
+                1usize..3,
+                // Honest claims live in the clamp range; always ≥ k + 1.
+                vec(1.0..16.0f64, 3..7),
+                vec((0usize..7, 0.0..2_000.0f64), 0..3),
+            ),
+            |(k, honest, raw_lies)| {
+                let lies: Vec<f64> =
+                    raw_lies.iter().take(k).map(|&(sel, cont)| liar_value(sel, cont)).collect();
+                let rep = ReputationAggregator::new(ReputationConfig {
+                    trim: k,
+                    ..ReputationConfig::default()
+                });
+                let claims: Vec<(NodeId, f64)> = honest
+                    .iter()
+                    .copied()
+                    .chain(lies.iter().copied())
+                    .enumerate()
+                    .map(|(i, p)| (NodeId(i as u64), p))
+                    .collect();
+                let lo = honest.iter().copied().fold(f64::INFINITY, f64::min);
+                let hi = honest.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                match rep.aggregate(&claims) {
+                    None => {
+                        // Legal only when there genuinely were too few
+                        // reports for the trimmed mean.
+                        prop_assert!(
+                            claims.len() < 2 * k + 1,
+                            "{} full-weight reports with trim {} must aggregate",
+                            claims.len(),
+                            k
+                        );
+                    }
+                    Some(agg) => {
+                        prop_assert!(
+                            (lo - 1e-9..=hi + 1e-9).contains(&agg),
+                            "aggregate {} escaped honest range [{}, {}] with {} liars \
+                             (trim {}): lies {:?}",
+                            agg,
+                            lo,
+                            hi,
+                            lies.len(),
+                            k,
+                            lies
+                        );
+                    }
+                }
+                Ok(())
+            },
+        )
+        .unwrap();
+}
+
+#[test]
+fn discredited_reporter_contributes_nothing() {
+    let mut runner = runner();
+    runner
+        .run(
+            &(vec(1.0..16.0f64, 3..7), (0usize..7, 0.0..2_000.0f64), 3u32..11),
+            |(honest, (sel, cont), rounds)| {
+                let lie = liar_value(sel, cont);
+                let mut rep = ReputationAggregator::new(ReputationConfig::default());
+                let liar = NodeId(99);
+                // Each contradicted claim halves the weight; after 3 the
+                // liar is below min_weight (0.5³ = 0.125 < 0.2).
+                for _ in 0..rounds {
+                    rep.observe(liar, 16.0, 1.0);
+                }
+                prop_assert!(
+                    rep.weight(liar) < rep.config().min_weight,
+                    "weight {} still usable after {} contradictions",
+                    rep.weight(liar),
+                    rounds
+                );
+                let honest_claims: Vec<(NodeId, f64)> = honest
+                    .iter()
+                    .copied()
+                    .enumerate()
+                    .map(|(i, p)| (NodeId(i as u64), p))
+                    .collect();
+                let mut with_liar = honest_claims.clone();
+                with_liar.push((liar, lie));
+                // Excluded means *exactly* the honest-only aggregate.
+                let a = rep.aggregate(&honest_claims);
+                let b = rep.aggregate(&with_liar);
+                prop_assert_eq!(a, b);
+                Ok(())
+            },
+        )
+        .unwrap();
+}
+
+#[test]
+fn reputation_recovers_after_honest_reporting_resumes() {
+    let mut runner = runner();
+    runner
+        .run(&(1u32..13,), |(lies,)| {
+            let mut rep = ReputationAggregator::new(ReputationConfig::default());
+            let node = NodeId(7);
+            for _ in 0..lies {
+                rep.observe(node, 16.0, 1.0);
+            }
+            let decayed = rep.weight(node);
+            prop_assert!(decayed < 1.0, "lying must cost weight");
+            // Recovery is additive (+0.1, capped at 1.0), so ten honest
+            // reports restore full trust from any floor.
+            for i in 0..10 {
+                rep.observe(node, 2.0, 2.0);
+                prop_assert!(
+                    rep.weight(node) >= decayed,
+                    "weight regressed during honest round {}",
+                    i
+                );
+            }
+            prop_assert!(
+                (rep.weight(node) - 1.0).abs() <= 1e-9,
+                "weight {} after 10 honest rounds, expected full trust",
+                rep.weight(node)
+            );
+            Ok(())
+        })
+        .unwrap();
+}

@@ -157,6 +157,81 @@ impl FleetTrace {
     pub fn slow_factor(&self, dev: usize, t_ms: f64) -> f64 {
         self.traces[dev].sample(t_ms).slow_factor()
     }
+
+    /// The coordinator-death scenario for failover experiments: device 0
+    /// (the primary coordinator) dies permanently at `kill_at_ms` while
+    /// every worker stays up. Meaningful only for runs with a standby
+    /// coordinator — without failover, this trace ends the system.
+    pub fn coordinator_death(n: usize, kill_at_ms: f64) -> Self {
+        assert!(n > 0, "need at least one device");
+        assert!(kill_at_ms > 0.0, "need kill_at > 0");
+        let mut fleet = FleetTrace::always_up(n);
+        fleet.set(0, DeviceTrace::down_after(kill_at_ms));
+        fleet
+    }
+}
+
+/// A deterministic network-partition schedule for gossip experiments:
+/// piecewise-constant groupings of node indices over virtual time. Two
+/// nodes can exchange gossip at `t` iff they sit in the same group. An
+/// empty schedule (or any time before the first entry) means no partition
+/// — everyone reaches everyone.
+///
+/// This complements [`FleetTrace`]: a fleet trace says who is *alive*,
+/// a partition schedule says who can *talk*. Rumors about a node on the
+/// far side of a cut stop advancing, so its record goes Suspect and then
+/// Failed on the near side — and refutes itself (incarnation bump) once
+/// the cut heals.
+#[derive(Clone, Debug, Default)]
+pub struct PartitionSchedule {
+    /// `(start_ms, groups)` sorted by time; each group is a set of node
+    /// indices. A node absent from every group at `t` is isolated.
+    phases: Vec<(f64, Vec<Vec<usize>>)>,
+}
+
+impl PartitionSchedule {
+    /// No partitions, ever.
+    pub fn none() -> Self {
+        PartitionSchedule { phases: Vec::new() }
+    }
+
+    /// A schedule from explicit `(start_ms, groups)` phases; panics unless
+    /// strictly time-ordered. Use an empty groups vec for "fully healed".
+    pub fn phases(phases: Vec<(f64, Vec<Vec<usize>>)>) -> Self {
+        assert!(
+            phases.windows(2).all(|w| w[0].0 < w[1].0),
+            "partition phases must be strictly time-ordered"
+        );
+        PartitionSchedule { phases }
+    }
+
+    /// The canonical split-then-heal: nodes are cut into two groups for
+    /// `[start_ms, heal_ms)`, fully connected outside that window.
+    pub fn split(start_ms: f64, heal_ms: f64, left: Vec<usize>, right: Vec<usize>) -> Self {
+        assert!(0.0 <= start_ms && start_ms < heal_ms, "need 0 <= start < heal");
+        PartitionSchedule::phases(vec![(start_ms, vec![left, right]), (heal_ms, Vec::new())])
+    }
+
+    /// Whether nodes `a` and `b` can exchange gossip at `t_ms`.
+    pub fn can_reach(&self, a: usize, b: usize, t_ms: f64) -> bool {
+        if a == b {
+            return true;
+        }
+        // Find the phase in force at t (the last one whose start <= t).
+        let mut groups: Option<&[Vec<usize>]> = None;
+        for (t0, g) in &self.phases {
+            if t_ms >= *t0 {
+                groups = Some(g);
+            } else {
+                break;
+            }
+        }
+        match groups {
+            // Before the first phase, or in a healed phase: fully connected.
+            None | Some([]) => true,
+            Some(g) => g.iter().any(|grp| grp.contains(&a) && grp.contains(&b)),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -236,5 +311,38 @@ mod tests {
             (5.0, DeviceStatus::Down),
             (3.0, DeviceStatus::Up),
         ]);
+    }
+
+    #[test]
+    fn coordinator_death_kills_only_device_zero() {
+        let fleet = FleetTrace::coordinator_death(4, 2_000.0);
+        assert_eq!(fleet.alive_mask(1_999.0), vec![true, true, true, true]);
+        assert_eq!(fleet.alive_mask(2_000.0), vec![false, true, true, true]);
+        assert_eq!(fleet.alive_mask(1e9), vec![false, true, true, true]);
+    }
+
+    #[test]
+    fn partition_split_cuts_and_heals() {
+        let p = PartitionSchedule::split(1_000.0, 3_000.0, vec![0, 1], vec![2, 3]);
+        // Before the cut: fully connected.
+        assert!(p.can_reach(0, 3, 0.0));
+        // During: same side yes, across no, self always.
+        assert!(p.can_reach(0, 1, 1_500.0));
+        assert!(p.can_reach(2, 3, 1_500.0));
+        assert!(!p.can_reach(0, 2, 1_500.0));
+        assert!(!p.can_reach(1, 3, 1_500.0));
+        assert!(p.can_reach(2, 2, 1_500.0));
+        // After the heal: fully connected again.
+        assert!(p.can_reach(1, 3, 3_000.0));
+    }
+
+    #[test]
+    fn isolated_node_reaches_nobody_during_partition() {
+        let p = PartitionSchedule::phases(vec![(500.0, vec![vec![0, 1]])]);
+        assert!(!p.can_reach(2, 0, 600.0), "node outside every group is isolated");
+        assert!(!p.can_reach(2, 1, 600.0));
+        assert!(p.can_reach(2, 2, 600.0));
+        assert!(p.can_reach(2, 0, 499.0));
+        assert!(PartitionSchedule::none().can_reach(0, 7, 1e9));
     }
 }

@@ -35,6 +35,6 @@ pub mod trace;
 
 pub use arrivals::{Arrival, ArrivalTrace, RateShape};
 pub use device::{ComputeProfile, Device, DeviceId, DeviceKind};
-pub use fault::{DeviceStatus, DeviceTrace, FleetTrace};
+pub use fault::{DeviceStatus, DeviceTrace, FleetTrace, PartitionSchedule};
 pub use net::{LinkState, NetworkState};
 pub use tc::TrafficControl;

@@ -23,6 +23,11 @@
 //!   compute serializes, so batching multiplies capacity under load while
 //!   a lone request still takes the idle fast path at direct-infer cost.
 //!
+//! * **Coordinator failover** ([`failover`]) — a standby coordinator
+//!   follows the fleet through gossip and takes over mid-load when the
+//!   primary's heartbeats lapse; dropped requests fail over as retries
+//!   and conservation is restored at the cluster level.
+//!
 //! The [`harness`] module drives it: open-loop trace replay (honest
 //! overload measurement), closed-loop clients, and percentile/goodput
 //! reports. `cli serve` / `cli loadtest` and `bench_serve` are thin
@@ -33,12 +38,14 @@
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
 pub mod class;
+pub mod failover;
 pub mod harness;
 mod queue;
 pub mod request;
 pub mod server;
 
 pub use class::{default_classes, ClassKind, ClassSpec};
+pub use failover::{ClusterStats, CoordinatorSpec, FailoverCluster, FailoverConfig, PendingServe};
 pub use harness::{run_closed_loop, run_open_loop, ClassReport, LoadReport};
 pub use request::{Completion, RejectReason, Rejection, ServeOutcome};
 pub use server::{Clock, EnvModel, ServeConfig, ServeHandle, ServeStats};

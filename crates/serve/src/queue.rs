@@ -198,6 +198,23 @@ impl ClassQueues {
         lock(&self.state).shutdown = true;
         self.nonempty.notify_all();
     }
+
+    /// Abrupt stop: marks shutdown and *drops* every queued request
+    /// unresolved, closing their resolution channels. This deliberately
+    /// breaks the per-server conservation invariant — it models a crashed
+    /// coordinator, where conservation moves up to the cluster level (a
+    /// failover standby re-serves the dropped work). Returns how many
+    /// requests were dropped.
+    pub fn abort(&self) -> usize {
+        let dropped;
+        {
+            let mut st = lock(&self.state);
+            st.shutdown = true;
+            dropped = st.queues.iter_mut().map(|q| q.drain(..).count()).sum();
+        }
+        self.nonempty.notify_all();
+        dropped
+    }
 }
 
 #[cfg(test)]

@@ -209,6 +209,13 @@ pub struct ServeStats {
     /// Completions served under degradation (devices down, quarantined
     /// by the gray-failure detector, or forced-local fallback).
     pub degraded_served: u64,
+    /// Gray-health Healthy→Suspect transitions observed by the runtime's
+    /// detector over this server's lifetime.
+    pub gray_suspects: u64,
+    /// Devices quarantined by the gray-failure detector.
+    pub gray_quarantines: u64,
+    /// Devices readmitted after a canary pass.
+    pub gray_readmissions: u64,
 }
 
 impl ServeStats {
@@ -521,6 +528,12 @@ impl ServeHandle {
         &self.core.clock
     }
 
+    /// The shared runtime this server decides on (gossip hooks publish
+    /// and fold health through it).
+    pub fn runtime(&self) -> &Arc<SharedRuntime> {
+        &self.core.rt
+    }
+
     /// Submits a request to `class` and returns the channel its outcome
     /// will arrive on. Admission control and queue bounds may resolve it
     /// immediately (the rejection is already in the channel on return).
@@ -635,7 +648,11 @@ impl ServeHandle {
     /// Counter snapshot.
     pub fn stats(&self) -> ServeStats {
         let c = &self.core.counters;
+        let gray = self.core.rt.gray_transitions();
         ServeStats {
+            gray_suspects: gray.suspects,
+            gray_quarantines: gray.quarantines,
+            gray_readmissions: gray.readmissions,
             submitted: c.submitted.load(Ordering::Relaxed),
             completed: c.completed.load(Ordering::Relaxed),
             rejected: c.rejected.load(Ordering::Relaxed),
@@ -681,6 +698,26 @@ impl ServeHandle {
     pub fn shutdown(mut self) -> ServeStats {
         self.shutdown_inner();
         self.stats()
+    }
+
+    /// Abrupt stop — a simulated coordinator crash. Queued requests are
+    /// *dropped unresolved* (their outcome channels close, so waiting
+    /// submitters see a disconnect and can retry on a failover standby);
+    /// batches already mid-service finish, like responses already on the
+    /// wire. The per-server conservation invariant intentionally breaks
+    /// here: `completed + rejected < submitted` by the number of dropped
+    /// requests, which the failover layer re-serves elsewhere. Returns
+    /// `(final stats, dropped request count)`.
+    pub fn kill(mut self) -> (ServeStats, usize) {
+        let dropped = self.core.queues.abort();
+        self.core.stop.store(true, Ordering::Relaxed);
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        if let Some(c) = self.control.take() {
+            let _ = c.join();
+        }
+        (self.stats(), dropped)
     }
 
     fn shutdown_inner(&mut self) {

@@ -3,9 +3,10 @@
 //!
 //! [`ChaosProxy`] sits between a coordinator and one worker, forwarding
 //! outer frames while injecting trouble per its seeded RNG: extra delay,
-//! dropped frames, corrupted payload bytes, reordered frames, and — on
-//! demand — a full partition (existing connections die, new ones are
-//! refused until healed). The proxy is *frame-aware*: it reads complete
+//! dropped frames, corrupted payload bytes, reordered frames, duplicated
+//! frames (exact replays of a complete frame), and — on demand — a full
+//! partition (existing connections die, new ones are refused until
+//! healed). The proxy is *frame-aware*: it reads complete
 //! outer frames off one side before forwarding, so a "drop" loses exactly
 //! one message (like a lost datagram inside the stream), a "corrupt" flips
 //! a payload byte under an intact header (so the receiver's checksum — not
@@ -50,6 +51,16 @@ pub struct ChaosConfig {
     /// Probability of holding a frame back and sending it after the next
     /// one (adjacent reorder).
     pub reorder_prob: f64,
+    /// Probability of *duplicating* a frame: the complete frame is
+    /// replayed [`dup_copies`](Self::dup_copies) extra times back to back.
+    /// A replayed request exercises the worker's `(session, req_id)` dedup
+    /// map; a replayed response is swallowed by the coordinator's
+    /// single-settle bookkeeping; replayed gossip is absorbed by
+    /// idempotent merge. Exactly-once must survive all three.
+    pub dup_prob: f64,
+    /// Extra copies sent when a duplication fires (≥ 1 to have any
+    /// effect).
+    pub dup_copies: u32,
     /// Asymmetric slow link: when set, *every* frame in the given
     /// direction is delayed — a browning-out uplink rather than random
     /// loss. The other direction flows at full speed, which is exactly the
@@ -73,6 +84,8 @@ impl Default for ChaosConfig {
             drop_prob: 0.0,
             corrupt_prob: 0.0,
             reorder_prob: 0.0,
+            dup_prob: 0.0,
+            dup_copies: 1,
             slow_dir: None,
             slow_delay: Duration::from_millis(0),
             slow_jitter: Duration::from_millis(0),
@@ -336,7 +349,22 @@ fn pump(shared: &Arc<ProxyShared>, mut src: TcpStream, mut dst: TcpStream, lane:
             held = Some(frame);
             continue;
         }
-        if dst.write_all(&frame).is_err() {
+        // Duplication: replay the complete, intact frame N extra times.
+        // Copies are decided before the first write so one seeded draw
+        // covers the whole burst.
+        let copies = if cfg.dup_prob > 0.0 && rng.gen_bool(cfg.dup_prob) {
+            1 + cfg.dup_copies.max(1) as usize
+        } else {
+            1
+        };
+        let mut failed = false;
+        for _ in 0..copies {
+            if dst.write_all(&frame).is_err() {
+                failed = true;
+                break;
+            }
+        }
+        if failed {
             break;
         }
         if let Some(h) = held.take() {

@@ -117,6 +117,12 @@ struct PendingReq {
 /// which never get a `"cancelled"` answer, cannot accumulate).
 const CANCELLED_CAP: usize = 256;
 
+/// Bound on buffered inbound gossip digests per peer. Gossip merging is
+/// idempotent and each digest carries full (not incremental) state, so
+/// dropping the oldest under pressure loses nothing that the next round
+/// does not resend.
+const GOSSIP_INBOX_CAP: usize = 64;
+
 #[derive(Default)]
 struct PeerQueues {
     /// Requests awaiting a response, by request id.
@@ -168,6 +174,9 @@ struct Peer {
     hb_sent: Mutex<HashMap<u64, Instant>>,
     /// EWMA heartbeat RTT in microseconds (0 = no sample yet).
     hb_rtt_us: AtomicU64,
+    /// Inbound control-plane gossip digests (worker → coordinator),
+    /// drained by [`Transport::drain_gossip`]. Bounded; oldest dropped.
+    gossip_inbox: Mutex<VecDeque<Vec<u8>>>,
     queues: Mutex<PeerQueues>,
     cond: Condvar,
     /// Live socket (for out-of-band shutdown on kill / transport stop).
@@ -277,24 +286,24 @@ pub struct TcpTransport {
     supervisors: Vec<Option<JoinHandle<()>>>,
 }
 
-/// Process-unique session counter so two transports (even with the same
-/// seed) never collide in a worker's dedup map.
-static SESSION_COUNTER: AtomicU64 = AtomicU64::new(1);
-
 impl TcpTransport {
     /// Connects to one worker per address. Returns immediately; the
     /// supervisors establish connections in the background (a worker that
     /// is slow to come up is just a peer in its reconnect loop).
+    ///
+    /// Session ids are a pure function of `(cfg.seed, device index)` — no
+    /// pid, no process-global counter — so a run replays bit-for-bit from
+    /// its seed. The flip side: two *live* transports sharing a seed and a
+    /// worker would collide in its `(session, req_id)` dedup map, so
+    /// distinct coordinators (e.g. a primary and its failover standby)
+    /// must use distinct seeds.
     pub fn connect(addrs: &[String], cfg: TcpTransportConfig) -> Self {
         assert!(!addrs.is_empty(), "need at least one worker address");
-        let pid = std::process::id() as u64;
         let mut peers = Vec::with_capacity(addrs.len());
         let mut supervisors = Vec::with_capacity(addrs.len());
         for (dev, addr) in addrs.iter().enumerate() {
-            let nonce = SESSION_COUNTER.fetch_add(1, Ordering::SeqCst);
-            let session = frame::fnv1a64(
-                &[cfg.seed.to_le_bytes(), pid.to_le_bytes(), nonce.to_le_bytes()].concat(),
-            );
+            let session =
+                frame::fnv1a64(&[cfg.seed.to_le_bytes(), (dev as u64).to_le_bytes()].concat());
             let peer = Arc::new(Peer {
                 dev,
                 addr: addr.clone(),
@@ -313,6 +322,7 @@ impl TcpTransport {
                 cancels_delivered: AtomicU64::new(0),
                 hb_sent: Mutex::new(HashMap::new()),
                 hb_rtt_us: AtomicU64::new(0),
+                gossip_inbox: Mutex::new(VecDeque::new()),
                 queues: Mutex::new(PeerQueues::default()),
                 cond: Condvar::new(),
                 conn: Mutex::new(None),
@@ -575,6 +585,17 @@ fn reader_loop(peer: &Arc<Peer>, mut stream: TcpStream) {
                             peer.hb_rtt_us.store(next.max(1), Ordering::SeqCst);
                         }
                     }
+                    Msg::Gossip { payload } => {
+                        // Control-plane digest from the worker (the pull
+                        // half of push-pull). Buffer bounded: digests are
+                        // full-state and merging is idempotent, so the
+                        // oldest is the right one to shed.
+                        let mut inbox = lock(&peer.gossip_inbox);
+                        if inbox.len() >= GOSSIP_INBOX_CAP {
+                            inbox.pop_front();
+                        }
+                        inbox.push_back(payload);
+                    }
                     Msg::Goodbye => break,
                     // Anything else only matters for the `touch_rx` above.
                     _ => {}
@@ -726,6 +747,26 @@ impl Transport for TcpTransport {
     fn link_rtt_ms(&self, dev: usize) -> Option<f64> {
         let us = self.peers[dev].hb_rtt_us.load(Ordering::SeqCst);
         (us > 0).then(|| us as f64 / 1e3)
+    }
+
+    fn send_gossip(&self, dev: usize, payload: &[u8]) -> bool {
+        let Some(peer) = self.peers.get(dev) else {
+            return false;
+        };
+        if peer.admin_down.load(Ordering::SeqCst) || peer.stopping.load(Ordering::SeqCst) {
+            return false;
+        }
+        // Best-effort, like heartbeats: a lost digest is resent (in newer
+        // form) by the next gossip round.
+        peer.write_conn(&frame::encode_frame(&Msg::Gossip { payload: payload.to_vec() }))
+    }
+
+    fn drain_gossip(&self) -> Vec<Vec<u8>> {
+        let mut out = Vec::new();
+        for peer in &self.peers {
+            out.extend(lock(&peer.gossip_inbox).drain(..));
+        }
+        out
     }
 
     fn stats(&self) -> TransportStats {

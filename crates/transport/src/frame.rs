@@ -40,6 +40,7 @@ const TYPE_HEARTBEAT: u8 = 5;
 const TYPE_HEARTBEAT_ACK: u8 = 6;
 const TYPE_GOODBYE: u8 = 7;
 const TYPE_CANCEL: u8 = 8;
+const TYPE_GOSSIP: u8 = 9;
 
 /// One message between a coordinator and a worker.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -99,6 +100,15 @@ pub enum Msg {
     Cancel {
         /// Request id to abandon.
         req_id: u64,
+    },
+    /// Control-plane gossip (both directions): an encoded
+    /// `murmuration_core::gossip::GossipMsg` — versioned membership
+    /// records plus health reports. A worker receiving a push merges it
+    /// and replies with its own digest (the SWIM pull half). Merging is
+    /// idempotent, so duplicated or replayed gossip frames are harmless.
+    Gossip {
+        /// Opaque encoded gossip digest.
+        payload: Vec<u8>,
     },
 }
 
@@ -273,6 +283,12 @@ pub fn encode_frame(msg: &Msg) -> Vec<u8> {
             out.push(TYPE_CANCEL);
             put_u64(&mut out, *req_id);
         }
+        Msg::Gossip { payload } => {
+            let mut out = begin_frame(1 + payload.len());
+            out.push(TYPE_GOSSIP);
+            out.extend_from_slice(payload);
+            return finish_frame(out);
+        }
     }
     finish_frame(out)
 }
@@ -304,6 +320,11 @@ pub fn parse_payload(mut payload: Vec<u8>) -> Result<Msg, FrameError> {
             let deduped = payload[9] != 0;
             let frame = payload.split_off(10);
             Ok(Msg::ResponseOk { req_id, deduped, frame })
+        }
+        Some(TYPE_GOSSIP) => {
+            // Splitting in place keeps gossip digests copy-free too.
+            let body = payload.split_off(1);
+            Ok(Msg::Gossip { payload: body })
         }
         _ => {
             let mut c = Cursor { buf: &payload, pos: 0 };
@@ -371,6 +392,8 @@ mod tests {
             Msg::HeartbeatAck { nonce: 11 },
             Msg::Goodbye,
             Msg::Cancel { req_id: 42 },
+            Msg::Gossip { payload: vec![1, 0, 0, 0, 0, 0, 0, 0, 0] },
+            Msg::Gossip { payload: Vec::new() },
         ]
     }
 

@@ -24,6 +24,7 @@
 use crate::frame::{self, Msg};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use murmuration_core::executor::{UnitCompute, UnitOutcome};
+use murmuration_core::gossip::{GossipMsg, GossipNode, MemberRecord};
 use murmuration_core::wire;
 use murmuration_tensor::quant::BitWidth;
 use murmuration_tensor::Tensor;
@@ -130,6 +131,12 @@ struct Shared {
     dedup: Mutex<Dedup>,
     work_tx: Sender<WorkItem>,
     conn_handles: Mutex<Vec<JoinHandle<()>>>,
+    /// Optional control-plane gossip participant. When attached, inbound
+    /// [`Msg::Gossip`] pushes are merged and answered with this node's own
+    /// digest — the pull half of SWIM push-pull. Workers never initiate
+    /// rounds; coordinators drive the cadence, and rumors spread
+    /// transitively through the workers each coordinator touches.
+    gossip: Mutex<Option<GossipNode>>,
 }
 
 /// A worker process's serving half: accepts coordinator connections and
@@ -168,6 +175,7 @@ impl WorkerServer {
             }),
             work_tx,
             conn_handles: Mutex::new(Vec::new()),
+            gossip: Mutex::new(None),
         });
         let accept_shared = Arc::clone(&shared);
         let accept_handle = std::thread::Builder::new()
@@ -211,6 +219,19 @@ impl WorkerServer {
     /// crash).
     pub fn is_stopped(&self) -> bool {
         self.shared.stop.load(Ordering::SeqCst)
+    }
+
+    /// Attaches a gossip participant: inbound [`Msg::Gossip`] pushes are
+    /// merged into `node` and answered with its digest. Without one,
+    /// gossip frames are ignored (old workers stay wire-compatible).
+    pub fn attach_gossip(&self, node: GossipNode) {
+        *lock(&self.shared.gossip) = Some(node);
+    }
+
+    /// Snapshot of the attached gossip node's membership view (empty when
+    /// no node is attached). Test/inspection hook.
+    pub fn gossip_members(&self) -> Vec<MemberRecord> {
+        lock(&self.shared.gossip).as_ref().map(GossipNode::members).unwrap_or_default()
     }
 
     /// Stops serving: closes the listener and all connections, joins every
@@ -305,6 +326,28 @@ fn serve_connection(shared: &Arc<Shared>, stream: TcpStream) {
                 let mut d = lock(&shared.dedup);
                 if let Some(entry @ Entry::Pending { .. }) = d.map.get_mut(&(session, req_id)) {
                     *entry = Entry::Cancelled { route: Arc::clone(&route) };
+                }
+            }
+            Ok(Msg::Gossip { payload }) => {
+                // Merge the coordinator's push and answer with our digest
+                // (SWIM pull). Undecodable payloads are dropped — gossip is
+                // best-effort and a bad digest must not kill a data-plane
+                // connection that is mid-request.
+                let reply = {
+                    let mut g = lock(&shared.gossip);
+                    match (g.as_mut(), GossipMsg::decode(&payload)) {
+                        (Some(node), Ok(msg)) => {
+                            node.merge(&msg);
+                            // Advancing our own heartbeat on every touch is
+                            // what proves this worker alive to the fleet.
+                            let _ = node.tick();
+                            Some(node.digest().encode())
+                        }
+                        _ => None,
+                    }
+                };
+                if let Some(bytes) = reply {
+                    write_route(&route, &frame::encode_frame(&Msg::Gossip { payload: bytes }));
                 }
             }
             Ok(Msg::Goodbye) => break,

@@ -31,6 +31,10 @@ timeout 300 cargo test -q -p murmuration-serve
 echo "==> socket chaos tests (bounded: the coordinator must never hang on a bad link)"
 timeout 300 cargo test -q --test transport_chaos --test transport_parity
 
+echo "==> control-plane chaos (bounded: gossip failover + Byzantine reputation bounds)"
+timeout 300 cargo test -q --test failover_chaos
+timeout 300 cargo test -q -p murmuration-core --test gossip_proptest
+
 echo "==> scalar-fallback leg (full tensor + quantized-layer suites, SIMD forced off)"
 # The SIMD dispatch satellite: the same tests must pass with the portable
 # kernels, and the parity/exactness suites inside them compare both paths.
@@ -40,6 +44,7 @@ MURMURATION_FORCE_SCALAR=1 timeout 300 cargo test -q -p murmuration-nn quantized
 echo "==> fault-path lint gates (no unwrap/expect in hardened modules)"
 for f in crates/core/src/executor.rs crates/core/src/wire.rs \
          crates/core/src/fault.rs crates/core/src/health.rs \
+         crates/core/src/gossip.rs \
          crates/tensor/src/simd.rs crates/tensor/src/int8.rs \
          crates/nn/src/layers/quantized.rs \
          crates/transport/src/lib.rs; do
@@ -49,9 +54,13 @@ for f in crates/core/src/executor.rs crates/core/src/wire.rs \
     fi
 done
 
-echo "==> serve crate lint gate (crate-wide unwrap/expect denial)"
+echo "==> serve crate lint gate (crate-wide unwrap/expect denial, covers the failover path)"
 if ! grep -q 'deny(clippy::unwrap_used, clippy::expect_used)' crates/serve/src/lib.rs; then
     echo "error: crates/serve/src/lib.rs lost its unwrap/expect lint gate" >&2
+    exit 1
+fi
+if ! grep -q 'pub mod failover;' crates/serve/src/lib.rs; then
+    echo "error: crates/serve/src/failover.rs left the crate-wide lint gate" >&2
     exit 1
 fi
 
@@ -108,5 +117,9 @@ perf_gate ./target/release/bench_hedging
 echo "==> kernel benchmark gates (dense conv >= 2x seed, int8 GEMM >= 2x f32, no floor regressions)"
 cargo build --release -q -p murmuration-bench --bin bench_kernels
 perf_gate ./target/release/bench_kernels
+
+echo "==> failover benchmark gates (gossip overhead <= 5%, goodput recovery >= 0.8x, conservation)"
+cargo build --release -q -p murmuration-bench --bin bench_failover
+perf_gate ./target/release/bench_failover
 
 echo "All checks passed."

@@ -15,6 +15,8 @@ use murmuration::runtime::executor::{
     ConvStackCompute, ExecOptions, Executor, UnitCompute, UnitOutcome, UnitWire,
 };
 use murmuration::runtime::fault::{FaultKind, FaultyCompute};
+use murmuration::runtime::gossip::{GossipConfig, GossipMsg, GossipNode, NodeId, NodeRole};
+use murmuration::runtime::transport::Transport;
 use murmuration::tensor::quant::BitWidth;
 use murmuration::tensor::tile::GridSpec;
 use murmuration::tensor::{Shape, Tensor};
@@ -367,5 +369,98 @@ fn resend_after_connection_loss_is_deduped_not_recomputed() {
         assert!(report.reconnects >= 1, "the loss must show as a reconnect: {report:?}");
         assert!(report.resends_deduped >= 1, "the dedup must surface in the report: {report:?}");
         let _ = runner.join();
+    });
+}
+
+#[test]
+fn duplicated_frames_are_deduped_and_results_exact() {
+    with_watchdog(|| {
+        let compute = Arc::new(ConvStackCompute::random(3, 2, 4, 7));
+        let w0 = worker(0, compute.clone());
+        let w1 = worker(1, compute.clone());
+        // Every frame in both directions is written three times: requests
+        // must hit the worker's dedup map, responses must settle once, and
+        // the late copies must be dropped silently.
+        let proxy = ChaosProxy::start(
+            w1.local_addr(),
+            ChaosConfig { seed: 77, dup_prob: 1.0, dup_copies: 2, ..Default::default() },
+        )
+        .unwrap();
+        let addrs = vec![w0.local_addr().to_string(), proxy.local_addr().to_string()];
+        let transport = TcpTransport::connect(&addrs, fast_tcp_cfg());
+        assert!(transport.wait_connected(Duration::from_secs(10)));
+        let exec = Executor::with_transport(Box::new(transport));
+
+        for seed in 0..4 {
+            let input = test_input(100 + seed);
+            let expect = local_reference(&compute, &input);
+            let (out, _report) =
+                exec.execute_with(&remote_plan(), &wire3(), input, chaos_opts()).unwrap();
+            assert_eq!(out.data(), expect.data(), "duplicated frames must not corrupt results");
+        }
+        assert!(
+            w1.deduped() >= 1,
+            "tripled requests must be recognised by the worker's dedup map \
+             (deduped = {})",
+            w1.deduped()
+        );
+        assert!(
+            w1.computed() <= 3 * 4,
+            "a duplicated request must never be computed per copy \
+             (computed = {} for 4 requests x up-to-3 attempts)",
+            w1.computed()
+        );
+    });
+}
+
+#[test]
+fn gossip_spreads_membership_over_tcp_even_with_duplicated_frames() {
+    with_watchdog(|| {
+        const SEED: u64 = 500;
+        let compute = Arc::new(ConvStackCompute::random(3, 2, 4, 7));
+        let w0 = worker(0, compute.clone());
+        let w1 = worker(1, compute.clone());
+        w0.attach_gossip(GossipNode::new(SEED, 1, NodeRole::Worker, 0, GossipConfig::default()));
+        w1.attach_gossip(GossipNode::new(SEED, 2, NodeRole::Worker, 0, GossipConfig::default()));
+        // Device 1's link duplicates every frame; merge idempotency must
+        // make the copies invisible to the membership protocol.
+        let proxy = ChaosProxy::start(
+            w1.local_addr(),
+            ChaosConfig { seed: 78, dup_prob: 0.8, dup_copies: 2, ..Default::default() },
+        )
+        .unwrap();
+        let addrs = vec![w0.local_addr().to_string(), proxy.local_addr().to_string()];
+        let transport = TcpTransport::connect(&addrs, fast_tcp_cfg());
+        assert!(transport.wait_connected(Duration::from_secs(10)));
+
+        let mut coord = GossipNode::new(SEED, 0, NodeRole::Coordinator, 0, GossipConfig::default());
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            // Push-pull round: push our digest to both workers, then fold
+            // whatever digests they sent back.
+            let payload = coord.digest().encode();
+            transport.send_gossip(0, &payload);
+            transport.send_gossip(1, &payload);
+            std::thread::sleep(Duration::from_millis(20));
+            for bytes in transport.drain_gossip() {
+                if let Ok(msg) = GossipMsg::decode(&bytes) {
+                    coord.merge(&msg);
+                }
+            }
+            let full = |ids: &[NodeId]| (0..3).all(|i| ids.contains(&NodeId::derive(SEED, i)));
+            let coord_ids: Vec<NodeId> = coord.members().iter().map(|m| m.id).collect();
+            let w0_ids: Vec<NodeId> = w0.gossip_members().iter().map(|m| m.id).collect();
+            let w1_ids: Vec<NodeId> = w1.gossip_members().iter().map(|m| m.id).collect();
+            // Workers never talk to each other directly: each must learn of
+            // the other transitively, through the coordinator's digests.
+            if full(&coord_ids) && full(&w0_ids) && full(&w1_ids) {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "membership never converged: coord {coord_ids:?} w0 {w0_ids:?} w1 {w1_ids:?}"
+            );
+        }
+        assert!(coord.is_primary(), "rank-0 coordinator must see itself as primary");
     });
 }
