@@ -99,6 +99,8 @@ fn print_help() {
                      --mix W0,W1,W2 (0.4,0.3,0.3)  --baseline naive|engineered (engineered)\n\
                      --kill-device D --kill-at-ms T --revive-at-ms R\n\
                      --time-scale S (0.02)  --workers W (2)  --seed S (0)\n\
+                     --pipeline true  (best-effort class streams through the\n\
+                      stage-parallel pipeline; table gains a per-stage block)\n\
            failover  Primary + standby coordinator demo with gossip failover.\n\
                      --policy FILE|fresh  --scenario ...  --requests N (60)\n\
                      --die-at-req K (N/2; usize::MAX = never)  --seed S (0)\n\
@@ -565,7 +567,16 @@ fn cmd_failover(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
 }
 
 fn cmd_loadtest(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
-    let (rt, env, cfg) = serving_setup(args)?;
+    let (rt, env, mut cfg) = serving_setup(args)?;
+    // `--pipeline true`: the lowest-priority (best-effort) class becomes a
+    // throughput-mode stream and drains through the stage-parallel
+    // pipeline; latency classes keep the micro-batched path.
+    let pipeline = args.get_or("pipeline", "false") == "true";
+    if pipeline {
+        if let Some(c) = cfg.classes.last_mut() {
+            c.pipeline = true;
+        }
+    }
     let duration: f64 = args.get_parsed_or("duration-ms", 10_000.0)?;
     let rps: f64 = args.get_parsed_or("rps", 20.0)?;
     let shape = match args.get_parsed_or("rps-to", f64::NAN)? {
@@ -590,8 +601,13 @@ fn cmd_loadtest(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         trace.offered_rps()
     );
     let outcomes = run_open_loop(&handle, &trace);
+    let snapshot = handle.pipeline_stats();
+    if pipeline && snapshot.is_none() {
+        eprintln!("note: --pipeline requested but no multi-stage plan paid off; served classic");
+    }
     let stats = handle.shutdown();
-    let report = LoadReport::build(&classes, &outcomes, stats, duration);
+    let report =
+        LoadReport::build(&classes, &outcomes, stats, duration).with_pipeline_stats(snapshot);
     print!("{}", report.render_table());
     println!(
         "conservation: {} submitted = {} completed + {} rejected",

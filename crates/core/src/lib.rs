@@ -54,5 +54,6 @@ pub mod transport;
 pub mod wire;
 
 pub use runtime::{
-    Degradation, DeployReport, RequestReport, Runtime, RuntimeConfig, ServeDecision, SharedRuntime,
+    Degradation, DeployReport, PipelineDeploy, RequestReport, Runtime, RuntimeConfig,
+    ServeDecision, SharedRuntime,
 };

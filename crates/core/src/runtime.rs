@@ -31,9 +31,10 @@ use crate::slo::SloApi;
 use murmuration_edgesim::{DeviceStatus, FleetTrace, NetworkState};
 use murmuration_partition::compliance::Slo;
 use murmuration_partition::evolutionary::Genome;
-use murmuration_partition::{ExecutionPlan, LatencyEstimator};
+use murmuration_partition::pipeline::{plan_pipeline, score_pipeline, PipelinePlan};
+use murmuration_partition::{ExecutionPlan, LatencyEstimator, ThroughputReport};
 use murmuration_rl::{Condition, LstmPolicy, Scenario, SloKind};
-use murmuration_supernet::SubnetSpec;
+use murmuration_supernet::{SubnetConfig, SubnetSpec};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -200,6 +201,25 @@ pub struct DeployReport {
     pub devices_used: Vec<usize>,
     /// Fault-recovery state the deployment was served under.
     pub degradation: Degradation,
+}
+
+/// A throughput-mode deployment: the subnet choice plus its pipeline
+/// placement, scored by the bottleneck-stage objective.
+#[derive(Clone, Debug)]
+pub struct PipelineDeploy {
+    /// The subnet the decision module picked for this SLO.
+    pub config: SubnetConfig,
+    /// Stage split: contiguous unit ranges, one distinct device each.
+    pub plan: PipelinePlan,
+    /// Per-stage cost decomposition, bottleneck, and fill latency.
+    pub report: ThroughputReport,
+    /// Per-request time of the all-on-coordinator fallback used when a
+    /// stage device dies mid-stream (also the non-pipelined baseline).
+    pub fallback_ms: f64,
+    /// Predicted accuracy of the selected submodel (%).
+    pub accuracy_pct: f32,
+    /// The SLO the decision targeted.
+    pub slo: Slo,
 }
 
 /// The assembled runtime with `&self` methods throughout — safe to share
@@ -575,6 +595,33 @@ impl SharedRuntime {
             devices_used: plan.devices_used(),
             degradation: Degradation { down_devices, quarantined_devices, forced_local },
         }
+    }
+
+    /// Throughput-mode deployment: picks a subnet for `slo` exactly like
+    /// [`serve_decide`](Self::serve_decide), then places its stages as a
+    /// pipeline over the currently placeable devices using the
+    /// bottleneck-stage objective ([`plan_pipeline`]) instead of the
+    /// end-to-end latency estimator. Returns `None` until the monitor is
+    /// ready or when no device can host a stage.
+    pub fn pipeline_decide(&self, slo: Slo, net_truth: &NetworkState) -> Option<PipelineDeploy> {
+        let decision = self.serve_decide(slo)?;
+        let spec = SubnetSpec::lower(&decision.genome.config);
+        let placeable = self.placeable_mask();
+        let devices = &self.scenario().devices;
+        let (plan, report) = plan_pipeline(&spec, devices, net_truth, &placeable, 8)?;
+        // What the coordinator alone would pay per request: the rescue
+        // path when stage devices die mid-stream, and the non-pipelined
+        // baseline the throughput win is judged against.
+        let solo = score_pipeline(&spec, &PipelinePlan::all_on(&spec, 0), devices, net_truth);
+        let accuracy_pct = self.scenario().accuracy_model.predict(&decision.genome.config);
+        Some(PipelineDeploy {
+            config: decision.genome.config.clone(),
+            plan,
+            report,
+            fallback_ms: solo.fill_ms,
+            accuracy_pct,
+            slo,
+        })
     }
 
     /// Builds the condition the runtime would decide on right now

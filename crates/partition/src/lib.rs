@@ -25,9 +25,11 @@ pub mod des_sim;
 pub mod estimator;
 pub mod evolutionary;
 pub mod neurosurgeon;
+pub mod pipeline;
 pub mod plan;
 pub mod sensitivity;
 pub mod single;
 
 pub use estimator::{LatencyBreakdown, LatencyEstimator};
+pub use pipeline::{PipelinePlan, PipelineStage, StageCost, ThroughputReport};
 pub use plan::{ExecutionPlan, UnitPlacement};

@@ -1,0 +1,478 @@
+//! Throughput-maximizing pipeline planning.
+//!
+//! The latency planners ([`crate::beam`], [`crate::neurosurgeon`]) minimize
+//! the *critical-path sum*: one request's end-to-end time. Under a
+//! sustained stream that objective is wrong — while request `k`'s late
+//! stages run, the devices hosting its early stages idle. Assigning
+//! contiguous unit ranges ("stages") to *distinct* devices turns the chain
+//! into a pipeline: request `k+1`'s stage 1 overlaps request `k`'s stage
+//! 2, and steady-state throughput is bounded by the slowest pipeline
+//! element, not the sum ("Partitioning and Placement of DNNs on
+//! Distributed Edge Devices to Maximize Inference Throughput",
+//! Parthasarathy & Krishnamachari).
+//!
+//! The objective scored here is the **bottleneck stage time**: for each
+//! stage, its inter-stage input transfer plus its compute on its device
+//! (plus, for the last stage, the logits' return to device 0 — that
+//! transfer also repeats once per request). The planner searches
+//! contiguous splits and device assignments for the split that minimizes
+//! the maximum.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use crate::estimator::layers_time_ms_bits;
+use crate::plan::{ExecutionPlan, UnitPlacement};
+use murmuration_edgesim::{Device, DeviceId, NetworkState};
+use murmuration_supernet::SubnetSpec;
+
+/// One pipeline stage: a contiguous run of units on one device.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PipelineStage {
+    pub device: DeviceId,
+    /// Unit range `[start, end)` this stage executes.
+    pub start: usize,
+    pub end: usize,
+}
+
+/// A complete pipeline plan: contiguous stages covering every unit, each
+/// on a distinct device (one in-flight request per stage per device is
+/// what makes the overlap legal without device contention).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PipelinePlan {
+    pub stages: Vec<PipelineStage>,
+}
+
+impl PipelinePlan {
+    /// Everything in one stage on one device (the degenerate pipeline).
+    pub fn all_on(spec: &SubnetSpec, dev: DeviceId) -> Self {
+        PipelinePlan {
+            stages: vec![PipelineStage { device: dev, start: 0, end: spec.units.len() }],
+        }
+    }
+
+    pub fn n_stages(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// `device_of[u]` is the device running unit `u`.
+    pub fn device_of_unit(&self) -> Vec<DeviceId> {
+        let mut out = Vec::new();
+        for s in &self.stages {
+            out.extend(std::iter::repeat_n(s.device, s.end - s.start));
+        }
+        out
+    }
+
+    /// Stage index running unit `u`, if covered.
+    pub fn stage_of_unit(&self, u: usize) -> Option<usize> {
+        self.stages.iter().position(|s| s.start <= u && u < s.end)
+    }
+
+    /// The equivalent per-unit [`ExecutionPlan`] (every unit `Single` on
+    /// its stage device), e.g. for feasibility checks against the
+    /// latency estimator.
+    pub fn to_execution_plan(&self) -> ExecutionPlan {
+        ExecutionPlan {
+            placements: self.device_of_unit().into_iter().map(UnitPlacement::Single).collect(),
+        }
+    }
+
+    /// Validates structure: stages contiguously cover `0..n_units`, every
+    /// stage is non-empty, devices are in range and pairwise distinct.
+    pub fn validate(&self, spec: &SubnetSpec, n_devices: usize) -> Result<(), String> {
+        if self.stages.is_empty() {
+            return Err("pipeline has no stages".to_string());
+        }
+        let mut expect = 0usize;
+        for (i, s) in self.stages.iter().enumerate() {
+            if s.start != expect {
+                return Err(format!("stage {i} starts at {} (expected {expect})", s.start));
+            }
+            if s.end <= s.start {
+                return Err(format!("stage {i} is empty ({}..{})", s.start, s.end));
+            }
+            if s.device >= n_devices {
+                return Err(format!("stage {i}: device {} out of range", s.device));
+            }
+            expect = s.end;
+        }
+        if expect != spec.units.len() {
+            return Err(format!("stages cover {expect} of {} units", spec.units.len()));
+        }
+        for (i, a) in self.stages.iter().enumerate() {
+            if self.stages[i + 1..].iter().any(|b| b.device == a.device) {
+                return Err(format!("device {} hosts more than one stage", a.device));
+            }
+        }
+        Ok(())
+    }
+
+    /// Devices hosting stages, in stage order (distinct by construction).
+    pub fn devices_used(&self) -> Vec<DeviceId> {
+        self.stages.iter().map(|s| s.device).collect()
+    }
+
+    /// Whether every stage device is alive under `alive`.
+    pub fn is_feasible(&self, alive: &[bool]) -> bool {
+        self.stages.iter().all(|s| alive.get(s.device).copied().unwrap_or(false))
+    }
+}
+
+/// Per-stage cost decomposition of one request.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct StageCost {
+    pub device: DeviceId,
+    /// Transfer of this stage's input from the previous holder (the
+    /// coordinator, device 0, for stage 0).
+    pub xfer_in_ms: f64,
+    /// Serial compute of the stage's units on its device.
+    pub compute_ms: f64,
+    /// Logits' return transfer to device 0 — non-zero only for the last
+    /// stage (it repeats once per request, so it bounds throughput too).
+    pub xfer_out_ms: f64,
+}
+
+impl StageCost {
+    /// The stage's pipeline-element time: how long this stage is occupied
+    /// per request.
+    pub fn stage_ms(&self) -> f64 {
+        self.xfer_in_ms + self.compute_ms + self.xfer_out_ms
+    }
+}
+
+/// The throughput objective's verdict on one pipeline plan.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ThroughputReport {
+    pub stages: Vec<StageCost>,
+    /// `max` over stages of [`StageCost::stage_ms`] — the steady-state
+    /// per-request time of the pipeline.
+    pub bottleneck_ms: f64,
+    pub bottleneck_stage: usize,
+    /// One request's end-to-end fill latency (sum of all stage costs):
+    /// what the *first* request of a stream pays, and the latency floor
+    /// every request keeps paying even at full overlap.
+    pub fill_ms: f64,
+}
+
+impl ThroughputReport {
+    /// Steady-state throughput in requests per (virtual) second.
+    pub fn rate_rps(&self) -> f64 {
+        if self.bottleneck_ms > 0.0 {
+            1000.0 / self.bottleneck_ms
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Scores `plan` under the bottleneck-stage objective. Input starts on
+/// device 0 and the logits return there, exactly as in
+/// [`crate::estimator::LatencyEstimator::estimate`].
+pub fn score_pipeline(
+    spec: &SubnetSpec,
+    plan: &PipelinePlan,
+    devices: &[Device],
+    net: &NetworkState,
+) -> ThroughputReport {
+    debug_assert!(plan.validate(spec, devices.len()).is_ok());
+    let mut stages = Vec::with_capacity(plan.stages.len());
+    let mut src: DeviceId = 0;
+    let mut bytes = spec.input_bytes();
+    let last = plan.stages.len() - 1;
+    for (i, s) in plan.stages.iter().enumerate() {
+        let xfer_in_ms = net.transfer_ms(src, s.device, bytes);
+        let profile = devices[s.device].profile();
+        let compute_ms: f64 = spec.units[s.start..s.end]
+            .iter()
+            .map(|u| layers_time_ms_bits(&profile, &u.layers, 1, u.compute_bits()))
+            .sum();
+        let out_unit = &spec.units[s.end - 1];
+        bytes = out_unit.out_wire_bytes();
+        let xfer_out_ms = if i == last { net.transfer_ms(s.device, 0, bytes) } else { 0.0 };
+        stages.push(StageCost { device: s.device, xfer_in_ms, compute_ms, xfer_out_ms });
+        src = s.device;
+    }
+    let (bottleneck_stage, bottleneck_ms) = stages
+        .iter()
+        .map(StageCost::stage_ms)
+        .enumerate()
+        .fold((0, 0.0f64), |acc, (i, t)| if t > acc.1 { (i, t) } else { acc });
+    let fill_ms = stages.iter().map(StageCost::stage_ms).sum();
+    ThroughputReport { stages, bottleneck_ms, bottleneck_stage, fill_ms }
+}
+
+/// A partial schedule in the pipeline beam.
+#[derive(Clone)]
+struct PipeState {
+    /// Closed stages so far.
+    closed: Vec<PipelineStage>,
+    /// Devices already hosting a stage (bitmask; fleets are small).
+    used: u64,
+    /// The open stage: device and first unit.
+    dev: DeviceId,
+    start: usize,
+    /// Accumulated cost of the open stage (input transfer + compute so
+    /// far).
+    open_ms: f64,
+    /// Max closed-stage time so far.
+    worst_ms: f64,
+}
+
+impl PipeState {
+    /// Lower bound on the final bottleneck if the open stage closed now.
+    fn score(&self) -> f64 {
+        self.worst_ms.max(self.open_ms)
+    }
+}
+
+/// Searches contiguous stage splits and device assignments for the plan
+/// minimizing the bottleneck stage time. Only devices with `alive[d]`
+/// true host stages; returns `None` when no device is alive. `beam_width`
+/// bounds the search frontier exactly like [`crate::beam::plan_beam`].
+pub fn plan_pipeline(
+    spec: &SubnetSpec,
+    devices: &[Device],
+    net: &NetworkState,
+    alive: &[bool],
+    beam_width: usize,
+) -> Option<(PipelinePlan, ThroughputReport)> {
+    assert!(beam_width >= 1);
+    assert!(devices.len() <= 64, "device bitmask is 64-wide");
+    let candidates: Vec<DeviceId> =
+        (0..devices.len()).filter(|&d| alive.get(d).copied().unwrap_or(false)).collect();
+    if candidates.is_empty() || spec.units.is_empty() {
+        return None;
+    }
+    let unit_ms = |dev: DeviceId, u: usize| {
+        let unit = &spec.units[u];
+        layers_time_ms_bits(&devices[dev].profile(), &unit.layers, 1, unit.compute_bits())
+    };
+    // Seed: stage 0 opens on every alive device, paying the input
+    // transfer from the coordinator plus unit 0's compute.
+    let mut beam: Vec<PipeState> = candidates
+        .iter()
+        .map(|&d| PipeState {
+            closed: Vec::new(),
+            used: 1u64 << d,
+            dev: d,
+            start: 0,
+            open_ms: net.transfer_ms(0, d, spec.input_bytes()) + unit_ms(d, 0),
+            worst_ms: 0.0,
+        })
+        .collect();
+    for u in 1..spec.units.len() {
+        let mut next: Vec<PipeState> = Vec::with_capacity(beam.len() * (candidates.len() + 1));
+        for state in &beam {
+            // (a) extend the open stage with unit `u` on the same device.
+            let mut ext = state.clone();
+            ext.open_ms += unit_ms(state.dev, u);
+            next.push(ext);
+            // (b) cut: close the open stage, open a new one on any unused
+            // alive device, paying the handoff transfer.
+            let bytes = spec.units[u - 1].out_wire_bytes();
+            for &d in &candidates {
+                if state.used & (1u64 << d) != 0 {
+                    continue;
+                }
+                let mut cut = state.clone();
+                cut.closed.push(PipelineStage { device: state.dev, start: state.start, end: u });
+                cut.worst_ms = state.worst_ms.max(state.open_ms);
+                cut.used |= 1u64 << d;
+                cut.dev = d;
+                cut.start = u;
+                cut.open_ms = net.transfer_ms(state.dev, d, bytes) + unit_ms(d, u);
+                next.push(cut);
+            }
+        }
+        next.sort_by(|a, b| a.score().partial_cmp(&b.score()).unwrap_or(std::cmp::Ordering::Equal));
+        next.truncate(beam_width);
+        beam = next;
+    }
+    // Close the final stage (charging the logits' return) and rescore the
+    // finished plans through the one true cost function.
+    let mut best: Option<(PipelinePlan, ThroughputReport)> = None;
+    for state in beam {
+        let mut stages = state.closed;
+        stages.push(PipelineStage { device: state.dev, start: state.start, end: spec.units.len() });
+        let plan = PipelinePlan { stages };
+        if plan.validate(spec, devices.len()).is_err() {
+            continue;
+        }
+        let report = score_pipeline(spec, &plan, devices, net);
+        if best.as_ref().is_none_or(|(_, b)| report.bottleneck_ms < b.bottleneck_ms) {
+            best = Some((plan, report));
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use crate::estimator::LatencyEstimator;
+    use murmuration_edgesim::device::device_swarm_devices;
+    use murmuration_edgesim::LinkState;
+    use murmuration_supernet::SearchSpace;
+
+    fn lan(n_remote: usize) -> NetworkState {
+        NetworkState::uniform(n_remote, LinkState::lan())
+    }
+
+    fn max_spec() -> SubnetSpec {
+        SubnetSpec::lower(&SearchSpace::default().max_config())
+    }
+
+    #[test]
+    fn single_device_pipeline_is_the_sequential_chain() {
+        let devices = device_swarm_devices(1);
+        let net = lan(0);
+        let spec = max_spec();
+        let (plan, report) =
+            plan_pipeline(&spec, &devices, &net, &[true], 8).expect("one alive device");
+        assert_eq!(plan.n_stages(), 1);
+        assert_eq!(plan.stages[0].device, 0);
+        // No transfers anywhere: bottleneck == fill == pure compute.
+        assert_eq!(report.bottleneck_ms, report.fill_ms);
+        assert!(report.stages[0].xfer_in_ms == 0.0 && report.stages[0].xfer_out_ms == 0.0);
+        let est = LatencyEstimator::new(&devices, &net);
+        let lat = est.estimate(&spec, &plan.to_execution_plan()).total_ms;
+        assert!((report.fill_ms - lat).abs() < 1e-6, "{} vs {lat}", report.fill_ms);
+    }
+
+    #[test]
+    fn plan_and_execution_plan_validate() {
+        let devices = device_swarm_devices(4);
+        let net = lan(3);
+        let spec = max_spec();
+        let (plan, report) =
+            plan_pipeline(&spec, &devices, &net, &[true; 4], 8).expect("alive fleet");
+        plan.validate(&spec, 4).unwrap();
+        plan.to_execution_plan().validate(&spec, 4).unwrap();
+        assert_eq!(report.stages.len(), plan.n_stages());
+        assert!(report.bottleneck_ms > 0.0);
+        assert!(report.bottleneck_ms <= report.fill_ms + 1e-9);
+        assert_eq!(plan.device_of_unit().len(), spec.units.len());
+        // Bottleneck index names the max stage.
+        let worst = report.stages.iter().map(StageCost::stage_ms).fold(0.0f64, f64::max);
+        assert!((report.stages[report.bottleneck_stage].stage_ms() - worst).abs() < 1e-12);
+    }
+
+    #[test]
+    fn score_matches_hand_computation_on_a_two_stage_split() {
+        let devices = device_swarm_devices(2);
+        let net = lan(1);
+        let spec = max_spec();
+        let cut = spec.units.len() / 2;
+        let plan = PipelinePlan {
+            stages: vec![
+                PipelineStage { device: 0, start: 0, end: cut },
+                PipelineStage { device: 1, start: cut, end: spec.units.len() },
+            ],
+        };
+        let r = score_pipeline(&spec, &plan, &devices, &net);
+        let p0 = devices[0].profile();
+        let c0: f64 = spec.units[..cut]
+            .iter()
+            .map(|u| layers_time_ms_bits(&p0, &u.layers, 1, u.compute_bits()))
+            .sum();
+        assert!((r.stages[0].compute_ms - c0).abs() < 1e-9);
+        assert_eq!(r.stages[0].xfer_in_ms, 0.0, "stage 0 sits on the coordinator");
+        let handoff = net.transfer_ms(0, 1, spec.units[cut - 1].out_wire_bytes());
+        assert!((r.stages[1].xfer_in_ms - handoff).abs() < 1e-9);
+        let ret = net.transfer_ms(1, 0, spec.units.last().unwrap().out_wire_bytes());
+        assert!((r.stages[1].xfer_out_ms - ret).abs() < 1e-9);
+        assert!((r.fill_ms - (r.stages[0].stage_ms() + r.stages[1].stage_ms())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_devices_never_raise_the_bottleneck() {
+        let spec = max_spec();
+        let mut prev = f64::INFINITY;
+        for n in [1usize, 2, 3, 5] {
+            let devices = device_swarm_devices(n);
+            let net = lan(n - 1);
+            let (_, r) =
+                plan_pipeline(&spec, &devices, &net, &vec![true; n], 12).expect("alive fleet");
+            assert!(
+                r.bottleneck_ms <= prev + 1e-9,
+                "{n} devices worsened the bottleneck: {} vs {prev}",
+                r.bottleneck_ms
+            );
+            prev = r.bottleneck_ms;
+        }
+    }
+
+    #[test]
+    fn pipelining_beats_the_sequential_chain_on_a_lan_swarm() {
+        let devices = device_swarm_devices(5);
+        let net = lan(4);
+        let spec = max_spec();
+        let (plan, r) = plan_pipeline(&spec, &devices, &net, &[true; 5], 12).expect("alive fleet");
+        assert!(plan.n_stages() >= 3, "a LAN swarm must split stages: {plan:?}");
+        let solo = score_pipeline(&spec, &PipelinePlan::all_on(&spec, 0), &devices, &net);
+        assert!(
+            r.bottleneck_ms < solo.bottleneck_ms * 0.5,
+            "pipelined steady-state rate must at least double: {} vs {}",
+            r.bottleneck_ms,
+            solo.bottleneck_ms
+        );
+    }
+
+    #[test]
+    fn dead_devices_host_no_stage() {
+        let devices = device_swarm_devices(4);
+        let net = lan(3);
+        let spec = max_spec();
+        let alive = [true, false, true, false];
+        let (plan, _) = plan_pipeline(&spec, &devices, &net, &alive, 8).expect("two alive");
+        assert!(plan.is_feasible(&alive), "plan uses a dead device: {plan:?}");
+        assert!(!plan.devices_used().contains(&1));
+        assert!(!plan.devices_used().contains(&3));
+        assert!(plan_pipeline(&spec, &devices, &net, &[false; 4], 8).is_none());
+    }
+
+    #[test]
+    fn wider_beams_never_hurt() {
+        let devices = device_swarm_devices(5);
+        let net = NetworkState::uniform(4, LinkState { bandwidth_mbps: 80.0, delay_ms: 6.0 });
+        let spec = max_spec();
+        let (_, b1) = plan_pipeline(&spec, &devices, &net, &[true; 5], 1).unwrap();
+        let (_, b4) = plan_pipeline(&spec, &devices, &net, &[true; 5], 4).unwrap();
+        let (_, b16) = plan_pipeline(&spec, &devices, &net, &[true; 5], 16).unwrap();
+        assert!(b4.bottleneck_ms <= b1.bottleneck_ms + 1e-9);
+        assert!(b16.bottleneck_ms <= b4.bottleneck_ms + 1e-9);
+    }
+
+    #[test]
+    fn slow_links_keep_the_pipeline_shallow() {
+        let devices = device_swarm_devices(4);
+        let dead = NetworkState::uniform(3, LinkState { bandwidth_mbps: 0.2, delay_ms: 500.0 });
+        let spec = max_spec();
+        let (plan, _) = plan_pipeline(&spec, &devices, &dead, &[true; 4], 8).expect("alive fleet");
+        assert_eq!(plan.n_stages(), 1, "a dead link must not be crossed: {plan:?}");
+        assert_eq!(plan.stages[0].device, 0, "the single stage stays local");
+    }
+
+    #[test]
+    fn validate_rejects_malformed_plans() {
+        let spec = max_spec();
+        let n = spec.units.len();
+        let gap = PipelinePlan {
+            stages: vec![
+                PipelineStage { device: 0, start: 0, end: 2 },
+                PipelineStage { device: 1, start: 3, end: n },
+            ],
+        };
+        assert!(gap.validate(&spec, 2).is_err(), "gap between stages");
+        let dup = PipelinePlan {
+            stages: vec![
+                PipelineStage { device: 0, start: 0, end: 2 },
+                PipelineStage { device: 0, start: 2, end: n },
+            ],
+        };
+        assert!(dup.validate(&spec, 2).is_err(), "duplicate stage device");
+        let oob = PipelinePlan { stages: vec![PipelineStage { device: 9, start: 0, end: n }] };
+        assert!(oob.validate(&spec, 2).is_err(), "device out of range");
+        assert!(PipelinePlan::all_on(&spec, 0).validate(&spec, 1).is_ok());
+    }
+}

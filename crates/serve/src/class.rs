@@ -28,6 +28,11 @@ pub struct ClassSpec {
     pub kind: ClassKind,
     /// Bounded queue length; a full queue rejects at admission.
     pub queue_capacity: usize,
+    /// Route this class through the stage-parallel pipeline (throughput
+    /// mode) instead of the micro-batched latency path. Sustained streams
+    /// drain at the bottleneck-stage rate; latency-critical classes
+    /// should keep the default `false`.
+    pub pipeline: bool,
 }
 
 impl ClassSpec {
@@ -38,6 +43,7 @@ impl ClassSpec {
             name: name.to_string(),
             kind: ClassKind::Latency { deadline_ms },
             queue_capacity,
+            pipeline: false,
         }
     }
 
@@ -48,7 +54,15 @@ impl ClassSpec {
             name: name.to_string(),
             kind: ClassKind::Accuracy { floor_pct },
             queue_capacity,
+            pipeline: false,
         }
+    }
+
+    /// Marks the class as throughput-mode: its requests stream through
+    /// the stage-parallel pipeline.
+    pub fn with_pipeline(mut self) -> Self {
+        self.pipeline = true;
+        self
     }
 
     /// The class SLO as the runtime's `Slo` type.

@@ -8,6 +8,7 @@
 //! sending the next) measures the interactive regime instead.
 
 use crate::class::ClassSpec;
+use crate::pipeline::PipelineSnapshot;
 use crate::request::{RejectReason, Rejection, ServeOutcome};
 use crate::server::{ServeHandle, ServeStats};
 use murmuration_core::transport::TransportStats;
@@ -103,6 +104,9 @@ pub struct LoadReport {
     /// [`FailoverCluster`](crate::failover::FailoverCluster):
     /// `(failovers, retried requests)`.
     pub failover: Option<(u64, u64)>,
+    /// Per-stage occupancy and bottleneck ids when the run routed a
+    /// throughput-mode class through the stage-parallel pipeline.
+    pub pipeline: Option<PipelineSnapshot>,
 }
 
 impl LoadReport {
@@ -155,6 +159,7 @@ impl LoadReport {
             avg_batch: stats.avg_batch(),
             transport: None,
             failover: None,
+            pipeline: None,
         }
     }
 
@@ -170,6 +175,14 @@ impl LoadReport {
         self
     }
 
+    /// Attaches the pipeline's per-stage occupancy snapshot, when the
+    /// server ran a throughput-mode class
+    /// ([`ServeHandle::pipeline_stats`](crate::server::ServeHandle::pipeline_stats)).
+    pub fn with_pipeline_stats(mut self, snapshot: Option<PipelineSnapshot>) -> Self {
+        self.pipeline = snapshot;
+        self
+    }
+
     /// Renders the report as a JSON object (hand-built — the workspace
     /// carries no serialization dependency).
     pub fn to_json(&self, indent: &str) -> String {
@@ -182,8 +195,13 @@ impl LoadReport {
         j.push_str(&format!("{indent}  \"rejected\": {},\n", s.rejected));
         j.push_str(&format!(
             "{indent}  \"rejects\": {{\"queue_full\": {}, \"deadline_unmeetable\": {}, \
-             \"expired\": {}, \"not_ready\": {}, \"shutdown\": {}}},\n",
-            s.queue_full, s.deadline_unmeetable, s.expired, s.not_ready, s.shutdown_rejects
+             \"expired\": {}, \"not_ready\": {}, \"shutdown\": {}, \"stage_dead\": {}}},\n",
+            s.queue_full,
+            s.deadline_unmeetable,
+            s.expired,
+            s.not_ready,
+            s.shutdown_rejects,
+            s.stage_dead
         ));
         j.push_str(&format!("{indent}  \"throughput_rps\": {:.2},\n", self.throughput_rps));
         j.push_str(&format!("{indent}  \"goodput_rps\": {:.2},\n", self.goodput_rps));
@@ -206,6 +224,43 @@ impl LoadReport {
             j.push_str(&format!(", \"failovers\": {failovers}, \"retried\": {retried}"));
         }
         j.push_str("},\n");
+        if let Some(p) = &self.pipeline {
+            j.push_str(&format!(
+                "{indent}  \"pipeline\": {{\n{indent}    \"submitted\": {}, \"completed\": {}, \
+                 \"requeued\": {},\n",
+                s.pipeline_submitted, s.pipeline_completed, s.pipeline_requeued
+            ));
+            j.push_str(&format!(
+                "{indent}    \"planned_bottleneck_stage\": {}, \"planned_bottleneck_ms\": {:.2}, \
+                 \"observed_bottleneck_stage\": {}, \"fill_ms\": {:.2},\n",
+                p.planned_bottleneck_stage,
+                p.planned_bottleneck_ms,
+                p.observed_bottleneck_stage,
+                p.fill_ms
+            ));
+            j.push_str(&format!("{indent}    \"stages\": [\n"));
+            for (i, st) in p.stages.iter().enumerate() {
+                let comma = if i + 1 < p.stages.len() { "," } else { "" };
+                j.push_str(&format!(
+                    "{indent}      {{\"stage\": {i}, \"device\": {}, \"units\": [{}, {}], \
+                     \"est_stage_ms\": {:.2}, \"jobs\": {}, \"batches\": {}, \"requeued\": {}, \
+                     \"rejected\": {}, \"busy_ms\": {:.1}, \"utilization\": {:.3}, \
+                     \"queue_depth\": {}}}{comma}\n",
+                    st.device,
+                    st.units.0,
+                    st.units.1,
+                    st.est_stage_ms,
+                    st.jobs,
+                    st.batches,
+                    st.requeued,
+                    st.rejected,
+                    st.busy_ms,
+                    st.utilization,
+                    st.queue_depth
+                ));
+            }
+            j.push_str(&format!("{indent}    ]\n{indent}  }},\n"));
+        }
         j.push_str(&format!("{indent}  \"classes\": {{\n"));
         for (i, c) in self.per_class.iter().enumerate() {
             let comma = if i + 1 < self.per_class.len() { "," } else { "" };
@@ -243,6 +298,32 @@ impl LoadReport {
             self.stats.deadline_unmeetable,
             self.stats.expired
         ));
+        if let Some(p) = &self.pipeline {
+            out.push_str(&format!(
+                "pipeline: {} stages | bottleneck planned=s{} ({:.1} ms) observed=s{} | fill \
+                 {:.1} ms | requeued={}\n",
+                p.stages.len(),
+                p.planned_bottleneck_stage,
+                p.planned_bottleneck_ms,
+                p.observed_bottleneck_stage,
+                p.fill_ms,
+                self.stats.pipeline_requeued
+            ));
+            for (i, st) in p.stages.iter().enumerate() {
+                out.push_str(&format!(
+                    "  stage {i}: dev{} units[{},{}) jobs={} batches={} util={:.0}% busy={:.0} \
+                     ms{}\n",
+                    st.device,
+                    st.units.0,
+                    st.units.1,
+                    st.jobs,
+                    st.batches,
+                    st.utilization * 100.0,
+                    st.busy_ms,
+                    if i == p.observed_bottleneck_stage { "  <- bottleneck" } else { "" }
+                ));
+            }
+        }
         out
     }
 }

@@ -40,6 +40,7 @@
 pub mod class;
 pub mod failover;
 pub mod harness;
+pub mod pipeline;
 mod queue;
 pub mod request;
 pub mod server;
@@ -47,5 +48,8 @@ pub mod server;
 pub use class::{default_classes, ClassKind, ClassSpec};
 pub use failover::{ClusterStats, CoordinatorSpec, FailoverCluster, FailoverConfig, PendingServe};
 pub use harness::{run_closed_loop, run_open_loop, ClassReport, LoadReport};
+pub use pipeline::{
+    PipelineExecutor, PipelineSnapshot, StageSnapshot, StreamOptions, StreamStageStats,
+};
 pub use request::{Completion, RejectReason, Rejection, ServeOutcome};
 pub use server::{Clock, EnvModel, ServeConfig, ServeHandle, ServeStats};

@@ -1,0 +1,930 @@
+//! Pipelined stage-parallel serving: the throughput execution mode.
+//!
+//! Two pieces live here, one per layer of the stack:
+//!
+//! * [`PipelineExecutor`] — a *real* streaming executor over the existing
+//!   [`Transport`] trait (in-process or TCP). A pipeline plan's stages
+//!   each get a coordinator-side stage thread; bounded queues connect
+//!   them, so request `k+1`'s stage 0 runs while request `k` sits in
+//!   stage 1. A stalled stage backpressures upstream instead of buffering
+//!   unboundedly; a dead stage device requeues its in-flight work on the
+//!   coordinator's fallback device or fails the request with a typed
+//!   [`ExecError`]. Every submitted input resolves exactly once
+//!   (conservation), including on drain-at-end-of-stream.
+//! * [`PipelineRig`] — the serve-layer integration: a virtual-time
+//!   stage-parallel server for throughput-mode SLO classes, driven by a
+//!   [`PipelineDeploy`] from
+//!   [`SharedRuntime::pipeline_decide`](murmuration_core::SharedRuntime::pipeline_decide).
+//!   Stage threads model per-stage service (bottleneck-stage cost from
+//!   the placement objective, scaled by any brownout factor from the
+//!   fleet trace), micro-batch within a stage (batching and pipelining
+//!   compose), and preserve the serve layer's conservation invariant
+//!   `completed + rejected == submitted` through drain-on-shutdown and
+//!   device-death rescue.
+//!
+//! The split mirrors the rest of the repo: the serve layer runs on the
+//! scaled virtual clock against modeled service times, while the
+//! transport/executor layer moves real tensors. The chaos suite covers
+//! both; the throughput bench drives the rig.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use crate::class::{ClassKind, ClassSpec};
+use crate::request::{Completion, RejectReason, Rejection, ServeOutcome};
+use crate::server::{Clock, Counters, EnvModel};
+use murmuration_core::executor::ExecError;
+use murmuration_core::transport::{
+    ReplyError, SubmitError, Transport, TransportJob, TransportReply,
+};
+use murmuration_core::{PipelineDeploy, SharedRuntime};
+use murmuration_tensor::quant::BitWidth;
+use murmuration_tensor::Tensor;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{
+    channel, sync_channel, Receiver, RecvTimeoutError, Sender, SyncSender, TrySendError,
+};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------------
+// Real-transport streaming executor
+// ---------------------------------------------------------------------------
+
+/// Knobs for [`PipelineExecutor`].
+#[derive(Clone, Copy, Debug)]
+pub struct StreamOptions {
+    /// Bounded depth of each inter-stage queue. 1 keeps exactly one
+    /// request queued per stage on top of the one being computed — the
+    /// paper-shaped "one in-flight request per stage per device" regime.
+    pub queue_cap: usize,
+    /// Per-unit, per-attempt reply deadline.
+    pub attempt_timeout: Duration,
+    /// Attempts per unit on a device before giving up on it.
+    pub max_attempts: u32,
+    /// Where in-flight stage work is requeued when a stage device dies
+    /// (`None` fails the affected requests instead).
+    pub fallback_dev: Option<usize>,
+}
+
+impl Default for StreamOptions {
+    fn default() -> Self {
+        StreamOptions {
+            queue_cap: 1,
+            attempt_timeout: Duration::from_secs(2),
+            max_attempts: 3,
+            fallback_dev: Some(0),
+        }
+    }
+}
+
+/// Per-stage counters of one executor, snapshotted by
+/// [`PipelineExecutor::stage_stats`].
+#[derive(Clone, Debug, Default)]
+pub struct StreamStageStats {
+    pub device: usize,
+    /// Unit range `[start, end)` the stage runs.
+    pub units: (usize, usize),
+    /// Requests this stage completed (computed and forwarded/emitted).
+    pub processed: u64,
+    /// Requests that failed at this stage (typed error emitted).
+    pub failed: u64,
+    /// Requests whose remaining stage work was requeued on the fallback
+    /// device after the stage device died.
+    pub requeued: u64,
+    /// Wall time this stage spent computing (ms).
+    pub busy_ms: f64,
+}
+
+struct StreamStageCounters {
+    processed: AtomicU64,
+    failed: AtomicU64,
+    requeued: AtomicU64,
+    busy_us: AtomicU64,
+}
+
+/// A streaming pipeline executor over a [`Transport`].
+///
+/// Construction takes the per-unit device map (from
+/// [`PipelinePlan::device_of_unit`](murmuration_partition::pipeline::PipelinePlan::device_of_unit)
+/// or any placement); contiguous runs on one device collapse into
+/// stages. [`run_stream`](Self::run_stream) then pushes a whole input
+/// stream through the stages concurrently.
+pub struct PipelineExecutor {
+    transport: Box<dyn Transport>,
+    /// `(device, first_unit, end_unit)` per stage.
+    stages: Vec<(usize, usize, usize)>,
+    opts: StreamOptions,
+    counters: Vec<StreamStageCounters>,
+    /// Globally unique attempt ids so stale replies from abandoned
+    /// attempts are never confused with live ones.
+    attempt_seq: AtomicU32,
+}
+
+impl PipelineExecutor {
+    /// Builds an executor for `device_of_unit` over `transport`.
+    pub fn new(
+        transport: Box<dyn Transport>,
+        device_of_unit: &[usize],
+        opts: StreamOptions,
+    ) -> Self {
+        assert!(!device_of_unit.is_empty(), "need at least one unit");
+        assert!(opts.queue_cap >= 1 && opts.max_attempts >= 1);
+        let mut stages: Vec<(usize, usize, usize)> = Vec::new();
+        for (u, &d) in device_of_unit.iter().enumerate() {
+            assert!(d < transport.n_devices(), "unit {u} placed on unknown device {d}");
+            match stages.last_mut() {
+                Some((dev, _, end)) if *dev == d => *end = u + 1,
+                _ => stages.push((d, u, u + 1)),
+            }
+        }
+        let counters = stages
+            .iter()
+            .map(|_| StreamStageCounters {
+                processed: AtomicU64::new(0),
+                failed: AtomicU64::new(0),
+                requeued: AtomicU64::new(0),
+                busy_us: AtomicU64::new(0),
+            })
+            .collect();
+        PipelineExecutor { transport, stages, opts, counters, attempt_seq: AtomicU32::new(0) }
+    }
+
+    /// Number of pipeline stages (contiguous same-device unit runs).
+    pub fn n_stages(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// The transport this executor drives (chaos hooks: `kill_device`).
+    pub fn transport(&self) -> &dyn Transport {
+        &*self.transport
+    }
+
+    /// Administratively kills `dev` mid-stream (chaos hook).
+    pub fn kill_device(&self, dev: usize) {
+        self.transport.kill_device(dev);
+    }
+
+    /// Restarts `dev` after a kill.
+    pub fn restart_device(&mut self, dev: usize) {
+        self.transport.restart_device(dev);
+    }
+
+    /// Per-stage counter snapshot.
+    pub fn stage_stats(&self) -> Vec<StreamStageStats> {
+        self.stages
+            .iter()
+            .zip(&self.counters)
+            .map(|(&(device, start, end), c)| StreamStageStats {
+                device,
+                units: (start, end),
+                processed: c.processed.load(Ordering::Relaxed),
+                failed: c.failed.load(Ordering::Relaxed),
+                requeued: c.requeued.load(Ordering::Relaxed),
+                busy_ms: c.busy_us.load(Ordering::Relaxed) as f64 / 1000.0,
+            })
+            .collect()
+    }
+
+    /// Streams `inputs` through the pipeline and returns one result per
+    /// input, index-aligned: `results[i]` is input `i`'s logits or a
+    /// typed error. Exactly-once: every input resolves, stages drain
+    /// fully before this returns (drain-on-shutdown), and a request is
+    /// never both completed and failed.
+    pub fn run_stream(
+        &self,
+        inputs: Vec<Tensor>,
+        quant: BitWidth,
+    ) -> Vec<Result<Tensor, ExecError>> {
+        let n = inputs.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let (out_tx, out_rx) = channel::<(usize, Result<Tensor, ExecError>)>();
+        let mut results: Vec<Option<Result<Tensor, ExecError>>> = (0..n).map(|_| None).collect();
+        thread::scope(|scope| {
+            let mut txs: Vec<SyncSender<(usize, Arc<Tensor>)>> = Vec::new();
+            let mut rxs: Vec<Receiver<(usize, Arc<Tensor>)>> = Vec::new();
+            for _ in 0..self.stages.len() {
+                let (tx, rx) = sync_channel(self.opts.queue_cap);
+                txs.push(tx);
+                rxs.push(rx);
+            }
+            // Stage `s` owns rx `s` and the *original* tx `s+1`, so when
+            // stage `s` finishes its input stream and exits, stage `s+1`'s
+            // receiver disconnects and the drain cascades.
+            let mut tx_iter = txs.into_iter();
+            let feed = tx_iter.next();
+            for (s, rx) in rxs.into_iter().enumerate() {
+                let next = tx_iter.next();
+                let out = out_tx.clone();
+                scope.spawn(move || self.stage_worker(s, rx, next, out, quant));
+            }
+            drop(out_tx);
+            if let Some(feed) = feed {
+                for (idx, input) in inputs.into_iter().enumerate() {
+                    // Blocks when stage 0 is full: backpressure reaches the
+                    // submitter, bounding total in-flight work.
+                    if feed.send((idx, Arc::new(input))).is_err() {
+                        results[idx] = Some(Err(ExecError::NoDevice { unit: self.stages[0].1 }));
+                    }
+                }
+            }
+            // `feed` drops here; stage 0 drains and the close cascades.
+            for (idx, result) in out_rx.iter() {
+                results[idx] = Some(result);
+            }
+        });
+        results
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| {
+                // Unreachable unless a stage thread died abnormally; keep
+                // conservation anyway with a typed failure.
+                r.unwrap_or(Err(ExecError::NoDevice { unit: i }))
+            })
+            .collect()
+    }
+
+    fn stage_worker(
+        &self,
+        s: usize,
+        rx: Receiver<(usize, Arc<Tensor>)>,
+        next: Option<SyncSender<(usize, Arc<Tensor>)>>,
+        out: Sender<(usize, Result<Tensor, ExecError>)>,
+        quant: BitWidth,
+    ) {
+        let (dev, start, end) = self.stages[s];
+        let prev_dev = if s == 0 { 0 } else { self.stages[s - 1].0 };
+        let c = &self.counters[s];
+        for (idx, input) in rx.iter() {
+            let t0 = Instant::now();
+            let res = self.run_span(s, dev, prev_dev, start, end, input, quant, idx);
+            c.busy_us.fetch_add(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
+            match res {
+                Ok(t) => {
+                    c.processed.fetch_add(1, Ordering::Relaxed);
+                    match &next {
+                        // Blocks when the next stage's queue is full —
+                        // the backpressure that keeps queues bounded.
+                        Some(nx) => {
+                            if nx.send((idx, Arc::new(t))).is_err() {
+                                let _ = out.send((idx, Err(ExecError::NoDevice { unit: end - 1 })));
+                            }
+                        }
+                        None => {
+                            let _ = out.send((idx, Ok(t)));
+                        }
+                    }
+                }
+                Err(e) => {
+                    c.failed.fetch_add(1, Ordering::Relaxed);
+                    let _ = out.send((idx, Err(e)));
+                }
+            }
+        }
+    }
+
+    /// Runs units `start..end` for request `idx`, preferring `dev` and
+    /// requeueing the remaining span on the fallback device if `dev`
+    /// fails mid-stage.
+    #[allow(clippy::too_many_arguments)]
+    fn run_span(
+        &self,
+        s: usize,
+        dev: usize,
+        prev_dev: usize,
+        start: usize,
+        end: usize,
+        input: Arc<Tensor>,
+        quant: BitWidth,
+        idx: usize,
+    ) -> Result<Tensor, ExecError> {
+        let mut on_dev = dev;
+        // Where the current activation logically lives (quantization
+        // applies when it crosses to a different device).
+        let mut loc = prev_dev;
+        let mut cur = input;
+        for unit in start..end {
+            match self.run_unit(on_dev, unit, &cur, quant, loc != on_dev, idx) {
+                Ok(t) => {
+                    cur = Arc::new(t);
+                    loc = on_dev;
+                }
+                Err(first) => {
+                    // Device-death requeue: finish the stage's remaining
+                    // span on the fallback device (the coordinator's own
+                    // worker) rather than dropping the request.
+                    let fb = match self.opts.fallback_dev {
+                        Some(fb) if fb != on_dev && self.transport.is_alive(fb) => fb,
+                        _ => return Err(first),
+                    };
+                    self.counters[s].requeued.fetch_add(1, Ordering::Relaxed);
+                    on_dev = fb;
+                    match self.run_unit(on_dev, unit, &cur, quant, loc != on_dev, idx) {
+                        Ok(t) => {
+                            cur = Arc::new(t);
+                            loc = on_dev;
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+            }
+        }
+        Ok(cur.as_ref().clone())
+    }
+
+    /// One unit on one device with bounded retries. Device-unreachable
+    /// failures return immediately (the caller decides about failover);
+    /// transient failures (timeout, worker error, wire corruption) retry
+    /// up to the attempt budget.
+    fn run_unit(
+        &self,
+        dev: usize,
+        unit: usize,
+        input: &Arc<Tensor>,
+        quant: BitWidth,
+        cross: bool,
+        tag: usize,
+    ) -> Result<Tensor, ExecError> {
+        let mut last: Option<ExecError> = None;
+        for _ in 0..self.opts.max_attempts {
+            let attempt = self.attempt_seq.fetch_add(1, Ordering::Relaxed);
+            let (rtx, rrx) = channel::<TransportReply>();
+            let job = TransportJob {
+                unit,
+                input: Arc::clone(input),
+                quant,
+                cross_boundary: cross,
+                tag,
+                attempt,
+                deadline: Some(self.opts.attempt_timeout),
+            };
+            match self.transport.submit(dev, job, rtx) {
+                Ok(_ticket) => {}
+                Err(SubmitError::DeviceDown) => return Err(ExecError::DeviceDown { dev }),
+                Err(SubmitError::Wire(err)) => {
+                    last = Some(ExecError::Wire { dev, err });
+                    continue;
+                }
+            }
+            let deadline = Instant::now() + self.opts.attempt_timeout;
+            loop {
+                let now = Instant::now();
+                if now >= deadline {
+                    last = Some(ExecError::Timeout {
+                        dev,
+                        unit,
+                        waited_ms: self.opts.attempt_timeout.as_secs_f64() * 1000.0,
+                    });
+                    break;
+                }
+                match rrx.recv_timeout(deadline - now) {
+                    Ok(reply) if reply.tag == tag && reply.attempt == attempt => {
+                        match reply.result {
+                            Ok(t) => return Ok(t),
+                            Err(ReplyError::Worker(msg)) => {
+                                last = Some(ExecError::WorkerPanic { dev, unit, msg });
+                                break;
+                            }
+                            Err(ReplyError::Link(_)) => {
+                                self.transport.mark_dead(dev);
+                                return Err(ExecError::DeviceDown { dev });
+                            }
+                        }
+                    }
+                    // Stale reply from an abandoned attempt: discard.
+                    Ok(_) => continue,
+                    Err(RecvTimeoutError::Timeout) => {
+                        last = Some(ExecError::Timeout {
+                            dev,
+                            unit,
+                            waited_ms: self.opts.attempt_timeout.as_secs_f64() * 1000.0,
+                        });
+                        break;
+                    }
+                    Err(RecvTimeoutError::Disconnected) => {
+                        self.transport.mark_dead(dev);
+                        return Err(ExecError::DeviceDown { dev });
+                    }
+                }
+            }
+        }
+        Err(ExecError::AttemptsExhausted {
+            unit,
+            attempts: self.opts.max_attempts as usize,
+            last: Box::new(last.unwrap_or(ExecError::DeviceDown { dev })),
+        })
+    }
+}
+
+impl Drop for PipelineExecutor {
+    fn drop(&mut self) {
+        self.transport.shutdown();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Virtual-time serving rig
+// ---------------------------------------------------------------------------
+
+/// A request travelling through the rig.
+pub(crate) struct RigJob {
+    pub id: u64,
+    pub class: usize,
+    pub enqueue_ms: f64,
+    pub deadline_ms: Option<f64>,
+    /// Set when stage 0 dispatches the job (queue/service split point).
+    pub started_ms: f64,
+    pub tx: Sender<ServeOutcome>,
+}
+
+struct RigStageCounters {
+    jobs: AtomicU64,
+    batches: AtomicU64,
+    requeued: AtomicU64,
+    rejected: AtomicU64,
+    /// Virtual ms this stage spent occupied (f64 bits, monotone adds via
+    /// CAS loop).
+    busy_ms_bits: AtomicU64,
+    /// Instantaneous queued depth in front of the stage.
+    depth: AtomicUsize,
+}
+
+impl RigStageCounters {
+    fn new() -> Self {
+        RigStageCounters {
+            jobs: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            requeued: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            busy_ms_bits: AtomicU64::new(0),
+            depth: AtomicUsize::new(0),
+        }
+    }
+
+    fn add_busy(&self, ms: f64) {
+        let mut cur = self.busy_ms_bits.load(Ordering::Relaxed);
+        loop {
+            let new = (f64::from_bits(cur) + ms).to_bits();
+            match self.busy_ms_bits.compare_exchange_weak(
+                cur,
+                new,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    fn busy_ms(&self) -> f64 {
+        f64::from_bits(self.busy_ms_bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Point-in-time view of one rig stage, for `LoadReport` JSON and the
+/// CLI table.
+#[derive(Clone, Debug)]
+pub struct StageSnapshot {
+    pub device: usize,
+    /// Unit range `[start, end)`.
+    pub units: (usize, usize),
+    /// The placement objective's per-request cost for this stage
+    /// (transfer-in + compute + final transfer-out, virtual ms).
+    pub est_stage_ms: f64,
+    /// Requests this stage dispatched.
+    pub jobs: u64,
+    /// Stage-level micro-batches dispatched.
+    pub batches: u64,
+    /// Requests rescued onto the coordinator after this stage's device
+    /// died.
+    pub requeued: u64,
+    /// Requests rejected at this stage (typed `StageDead`/`Expired`).
+    pub rejected: u64,
+    /// Virtual ms the stage spent occupied.
+    pub busy_ms: f64,
+    /// `busy_ms / elapsed` — the utilization the bottleneck saturates.
+    pub utilization: f64,
+    /// Queued requests in front of the stage right now.
+    pub queue_depth: usize,
+}
+
+/// Per-stage occupancy and the bottleneck ids, from
+/// [`ServeHandle::pipeline_stats`](crate::server::ServeHandle::pipeline_stats).
+#[derive(Clone, Debug)]
+pub struct PipelineSnapshot {
+    pub stages: Vec<StageSnapshot>,
+    /// The stage the placement objective predicted as the bottleneck.
+    pub planned_bottleneck_stage: usize,
+    /// Its per-request cost (virtual ms).
+    pub planned_bottleneck_ms: f64,
+    /// The stage that actually accumulated the most busy time.
+    pub observed_bottleneck_stage: usize,
+    /// One request's end-to-end fill latency (virtual ms).
+    pub fill_ms: f64,
+    /// Predicted accuracy of the deployed subnet (%).
+    pub accuracy_pct: f32,
+}
+
+struct RigInner {
+    rt: Arc<SharedRuntime>,
+    deploy: PipelineDeploy,
+    clock: Clock,
+    env: EnvModel,
+    classes: Vec<ClassSpec>,
+    max_batch: usize,
+    batch_marginal: f64,
+    service_sleep: bool,
+    admission: bool,
+    counters: Arc<Counters>,
+    stage: Vec<RigStageCounters>,
+    entry_depth: AtomicUsize,
+    /// Jobs admitted but not yet completed/rejected — includes in-flight
+    /// stage batches, not just queue depths.
+    in_system: AtomicUsize,
+    /// Coordinator cost of finishing a request from stage `s` onward
+    /// when stage `s`'s device is dead (virtual ms).
+    rescue_ms: Vec<f64>,
+}
+
+impl RigInner {
+    /// Effective slowdown of `dev` at virtual `t_ms`: the fleet trace's
+    /// brownout factor, or infinite when the trace or a chaos hook has
+    /// the device down.
+    fn slow_factor(&self, dev: usize, t_ms: f64) -> f64 {
+        let traced = self.env.fleet_slow_factor(dev, t_ms);
+        if !self.rt.alive_mask().get(dev).copied().unwrap_or(false) {
+            return f64::INFINITY;
+        }
+        traced
+    }
+
+    /// Jobs anywhere in the rig — entry queue, inter-stage queues, *and*
+    /// in-flight stage batches. Queue depths alone undercount by up to
+    /// `max_batch` per stage, which under-admits turn into late
+    /// completions; this is the exact conservation-based occupancy.
+    fn backlog(&self) -> usize {
+        self.in_system.load(Ordering::Relaxed)
+    }
+
+    fn reject(&self, job: RigJob, reason: RejectReason) {
+        self.in_system.fetch_sub(1, Ordering::Relaxed);
+        if let RejectReason::StageDead { stage, .. } = reason {
+            if let Some(c) = self.stage.get(stage) {
+                c.rejected.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.counters.note_reject(&reason);
+        let r = Rejection { id: job.id, class: job.class, reason, t_ms: self.clock.now_ms() };
+        let _ = job.tx.send(ServeOutcome::Rejected(r));
+    }
+
+    fn complete(&self, job: RigJob, batch_size: usize, degraded: bool) {
+        self.in_system.fetch_sub(1, Ordering::Relaxed);
+        let now = self.clock.now_ms();
+        let queue_ms = (job.started_ms - job.enqueue_ms).max(0.0);
+        let total_ms = now - job.enqueue_ms;
+        let service_ms = total_ms - queue_ms;
+        let spec = &self.classes[job.class];
+        let slo_ok = match spec.kind {
+            ClassKind::Latency { deadline_ms } => total_ms <= deadline_ms,
+            ClassKind::Accuracy { floor_pct } => self.deploy.accuracy_pct >= floor_pct,
+        };
+        self.counters.completed.fetch_add(1, Ordering::Relaxed);
+        self.counters.pipeline_completed.fetch_add(1, Ordering::Relaxed);
+        if degraded {
+            self.counters.degraded_served.fetch_add(1, Ordering::Relaxed);
+        }
+        let _ = job.tx.send(ServeOutcome::Done(Completion {
+            id: job.id,
+            class: job.class,
+            queue_ms,
+            service_ms,
+            total_ms,
+            deploy_ms: self.deploy.report.fill_ms,
+            accuracy_pct: self.deploy.accuracy_pct,
+            batch_size,
+            // The pipeline decision is made once and reused for the whole
+            // stream — the definition of a cache hit.
+            cached: true,
+            degraded,
+            slo_ok,
+        }));
+    }
+
+    /// Stage `s`'s thread: drain a micro-batch, model its service time,
+    /// forward downstream (or resolve, for the last stage). Exits when
+    /// the upstream sender closes after draining everything — the
+    /// shutdown cascade.
+    fn stage_loop(&self, s: usize, rx: Receiver<RigJob>, next: Option<SyncSender<RigJob>>) {
+        let stage_ms = self.deploy.report.stages[s].stage_ms();
+        let dev = self.deploy.plan.stages[s].device;
+        let last = next.is_none();
+        loop {
+            let Ok(first) = rx.recv() else { break };
+            self.stage[s].depth.fetch_sub(1, Ordering::Relaxed);
+            if s == 0 {
+                self.entry_depth.fetch_sub(1, Ordering::Relaxed);
+            }
+            let mut batch = vec![first];
+            while batch.len() < self.max_batch {
+                match rx.try_recv() {
+                    Ok(job) => {
+                        self.stage[s].depth.fetch_sub(1, Ordering::Relaxed);
+                        if s == 0 {
+                            self.entry_depth.fetch_sub(1, Ordering::Relaxed);
+                        }
+                        batch.push(job);
+                    }
+                    Err(_) => break,
+                }
+            }
+            let t = self.clock.now_ms();
+            if s == 0 {
+                // Dispatch-time shed: a job whose remaining budget no
+                // longer covers one pipeline fill would only finish late.
+                let mut live = Vec::with_capacity(batch.len());
+                for mut job in batch {
+                    match job.deadline_ms {
+                        Some(d) if t - job.enqueue_ms + self.deploy.report.fill_ms > d => {
+                            let waited_ms = t - job.enqueue_ms;
+                            self.reject(job, RejectReason::Expired { waited_ms, deadline_ms: d });
+                        }
+                        _ => {
+                            job.started_ms = t;
+                            live.push(job);
+                        }
+                    }
+                }
+                batch = live;
+                if batch.is_empty() {
+                    continue;
+                }
+            }
+            let k = batch.len();
+            let slow = self.slow_factor(dev, t);
+            if slow.is_finite() {
+                // Healthy (or browned-out) stage: the batch occupies the
+                // stage for one bottleneck-objective cost, marginally
+                // extended per extra batched request, stretched by any
+                // brownout factor.
+                let cost = stage_ms * slow * (1.0 + self.batch_marginal * (k as f64 - 1.0));
+                if self.service_sleep {
+                    self.clock.sleep_virtual(cost);
+                }
+                self.stage[s].add_busy(cost);
+                self.stage[s].jobs.fetch_add(k as u64, Ordering::Relaxed);
+                self.stage[s].batches.fetch_add(1, Ordering::Relaxed);
+                let degraded = slow > 1.0;
+                for job in batch {
+                    match &next {
+                        Some(nx) => {
+                            self.stage[s + 1].depth.fetch_add(1, Ordering::Relaxed);
+                            // Blocks when the next stage is saturated —
+                            // the backpressure path.
+                            if let Err(err) = nx.send(job) {
+                                self.stage[s + 1].depth.fetch_sub(1, Ordering::Relaxed);
+                                self.reject(err.0, RejectReason::Shutdown);
+                            }
+                        }
+                        None => {
+                            let _ = last;
+                            self.complete(job, k, degraded);
+                        }
+                    }
+                }
+            } else {
+                // Stage device died with work in flight: requeue onto the
+                // coordinator, which serves the remaining stages
+                // serially; jobs whose budget can't cover the rescue get
+                // the typed death rejection instead.
+                let rescue = self.rescue_ms[s];
+                let mut served = Vec::with_capacity(k);
+                for job in batch {
+                    match job.deadline_ms {
+                        Some(d) if t - job.enqueue_ms + rescue > d => {
+                            self.reject(job, RejectReason::StageDead { stage: s, dev });
+                        }
+                        _ => served.push(job),
+                    }
+                }
+                if served.is_empty() {
+                    continue;
+                }
+                let kk = served.len();
+                let cost = rescue * (1.0 + self.batch_marginal * (kk as f64 - 1.0));
+                if self.service_sleep {
+                    self.clock.sleep_virtual(cost);
+                }
+                self.stage[s].add_busy(cost);
+                self.stage[s].jobs.fetch_add(kk as u64, Ordering::Relaxed);
+                self.stage[s].batches.fetch_add(1, Ordering::Relaxed);
+                self.stage[s].requeued.fetch_add(kk as u64, Ordering::Relaxed);
+                self.counters.pipeline_requeued.fetch_add(kk as u64, Ordering::Relaxed);
+                for mut job in served {
+                    if s == 0 && job.started_ms < job.enqueue_ms {
+                        job.started_ms = t;
+                    }
+                    self.complete(job, kk, true);
+                }
+            }
+        }
+    }
+}
+
+/// The running stage-parallel server for throughput-mode classes.
+pub(crate) struct PipelineRig {
+    inner: Arc<RigInner>,
+    entry: Mutex<Option<SyncSender<RigJob>>>,
+    threads: Mutex<Vec<thread::JoinHandle<()>>>,
+}
+
+impl PipelineRig {
+    /// Spawns one thread per pipeline stage, connected by bounded queues.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn start(
+        rt: Arc<SharedRuntime>,
+        deploy: PipelineDeploy,
+        clock: Clock,
+        env: EnvModel,
+        classes: Vec<ClassSpec>,
+        max_batch: usize,
+        batch_marginal: f64,
+        service_sleep: bool,
+        admission: bool,
+        entry_cap: usize,
+        counters: Arc<Counters>,
+    ) -> Self {
+        let n_stages = deploy.plan.stages.len();
+        assert!(n_stages >= 1 && entry_cap >= 1 && max_batch >= 1);
+        // Coordinator rescue cost from stage `s` onward: the all-local
+        // fallback's time, prorated by the remaining compute share.
+        let total_compute: f64 = deploy.report.stages.iter().map(|c| c.compute_ms).sum();
+        let rescue_ms: Vec<f64> = (0..n_stages)
+            .map(|s| {
+                let remaining: f64 = deploy.report.stages[s..].iter().map(|c| c.compute_ms).sum();
+                if total_compute > 0.0 {
+                    deploy.fallback_ms * remaining / total_compute
+                } else {
+                    deploy.fallback_ms
+                }
+            })
+            .collect();
+        let inner = Arc::new(RigInner {
+            rt,
+            deploy,
+            clock,
+            env,
+            classes,
+            max_batch,
+            batch_marginal,
+            service_sleep,
+            admission,
+            counters,
+            stage: (0..n_stages).map(|_| RigStageCounters::new()).collect(),
+            entry_depth: AtomicUsize::new(0),
+            in_system: AtomicUsize::new(0),
+            rescue_ms,
+        });
+        let mut txs: Vec<SyncSender<RigJob>> = Vec::new();
+        let mut rxs: Vec<Receiver<RigJob>> = Vec::new();
+        for s in 0..n_stages {
+            // The entry queue absorbs the open-loop arrival burstiness;
+            // inter-stage queues stay batch-sized so backpressure (not
+            // buffering) is what absorbs a stalled stage.
+            let cap = if s == 0 { entry_cap } else { max_batch };
+            let (tx, rx) = sync_channel(cap);
+            txs.push(tx);
+            rxs.push(rx);
+        }
+        let mut tx_iter = txs.into_iter();
+        let entry = tx_iter.next();
+        let threads = rxs
+            .into_iter()
+            .enumerate()
+            .map(|(s, rx)| {
+                let next = tx_iter.next();
+                let inner = Arc::clone(&inner);
+                thread::Builder::new()
+                    .name(format!("pipe-stage-{s}"))
+                    .spawn(move || inner.stage_loop(s, rx, next))
+                    .unwrap_or_else(|e| panic!("spawning pipeline stage {s}: {e}"))
+            })
+            .collect();
+        PipelineRig { inner, entry: Mutex::new(entry), threads: Mutex::new(threads) }
+    }
+
+    /// Admission + enqueue for one throughput-mode request. Resolves the
+    /// outcome channel immediately on rejection.
+    pub(crate) fn submit(&self, id: u64, class: usize, tx: Sender<ServeOutcome>) {
+        let inner = &self.inner;
+        inner.counters.pipeline_submitted.fetch_add(1, Ordering::Relaxed);
+        // Every submitted job leaves `in_system` through exactly one of
+        // `complete` or `reject` (all submit failure paths reject).
+        inner.in_system.fetch_add(1, Ordering::Relaxed);
+        let t = inner.clock.now_ms();
+        let deadline_ms = inner.classes[class].deadline_ms();
+        let job = RigJob { id, class, enqueue_ms: t, deadline_ms, started_ms: t, tx };
+        if inner.admission {
+            if let Some(d) = deadline_ms {
+                // Steady-state drain: each bottleneck period retires one
+                // stage batch, so the backlog clears at
+                // `max_batch / batch_factor` requests per bottleneck.
+                let batch_factor = 1.0 + inner.batch_marginal * (inner.max_batch as f64 - 1.0);
+                let drain = inner.max_batch as f64 / batch_factor;
+                // `backlog() - 1`: jobs ahead of this one (we already
+                // counted ourselves into `in_system`).
+                let wait = inner.backlog().saturating_sub(1) as f64 / drain.max(1e-9)
+                    * inner.deploy.report.bottleneck_ms;
+                let needed_ms = wait + inner.deploy.report.fill_ms;
+                if needed_ms > d {
+                    inner.reject(job, RejectReason::DeadlineUnmeetable { needed_ms, budget_ms: d });
+                    return;
+                }
+            }
+        }
+        let entry = self.entry.lock();
+        let Some(entry_tx) = entry.as_ref() else {
+            drop(entry);
+            inner.reject(job, RejectReason::Shutdown);
+            return;
+        };
+        inner.entry_depth.fetch_add(1, Ordering::Relaxed);
+        inner.stage[0].depth.fetch_add(1, Ordering::Relaxed);
+        match entry_tx.try_send(job) {
+            Ok(()) => {}
+            Err(TrySendError::Full(job)) => {
+                inner.entry_depth.fetch_sub(1, Ordering::Relaxed);
+                inner.stage[0].depth.fetch_sub(1, Ordering::Relaxed);
+                drop(entry);
+                inner.reject(job, RejectReason::QueueFull { class });
+            }
+            Err(TrySendError::Disconnected(job)) => {
+                inner.entry_depth.fetch_sub(1, Ordering::Relaxed);
+                inner.stage[0].depth.fetch_sub(1, Ordering::Relaxed);
+                drop(entry);
+                inner.reject(job, RejectReason::Shutdown);
+            }
+        }
+    }
+
+    /// Per-stage occupancy snapshot.
+    pub(crate) fn snapshot(&self) -> PipelineSnapshot {
+        let inner = &self.inner;
+        let elapsed = inner.clock.now_ms().max(1e-9);
+        let stages: Vec<StageSnapshot> = inner
+            .deploy
+            .plan
+            .stages
+            .iter()
+            .enumerate()
+            .map(|(s, st)| {
+                let c = &inner.stage[s];
+                let busy = c.busy_ms();
+                StageSnapshot {
+                    device: st.device,
+                    units: (st.start, st.end),
+                    est_stage_ms: inner.deploy.report.stages[s].stage_ms(),
+                    jobs: c.jobs.load(Ordering::Relaxed),
+                    batches: c.batches.load(Ordering::Relaxed),
+                    requeued: c.requeued.load(Ordering::Relaxed),
+                    rejected: c.rejected.load(Ordering::Relaxed),
+                    busy_ms: busy,
+                    utilization: busy / elapsed,
+                    queue_depth: c.depth.load(Ordering::Relaxed),
+                }
+            })
+            .collect();
+        let observed = stages
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| {
+                a.busy_ms.partial_cmp(&b.busy_ms).unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        PipelineSnapshot {
+            stages,
+            planned_bottleneck_stage: inner.deploy.report.bottleneck_stage,
+            planned_bottleneck_ms: inner.deploy.report.bottleneck_ms,
+            observed_bottleneck_stage: observed,
+            fill_ms: inner.deploy.report.fill_ms,
+            accuracy_pct: inner.deploy.accuracy_pct,
+        }
+    }
+
+    /// Stops admission, drains every queued job through the stages, and
+    /// joins the stage threads. Conservation holds afterwards: every
+    /// accepted job completed or was rejected with a typed reason.
+    pub(crate) fn shutdown(&self) {
+        // Dropping the entry sender starts the cascade: stage 0 drains
+        // and exits, disconnecting stage 1, and so on.
+        *self.entry.lock() = None;
+        let mut threads = self.threads.lock();
+        for t in threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}

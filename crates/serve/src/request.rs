@@ -21,6 +21,9 @@ pub enum RejectReason {
     Expired { waited_ms: f64, deadline_ms: f64 },
     /// The monitor had no estimates yet (server still warming up).
     NotReady,
+    /// A pipeline stage's device died with this request in flight and the
+    /// remaining budget could not cover the coordinator rescue.
+    StageDead { stage: usize, dev: usize },
     /// The server is shutting down and no longer accepts work.
     Shutdown,
 }
@@ -36,6 +39,9 @@ impl std::fmt::Display for RejectReason {
                 write!(f, "expired in queue: waited {waited_ms:.0} of {deadline_ms:.0} ms")
             }
             RejectReason::NotReady => write!(f, "monitor not ready"),
+            RejectReason::StageDead { stage, dev } => {
+                write!(f, "pipeline stage {stage} lost device {dev} mid-flight")
+            }
             RejectReason::Shutdown => write!(f, "server shutting down"),
         }
     }

@@ -22,6 +22,7 @@
 //! workers really are occupied for the (scaled) service time.
 
 use crate::class::{ClassKind, ClassSpec};
+use crate::pipeline::{PipelineRig, PipelineSnapshot};
 use crate::queue::{ClassQueues, Offer, Pending, Take};
 use crate::request::{Completion, RejectReason, Rejection, ServeOutcome};
 use murmuration_core::SharedRuntime;
@@ -65,6 +66,12 @@ impl EnvModel {
     pub fn network_at(&self, t_ms: f64) -> NetworkState {
         NetworkState::uniform(self.n_remote, self.net.sample(t_ms))
     }
+
+    /// Ground-truth brownout factor of `dev` at `t_ms` (1.0 when no fleet
+    /// trace is attached; infinite when the trace has the device down).
+    pub(crate) fn fleet_slow_factor(&self, dev: usize, t_ms: f64) -> f64 {
+        self.fleet.as_ref().map_or(1.0, |f| f.slow_factor(dev, t_ms))
+    }
 }
 
 /// Serving-layer knobs. Start from [`engineered`](ServeConfig::engineered)
@@ -101,6 +108,9 @@ pub struct ServeConfig {
     /// completely idle, skipping the queue handoff (the common-case fast
     /// path; only [`submit_wait`](ServeHandle::submit_wait) uses it).
     pub inline_when_idle: bool,
+    /// Entry-queue depth of the stage-parallel pipeline (throughput-mode
+    /// classes). Inter-stage queues stay batch-sized regardless.
+    pub pipeline_queue_cap: usize,
     /// Seed for the control thread's monitoring-noise stream.
     pub base_seed: u64,
 }
@@ -121,6 +131,7 @@ impl ServeConfig {
             tick_interval_ms: 100.0,
             fifo: false,
             inline_when_idle: true,
+            pipeline_queue_cap: 64,
             base_seed: 17,
         }
     }
@@ -173,21 +184,44 @@ impl Clock {
 
 /// Monotonic counters, exported via [`ServeHandle::stats`]. Conservation
 /// invariant: `completed + rejected == submitted` once the server has shut
-/// down (every submitted request resolves exactly once).
+/// down (every submitted request resolves exactly once). Shared between
+/// the batched worker path and the pipeline rig so the invariant covers
+/// both execution modes.
 #[derive(Default)]
-struct Counters {
-    submitted: AtomicU64,
-    completed: AtomicU64,
-    rejected: AtomicU64,
-    queue_full: AtomicU64,
-    deadline_unmeetable: AtomicU64,
-    expired: AtomicU64,
-    not_ready: AtomicU64,
-    shutdown_rejects: AtomicU64,
-    batches: AtomicU64,
-    batched_requests: AtomicU64,
-    max_batch_seen: AtomicU64,
-    degraded_served: AtomicU64,
+pub(crate) struct Counters {
+    pub(crate) submitted: AtomicU64,
+    pub(crate) completed: AtomicU64,
+    pub(crate) rejected: AtomicU64,
+    pub(crate) queue_full: AtomicU64,
+    pub(crate) deadline_unmeetable: AtomicU64,
+    pub(crate) expired: AtomicU64,
+    pub(crate) not_ready: AtomicU64,
+    pub(crate) stage_dead: AtomicU64,
+    pub(crate) shutdown_rejects: AtomicU64,
+    pub(crate) batches: AtomicU64,
+    pub(crate) batched_requests: AtomicU64,
+    pub(crate) max_batch_seen: AtomicU64,
+    pub(crate) degraded_served: AtomicU64,
+    pub(crate) pipeline_submitted: AtomicU64,
+    pub(crate) pipeline_completed: AtomicU64,
+    pub(crate) pipeline_requeued: AtomicU64,
+}
+
+impl Counters {
+    /// Books one rejection: the aggregate counter plus the per-reason
+    /// breakdown.
+    pub(crate) fn note_reject(&self, reason: &RejectReason) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+        let ctr = match reason {
+            RejectReason::QueueFull { .. } => &self.queue_full,
+            RejectReason::DeadlineUnmeetable { .. } => &self.deadline_unmeetable,
+            RejectReason::Expired { .. } => &self.expired,
+            RejectReason::NotReady => &self.not_ready,
+            RejectReason::StageDead { .. } => &self.stage_dead,
+            RejectReason::Shutdown => &self.shutdown_rejects,
+        };
+        ctr.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 /// A point-in-time snapshot of the server's counters.
@@ -200,6 +234,9 @@ pub struct ServeStats {
     pub deadline_unmeetable: u64,
     pub expired: u64,
     pub not_ready: u64,
+    /// Requests rejected because a pipeline stage's device died with them
+    /// in flight and the rescue could not meet their deadline.
+    pub stage_dead: u64,
     pub shutdown_rejects: u64,
     /// Dispatched batches (a batch of one still counts).
     pub batches: u64,
@@ -216,6 +253,13 @@ pub struct ServeStats {
     pub gray_quarantines: u64,
     /// Devices readmitted after a canary pass.
     pub gray_readmissions: u64,
+    /// Requests routed through the stage-parallel pipeline.
+    pub pipeline_submitted: u64,
+    /// Pipeline requests that completed (subset of `completed`).
+    pub pipeline_completed: u64,
+    /// Pipeline requests rescued onto the coordinator after a stage
+    /// device died mid-flight.
+    pub pipeline_requeued: u64,
 }
 
 impl ServeStats {
@@ -248,7 +292,10 @@ struct ServerCore {
     ewma_base_bits: Vec<AtomicU64>,
     /// Stops the control thread (workers stop via queue shutdown).
     stop: AtomicBool,
-    counters: Counters,
+    counters: Arc<Counters>,
+    /// The stage-parallel pipeline for throughput-mode classes, when any
+    /// class opted in and a pipeline placement was found at boot.
+    rig: Option<PipelineRig>,
 }
 
 impl ServerCore {
@@ -274,15 +321,7 @@ impl ServerCore {
     }
 
     fn reject(&self, id: u64, class: usize, reason: RejectReason) -> Rejection {
-        self.counters.rejected.fetch_add(1, Ordering::Relaxed);
-        let ctr = match reason {
-            RejectReason::QueueFull { .. } => &self.counters.queue_full,
-            RejectReason::DeadlineUnmeetable { .. } => &self.counters.deadline_unmeetable,
-            RejectReason::Expired { .. } => &self.counters.expired,
-            RejectReason::NotReady => &self.counters.not_ready,
-            RejectReason::Shutdown => &self.counters.shutdown_rejects,
-        };
-        ctr.fetch_add(1, Ordering::Relaxed);
+        self.counters.note_reject(&reason);
         Rejection { id, class, reason, t_ms: self.clock.now_ms() }
     }
 
@@ -491,6 +530,31 @@ impl ServeHandle {
         let capacities = cfg.classes.iter().map(|c| c.queue_capacity).collect();
         let queues = ClassQueues::new(capacities, cfg.fifo);
         let n_classes_atomics = cfg.classes.iter().map(|_| AtomicU64::new(0)).collect();
+        let counters = Arc::new(Counters::default());
+        // Boot the stage-parallel pipeline when a class opted into
+        // throughput mode and the planner finds a placement. On `None`
+        // (planner infeasible) pipeline classes fall back to the batched
+        // path — slower, never wrong.
+        let rig = cfg
+            .classes
+            .iter()
+            .find(|c| c.pipeline)
+            .and_then(|c| rt.pipeline_decide(c.slo(), &env.network_at(0.0)))
+            .map(|deploy| {
+                PipelineRig::start(
+                    Arc::clone(&rt),
+                    deploy,
+                    clock.clone(),
+                    env.clone(),
+                    cfg.classes.clone(),
+                    cfg.max_batch,
+                    cfg.batch_marginal,
+                    cfg.service_sleep,
+                    cfg.admission,
+                    cfg.pipeline_queue_cap,
+                    Arc::clone(&counters),
+                )
+            });
         let core = Arc::new(ServerCore {
             rt,
             env,
@@ -502,7 +566,8 @@ impl ServeHandle {
             ewma_service_bits: AtomicU64::new(0),
             ewma_base_bits: n_classes_atomics,
             stop: AtomicBool::new(false),
-            counters: Counters::default(),
+            counters,
+            rig,
         });
         let workers = (0..core.cfg.n_workers)
             .map(|i| {
@@ -543,6 +608,15 @@ impl ServeHandle {
         let id = core.next_id.fetch_add(1, Ordering::Relaxed);
         core.counters.submitted.fetch_add(1, Ordering::Relaxed);
         let (tx, rx) = channel();
+        // Throughput-mode classes stream through the pipeline rig (its
+        // own admission + bounded entry queue); everything else takes the
+        // batched worker path below.
+        if core.cfg.classes[class].pipeline {
+            if let Some(rig) = &core.rig {
+                rig.submit(id, class, tx);
+                return rx;
+            }
+        }
         if let Err(reason) = core.admit(class) {
             let r = core.reject(id, class, reason);
             let _ = tx.send(ServeOutcome::Rejected(r));
@@ -576,6 +650,7 @@ impl ServeHandle {
     pub fn submit_wait(&self, class: usize) -> ServeOutcome {
         let core = &self.core;
         if core.cfg.inline_when_idle
+            && !core.cfg.classes[class].pipeline
             && core.queues.is_empty()
             && core.in_flight.load(Ordering::Relaxed) == 0
         {
@@ -660,12 +735,22 @@ impl ServeHandle {
             deadline_unmeetable: c.deadline_unmeetable.load(Ordering::Relaxed),
             expired: c.expired.load(Ordering::Relaxed),
             not_ready: c.not_ready.load(Ordering::Relaxed),
+            stage_dead: c.stage_dead.load(Ordering::Relaxed),
             shutdown_rejects: c.shutdown_rejects.load(Ordering::Relaxed),
             batches: c.batches.load(Ordering::Relaxed),
             batched_requests: c.batched_requests.load(Ordering::Relaxed),
             max_batch_seen: c.max_batch_seen.load(Ordering::Relaxed),
             degraded_served: c.degraded_served.load(Ordering::Relaxed),
+            pipeline_submitted: c.pipeline_submitted.load(Ordering::Relaxed),
+            pipeline_completed: c.pipeline_completed.load(Ordering::Relaxed),
+            pipeline_requeued: c.pipeline_requeued.load(Ordering::Relaxed),
         }
+    }
+
+    /// Per-stage occupancy/utilization of the pipeline rig, when the
+    /// server is running one (a throughput-mode class + feasible plan).
+    pub fn pipeline_stats(&self) -> Option<PipelineSnapshot> {
+        self.core.rig.as_ref().map(|r| r.snapshot())
     }
 
     /// Per-device graded gray-health states (pass-through to the runtime's
@@ -722,6 +807,12 @@ impl ServeHandle {
 
     fn shutdown_inner(&mut self) {
         self.core.queues.shutdown();
+        // Drain the pipeline before joining workers: every accepted
+        // pipeline job resolves (conservation), new ones get a typed
+        // shutdown rejection.
+        if let Some(rig) = &self.core.rig {
+            rig.shutdown();
+        }
         self.core.stop.store(true, Ordering::Relaxed);
         for w in self.workers.drain(..) {
             let _ = w.join();

@@ -101,7 +101,15 @@ impl Dedup {
     /// Evicts oldest *completed* entries beyond capacity. Pending entries
     /// are never evicted (their count is bounded by the client's in-flight
     /// window).
+    ///
+    /// Eviction is FIFO from the order front, but it must not stop at a
+    /// long-lived `Pending` head: a single stuck entry would otherwise
+    /// pin every completed body queued behind it and the map would grow
+    /// without bound for the life of the session. Past the capacity
+    /// high-watermark, the sweep walks the whole order and drops the
+    /// oldest `Done` entries wherever they sit.
     fn evict(&mut self) {
+        // Fast path: completed entries right at the front pop cheaply.
         while self.map.len() > self.cap {
             let Some(key) = self.order.front().copied() else { break };
             match self.map.get(&key) {
@@ -111,6 +119,22 @@ impl Dedup {
                 }
                 Some(Entry::Pending { .. } | Entry::Cancelled { .. }) => break,
             }
+        }
+        // High-watermark sweep: still over capacity means an in-flight
+        // entry heads the queue — skip past it, evicting old `Done`
+        // bodies anywhere, keeping live entries in delivery order.
+        if self.map.len() > self.cap {
+            let mut kept = VecDeque::with_capacity(self.order.len());
+            for key in std::mem::take(&mut self.order) {
+                match self.map.get(&key) {
+                    Some(Entry::Done { .. }) if self.map.len() > self.cap => {
+                        self.map.remove(&key);
+                    }
+                    None => {} // stale order key; drop it
+                    Some(_) => kept.push_back(key),
+                }
+            }
+            self.order = kept;
         }
     }
 }
@@ -211,6 +235,13 @@ impl WorkerServer {
     }
 
     /// Jobs dropped unrun because a cancel arrived while they were queued.
+    /// Current dedup-map population (pending + cached bodies). Bounded by
+    /// `dedup_capacity` plus the in-flight window; exposed so tests can
+    /// assert the bound over long request streams.
+    pub fn dedup_len(&self) -> usize {
+        lock(&self.shared.dedup).map.len()
+    }
+
     pub fn cancelled(&self) -> u64 {
         self.shared.cancelled.load(Ordering::SeqCst)
     }
@@ -414,8 +445,12 @@ fn handle_request(
                 // typed error, cached like any other completion.
                 let body: Body = Err(format!("request frame: {e}"));
                 let resp = encode_response(req_id, &body, false);
-                if let Some(entry) = lock(&shared.dedup).map.get_mut(&key) {
-                    *entry = Entry::Done { body };
+                {
+                    let mut d = lock(&shared.dedup);
+                    if let Some(entry) = d.map.get_mut(&key) {
+                        *entry = Entry::Done { body };
+                    }
+                    d.evict();
                 }
                 write_route(route, &resp);
             }
@@ -448,6 +483,7 @@ fn compute_loop(shared: &Arc<Shared>, work_rx: &Receiver<WorkItem>) {
                     let body: Body = Err("cancelled".to_owned());
                     let resp = encode_response(item.key.1, &body, false);
                     d.map.insert(item.key, Entry::Done { body });
+                    d.evict();
                     shared.cancelled.fetch_add(1, Ordering::SeqCst);
                     Some((route, resp))
                 } else {
@@ -501,8 +537,119 @@ fn compute_loop(shared: &Arc<Shared>, work_rx: &Receiver<WorkItem>) {
             };
             let resp = encode_response(item.key.1, &body, resent);
             *entry = Entry::Done { body };
+            d.evict();
             (route, resp)
         };
         write_route(&route, &resp);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::{TcpTransport, TcpTransportConfig};
+    use murmuration_core::transport::{Transport, TransportJob};
+    use murmuration_tensor::Shape;
+
+    /// An inert write half: routes are only written on response, and
+    /// nobody reads the other end.
+    fn test_route() -> Route {
+        let l = TcpListener::bind("127.0.0.1:0").unwrap();
+        let s = TcpStream::connect(l.local_addr().unwrap()).unwrap();
+        Arc::new(Mutex::new(s))
+    }
+
+    /// Regression: a single long-lived `Pending` at the FIFO front must
+    /// not pin completed bodies behind it. The old evictor stopped at the
+    /// first in-flight head, so a 10k-request stream grew the map to 10k
+    /// entries; the high-watermark sweep keeps it at capacity (+ the one
+    /// stuck entry).
+    #[test]
+    fn dedup_sweep_bounds_map_behind_stuck_pending() {
+        let cap = 64;
+        let mut d = Dedup { map: HashMap::new(), order: VecDeque::new(), cap };
+        let route = test_route();
+        // Request 0 never completes (its worker compute is stuck).
+        d.map.insert((1, 0), Entry::Pending { route: Arc::clone(&route), resent: false });
+        d.order.push_back((1, 0));
+        for i in 1..=10_000u64 {
+            let key = (1, i);
+            // Delivery: insert Pending + insert-time eviction, exactly as
+            // `handle_request` does.
+            d.map.insert(key, Entry::Pending { route: Arc::clone(&route), resent: false });
+            d.order.push_back(key);
+            d.evict();
+            // Completion: body cached + completion-time eviction, as the
+            // compute loop does.
+            if let Some(e) = d.map.get_mut(&key) {
+                *e = Entry::Done { body: Ok(Vec::new()) };
+            }
+            d.evict();
+            assert!(
+                d.map.len() <= cap + 1,
+                "dedup map must stay bounded behind a stuck head: {} entries at request {i}",
+                d.map.len()
+            );
+            assert_eq!(d.map.len(), d.order.len(), "order deque must track the map");
+        }
+        // The stuck entry survived the sweeps, still pending.
+        assert!(matches!(d.map.get(&(1, 0)), Some(Entry::Pending { .. })));
+        // The freshest completed bodies are the ones retained.
+        assert!(matches!(d.map.get(&(1, 10_000)), Some(Entry::Done { .. })));
+    }
+
+    struct EchoCompute;
+    impl UnitCompute for EchoCompute {
+        fn n_units(&self) -> usize {
+            1
+        }
+        fn run_unit(&self, _unit: usize, input: &Tensor) -> Tensor {
+            input.clone()
+        }
+    }
+
+    /// End-to-end bound: a sustained request stream over the real wire
+    /// path keeps the worker's dedup map at its configured capacity.
+    #[test]
+    fn worker_dedup_stays_bounded_over_stream() {
+        let cap = 128;
+        let mut srv = WorkerServer::bind(
+            "127.0.0.1:0",
+            Arc::new(EchoCompute),
+            WorkerConfig { dedup_capacity: cap, ..WorkerConfig::default() },
+        )
+        .unwrap();
+        let transport =
+            TcpTransport::connect(&[srv.local_addr().to_string()], TcpTransportConfig::default());
+        assert!(transport.wait_connected(Duration::from_secs(10)));
+        let input = Arc::new(Tensor::zeros(Shape::nchw(1, 1, 2, 2)));
+        let (reply_tx, reply_rx) = unbounded();
+        for i in 0..2_000usize {
+            transport
+                .submit(
+                    0,
+                    TransportJob {
+                        unit: 0,
+                        input: Arc::clone(&input),
+                        quant: BitWidth::B32,
+                        cross_boundary: false,
+                        tag: i,
+                        attempt: 1,
+                        deadline: Some(Duration::from_secs(10)),
+                    },
+                    reply_tx.clone(),
+                )
+                .unwrap();
+            let reply = reply_rx.recv_timeout(Duration::from_secs(10)).unwrap();
+            assert_eq!(reply.tag, i);
+            assert!(reply.result.is_ok());
+            assert!(
+                srv.dedup_len() <= cap + 1,
+                "dedup map exceeded its bound mid-stream: {}",
+                srv.dedup_len()
+            );
+        }
+        drop(transport);
+        srv.stop();
     }
 }

@@ -28,6 +28,10 @@ echo "==> serving-layer tests (bounded: the serve loop must never hang)"
 timeout 300 cargo test -q --test serve_loop --test serve_chaos
 timeout 300 cargo test -q -p murmuration-serve
 
+echo "==> pipeline chaos + worker dedup tests (bounded: streams must drain, maps must stay bounded)"
+timeout 300 cargo test -q -p murmuration-serve --test pipeline_chaos
+timeout 300 cargo test -q -p murmuration-transport dedup
+
 echo "==> socket chaos tests (bounded: the coordinator must never hang on a bad link)"
 timeout 300 cargo test -q --test transport_chaos --test transport_parity
 
@@ -47,7 +51,8 @@ for f in crates/core/src/executor.rs crates/core/src/wire.rs \
          crates/core/src/gossip.rs \
          crates/tensor/src/simd.rs crates/tensor/src/int8.rs \
          crates/nn/src/layers/quantized.rs \
-         crates/transport/src/lib.rs; do
+         crates/transport/src/lib.rs \
+         crates/partition/src/pipeline.rs; do
     if ! grep -q 'deny(clippy::unwrap_used, clippy::expect_used)' "$f"; then
         echo "error: $f lost its unwrap/expect lint gate" >&2
         exit 1
@@ -61,6 +66,10 @@ if ! grep -q 'deny(clippy::unwrap_used, clippy::expect_used)' crates/serve/src/l
 fi
 if ! grep -q 'pub mod failover;' crates/serve/src/lib.rs; then
     echo "error: crates/serve/src/failover.rs left the crate-wide lint gate" >&2
+    exit 1
+fi
+if ! grep -q 'pub mod pipeline;' crates/serve/src/lib.rs; then
+    echo "error: crates/serve/src/pipeline.rs left the crate-wide lint gate" >&2
     exit 1
 fi
 
@@ -87,14 +96,19 @@ done
 
 # Perf gates measure single-digit-percent overheads on whatever box CI
 # happens to run on; a background noise burst during one bench reads as
-# a phantom regression. One retry after a cool-down separates "this
-# commit regressed" (fails twice) from "the box hiccupped" (passes on
-# the quiet rerun).
+# a phantom regression. Up to two retries with growing cool-downs
+# separate "this commit regressed" (fails all three) from "the box
+# hiccupped" (passes on a quiet rerun) — noise bursts on a loaded box
+# routinely outlive a single 5 s pause.
 perf_gate() {
     if ! timeout 300 "$1"; then
         echo "    (perf gate failed once; retrying after a cool-down)"
         sleep 5
-        timeout 300 "$1"
+        if ! timeout 300 "$1"; then
+            echo "    (perf gate failed twice; final retry after a longer cool-down)"
+            sleep 15
+            timeout 300 "$1"
+        fi
     fi
 }
 
@@ -121,5 +135,9 @@ perf_gate ./target/release/bench_kernels
 echo "==> failover benchmark gates (gossip overhead <= 5%, goodput recovery >= 0.8x, conservation)"
 cargo build --release -q -p murmuration-bench --bin bench_failover
 perf_gate ./target/release/bench_failover
+
+echo "==> pipeline benchmark gate (stage-parallel goodput >= 2x non-pipelined, conservation)"
+cargo build --release -q -p murmuration-bench --bin bench_pipeline
+MURMURATION_BENCH_MS=120000 perf_gate ./target/release/bench_pipeline
 
 echo "All checks passed."
