@@ -49,6 +49,11 @@ impl Args {
         self.flags.get(key).map(String::as_str).unwrap_or(default)
     }
 
+    /// Optional string flag (`None` when absent).
+    pub fn flag(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(String::as_str)
+    }
+
     /// Required string flag.
     pub fn require(&self, key: &str) -> Result<&str, ArgError> {
         self.flags

@@ -58,6 +58,7 @@ fn run(argv: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         "serve" => cmd_serve(&args),
         "loadtest" => cmd_loadtest(&args),
         "failover" => cmd_failover(&args),
+        "campaign" => cmd_campaign(&args),
         "worker" => remote::cmd_worker(&args),
         "exec" => remote::cmd_exec(&args),
         "help" | "--help" | "-h" => {
@@ -106,6 +107,13 @@ fn print_help() {
                      --die-at-req K (N/2; usize::MAX = never)  --seed S (0)\n\
                      (kills the primary mid-load; the standby promotes via\n\
                       gossip and the cluster conserves every request)\n\
+           campaign  Replay chaos scenarios against a serving-config grid.\n\
+                     --list true  (print the built-in scenario matrix and exit)\n\
+                     --scenario NAME (one built-in scenario; default: all)\n\
+                     --grid smoke|full (smoke)  --seed S (42)\n\
+                     --out FILE (results/CAMPAIGN_cli.json)\n\
+                     (deterministic virtual-time replay; emits per-scenario\n\
+                      latency/accuracy/goodput Pareto fronts + robustness counters)\n\
            worker    Host one device's compute behind a TCP listener.\n\
                      --listen ADDR (e.g. 127.0.0.1:7070; port 0 = pick free)\n\
                      --dev D (0)  --units N (3)  --layers L (2)  --channels C (4)\n\
@@ -613,5 +621,83 @@ fn cmd_loadtest(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         "conservation: {} submitted = {} completed + {} rejected",
         stats.submitted, stats.completed, stats.rejected
     );
+    Ok(())
+}
+
+fn cmd_campaign(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    use murmuration_edgesim::scenario::{builtin_by_name, builtin_matrix};
+    use murmuration_serve::campaign::{
+        full_grid, run_scenario, smoke_grid, CampaignConfig, CampaignResult,
+    };
+
+    let specs = builtin_matrix();
+    if args.get_or("list", "false") == "true" {
+        println!("built-in scenario matrix ({} scenarios):", specs.len());
+        for s in &specs {
+            println!(
+                "  {:<28} {:>7.0} ms, {} device(s)",
+                s.name,
+                s.duration_ms,
+                s.fleet.n_devices()
+            );
+        }
+        return Ok(());
+    }
+
+    let grid = match args.get_or("grid", "smoke") {
+        "smoke" => smoke_grid(),
+        "full" => full_grid(),
+        other => return Err(Box::new(ArgError(format!("--grid: unknown `{other}`")))),
+    };
+    let selected = match args.flag("scenario") {
+        Some(name) => {
+            vec![builtin_by_name(name).ok_or_else(|| {
+                ArgError(format!(
+                    "--scenario: no built-in scenario named `{name}` (try --list true)"
+                ))
+            })?]
+        }
+        None => specs,
+    };
+    let cfg = CampaignConfig {
+        master_seed: args.get_parsed_or("seed", 42u64)?,
+        ..CampaignConfig::default()
+    };
+
+    println!(
+        "campaign: {} scenario(s) x {} cells, seed {}",
+        selected.len(),
+        grid.len(),
+        cfg.master_seed
+    );
+    let mut scenarios = Vec::new();
+    for spec in &selected {
+        let r = run_scenario(spec, &grid, &cfg);
+        println!("\n=== {} (offered {}) ===", r.name, r.offered);
+        println!(
+            "  {:<28} {:>9} {:>9} {:>9} {:>8} {:>9} {:>6}",
+            "cell", "p50 ms", "p95 ms", "acc %", "goodput", "slo-att", "front"
+        );
+        for c in &r.cells {
+            println!(
+                "  {:<28} {:>9.1} {:>9.1} {:>9.1} {:>8.2} {:>9.3} {:>6}",
+                c.cell.label(),
+                c.p50_ms,
+                c.p95_ms,
+                c.accuracy_pct,
+                c.goodput_rps,
+                c.slo_attainment,
+                if c.on_front { "*" } else { "" }
+            );
+        }
+        scenarios.push(r);
+    }
+    let result = CampaignResult { master_seed: cfg.master_seed, scenarios };
+    let out = args.get_or("out", "results/CAMPAIGN_cli.json").to_string();
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(&out, result.to_json())?;
+    println!("\nwrote {out}");
     Ok(())
 }

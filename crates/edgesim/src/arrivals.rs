@@ -34,6 +34,11 @@ pub enum RateShape {
     Ramp { from_rps: f64, to_rps: f64 },
     /// Piecewise-constant steps: `(start_ms, rps)`, time-sorted from 0.
     Steps(Vec<(f64, f64)>),
+    /// A diurnal cycle: raised-cosine oscillation between `base_rps`
+    /// (trough) and `peak_rps` (crest) with period `period_ms`, starting
+    /// at the trough — the daily traffic curve every edge deployment
+    /// rides.
+    Diurnal { base_rps: f64, peak_rps: f64, period_ms: f64 },
 }
 
 impl RateShape {
@@ -56,15 +61,20 @@ impl RateShape {
                 }
                 cur
             }
+            RateShape::Diurnal { base_rps, peak_rps, period_ms } => {
+                let phase = t_ms / period_ms * std::f64::consts::TAU;
+                base_rps + (peak_rps - base_rps) * 0.5 * (1.0 - phase.cos())
+            }
         }
     }
 
     /// Peak rate over the trace (the thinning envelope).
-    fn max_rate(&self) -> f64 {
+    pub fn max_rate(&self) -> f64 {
         match self {
             RateShape::Constant(r) => *r,
             RateShape::Ramp { from_rps, to_rps } => from_rps.max(*to_rps),
             RateShape::Steps(steps) => steps.iter().map(|s| s.1).fold(0.0, f64::max),
+            RateShape::Diurnal { base_rps, peak_rps, .. } => base_rps.max(*peak_rps),
         }
     }
 }
@@ -102,6 +112,42 @@ impl ArrivalTrace {
             }
         }
         ArrivalTrace { arrivals }
+    }
+
+    /// A flash crowd: baseline Poisson traffic at `base_rps` with one
+    /// step-surge window of `surge_ms` at `surge_mult`× the baseline,
+    /// whose start is drawn (seeded) uniformly from the middle of the
+    /// trace — the "everyone opens the app at once" event whose timing
+    /// the server cannot predict but the experiment can replay.
+    ///
+    /// The surge window placement and the arrival process both derive
+    /// from `seed`, so the whole trace is deterministic in it.
+    pub fn flash_crowd(
+        duration_ms: f64,
+        base_rps: f64,
+        surge_mult: f64,
+        surge_ms: f64,
+        class_weights: &[f64],
+        seed: u64,
+    ) -> Self {
+        assert!(duration_ms > 0.0 && base_rps > 0.0, "need positive duration and base rate");
+        assert!(surge_mult >= 1.0, "a flash crowd must not shrink traffic");
+        assert!(
+            surge_ms > 0.0 && surge_ms < 0.8 * duration_ms,
+            "surge window must fit inside the trace"
+        );
+        // Keep the window strictly inside (0, duration): the Steps shape
+        // requires a strictly increasing boundary list starting at 0.
+        let lo = 0.1 * duration_ms;
+        let hi = (duration_ms - surge_ms).max(lo + 1.0);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xf1a5_4c20_3d00_0001);
+        let start = rng.gen_range(lo..hi);
+        let shape = RateShape::Steps(vec![
+            (0.0, base_rps),
+            (start, base_rps * surge_mult),
+            (start + surge_ms, base_rps),
+        ]);
+        ArrivalTrace::poisson(duration_ms, &shape, class_weights, seed)
     }
 
     /// Deterministic periodic arrivals at a constant rate — the zero-jitter
@@ -229,6 +275,58 @@ mod tests {
         let front = t.arrivals().iter().filter(|a| a.t_ms < 5_000.0).count();
         let back = t.len() - front;
         assert!(back > front * 3, "step-up must dominate: {front} vs {back}");
+    }
+
+    #[test]
+    fn diurnal_peaks_mid_period_and_troughs_at_edges() {
+        let shape = RateShape::Diurnal { base_rps: 10.0, peak_rps: 50.0, period_ms: 10_000.0 };
+        assert!((shape.rate_at(0.0, 10_000.0) - 10.0).abs() < 1e-9);
+        assert!((shape.rate_at(5_000.0, 10_000.0) - 50.0).abs() < 1e-9);
+        assert!((shape.rate_at(10_000.0, 10_000.0) - 10.0).abs() < 1e-9);
+        assert_eq!(shape.max_rate(), 50.0);
+        let t = ArrivalTrace::poisson(10_000.0, &shape, &[1.0], 9);
+        let mid = t.arrivals().iter().filter(|a| (2_500.0..7_500.0).contains(&a.t_ms)).count();
+        let edges = t.len() - mid;
+        assert!(mid > edges, "the crest half must carry more load: {mid} vs {edges}");
+    }
+
+    #[test]
+    fn flash_crowd_count_respects_the_thinning_bound() {
+        // 10 s at base 20 rps with a 2 s window at 5× → expected count
+        // E = 20·8 + 100·2 = 360; the thinning envelope caps the count at
+        // the homogeneous peak-rate process (100 rps × 10 s = 1000).
+        let t = ArrivalTrace::flash_crowd(10_000.0, 20.0, 5.0, 2_000.0, &[1.0], 17);
+        let envelope = 100.0 * 10.0; // peak_rps × duration_s
+        assert!((t.len() as f64) < envelope, "thinning can never exceed the envelope");
+        assert!(
+            (t.len() as f64 - 360.0).abs() < 100.0,
+            "count should track the integrated rate, got {}",
+            t.len()
+        );
+    }
+
+    #[test]
+    fn flash_crowd_surge_window_is_denser_than_baseline() {
+        let t = ArrivalTrace::flash_crowd(10_000.0, 20.0, 6.0, 2_000.0, &[1.0], 4);
+        // Find the densest 2 s window by sliding over arrivals; its rate
+        // must be several times the trace-wide baseline.
+        let arr = t.arrivals();
+        let mut densest = 0usize;
+        for (i, a) in arr.iter().enumerate() {
+            let count = arr[i..].iter().take_while(|b| b.t_ms < a.t_ms + 2_000.0).count();
+            densest = densest.max(count);
+        }
+        let surge_rps = densest as f64 / 2.0;
+        assert!(surge_rps > 60.0, "surge window must run hot, got {surge_rps:.1} rps");
+    }
+
+    #[test]
+    fn flash_crowd_is_deterministic_in_seed() {
+        let a = ArrivalTrace::flash_crowd(8_000.0, 15.0, 4.0, 1_500.0, &[1.0, 1.0], 3);
+        let b = ArrivalTrace::flash_crowd(8_000.0, 15.0, 4.0, 1_500.0, &[1.0, 1.0], 3);
+        assert_eq!(a.arrivals(), b.arrivals());
+        let c = ArrivalTrace::flash_crowd(8_000.0, 15.0, 4.0, 1_500.0, &[1.0, 1.0], 5);
+        assert_ne!(a.arrivals(), c.arrivals(), "different seeds move the surge");
     }
 
     #[test]

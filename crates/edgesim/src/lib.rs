@@ -23,6 +23,10 @@
 //!   [`FleetTrace`]) for fault-injection experiments.
 //! * [`arrivals`] — replayable request-arrival traces (open-loop Poisson,
 //!   rate ramps, mixed SLO classes) for sustained-load experiments.
+//! * [`scenario`] — the declarative chaos-scenario DSL: one seeded spec
+//!   composing fleet, traffic, churn, brownouts, partitions, slow links,
+//!   gossip chaos, and coordinator death, lowered onto the trace types
+//!   above so every scenario replays bit-for-bit.
 
 pub mod arrivals;
 pub mod des;
@@ -30,6 +34,7 @@ pub mod device;
 pub mod fault;
 pub mod monitor;
 pub mod net;
+pub mod scenario;
 pub mod tc;
 pub mod trace;
 
@@ -37,4 +42,8 @@ pub use arrivals::{Arrival, ArrivalTrace, RateShape};
 pub use device::{ComputeProfile, Device, DeviceId, DeviceKind};
 pub use fault::{DeviceStatus, DeviceTrace, FleetTrace, PartitionSchedule};
 pub use net::{LinkState, NetworkState};
+pub use scenario::{
+    builtin_by_name, builtin_matrix, ArrivalShape, BrownoutSpec, ChurnSpec, FleetKind, GossipChaos,
+    LoweredScenario, NetSpec, PartitionSpec, ScenarioSpec, SlowLinkSpec,
+};
 pub use tc::TrafficControl;

@@ -1,0 +1,665 @@
+//! Declarative chaos scenarios: one seeded spec that composes every
+//! dynamic-edge axis the repo can inject.
+//!
+//! Every chaos test used to hand-wire its own `FleetTrace` +
+//! `ArrivalTrace` + `NetworkTrace` combination; a [`ScenarioSpec`] names
+//! that combination declaratively instead. Each axis lowers onto the
+//! existing deterministic machinery:
+//!
+//! | spec axis | lowers onto |
+//! |---|---|
+//! | fleet kind/size | device count handed to the runtime scenario |
+//! | arrival shape + mix | [`ArrivalTrace`] (Poisson, thinned) |
+//! | device deaths / churn | [`DeviceTrace::Phases`] in a [`FleetTrace`] |
+//! | brownouts | [`DeviceTrace::Brownout`] |
+//! | slow links / walks | [`NetworkTrace::Steps`] / `random_walk` |
+//! | partitions | [`PartitionSchedule::split`] |
+//! | gossip drop/dup | probabilities for the transport `ChaosProxy` |
+//! | coordinator death | kill time consumed by failover harnesses |
+//!
+//! One master seed flows through [`ScenarioSpec::lower`]: every stochastic
+//! choice (arrival times, churn phase lengths, surge placement, network
+//! walks) derives a sub-seed from `(master_seed, scenario name, axis)` via
+//! FNV-1a, so a scenario replays bit-for-bit from `(name, seed)` alone.
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use crate::arrivals::{ArrivalTrace, RateShape};
+use crate::fault::{DeviceStatus, DeviceTrace, FleetTrace, PartitionSchedule};
+use crate::net::LinkState;
+use crate::trace::NetworkTrace;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Which device fleet the scenario runs on. Mirrors the runtime's three
+/// evaluation scenarios; the variant fixes the device count and
+/// heterogeneity profile.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FleetKind {
+    /// The paper's augmented-computing pair: one weak local device plus
+    /// one strong remote (2 devices).
+    Augmented,
+    /// A heterogeneous 4-device fleet: Pi local, two Jetson-class, one
+    /// desktop GPU.
+    Hetero,
+    /// A swarm of `n` identical Raspberry Pi 4s.
+    Swarm(usize),
+}
+
+impl FleetKind {
+    /// Number of devices in the fleet (device 0 is the coordinator).
+    pub fn n_devices(&self) -> usize {
+        match self {
+            FleetKind::Augmented => 2,
+            FleetKind::Hetero => 4,
+            FleetKind::Swarm(n) => *n,
+        }
+    }
+}
+
+/// Offered-load shape, in spec form. Lowered onto [`RateShape`] /
+/// [`ArrivalTrace`] constructors by [`ScenarioSpec::lower`].
+#[derive(Clone, Debug)]
+pub enum ArrivalShape {
+    /// Constant `rps`.
+    Constant { rps: f64 },
+    /// Linear ramp `from_rps → to_rps` over the scenario duration.
+    Ramp { from_rps: f64, to_rps: f64 },
+    /// Periodic square-wave bursts: `base_rps` with windows of
+    /// `burst_rps` lasting `burst_ms` every `period_ms`.
+    Burst { base_rps: f64, burst_rps: f64, period_ms: f64, burst_ms: f64 },
+    /// Raised-cosine diurnal cycle between `base_rps` and `peak_rps`.
+    Diurnal { base_rps: f64, peak_rps: f64, period_ms: f64 },
+    /// Baseline plus one seeded step-surge window at `surge_mult`×.
+    FlashCrowd { base_rps: f64, surge_mult: f64, surge_ms: f64 },
+}
+
+/// Alternating up/down churn for a set of devices: exponential up-times
+/// with mean `mean_up_ms`, exponential down-times with mean
+/// `mean_down_ms`, phase boundaries drawn from the scenario seed.
+#[derive(Clone, Debug)]
+pub struct ChurnSpec {
+    pub devices: Vec<usize>,
+    pub mean_up_ms: f64,
+    pub mean_down_ms: f64,
+}
+
+/// One device browning out: compute slows toward `factor`× over
+/// `ramp_ms` starting at `start_ms` (the gray failure crash detectors
+/// never see).
+#[derive(Clone, Copy, Debug)]
+pub struct BrownoutSpec {
+    pub device: usize,
+    pub start_ms: f64,
+    pub factor: f64,
+    pub ramp_ms: f64,
+}
+
+/// A degraded-link window: from `start_ms` the shared link runs at
+/// `bw_factor`× bandwidth and `delay_factor`× delay, healing at
+/// `heal_ms` (or never, when `None`).
+#[derive(Clone, Copy, Debug)]
+pub struct SlowLinkSpec {
+    pub start_ms: f64,
+    pub heal_ms: Option<f64>,
+    pub bw_factor: f64,
+    pub delay_factor: f64,
+}
+
+/// Network conditions: a base link, optionally perturbed by a seeded
+/// bounded random walk or a scheduled slow-link window (mutually
+/// exclusive — a walk's sample grid cannot also honor step boundaries).
+#[derive(Clone, Debug)]
+pub struct NetSpec {
+    pub base: LinkState,
+    /// Seeded bounded random walk around `base` (clamped to [½, 2]×,
+    /// 500 ms period).
+    pub walk: bool,
+    pub slow_link: Option<SlowLinkSpec>,
+}
+
+impl NetSpec {
+    /// A clean constant link.
+    pub fn constant(base: LinkState) -> Self {
+        NetSpec { base, walk: false, slow_link: None }
+    }
+}
+
+/// A two-sided network partition over `[start_ms, heal_ms)`; node
+/// indices refer to fleet devices (0 = coordinator).
+#[derive(Clone, Debug)]
+pub struct PartitionSpec {
+    pub start_ms: f64,
+    pub heal_ms: f64,
+    pub left: Vec<usize>,
+    pub right: Vec<usize>,
+}
+
+/// Gossip-plane message chaos, consumed by the transport `ChaosProxy`
+/// and by failover detection-delay models.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GossipChaos {
+    /// Probability a gossip frame is dropped.
+    pub drop_prob: f64,
+    /// Probability a gossip frame is duplicated.
+    pub dup_prob: f64,
+}
+
+/// One declarative chaos scenario: every dynamic-edge axis the repo can
+/// inject, composed, named, and replayable bit-for-bit from
+/// `(name, master_seed)`.
+#[derive(Clone, Debug)]
+pub struct ScenarioSpec {
+    /// Unique name — the replay key and the campaign-report key.
+    pub name: String,
+    pub fleet: FleetKind,
+    /// Virtual duration of the load window (ms).
+    pub duration_ms: f64,
+    pub arrivals: ArrivalShape,
+    /// SLO-class mix weights (indexes the server's class table).
+    pub class_mix: Vec<f64>,
+    pub net: NetSpec,
+    /// Permanent device deaths: `(device, at_ms)`.
+    pub deaths: Vec<(usize, f64)>,
+    pub churn: Option<ChurnSpec>,
+    pub brownouts: Vec<BrownoutSpec>,
+    pub partition: Option<PartitionSpec>,
+    pub gossip: GossipChaos,
+    /// When set, device 0 (the primary coordinator) dies at this time —
+    /// meaningful under a failover harness.
+    pub coordinator_death_ms: Option<f64>,
+}
+
+/// A [`ScenarioSpec`] lowered onto the concrete replay machinery: hand
+/// these to a harness and the scenario plays out deterministically.
+#[derive(Clone, Debug)]
+pub struct LoweredScenario {
+    pub fleet: FleetTrace,
+    pub arrivals: ArrivalTrace,
+    pub net: NetworkTrace,
+    pub partitions: PartitionSchedule,
+    pub gossip: GossipChaos,
+    pub coordinator_death_ms: Option<f64>,
+    pub duration_ms: f64,
+    /// The master seed the lowering derived everything from.
+    pub master_seed: u64,
+}
+
+/// Sub-seed salts: one per stochastic axis, so axes never share streams.
+const SALT_ARRIVALS: u64 = 1;
+const SALT_CHURN: u64 = 2;
+const SALT_WALK: u64 = 3;
+
+impl ScenarioSpec {
+    /// A quiet steady-state scenario to build variations from.
+    pub fn steady(name: &str, fleet: FleetKind, duration_ms: f64, rps: f64) -> Self {
+        ScenarioSpec {
+            name: name.to_string(),
+            fleet,
+            duration_ms,
+            arrivals: ArrivalShape::Constant { rps },
+            class_mix: vec![0.4, 0.3, 0.3],
+            net: NetSpec::constant(LinkState { bandwidth_mbps: 300.0, delay_ms: 8.0 }),
+            deaths: Vec::new(),
+            churn: None,
+            brownouts: Vec::new(),
+            partition: None,
+            gossip: GossipChaos::default(),
+            coordinator_death_ms: None,
+        }
+    }
+
+    /// Deterministic per-axis sub-seed: FNV-1a over the scenario name,
+    /// folded with the master seed and the axis salt. Two scenarios with
+    /// different names never share an RNG stream even under one master
+    /// seed; the same `(name, seed, axis)` always does.
+    pub fn sub_seed(&self, master_seed: u64, salt: u64) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        for b in self.name.bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+        }
+        for chunk in [master_seed, salt] {
+            for b in chunk.to_le_bytes() {
+                h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+            }
+        }
+        h
+    }
+
+    /// Lowers the spec onto concrete traces. Deterministic in
+    /// `master_seed`: calling twice yields identical traces.
+    pub fn lower(&self, master_seed: u64) -> LoweredScenario {
+        assert!(self.duration_ms > 0.0, "scenario needs a positive duration");
+        let n = self.fleet.n_devices();
+        assert!(n >= 1, "scenario needs at least one device");
+        LoweredScenario {
+            fleet: self.lower_fleet(master_seed, n),
+            arrivals: self.lower_arrivals(master_seed),
+            net: self.lower_net(master_seed),
+            partitions: self.lower_partitions(n),
+            gossip: self.gossip,
+            coordinator_death_ms: self.coordinator_death_ms,
+            duration_ms: self.duration_ms,
+            master_seed,
+        }
+    }
+
+    fn lower_arrivals(&self, master_seed: u64) -> ArrivalTrace {
+        let seed = self.sub_seed(master_seed, SALT_ARRIVALS);
+        let d = self.duration_ms;
+        match &self.arrivals {
+            ArrivalShape::Constant { rps } => {
+                ArrivalTrace::poisson(d, &RateShape::Constant(*rps), &self.class_mix, seed)
+            }
+            ArrivalShape::Ramp { from_rps, to_rps } => ArrivalTrace::poisson(
+                d,
+                &RateShape::Ramp { from_rps: *from_rps, to_rps: *to_rps },
+                &self.class_mix,
+                seed,
+            ),
+            ArrivalShape::Burst { base_rps, burst_rps, period_ms, burst_ms } => {
+                assert!(burst_ms < period_ms, "burst must fit inside its period");
+                let mut steps = vec![(0.0, *base_rps)];
+                let mut t = *period_ms;
+                while t < d {
+                    steps.push((t, *burst_rps));
+                    steps.push((t + burst_ms, *base_rps));
+                    t += period_ms;
+                }
+                ArrivalTrace::poisson(d, &RateShape::Steps(steps), &self.class_mix, seed)
+            }
+            ArrivalShape::Diurnal { base_rps, peak_rps, period_ms } => ArrivalTrace::poisson(
+                d,
+                &RateShape::Diurnal {
+                    base_rps: *base_rps,
+                    peak_rps: *peak_rps,
+                    period_ms: *period_ms,
+                },
+                &self.class_mix,
+                seed,
+            ),
+            ArrivalShape::FlashCrowd { base_rps, surge_mult, surge_ms } => {
+                ArrivalTrace::flash_crowd(
+                    d,
+                    *base_rps,
+                    *surge_mult,
+                    *surge_ms,
+                    &self.class_mix,
+                    seed,
+                )
+            }
+        }
+    }
+
+    fn lower_fleet(&self, master_seed: u64, n: usize) -> FleetTrace {
+        let mut fleet = FleetTrace::always_up(n);
+        if let Some(churn) = &self.churn {
+            for &dev in &churn.devices {
+                assert!(dev > 0 && dev < n, "churned device {dev} out of range (workers only)");
+                let seed = self.sub_seed(master_seed, SALT_CHURN).wrapping_add(dev as u64);
+                fleet.set(dev, churn_trace(churn, self.duration_ms, seed));
+            }
+        }
+        for &(dev, at_ms) in &self.deaths {
+            assert!(dev > 0 && dev < n, "dying device {dev} out of range (workers only)");
+            fleet.set(dev, DeviceTrace::down_after(at_ms));
+        }
+        for b in &self.brownouts {
+            assert!(b.device > 0 && b.device < n, "brownout device out of range");
+            fleet.set(b.device, DeviceTrace::brownout(b.start_ms, b.factor, b.ramp_ms));
+        }
+        if let Some(kill_at) = self.coordinator_death_ms {
+            fleet.set(0, DeviceTrace::down_after(kill_at));
+        }
+        fleet
+    }
+
+    fn lower_net(&self, master_seed: u64) -> NetworkTrace {
+        assert!(
+            !(self.net.walk && self.net.slow_link.is_some()),
+            "walk and slow_link are mutually exclusive network axes"
+        );
+        if self.net.walk {
+            let period = 500.0;
+            let steps = (self.duration_ms / period).ceil() as usize + 2;
+            return NetworkTrace::random_walk(
+                self.net.base,
+                period,
+                steps,
+                2.0,
+                self.sub_seed(master_seed, SALT_WALK),
+            );
+        }
+        if let Some(slow) = self.net.slow_link {
+            assert!(slow.start_ms > 0.0, "slow link must start after t=0");
+            assert!(
+                slow.bw_factor > 0.0 && slow.delay_factor >= 1.0,
+                "slow link must degrade, not disconnect or speed up"
+            );
+            let degraded = LinkState {
+                bandwidth_mbps: self.net.base.bandwidth_mbps * slow.bw_factor,
+                delay_ms: self.net.base.delay_ms * slow.delay_factor,
+            };
+            let mut steps = vec![(0.0, self.net.base), (slow.start_ms, degraded)];
+            if let Some(heal) = slow.heal_ms {
+                assert!(heal > slow.start_ms, "slow link must heal after it starts");
+                steps.push((heal, self.net.base));
+            }
+            return NetworkTrace::steps(steps);
+        }
+        NetworkTrace::Constant(self.net.base)
+    }
+
+    fn lower_partitions(&self, n: usize) -> PartitionSchedule {
+        match &self.partition {
+            None => PartitionSchedule::none(),
+            Some(p) => {
+                assert!(
+                    p.left.iter().chain(&p.right).all(|&d| d < n),
+                    "partition names a device outside the fleet"
+                );
+                PartitionSchedule::split(p.start_ms, p.heal_ms, p.left.clone(), p.right.clone())
+            }
+        }
+    }
+}
+
+/// Seeded alternating up/down phases with exponential dwell times.
+/// Phase boundaries are clamped to ≥1 ms so the strictly-increasing
+/// invariant of [`DeviceTrace::phases`] always holds.
+fn churn_trace(churn: &ChurnSpec, duration_ms: f64, seed: u64) -> DeviceTrace {
+    assert!(churn.mean_up_ms > 0.0 && churn.mean_down_ms > 0.0, "churn means must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut exp = |mean: f64| -> f64 {
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        (-u.ln() * mean).max(1.0)
+    };
+    let mut phases = vec![(0.0, DeviceStatus::Up)];
+    let mut t = exp(churn.mean_up_ms);
+    let mut up = false; // next phase to push is Down
+    while t < duration_ms {
+        phases.push((t, if up { DeviceStatus::Up } else { DeviceStatus::Down }));
+        t += if up { exp(churn.mean_up_ms) } else { exp(churn.mean_down_ms) };
+        up = !up;
+    }
+    DeviceTrace::phases(phases)
+}
+
+/// The built-in campaign matrix: ≥20 named scenarios spanning every axis
+/// the DSL composes — the standing regression surface `scripts/check.sh`
+/// replays on every commit. Names are unique (asserted in tests) and each
+/// scenario is replayable from `(name, master_seed)` alone.
+pub fn builtin_matrix() -> Vec<ScenarioSpec> {
+    let mut m: Vec<ScenarioSpec> = Vec::new();
+
+    // -- steady baselines per fleet kind ------------------------------
+    m.push(ScenarioSpec::steady("steady-augmented", FleetKind::Augmented, 3_000.0, 25.0));
+    m.push(ScenarioSpec::steady("steady-hetero", FleetKind::Hetero, 3_000.0, 25.0));
+    m.push(ScenarioSpec::steady("steady-swarm", FleetKind::Swarm(6), 3_000.0, 30.0));
+
+    // -- traffic shapes ----------------------------------------------
+    let mut s = ScenarioSpec::steady("ramp-overload", FleetKind::Augmented, 4_000.0, 0.0);
+    s.arrivals = ArrivalShape::Ramp { from_rps: 10.0, to_rps: 60.0 };
+    m.push(s);
+
+    let mut s = ScenarioSpec::steady("burst-trains", FleetKind::Augmented, 4_000.0, 0.0);
+    s.arrivals = ArrivalShape::Burst {
+        base_rps: 10.0,
+        burst_rps: 60.0,
+        period_ms: 1_000.0,
+        burst_ms: 250.0,
+    };
+    m.push(s);
+
+    let mut s = ScenarioSpec::steady("diurnal-cycle", FleetKind::Hetero, 4_000.0, 0.0);
+    s.arrivals = ArrivalShape::Diurnal { base_rps: 8.0, peak_rps: 40.0, period_ms: 2_000.0 };
+    m.push(s);
+
+    let mut s = ScenarioSpec::steady("flash-crowd", FleetKind::Augmented, 4_000.0, 0.0);
+    s.arrivals = ArrivalShape::FlashCrowd { base_rps: 15.0, surge_mult: 6.0, surge_ms: 800.0 };
+    m.push(s);
+
+    // -- device failures ---------------------------------------------
+    let mut s = ScenarioSpec::steady("device-death", FleetKind::Augmented, 3_000.0, 25.0);
+    s.deaths = vec![(1, 1_000.0)];
+    m.push(s);
+
+    let mut s = ScenarioSpec::steady("device-flap", FleetKind::Augmented, 3_000.0, 20.0);
+    s.churn = Some(ChurnSpec { devices: vec![1], mean_up_ms: 800.0, mean_down_ms: 400.0 });
+    m.push(s);
+
+    let mut s = ScenarioSpec::steady("churn-swarm", FleetKind::Swarm(8), 4_000.0, 30.0);
+    s.churn = Some(ChurnSpec { devices: vec![2, 4, 6], mean_up_ms: 900.0, mean_down_ms: 500.0 });
+    m.push(s);
+
+    let mut s = ScenarioSpec::steady("death-under-ramp", FleetKind::Hetero, 4_000.0, 0.0);
+    s.arrivals = ArrivalShape::Ramp { from_rps: 10.0, to_rps: 50.0 };
+    s.deaths = vec![(3, 1_500.0)];
+    m.push(s);
+
+    // -- gray failures (brownouts) -----------------------------------
+    let mut s = ScenarioSpec::steady("brownout-remote", FleetKind::Augmented, 3_000.0, 20.0);
+    s.brownouts = vec![BrownoutSpec { device: 1, start_ms: 800.0, factor: 8.0, ramp_ms: 400.0 }];
+    m.push(s);
+
+    let mut s = ScenarioSpec::steady("brownout-pair-swarm", FleetKind::Swarm(6), 4_000.0, 25.0);
+    s.brownouts = vec![
+        BrownoutSpec { device: 2, start_ms: 700.0, factor: 6.0, ramp_ms: 300.0 },
+        BrownoutSpec { device: 5, start_ms: 1_800.0, factor: 10.0, ramp_ms: 0.0 },
+    ];
+    m.push(s);
+
+    let mut s = ScenarioSpec::steady("flash-brownout", FleetKind::Hetero, 4_000.0, 0.0);
+    s.arrivals = ArrivalShape::FlashCrowd { base_rps: 12.0, surge_mult: 5.0, surge_ms: 1_000.0 };
+    s.brownouts = vec![BrownoutSpec { device: 3, start_ms: 1_200.0, factor: 7.0, ramp_ms: 500.0 }];
+    m.push(s);
+
+    // -- network degradation -----------------------------------------
+    let mut s = ScenarioSpec::steady("slow-link", FleetKind::Augmented, 3_000.0, 20.0);
+    s.net.slow_link =
+        Some(SlowLinkSpec { start_ms: 1_000.0, heal_ms: None, bw_factor: 0.2, delay_factor: 4.0 });
+    m.push(s);
+
+    let mut s = ScenarioSpec::steady("slow-link-heals", FleetKind::Augmented, 3_000.0, 20.0);
+    s.net.slow_link = Some(SlowLinkSpec {
+        start_ms: 800.0,
+        heal_ms: Some(2_000.0),
+        bw_factor: 0.25,
+        delay_factor: 3.0,
+    });
+    m.push(s);
+
+    let mut s = ScenarioSpec::steady("wandering-network", FleetKind::Hetero, 3_000.0, 20.0);
+    s.net.walk = true;
+    m.push(s);
+
+    // -- partitions ---------------------------------------------------
+    let mut s = ScenarioSpec::steady("partition-split-heal", FleetKind::Swarm(6), 4_000.0, 25.0);
+    s.partition = Some(PartitionSpec {
+        start_ms: 1_000.0,
+        heal_ms: 2_500.0,
+        left: vec![0, 1, 2],
+        right: vec![3, 4, 5],
+    });
+    m.push(s);
+
+    let mut s =
+        ScenarioSpec::steady("partition-isolates-workers", FleetKind::Hetero, 3_000.0, 20.0);
+    s.partition = Some(PartitionSpec {
+        start_ms: 800.0,
+        heal_ms: 2_200.0,
+        left: vec![0, 1],
+        right: vec![2, 3],
+    });
+    m.push(s);
+
+    // -- gossip-plane chaos ------------------------------------------
+    let mut s = ScenarioSpec::steady("gossip-drop", FleetKind::Swarm(6), 3_000.0, 25.0);
+    s.gossip = GossipChaos { drop_prob: 0.3, dup_prob: 0.0 };
+    m.push(s);
+
+    let mut s = ScenarioSpec::steady("gossip-dup", FleetKind::Swarm(6), 3_000.0, 25.0);
+    s.gossip = GossipChaos { drop_prob: 0.0, dup_prob: 0.3 };
+    m.push(s);
+
+    // -- coordinator failover ----------------------------------------
+    let mut s = ScenarioSpec::steady("coordinator-death", FleetKind::Swarm(6), 4_000.0, 25.0);
+    s.coordinator_death_ms = Some(1_500.0);
+    m.push(s);
+
+    let mut s = ScenarioSpec::steady("coordinator-death-lossy", FleetKind::Swarm(6), 4_000.0, 25.0);
+    s.coordinator_death_ms = Some(1_500.0);
+    s.gossip = GossipChaos { drop_prob: 0.25, dup_prob: 0.1 };
+    m.push(s);
+
+    // -- compound worst cases ----------------------------------------
+    let mut s = ScenarioSpec::steady("diurnal-churn-hetero", FleetKind::Hetero, 4_000.0, 0.0);
+    s.arrivals = ArrivalShape::Diurnal { base_rps: 10.0, peak_rps: 35.0, period_ms: 2_000.0 };
+    s.churn = Some(ChurnSpec { devices: vec![2], mean_up_ms: 1_000.0, mean_down_ms: 400.0 });
+    m.push(s);
+
+    let mut s = ScenarioSpec::steady("kitchen-sink", FleetKind::Swarm(8), 5_000.0, 0.0);
+    s.arrivals = ArrivalShape::Diurnal { base_rps: 10.0, peak_rps: 40.0, period_ms: 2_500.0 };
+    s.churn = Some(ChurnSpec { devices: vec![3], mean_up_ms: 1_200.0, mean_down_ms: 500.0 });
+    s.brownouts = vec![BrownoutSpec { device: 5, start_ms: 1_000.0, factor: 6.0, ramp_ms: 400.0 }];
+    s.net.slow_link = Some(SlowLinkSpec {
+        start_ms: 2_000.0,
+        heal_ms: Some(3_500.0),
+        bw_factor: 0.3,
+        delay_factor: 2.0,
+    });
+    s.gossip = GossipChaos { drop_prob: 0.2, dup_prob: 0.05 };
+    m.push(s);
+
+    m
+}
+
+/// Looks a built-in scenario up by name (the CLI's `--scenario` flag).
+pub fn builtin_by_name(name: &str) -> Option<ScenarioSpec> {
+    builtin_matrix().into_iter().find(|s| s.name == name)
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_matrix_has_at_least_twenty_distinct_scenarios() {
+        let m = builtin_matrix();
+        assert!(m.len() >= 20, "matrix has only {} scenarios", m.len());
+        let mut names: Vec<&str> = m.iter().map(|s| s.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), m.len(), "scenario names must be unique");
+    }
+
+    #[test]
+    fn lowering_is_deterministic_in_the_master_seed() {
+        for spec in builtin_matrix() {
+            let a = spec.lower(42);
+            let b = spec.lower(42);
+            assert_eq!(a.arrivals.arrivals(), b.arrivals.arrivals(), "{}", spec.name);
+            for t in [0.0, 500.0, 1_234.5, 2_999.0] {
+                assert_eq!(a.fleet.alive_mask(t), b.fleet.alive_mask(t), "{}", spec.name);
+                let na = a.net.sample(t);
+                let nb = b.net.sample(t);
+                assert_eq!(na.bandwidth_mbps, nb.bandwidth_mbps, "{}", spec.name);
+                assert_eq!(na.delay_ms, nb.delay_ms, "{}", spec.name);
+            }
+        }
+    }
+
+    #[test]
+    fn different_master_seeds_move_the_stochastic_axes() {
+        let spec = builtin_by_name("flash-crowd").unwrap();
+        let a = spec.lower(1);
+        let b = spec.lower(2);
+        assert_ne!(a.arrivals.arrivals(), b.arrivals.arrivals());
+    }
+
+    #[test]
+    fn different_names_never_share_rng_streams() {
+        let mut a = ScenarioSpec::steady("alpha", FleetKind::Augmented, 2_000.0, 20.0);
+        let mut b = ScenarioSpec::steady("beta", FleetKind::Augmented, 2_000.0, 20.0);
+        a.churn = Some(ChurnSpec { devices: vec![1], mean_up_ms: 300.0, mean_down_ms: 300.0 });
+        b.churn = Some(ChurnSpec { devices: vec![1], mean_up_ms: 300.0, mean_down_ms: 300.0 });
+        assert_ne!(a.lower(7).arrivals.arrivals(), b.lower(7).arrivals.arrivals());
+    }
+
+    #[test]
+    fn churn_lowers_onto_alternating_phases() {
+        let mut spec = ScenarioSpec::steady("churny", FleetKind::Augmented, 10_000.0, 10.0);
+        spec.churn = Some(ChurnSpec { devices: vec![1], mean_up_ms: 500.0, mean_down_ms: 500.0 });
+        let lowered = spec.lower(3);
+        // The device must actually go down and come back at least once
+        // over 20 mean dwell times.
+        let mut saw_down = false;
+        let mut saw_recovery = false;
+        let mut was_down = false;
+        for i in 0..1_000 {
+            let up = lowered.fleet.alive_mask(i as f64 * 10.0)[1];
+            if !up {
+                saw_down = true;
+                was_down = true;
+            } else if was_down {
+                saw_recovery = true;
+            }
+        }
+        assert!(saw_down, "churned device never failed");
+        assert!(saw_recovery, "churned device never recovered");
+    }
+
+    #[test]
+    fn deaths_and_brownouts_land_on_the_right_devices() {
+        let mut spec = ScenarioSpec::steady("mixed", FleetKind::Hetero, 3_000.0, 10.0);
+        spec.deaths = vec![(1, 1_000.0)];
+        spec.brownouts =
+            vec![BrownoutSpec { device: 2, start_ms: 500.0, factor: 4.0, ramp_ms: 0.0 }];
+        let lowered = spec.lower(0);
+        assert_eq!(lowered.fleet.alive_mask(999.0), vec![true, true, true, true]);
+        assert_eq!(lowered.fleet.alive_mask(1_000.0), vec![true, false, true, true]);
+        assert_eq!(lowered.fleet.slow_factor(2, 600.0), 4.0);
+        assert_eq!(lowered.fleet.slow_factor(3, 600.0), 1.0);
+    }
+
+    #[test]
+    fn slow_link_window_degrades_and_heals() {
+        let spec = builtin_by_name("slow-link-heals").unwrap();
+        let lowered = spec.lower(11);
+        let before = lowered.net.sample(0.0);
+        let during = lowered.net.sample(1_500.0);
+        let after = lowered.net.sample(2_500.0);
+        assert!(during.bandwidth_mbps < before.bandwidth_mbps);
+        assert!(during.delay_ms > before.delay_ms);
+        assert_eq!(after.bandwidth_mbps, before.bandwidth_mbps);
+    }
+
+    #[test]
+    fn partition_spec_lowers_onto_split_schedule() {
+        let spec = builtin_by_name("partition-split-heal").unwrap();
+        let lowered = spec.lower(5);
+        assert!(lowered.partitions.can_reach(0, 4, 500.0));
+        assert!(!lowered.partitions.can_reach(0, 4, 1_500.0));
+        assert!(lowered.partitions.can_reach(0, 2, 1_500.0));
+        assert!(lowered.partitions.can_reach(0, 4, 2_600.0));
+    }
+
+    #[test]
+    fn coordinator_death_kills_device_zero_only() {
+        let spec = builtin_by_name("coordinator-death").unwrap();
+        let lowered = spec.lower(9);
+        assert_eq!(lowered.coordinator_death_ms, Some(1_500.0));
+        let mask = lowered.fleet.alive_mask(2_000.0);
+        assert!(!mask[0]);
+        assert!(mask[1..].iter().all(|&u| u));
+    }
+
+    #[test]
+    fn builtin_by_name_finds_and_misses() {
+        assert!(builtin_by_name("kitchen-sink").is_some());
+        assert!(builtin_by_name("no-such-scenario").is_none());
+    }
+}

@@ -1,0 +1,1161 @@
+//! Campaign engine: replays declarative chaos scenarios against a grid of
+//! serving configurations and reports per-scenario Pareto fronts.
+//!
+//! The engine is a single-threaded, virtual-time discrete-event simulator
+//! over [`SharedRuntime`]'s decide/deploy path. It mirrors the real
+//! server's admission, priority-dispatch, and adaptive-batching formulas
+//! (see [`crate::server`]) but replaces the threaded worker pool with an
+//! event loop, for two reasons:
+//!
+//! * **Determinism.** Same `(scenario name, master seed)` ⇒ *identical*
+//!   counters, bit for bit — the replay contract the campaign gates rely
+//!   on. The threaded server cannot promise that (wall-clock EWMAs,
+//!   scheduler races); this engine can, and a proptest pins it.
+//! * **Scale.** A campaign is `scenarios × grid cells` full load runs.
+//!   Virtual time with no sleeping makes the 20-scenario matrix a CI
+//!   gate instead of an overnight job.
+//!
+//! Three serving modes per cell: `classic` (the admission + micro-batch
+//! path), `pipeline` (stage-parallel placement from
+//! [`SharedRuntime::pipeline_decide`], bottleneck-rate draining, re-plan
+//! on stage death), and `failover` (primary coordinator death with a
+//! gossip-derived detection delay; buffered arrivals retry on the
+//! standby). Conservation — `completed + rejected == submitted`,
+//! `lost == 0` — is asserted as a hard invariant in every cell.
+
+use crate::class::{default_classes, ClassKind, ClassSpec};
+use crate::harness::percentile;
+use murmuration_core::{RuntimeConfig, SharedRuntime};
+use murmuration_edgesim::scenario::{FleetKind, LoweredScenario, ScenarioSpec};
+use murmuration_edgesim::NetworkState;
+use murmuration_partition::compliance::Slo;
+use murmuration_rl::{LstmPolicy, Scenario, SloKind};
+use murmuration_tensor::quant::BitWidth;
+use murmuration_tensor::tile::GridSpec;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Partition-policy axis of the grid.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PartitionPolicy {
+    /// The full partition search space: the policy may split tensors
+    /// across devices.
+    Split,
+    /// Single-tile plans only (no distribution of one inference).
+    NoSplit,
+}
+
+/// Subnet bit-width axis of the grid.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QuantPolicy {
+    /// The policy picks among all supported bit-widths per request.
+    Adaptive,
+    /// Full-precision subnets only.
+    Fixed32,
+    /// Int8 subnets only.
+    Fixed8,
+}
+
+/// Serving-mode axis of the grid.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServingMode {
+    /// Admission control + priority queues + adaptive micro-batching.
+    Classic,
+    /// Stage-parallel pipeline placement, bottleneck-rate draining.
+    Pipeline,
+    /// Classic serving under a primary+standby coordinator pair.
+    Failover,
+}
+
+impl PartitionPolicy {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            PartitionPolicy::Split => "split",
+            PartitionPolicy::NoSplit => "no-split",
+        }
+    }
+}
+
+impl QuantPolicy {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            QuantPolicy::Adaptive => "adaptive",
+            QuantPolicy::Fixed32 => "fixed32",
+            QuantPolicy::Fixed8 => "fixed8",
+        }
+    }
+}
+
+impl ServingMode {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ServingMode::Classic => "classic",
+            ServingMode::Pipeline => "pipeline",
+            ServingMode::Failover => "failover",
+        }
+    }
+}
+
+/// One grid cell: a serving configuration a scenario is replayed under.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GridCell {
+    pub policy: PartitionPolicy,
+    pub quant: QuantPolicy,
+    pub mode: ServingMode,
+}
+
+impl GridCell {
+    /// Stable cell label, used as the Pareto-front key in reports.
+    pub fn label(&self) -> String {
+        format!("{}/{}/{}", self.policy.as_str(), self.quant.as_str(), self.mode.as_str())
+    }
+}
+
+/// The full 2×3×3 grid: partition policy × bit-width × serving mode.
+pub fn full_grid() -> Vec<GridCell> {
+    let mut cells = Vec::new();
+    for policy in [PartitionPolicy::Split, PartitionPolicy::NoSplit] {
+        for quant in [QuantPolicy::Adaptive, QuantPolicy::Fixed32, QuantPolicy::Fixed8] {
+            for mode in [ServingMode::Classic, ServingMode::Pipeline, ServingMode::Failover] {
+                cells.push(GridCell { policy, quant, mode });
+            }
+        }
+    }
+    cells
+}
+
+/// The budgeted smoke grid: one policy/quant point through all three
+/// serving modes — enough to exercise every engine path under CI time
+/// budgets.
+pub fn smoke_grid() -> Vec<GridCell> {
+    [ServingMode::Classic, ServingMode::Pipeline, ServingMode::Failover]
+        .into_iter()
+        .map(|mode| GridCell { policy: PartitionPolicy::Split, quant: QuantPolicy::Adaptive, mode })
+        .collect()
+}
+
+/// Engine knobs. Defaults mirror [`crate::server::ServeConfig::engineered`]
+/// so campaign numbers track the real server's shape.
+#[derive(Clone, Debug)]
+pub struct CampaignConfig {
+    /// The master seed every scenario lowering and policy init derives
+    /// from — the replay key.
+    pub master_seed: u64,
+    /// The runtime-global SLO (also the pipeline-planning target).
+    pub slo: Slo,
+    pub classes: Vec<ClassSpec>,
+    pub n_workers: usize,
+    pub max_batch: usize,
+    /// Marginal per-request batch cost (1.0 = no batching win).
+    pub batch_marginal: f64,
+    pub tick_interval_ms: f64,
+    /// Monitor-priming ticks at t=0 before load starts.
+    pub warmup_ticks: usize,
+    /// Backlog bound for the pipeline mode, in bottleneck slots.
+    pub pipeline_queue_cap: usize,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            master_seed: 42,
+            slo: Slo::LatencyMs(200.0),
+            classes: default_classes(),
+            n_workers: 2,
+            max_batch: 8,
+            batch_marginal: 0.35,
+            tick_interval_ms: 100.0,
+            warmup_ticks: 10,
+            pipeline_queue_cap: 64,
+        }
+    }
+}
+
+/// Raw counters and samples from one cell run. All fields are
+/// deterministic in `(scenario name, master seed, cell)`.
+#[derive(Clone, Debug, Default)]
+pub struct CellStats {
+    pub submitted: u64,
+    pub completed: u64,
+    pub rejected: u64,
+    pub queue_full: u64,
+    pub deadline_unmeetable: u64,
+    pub expired: u64,
+    pub not_ready: u64,
+    pub slo_ok: u64,
+    pub degraded_served: u64,
+    pub batches: u64,
+    pub batched_requests: u64,
+    pub failovers: u64,
+    pub retried: u64,
+    pub crash_dropped: u64,
+    pub replans: u64,
+    pub pipeline_requeued: u64,
+    pub gray_suspects: u64,
+    pub gray_quarantines: u64,
+    pub gray_readmissions: u64,
+    /// End-to-end latency of every completion (virtual ms), unsorted.
+    pub latencies_ms: Vec<f64>,
+    pub accuracy_sum_pct: f64,
+}
+
+impl CellStats {
+    /// Requests unaccounted for — the conservation invariant demands 0.
+    pub fn lost(&self) -> i64 {
+        self.submitted as i64 - self.completed as i64 - self.rejected as i64
+    }
+}
+
+/// One cell's scored result: the latency/accuracy/goodput point plus the
+/// robustness counters, schema-stable in `to_json`.
+#[derive(Clone, Debug)]
+pub struct CellResult {
+    pub cell: GridCell,
+    pub p50_ms: f64,
+    pub p95_ms: f64,
+    pub p99_ms: f64,
+    /// Mean predicted accuracy over completions (%).
+    pub accuracy_pct: f64,
+    pub throughput_rps: f64,
+    pub goodput_rps: f64,
+    /// `slo_ok / completed` (0 when nothing completed).
+    pub slo_attainment: f64,
+    pub stats: CellStats,
+    /// Set by [`pareto_mark`]: whether this cell sits on the scenario's
+    /// latency/accuracy/goodput Pareto front.
+    pub on_front: bool,
+}
+
+impl CellResult {
+    fn from_stats(cell: GridCell, stats: CellStats, duration_ms: f64) -> Self {
+        let mut sorted = stats.latencies_ms.clone();
+        sorted.sort_by(f64::total_cmp);
+        let completed = stats.completed;
+        CellResult {
+            cell,
+            p50_ms: percentile(&sorted, 0.50),
+            p95_ms: percentile(&sorted, 0.95),
+            p99_ms: percentile(&sorted, 0.99),
+            accuracy_pct: if completed > 0 {
+                stats.accuracy_sum_pct / completed as f64
+            } else {
+                0.0
+            },
+            throughput_rps: completed as f64 / duration_ms * 1000.0,
+            goodput_rps: stats.slo_ok as f64 / duration_ms * 1000.0,
+            slo_attainment: if completed > 0 {
+                stats.slo_ok as f64 / completed as f64
+            } else {
+                0.0
+            },
+            stats,
+            on_front: false,
+        }
+    }
+
+    /// A counter fingerprint for determinism checks: every counter plus
+    /// the exact latency stream, rendered losslessly.
+    pub fn fingerprint(&self) -> String {
+        let s = &self.stats;
+        let lat: u64 =
+            s.latencies_ms.iter().fold(0u64, |h, l| h.wrapping_mul(0x100000001b3) ^ l.to_bits());
+        format!(
+            "sub={} comp={} rej={} qf={} dl={} exp={} nr={} slo={} deg={} b={} br={} fo={} \
+             rt={} cd={} rp={} pq={} gs={} gq={} gr={} lat={lat:016x} acc={:016x}",
+            s.submitted,
+            s.completed,
+            s.rejected,
+            s.queue_full,
+            s.deadline_unmeetable,
+            s.expired,
+            s.not_ready,
+            s.slo_ok,
+            s.degraded_served,
+            s.batches,
+            s.batched_requests,
+            s.failovers,
+            s.retried,
+            s.crash_dropped,
+            s.replans,
+            s.pipeline_requeued,
+            s.gray_suspects,
+            s.gray_quarantines,
+            s.gray_readmissions,
+            s.accuracy_sum_pct.to_bits(),
+        )
+    }
+
+    /// Schema-stable JSON object for this cell.
+    pub fn to_json(&self, indent: &str) -> String {
+        let s = &self.stats;
+        let mut j = String::new();
+        j.push_str(&format!("{indent}{{\n"));
+        j.push_str(&format!(
+            "{indent}  \"policy\": \"{}\", \"quant\": \"{}\", \"mode\": \"{}\",\n",
+            self.cell.policy.as_str(),
+            self.cell.quant.as_str(),
+            self.cell.mode.as_str()
+        ));
+        j.push_str(&format!(
+            "{indent}  \"p50_ms\": {:.2}, \"p95_ms\": {:.2}, \"p99_ms\": {:.2},\n",
+            self.p50_ms, self.p95_ms, self.p99_ms
+        ));
+        j.push_str(&format!(
+            "{indent}  \"accuracy_pct\": {:.2}, \"throughput_rps\": {:.2}, \"goodput_rps\": \
+             {:.2}, \"slo_attainment\": {:.4},\n",
+            self.accuracy_pct, self.throughput_rps, self.goodput_rps, self.slo_attainment
+        ));
+        j.push_str(&format!(
+            "{indent}  \"conservation\": {{\"submitted\": {}, \"completed\": {}, \"rejected\": \
+             {}, \"lost\": {}}},\n",
+            s.submitted,
+            s.completed,
+            s.rejected,
+            s.lost()
+        ));
+        j.push_str(&format!(
+            "{indent}  \"rejects\": {{\"queue_full\": {}, \"deadline_unmeetable\": {}, \
+             \"expired\": {}, \"not_ready\": {}}},\n",
+            s.queue_full, s.deadline_unmeetable, s.expired, s.not_ready
+        ));
+        j.push_str(&format!(
+            "{indent}  \"robustness\": {{\"gray_suspects\": {}, \"gray_quarantines\": {}, \
+             \"gray_readmissions\": {}, \"degraded_served\": {}, \"failovers\": {}, \"retried\": \
+             {}, \"crash_dropped\": {}, \"replans\": {}, \"pipeline_requeued\": {}}},\n",
+            s.gray_suspects,
+            s.gray_quarantines,
+            s.gray_readmissions,
+            s.degraded_served,
+            s.failovers,
+            s.retried,
+            s.crash_dropped,
+            s.replans,
+            s.pipeline_requeued
+        ));
+        j.push_str(&format!("{indent}  \"on_front\": {}\n", self.on_front));
+        j.push_str(&format!("{indent}}}"));
+        j
+    }
+}
+
+/// All cells of one scenario, Pareto-marked.
+#[derive(Clone, Debug)]
+pub struct ScenarioResult {
+    pub name: String,
+    pub master_seed: u64,
+    pub duration_ms: f64,
+    pub offered: usize,
+    pub cells: Vec<CellResult>,
+}
+
+impl ScenarioResult {
+    /// Labels of the cells on the Pareto front, in grid order.
+    pub fn front_labels(&self) -> Vec<String> {
+        self.cells.iter().filter(|c| c.on_front).map(|c| c.cell.label()).collect()
+    }
+
+    pub fn to_json(&self, indent: &str) -> String {
+        let mut j = String::new();
+        j.push_str(&format!("{indent}{{\n"));
+        j.push_str(&format!(
+            "{indent}  \"name\": \"{}\", \"seed\": {}, \"duration_ms\": {:.1}, \"offered\": {},\n",
+            self.name, self.master_seed, self.duration_ms, self.offered
+        ));
+        j.push_str(&format!("{indent}  \"cells\": [\n"));
+        for (i, c) in self.cells.iter().enumerate() {
+            let comma = if i + 1 < self.cells.len() { "," } else { "" };
+            j.push_str(&c.to_json(&format!("{indent}    ")));
+            j.push_str(comma);
+            j.push('\n');
+        }
+        j.push_str(&format!("{indent}  ],\n"));
+        let front: Vec<String> = self.front_labels().iter().map(|l| format!("\"{l}\"")).collect();
+        j.push_str(&format!("{indent}  \"pareto_front\": [{}]\n", front.join(", ")));
+        j.push_str(&format!("{indent}}}"));
+        j
+    }
+}
+
+/// A whole campaign: every scenario × every grid cell.
+#[derive(Clone, Debug)]
+pub struct CampaignResult {
+    pub master_seed: u64,
+    pub scenarios: Vec<ScenarioResult>,
+}
+
+impl CampaignResult {
+    /// The campaign report (`results/CAMPAIGN_*.json` shape,
+    /// `murmuration.campaign.v1`).
+    pub fn to_json(&self) -> String {
+        let mut j = String::new();
+        j.push_str("{\n");
+        j.push_str("  \"schema\": \"murmuration.campaign.v1\",\n");
+        j.push_str(&format!("  \"seed\": {},\n", self.master_seed));
+        j.push_str(&format!(
+            "  \"grid_cells\": {},\n",
+            self.scenarios.first().map_or(0, |s| s.cells.len())
+        ));
+        j.push_str("  \"scenarios\": [\n");
+        for (i, s) in self.scenarios.iter().enumerate() {
+            let comma = if i + 1 < self.scenarios.len() { "," } else { "" };
+            j.push_str(&s.to_json("    "));
+            j.push_str(comma);
+            j.push('\n');
+        }
+        j.push_str("  ]\n}\n");
+        j
+    }
+}
+
+/// Marks the non-dominated cells over (p95 latency ↓, accuracy ↑,
+/// goodput ↑). Cells that completed nothing never reach the front (their
+/// zero p95 is an artifact, not a win).
+pub fn pareto_mark(cells: &mut [CellResult]) {
+    let dominates = |a: &CellResult, b: &CellResult| -> bool {
+        a.p95_ms <= b.p95_ms
+            && a.accuracy_pct >= b.accuracy_pct
+            && a.goodput_rps >= b.goodput_rps
+            && (a.p95_ms < b.p95_ms
+                || a.accuracy_pct > b.accuracy_pct
+                || a.goodput_rps > b.goodput_rps)
+    };
+    for i in 0..cells.len() {
+        cells[i].on_front = cells[i].stats.completed > 0
+            && (0..cells.len()).all(|j| {
+                j == i || cells[j].stats.completed == 0 || !dominates(&cells[j], &cells[i])
+            });
+    }
+}
+
+/// Builds the per-cell runtime: the fleet kind picks the device profile,
+/// the grid cell constrains the search space (partition policy,
+/// bit-width), and the LSTM policy re-derives its arities from the
+/// constrained space. Seeded from the scenario's sub-seed stream.
+fn build_runtime(
+    spec: &ScenarioSpec,
+    cell: &GridCell,
+    master_seed: u64,
+    salt: u64,
+) -> Arc<SharedRuntime> {
+    let mut sc = match spec.fleet {
+        FleetKind::Augmented => Scenario::augmented_computing(SloKind::Latency),
+        FleetKind::Hetero => Scenario::heterogeneous_edge(SloKind::Latency),
+        FleetKind::Swarm(n) => Scenario::device_swarm(n, SloKind::Latency),
+    };
+    if cell.policy == PartitionPolicy::NoSplit {
+        sc.space.partitions = vec![GridSpec::new(1, 1)];
+    }
+    match cell.quant {
+        QuantPolicy::Adaptive => {}
+        QuantPolicy::Fixed32 => sc.space.quants = vec![BitWidth::B32],
+        QuantPolicy::Fixed8 => sc.space.quants = vec![BitWidth::B8],
+    }
+    let policy_seed = spec.sub_seed(master_seed, 0x70 + salt);
+    let policy = LstmPolicy::new(sc.input_dim(), 16, sc.arities(), policy_seed);
+    Arc::new(SharedRuntime::new(sc, policy, RuntimeConfig::default(), Slo::LatencyMs(200.0)))
+}
+
+/// Effective device availability at `t`: the fleet trace says who is
+/// alive, the partition schedule says who the coordinator can reach.
+fn device_usable(lowered: &LoweredScenario, dev: usize, t_ms: f64) -> bool {
+    lowered.fleet.status(dev, t_ms).is_up() && lowered.partitions.can_reach(0, dev, t_ms)
+}
+
+/// Applies fleet + partition state to the runtime at tick time.
+fn sync_runtime(rt: &SharedRuntime, lowered: &LoweredScenario, t_ms: f64) {
+    rt.apply_fleet_trace(&lowered.fleet, t_ms);
+    let n = lowered.fleet.n_devices();
+    for dev in 1..n {
+        if !lowered.partitions.can_reach(0, dev, t_ms) {
+            rt.set_device_down(dev);
+        }
+    }
+}
+
+/// Max finite compute-slowdown over `devices` at `t` (brownout stretch).
+fn slow_mult(lowered: &LoweredScenario, devices: &[usize], t_ms: f64) -> f64 {
+    devices
+        .iter()
+        .map(|&d| lowered.fleet.slow_factor(d, t_ms))
+        .filter(|f| f.is_finite())
+        .fold(1.0, f64::max)
+}
+
+struct Job {
+    class: usize,
+    enqueue_ms: f64,
+    /// Set when the job is a failover retry (counted once, at replay).
+    retried: bool,
+}
+
+/// A scheduled completion: resolved into stats at the end (or crashed
+/// out by a coordinator death before its finish time).
+struct Scheduled {
+    class: usize,
+    enqueue_ms: f64,
+    finish_ms: f64,
+    accuracy_pct: f64,
+    degraded: bool,
+}
+
+/// Shared event-loop state for the classic/failover paths.
+struct Engine<'a> {
+    cfg: &'a CampaignConfig,
+    lowered: &'a LoweredScenario,
+    rt: Arc<SharedRuntime>,
+    rng: StdRng,
+    queues: Vec<VecDeque<Job>>,
+    ewma_ms: Vec<f64>,
+    worker_free: Vec<f64>,
+    next_tick: f64,
+    scheduled: Vec<Scheduled>,
+    stats: CellStats,
+    n_remote: usize,
+}
+
+impl<'a> Engine<'a> {
+    fn new(
+        cfg: &'a CampaignConfig,
+        lowered: &'a LoweredScenario,
+        rt: Arc<SharedRuntime>,
+        seed: u64,
+    ) -> Self {
+        let n_remote = lowered.fleet.n_devices().saturating_sub(1).max(1);
+        let mut eng = Engine {
+            cfg,
+            lowered,
+            rt,
+            rng: StdRng::seed_from_u64(seed),
+            queues: cfg.classes.iter().map(|_| VecDeque::new()).collect(),
+            ewma_ms: vec![50.0; cfg.classes.len()],
+            worker_free: vec![0.0; cfg.n_workers],
+            next_tick: 0.0,
+            scheduled: Vec::new(),
+            stats: CellStats::default(),
+            n_remote,
+        };
+        eng.warmup();
+        eng
+    }
+
+    fn net_at(&self, t_ms: f64) -> NetworkState {
+        NetworkState::uniform(self.n_remote, self.lowered.net.sample(t_ms))
+    }
+
+    fn warmup(&mut self) {
+        let net = self.net_at(0.0);
+        for _ in 0..self.cfg.warmup_ticks {
+            self.rt.tick(&net, 0.0, &mut self.rng);
+        }
+        self.next_tick = self.cfg.tick_interval_ms;
+    }
+
+    /// Runs control-plane ticks up to (and including) `t_ms`.
+    fn advance_ticks(&mut self, t_ms: f64) {
+        while self.next_tick <= t_ms {
+            let t = self.next_tick;
+            sync_runtime(&self.rt, self.lowered, t);
+            let net = self.net_at(t);
+            self.rt.tick(&net, t, &mut self.rng);
+            self.next_tick += self.cfg.tick_interval_ms;
+        }
+    }
+
+    /// The real server's slot estimate: workers × batch capacity,
+    /// discounted by the marginal batch cost.
+    fn slots(&self) -> f64 {
+        self.cfg.n_workers as f64 * self.cfg.max_batch as f64
+            / (1.0 + self.cfg.batch_marginal * (self.cfg.max_batch as f64 - 1.0))
+    }
+
+    fn backlog(&self) -> usize {
+        self.queues.iter().map(VecDeque::len).sum()
+    }
+
+    fn busy_workers(&self, t_ms: f64) -> usize {
+        self.worker_free.iter().filter(|&&f| f > t_ms).count()
+    }
+
+    /// Admission at arrival time, mirroring the threaded server: bounded
+    /// per-class queues, then the EWMA wait-estimate gate for deadline
+    /// classes.
+    fn admit(&mut self, class: usize, t_ms: f64) {
+        self.stats.submitted += 1;
+        if !self.rt.monitor_ready() {
+            self.stats.rejected += 1;
+            self.stats.not_ready += 1;
+            return;
+        }
+        let spec = &self.cfg.classes[class];
+        if self.queues[class].len() >= spec.queue_capacity {
+            self.stats.rejected += 1;
+            self.stats.queue_full += 1;
+            return;
+        }
+        if let Some(deadline) = spec.deadline_ms() {
+            let ahead = (self.backlog() + self.busy_workers(t_ms)) as f64;
+            let needed = self.ewma_ms[class] * (ahead / self.slots() + 1.0);
+            if needed > deadline {
+                self.stats.rejected += 1;
+                self.stats.deadline_unmeetable += 1;
+                return;
+            }
+        }
+        self.queues[class].push_back(Job { class, enqueue_ms: t_ms, retried: false });
+    }
+
+    /// Dispatches one batch at `t_ms` on the worker that freed. Returns
+    /// false when every queue is empty.
+    fn dispatch(&mut self, worker: usize, t_ms: f64) -> bool {
+        // Priority order is class order (interactive first); only jobs
+        // that have already arrived at `t_ms` are visible.
+        let Some(class) = (0..self.queues.len())
+            .find(|&c| self.queues[c].front().is_some_and(|j| j.enqueue_ms <= t_ms))
+        else {
+            return false;
+        };
+        let spec = self.cfg.classes[class].clone();
+        let est = self.ewma_ms[class];
+        // Shed queued requests whose deadline already expired.
+        if let Some(deadline) = spec.deadline_ms() {
+            while let Some(head) = self.queues[class].front() {
+                if head.enqueue_ms <= t_ms && (t_ms - head.enqueue_ms) + est >= deadline {
+                    let _ = self.queues[class].pop_front();
+                    self.stats.rejected += 1;
+                    self.stats.expired += 1;
+                } else {
+                    break;
+                }
+            }
+            if self.queues[class].is_empty() {
+                // Everything expired; let the caller retry other classes.
+                return self.dispatch(worker, t_ms);
+            }
+        }
+        // Decide once for the batch (identical class ⇒ identical SLO ⇒
+        // one strategy, the micro-batching contract).
+        let Some(decision) = self.rt.serve_decide(spec.slo()) else {
+            while let Some(_job) = self.queues[class].pop_front() {
+                self.stats.rejected += 1;
+                self.stats.not_ready += 1;
+            }
+            return true;
+        };
+        let net = self.net_at(t_ms);
+        let report = self.rt.deploy(&decision, &net);
+        let sf = slow_mult(self.lowered, &report.devices_used, t_ms);
+        let base = report.latency_ms * sf;
+        // Adaptive batch cut: member i rides only if its marginal finish
+        // still makes the deadline.
+        let mut batch: Vec<Job> = Vec::new();
+        while batch.len() < self.cfg.max_batch {
+            let Some(head) = self.queues[class].front() else { break };
+            if head.enqueue_ms > t_ms {
+                // Not yet arrived at the dispatch instant.
+                break;
+            }
+            if let Some(deadline) = spec.deadline_ms() {
+                let i = batch.len() as f64;
+                let finish = (t_ms - head.enqueue_ms) + base * (1.0 + self.cfg.batch_marginal * i);
+                if !batch.is_empty() && finish > deadline {
+                    break;
+                }
+            }
+            if let Some(job) = self.queues[class].pop_front() {
+                batch.push(job);
+            }
+        }
+        if batch.is_empty() {
+            return true;
+        }
+        let k = batch.len() as f64;
+        let total = base * (1.0 + self.cfg.batch_marginal * (k - 1.0));
+        self.worker_free[worker] = t_ms + total;
+        self.stats.batches += 1;
+        self.stats.batched_requests += batch.len() as u64;
+        self.ewma_ms[class] = 0.3 * base + 0.7 * self.ewma_ms[class];
+        for (i, job) in batch.into_iter().enumerate() {
+            let share = base * (1.0 + self.cfg.batch_marginal * i as f64);
+            if job.retried {
+                self.stats.retried += 1;
+            }
+            self.scheduled.push(Scheduled {
+                class: job.class,
+                enqueue_ms: job.enqueue_ms,
+                finish_ms: t_ms + share,
+                accuracy_pct: f64::from(report.accuracy_pct),
+                degraded: report.degradation.is_degraded(),
+            });
+        }
+        true
+    }
+
+    /// Drains dispatchable work up to time horizon `t_ms`: whenever a
+    /// worker is free before the horizon and a queue is non-empty, a
+    /// batch goes out at that worker's free time.
+    fn drain_until(&mut self, t_ms: f64) {
+        loop {
+            if self.backlog() == 0 {
+                return;
+            }
+            let (worker, free_at) = self
+                .worker_free
+                .iter()
+                .copied()
+                .enumerate()
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+                .unwrap_or((0, 0.0));
+            let td = free_at.max(self.ready_floor());
+            if td > t_ms {
+                return;
+            }
+            self.advance_ticks(td);
+            if !self.dispatch(worker, td) {
+                return;
+            }
+        }
+    }
+
+    /// Earliest instant any queued job exists (min over queue heads) —
+    /// dispatching before it would serve work that has not arrived.
+    fn ready_floor(&self) -> f64 {
+        self.queues
+            .iter()
+            .filter_map(|q| q.front())
+            .map(|j| j.enqueue_ms)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Resolves every scheduled completion into final counters.
+    fn finalize(mut self) -> CellStats {
+        for sch in &self.scheduled {
+            let latency = sch.finish_ms - sch.enqueue_ms;
+            self.stats.completed += 1;
+            self.stats.latencies_ms.push(latency);
+            self.stats.accuracy_sum_pct += sch.accuracy_pct;
+            if sch.degraded {
+                self.stats.degraded_served += 1;
+            }
+            let ok = match self.cfg.classes[sch.class].kind {
+                ClassKind::Latency { deadline_ms } => latency <= deadline_ms,
+                ClassKind::Accuracy { floor_pct } => sch.accuracy_pct >= f64::from(floor_pct),
+            };
+            if ok {
+                self.stats.slo_ok += 1;
+            }
+        }
+        let gray = self.rt.gray_transitions();
+        self.stats.gray_suspects = gray.suspects;
+        self.stats.gray_quarantines = gray.quarantines;
+        self.stats.gray_readmissions = gray.readmissions;
+        self.stats
+    }
+}
+
+/// Classic mode: the admission + priority + micro-batch event loop.
+fn run_classic(
+    spec: &ScenarioSpec,
+    cell: &GridCell,
+    cfg: &CampaignConfig,
+    lowered: &LoweredScenario,
+) -> CellStats {
+    let rt = build_runtime(spec, cell, cfg.master_seed, 0);
+    let seed = spec.sub_seed(cfg.master_seed, 0x10);
+    let mut eng = Engine::new(cfg, lowered, rt, seed);
+    for arrival in lowered.arrivals.arrivals() {
+        eng.drain_until(arrival.t_ms);
+        eng.advance_ticks(arrival.t_ms);
+        eng.admit(arrival.class % cfg.classes.len(), arrival.t_ms);
+    }
+    eng.drain_until(f64::INFINITY);
+    eng.finalize()
+}
+
+/// Failover mode: classic serving with a primary coordinator that dies
+/// at the scenario's kill time. Arrivals during the detection window are
+/// buffered and retried on the standby; in-flight work at the kill is
+/// crash-dropped and retried. Detection delay derives from the gossip
+/// constants (suspect + fail rounds) stretched by the scenario's gossip
+/// drop probability.
+fn run_failover(
+    spec: &ScenarioSpec,
+    cell: &GridCell,
+    cfg: &CampaignConfig,
+    lowered: &LoweredScenario,
+) -> CellStats {
+    let Some(kill_ms) = lowered.coordinator_death_ms else {
+        // No coordinator death in this scenario: the standby never
+        // promotes and failover serving degenerates to classic.
+        return run_classic(spec, cell, cfg, lowered);
+    };
+    // SWIM-ish detection: suspect_after + fail_after heartbeat rounds at
+    // the tick cadence, stretched when gossip frames drop.
+    let rounds = 3.0 + 6.0;
+    let drop = lowered.gossip.drop_prob.clamp(0.0, 0.9);
+    let detect_ms = rounds * cfg.tick_interval_ms / (1.0 - drop);
+    let promote_ms = kill_ms + detect_ms;
+
+    let primary = build_runtime(spec, cell, cfg.master_seed, 0);
+    let seed = spec.sub_seed(cfg.master_seed, 0x10);
+    let mut eng = Engine::new(cfg, lowered, primary, seed);
+    let mut outage_buffer: Vec<usize> = Vec::new();
+    let mut crashed = false;
+    let mut promoted = false;
+
+    let crash = |eng: &mut Engine, outage_buffer: &mut Vec<usize>| {
+        // In-flight work dies with the primary; queued work retries.
+        let mut survivors = Vec::new();
+        for sch in eng.scheduled.drain(..) {
+            if sch.finish_ms > kill_ms {
+                eng.stats.crash_dropped += 1;
+                outage_buffer.push(sch.class);
+            } else {
+                survivors.push(sch);
+            }
+        }
+        eng.scheduled = survivors;
+        for q in &mut eng.queues {
+            for job in q.drain(..) {
+                outage_buffer.push(job.class);
+            }
+        }
+        eng.stats.failovers += 1;
+    };
+
+    for arrival in lowered.arrivals.arrivals() {
+        let t = arrival.t_ms;
+        if !crashed && t >= kill_ms {
+            eng.drain_until(kill_ms);
+            crash(&mut eng, &mut outage_buffer);
+            crashed = true;
+        }
+        if crashed && t < promote_ms {
+            // The primary is dead and the standby has not promoted:
+            // the cluster buffers the submit as a pending retry.
+            eng.stats.submitted += 1;
+            outage_buffer.push(arrival.class % cfg.classes.len());
+            continue;
+        }
+        if crashed && !promoted {
+            // Promotion: swap in the standby runtime and replay the
+            // buffered retries at the promotion instant.
+            promote(&mut eng, spec, cell, cfg, promote_ms, &mut outage_buffer);
+            promoted = true;
+        }
+        eng.drain_until(t);
+        eng.advance_ticks(t);
+        eng.admit(arrival.class % cfg.classes.len(), t);
+    }
+    if !crashed {
+        eng.drain_until(kill_ms);
+        crash(&mut eng, &mut outage_buffer);
+    }
+    if !promoted {
+        promote(&mut eng, spec, cell, cfg, promote_ms, &mut outage_buffer);
+    }
+    eng.drain_until(f64::INFINITY);
+    eng.finalize()
+}
+
+/// Swaps in a fresh standby runtime at `promote_ms` and requeues the
+/// outage buffer as retries.
+fn promote(
+    eng: &mut Engine,
+    spec: &ScenarioSpec,
+    cell: &GridCell,
+    cfg: &CampaignConfig,
+    promote_ms: f64,
+    outage_buffer: &mut Vec<usize>,
+) {
+    eng.rt = build_runtime(spec, cell, cfg.master_seed, 1);
+    eng.worker_free.iter_mut().for_each(|f| *f = f.max(promote_ms));
+    let net = eng.net_at(promote_ms);
+    for _ in 0..cfg.warmup_ticks {
+        eng.rt.tick(&net, promote_ms, &mut eng.rng);
+    }
+    for class in outage_buffer.drain(..) {
+        eng.queues[class].push_back(Job { class, enqueue_ms: promote_ms, retried: true });
+    }
+}
+
+/// Pipeline mode: one stage-parallel placement drains arrivals at the
+/// bottleneck rate; stage death triggers a re-plan (backlog re-timed,
+/// counted as requeues) or a serial coordinator fallback when no plan
+/// survives.
+fn run_pipeline(
+    spec: &ScenarioSpec,
+    cell: &GridCell,
+    cfg: &CampaignConfig,
+    lowered: &LoweredScenario,
+) -> CellStats {
+    let rt = build_runtime(spec, cell, cfg.master_seed, 0);
+    let seed = spec.sub_seed(cfg.master_seed, 0x10);
+    let mut eng = Engine::new(cfg, lowered, rt, seed);
+
+    let mut deploy = eng.rt.pipeline_decide(cfg.slo, &eng.net_at(0.0));
+    let mut entry_free = 0.0f64;
+    // (class, enqueue, finish, accuracy) of admitted-but-unfinished work.
+    let mut inflight: Vec<(usize, f64, f64, f64)> = Vec::new();
+    let mut next_check = cfg.tick_interval_ms;
+
+    // Serial fallback throughput when the planner has no pipeline.
+    let fallback_ms =
+        |d: &Option<murmuration_core::PipelineDeploy>| d.as_ref().map_or(60.0, |p| p.fallback_ms);
+
+    for arrival in lowered.arrivals.arrivals() {
+        let t = arrival.t_ms;
+        eng.advance_ticks(t);
+        // Retire finished work and check plan health on the tick cadence.
+        while next_check <= t {
+            if let Some(p) = &deploy {
+                let dead =
+                    p.plan.stages.iter().any(|s| !device_usable(lowered, s.device, next_check));
+                if dead {
+                    eng.stats.replans += 1;
+                    let new = eng.rt.pipeline_decide(cfg.slo, &eng.net_at(next_check));
+                    // Re-time the backlog under the new plan (or the
+                    // serial fallback) from the check instant.
+                    let mut still: Vec<(usize, f64, f64, f64)> = Vec::new();
+                    let mut free = next_check;
+                    for &(class, enq, fin, acc) in &inflight {
+                        if fin <= next_check {
+                            still.push((class, enq, fin, acc));
+                            continue;
+                        }
+                        eng.stats.pipeline_requeued += 1;
+                        let (gap, lat) = match &new {
+                            Some(np) => (np.report.bottleneck_ms, np.report.fill_ms),
+                            None => (fallback_ms(&new), fallback_ms(&new)),
+                        };
+                        let entry = free.max(next_check);
+                        still.push((class, enq, entry + lat, acc));
+                        free = entry + gap;
+                    }
+                    inflight = still;
+                    entry_free = free;
+                    deploy = new;
+                }
+            }
+            next_check += cfg.tick_interval_ms;
+        }
+        eng.stats.submitted += 1;
+        if !eng.rt.monitor_ready() {
+            eng.stats.rejected += 1;
+            eng.stats.not_ready += 1;
+            continue;
+        }
+        let class = arrival.class % cfg.classes.len();
+        let spec_c = &cfg.classes[class];
+        let (gap, fill, acc) = match &deploy {
+            Some(p) => {
+                let devices: Vec<usize> = p.plan.stages.iter().map(|s| s.device).collect();
+                let sf = slow_mult(lowered, &devices, t);
+                (p.report.bottleneck_ms * sf, p.report.fill_ms * sf, f64::from(p.accuracy_pct))
+            }
+            None => {
+                let f = fallback_ms(&deploy);
+                let sf = slow_mult(lowered, &[0], t);
+                (f * sf, f * sf, 70.0)
+            }
+        };
+        let entry = entry_free.max(t);
+        // Bounded backlog: the inter-stage queues hold only so much.
+        if entry - t > gap * cfg.pipeline_queue_cap as f64 {
+            eng.stats.rejected += 1;
+            eng.stats.queue_full += 1;
+            continue;
+        }
+        let finish = entry + fill;
+        if let Some(deadline) = spec_c.deadline_ms() {
+            if finish - t > deadline {
+                eng.stats.rejected += 1;
+                eng.stats.deadline_unmeetable += 1;
+                continue;
+            }
+        }
+        entry_free = entry + gap;
+        inflight.push((class, t, finish, acc));
+    }
+    for (class, enq, fin, acc) in inflight {
+        eng.scheduled.push(Scheduled {
+            class,
+            enqueue_ms: enq,
+            finish_ms: fin,
+            accuracy_pct: acc,
+            degraded: false,
+        });
+    }
+    eng.finalize()
+}
+
+/// Runs one scenario × cell under the hard conservation invariant.
+pub fn run_cell(spec: &ScenarioSpec, cell: &GridCell, cfg: &CampaignConfig) -> CellResult {
+    let lowered = spec.lower(cfg.master_seed);
+    let stats = match cell.mode {
+        ServingMode::Classic => run_classic(spec, cell, cfg, &lowered),
+        ServingMode::Pipeline => run_pipeline(spec, cell, cfg, &lowered),
+        ServingMode::Failover => run_failover(spec, cell, cfg, &lowered),
+    };
+    assert_eq!(
+        stats.completed + stats.rejected,
+        stats.submitted,
+        "conservation violated in {} × {}: {} + {} != {}",
+        spec.name,
+        cell.label(),
+        stats.completed,
+        stats.rejected,
+        stats.submitted
+    );
+    assert_eq!(stats.lost(), 0, "lost requests in {} × {}", spec.name, cell.label());
+    assert_eq!(
+        stats.submitted,
+        lowered.arrivals.len() as u64,
+        "every offered arrival must be accounted for in {} × {}",
+        spec.name,
+        cell.label()
+    );
+    CellResult::from_stats(*cell, stats, lowered.duration_ms)
+}
+
+/// Runs one scenario across a grid and Pareto-marks the cells.
+pub fn run_scenario(
+    spec: &ScenarioSpec,
+    grid: &[GridCell],
+    cfg: &CampaignConfig,
+) -> ScenarioResult {
+    let mut cells: Vec<CellResult> = grid.iter().map(|c| run_cell(spec, c, cfg)).collect();
+    pareto_mark(&mut cells);
+    ScenarioResult {
+        name: spec.name.clone(),
+        master_seed: cfg.master_seed,
+        duration_ms: spec.duration_ms,
+        offered: spec.lower(cfg.master_seed).arrivals.len(),
+        cells,
+    }
+}
+
+/// Runs a whole campaign: every scenario × every grid cell.
+pub fn run_campaign(
+    specs: &[ScenarioSpec],
+    grid: &[GridCell],
+    cfg: &CampaignConfig,
+) -> CampaignResult {
+    CampaignResult {
+        master_seed: cfg.master_seed,
+        scenarios: specs.iter().map(|s| run_scenario(s, grid, cfg)).collect(),
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use murmuration_edgesim::scenario::builtin_by_name;
+
+    fn quick_cfg() -> CampaignConfig {
+        CampaignConfig::default()
+    }
+
+    #[test]
+    fn steady_cell_serves_and_conserves() {
+        let spec = builtin_by_name("steady-augmented").unwrap();
+        let cell = smoke_grid()[0];
+        let r = run_cell(&spec, &cell, &quick_cfg());
+        assert!(r.stats.completed > 0, "steady load must complete requests");
+        assert_eq!(r.stats.lost(), 0);
+        assert!(r.p95_ms > 0.0);
+        assert!(r.accuracy_pct > 0.0);
+    }
+
+    #[test]
+    fn cell_runs_are_deterministic() {
+        let spec = builtin_by_name("flash-crowd").unwrap();
+        let cell = smoke_grid()[0];
+        let a = run_cell(&spec, &cell, &quick_cfg());
+        let b = run_cell(&spec, &cell, &quick_cfg());
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn different_seeds_change_the_run() {
+        let spec = builtin_by_name("flash-crowd").unwrap();
+        let cell = smoke_grid()[0];
+        let a = run_cell(&spec, &cell, &quick_cfg());
+        let mut cfg = quick_cfg();
+        cfg.master_seed = 7;
+        let b = run_cell(&spec, &cell, &cfg);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn failover_cell_fails_over_and_conserves() {
+        let spec = builtin_by_name("coordinator-death").unwrap();
+        let cell = GridCell {
+            policy: PartitionPolicy::Split,
+            quant: QuantPolicy::Adaptive,
+            mode: ServingMode::Failover,
+        };
+        let r = run_cell(&spec, &cell, &quick_cfg());
+        assert_eq!(r.stats.failovers, 1, "the coordinator death must promote the standby");
+        assert!(r.stats.retried > 0, "outage work must retry on the standby");
+        assert_eq!(r.stats.lost(), 0);
+        assert!(r.stats.completed > 0);
+    }
+
+    #[test]
+    fn pipeline_cell_streams_and_conserves() {
+        let spec = builtin_by_name("steady-swarm").unwrap();
+        let cell = GridCell {
+            policy: PartitionPolicy::Split,
+            quant: QuantPolicy::Adaptive,
+            mode: ServingMode::Pipeline,
+        };
+        let r = run_cell(&spec, &cell, &quick_cfg());
+        assert!(r.stats.completed > 0);
+        assert_eq!(r.stats.lost(), 0);
+    }
+
+    #[test]
+    fn pareto_front_is_nonempty_and_nondominated() {
+        let spec = builtin_by_name("steady-augmented").unwrap();
+        let result = run_scenario(&spec, &smoke_grid(), &quick_cfg());
+        let front: Vec<&CellResult> = result.cells.iter().filter(|c| c.on_front).collect();
+        assert!(!front.is_empty(), "a completed scenario must have a front");
+        for a in &front {
+            for b in &result.cells {
+                if a.cell == b.cell || b.stats.completed == 0 {
+                    continue;
+                }
+                let strictly_worse = b.p95_ms < a.p95_ms
+                    && b.accuracy_pct > a.accuracy_pct
+                    && b.goodput_rps > a.goodput_rps;
+                assert!(!strictly_worse, "front member dominated by {}", b.cell.label());
+            }
+        }
+    }
+
+    #[test]
+    fn campaign_json_is_schema_stable() {
+        let spec = builtin_by_name("device-death").unwrap();
+        let result = run_campaign(&[spec], &smoke_grid(), &quick_cfg());
+        let j = result.to_json();
+        for key in [
+            "\"schema\": \"murmuration.campaign.v1\"",
+            "\"seed\"",
+            "\"scenarios\"",
+            "\"pareto_front\"",
+            "\"conservation\"",
+            "\"robustness\"",
+            "\"p95_ms\"",
+            "\"goodput_rps\"",
+            "\"accuracy_pct\"",
+        ] {
+            assert!(j.contains(key), "campaign JSON lost {key}: {j}");
+        }
+        // And it parses with the schema checker.
+        let v = crate::schema::parse(&j).expect("campaign JSON must parse");
+        assert!(v.pointer("scenarios/*/cells/*/conservation/lost").is_some());
+    }
+}

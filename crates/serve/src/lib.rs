@@ -33,18 +33,30 @@
 //! reports. `cli serve` / `cli loadtest` and `bench_serve` are thin
 //! wrappers around it.
 //!
+//! The [`campaign`] module is the regression surface: it replays the
+//! declarative chaos scenarios from `edgesim::scenario` against a grid of
+//! partition policy × bit-width × serving mode in deterministic virtual
+//! time and emits per-scenario Pareto fronts; [`schema`] validates the
+//! resulting report files' shape in CI.
+//!
 //! [`SharedRuntime`]: murmuration_core::SharedRuntime
 
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
+pub mod campaign;
 pub mod class;
 pub mod failover;
 pub mod harness;
 pub mod pipeline;
 mod queue;
 pub mod request;
+pub mod schema;
 pub mod server;
 
+pub use campaign::{
+    full_grid, run_campaign, run_cell, run_scenario, smoke_grid, CampaignConfig, CampaignResult,
+    CellResult, GridCell, PartitionPolicy, QuantPolicy, ScenarioResult, ServingMode,
+};
 pub use class::{default_classes, ClassKind, ClassSpec};
 pub use failover::{ClusterStats, CoordinatorSpec, FailoverCluster, FailoverConfig, PendingServe};
 pub use harness::{run_closed_loop, run_open_loop, ClassReport, LoadReport};

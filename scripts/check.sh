@@ -28,6 +28,13 @@ echo "==> serving-layer tests (bounded: the serve loop must never hang)"
 timeout 300 cargo test -q --test serve_loop --test serve_chaos
 timeout 300 cargo test -q -p murmuration-serve
 
+echo "==> scenario matrix (bounded: >=20 chaos scenarios, conservation in every cell)"
+timeout 300 cargo test -q --test scenario_matrix
+timeout 300 cargo test -q -p murmuration-serve --test campaign_determinism
+
+echo "==> report schema gate (BENCH_*.json / CAMPAIGN_*.json shape drift fails here)"
+timeout 300 cargo test -q --test report_schema
+
 echo "==> pipeline chaos + worker dedup tests (bounded: streams must drain, maps must stay bounded)"
 timeout 300 cargo test -q -p murmuration-serve --test pipeline_chaos
 timeout 300 cargo test -q -p murmuration-transport dedup
@@ -52,7 +59,8 @@ for f in crates/core/src/executor.rs crates/core/src/wire.rs \
          crates/tensor/src/simd.rs crates/tensor/src/int8.rs \
          crates/nn/src/layers/quantized.rs \
          crates/transport/src/lib.rs \
-         crates/partition/src/pipeline.rs; do
+         crates/partition/src/pipeline.rs \
+         crates/edgesim/src/scenario.rs; do
     if ! grep -q 'deny(clippy::unwrap_used, clippy::expect_used)' "$f"; then
         echo "error: $f lost its unwrap/expect lint gate" >&2
         exit 1
@@ -70,6 +78,14 @@ if ! grep -q 'pub mod failover;' crates/serve/src/lib.rs; then
 fi
 if ! grep -q 'pub mod pipeline;' crates/serve/src/lib.rs; then
     echo "error: crates/serve/src/pipeline.rs left the crate-wide lint gate" >&2
+    exit 1
+fi
+if ! grep -q 'pub mod campaign;' crates/serve/src/lib.rs; then
+    echo "error: crates/serve/src/campaign.rs left the crate-wide lint gate" >&2
+    exit 1
+fi
+if ! grep -q 'pub mod schema;' crates/serve/src/lib.rs; then
+    echo "error: crates/serve/src/schema.rs left the crate-wide lint gate" >&2
     exit 1
 fi
 
@@ -139,5 +155,12 @@ perf_gate ./target/release/bench_failover
 echo "==> pipeline benchmark gate (stage-parallel goodput >= 2x non-pipelined, conservation)"
 cargo build --release -q -p murmuration-bench --bin bench_pipeline
 MURMURATION_BENCH_MS=120000 perf_gate ./target/release/bench_pipeline
+
+echo "==> campaign smoke gate (>=20 scenarios x smoke grid, conservation + replay + schema)"
+# The campaign engine is a deterministic virtual-time simulation, not a
+# wall-clock benchmark: a failure is a real regression, so no perf_gate
+# retries — one bounded run, pass or fail.
+cargo build --release -q -p murmuration-bench --bin bench_campaign
+timeout 300 ./target/release/bench_campaign --smoke
 
 echo "All checks passed."

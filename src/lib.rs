@@ -55,6 +55,8 @@ pub use murmuration_supernet as supernet;
 pub use murmuration_tensor as tensor;
 pub use murmuration_transport as transport;
 
+pub mod testkit;
+
 /// The most common imports in one place.
 pub mod prelude {
     pub use murmuration_core::{Runtime, RuntimeConfig};

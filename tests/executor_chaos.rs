@@ -15,27 +15,12 @@ use murmuration::runtime::fault::{FaultKind, FaultyCompute};
 use murmuration::tensor::quant::BitWidth;
 use murmuration::tensor::tile::GridSpec;
 use murmuration::tensor::{Shape, Tensor};
+use murmuration::testkit::with_watchdog;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
 use std::time::Duration;
-
-/// Runs `f` on a helper thread and panics if it does not finish within
-/// the watchdog window — converts a coordinator hang into a test failure.
-fn with_watchdog<T: Send + 'static>(f: impl FnOnce() -> T + Send + 'static) -> T {
-    let (tx, rx) = std::sync::mpsc::channel();
-    let handle = std::thread::spawn(move || {
-        let _ = tx.send(f());
-    });
-    match rx.recv_timeout(Duration::from_secs(60)) {
-        Ok(v) => {
-            let _ = handle.join();
-            v
-        }
-        Err(_) => panic!("chaos execution hung: watchdog fired after 60 s"),
-    }
-}
 
 fn chaos_opts() -> ExecOptions {
     ExecOptions {

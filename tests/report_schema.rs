@@ -1,0 +1,91 @@
+//! Report-shape regression gate: every checked-in `results/BENCH_*.json`
+//! and `results/CAMPAIGN_*.json` must validate against its declared set
+//! of required keys (`serve::schema`). A renamed or dropped key fails
+//! here instead of silently breaking downstream diff tooling.
+
+use murmuration::serve::schema::{missing_keys, parse, required_keys_for};
+
+fn results_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("results")
+}
+
+fn report_files(prefix: &str) -> Vec<std::path::PathBuf> {
+    let Ok(entries) = std::fs::read_dir(results_dir()) else {
+        return Vec::new();
+    };
+    let mut files: Vec<_> = entries
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| {
+            p.extension().is_some_and(|e| e == "json")
+                && p.file_name().and_then(|n| n.to_str()).is_some_and(|n| n.starts_with(prefix))
+        })
+        .collect();
+    files.sort();
+    files
+}
+
+fn check_all(prefix: &str) -> usize {
+    let files = report_files(prefix);
+    for path in &files {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or_default().to_string();
+        let text =
+            std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {name}: {e}"));
+        let doc = parse(&text).unwrap_or_else(|e| panic!("{name} does not parse as JSON: {e}"));
+        let required = required_keys_for(&name).unwrap_or_else(|| {
+            panic!(
+                "{name} has no declared schema — register its required keys in \
+                 serve::schema::required_keys_for"
+            )
+        });
+        let gaps = missing_keys(&doc, &required);
+        assert!(gaps.is_empty(), "{name} is missing required keys: {gaps:?}");
+    }
+    files.len()
+}
+
+#[test]
+fn every_bench_report_matches_its_declared_schema() {
+    let n = check_all("BENCH_");
+    assert!(n > 0, "no BENCH_*.json reports found — results/ should be checked in");
+}
+
+#[test]
+fn every_campaign_report_matches_its_declared_schema() {
+    let n = check_all("CAMPAIGN_");
+    assert!(n > 0, "no CAMPAIGN_*.json reports found — run bench_campaign first");
+}
+
+#[test]
+fn campaign_reports_carry_the_schema_tag_and_conserve() {
+    for path in report_files("CAMPAIGN_") {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or_default().to_string();
+        let text = std::fs::read_to_string(&path).expect("readable report");
+        let doc = parse(&text).expect("valid JSON");
+        assert_eq!(
+            doc.pointer("schema").and_then(|v| v.as_str()),
+            Some("murmuration.campaign.v1"),
+            "{name}: wrong schema tag"
+        );
+        // Re-check conservation from the serialized counters: the
+        // emitting process asserted it live; the artifact must agree.
+        let scenarios = doc.pointer("scenarios").and_then(|v| v.as_array()).expect("scenarios");
+        assert!(!scenarios.is_empty(), "{name}: empty campaign");
+        for sc in scenarios {
+            let cells = sc.pointer("cells").and_then(|v| v.as_array()).expect("cells");
+            for cell in cells {
+                let num = |k: &str| {
+                    cell.pointer(k)
+                        .and_then(|v| v.as_f64())
+                        .unwrap_or_else(|| panic!("{name}: missing numeric {k}"))
+                };
+                assert_eq!(
+                    num("conservation/completed") + num("conservation/rejected"),
+                    num("conservation/submitted"),
+                    "{name}: conservation broken in a serialized cell"
+                );
+                assert_eq!(num("conservation/lost"), 0.0, "{name}: lost requests serialized");
+            }
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! The standing chaos-regression surface: every built-in scenario runs
+//! through the campaign engine under a watchdog, and conservation
+//! (`completed + rejected == submitted`, `lost == 0`) holds in every
+//! scenario × grid cell. This is the CI gate ROADMAP item 5 calls for —
+//! ≥20 distinct dynamic-edge scenarios exercised on every push.
+
+use murmuration::edgesim::scenario::{builtin_by_name, builtin_matrix};
+use murmuration::serve::campaign::{
+    pareto_mark, run_cell, run_scenario, smoke_grid, CampaignConfig, GridCell, PartitionPolicy,
+    QuantPolicy, ServingMode,
+};
+use murmuration::testkit::with_watchdog;
+
+#[test]
+fn builtin_matrix_has_at_least_twenty_distinct_scenarios() {
+    let specs = builtin_matrix();
+    assert!(specs.len() >= 20, "matrix shrank to {} scenarios", specs.len());
+    let mut names: Vec<&str> = specs.iter().map(|s| s.name.as_str()).collect();
+    names.sort_unstable();
+    names.dedup();
+    assert_eq!(names.len(), specs.len(), "scenario names must be distinct");
+    for spec in &specs {
+        assert!(builtin_by_name(&spec.name).is_some(), "{} must resolve by name", spec.name);
+    }
+}
+
+/// The tentpole gate: the whole matrix × the smoke grid, conservation
+/// asserted in every cell (the engine hard-asserts it; this test
+/// re-checks the reported counters independently).
+#[test]
+fn every_scenario_conserves_in_every_cell() {
+    with_watchdog(|| {
+        let cfg = CampaignConfig::default();
+        let grid = smoke_grid();
+        for spec in builtin_matrix() {
+            let result = run_scenario(&spec, &grid, &cfg);
+            let mut total_completed = 0;
+            for cell in &result.cells {
+                let s = &cell.stats;
+                assert_eq!(
+                    s.completed + s.rejected,
+                    s.submitted,
+                    "{} x {}: conservation violated",
+                    spec.name,
+                    cell.cell.label()
+                );
+                assert_eq!(s.lost(), 0, "{} x {}: lost requests", spec.name, cell.cell.label());
+                assert_eq!(
+                    s.submitted,
+                    result.offered as u64,
+                    "{} x {}: offered arrivals unaccounted",
+                    spec.name,
+                    cell.cell.label()
+                );
+                total_completed += s.completed;
+            }
+            // Every built-in scenario is sized to make progress: a matrix
+            // entry that completes nothing anywhere is a dead cell.
+            assert!(total_completed > 0, "{}: no cell completed any work", spec.name);
+            assert!(
+                result.cells.iter().any(|c| c.on_front),
+                "{}: non-empty run must have a Pareto front",
+                spec.name
+            );
+        }
+    });
+}
+
+/// Scenarios with an explicit failure axis must actually exercise the
+/// corresponding robustness machinery, not just survive it.
+#[test]
+fn failure_axes_reach_their_counters() {
+    with_watchdog(|| {
+        let cfg = CampaignConfig::default();
+        let failover_cell = GridCell {
+            policy: PartitionPolicy::Split,
+            quant: QuantPolicy::Adaptive,
+            mode: ServingMode::Failover,
+        };
+        for name in ["coordinator-death", "coordinator-death-lossy"] {
+            let spec = builtin_by_name(name).expect("built-in scenario");
+            let r = run_cell(&spec, &failover_cell, &cfg);
+            assert_eq!(r.stats.failovers, 1, "{name}: standby must promote exactly once");
+            assert!(r.stats.retried > 0, "{name}: outage work must retry");
+            assert!(r.stats.completed > 0, "{name}: the standby must serve");
+        }
+        // A brownout stretches latency without tripping conservation.
+        let classic = smoke_grid()[0];
+        let clean =
+            run_cell(&builtin_by_name("steady-augmented").expect("builtin"), &classic, &cfg);
+        let browned =
+            run_cell(&builtin_by_name("brownout-remote").expect("builtin"), &classic, &cfg);
+        assert!(
+            browned.p95_ms > clean.p95_ms,
+            "brownout must show up in the tail: {:.1} vs {:.1} ms",
+            browned.p95_ms,
+            clean.p95_ms
+        );
+    });
+}
+
+/// Pareto marking on a synthetic cell set: dominated cells stay off the
+/// front, incomparable cells all make it.
+#[test]
+fn pareto_marking_is_correct_on_known_points() {
+    let cfg = CampaignConfig::default();
+    let grid = smoke_grid();
+    let spec = builtin_by_name("steady-augmented").expect("builtin");
+    let mut cells: Vec<_> = grid.iter().map(|c| run_cell(&spec, c, &cfg)).collect();
+    // Force a known geometry: cell 0 dominates cell 1, cell 2 trades off.
+    cells[0].p95_ms = 100.0;
+    cells[0].accuracy_pct = 80.0;
+    cells[0].goodput_rps = 20.0;
+    cells[1].p95_ms = 150.0;
+    cells[1].accuracy_pct = 75.0;
+    cells[1].goodput_rps = 15.0;
+    cells[2].p95_ms = 300.0;
+    cells[2].accuracy_pct = 95.0;
+    cells[2].goodput_rps = 10.0;
+    pareto_mark(&mut cells);
+    assert!(cells[0].on_front, "undominated cell must be on the front");
+    assert!(!cells[1].on_front, "dominated cell must be off the front");
+    assert!(cells[2].on_front, "trade-off cell must be on the front");
+}

@@ -1,63 +1,39 @@
 //! Chaos tests of the serving loop: devices dying mid-load must degrade
 //! service into typed rejections or degraded completions — never a hang,
-//! never a panic, never a lost request. Every scenario runs under a
-//! watchdog (the same pattern as `executor_chaos`).
+//! never a panic, never a lost request. Every scenario runs under the
+//! shared watchdog from `murmuration::testkit`.
+//!
+//! The device-death and device-flap cases are driven from the declarative
+//! scenario DSL (`edgesim::scenario`): the spec lowers onto the same
+//! `FleetTrace`/`ArrivalTrace` machinery the old hand-coded versions
+//! built inline, proving the DSL subsumes them.
 
-use murmuration::edgesim::{ArrivalTrace, DeviceTrace, FleetTrace, LinkState, RateShape};
-use murmuration::partition::compliance::Slo;
-use murmuration::rl::{LstmPolicy, Scenario, SloKind};
-use murmuration::runtime::{RuntimeConfig, SharedRuntime};
-use murmuration::serve::{
-    default_classes, run_open_loop, EnvModel, ServeConfig, ServeHandle, ServeOutcome,
-};
+use murmuration::edgesim::scenario::builtin_by_name;
+use murmuration::edgesim::{ArrivalTrace, RateShape};
+use murmuration::serve::{run_open_loop, EnvModel, ServeHandle, ServeOutcome};
+use murmuration::testkit::{chaos_serve_config, good_link, shared_runtime, with_watchdog};
 use std::sync::Arc;
-use std::time::Duration;
-
-fn with_watchdog<T: Send + 'static>(f: impl FnOnce() -> T + Send + 'static) -> T {
-    let (tx, rx) = std::sync::mpsc::channel();
-    let handle = std::thread::spawn(move || {
-        let _ = tx.send(f());
-    });
-    match rx.recv_timeout(Duration::from_secs(60)) {
-        Ok(v) => {
-            let _ = handle.join();
-            v
-        }
-        Err(_) => panic!("serve loop hung: watchdog fired after 60 s"),
-    }
-}
-
-fn shared_runtime() -> Arc<SharedRuntime> {
-    let sc = Scenario::augmented_computing(SloKind::Latency);
-    let policy = LstmPolicy::new(sc.input_dim(), 16, sc.arities(), 0);
-    Arc::new(SharedRuntime::new(sc, policy, RuntimeConfig::default(), Slo::LatencyMs(200.0)))
-}
 
 fn env() -> EnvModel {
-    EnvModel::constant(LinkState { bandwidth_mbps: 300.0, delay_ms: 8.0 }, 1)
-}
-
-fn chaos_cfg() -> ServeConfig {
-    ServeConfig {
-        time_scale: 0.01,
-        service_sleep: false,
-        tick_interval_ms: 50.0,
-        ..ServeConfig::engineered(default_classes())
-    }
+    EnvModel::constant(good_link(), 1)
 }
 
 #[test]
 fn device_death_mid_load_never_hangs_or_drops() {
     with_watchdog(|| {
-        // The only remote device dies a third of the way in and never
-        // recovers — replayed by the control thread from the fleet trace.
-        let fleet = FleetTrace::new(vec![DeviceTrace::AlwaysUp, DeviceTrace::down_after(1_000.0)]);
-        let handle = ServeHandle::start(shared_runtime(), env().with_fleet(fleet), chaos_cfg());
-        let trace =
-            ArrivalTrace::poisson(3_000.0, &RateShape::Constant(25.0), &[0.4, 0.3, 0.3], 13);
-        let outcomes = run_open_loop(&handle, &trace);
+        // The `device-death` scenario: the only remote device dies a
+        // third of the way in and never recovers — the spec lowers onto
+        // the fleet trace the control thread replays.
+        let spec = builtin_by_name("device-death").expect("built-in scenario");
+        let lowered = spec.lower(42);
+        let handle = ServeHandle::start(
+            shared_runtime(0),
+            env().with_fleet(lowered.fleet),
+            chaos_serve_config(),
+        );
+        let outcomes = run_open_loop(&handle, &lowered.arrivals);
         let stats = handle.shutdown();
-        assert_eq!(outcomes.len(), trace.len());
+        assert_eq!(outcomes.len(), lowered.arrivals.len());
         assert_eq!(
             stats.completed + stats.rejected,
             stats.submitted,
@@ -81,7 +57,7 @@ fn device_death_mid_load_never_hangs_or_drops() {
 #[test]
 fn whole_fleet_loss_forces_local_service() {
     with_watchdog(|| {
-        let handle = ServeHandle::start(shared_runtime(), env(), chaos_cfg());
+        let handle = ServeHandle::start(shared_runtime(0), env(), chaos_serve_config());
         // Kill the only remote device out-of-band before any load.
         handle.kill_device(1);
         let trace = ArrivalTrace::poisson(1_500.0, &RateShape::Constant(15.0), &[1.0], 21);
@@ -98,20 +74,22 @@ fn whole_fleet_loss_forces_local_service() {
 #[test]
 fn flapping_device_keeps_the_loop_live() {
     with_watchdog(|| {
-        // Down for the middle third, then back — completions must span
-        // the recovery and the counters must still conserve.
-        let fleet = FleetTrace::new(vec![
-            DeviceTrace::AlwaysUp,
-            DeviceTrace::down_between(1_000.0, 2_000.0),
-        ]);
-        let handle = ServeHandle::start(shared_runtime(), env().with_fleet(fleet), chaos_cfg());
-        let trace = ArrivalTrace::poisson(3_000.0, &RateShape::Constant(20.0), &[0.5, 0.5, 0.0], 8);
-        let outcomes = run_open_loop(&handle, &trace);
+        // The `device-flap` scenario: the remote churns up/down on seeded
+        // exponential dwells — completions must span a healthy phase and
+        // the counters must still conserve.
+        let spec = builtin_by_name("device-flap").expect("built-in scenario");
+        let lowered = spec.lower(42);
+        let handle = ServeHandle::start(
+            shared_runtime(0),
+            env().with_fleet(lowered.fleet),
+            chaos_serve_config(),
+        );
+        let outcomes = run_open_loop(&handle, &lowered.arrivals);
         let stats = handle.shutdown();
         assert_eq!(stats.completed + stats.rejected, stats.submitted);
         let healthy =
             outcomes.iter().filter_map(ServeOutcome::completion).filter(|c| !c.degraded).count();
-        assert!(healthy > 0, "service must recover after the flap");
+        assert!(healthy > 0, "service must recover between flaps");
     });
 }
 
@@ -120,7 +98,7 @@ fn kill_and_revive_mid_load_through_the_handle() {
     with_watchdog(|| {
         // Same chaos, driven through the serve handle's chaos hooks while
         // the open loop is running on another thread.
-        let handle = Arc::new(ServeHandle::start(shared_runtime(), env(), chaos_cfg()));
+        let handle = Arc::new(ServeHandle::start(shared_runtime(0), env(), chaos_serve_config()));
         let trace = ArrivalTrace::poisson(2_500.0, &RateShape::Constant(20.0), &[1.0, 0.0, 0.0], 2);
         let chaos = {
             let handle = Arc::clone(&handle);

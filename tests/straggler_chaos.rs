@@ -18,6 +18,7 @@ use murmuration::runtime::fault::FaultyCompute;
 use murmuration::tensor::quant::BitWidth;
 use murmuration::tensor::tile::GridSpec;
 use murmuration::tensor::{Shape, Tensor};
+use murmuration::testkit::with_watchdog;
 use murmuration::transport::{
     ChaosConfig, ChaosDirection, ChaosProxy, TcpTransport, TcpTransportConfig, WorkerConfig,
     WorkerServer,
@@ -26,29 +27,6 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
 use std::time::Duration;
-
-fn with_watchdog<T: Send + 'static>(f: impl FnOnce() -> T + Send + 'static) -> T {
-    use std::sync::mpsc::RecvTimeoutError;
-    let (tx, rx) = std::sync::mpsc::channel();
-    let handle = std::thread::spawn(move || {
-        let _ = tx.send(f());
-    });
-    match rx.recv_timeout(Duration::from_secs(60)) {
-        Ok(v) => {
-            let _ = handle.join();
-            v
-        }
-        Err(RecvTimeoutError::Timeout) => {
-            panic!("straggler chaos hung: watchdog fired after 60 s")
-        }
-        // The closure panicked before sending: surface ITS panic, not a
-        // misleading "hung" report.
-        Err(RecvTimeoutError::Disconnected) => match handle.join() {
-            Ok(()) => unreachable!("worker exited without sending or panicking"),
-            Err(cause) => std::panic::resume_unwind(cause),
-        },
-    }
-}
 
 fn local_reference(compute: &ConvStackCompute, input: &Tensor) -> Tensor {
     let mut cur = input.clone();

@@ -20,6 +20,7 @@ use murmuration::runtime::transport::Transport;
 use murmuration::tensor::quant::BitWidth;
 use murmuration::tensor::tile::GridSpec;
 use murmuration::tensor::{Shape, Tensor};
+use murmuration::testkit::with_watchdog;
 use murmuration::transport::{
     ChaosConfig, ChaosProxy, TcpTransport, TcpTransportConfig, WorkerConfig, WorkerServer,
 };
@@ -28,20 +29,6 @@ use rand::SeedableRng;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-
-fn with_watchdog<T: Send + 'static>(f: impl FnOnce() -> T + Send + 'static) -> T {
-    let (tx, rx) = std::sync::mpsc::channel();
-    let handle = std::thread::spawn(move || {
-        let _ = tx.send(f());
-    });
-    match rx.recv_timeout(Duration::from_secs(60)) {
-        Ok(v) => {
-            let _ = handle.join();
-            v
-        }
-        Err(_) => panic!("chaos execution hung: watchdog fired after 60 s"),
-    }
-}
 
 fn fast_tcp_cfg() -> TcpTransportConfig {
     TcpTransportConfig {

@@ -11,25 +11,12 @@ use murmuration::runtime::executor::{
 use murmuration::tensor::quant::BitWidth;
 use murmuration::tensor::tile::GridSpec;
 use murmuration::tensor::{Shape, Tensor};
+use murmuration::testkit::with_watchdog;
 use murmuration::transport::{TcpTransport, TcpTransportConfig, WorkerConfig, WorkerServer};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
 use std::time::Duration;
-
-fn with_watchdog<T: Send + 'static>(f: impl FnOnce() -> T + Send + 'static) -> T {
-    let (tx, rx) = std::sync::mpsc::channel();
-    let handle = std::thread::spawn(move || {
-        let _ = tx.send(f());
-    });
-    match rx.recv_timeout(Duration::from_secs(60)) {
-        Ok(v) => {
-            let _ = handle.join();
-            v
-        }
-        Err(_) => panic!("transport execution hung: watchdog fired after 60 s"),
-    }
-}
 
 /// In-process worker servers standing in for worker processes: same
 /// sockets, same framing, same supervision — only the process boundary is
