@@ -18,7 +18,10 @@ use murmuration_tensor::quant::BitWidth;
 use murmuration_tensor::tile::GridSpec;
 use murmuration_tensor::{Shape, Tensor};
 use murmuration_transport::frame::fnv1a64;
-use murmuration_transport::{TcpTransport, TcpTransportConfig, WorkerConfig, WorkerServer};
+use murmuration_transport::{
+    AsyncTcpTransport, AsyncWorkerServer, TcpTransport, TcpTransportConfig, WorkerConfig,
+    WorkerServer,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::io::Write as _;
@@ -41,15 +44,29 @@ pub fn cmd_worker(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let dev: usize = args.get_parsed_or("dev", 0)?;
     let compute = compute_from(args)?;
     let cfg = WorkerConfig { dev_id: dev, ..Default::default() };
-    let server = WorkerServer::bind(listen, compute, cfg)?;
-    println!("listening on {}", server.local_addr());
-    // A parent process parses that line; make sure it actually leaves.
-    std::io::stdout().flush()?;
-    eprintln!(
-        "worker dev {dev}: {} unit(s), serving until killed",
-        args.get_parsed_or("units", 3usize)?
-    );
-    server.run_until_stopped();
+    let units: usize = args.get_parsed_or("units", 3)?;
+    // `--backend async` hosts the same compute behind the readiness-based
+    // event loop instead of blocking per-connection threads; the wire
+    // protocol is identical, so either coordinator transport can talk to
+    // either worker backend.
+    match args.get_or("backend", "threaded") {
+        "threaded" => {
+            let server = WorkerServer::bind(listen, compute, cfg)?;
+            println!("listening on {}", server.local_addr());
+            // A parent process parses that line; make sure it actually leaves.
+            std::io::stdout().flush()?;
+            eprintln!("worker dev {dev}: {units} unit(s), serving until killed");
+            server.run_until_stopped();
+        }
+        "async" => {
+            let server = AsyncWorkerServer::bind(listen, compute, cfg)?;
+            println!("listening on {}", server.local_addr());
+            std::io::stdout().flush()?;
+            eprintln!("worker dev {dev} (async): {units} unit(s), serving until killed");
+            server.run_until_stopped();
+        }
+        other => return Err(Box::new(ArgError(format!("--backend: unknown `{other}`")))),
+    }
     Ok(())
 }
 
@@ -98,7 +115,10 @@ pub fn cmd_exec(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             let n: usize = args.get_parsed_or("devices", 2)?;
             (Executor::new(n, compute.clone()), n, "inproc".to_string())
         }
-        "tcp" => {
+        // `tcp` supervises one blocking thread pair per worker; `tcp-async`
+        // drives every connection from a readiness-based event loop (the
+        // fleet-scale path). Same wire protocol, same worker binary.
+        kind @ ("tcp" | "tcp-async") => {
             let addrs: Vec<String> = args
                 .require("workers")?
                 .split(',')
@@ -112,14 +132,26 @@ pub fn cmd_exec(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
                 seed: args.get_parsed_or("seed", 0u64)?,
                 ..Default::default()
             };
-            let transport = TcpTransport::connect(&addrs, cfg);
-            if !transport.wait_connected(Duration::from_secs(10)) {
-                return Err(Box::new(ArgError(
-                    "not all workers reachable within 10 s (are they running?)".into(),
-                )));
-            }
+            let connect_budget = Duration::from_secs(10);
+            let transport: Box<dyn Transport> = if kind == "tcp" {
+                let t = TcpTransport::connect(&addrs, cfg);
+                if !t.wait_connected(connect_budget) {
+                    return Err(Box::new(ArgError(
+                        "not all workers reachable within 10 s (are they running?)".into(),
+                    )));
+                }
+                Box::new(t)
+            } else {
+                let t = AsyncTcpTransport::connect(&addrs, cfg);
+                if !t.wait_connected(connect_budget) {
+                    return Err(Box::new(ArgError(
+                        "not all workers reachable within 10 s (are they running?)".into(),
+                    )));
+                }
+                Box::new(t)
+            };
             let n = transport.n_devices();
-            (Executor::with_transport(Box::new(transport)), n, "tcp".to_string())
+            (Executor::with_transport(transport), n, kind.to_string())
         }
         other => return Err(Box::new(ArgError(format!("--transport: unknown `{other}`")))),
     };

@@ -91,6 +91,9 @@ pub enum ExecError {
     WorkerPanic { dev: usize, unit: usize, msg: String },
     /// Frame corruption detected on the link to `dev`.
     Wire { dev: usize, err: WireError },
+    /// The transport refused the submission because a bounded buffer was
+    /// full (typed backpressure): the device is healthy but saturated.
+    Backpressure { dev: usize },
     /// Every device the coordinator could try is dead.
     NoDevice { unit: usize },
     /// The retry budget ran out; `last` is the final attempt's failure.
@@ -108,6 +111,9 @@ impl std::fmt::Display for ExecError {
                 write!(f, "device {dev} failed on unit {unit}: {msg}")
             }
             ExecError::Wire { dev, err } => write!(f, "wire to device {dev}: {err}"),
+            ExecError::Backpressure { dev } => {
+                write!(f, "transport backpressure on device {dev}")
+            }
             ExecError::NoDevice { unit } => write!(f, "no live device for unit {unit}"),
             ExecError::AttemptsExhausted { unit, attempts, last } => {
                 write!(f, "unit {unit} failed after {attempts} attempts; last: {last}")
@@ -384,6 +390,7 @@ impl Executor {
         self.transport.submit(dev, job, reply).map_err(|e| match e {
             SubmitError::DeviceDown => ExecError::DeviceDown { dev },
             SubmitError::Wire(err) => ExecError::Wire { dev, err },
+            SubmitError::Backpressure => ExecError::Backpressure { dev },
         })
     }
 

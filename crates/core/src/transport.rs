@@ -93,6 +93,10 @@ pub enum SubmitError {
     DeviceDown,
     /// Frame corruption was detected while shipping to the device.
     Wire(WireError),
+    /// The transport's bounded buffers are full (global in-flight cap or
+    /// a peer's outbound byte cap): typed backpressure. Nothing was sent;
+    /// the caller should retry later or route elsewhere.
+    Backpressure,
 }
 
 /// Cumulative connection-supervision counters (all zero for in-process
@@ -109,6 +113,16 @@ pub struct TransportStats {
     /// Cancels that verifiably saved work: the peer dropped a still-queued
     /// job instead of computing it (hedge losers, mostly).
     pub cancels_delivered: u64,
+    /// Submissions refused with [`SubmitError::Backpressure`] because a
+    /// bounded buffer (global in-flight cap, per-peer outbound byte cap)
+    /// was full.
+    pub backpressure_rejections: u64,
+    /// Inbound connections refused by accept-side storm control (rate
+    /// limit or connection cap) instead of being attached.
+    pub accepts_shed: u64,
+    /// Connections (or connect attempts) shed by the fd-budget guard when
+    /// the process neared its open-file limit.
+    pub conns_shed: u64,
 }
 
 impl TransportStats {
@@ -119,6 +133,11 @@ impl TransportStats {
             heartbeats_missed: self.heartbeats_missed.saturating_sub(earlier.heartbeats_missed),
             resends_deduped: self.resends_deduped.saturating_sub(earlier.resends_deduped),
             cancels_delivered: self.cancels_delivered.saturating_sub(earlier.cancels_delivered),
+            backpressure_rejections: self
+                .backpressure_rejections
+                .saturating_sub(earlier.backpressure_rejections),
+            accepts_shed: self.accepts_shed.saturating_sub(earlier.accepts_shed),
+            conns_shed: self.conns_shed.saturating_sub(earlier.conns_shed),
         }
     }
 }

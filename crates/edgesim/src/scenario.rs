@@ -514,6 +514,43 @@ pub fn builtin_matrix() -> Vec<ScenarioSpec> {
     s.gossip = GossipChaos { drop_prob: 0.25, dup_prob: 0.1 };
     m.push(s);
 
+    // -- fleet-scale transport stress --------------------------------
+    // These mirror the swarm-transport robustness axes (bench_swarm):
+    // many simultaneous disconnects, a mass-reconnect stampede after a
+    // partition heals, and a larger fleet under steady load. Fleet sizes
+    // and durations stay small enough for the --smoke campaign budget.
+    let mut s = ScenarioSpec::steady("connection-storm", FleetKind::Swarm(12), 4_000.0, 30.0);
+    s.arrivals = ArrivalShape::Burst {
+        base_rps: 15.0,
+        burst_rps: 60.0,
+        period_ms: 1_200.0,
+        burst_ms: 300.0,
+    };
+    // A third of the fleet flaps on short cycles: simultaneous disconnect
+    // waves rather than the single-device blips of `device-flap`.
+    s.churn = Some(ChurnSpec { devices: vec![3, 5, 7, 9], mean_up_ms: 700.0, mean_down_ms: 300.0 });
+    m.push(s);
+
+    let mut s =
+        ScenarioSpec::steady("mass-reconnect-stampede", FleetKind::Swarm(12), 4_000.0, 25.0);
+    // Sever most of the fleet from the coordinator side, then heal: every
+    // severed worker comes back in the same instant — the reconnect
+    // stampede the accept-side storm control smears out.
+    s.partition = Some(PartitionSpec {
+        start_ms: 1_200.0,
+        heal_ms: 2_400.0,
+        left: vec![0, 1],
+        right: vec![2, 3, 4, 5, 6, 7, 8, 9, 10, 11],
+    });
+    s.gossip = GossipChaos { drop_prob: 0.15, dup_prob: 0.05 };
+    m.push(s);
+
+    let mut s = ScenarioSpec::steady("fleet-scale-steady", FleetKind::Swarm(16), 4_000.0, 40.0);
+    // The biggest built-in fleet: placement and supervision must keep the
+    // per-device bookkeeping flat as the worker count grows.
+    s.churn = Some(ChurnSpec { devices: vec![6, 11], mean_up_ms: 1_100.0, mean_down_ms: 400.0 });
+    m.push(s);
+
     // -- compound worst cases ----------------------------------------
     let mut s = ScenarioSpec::steady("diurnal-churn-hetero", FleetKind::Hetero, 4_000.0, 0.0);
     s.arrivals = ArrivalShape::Diurnal { base_rps: 10.0, peak_rps: 35.0, period_ms: 2_000.0 };

@@ -367,6 +367,12 @@ impl PipelineExecutor {
                     last = Some(ExecError::Wire { dev, err });
                     continue;
                 }
+                Err(SubmitError::Backpressure) => {
+                    // The peer is saturated, not dead: burn this attempt
+                    // and let the retry budget smear the pressure out.
+                    last = Some(ExecError::Backpressure { dev });
+                    continue;
+                }
             }
             let deadline = Instant::now() + self.opts.attempt_timeout;
             loop {

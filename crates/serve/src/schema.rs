@@ -368,7 +368,29 @@ pub fn required_keys_for(file_name: &str) -> Option<Vec<String>> {
             "gates/overhead_budget_pct",
         ])),
         "BENCH_kernels.json" => Some(strs(&["benchmarks"])),
-        "BENCH_transport.json" => Some(strs(&["worst_overhead_pct", "overhead_budget_pct"])),
+        "BENCH_transport.json" => {
+            Some(strs(&["worst_overhead_pct", "worst_async_overhead_pct", "overhead_budget_pct"]))
+        }
+        "BENCH_swarm.json" => Some(strs(&[
+            "workers",
+            "host_driver_threads",
+            "client_driver_threads",
+            "cores",
+            "requests",
+            "verified_ok",
+            "computed",
+            "deduped",
+            "churn_dropped",
+            "storm_dropped",
+            "reconnects",
+            "accepts_shed",
+            "backpressure_rejections",
+            "idle_cpu_ms_per_conn",
+            "idle_cpu_frac",
+            "idle_cpu_ms_per_conn_budget",
+            "elapsed_s",
+            "pass",
+        ])),
         name if name.starts_with("CAMPAIGN_") && name.ends_with(".json") => {
             Some(campaign_required_keys())
         }

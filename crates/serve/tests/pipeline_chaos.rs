@@ -239,7 +239,8 @@ fn tcp_death_mid_stream_resolves_every_request() {
                 | ExecError::AttemptsExhausted { .. }
                 | ExecError::Wire { .. }
                 | ExecError::NoDevice { .. }
-                | ExecError::WorkerPanic { .. },
+                | ExecError::WorkerPanic { .. }
+                | ExecError::Backpressure { .. },
             ) => {}
         }
         let _ = i;

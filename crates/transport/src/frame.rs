@@ -377,10 +377,153 @@ pub fn is_timeout(e: &std::io::Error) -> bool {
     matches!(e.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut)
 }
 
+/// Incremental frame reassembly for non-blocking sockets: feed whatever
+/// bytes `read` returned — one byte at a time, a torn header, three
+/// coalesced frames — and pop complete messages out.
+///
+/// Semantics are byte-identical to [`read_frame`] over the same stream:
+/// the same checks run in the same order (length cap at header
+/// completion, checksum at payload completion, then [`parse_payload`]),
+/// so the async and blocking paths can never disagree about what a byte
+/// sequence means. Any [`FrameError::Corrupt`] is sticky: the stream can
+/// no longer be trusted to be in sync, so every later call returns the
+/// same error and pushed bytes are discarded — exactly the
+/// connection-fatal contract the supervisor expects.
+enum AsmState {
+    /// Collecting the 8 header bytes.
+    Header { got: [u8; HEADER_BYTES], fill: usize },
+    /// Collecting `payload.len()` body bytes; `crc` from the header.
+    Body { crc: u32, payload: Vec<u8>, fill: usize },
+    /// Stream desynchronized; all further input is garbage.
+    Corrupt(&'static str),
+}
+
+/// See [`AsmState`] — incremental, split-point-agnostic frame decoding.
+pub struct FrameAssembler {
+    state: AsmState,
+    /// Completed `(crc, payload)` pairs awaiting checksum + parse. The
+    /// checks run in [`FrameAssembler::next_frame`] so frames queued
+    /// before a corrupt tail still decode (same as a blocking reader that
+    /// consumed them first).
+    ready: std::collections::VecDeque<(u32, Vec<u8>)>,
+}
+
+impl Default for FrameAssembler {
+    fn default() -> Self {
+        FrameAssembler::new()
+    }
+}
+
+impl FrameAssembler {
+    /// An assembler at a frame boundary.
+    pub fn new() -> FrameAssembler {
+        FrameAssembler {
+            state: AsmState::Header { got: [0; HEADER_BYTES], fill: 0 },
+            ready: std::collections::VecDeque::new(),
+        }
+    }
+
+    /// Feeds bytes in. Never fails and never panics; errors surface from
+    /// [`next_frame`](Self::next_frame) in stream order.
+    pub fn push(&mut self, mut bytes: &[u8]) {
+        while !bytes.is_empty() {
+            match &mut self.state {
+                AsmState::Corrupt(_) => return,
+                AsmState::Header { got, fill } => {
+                    let take = (HEADER_BYTES - *fill).min(bytes.len());
+                    got[*fill..*fill + take].copy_from_slice(&bytes[..take]);
+                    *fill += take;
+                    bytes = &bytes[take..];
+                    if *fill == HEADER_BYTES {
+                        let len = u32::from_le_bytes([got[0], got[1], got[2], got[3]]) as usize;
+                        let crc = u32::from_le_bytes([got[4], got[5], got[6], got[7]]);
+                        if len > MAX_PAYLOAD {
+                            self.state = AsmState::Corrupt("payload length exceeds cap");
+                        } else if len == 0 {
+                            self.ready.push_back((crc, Vec::new()));
+                            self.state = AsmState::Header { got: [0; HEADER_BYTES], fill: 0 };
+                        } else {
+                            self.state = AsmState::Body { crc, payload: vec![0u8; len], fill: 0 };
+                        }
+                    }
+                }
+                AsmState::Body { crc, payload, fill } => {
+                    let take = (payload.len() - *fill).min(bytes.len());
+                    payload[*fill..*fill + take].copy_from_slice(&bytes[..take]);
+                    *fill += take;
+                    bytes = &bytes[take..];
+                    if *fill == payload.len() {
+                        let done = std::mem::take(payload);
+                        self.ready.push_back((*crc, done));
+                        self.state = AsmState::Header { got: [0; HEADER_BYTES], fill: 0 };
+                    }
+                }
+            }
+        }
+    }
+
+    /// Pops the next complete message, `Ok(None)` when more bytes are
+    /// needed, or the stream's (sticky) corruption error.
+    pub fn next_frame(&mut self) -> Result<Option<Msg>, FrameError> {
+        if let Some((crc, payload)) = self.ready.pop_front() {
+            if payload_crc(&payload) != crc {
+                self.state = AsmState::Corrupt("checksum mismatch");
+                self.ready.clear();
+                return Err(FrameError::Corrupt("checksum mismatch"));
+            }
+            return match parse_payload(payload) {
+                Ok(msg) => Ok(Some(msg)),
+                Err(FrameError::Corrupt(why)) => {
+                    self.state = AsmState::Corrupt(why);
+                    self.ready.clear();
+                    Err(FrameError::Corrupt(why))
+                }
+                Err(e) => Err(e),
+            };
+        }
+        match &self.state {
+            AsmState::Corrupt(why) => Err(FrameError::Corrupt(why)),
+            AsmState::Header { .. } | AsmState::Body { .. } => Ok(None),
+        }
+    }
+
+    /// Whether a complete message is already queued (no more bytes
+    /// needed to make progress).
+    pub fn has_ready(&self) -> bool {
+        !self.ready.is_empty()
+    }
+
+    /// Drives the assembler directly from a non-blocking reader: one
+    /// `read` into a scratch buffer, pushed in. Returns the byte count
+    /// (`0` = clean EOF); `WouldBlock` surfaces to the caller.
+    pub fn read_from<R: Read>(&mut self, r: &mut R, scratch: &mut [u8]) -> std::io::Result<usize> {
+        let n = r.read(scratch)?;
+        self.push(&scratch[..n]);
+        Ok(n)
+    }
+
+    /// Bytes currently buffered (partial frame plus parsed-but-unpopped
+    /// payloads) — feeds the per-connection read-buffer cap.
+    pub fn buffered(&self) -> usize {
+        let partial = match &self.state {
+            AsmState::Header { fill, .. } => *fill,
+            AsmState::Body { fill, .. } => *fill,
+            AsmState::Corrupt(_) => 0,
+        };
+        partial + self.ready.iter().map(|(_, p)| p.len()).sum::<usize>()
+    }
+
+    /// True once the stream hit a corrupt frame (connection-fatal).
+    pub fn is_corrupt(&self) -> bool {
+        matches!(self.state, AsmState::Corrupt(_))
+    }
+}
+
 #[cfg(test)]
 #[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     fn all_messages() -> Vec<Msg> {
         vec![
@@ -451,6 +594,181 @@ mod tests {
         match read_frame(&mut r) {
             Err(FrameError::Io(_)) => {}
             other => panic!("expected io, got {other:?}"),
+        }
+    }
+
+    /// Decodes `bytes` through an assembler fed at the given split points.
+    fn assemble_split(bytes: &[u8], cuts: &[usize]) -> (Vec<Msg>, Option<String>) {
+        let mut asm = FrameAssembler::new();
+        let mut msgs = Vec::new();
+        let mut err = None;
+        let mut drain = |asm: &mut FrameAssembler| loop {
+            match asm.next_frame() {
+                Ok(Some(m)) => msgs.push(m),
+                Ok(None) => break,
+                Err(e) => {
+                    err.get_or_insert(e.to_string());
+                    break;
+                }
+            }
+        };
+        let mut prev = 0usize;
+        for &cut in cuts {
+            let cut = cut.min(bytes.len());
+            if cut > prev {
+                asm.push(&bytes[prev..cut]);
+                drain(&mut asm);
+                prev = cut;
+            }
+        }
+        if prev < bytes.len() {
+            asm.push(&bytes[prev..]);
+        }
+        drain(&mut asm);
+        (msgs, err)
+    }
+
+    /// Reference decode: whole-buffer `read_frame` until exhausted.
+    fn read_all(bytes: &[u8]) -> (Vec<Msg>, Option<String>) {
+        let mut r = bytes;
+        let mut msgs = Vec::new();
+        loop {
+            if r.is_empty() {
+                return (msgs, None);
+            }
+            match read_frame(&mut r) {
+                Ok(m) => msgs.push(m),
+                Err(FrameError::Io(_)) => return (msgs, None), // trailing partial
+                Err(e) => return (msgs, Some(e.to_string())),
+            }
+        }
+    }
+
+    #[test]
+    fn assembler_one_byte_drip_matches_whole_buffer() {
+        let msgs = all_messages();
+        let mut bytes = Vec::new();
+        for m in &msgs {
+            bytes.extend_from_slice(&encode_frame(m));
+        }
+        let cuts: Vec<usize> = (1..bytes.len()).collect();
+        let (got, err) = assemble_split(&bytes, &cuts);
+        assert!(err.is_none(), "clean stream must not error: {err:?}");
+        assert_eq!(got, msgs);
+    }
+
+    #[test]
+    fn assembler_corruption_is_sticky() {
+        let mut bytes = encode_frame(&Msg::Heartbeat { nonce: 1 });
+        let tail = encode_frame(&Msg::Heartbeat { nonce: 2 });
+        let n = bytes.len();
+        bytes.extend_from_slice(&tail);
+        bytes[n + HEADER_BYTES] ^= 0xFF; // corrupt the second frame's payload
+        let mut asm = FrameAssembler::new();
+        asm.push(&bytes);
+        assert_eq!(asm.next_frame().unwrap(), Some(Msg::Heartbeat { nonce: 1 }));
+        assert!(asm.next_frame().is_err());
+        assert!(asm.is_corrupt());
+        // Sticky: more bytes don't resurrect the stream.
+        asm.push(&encode_frame(&Msg::Goodbye));
+        assert!(asm.next_frame().is_err());
+    }
+
+    #[test]
+    fn assembler_oversize_length_is_corrupt_without_alloc() {
+        let mut bytes = encode_frame(&Msg::Goodbye);
+        bytes[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let mut asm = FrameAssembler::new();
+        asm.push(&bytes);
+        match asm.next_frame() {
+            Err(FrameError::Corrupt(_)) => {}
+            other => panic!("expected corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn assembler_read_from_drives_a_reader() {
+        let msgs = all_messages();
+        let mut bytes = Vec::new();
+        for m in &msgs {
+            bytes.extend_from_slice(&encode_frame(m));
+        }
+        let mut r = &bytes[..];
+        let mut asm = FrameAssembler::new();
+        let mut scratch = [0u8; 7]; // deliberately tiny, misaligned reads
+        let mut got = Vec::new();
+        loop {
+            let n = asm.read_from(&mut r, &mut scratch).unwrap();
+            while let Some(m) = asm.next_frame().unwrap() {
+                got.push(m);
+            }
+            if n == 0 {
+                break;
+            }
+        }
+        assert_eq!(got, msgs);
+        assert_eq!(asm.buffered(), 0, "clean stream leaves nothing buffered");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Satellite: arbitrary partial-read split points (1-byte drips,
+        /// torn headers, coalesced frames) must decode byte-identically
+        /// to a whole-buffer parse, and never panic — including when the
+        /// stream is corrupted at a random byte.
+        #[test]
+        fn prop_assembler_matches_read_frame(
+            seed in 0u64..10_000,
+            n_msgs in 1usize..6,
+            n_cuts in 0usize..24,
+            corrupt_at in 0usize..2_000,
+            do_corrupt in 0usize..3,
+            truncate in 0usize..64,
+        ) {
+            use rand::{rngs::StdRng, Rng, SeedableRng};
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut bytes = Vec::new();
+            for _ in 0..n_msgs {
+                let m = match rng.gen_range(0..7u32) {
+                    0 => Msg::Hello { session: rng.gen(), version: PROTO_VERSION },
+                    1 => {
+                        let blen = rng.gen_range(0..200usize);
+                        let body: Vec<u8> = (0..blen).map(|_| rng.gen()).collect();
+                        Msg::Request { req_id: rng.gen(), unit: rng.gen_range(0..9u32), frame: body }
+                    }
+                    2 => {
+                        let blen = rng.gen_range(0..300usize);
+                        let body: Vec<u8> = (0..blen).map(|_| rng.gen()).collect();
+                        Msg::ResponseOk { req_id: rng.gen(), deduped: rng.gen(), frame: body }
+                    }
+                    3 => Msg::ResponseErr { req_id: rng.gen(), msg: "e".repeat(rng.gen_range(0..40)) },
+                    4 => Msg::Heartbeat { nonce: rng.gen() },
+                    5 => Msg::Cancel { req_id: rng.gen() },
+                    _ => Msg::Gossip { payload: (0..rng.gen_range(0..64usize)).map(|_| rng.gen()).collect() },
+                };
+                bytes.extend_from_slice(&encode_frame(&m));
+            }
+            if do_corrupt == 0 && !bytes.is_empty() {
+                let at = corrupt_at % bytes.len();
+                bytes[at] ^= 0x5A;
+            }
+            if truncate > 0 {
+                let keep = bytes.len().saturating_sub(truncate % (bytes.len() + 1));
+                bytes.truncate(keep);
+            }
+            let mut cuts: Vec<usize> = (0..n_cuts)
+                .map(|_| if bytes.is_empty() { 0 } else { rng.gen_range(0..bytes.len() + 1) })
+                .collect();
+            cuts.sort_unstable();
+
+            let (want_msgs, want_err) = read_all(&bytes);
+            let (got_msgs, got_err) = assemble_split(&bytes, &cuts);
+            prop_assert_eq!(&got_msgs, &want_msgs);
+            prop_assert_eq!(got_err.is_some(), want_err.is_some());
+            if let (Some(g), Some(w)) = (&got_err, &want_err) {
+                prop_assert_eq!(g, w);
+            }
         }
     }
 }

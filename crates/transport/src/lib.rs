@@ -21,11 +21,20 @@
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod aclient;
+pub mod aworker;
 pub mod chaos;
 pub mod client;
+pub mod driver;
 pub mod frame;
+pub mod poller;
+pub mod swarm;
+pub mod sys;
 pub mod worker;
 
+pub use aclient::{AsyncTcpTransport, AsyncTcpTransportConfig};
+pub use aworker::{AsyncWorkerServer, SwarmHostConfig, SwarmWorkerHost};
 pub use chaos::{ChaosConfig, ChaosDirection, ChaosProxy};
 pub use client::{TcpTransport, TcpTransportConfig};
+pub use swarm::{run_swarm, SwarmConfig, SwarmReport};
 pub use worker::{WorkerConfig, WorkerServer};

@@ -1,0 +1,210 @@
+//! Raw readiness syscalls for the async driver on Linux/x86_64.
+//!
+//! The workspace vendors no FFI crates (no `libc`, no `mio`), so the epoll
+//! family is invoked directly through the `syscall` instruction. Only the
+//! four primitives the [`crate::poller`] needs live here — everything else
+//! (sockets, accept, reads, writes) goes through `std::net` in
+//! non-blocking mode. Non-Linux (or non-x86_64) builds never compile this
+//! module; [`crate::poller`] substitutes a portable readiness emulation.
+//!
+//! Every wrapper returns `io::Result` with the errno recovered from the
+//! raw return value, so callers never see raw negative numbers.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+#![cfg(all(target_os = "linux", target_arch = "x86_64"))]
+
+use std::io;
+
+const SYS_READ: i64 = 0;
+const SYS_WRITE: i64 = 1;
+const SYS_CLOSE: i64 = 3;
+const SYS_GETRLIMIT: i64 = 97;
+const SYS_EPOLL_WAIT: i64 = 232;
+const SYS_EPOLL_CTL: i64 = 233;
+const SYS_EVENTFD2: i64 = 290;
+const SYS_EPOLL_CREATE1: i64 = 291;
+
+/// `EPOLL_CLOEXEC` — close the epoll fd on exec.
+const EPOLL_CLOEXEC: i64 = 0o2000000;
+/// `EFD_CLOEXEC | EFD_NONBLOCK` for the waker eventfd.
+const EFD_FLAGS: i64 = 0o2000000 | 0o4000;
+/// `RLIMIT_NOFILE` resource id for [`getrlimit`].
+const RLIMIT_NOFILE: i64 = 7;
+
+/// epoll_ctl ops.
+pub const EPOLL_CTL_ADD: i64 = 1;
+pub const EPOLL_CTL_DEL: i64 = 2;
+pub const EPOLL_CTL_MOD: i64 = 3;
+
+/// Readiness bits (subset the driver uses; level-triggered).
+pub const EPOLLIN: u32 = 0x001;
+pub const EPOLLOUT: u32 = 0x004;
+pub const EPOLLERR: u32 = 0x008;
+pub const EPOLLHUP: u32 = 0x010;
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+/// The kernel's epoll_event: `events` mask plus a caller cookie. Packed on
+/// x86_64 (the kernel ABI has no padding between the u32 and the u64).
+#[repr(C, packed)]
+#[derive(Clone, Copy, Default)]
+pub struct EpollEvent {
+    /// Readiness bit mask (`EPOLLIN` | …).
+    pub events: u32,
+    /// Caller cookie (the driver stores its connection token here).
+    pub data: u64,
+}
+
+/// One `syscall` instruction with up to four arguments. rcx/r11 are
+/// clobbered by the instruction itself; flags are not preserved.
+///
+/// # Safety
+/// The caller must pass argument values that are valid for syscall `n` —
+/// in particular any pointer arguments must point at live, correctly
+/// sized memory for the duration of the call.
+unsafe fn syscall4(n: i64, a: i64, b: i64, c: i64, d: i64) -> i64 {
+    let ret: i64;
+    core::arch::asm!(
+        "syscall",
+        inlateout("rax") n => ret,
+        in("rdi") a,
+        in("rsi") b,
+        in("rdx") c,
+        in("r10") d,
+        lateout("rcx") _,
+        lateout("r11") _,
+        options(nostack),
+    );
+    ret
+}
+
+/// Converts a raw syscall return into `io::Result`.
+fn check(ret: i64) -> io::Result<i64> {
+    if ret < 0 {
+        Err(io::Error::from_raw_os_error((-ret) as i32))
+    } else {
+        Ok(ret)
+    }
+}
+
+/// `epoll_create1(EPOLL_CLOEXEC)`.
+pub fn epoll_create() -> io::Result<i32> {
+    // SAFETY: no pointer arguments.
+    let ret = unsafe { syscall4(SYS_EPOLL_CREATE1, EPOLL_CLOEXEC, 0, 0, 0) };
+    check(ret).map(|fd| fd as i32)
+}
+
+/// `epoll_ctl(epfd, op, fd, &event)`. `event` is ignored by the kernel for
+/// `EPOLL_CTL_DEL` but a valid pointer is passed anyway (pre-2.6.9 ABI).
+pub fn epoll_ctl(epfd: i32, op: i64, fd: i32, events: u32, token: u64) -> io::Result<()> {
+    let ev = EpollEvent { events, data: token };
+    // SAFETY: `ev` is a live, correctly-sized epoll_event for the call.
+    let ret = unsafe {
+        syscall4(SYS_EPOLL_CTL, epfd as i64, op, fd as i64, &ev as *const EpollEvent as i64)
+    };
+    check(ret).map(|_| ())
+}
+
+/// `epoll_wait(epfd, buf, buf.len(), timeout_ms)`; returns the number of
+/// ready events written into `buf`.
+pub fn epoll_wait(epfd: i32, buf: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+    // SAFETY: `buf` is live and its length is passed as maxevents.
+    let ret = unsafe {
+        syscall4(
+            SYS_EPOLL_WAIT,
+            epfd as i64,
+            buf.as_mut_ptr() as i64,
+            buf.len() as i64,
+            timeout_ms as i64,
+        )
+    };
+    check(ret).map(|n| n as usize)
+}
+
+/// `eventfd2(0, EFD_CLOEXEC | EFD_NONBLOCK)` — the driver's wakeup channel.
+pub fn eventfd() -> io::Result<i32> {
+    // SAFETY: no pointer arguments.
+    let ret = unsafe { syscall4(SYS_EVENTFD2, 0, EFD_FLAGS, 0, 0) };
+    check(ret).map(|fd| fd as i32)
+}
+
+/// Writes one increment into an eventfd (non-blocking; a full counter —
+/// `EAGAIN` — means a wakeup is already pending, which is success).
+pub fn eventfd_wake(fd: i32) -> io::Result<()> {
+    let one: u64 = 1;
+    // SAFETY: `one` is live and 8 bytes, as eventfd requires.
+    let ret = unsafe { syscall4(SYS_WRITE, fd as i64, &one as *const u64 as i64, 8, 0) };
+    match check(ret) {
+        Ok(_) => Ok(()),
+        Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(()),
+        Err(e) => Err(e),
+    }
+}
+
+/// Drains a non-blocking eventfd so it stops reporting readable.
+pub fn eventfd_drain(fd: i32) {
+    let mut count: u64 = 0;
+    // SAFETY: `count` is live and 8 bytes, as eventfd requires.
+    let _ = unsafe { syscall4(SYS_READ, fd as i64, &mut count as *mut u64 as i64, 8, 0) };
+}
+
+/// `close(fd)` for fds this module created (epoll, eventfd).
+pub fn close(fd: i32) {
+    // SAFETY: no pointer arguments; the caller owns `fd`.
+    let _ = unsafe { syscall4(SYS_CLOSE, fd as i64, 0, 0, 0) };
+}
+
+/// Soft `RLIMIT_NOFILE` — the process fd budget the shed policy respects.
+pub fn fd_soft_limit() -> u64 {
+    #[repr(C)]
+    struct RLimit {
+        cur: u64,
+        max: u64,
+    }
+    let mut lim = RLimit { cur: 0, max: 0 };
+    // SAFETY: `lim` is a live, correctly-sized rlimit struct.
+    let ret =
+        unsafe { syscall4(SYS_GETRLIMIT, RLIMIT_NOFILE, &mut lim as *mut RLimit as i64, 0, 0) };
+    if check(ret).is_ok() && lim.cur > 0 {
+        lim.cur
+    } else {
+        // Unknown limit: assume a conservative classic default.
+        1024
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoll_round_trip_sees_eventfd_wake() {
+        let ep = epoll_create().unwrap();
+        let ev = eventfd().unwrap();
+        epoll_ctl(ep, EPOLL_CTL_ADD, ev, EPOLLIN, 42).unwrap();
+
+        // Nothing ready yet: zero events with a zero timeout.
+        let mut buf = [EpollEvent::default(); 4];
+        assert_eq!(epoll_wait(ep, &mut buf, 0).unwrap(), 0);
+
+        eventfd_wake(ev).unwrap();
+        let n = epoll_wait(ep, &mut buf, 1000).unwrap();
+        assert_eq!(n, 1);
+        let got = buf[0];
+        assert_eq!({ got.data }, 42);
+        assert_ne!({ got.events } & EPOLLIN, 0);
+
+        // Draining clears readiness (level-triggered).
+        eventfd_drain(ev);
+        assert_eq!(epoll_wait(ep, &mut buf, 0).unwrap(), 0);
+
+        epoll_ctl(ep, EPOLL_CTL_DEL, ev, 0, 0).unwrap();
+        close(ev);
+        close(ep);
+    }
+
+    #[test]
+    fn fd_limit_is_sane() {
+        let lim = fd_soft_limit();
+        assert!(lim >= 256, "soft nofile limit looks wrong: {lim}");
+    }
+}

@@ -42,6 +42,9 @@ timeout 300 cargo test -q -p murmuration-transport dedup
 echo "==> socket chaos tests (bounded: the coordinator must never hang on a bad link)"
 timeout 300 cargo test -q --test transport_chaos --test transport_parity
 
+echo "==> swarm harness smoke (bounded: churn + storm + stampede, exactly-once results)"
+timeout 300 cargo test -q -p murmuration-transport swarm
+
 echo "==> control-plane chaos (bounded: gossip failover + Byzantine reputation bounds)"
 timeout 300 cargo test -q --test failover_chaos
 timeout 300 cargo test -q -p murmuration-core --test gossip_proptest
@@ -59,6 +62,10 @@ for f in crates/core/src/executor.rs crates/core/src/wire.rs \
          crates/tensor/src/simd.rs crates/tensor/src/int8.rs \
          crates/nn/src/layers/quantized.rs \
          crates/transport/src/lib.rs \
+         crates/transport/src/driver.rs \
+         crates/transport/src/aclient.rs \
+         crates/transport/src/aworker.rs \
+         crates/transport/src/swarm.rs \
          crates/partition/src/pipeline.rs \
          crates/edgesim/src/scenario.rs; do
     if ! grep -q 'deny(clippy::unwrap_used, clippy::expect_used)' "$f"; then
@@ -139,6 +146,10 @@ perf_gate ./target/release/bench_faults
 echo "==> transport benchmark gate (loopback-TCP overhead <= 20% on the B32 happy path)"
 cargo build --release -q -p murmuration-bench --bin bench_transport
 perf_gate ./target/release/bench_transport
+
+echo "==> swarm fleet gate (1k workers: exactly-once through storms, flat idle CPU per conn)"
+cargo build --release -q -p murmuration-bench --bin bench_swarm
+perf_gate ./target/release/bench_swarm
 
 echo "==> hedging benchmark gates (brownout p99 <= 0.5x unhedged, overhead <= 5%, hedge rate <= 10%)"
 cargo build --release -q -p murmuration-bench --bin bench_hedging
